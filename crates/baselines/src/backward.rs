@@ -1,0 +1,553 @@
+//! A backward-chaining (query-time) comparator for the ρdf fragment.
+//!
+//! The paper's introduction contrasts forward-chaining materialization with
+//! backward-chaining, which "performs inference at query time, when the set
+//! of inferred triples is limited to the triple patterns defined in the
+//! query" (§1) — the strategy of QueryPIE and of OBDA query-rewriting
+//! systems. Inferray deliberately chooses materialization; this module
+//! provides the other side of that trade-off so the benchmark harness can
+//! measure it: no up-front work, but every query pays for rule application.
+//!
+//! The chainer covers exactly the eight ρdf rules of Table 5 — CAX-SCO,
+//! PRP-DOM, PRP-RNG, PRP-SPO1, SCM-DOM2, SCM-RNG2, SCM-SCO and SCM-SPO. At
+//! construction it compiles the (small, Tbox-sized) `rdfs:subClassOf` and
+//! `rdfs:subPropertyOf` hierarchies into ancestor/descendant maps; every
+//! query is then rewritten against those maps and answered from the asserted
+//! property tables only. Instance data is never expanded.
+//!
+//! Limitations (documented, not silent): RDFS vocabulary properties used as
+//! subjects or objects of `rdfs:subPropertyOf` (e.g. declaring a subproperty
+//! of `rdf:type`) are not rewritten — the forward engines handle such
+//! pathological schemas, the rewriter does not claim to.
+
+use inferray_dictionary::wellknown;
+use inferray_model::IdTriple;
+use inferray_store::{PropertyTable, TriplePattern, TripleStore};
+use std::collections::{HashMap, HashSet};
+
+/// A query-time ρdf reasoner over an *unmaterialized* store.
+#[derive(Debug)]
+pub struct BackwardChainer<'a> {
+    store: &'a TripleStore,
+    /// class → strict superclasses reachable through asserted subClassOf.
+    class_ancestors: HashMap<u64, Vec<u64>>,
+    /// class → strict subclasses.
+    class_descendants: HashMap<u64, Vec<u64>>,
+    /// property → strict superproperties.
+    property_ancestors: HashMap<u64, Vec<u64>>,
+    /// property → strict subproperties.
+    property_descendants: HashMap<u64, Vec<u64>>,
+}
+
+impl<'a> BackwardChainer<'a> {
+    /// Compiles the schema hierarchies of `store` (which must be finalized)
+    /// and returns a chainer that answers patterns against it.
+    pub fn new(store: &'a TripleStore) -> Self {
+        let (class_ancestors, class_descendants) =
+            transitive_maps(store.table(wellknown::RDFS_SUB_CLASS_OF));
+        let (property_ancestors, property_descendants) =
+            transitive_maps(store.table(wellknown::RDFS_SUB_PROPERTY_OF));
+        BackwardChainer {
+            store,
+            class_ancestors,
+            class_descendants,
+            property_ancestors,
+            property_descendants,
+        }
+    }
+
+    /// `true` when the fully bound triple is asserted or ρdf-derivable.
+    pub fn holds(&self, triple: IdTriple) -> bool {
+        !self
+            .match_pattern(
+                TriplePattern::any()
+                    .with_s(triple.s)
+                    .with_p(triple.p)
+                    .with_o(triple.o),
+            )
+            .is_empty()
+    }
+
+    /// Every asserted or derivable triple matching `pattern`, without
+    /// duplicates. Order is unspecified.
+    pub fn match_pattern(&self, pattern: TriplePattern) -> Vec<IdTriple> {
+        let mut out: HashSet<IdTriple> = HashSet::new();
+        match pattern.p {
+            Some(p) => self.match_with_predicate(p, pattern, &mut out),
+            None => {
+                for p in self.candidate_predicates() {
+                    self.match_with_predicate(p, pattern, &mut out);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// The full ρdf closure, computed entirely through query rewriting
+    /// (used by the equivalence tests and the benchmark harness).
+    pub fn all_triples(&self) -> Vec<IdTriple> {
+        let mut triples = self.match_pattern(TriplePattern::any());
+        triples.sort_unstable();
+        triples
+    }
+
+    // -- per-predicate dispatch ---------------------------------------------
+
+    fn match_with_predicate(&self, p: u64, pattern: TriplePattern, out: &mut HashSet<IdTriple>) {
+        match p {
+            wellknown::RDF_TYPE => self.match_type(pattern, out),
+            wellknown::RDFS_SUB_CLASS_OF => {
+                self.match_hierarchy(p, &self.class_ancestors, pattern, out)
+            }
+            wellknown::RDFS_SUB_PROPERTY_OF => {
+                self.match_hierarchy(p, &self.property_ancestors, pattern, out)
+            }
+            wellknown::RDFS_DOMAIN => self.match_domain_or_range(p, pattern, out),
+            wellknown::RDFS_RANGE => self.match_domain_or_range(p, pattern, out),
+            other => self.match_plain_property(other, pattern, out),
+        }
+    }
+
+    /// `x p y` for a non-schema property: asserted pairs of `p` plus the
+    /// pairs of every subproperty of `p` (PRP-SPO1 rewritten backwards).
+    fn match_plain_property(&self, p: u64, pattern: TriplePattern, out: &mut HashSet<IdTriple>) {
+        for source in self.with_descendant_properties(p) {
+            if let Some(table) = self.store.table(source) {
+                emit_matching_pairs(table, p, pattern, out);
+            }
+        }
+    }
+
+    /// `c1 subClassOf c2` / `p1 subPropertyOf p2`: reachability over the
+    /// asserted hierarchy (SCM-SCO / SCM-SPO rewritten backwards).
+    fn match_hierarchy(
+        &self,
+        p: u64,
+        ancestors: &HashMap<u64, Vec<u64>>,
+        pattern: TriplePattern,
+        out: &mut HashSet<IdTriple>,
+    ) {
+        let subjects: Vec<u64> = match pattern.s {
+            Some(s) => vec![s],
+            None => ancestors.keys().copied().collect(),
+        };
+        for s in subjects {
+            for &target in ancestors.get(&s).map(Vec::as_slice).unwrap_or(&[]) {
+                if pattern.o.is_none_or(|o| o == target) {
+                    out.insert(IdTriple::new(s, p, target));
+                }
+            }
+        }
+    }
+
+    /// `p domain c` / `p range c`: asserted statements plus those inherited
+    /// from superproperties (SCM-DOM2 / SCM-RNG2 rewritten backwards).
+    fn match_domain_or_range(&self, p: u64, pattern: TriplePattern, out: &mut HashSet<IdTriple>) {
+        let Some(table) = self.store.table(p) else {
+            return;
+        };
+        let subjects: Vec<u64> = match pattern.s {
+            Some(s) => vec![s],
+            None => {
+                // Any property with an asserted statement, or below one.
+                let mut props: HashSet<u64> = table.iter_pairs().map(|(s, _)| s).collect();
+                for with_statement in props.clone() {
+                    for &below in self
+                        .property_descendants
+                        .get(&with_statement)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                    {
+                        props.insert(below);
+                    }
+                }
+                props.into_iter().collect()
+            }
+        };
+        for s in subjects {
+            for source in self.with_ancestor_properties(s) {
+                for c in table.objects_of(source) {
+                    if pattern.o.is_none_or(|o| o == c) {
+                        out.insert(IdTriple::new(s, p, c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// `x rdf:type c`: asserted types of any subclass of `c`, plus the
+    /// domain/range route (PRP-DOM, PRP-RNG) through any subproperty, all
+    /// lifted through CAX-SCO.
+    fn match_type(&self, pattern: TriplePattern, out: &mut HashSet<IdTriple>) {
+        // Candidate "base" classes: either the descendants of the requested
+        // class (plus itself), or every class when the object is unbound.
+        match pattern.o {
+            Some(class) => {
+                for base in self.with_descendant_classes(class) {
+                    self.emit_base_instances(base, class, pattern.s, out);
+                }
+            }
+            None => {
+                // Enumerate every base-level derivation and lift it through
+                // the class hierarchy.
+                let mut base_types: HashSet<(u64, u64)> = HashSet::new();
+                self.collect_base_types(pattern.s, &mut base_types);
+                for (x, base) in base_types {
+                    out.insert(IdTriple::new(x, wellknown::RDF_TYPE, base));
+                    for &ancestor in self
+                        .class_ancestors
+                        .get(&base)
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                    {
+                        out.insert(IdTriple::new(x, wellknown::RDF_TYPE, ancestor));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emits `x rdf:type target` for every `x` that has `base` as a
+    /// *directly derivable* type (asserted, domain or range route).
+    fn emit_base_instances(
+        &self,
+        base: u64,
+        target: u64,
+        subject: Option<u64>,
+        out: &mut HashSet<IdTriple>,
+    ) {
+        let mut emit = |x: u64| {
+            if subject.is_none_or(|s| s == x) {
+                out.insert(IdTriple::new(x, wellknown::RDF_TYPE, target));
+            }
+        };
+        // Asserted rdf:type.
+        if let Some(types) = self.store.table(wellknown::RDF_TYPE) {
+            for (x, class) in types.iter_pairs() {
+                if class == base {
+                    emit(x);
+                }
+            }
+        }
+        // Domain route: domain(p2, base), p1 ⊑* p2, p1(x, _) ⇒ type(x, base).
+        if let Some(domains) = self.store.table(wellknown::RDFS_DOMAIN) {
+            for (declared, class) in domains.iter_pairs() {
+                if class != base {
+                    continue;
+                }
+                for source in self.with_descendant_properties(declared) {
+                    if let Some(table) = self.store.table(source) {
+                        for (x, _) in table.iter_pairs() {
+                            emit(x);
+                        }
+                    }
+                }
+            }
+        }
+        // Range route: range(p2, base), p1 ⊑* p2, p1(_, y) ⇒ type(y, base).
+        if let Some(ranges) = self.store.table(wellknown::RDFS_RANGE) {
+            for (declared, class) in ranges.iter_pairs() {
+                if class != base {
+                    continue;
+                }
+                for source in self.with_descendant_properties(declared) {
+                    if let Some(table) = self.store.table(source) {
+                        for (_, y) in table.iter_pairs() {
+                            emit(y);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects every `(instance, base class)` pair derivable without
+    /// CAX-SCO (asserted type, domain route, range route), optionally
+    /// restricted to one subject.
+    fn collect_base_types(&self, subject: Option<u64>, out: &mut HashSet<(u64, u64)>) {
+        let mut insert = |x: u64, class: u64| {
+            if subject.is_none_or(|s| s == x) {
+                out.insert((x, class));
+            }
+        };
+        if let Some(types) = self.store.table(wellknown::RDF_TYPE) {
+            for (x, class) in types.iter_pairs() {
+                insert(x, class);
+            }
+        }
+        if let Some(domains) = self.store.table(wellknown::RDFS_DOMAIN) {
+            for (declared, class) in domains.iter_pairs() {
+                for source in self.with_descendant_properties(declared) {
+                    if let Some(table) = self.store.table(source) {
+                        for (x, _) in table.iter_pairs() {
+                            insert(x, class);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(ranges) = self.store.table(wellknown::RDFS_RANGE) {
+            for (declared, class) in ranges.iter_pairs() {
+                for source in self.with_descendant_properties(declared) {
+                    if let Some(table) = self.store.table(source) {
+                        for (_, y) in table.iter_pairs() {
+                            insert(y, class);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // -- hierarchy helpers --------------------------------------------------
+
+    fn with_descendant_properties(&self, p: u64) -> Vec<u64> {
+        with_closure(p, &self.property_descendants)
+    }
+
+    fn with_ancestor_properties(&self, p: u64) -> Vec<u64> {
+        with_closure(p, &self.property_ancestors)
+    }
+
+    fn with_descendant_classes(&self, c: u64) -> Vec<u64> {
+        with_closure(c, &self.class_descendants)
+    }
+
+    /// The predicates that can appear in derivable triples: every property
+    /// with a table, every property mentioned in the subPropertyOf hierarchy
+    /// and the schema predicates themselves.
+    fn candidate_predicates(&self) -> Vec<u64> {
+        let mut predicates: HashSet<u64> = self.store.property_ids().collect();
+        predicates.extend(self.property_ancestors.keys());
+        for ancestors in self.property_ancestors.values() {
+            predicates.extend(ancestors.iter().copied());
+        }
+        predicates.insert(wellknown::RDF_TYPE);
+        predicates.insert(wellknown::RDFS_SUB_CLASS_OF);
+        predicates.insert(wellknown::RDFS_SUB_PROPERTY_OF);
+        let mut predicates: Vec<u64> = predicates.into_iter().collect();
+        predicates.sort_unstable();
+        predicates
+    }
+}
+
+/// Emits the pairs of `table` that satisfy the subject/object constraints of
+/// `pattern`, as triples of predicate `target` (which may differ from the
+/// table the pairs came from when rewriting through subproperties).
+fn emit_matching_pairs(
+    table: &PropertyTable,
+    target: u64,
+    pattern: TriplePattern,
+    out: &mut HashSet<IdTriple>,
+) {
+    match (pattern.s, pattern.o) {
+        (Some(s), Some(o)) => {
+            if table.contains_pair(s, o) {
+                out.insert(IdTriple::new(s, target, o));
+            }
+        }
+        (Some(s), None) => {
+            for o in table.objects_of(s) {
+                out.insert(IdTriple::new(s, target, o));
+            }
+        }
+        (None, constraint) => {
+            for (s, o) in table.iter_pairs() {
+                if constraint.is_none_or(|c| c == o) {
+                    out.insert(IdTriple::new(s, target, o));
+                }
+            }
+        }
+    }
+}
+
+/// `node` plus everything reachable from it in `closure`.
+fn with_closure(node: u64, closure: &HashMap<u64, Vec<u64>>) -> Vec<u64> {
+    let mut all = vec![node];
+    if let Some(reached) = closure.get(&node) {
+        all.extend(reached.iter().copied());
+    }
+    all
+}
+
+/// Builds (ancestors, descendants) reachability maps from an edge table,
+/// following edges transitively. Cycles are tolerated: a node never lists
+/// itself unless a cycle makes it genuinely reachable from itself.
+fn transitive_maps(
+    table: Option<&PropertyTable>,
+) -> (HashMap<u64, Vec<u64>>, HashMap<u64, Vec<u64>>) {
+    let mut forward: HashMap<u64, Vec<u64>> = HashMap::new();
+    let Some(table) = table else {
+        return (HashMap::new(), HashMap::new());
+    };
+    for (s, o) in table.iter_pairs() {
+        forward.entry(s).or_default().push(o);
+    }
+    let mut ancestors: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut descendants: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &start in forward.keys() {
+        let mut reached: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<u64> = forward[&start].clone();
+        while let Some(node) = stack.pop() {
+            if reached.insert(node) {
+                if let Some(next) = forward.get(&node) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        let mut reached: Vec<u64> = reached.into_iter().collect();
+        reached.sort_unstable();
+        for &target in &reached {
+            descendants.entry(target).or_default().push(start);
+        }
+        ancestors.insert(start, reached);
+    }
+    for list in descendants.values_mut() {
+        list.sort_unstable();
+        list.dedup();
+    }
+    (ancestors, descendants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_dictionary::wellknown as wk;
+    use inferray_model::ids::nth_property_id;
+
+    const HUMAN: u64 = 8_000_000;
+    const MAMMAL: u64 = 8_000_001;
+    const ANIMAL: u64 = 8_000_002;
+    const BART: u64 = 8_000_003;
+    const SANTAS_HELPER: u64 = 8_000_004;
+    const DOG: u64 = 8_000_005;
+
+    fn has_pet() -> u64 {
+        nth_property_id(40)
+    }
+
+    fn has_dog() -> u64 {
+        nth_property_id(41)
+    }
+
+    fn family_store() -> TripleStore {
+        TripleStore::from_triples([
+            IdTriple::new(HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL),
+            IdTriple::new(MAMMAL, wk::RDFS_SUB_CLASS_OF, ANIMAL),
+            IdTriple::new(BART, wk::RDF_TYPE, HUMAN),
+            IdTriple::new(has_dog(), wk::RDFS_SUB_PROPERTY_OF, has_pet()),
+            IdTriple::new(has_pet(), wk::RDFS_RANGE, ANIMAL),
+            IdTriple::new(has_pet(), wk::RDFS_DOMAIN, HUMAN),
+            IdTriple::new(BART, has_dog(), SANTAS_HELPER),
+            IdTriple::new(SANTAS_HELPER, wk::RDF_TYPE, DOG),
+        ])
+    }
+
+    #[test]
+    fn subclass_reachability_is_transitive() {
+        let store = family_store();
+        let chainer = BackwardChainer::new(&store);
+        assert!(chainer.holds(IdTriple::new(HUMAN, wk::RDFS_SUB_CLASS_OF, ANIMAL)));
+        assert!(chainer.holds(IdTriple::new(HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL)));
+        assert!(!chainer.holds(IdTriple::new(ANIMAL, wk::RDFS_SUB_CLASS_OF, HUMAN)));
+    }
+
+    #[test]
+    fn type_queries_follow_cax_sco() {
+        let store = family_store();
+        let chainer = BackwardChainer::new(&store);
+        assert!(chainer.holds(IdTriple::new(BART, wk::RDF_TYPE, HUMAN)));
+        assert!(chainer.holds(IdTriple::new(BART, wk::RDF_TYPE, MAMMAL)));
+        assert!(chainer.holds(IdTriple::new(BART, wk::RDF_TYPE, ANIMAL)));
+        assert!(!chainer.holds(IdTriple::new(BART, wk::RDF_TYPE, DOG)));
+    }
+
+    #[test]
+    fn property_queries_follow_prp_spo1() {
+        let store = family_store();
+        let chainer = BackwardChainer::new(&store);
+        // has_dog ⊑ has_pet, so the has_pet pattern sees the has_dog triple.
+        assert!(chainer.holds(IdTriple::new(BART, has_pet(), SANTAS_HELPER)));
+        let pets = chainer.match_pattern(TriplePattern::any().with_p(has_pet()));
+        assert_eq!(pets.len(), 1);
+        assert_eq!(pets[0].s, BART);
+    }
+
+    #[test]
+    fn domain_and_range_infer_types_through_subproperties() {
+        let store = family_store();
+        let chainer = BackwardChainer::new(&store);
+        // domain(has_pet)=HUMAN and BART has_dog …, has_dog ⊑ has_pet.
+        assert!(chainer.holds(IdTriple::new(BART, wk::RDF_TYPE, HUMAN)));
+        // range(has_pet)=ANIMAL lifts Santa's Little Helper to ANIMAL.
+        assert!(chainer.holds(IdTriple::new(SANTAS_HELPER, wk::RDF_TYPE, ANIMAL)));
+        // … but not to MAMMAL: nothing makes ANIMAL a subclass of MAMMAL.
+        assert!(!chainer.holds(IdTriple::new(SANTAS_HELPER, wk::RDF_TYPE, MAMMAL)));
+    }
+
+    #[test]
+    fn domain_statements_are_inherited_by_subproperties() {
+        let store = family_store();
+        let chainer = BackwardChainer::new(&store);
+        // SCM-DOM2: has_dog ⊑ has_pet and domain(has_pet, HUMAN).
+        assert!(chainer.holds(IdTriple::new(has_dog(), wk::RDFS_DOMAIN, HUMAN)));
+        // SCM-RNG2 likewise.
+        assert!(chainer.holds(IdTriple::new(has_dog(), wk::RDFS_RANGE, ANIMAL)));
+        // Unbound-subject domain queries see both properties.
+        let domains = chainer.match_pattern(TriplePattern::any().with_p(wk::RDFS_DOMAIN));
+        assert_eq!(domains.len(), 2);
+    }
+
+    #[test]
+    fn instances_of_a_class_are_enumerated() {
+        let store = family_store();
+        let chainer = BackwardChainer::new(&store);
+        let animals = chainer.match_pattern(
+            TriplePattern::any()
+                .with_p(wk::RDF_TYPE)
+                .with_o(ANIMAL),
+        );
+        let subjects: HashSet<u64> = animals.iter().map(|t| t.s).collect();
+        assert!(subjects.contains(&BART));
+        assert!(subjects.contains(&SANTAS_HELPER));
+    }
+
+    #[test]
+    fn unbound_pattern_produces_the_full_closure_without_duplicates() {
+        let store = family_store();
+        let chainer = BackwardChainer::new(&store);
+        let all = chainer.all_triples();
+        let unique: HashSet<IdTriple> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len());
+        // Input triples are all present.
+        for t in store.iter_triples() {
+            assert!(unique.contains(&t), "missing asserted triple {t:?}");
+        }
+        // And strictly more triples are derivable.
+        assert!(all.len() > store.len());
+    }
+
+    #[test]
+    fn cyclic_hierarchies_do_not_hang() {
+        let a = 7_000_000;
+        let b = 7_000_001;
+        let c = 7_000_002;
+        let store = TripleStore::from_triples([
+            IdTriple::new(a, wk::RDFS_SUB_CLASS_OF, b),
+            IdTriple::new(b, wk::RDFS_SUB_CLASS_OF, c),
+            IdTriple::new(c, wk::RDFS_SUB_CLASS_OF, a),
+            IdTriple::new(BART, wk::RDF_TYPE, a),
+        ]);
+        let chainer = BackwardChainer::new(&store);
+        assert!(chainer.holds(IdTriple::new(a, wk::RDFS_SUB_CLASS_OF, a)));
+        assert!(chainer.holds(IdTriple::new(BART, wk::RDF_TYPE, c)));
+    }
+
+    #[test]
+    fn empty_store_yields_nothing() {
+        let store = TripleStore::new();
+        let chainer = BackwardChainer::new(&store);
+        assert!(chainer.all_triples().is_empty());
+        assert!(!chainer.holds(IdTriple::new(1, wk::RDF_TYPE, 2)));
+    }
+}

@@ -1,0 +1,245 @@
+//! A small datalog evaluator over the hash indexes.
+//!
+//! Rules are evaluated by index nested-loop joins: the body atoms are
+//! matched left to right, each atom queried against the [`TripleIndex`] with
+//! whatever constants and already-bound variables it has. This is the
+//! evaluation strategy of the hash-based engines the paper compares against,
+//! and every lookup it performs is a hash probe followed by a pointer chase —
+//! the access pattern the sorted-array design avoids.
+
+use crate::datalog::{DatalogRule, PatTerm, TriplePattern};
+use crate::index::TripleIndex;
+use inferray_model::ids::is_property_id;
+use inferray_model::IdTriple;
+
+/// Variable bindings (rules use at most four variables).
+pub type Bindings = [Option<u64>; 4];
+
+/// Evaluates a rule with every body atom ranging over the full index
+/// (the strategy of the naive iterative engine). Derived triples are pushed
+/// to `out`, duplicates included.
+pub fn evaluate_rule(rule: &DatalogRule, index: &mut TripleIndex, out: &mut Vec<IdTriple>) {
+    let bindings: Bindings = [None; 4];
+    join_from(rule, index, &rule.body, 0, bindings, out);
+}
+
+/// Evaluates a rule semi-naively: one body atom is restricted to the `delta`
+/// triples (those discovered in the previous iteration), the others range
+/// over the full index; every atom takes the restricted role in turn (the
+/// strategy of the hash-join engine).
+pub fn evaluate_rule_semi_naive(
+    rule: &DatalogRule,
+    index: &mut TripleIndex,
+    delta: &[IdTriple],
+    out: &mut Vec<IdTriple>,
+) {
+    for pinned in 0..rule.body.len() {
+        for &triple in delta {
+            let mut bindings: Bindings = [None; 4];
+            if !unify(&rule.body[pinned], triple, &mut bindings) {
+                continue;
+            }
+            // Join the remaining atoms (all except the pinned one) against
+            // the full index.
+            let remaining: Vec<TriplePattern> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pinned)
+                .map(|(_, p)| *p)
+                .collect();
+            join_from(rule, index, &remaining, 0, bindings, out);
+        }
+    }
+}
+
+/// Recursive index nested-loop join over `atoms[from..]`.
+fn join_from(
+    rule: &DatalogRule,
+    index: &mut TripleIndex,
+    atoms: &[TriplePattern],
+    from: usize,
+    bindings: Bindings,
+    out: &mut Vec<IdTriple>,
+) {
+    if from == atoms.len() {
+        emit_heads(rule, &bindings, out);
+        return;
+    }
+    let atom = atoms[from];
+    let s = resolve(atom.s, &bindings);
+    let p = resolve(atom.p, &bindings);
+    let o = resolve(atom.o, &bindings);
+    for triple in index.matching(s, p, o) {
+        let mut extended = bindings;
+        if unify(&atom, triple, &mut extended) {
+            join_from(rule, index, atoms, from + 1, extended, out);
+        }
+    }
+}
+
+/// Resolves a pattern term to a concrete identifier when it is a constant or
+/// an already-bound variable.
+fn resolve(term: PatTerm, bindings: &Bindings) -> Option<u64> {
+    match term {
+        PatTerm::Const(value) => Some(value),
+        PatTerm::Var(v) => bindings[v as usize],
+    }
+}
+
+/// Attempts to unify a pattern with a concrete triple under the current
+/// bindings, extending them on success.
+fn unify(pattern: &TriplePattern, triple: IdTriple, bindings: &mut Bindings) -> bool {
+    unify_term(pattern.s, triple.s, bindings)
+        && unify_term(pattern.p, triple.p, bindings)
+        && unify_term(pattern.o, triple.o, bindings)
+}
+
+fn unify_term(term: PatTerm, value: u64, bindings: &mut Bindings) -> bool {
+    match term {
+        PatTerm::Const(c) => c == value,
+        PatTerm::Var(v) => match bindings[v as usize] {
+            None => {
+                bindings[v as usize] = Some(value);
+                true
+            }
+            Some(bound) => bound == value,
+        },
+    }
+}
+
+/// Emits the head triples of a satisfied rule body, applying the
+/// disequality filters and skipping heads whose predicate does not resolve
+/// to a property identifier (such triples have no property table and the
+/// sort-merge engine skips them identically).
+fn emit_heads(rule: &DatalogRule, bindings: &Bindings, out: &mut Vec<IdTriple>) {
+    for &(a, b) in &rule.not_equal {
+        if bindings[a as usize] == bindings[b as usize] {
+            return;
+        }
+    }
+    for head in &rule.head {
+        let (Some(s), Some(p), Some(o)) = (
+            resolve(head.s, bindings),
+            resolve(head.p, bindings),
+            resolve(head.o, bindings),
+        ) else {
+            continue;
+        };
+        if !is_property_id(p) {
+            continue;
+        }
+        out.push(IdTriple::new(s, p, o));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datalog::datalog_rule;
+    use inferray_dictionary::wellknown as wk;
+    use inferray_rules::RuleId;
+
+    // Individuals and classes live in the resource half of the id space.
+    const HUMAN: u64 = (1 << 32) + 10_000_000;
+    const MAMMAL: u64 = (1 << 32) + 10_000_001;
+    const BART: u64 = (1 << 32) + 10_000_002;
+
+    fn index(triples: &[(u64, u64, u64)]) -> TripleIndex {
+        TripleIndex::from_triples(triples.iter().map(|&(s, p, o)| IdTriple::new(s, p, o)))
+    }
+
+    #[test]
+    fn cax_sco_via_full_evaluation() {
+        let mut idx = index(&[
+            (HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL),
+            (BART, wk::RDF_TYPE, HUMAN),
+        ]);
+        let rule = datalog_rule(RuleId::CaxSco);
+        let mut out = Vec::new();
+        evaluate_rule(&rule, &mut idx, &mut out);
+        assert_eq!(out, vec![IdTriple::new(BART, wk::RDF_TYPE, MAMMAL)]);
+    }
+
+    #[test]
+    fn semi_naive_fires_when_either_atom_is_in_the_delta() {
+        let mut idx = index(&[
+            (HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL),
+            (BART, wk::RDF_TYPE, HUMAN),
+        ]);
+        let rule = datalog_rule(RuleId::CaxSco);
+
+        let delta = vec![IdTriple::new(BART, wk::RDF_TYPE, HUMAN)];
+        let mut out = Vec::new();
+        evaluate_rule_semi_naive(&rule, &mut idx, &delta, &mut out);
+        assert!(out.contains(&IdTriple::new(BART, wk::RDF_TYPE, MAMMAL)));
+
+        let delta = vec![IdTriple::new(HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL)];
+        let mut out = Vec::new();
+        evaluate_rule_semi_naive(&rule, &mut idx, &delta, &mut out);
+        assert!(out.contains(&IdTriple::new(BART, wk::RDF_TYPE, MAMMAL)));
+
+        // A delta unrelated to the rule derives nothing.
+        let delta = vec![IdTriple::new(BART, wk::RDFS_DOMAIN, HUMAN)];
+        let mut out = Vec::new();
+        evaluate_rule_semi_naive(&rule, &mut idx, &delta, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn disequality_filter_blocks_reflexive_same_as() {
+        let p = inferray_model::ids::nth_property_id(800);
+        let mut idx = index(&[
+            (p, wk::RDF_TYPE, wk::OWL_FUNCTIONAL_PROPERTY),
+            (BART, p, HUMAN),
+            (BART, p, MAMMAL),
+        ]);
+        let rule = datalog_rule(RuleId::PrpFp);
+        let mut out = Vec::new();
+        evaluate_rule(&rule, &mut idx, &mut out);
+        // Both orderings of the distinct pair, but no (x sameAs x).
+        assert!(out.contains(&IdTriple::new(HUMAN, wk::OWL_SAME_AS, MAMMAL)));
+        assert!(out.contains(&IdTriple::new(MAMMAL, wk::OWL_SAME_AS, HUMAN)));
+        assert!(!out.iter().any(|t| t.s == t.o));
+    }
+
+    #[test]
+    fn heads_with_non_property_predicates_are_dropped() {
+        // sameAs between a property and an individual: EQ-REP-P would emit a
+        // triple whose predicate is the individual — it must be skipped.
+        let p = inferray_model::ids::nth_property_id(801);
+        let mut idx = index(&[
+            (p, wk::OWL_SAME_AS, BART),
+            (HUMAN, p, MAMMAL),
+        ]);
+        let rule = datalog_rule(RuleId::EqRepP);
+        let mut out = Vec::new();
+        evaluate_rule(&rule, &mut idx, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multi_head_rules_emit_every_head() {
+        let mut idx = index(&[(HUMAN, wk::RDF_TYPE, wk::OWL_CLASS)]);
+        let rule = datalog_rule(RuleId::ScmCls);
+        let mut out = Vec::new();
+        evaluate_rule(&rule, &mut idx, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.contains(&IdTriple::new(HUMAN, wk::RDFS_SUB_CLASS_OF, wk::OWL_THING)));
+        assert!(out.contains(&IdTriple::new(wk::OWL_NOTHING, wk::RDFS_SUB_CLASS_OF, HUMAN)));
+    }
+
+    #[test]
+    fn three_way_join_for_transitivity() {
+        let p = inferray_model::ids::nth_property_id(802);
+        let mut idx = index(&[
+            (p, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY),
+            ((1 << 32) + 1_000, p, (1 << 32) + 1_001),
+            ((1 << 32) + 1_001, p, (1 << 32) + 1_002),
+        ]);
+        let rule = datalog_rule(RuleId::PrpTrp);
+        let mut out = Vec::new();
+        evaluate_rule(&rule, &mut idx, &mut out);
+        assert!(out.contains(&IdTriple::new((1 << 32) + 1_000, p, (1 << 32) + 1_002)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Hash-indexed triple storage for the baseline engines.
+//!
+//! This is the data layout the paper contrasts with its sorted arrays: every
+//! lookup is a hash probe, every scan of a posting list follows a pointer to
+//! a separately allocated vector — data-dependent (random) memory accesses
+//! throughout. The [`TripleIndex`] counts its probes into an
+//! [`AccessProfile`] so the Figure 7/8 harness can report the difference.
+
+use inferray_model::IdTriple;
+use inferray_store::AccessProfile;
+use std::collections::{HashMap, HashSet};
+
+/// Hash-based triple indexes: membership set plus posting lists by
+/// predicate, by ⟨predicate, subject⟩, by ⟨predicate, object⟩, by subject
+/// and by object.
+#[derive(Debug, Default, Clone)]
+pub struct TripleIndex {
+    set: HashSet<IdTriple>,
+    by_p: HashMap<u64, Vec<IdTriple>>,
+    by_ps: HashMap<(u64, u64), Vec<IdTriple>>,
+    by_po: HashMap<(u64, u64), Vec<IdTriple>>,
+    by_s: HashMap<u64, Vec<IdTriple>>,
+    by_o: HashMap<u64, Vec<IdTriple>>,
+    /// Hash probes and random accesses performed through this index.
+    pub profile: AccessProfile,
+}
+
+impl TripleIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        TripleIndex::default()
+    }
+
+    /// Builds an index from a collection of triples.
+    pub fn from_triples(triples: impl IntoIterator<Item = IdTriple>) -> Self {
+        let mut index = TripleIndex::new();
+        for t in triples {
+            index.insert(t);
+        }
+        index
+    }
+
+    /// Number of distinct triples.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` when the index holds no triple.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Membership test (one hash probe).
+    pub fn contains(&mut self, triple: &IdTriple) -> bool {
+        self.profile.hash_probe(1);
+        self.set.contains(triple)
+    }
+
+    /// Inserts a triple into every index. Returns `true` when it was new.
+    pub fn insert(&mut self, triple: IdTriple) -> bool {
+        self.profile.hash_probe(1);
+        if !self.set.insert(triple) {
+            return false;
+        }
+        // Five secondary indexes, five more probes plus the posting append.
+        self.profile.hash_probe(5);
+        self.profile.allocate(3);
+        self.by_p.entry(triple.p).or_default().push(triple);
+        self.by_ps.entry((triple.p, triple.s)).or_default().push(triple);
+        self.by_po.entry((triple.p, triple.o)).or_default().push(triple);
+        self.by_s.entry(triple.s).or_default().push(triple);
+        self.by_o.entry(triple.o).or_default().push(triple);
+        true
+    }
+
+    /// All triples, in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &IdTriple> + '_ {
+        self.set.iter()
+    }
+
+    /// Triples matching a (subject?, predicate?, object?) pattern, where
+    /// `None` is a wildcard. Chooses the most selective available index and
+    /// counts the probes.
+    pub fn matching(&mut self, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> Vec<IdTriple> {
+        let candidates: Vec<IdTriple> = match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = IdTriple::new(s, p, o);
+                self.profile.hash_probe(1);
+                if self.set.contains(&t) {
+                    vec![t]
+                } else {
+                    vec![]
+                }
+            }
+            (Some(s), Some(p), None) => self.lookup(&|idx| idx.by_ps.get(&(p, s))),
+            (None, Some(p), Some(o)) => self.lookup(&|idx| idx.by_po.get(&(p, o))),
+            (None, Some(p), None) => self.lookup(&|idx| idx.by_p.get(&p)),
+            (Some(s), None, None) => self.lookup(&|idx| idx.by_s.get(&s)),
+            (None, None, Some(o)) => self.lookup(&|idx| idx.by_o.get(&o)),
+            (Some(s), None, Some(o)) => {
+                let posting = self.lookup(&|idx| idx.by_s.get(&s));
+                posting.into_iter().filter(|t| t.o == o).collect()
+            }
+            (None, None, None) => {
+                self.profile.random(self.set.len() as u64 * 3);
+                self.set.iter().copied().collect()
+            }
+        };
+        candidates
+    }
+
+    fn lookup(
+        &mut self,
+        select: &dyn Fn(&TripleIndex) -> Option<&Vec<IdTriple>>,
+    ) -> Vec<IdTriple> {
+        self.profile.hash_probe(1);
+        let result = select(self).cloned().unwrap_or_default();
+        self.profile.random(result.len() as u64 * 3);
+        result
+    }
+
+    /// Consumes the index and returns the sorted triple list.
+    pub fn into_sorted_triples(self) -> Vec<IdTriple> {
+        let mut triples: Vec<IdTriple> = self.set.into_iter().collect();
+        triples.sort_unstable();
+        triples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TripleIndex {
+        TripleIndex::from_triples([
+            IdTriple::new(1, 10, 2),
+            IdTriple::new(1, 10, 3),
+            IdTriple::new(2, 10, 3),
+            IdTriple::new(1, 11, 2),
+        ])
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut index = sample();
+        assert_eq!(index.len(), 4);
+        assert!(!index.insert(IdTriple::new(1, 10, 2)));
+        assert_eq!(index.len(), 4);
+        assert!(index.insert(IdTriple::new(9, 9, 9)));
+        assert_eq!(index.len(), 5);
+    }
+
+    #[test]
+    fn pattern_lookups_use_the_right_index() {
+        let mut index = sample();
+        assert_eq!(index.matching(None, Some(10), None).len(), 3);
+        assert_eq!(index.matching(Some(1), Some(10), None).len(), 2);
+        assert_eq!(index.matching(None, Some(10), Some(3)).len(), 2);
+        assert_eq!(index.matching(Some(1), None, None).len(), 3);
+        assert_eq!(index.matching(None, None, Some(2)).len(), 2);
+        assert_eq!(index.matching(Some(1), None, Some(2)).len(), 2);
+        assert_eq!(index.matching(Some(1), Some(10), Some(2)).len(), 1);
+        assert_eq!(index.matching(Some(1), Some(10), Some(9)).len(), 0);
+        assert_eq!(index.matching(None, None, None).len(), 4);
+    }
+
+    #[test]
+    fn contains_and_probe_counting() {
+        let mut index = sample();
+        let probes_before = index.profile.hash_probes;
+        assert!(index.contains(&IdTriple::new(1, 10, 2)));
+        assert!(!index.contains(&IdTriple::new(7, 7, 7)));
+        assert_eq!(index.profile.hash_probes, probes_before + 2);
+    }
+
+    #[test]
+    fn into_sorted_triples_is_deterministic() {
+        let a = sample().into_sorted_triples();
+        let b = sample().into_sorted_triples();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_index() {
+        let mut index = TripleIndex::new();
+        assert!(index.is_empty());
+        assert!(index.matching(None, Some(1), None).is_empty());
+    }
+}

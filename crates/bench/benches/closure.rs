@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the transitive-closure implementations
+//! (Table 4 / section 4.1): Nuutila with interval sets vs. the semi-naive
+//! iterative closure, on chains and on random DAGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inferray_closure::{iterative_closure, transitive_closure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn chain_edges(n: u64) -> Vec<(u64, u64)> {
+    (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect()
+}
+
+fn random_dag(nodes: u64, edges: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..edges)
+        .map(|_| {
+            let a = rng.gen_range(0..nodes - 1);
+            let b = rng.gen_range(a + 1..nodes);
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure/chain");
+    group.sample_size(10);
+    for length in [200u64, 500, 1_000] {
+        let edges = chain_edges(length);
+        group.bench_function(BenchmarkId::new("nuutila", length), |b| {
+            b.iter(|| black_box(transitive_closure(black_box(&edges)).len()))
+        });
+        group.bench_function(BenchmarkId::new("iterative", length), |b| {
+            b.iter(|| black_box(iterative_closure(black_box(&edges)).0.len()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("closure/random-dag");
+    group.sample_size(10);
+    let edges = random_dag(2_000, 6_000, 3);
+    group.bench_function("nuutila", |b| {
+        b.iter(|| black_box(transitive_closure(black_box(&edges)).len()))
+    });
+    group.bench_function("iterative", |b| {
+        b.iter(|| black_box(iterative_closure(black_box(&edges)).0.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion end-to-end inference benchmarks: Inferray vs. the baselines on
+//! small BSBM-like (RDFS) and LUBM-like (RDFS-Plus) workloads — the
+//! micro-benchmark companions of Tables 2 and 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inferray_baselines::{HashJoinReasoner, NaiveIterativeReasoner};
+use inferray_core::InferrayReasoner;
+use inferray_datasets::{BsbmGenerator, LubmGenerator};
+use inferray_parser::loader::load_triples;
+use inferray_rules::{Fragment, Materializer};
+use inferray_store::TripleStore;
+use std::hint::black_box;
+
+fn encode(triples: &[inferray_model::Triple]) -> TripleStore {
+    load_triples(triples.iter()).expect("valid dataset").store
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let bsbm = BsbmGenerator::new(20_000).generate();
+    let lubm = LubmGenerator::new(20_000).generate();
+    let bsbm_store = encode(&bsbm.triples);
+    let lubm_store = encode(&lubm.triples);
+
+    let mut group = c.benchmark_group("inference/rdfs-default-bsbm20k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(bsbm_store.len() as u64));
+    group.bench_function(BenchmarkId::new("inferray", "bsbm"), |b| {
+        b.iter(|| {
+            let mut store = bsbm_store.clone();
+            let stats = InferrayReasoner::new(Fragment::RdfsDefault).materialize(&mut store);
+            black_box(stats.output_triples)
+        })
+    });
+    group.bench_function(BenchmarkId::new("hash-join", "bsbm"), |b| {
+        b.iter(|| {
+            let mut store = bsbm_store.clone();
+            let stats = HashJoinReasoner::new(Fragment::RdfsDefault).materialize(&mut store);
+            black_box(stats.output_triples)
+        })
+    });
+    group.bench_function(BenchmarkId::new("naive-iterative", "bsbm"), |b| {
+        b.iter(|| {
+            let mut store = bsbm_store.clone();
+            let stats = NaiveIterativeReasoner::new(Fragment::RdfsDefault).materialize(&mut store);
+            black_box(stats.output_triples)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("inference/rdfs-plus-lubm20k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(lubm_store.len() as u64));
+    group.bench_function(BenchmarkId::new("inferray", "lubm"), |b| {
+        b.iter(|| {
+            let mut store = lubm_store.clone();
+            let stats = InferrayReasoner::new(Fragment::RdfsPlus).materialize(&mut store);
+            black_box(stats.output_triples)
+        })
+    });
+    group.bench_function(BenchmarkId::new("hash-join", "lubm"), |b| {
+        b.iter(|| {
+            let mut store = lubm_store.clone();
+            let stats = HashJoinReasoner::new(Fragment::RdfsPlus).materialize(&mut store);
+            black_box(stats.output_triples)
+        })
+    });
+    group.bench_function(BenchmarkId::new("naive-iterative", "lubm"), |b| {
+        b.iter(|| {
+            let mut store = lubm_store.clone();
+            let stats = NaiveIterativeReasoner::new(Fragment::RdfsPlus).materialize(&mut store);
+            black_box(stats.output_triples)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

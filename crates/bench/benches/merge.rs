@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks for the per-iteration property-table update
+//! (Figure 5): sort + dedup of the inferred pairs and the linear merge into
+//! the main table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inferray_store::{merge_new_pairs, PropertyTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_pairs(n: usize, range: u64, seed: u64) -> Vec<u64> {
+    let base = 1u64 << 32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..2 * n).map(|_| base + rng.gen_range(0..range)).collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5-merge");
+    group.sample_size(10);
+    for (main_size, inferred_size) in [(100_000usize, 10_000usize), (100_000, 100_000)] {
+        group.throughput(Throughput::Elements((main_size + inferred_size) as u64));
+        let main_pairs = random_pairs(main_size, 50_000, 1);
+        let inferred = random_pairs(inferred_size, 50_000, 2);
+        group.bench_function(
+            BenchmarkId::new("merge", format!("{main_size}+{inferred_size}")),
+            |b| {
+                b.iter(|| {
+                    let mut main = PropertyTable::from_pairs(main_pairs.clone());
+                    let (new, outcome) = merge_new_pairs(&mut main, inferred.clone());
+                    black_box((new.len(), outcome.new_pairs))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

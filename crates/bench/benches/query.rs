@@ -1,0 +1,104 @@
+//! Criterion benchmarks for the BGP query engine (extension; companion of
+//! the forward-vs-backward binary): point lookups, type scans and two-hop
+//! joins over a materialized store, plus the same type query answered by the
+//! backward chainer for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inferray_baselines::BackwardChainer;
+use inferray_core::InferrayReasoner;
+use inferray_dictionary::wellknown;
+use inferray_model::Graph;
+use inferray_parser::loader::load_graph;
+use inferray_query::QueryEngine;
+use inferray_rules::{Fragment, Materializer};
+use inferray_store::TriplePattern;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const PERSONS: usize = 4_000;
+const KNOWS_EDGES: usize = 12_000;
+
+fn person(i: usize) -> String {
+    format!("http://bench.example/person{i}")
+}
+
+/// A social-network-shaped dataset: a small class hierarchy, typed persons
+/// and a dense `knows` graph.
+fn social_graph() -> Graph {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut graph = Graph::new();
+    let rdf_type = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    let sub_class_of = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    graph.insert_iris("http://bench.example/Employee", sub_class_of, "http://bench.example/Person");
+    graph.insert_iris("http://bench.example/Manager", sub_class_of, "http://bench.example/Employee");
+    graph.insert_iris("http://bench.example/knows", "http://www.w3.org/2000/01/rdf-schema#domain", "http://bench.example/Person");
+    for i in 0..PERSONS {
+        let class = match i % 10 {
+            0 => "http://bench.example/Manager",
+            1..=4 => "http://bench.example/Employee",
+            _ => "http://bench.example/Person",
+        };
+        graph.insert_iris(person(i), rdf_type, class);
+    }
+    for _ in 0..KNOWS_EDGES {
+        let a = rng.gen_range(0..PERSONS);
+        let b = rng.gen_range(0..PERSONS);
+        graph.insert_iris(person(a), "http://bench.example/knows", person(b));
+    }
+    graph
+}
+
+fn bench_query(c: &mut Criterion) {
+    let graph = social_graph();
+    let mut dataset = load_graph(&graph).expect("valid graph");
+    let unmaterialized = dataset.store.clone();
+    InferrayReasoner::new(Fragment::RdfsDefault).materialize(&mut dataset.store);
+    dataset.store.ensure_all_os();
+    let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+
+    let ask = "PREFIX b: <http://bench.example/> ASK { b:person1 b:knows ?x }";
+    let type_scan =
+        "PREFIX b: <http://bench.example/> SELECT ?x WHERE { ?x a b:Person }";
+    let two_hop = "PREFIX b: <http://bench.example/> \
+                   SELECT ?a ?c WHERE { ?a b:knows ?b . ?b b:knows ?c . ?a a b:Manager }";
+
+    let mut group = c.benchmark_group("query/materialized");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(dataset.store.len() as u64));
+    group.bench_function(BenchmarkId::new("ask", "point"), |b| {
+        b.iter(|| black_box(engine.ask_sparql(ask).unwrap()))
+    });
+    group.bench_function(BenchmarkId::new("select", "type-scan"), |b| {
+        b.iter(|| black_box(engine.execute_sparql(type_scan).unwrap().len()))
+    });
+    group.bench_function(BenchmarkId::new("select", "two-hop-join"), |b| {
+        b.iter(|| black_box(engine.execute_sparql(two_hop).unwrap().len()))
+    });
+    group.finish();
+
+    // The same instance-type workload, forward (materialized lookup) vs
+    // backward (query-time rewriting) — the micro version of the
+    // backward_vs_forward binary.
+    let person_class = dataset
+        .dictionary
+        .id_of_iri("http://bench.example/Person")
+        .expect("class is in the dictionary");
+    let pattern = TriplePattern::any()
+        .with_p(wellknown::RDF_TYPE)
+        .with_o(person_class);
+    let chainer = BackwardChainer::new(&unmaterialized);
+
+    let mut group = c.benchmark_group("query/type-of-person");
+    group.sample_size(20);
+    group.bench_function("forward-lookup", |b| {
+        b.iter(|| black_box(dataset.store.match_pattern(pattern).len()))
+    });
+    group.bench_function("backward-rewrite", |b| {
+        b.iter(|| black_box(chainer.match_pattern(pattern).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the pair-sorting kernels (Table 1 /
+//! section 5 of the paper): counting sort, adaptive MSD radix and the
+//! generic baselines, in the dense and sparse operating regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inferray_sort::baseline::{merge_sort_pairs, quick_sort_pairs, std_sort_pairs};
+use inferray_sort::{counting_sort_pairs, msda_radix_sort_pairs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_pairs(n: usize, range: u64, seed: u64) -> Vec<u64> {
+    let base = 1u64 << 32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..2 * n).map(|_| base + rng.gen_range(0..range)).collect()
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    // Dense regime (size > range): counting sort's home turf.
+    // Sparse regime (range > size): the radix kernel's home turf.
+    let cases = [
+        ("dense", 200_000usize, 20_000u64),
+        ("sparse", 50_000usize, 10_000_000u64),
+    ];
+    for (regime, size, range) in cases {
+        let mut group = c.benchmark_group(format!("sort-pairs/{regime}"));
+        group.throughput(Throughput::Elements(size as u64));
+        group.sample_size(10);
+        let input = random_pairs(size, range, 99);
+
+        group.bench_function(BenchmarkId::new("counting", size), |b| {
+            b.iter(|| {
+                let mut data = input.clone();
+                counting_sort_pairs(black_box(&mut data));
+                black_box(data.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("msda-radix", size), |b| {
+            b.iter(|| {
+                let mut data = input.clone();
+                msda_radix_sort_pairs(black_box(&mut data));
+                black_box(data.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("std-pdqsort", size), |b| {
+            b.iter(|| {
+                let mut data = input.clone();
+                std_sort_pairs(black_box(&mut data));
+                black_box(data.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("mergesort", size), |b| {
+            b.iter(|| {
+                let mut data = input.clone();
+                merge_sort_pairs(black_box(&mut data));
+                black_box(data.len())
+            })
+        });
+        group.bench_function(BenchmarkId::new("quicksort", size), |b| {
+            b.iter(|| {
+                let mut data = input.clone();
+                quick_sort_pairs(black_box(&mut data));
+                black_box(data.len())
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_sorting);
+criterion_main!(benches);

@@ -1,0 +1,166 @@
+//! Forward-chaining (materialize once, query cheap) versus backward-chaining
+//! (no setup, every query pays for inference) — the trade-off of §1
+//! (extension; not a paper table).
+//!
+//! For each dataset the harness answers the same batch of instance-type
+//! queries (`⟨x, rdf:type, ?⟩` for a sample of instances) two ways:
+//!
+//! * **forward** — materialize the ρdf closure with Inferray, then answer
+//!   every query with a pattern lookup over the sorted property tables;
+//! * **backward** — compile only the schema hierarchies (`BackwardChainer`)
+//!   and rewrite every query at evaluation time.
+//!
+//! The last column reports the break-even batch size: how many queries a
+//! workload must issue before paying the materialization cost up front
+//! becomes cheaper than rewriting each query.
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin backward_vs_forward [--scale N]
+//! ```
+
+use inferray_baselines::BackwardChainer;
+use inferray_bench::{fmt_ms, print_table, ScaleConfig};
+use inferray_core::{InferrayReasoner, Materializer};
+use inferray_datasets::{subclass_chain, BsbmGenerator, Dataset, LubmGenerator};
+use inferray_dictionary::wellknown;
+use inferray_parser::loader::load_triples;
+use inferray_rules::Fragment;
+use inferray_store::{TriplePattern, TripleStore};
+use std::time::Instant;
+
+/// How many instance-type queries each strategy answers per dataset.
+const QUERY_BATCH: usize = 500;
+
+fn datasets(scale: &ScaleConfig) -> Vec<Dataset> {
+    let chain_length = scale.chain(1_000);
+    vec![
+        Dataset::new(format!("chain-{chain_length}"), subclass_chain(chain_length)),
+        BsbmGenerator::new(scale.triples(5_000_000)).generate(),
+        LubmGenerator::new(scale.triples(5_000_000)).generate(),
+    ]
+}
+
+/// The query workload: one `⟨x, rdf:type, ?⟩` pattern per sampled subject.
+fn query_subjects(store: &TripleStore) -> Vec<u64> {
+    let mut subjects: Vec<u64> = match store.table(wellknown::RDF_TYPE) {
+        Some(table) => table.iter_pairs().map(|(s, _)| s).collect(),
+        None => Vec::new(),
+    };
+    if subjects.is_empty() {
+        // Chains have no rdf:type triples; query the class hierarchy instead.
+        subjects = store
+            .table(wellknown::RDFS_SUB_CLASS_OF)
+            .map(|t| t.iter_pairs().map(|(s, _)| s).collect())
+            .unwrap_or_default();
+    }
+    subjects.sort_unstable();
+    subjects.dedup();
+    subjects.truncate(QUERY_BATCH);
+    subjects
+}
+
+fn pattern_for(store: &TripleStore, subject: u64) -> TriplePattern {
+    if store.table(wellknown::RDF_TYPE).is_some_and(|t| !t.is_empty()) {
+        TriplePattern::any().with_p(wellknown::RDF_TYPE).with_s(subject)
+    } else {
+        TriplePattern::any()
+            .with_p(wellknown::RDFS_SUB_CLASS_OF)
+            .with_s(subject)
+    }
+}
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    println!("Forward vs backward chaining — ρdf instance-type queries");
+    println!(
+        "(paper dataset sizes divided by {}, {} queries per dataset)",
+        scale.divisor, QUERY_BATCH
+    );
+
+    let header = vec![
+        "dataset",
+        "strategy",
+        "setup ms",
+        "queries",
+        "answers",
+        "query ms",
+        "us/query",
+        "break-even #queries",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for dataset in datasets(&scale) {
+        let loaded = load_triples(dataset.triples.iter()).expect("generated datasets are valid");
+        let base_store = loaded.store;
+        let subjects = query_subjects(&base_store);
+
+        // Forward: materialize once, then cheap lookups.
+        let mut forward_store = base_store.clone();
+        let setup_start = Instant::now();
+        InferrayReasoner::new(Fragment::RhoDf).materialize(&mut forward_store);
+        forward_store.ensure_all_os();
+        let forward_setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+
+        let query_start = Instant::now();
+        let mut forward_answers = 0usize;
+        for &s in &subjects {
+            forward_answers += forward_store.match_pattern(pattern_for(&base_store, s)).len();
+        }
+        let forward_query_ms = query_start.elapsed().as_secs_f64() * 1e3;
+
+        // Backward: compile the schema, rewrite every query.
+        let setup_start = Instant::now();
+        let chainer = BackwardChainer::new(&base_store);
+        let backward_setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+
+        let query_start = Instant::now();
+        let mut backward_answers = 0usize;
+        for &s in &subjects {
+            backward_answers += chainer.match_pattern(pattern_for(&base_store, s)).len();
+        }
+        let backward_query_ms = query_start.elapsed().as_secs_f64() * 1e3;
+
+        assert_eq!(
+            forward_answers, backward_answers,
+            "strategies must return the same answers"
+        );
+
+        let per_query_forward = forward_query_ms / subjects.len().max(1) as f64;
+        let per_query_backward = backward_query_ms / subjects.len().max(1) as f64;
+        let break_even = if per_query_backward > per_query_forward {
+            let extra_setup = forward_setup_ms - backward_setup_ms;
+            format!("{:.0}", (extra_setup / (per_query_backward - per_query_forward)).max(0.0))
+        } else {
+            "never".to_string()
+        };
+
+        for (strategy, setup_ms, query_ms, answers, break_even_cell) in [
+            (
+                "forward (materialize + lookup)",
+                forward_setup_ms,
+                forward_query_ms,
+                forward_answers,
+                break_even.clone(),
+            ),
+            (
+                "backward (rewrite per query)",
+                backward_setup_ms,
+                backward_query_ms,
+                backward_answers,
+                "-".to_string(),
+            ),
+        ] {
+            rows.push(vec![
+                dataset.label.clone(),
+                strategy.to_string(),
+                fmt_ms(setup_ms),
+                subjects.len().to_string(),
+                answers.to_string(),
+                fmt_ms(query_ms),
+                format!("{:.1}", query_ms * 1e3 / subjects.len().max(1) as f64),
+                break_even_cell,
+            ]);
+        }
+    }
+    print_table("Forward vs backward chaining (ρdf)", &header, &rows);
+}

@@ -1,0 +1,51 @@
+//! Figure 8 — memory-access behaviour of the RDFS-Plus benchmark.
+//!
+//! Same substitution as Figure 7 (software access profile instead of
+//! hardware counters), measured on the LUBM-like and real-world-shaped
+//! datasets under the RDFS-Plus ruleset.
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin figure8 [--scale N] [--skip-naive]
+//! ```
+
+use inferray_bench::{print_table, reasoners_for, run_materializer, ScaleConfig};
+use inferray_datasets::{wikipedia_like, wordnet_like, yago_like, Dataset, LubmGenerator};
+use inferray_rules::Fragment;
+
+fn datasets(scale: &ScaleConfig) -> Vec<Dataset> {
+    let mut sets: Vec<Dataset> = [5_000_000usize, 10_000_000, 25_000_000]
+        .iter()
+        .map(|&paper| LubmGenerator::new(scale.triples(paper)).generate())
+        .collect();
+    sets.push(wikipedia_like(scale.triples(2_000_000) / 10, 31));
+    sets.push(yago_like(scale.triples(3_000_000) / 10, 12, 33));
+    sets.push(wordnet_like(scale.triples(1_000_000) / 500, 40, 37));
+    sets
+}
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    println!("Figure 8 — software memory-access profile, RDFS-Plus benchmark");
+    println!("(per inferred triple; paper dataset sizes divided by {})", scale.divisor);
+
+    let header = vec![
+        "dataset", "engine", "seq words/triple", "rand words/triple", "hash probes/triple", "alloc words/triple", "random %",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for dataset in datasets(&scale) {
+        for mut engine in reasoners_for(Fragment::RdfsPlus, scale.skip_naive) {
+            let result = run_materializer(engine.as_mut(), &dataset);
+            let per = result.stats.profile.per_triple(result.stats.inferred_triples());
+            rows.push(vec![
+                dataset.label.clone(),
+                result.engine.to_string(),
+                format!("{:.2}", per.sequential_words),
+                format!("{:.2}", per.random_words),
+                format!("{:.2}", per.hash_probes),
+                format!("{:.2}", per.allocated_words),
+                format!("{:.1}", result.stats.profile.random_fraction() * 100.0),
+            ]);
+        }
+    }
+    print_table("Figure 8 (software access profile)", &header, &rows);
+}

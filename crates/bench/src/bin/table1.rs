@@ -1,0 +1,108 @@
+//! Table 1 — sorting throughput (million pairs per second) of the counting
+//! and MSDA radix kernels against generic comparison sorts, over a grid of
+//! value ranges × collection sizes.
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin table1 [--scale N] [--crossover]
+//! ```
+//!
+//! The paper's grid spans 500 K – 50 M for both axes; the default scale
+//! divisor (20) brings that to 25 K – 2.5 M so the full grid completes in
+//! seconds. Pass `--crossover` to additionally print, for each range, the
+//! size at which counting sort overtakes the radix kernel (the §5.4
+//! operating-range analysis).
+
+use inferray_bench::{print_table, ScaleConfig};
+use inferray_sort::baseline::{merge_sort_pairs, quick_sort_pairs, std_sort_pairs};
+use inferray_sort::{counting_sort_pairs, msda_radix_sort_pairs, recommend_algorithm, Algorithm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Generates `n` pairs whose components are uniform in `[base, base+range)`,
+/// mimicking the dense-numbered identifiers the dictionary produces.
+fn random_pairs(n: usize, range: u64, seed: u64) -> Vec<u64> {
+    let base = 1u64 << 32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..2 * n).map(|_| base + rng.gen_range(0..range)).collect()
+}
+
+/// Million pairs sorted per second for one kernel on one input.
+fn throughput(pairs: &[u64], sorter: impl Fn(&mut Vec<u64>)) -> f64 {
+    let mut data = pairs.to_vec();
+    let start = Instant::now();
+    sorter(&mut data);
+    let elapsed = start.elapsed().as_secs_f64();
+    (pairs.len() as f64 / 2.0) / elapsed / 1.0e6
+}
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    let crossover = std::env::args().any(|a| a == "--crossover");
+
+    // Paper grid: ranges and sizes from 500 K to 50 M.
+    let paper_points = [500_000usize, 1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000];
+    let ranges: Vec<usize> = paper_points.iter().map(|&p| scale.triples(p)).collect();
+    let sizes: Vec<usize> = ranges.clone();
+
+    println!("Table 1 — pair-sorting throughput in million pairs/second");
+    println!("(paper sizes divided by {}; entropy = log2(range))", scale.divisor);
+
+    let header: Vec<String> = std::iter::once("range (entropy)".to_string())
+        .chain(std::iter::once("algorithm".to_string()))
+        .chain(sizes.iter().map(|s| format!("{}K", s / 1000)))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &range in &ranges {
+        let entropy = (range as f64).log2();
+        for (name, sorter) in [
+            ("Counting", &counting_sort_pairs as &dyn Fn(&mut Vec<u64>)),
+            ("MSDA Radix", &(|v: &mut Vec<u64>| msda_radix_sort_pairs(v))),
+        ] {
+            let mut row = vec![format!("{}K ({entropy:.1})", range / 1000), name.to_string()];
+            for &size in &sizes {
+                let pairs = random_pairs(size, range as u64, 42);
+                row.push(format!("{:.1}", throughput(&pairs, sorter)));
+            }
+            rows.push(row);
+        }
+    }
+    // Generic baselines (entropy-independent, one row each as in the paper).
+    for (name, sorter) in [
+        ("std pdqsort", &(|v: &mut Vec<u64>| std_sort_pairs(v)) as &dyn Fn(&mut Vec<u64>)),
+        ("Mergesort", &(|v: &mut Vec<u64>| merge_sort_pairs(v))),
+        ("Quicksort", &(|v: &mut Vec<u64>| quick_sort_pairs(v))),
+    ] {
+        let mut row = vec!["generic".to_string(), name.to_string()];
+        for &size in &sizes {
+            let pairs = random_pairs(size, size as u64, 7);
+            row.push(format!("{:.1}", throughput(&pairs, sorter)));
+        }
+        rows.push(row);
+    }
+    print_table("Table 1 (pairs/s in millions)", &header_refs, &rows);
+
+    if crossover {
+        println!("\nOperating-range rule of thumb (§5.4): counting when size ≥ range");
+        for &range in &ranges {
+            for &size in &sizes {
+                let predicted = recommend_algorithm(size, range as u64);
+                let counting = throughput(&random_pairs(size, range as u64, 1), &counting_sort_pairs);
+                let radix = throughput(&random_pairs(size, range as u64, 1), &|v: &mut Vec<u64>| {
+                    msda_radix_sort_pairs(v)
+                });
+                let actual = if counting >= radix {
+                    Algorithm::Counting
+                } else {
+                    Algorithm::MsdaRadix
+                };
+                println!(
+                    "range={:>9} size={:>9}  predicted={:<10} measured-winner={:<10} ({:.1} vs {:.1} M pairs/s)",
+                    range, size, predicted.to_string(), actual.to_string(), counting, radix
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Table 2 — inference time (milliseconds) for the RDFS flavours (ρdf,
+//! RDFS-default, RDFS-Full) on BSBM-like synthetic datasets and on the
+//! real-world-shaped taxonomies, for each reasoner.
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin table2 [--scale N] [--skip-naive]
+//! ```
+
+use inferray_bench::{fmt_ms, print_table, reasoners_for, run_materializer, ScaleConfig};
+use inferray_datasets::{wikipedia_like, wordnet_like, yago_like, BsbmGenerator, Dataset};
+use inferray_rules::Fragment;
+
+fn datasets(scale: &ScaleConfig) -> Vec<(&'static str, Dataset)> {
+    // Paper sizes: BSBM 1M / 5M / 10M / 25M / 50M, plus Wikipedia, Yago,
+    // WordNet.
+    let mut sets = Vec::new();
+    for paper_size in [1_000_000usize, 5_000_000, 10_000_000, 25_000_000] {
+        let size = scale.triples(paper_size);
+        sets.push((
+            "synthetic",
+            BsbmGenerator::new(size).generate(),
+        ));
+    }
+    sets.push(("real-world", wikipedia_like(scale.triples(2_000_000) / 10, 11)));
+    sets.push(("real-world", yago_like(scale.triples(3_000_000) / 10, 12, 13)));
+    sets.push(("real-world", wordnet_like(scale.triples(1_000_000) / 500, 40, 17)));
+    sets
+}
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    println!("Table 2 — RDFS flavours, execution time in milliseconds");
+    println!("(paper dataset sizes divided by {})", scale.divisor);
+
+    let fragments = [
+        ("rho-df", Fragment::RhoDf),
+        ("RDFS-default", Fragment::RdfsDefault),
+        ("RDFS-Full", Fragment::RdfsFull),
+    ];
+
+    let mut header = vec!["type", "dataset", "fragment"];
+    let engine_names = inferray_bench::reasoner_names(scale.skip_naive);
+    header.extend(engine_names.iter());
+    header.push("inferred");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (kind, dataset) in datasets(&scale) {
+        for (fragment_name, fragment) in fragments {
+            let mut row = vec![
+                kind.to_string(),
+                dataset.label.clone(),
+                fragment_name.to_string(),
+            ];
+            let mut inferred = 0usize;
+            for mut engine in reasoners_for(fragment, scale.skip_naive) {
+                let result = run_materializer(engine.as_mut(), &dataset);
+                row.push(fmt_ms(result.inference_ms));
+                inferred = result.stats.inferred_triples();
+            }
+            row.push(inferred.to_string());
+            rows.push(row);
+        }
+    }
+    print_table("Table 2 (ms)", &header, &rows);
+}

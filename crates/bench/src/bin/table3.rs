@@ -1,0 +1,59 @@
+//! Table 3 — RDFS-Plus inference time (milliseconds) on LUBM-like synthetic
+//! datasets and on the real-world-shaped taxonomies, for each reasoner.
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin table3 [--scale N] [--skip-naive]
+//! ```
+
+use inferray_bench::{fmt_ms, print_table, reasoners_for, run_materializer, ScaleConfig};
+use inferray_datasets::{wikipedia_like, wordnet_like, yago_like, Dataset, LubmGenerator};
+use inferray_rules::Fragment;
+
+fn datasets(scale: &ScaleConfig) -> Vec<(&'static str, Dataset)> {
+    // Paper sizes: LUBM 1M .. 100M, plus Wikipedia, Yago, WordNet.
+    let mut sets = Vec::new();
+    for paper_size in [
+        1_000_000usize,
+        5_000_000,
+        10_000_000,
+        25_000_000,
+        50_000_000,
+        100_000_000,
+    ] {
+        let size = scale.triples(paper_size);
+        sets.push(("synthetic", LubmGenerator::new(size).generate()));
+    }
+    sets.push(("real-world", wikipedia_like(scale.triples(2_000_000) / 10, 21)));
+    sets.push(("real-world", yago_like(scale.triples(3_000_000) / 10, 12, 23)));
+    sets.push(("real-world", wordnet_like(scale.triples(1_000_000) / 500, 40, 27)));
+    sets
+}
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    println!("Table 3 — RDFS-Plus, execution time in milliseconds");
+    println!("(paper dataset sizes divided by {})", scale.divisor);
+
+    let mut header = vec!["type", "dataset", "fragment"];
+    let engine_names = inferray_bench::reasoner_names(scale.skip_naive);
+    header.extend(engine_names.iter());
+    header.push("inferred");
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (kind, dataset) in datasets(&scale) {
+        let mut row = vec![
+            kind.to_string(),
+            dataset.label.clone(),
+            "RDFS-Plus".to_string(),
+        ];
+        let mut inferred = 0usize;
+        for mut engine in reasoners_for(Fragment::RdfsPlus, scale.skip_naive) {
+            let result = run_materializer(engine.as_mut(), &dataset);
+            row.push(fmt_ms(result.inference_ms));
+            inferred = result.stats.inferred_triples();
+        }
+        row.push(inferred.to_string());
+        rows.push(row);
+    }
+    print_table("Table 3 (ms)", &header, &rows);
+}

@@ -1,0 +1,67 @@
+//! Table 4 — transitivity-closure time (milliseconds) on `rdfs:subClassOf`
+//! chains of increasing length, for each reasoner, plus the dedicated-stage
+//! ablation (Inferray with the up-front Nuutila stage disabled).
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin table4 [--scale N] [--skip-naive]
+//! ```
+//!
+//! The paper's chains go from 100 to 25,000 nodes (the longest closes to
+//! ~312 M triples and needs 16 GB); the scaled default covers 50 to 1,250
+//! nodes, which already separates the approaches by orders of magnitude.
+
+use inferray_bench::{fmt_ms, print_table, run_materializer, ScaleConfig};
+use inferray_baselines::{HashJoinReasoner, NaiveIterativeReasoner};
+use inferray_core::{InferrayOptions, InferrayReasoner};
+use inferray_datasets::{chain, Dataset};
+use inferray_rules::{Fragment, Ruleset};
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    println!("Table 4 — transitivity closure of subClassOf chains, time in milliseconds");
+    println!("(paper chain lengths divided by {})", scale.divisor);
+
+    let paper_lengths = [100usize, 500, 1_000, 2_500, 5_000, 10_000, 25_000];
+    let lengths: Vec<usize> = paper_lengths.iter().map(|&l| scale.chain(l)).collect();
+
+    let mut header = vec!["chain length", "closure triples", "inferray", "inferray (no closure stage)", "hash-join"];
+    if !scale.skip_naive {
+        header.push("naive-iterative");
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &length in &lengths {
+        let dataset = Dataset::new(format!("chain-{length}"), chain::subclass_chain(length));
+        let expected = chain::closure_size(length);
+        let mut row = vec![length.to_string(), expected.to_string()];
+
+        // Inferray with the dedicated closure stage (the paper's system).
+        let mut inferray = InferrayReasoner::new(Fragment::RhoDf);
+        let result = run_materializer(&mut inferray, &dataset);
+        assert_eq!(result.output_triples, expected, "closure must be exact");
+        row.push(fmt_ms(result.inference_ms));
+
+        // Ablation: same engine, θ rules only inside the fixed point.
+        let mut ablated = InferrayReasoner::with_ruleset(
+            Ruleset::for_fragment(Fragment::RhoDf),
+            InferrayOptions::without_closure_stage(),
+        );
+        let result = run_materializer(&mut ablated, &dataset);
+        row.push(fmt_ms(result.inference_ms));
+
+        // Hash-join baseline (iterative rule application, RDFox-style).
+        let mut hash = HashJoinReasoner::new(Fragment::RhoDf);
+        let result = run_materializer(&mut hash, &dataset);
+        assert_eq!(result.output_triples, expected);
+        row.push(fmt_ms(result.inference_ms));
+
+        // Naive baseline (OWLIM-style full re-derivation).
+        if !scale.skip_naive {
+            let mut naive = NaiveIterativeReasoner::new(Fragment::RhoDf);
+            let result = run_materializer(&mut naive, &dataset);
+            row.push(fmt_ms(result.inference_ms));
+        }
+        rows.push(row);
+    }
+    print_table("Table 4 (ms)", &header, &rows);
+}

@@ -1,0 +1,128 @@
+//! Shared measurement plumbing for the table/figure binaries.
+
+use inferray_datasets::Dataset;
+use inferray_parser::loader::load_triples;
+use inferray_rules::{InferenceStats, Materializer};
+use inferray_store::TripleStore;
+use std::time::Instant;
+
+/// One measured cell of a benchmark table.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Engine name (`"inferray"`, `"hash-join"`, `"naive-iterative"`).
+    pub engine: &'static str,
+    /// Dataset label.
+    pub dataset: String,
+    /// Triples before inference.
+    pub input_triples: usize,
+    /// Triples after inference.
+    pub output_triples: usize,
+    /// Wall-clock inference time in milliseconds (loading excluded, as in
+    /// the paper's methodology).
+    pub inference_ms: f64,
+    /// Loading + dictionary-encoding time in milliseconds (reported
+    /// separately, mirroring the paper's import/materialisation split).
+    pub load_ms: f64,
+    /// Full statistics of the run.
+    pub stats: InferenceStats,
+}
+
+impl BenchResult {
+    /// Inference throughput in million triples inferred per second.
+    pub fn mtriples_per_second(&self) -> f64 {
+        self.stats.triples_per_second() / 1.0e6
+    }
+}
+
+/// Encodes a dataset into a fresh store (timed separately) and runs one
+/// engine over it.
+pub fn run_materializer(engine: &mut dyn Materializer, dataset: &Dataset) -> BenchResult {
+    let load_start = Instant::now();
+    let loaded = load_triples(dataset.triples.iter()).expect("generated datasets are valid");
+    let load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut store: TripleStore = loaded.store;
+    let input_triples = store.len();
+    let stats = engine.materialize(&mut store);
+
+    BenchResult {
+        engine: engine.name(),
+        dataset: dataset.label.clone(),
+        input_triples,
+        output_triples: store.len(),
+        inference_ms: stats.duration.as_secs_f64() * 1e3,
+        load_ms,
+        stats,
+    }
+}
+
+/// Prints a header + rows as an aligned plain-text table (the binaries'
+/// output format).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        render(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", render(row));
+    }
+}
+
+/// Formats milliseconds with a sensible precision for table cells.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms < 10.0 {
+        format!("{ms:.2}")
+    } else if ms < 1000.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_core::InferrayReasoner;
+    use inferray_datasets::subclass_chain;
+    use inferray_rules::Fragment;
+
+    #[test]
+    fn run_materializer_reports_consistent_counts() {
+        let dataset = Dataset::new("chain-20", subclass_chain(20));
+        let mut engine = InferrayReasoner::new(Fragment::RhoDf);
+        let result = run_materializer(&mut engine, &dataset);
+        assert_eq!(result.engine, "inferray");
+        assert_eq!(result.input_triples, 19);
+        assert_eq!(result.output_triples, 20 * 19 / 2);
+        assert!(result.inference_ms >= 0.0);
+        assert!(result.load_ms >= 0.0);
+        assert_eq!(
+            result.stats.inferred_triples(),
+            result.output_triples - result.input_triples
+        );
+    }
+
+    #[test]
+    fn fmt_ms_precision() {
+        assert_eq!(fmt_ms(1.234), "1.23");
+        assert_eq!(fmt_ms(56.78), "56.8");
+        assert_eq!(fmt_ms(1234.6), "1235");
+    }
+}

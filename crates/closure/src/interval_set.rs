@@ -1,0 +1,294 @@
+//! Sets of `u32` values stored as sorted, disjoint, inclusive intervals.
+//!
+//! Cotton's implementation of Nuutila's algorithm (which the paper adopts)
+//! stores each component's reachable set "as sets of intervals. This
+//! structure is compact and is likely to be smaller than the expected
+//! quadratic size." Reachable sets of a DAG processed in reverse topological
+//! order tend to be contiguous runs of component indices, so a handful of
+//! intervals usually covers millions of reachable nodes.
+
+/// A set of `u32` values represented as sorted, disjoint, inclusive
+/// `[start, end]` intervals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    runs: Vec<(u32, u32)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IntervalSet { runs: Vec::new() }
+    }
+
+    /// Creates a set holding the single value `v`.
+    pub fn singleton(v: u32) -> Self {
+        IntervalSet { runs: vec![(v, v)] }
+    }
+
+    /// Creates a set from an inclusive range.
+    ///
+    /// # Panics
+    /// Panics if `start > end`.
+    pub fn from_range(start: u32, end: u32) -> Self {
+        assert!(start <= end, "invalid interval [{start}, {end}]");
+        IntervalSet {
+            runs: vec![(start, end)],
+        }
+    }
+
+    /// Builds a set from arbitrary values.
+    pub fn from_values(values: impl IntoIterator<Item = u32>) -> Self {
+        let mut sorted: Vec<u32> = values.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut set = IntervalSet::new();
+        for v in sorted {
+            set.push_back(v);
+        }
+        set
+    }
+
+    /// Number of stored intervals (not values).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of values in the set.
+    pub fn len(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|&(s, e)| (e - s) as usize + 1)
+            .sum()
+    }
+
+    /// `true` when the set holds no value.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Membership test (binary search over the runs).
+    pub fn contains(&self, v: u32) -> bool {
+        self.runs
+            .binary_search_by(|&(s, e)| {
+                if v < s {
+                    std::cmp::Ordering::Greater
+                } else if v > e {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Appends a value known to be `>=` every value already present,
+    /// coalescing with the last run when adjacent. O(1).
+    ///
+    /// # Panics
+    /// Debug-asserts the monotonicity precondition.
+    pub fn push_back(&mut self, v: u32) {
+        if let Some(&mut (_, ref mut end)) = self.runs.last_mut() {
+            debug_assert!(v >= *end || v + 1 >= *end, "push_back out of order");
+            if v <= *end {
+                return;
+            }
+            if v == *end + 1 {
+                *end = v;
+                return;
+            }
+        }
+        self.runs.push((v, v));
+    }
+
+    /// Inserts an arbitrary value, keeping the runs sorted, disjoint and
+    /// coalesced.
+    pub fn insert(&mut self, v: u32) {
+        if self.contains(v) {
+            return;
+        }
+        let merged = Self::union_runs(&self.runs, &[(v, v)]);
+        self.runs = merged;
+    }
+
+    /// Unions `other` into `self` (the Nuutila reachable-set merge).
+    pub fn union_in_place(&mut self, other: &IntervalSet) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.runs = other.runs.clone();
+            return;
+        }
+        self.runs = Self::union_runs(&self.runs, &other.runs);
+    }
+
+    /// Returns the union of two sets.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = self.clone();
+        out.union_in_place(other);
+        out
+    }
+
+    /// Iterates over every value of the set in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.runs.iter().flat_map(|&(s, e)| s..=e)
+    }
+
+    /// Iterates over the runs (inclusive bounds) in ascending order.
+    pub fn runs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.runs.iter().copied()
+    }
+
+    /// Linear-time merge of two sorted disjoint run lists, coalescing
+    /// touching or overlapping runs.
+    fn union_runs(a: &[(u32, u32)], b: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let push = |run: (u32, u32), out: &mut Vec<(u32, u32)>| {
+            if let Some(last) = out.last_mut() {
+                // Coalesce when overlapping or adjacent.
+                if run.0 <= last.1.saturating_add(1) {
+                    last.1 = last.1.max(run.1);
+                    return;
+                }
+            }
+            out.push(run);
+        };
+        while i < a.len() && j < b.len() {
+            if a[i].0 <= b[j].0 {
+                push(a[i], &mut out);
+                i += 1;
+            } else {
+                push(b[j], &mut out);
+                j += 1;
+            }
+        }
+        while i < a.len() {
+            push(a[i], &mut out);
+            i += 1;
+        }
+        while j < b.len() {
+            push(b[j], &mut out);
+            j += 1;
+        }
+        out
+    }
+}
+
+impl FromIterator<u32> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        IntervalSet::from_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn empty_set() {
+        let s = IntervalSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn consecutive_values_coalesce_into_one_run() {
+        let s = IntervalSet::from_values(0..1000);
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(0));
+        assert!(s.contains(999));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn from_values_with_gaps_and_duplicates() {
+        let s = IntervalSet::from_values([5u32, 1, 2, 2, 3, 9, 10, 1]);
+        assert_eq!(s.run_count(), 3); // [1,3] [5,5] [9,10]
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2, 3, 5, 9, 10]);
+    }
+
+    #[test]
+    fn push_back_is_idempotent_for_repeats() {
+        let mut s = IntervalSet::new();
+        s.push_back(4);
+        s.push_back(4);
+        s.push_back(5);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.run_count(), 1);
+    }
+
+    #[test]
+    fn insert_arbitrary_order() {
+        let mut s = IntervalSet::new();
+        for v in [10u32, 2, 4, 3, 11, 0] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 3, 4, 10, 11]);
+        assert_eq!(s.run_count(), 3);
+    }
+
+    #[test]
+    fn union_overlapping_adjacent_and_disjoint() {
+        let a = IntervalSet::from_range(0, 5);
+        let b = IntervalSet::from_range(6, 9); // adjacent → coalesce
+        let c = IntervalSet::from_range(3, 7); // overlapping
+        let d = IntervalSet::from_range(20, 22); // disjoint
+        let ab = a.union(&b);
+        assert_eq!(ab.run_count(), 1);
+        assert_eq!(ab.len(), 10);
+        let abc = ab.union(&c);
+        assert_eq!(abc.run_count(), 1);
+        let abcd = abc.union(&d);
+        assert_eq!(abcd.run_count(), 2);
+        assert_eq!(abcd.len(), 13);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = IntervalSet::from_values([1u32, 5, 6]);
+        assert_eq!(a.union(&IntervalSet::new()), a);
+        assert_eq!(IntervalSet::new().union(&a), a);
+    }
+
+    #[test]
+    fn singleton_and_range_constructors() {
+        assert_eq!(IntervalSet::singleton(7).iter().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(IntervalSet::from_range(3, 3).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn invalid_range_panics() {
+        IntervalSet::from_range(5, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_equals_set_union(
+            a in proptest::collection::btree_set(0u32..500, 0..100),
+            b in proptest::collection::btree_set(0u32..500, 0..100),
+        ) {
+            let ia = IntervalSet::from_values(a.iter().copied());
+            let ib = IntervalSet::from_values(b.iter().copied());
+            let expected: BTreeSet<u32> = a.union(&b).copied().collect();
+            let actual: Vec<u32> = ia.union(&ib).iter().collect();
+            prop_assert_eq!(actual, expected.into_iter().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn prop_membership_matches_btreeset(values in proptest::collection::btree_set(0u32..200, 0..80)) {
+            let set = IntervalSet::from_values(values.iter().copied());
+            prop_assert_eq!(set.len(), values.len());
+            for v in 0u32..200 {
+                prop_assert_eq!(set.contains(v), values.contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # inferray-closure
+//!
+//! Transitive closure of directed graphs, reproducing section 4.1 of the
+//! Inferray paper (Subercaze et al., VLDB 2016).
+//!
+//! The paper observes that computing transitive closures (of
+//! `rdfs:subClassOf`, `rdfs:subPropertyOf`, `owl:sameAs` and any property
+//! declared `owl:TransitiveProperty`) with iterative rule application is what
+//! kills fixed-point reasoners: every iteration re-derives a quadratic number
+//! of duplicates. Inferray instead translates the relevant property table
+//! into a dedicated graph layout *before* the rule loop and runs **Nuutila's
+//! algorithm**:
+//!
+//! 1. split the graph into weakly connected components (Union-Find) and
+//!    renumber the nodes of each component densely, so interval
+//!    representations stay compact ([`union_find`], [`graph`]);
+//! 2. detect strongly connected components (iterative Tarjan — emitted in
+//!    reverse topological order of the condensation) ([`scc`]);
+//! 3. walk the quotient DAG in that order, computing each component's
+//!    reachable set as the union of its successors' reachable sets, stored as
+//!    **sets of intervals** ([`interval_set`]) — compact and cheap to merge;
+//! 4. map the closure of the quotient graph back to the original nodes
+//!    ([`nuutila`]).
+//!
+//! [`naive`] contains two reference implementations: a BFS-per-node oracle
+//! used by the tests, and the semi-naive iterative fixed-point closure that
+//! stands in for the "apply the transitivity rule until nothing changes"
+//! strategy of the baseline reasoners (Table 4 of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod interval_set;
+pub mod naive;
+pub mod nuutila;
+pub mod scc;
+pub mod union_find;
+
+pub use interval_set::IntervalSet;
+pub use naive::{bfs_closure, iterative_closure};
+pub use nuutila::{transitive_closure, transitive_closure_new_pairs};
+pub use union_find::UnionFind;

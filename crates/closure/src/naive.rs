@@ -1,0 +1,200 @@
+//! Reference and baseline closure implementations.
+//!
+//! * [`bfs_closure`] — a per-node breadth-first search. Obviously correct,
+//!   quadratic; the test oracle for the Nuutila implementation.
+//! * [`iterative_closure`] — the strategy the paper argues *against*:
+//!   applying the transitivity rule (`x p y ∧ y p z → x p z`) as an ordinary
+//!   rule inside a fixed-point loop, de-duplicating with a hash set after
+//!   every iteration. This is how the baseline reasoners (and systems such as
+//!   OWLIM or WebPIE) handle transitivity, and it is what Table 4 compares
+//!   Inferray's dedicated closure stage against. The returned statistics
+//!   expose the duplicate explosion the paper describes.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Per-node BFS transitive closure. Output is sorted and duplicate-free and
+/// follows the same "path of one or more edges" semantics as
+/// [`crate::transitive_closure`].
+pub fn bfs_closure(edges: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut adjacency: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut nodes: Vec<u64> = Vec::new();
+    for &(s, o) in edges {
+        adjacency.entry(s).or_default().push(o);
+        nodes.push(s);
+        nodes.push(o);
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+
+    let mut result = Vec::new();
+    for &start in &nodes {
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut queue: VecDeque<u64> = VecDeque::new();
+        // Seed with the successors (paths of length ≥ 1, not 0).
+        if let Some(succ) = adjacency.get(&start) {
+            for &v in succ {
+                if visited.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            if let Some(succ) = adjacency.get(&v) {
+                for &w in succ {
+                    if visited.insert(w) {
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        for v in visited {
+            result.push((start, v));
+        }
+    }
+    result.sort_unstable();
+    result.dedup();
+    result
+}
+
+/// Statistics of a run of [`iterative_closure`], used by the Table 4 /
+/// Figure 7 harness to report the cost of the naive strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IterativeClosureStats {
+    /// Number of fixed-point iterations executed.
+    pub iterations: usize,
+    /// Total pairs derived by the rule, *including* duplicates of already
+    /// known pairs (the quantity that explodes on long chains).
+    pub derived_including_duplicates: usize,
+    /// Number of derived pairs that turned out to be duplicates.
+    pub duplicates: usize,
+}
+
+/// Fixed-point transitive closure by iterative rule application
+/// (semi-naive: each iteration joins the newly derived pairs against the
+/// full relation on both sides), de-duplicating with a hash set.
+///
+/// Returns the closure (sorted, duplicate-free, same semantics as
+/// [`crate::transitive_closure`]) together with duplicate-generation
+/// statistics.
+pub fn iterative_closure(edges: &[(u64, u64)]) -> (Vec<(u64, u64)>, IterativeClosureStats) {
+    let mut stats = IterativeClosureStats::default();
+
+    let mut all: HashSet<(u64, u64)> = edges.iter().copied().collect();
+    let mut new: Vec<(u64, u64)> = all.iter().copied().collect();
+
+    while !new.is_empty() {
+        stats.iterations += 1;
+
+        // Index the full relation by subject and by object.
+        let mut by_subject: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut by_object: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(s, o) in &all {
+            by_subject.entry(s).or_default().push(o);
+            by_object.entry(o).or_default().push(s);
+        }
+
+        let mut derived: Vec<(u64, u64)> = Vec::new();
+        for &(x, y) in &new {
+            // (x, y) ∈ Δ, (y, z) ∈ T ⇒ (x, z)
+            if let Some(zs) = by_subject.get(&y) {
+                for &z in zs {
+                    derived.push((x, z));
+                }
+            }
+            // (w, x) ∈ T, (x, y) ∈ Δ ⇒ (w, y)
+            if let Some(ws) = by_object.get(&x) {
+                for &w in ws {
+                    derived.push((w, y));
+                }
+            }
+        }
+        stats.derived_including_duplicates += derived.len();
+
+        let mut next: Vec<(u64, u64)> = Vec::new();
+        for pair in derived {
+            if all.insert(pair) {
+                next.push(pair);
+            } else {
+                stats.duplicates += 1;
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        new = next;
+    }
+
+    let mut result: Vec<(u64, u64)> = all.into_iter().collect();
+    result.sort_unstable();
+    result.dedup();
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bfs_closure_on_chain() {
+        let closed = bfs_closure(&[(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(
+            closed,
+            vec![(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+        );
+    }
+
+    #[test]
+    fn bfs_closure_on_cycle_includes_reflexive_pairs() {
+        let closed = bfs_closure(&[(1, 2), (2, 1)]);
+        assert_eq!(closed, vec![(1, 1), (1, 2), (2, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn iterative_matches_bfs_on_small_graphs() {
+        let cases: Vec<Vec<(u64, u64)>> = vec![
+            vec![],
+            vec![(1, 2)],
+            vec![(1, 2), (2, 3), (3, 4), (4, 1)],
+            vec![(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)],
+            vec![(7, 7)],
+        ];
+        for edges in cases {
+            let (closed, _) = iterative_closure(&edges);
+            assert_eq!(closed, bfs_closure(&edges), "mismatch on {edges:?}");
+        }
+    }
+
+    #[test]
+    fn iterative_closure_reports_duplicate_explosion() {
+        // A 40-node chain: the naive strategy re-derives many known pairs.
+        let edges: Vec<(u64, u64)> = (0..40u64).map(|i| (i, i + 1)).collect();
+        let (closed, stats) = iterative_closure(&edges);
+        assert_eq!(closed.len(), (41 * 40) / 2);
+        assert!(stats.iterations >= 2);
+        assert!(
+            stats.duplicates > closed.len(),
+            "the naive strategy should generate more duplicates than results \
+             (got {} duplicates for {} results)",
+            stats.duplicates,
+            closed.len()
+        );
+    }
+
+    #[test]
+    fn iteration_count_grows_logarithmically_with_chain_length() {
+        // Semi-naive double-sided joins double the known path length each
+        // round, so a chain of 2^k needs about k iterations.
+        let edges: Vec<(u64, u64)> = (0..128u64).map(|i| (i, i + 1)).collect();
+        let (_, stats) = iterative_closure(&edges);
+        assert!(stats.iterations <= 10, "got {}", stats.iterations);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_iterative_matches_bfs(edges in proptest::collection::vec((0u64..12, 0u64..12), 0..30)) {
+            let (closed, _) = iterative_closure(&edges);
+            prop_assert_eq!(closed, bfs_closure(&edges));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Nuutila-style transitive closure with interval-set reachability.
+//!
+//! This is the closure pipeline of section 4.1 of the paper:
+//!
+//! 1. split the input edge list into weakly connected components
+//!    (Union-Find) and renumber the nodes of each component densely;
+//! 2. detect strongly connected components (Tarjan, which also yields the
+//!    reverse topological order of the condensation);
+//! 3. compute each component's reachable set as the union of its successors'
+//!    reachable sets, represented as [`IntervalSet`]s of component indices;
+//! 4. map the quotient-graph closure back to the original nodes.
+//!
+//! All steps other than the reachable-set unions are linear; the unions are
+//! cheap because reachable component indices form long runs under the
+//! reverse-topological numbering.
+
+use crate::graph::DenseGraph;
+use crate::interval_set::IntervalSet;
+use crate::scc::tarjan_scc;
+use crate::union_find::UnionFind;
+
+/// Computes the transitive closure of the directed graph given as
+/// `(source, target)` edges over arbitrary 64-bit identifiers.
+///
+/// The result contains every pair `(x, y)` such that `y` is reachable from
+/// `x` by a path of **one or more** edges — i.e. the input edges are part of
+/// the output. Nodes inside a cycle (or with a self-loop) reach themselves,
+/// so reflexive pairs appear exactly for those nodes, matching the semantics
+/// of applying `SCM-SCO` / `PRP-TRP` to a fixed-point. The output is sorted
+/// and duplicate-free.
+///
+/// ```
+/// use inferray_closure::transitive_closure;
+/// let closed = transitive_closure(&[(1, 2), (2, 3)]);
+/// assert_eq!(closed, vec![(1, 2), (1, 3), (2, 3)]);
+/// ```
+pub fn transitive_closure(edges: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    if edges.is_empty() {
+        return Vec::new();
+    }
+
+    // Step 1: weakly connected components over the full graph.
+    let global = DenseGraph::from_edges(edges);
+    let mut uf = UnionFind::new(global.node_count());
+    for (u, v) in global.edges() {
+        uf.union(u, v);
+    }
+
+    // Bucket edges by component root so each component is closed on its own
+    // small, densely renumbered graph.
+    let mut edges_by_root: Vec<Vec<(u64, u64)>> = vec![Vec::new(); global.node_count()];
+    for &(s, o) in edges {
+        let si = global.index_of(s).expect("source registered");
+        let root = uf.find(si) as usize;
+        edges_by_root[root].push((s, o));
+    }
+
+    let mut result = Vec::new();
+    for component_edges in edges_by_root.into_iter().filter(|e| !e.is_empty()) {
+        close_component(&component_edges, &mut result);
+    }
+    result.sort_unstable();
+    result.dedup();
+    result
+}
+
+/// Like [`transitive_closure`], but returns only the pairs **not** present in
+/// the input edge list — i.e. the triples the reasoner must add.
+pub fn transitive_closure_new_pairs(edges: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let closed = transitive_closure(edges);
+    let mut existing: Vec<(u64, u64)> = edges.to_vec();
+    existing.sort_unstable();
+    existing.dedup();
+    closed
+        .into_iter()
+        .filter(|pair| existing.binary_search(pair).is_err())
+        .collect()
+}
+
+/// Closes a single weakly connected component, appending its closure pairs
+/// (in original identifiers) to `out`.
+fn close_component(edges: &[(u64, u64)], out: &mut Vec<(u64, u64)>) {
+    let graph = DenseGraph::from_edges(edges);
+    let scc = tarjan_scc(&graph);
+    let ncomp = scc.component_count();
+
+    // Quotient graph: deduplicated inter-component successor lists, plus a
+    // flag for components that contain an internal edge (cycle or self-loop).
+    let mut quotient_succ: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
+    let mut has_internal_edge = vec![false; ncomp];
+    for (u, v) in graph.edges() {
+        let cu = scc.component_of[u as usize];
+        let cv = scc.component_of[v as usize];
+        if cu == cv {
+            has_internal_edge[cu as usize] = true;
+        } else {
+            quotient_succ[cu as usize].push(cv);
+        }
+    }
+    for succ in &mut quotient_succ {
+        succ.sort_unstable();
+        succ.dedup();
+    }
+
+    // Reachable sets over component indices, computed in index order —
+    // which is reverse topological order, so successors are always ready.
+    let mut reach: Vec<IntervalSet> = vec![IntervalSet::new(); ncomp];
+    for c in 0..ncomp {
+        // A component reaches itself when it is "non-trivial": more than one
+        // member, or a self-loop.
+        let non_trivial = scc.members[c].len() > 1 || has_internal_edge[c];
+        let mut set = IntervalSet::new();
+        for &succ in &quotient_succ[c] {
+            set.union_in_place(&reach[succ as usize]);
+            set.insert(succ);
+        }
+        if non_trivial {
+            set.insert(c as u32);
+        }
+        reach[c] = set;
+    }
+
+    // Expansion: every member of c reaches every member of every component
+    // in reach[c].
+    for c in 0..ncomp {
+        if reach[c].is_empty() {
+            continue;
+        }
+        for &u in &scc.members[c] {
+            let from = graph.label(u);
+            for d in reach[c].iter() {
+                for &v in &scc.members[d as usize] {
+                    out.push((from, graph.label(v)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::bfs_closure;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_input() {
+        assert!(transitive_closure(&[]).is_empty());
+        assert!(transitive_closure_new_pairs(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        assert_eq!(transitive_closure(&[(1, 2)]), vec![(1, 2)]);
+        assert!(transitive_closure_new_pairs(&[(1, 2)]).is_empty());
+    }
+
+    #[test]
+    fn chain_produces_quadratic_closure() {
+        // Chain of n nodes → n(n-1)/2 closure pairs.
+        let n = 50u64;
+        let edges: Vec<(u64, u64)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let closed = transitive_closure(&edges);
+        assert_eq!(closed.len(), (n * (n - 1) / 2) as usize);
+        assert!(closed.contains(&(0, n - 1)));
+        assert!(!closed.contains(&(n - 1, 0)));
+        // New pairs = closure minus the original n-1 edges.
+        let new = transitive_closure_new_pairs(&edges);
+        assert_eq!(new.len(), closed.len() - (n as usize - 1));
+    }
+
+    #[test]
+    fn paper_example_subclass_chain() {
+        // human ⊑ mammal ⊑ animal ⇒ human ⊑ animal is the only new pair.
+        let human = 100;
+        let mammal = 200;
+        let animal = 300;
+        let new = transitive_closure_new_pairs(&[(human, mammal), (mammal, animal)]);
+        assert_eq!(new, vec![(human, animal)]);
+    }
+
+    #[test]
+    fn cycle_members_reach_everything_including_themselves() {
+        let closed = transitive_closure(&[(1, 2), (2, 3), (3, 1)]);
+        // All 9 ordered pairs over {1,2,3}.
+        assert_eq!(closed.len(), 9);
+        assert!(closed.contains(&(1, 1)));
+        assert!(closed.contains(&(3, 2)));
+    }
+
+    #[test]
+    fn self_loop_only_adds_the_reflexive_pair() {
+        let closed = transitive_closure(&[(5, 5), (5, 6)]);
+        assert_eq!(closed, vec![(5, 5), (5, 6)]);
+    }
+
+    #[test]
+    fn acyclic_nodes_do_not_reach_themselves() {
+        let closed = transitive_closure(&[(1, 2), (2, 3)]);
+        assert!(!closed.iter().any(|&(a, b)| a == b));
+    }
+
+    #[test]
+    fn disjoint_components_are_closed_independently() {
+        let closed = transitive_closure(&[(1, 2), (2, 3), (10, 11), (11, 12)]);
+        assert!(closed.contains(&(1, 3)));
+        assert!(closed.contains(&(10, 12)));
+        assert!(!closed.contains(&(1, 12)));
+        assert_eq!(closed.len(), 6);
+    }
+
+    #[test]
+    fn diamond_dag() {
+        let closed = transitive_closure(&[(1, 2), (1, 3), (2, 4), (3, 4)]);
+        let expected: Vec<(u64, u64)> =
+            vec![(1, 2), (1, 3), (1, 4), (2, 4), (3, 4)];
+        assert_eq!(closed, expected);
+    }
+
+    #[test]
+    fn duplicate_input_edges_are_harmless() {
+        let closed = transitive_closure(&[(1, 2), (1, 2), (2, 3), (2, 3)]);
+        assert_eq!(closed, vec![(1, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn cycle_with_tail_matches_bfs_oracle() {
+        let edges = vec![(1u64, 2u64), (2, 3), (3, 1), (3, 4), (4, 5)];
+        assert_eq!(transitive_closure(&edges), bfs_closure(&edges));
+    }
+
+    #[test]
+    fn random_graphs_match_bfs_oracle() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..20 {
+            let n_nodes = rng.gen_range(2..30u64);
+            let n_edges = rng.gen_range(1..80usize);
+            let edges: Vec<(u64, u64)> = (0..n_edges)
+                .map(|_| (rng.gen_range(0..n_nodes), rng.gen_range(0..n_nodes)))
+                .collect();
+            assert_eq!(
+                transitive_closure(&edges),
+                bfs_closure(&edges),
+                "mismatch on {edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_chain_scales() {
+        let n = 2_000u64;
+        let edges: Vec<(u64, u64)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let closed = transitive_closure(&edges);
+        assert_eq!(closed.len(), (n * (n - 1) / 2) as usize);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_bfs_oracle(edges in proptest::collection::vec((0u64..20, 0u64..20), 0..60)) {
+            prop_assert_eq!(transitive_closure(&edges), bfs_closure(&edges));
+        }
+
+        #[test]
+        fn prop_closure_is_transitive(edges in proptest::collection::vec((0u64..15, 0u64..15), 0..40)) {
+            let closed = transitive_closure(&edges);
+            let set: std::collections::HashSet<(u64, u64)> = closed.iter().copied().collect();
+            for &(a, b) in &closed {
+                for &(c, d) in &closed {
+                    if b == c {
+                        prop_assert!(set.contains(&(a, d)), "missing ({a},{d})");
+                    }
+                }
+            }
+        }
+    }
+}

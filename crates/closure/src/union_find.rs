@@ -1,0 +1,159 @@
+//! Union-Find (disjoint-set forest) with path halving and union by size.
+//!
+//! Used to split the schema graph into weakly connected components before
+//! closure, "reducing sparsity" as the paper puts it: each component is
+//! renumbered densely so the interval sets of the Nuutila stage stay small.
+
+/// A disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the structure tracks no element.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently represented.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` when the two
+    /// were previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// `true` when `a` and `b` belong to the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn size_of(&mut self, x: u32) -> usize {
+        let root = self.find(x);
+        self.size[root as usize] as usize
+    }
+
+    /// Groups elements by representative, returning the members of each set.
+    /// Sets and members are in ascending order, so the output is
+    /// deterministic.
+    pub fn groups(&mut self) -> Vec<Vec<u32>> {
+        let n = self.len();
+        let mut by_root: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for x in 0..n as u32 {
+            let root = self.find(x);
+            by_root[root as usize].push(x);
+        }
+        by_root.into_iter().filter(|g| !g.is_empty()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.component_count(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.size_of(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(0, 2));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(1, 3));
+        assert!(!uf.connected(1, 4));
+        assert_eq!(uf.size_of(3), 4);
+    }
+
+    #[test]
+    fn groups_cover_all_elements_exactly_once() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 7);
+        uf.union(2, 4);
+        uf.union(4, 6);
+        let groups = uf.groups();
+        let mut all: Vec<u32> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+        assert_eq!(groups.len(), uf.component_count());
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+        assert!(uf.groups().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_component_count_matches_groups(ops in proptest::collection::vec((0u32..40, 0u32..40), 0..100)) {
+            let mut uf = UnionFind::new(40);
+            for (a, b) in ops {
+                uf.union(a, b);
+            }
+            prop_assert_eq!(uf.component_count(), uf.groups().len());
+            // connectivity is an equivalence: same group <=> connected
+            let groups = uf.groups();
+            for g in &groups {
+                for &x in g {
+                    prop_assert!(uf.connected(g[0], x));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Decoded-graph convenience API.
+//!
+//! The reasoner's native interface works on encoded triples, which is what
+//! benchmarks and embedders want. Examples and small applications usually
+//! start from a decoded [`Graph`] (or an N-Triples/Turtle document); this
+//! module wires the parser/loader, the reasoner and the dictionary decoding
+//! into one call.
+
+use crate::{InferrayOptions, InferrayReasoner};
+use inferray_model::Graph;
+use inferray_parser::loader::{load_graph, load_ntriples, load_turtle, LoadError};
+use inferray_rules::{Fragment, InferenceStats, Materializer};
+
+/// The result of reasoning over a decoded graph.
+#[derive(Debug, Clone)]
+pub struct ReasonedGraph {
+    /// The materialized graph: input triples plus every inferred triple.
+    pub graph: Graph,
+    /// Statistics of the run.
+    pub stats: InferenceStats,
+}
+
+impl ReasonedGraph {
+    /// The triples that were inferred (materialization minus input).
+    pub fn inferred(&self, input: &Graph) -> Graph {
+        self.graph.difference(input)
+    }
+}
+
+/// Materializes `fragment` over a decoded graph with default options.
+pub fn reason_graph(graph: &Graph, fragment: Fragment) -> Result<ReasonedGraph, LoadError> {
+    reason_graph_with_options(graph, fragment, InferrayOptions::default())
+}
+
+/// Materializes `fragment` over a decoded graph with explicit options.
+pub fn reason_graph_with_options(
+    graph: &Graph,
+    fragment: Fragment,
+    options: InferrayOptions,
+) -> Result<ReasonedGraph, LoadError> {
+    let loaded = load_graph(graph)?;
+    finish(loaded, fragment, options)
+}
+
+/// Parses an N-Triples document and materializes `fragment` over it.
+pub fn reason_ntriples(input: &str, fragment: Fragment) -> Result<ReasonedGraph, LoadError> {
+    let loaded = load_ntriples(input)?;
+    finish(loaded, fragment, InferrayOptions::default())
+}
+
+/// Parses a Turtle (subset) document and materializes `fragment` over it.
+pub fn reason_turtle(input: &str, fragment: Fragment) -> Result<ReasonedGraph, LoadError> {
+    let loaded = load_turtle(input)?;
+    finish(loaded, fragment, InferrayOptions::default())
+}
+
+fn finish(
+    loaded: inferray_parser::LoadedDataset,
+    fragment: Fragment,
+    options: InferrayOptions,
+) -> Result<ReasonedGraph, LoadError> {
+    let mut store = loaded.store;
+    let mut reasoner = InferrayReasoner::with_options(fragment, options);
+    let stats = reasoner.materialize(&mut store);
+    let mut graph = Graph::new();
+    for triple in store.iter_triples() {
+        if let Some(decoded) = loaded.dictionary.decode_triple(triple) {
+            graph.insert(decoded);
+        }
+    }
+    Ok(ReasonedGraph { graph, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_model::{vocab, Triple};
+
+    fn family() -> Graph {
+        let mut g = Graph::new();
+        g.insert_iris("http://ex/human", vocab::RDFS_SUB_CLASS_OF, "http://ex/mammal");
+        g.insert_iris("http://ex/mammal", vocab::RDFS_SUB_CLASS_OF, "http://ex/animal");
+        g.insert_iris("http://ex/Bart", vocab::RDF_TYPE, "http://ex/human");
+        g
+    }
+
+    #[test]
+    fn reason_graph_materializes_the_running_example() {
+        let input = family();
+        let result = reason_graph(&input, Fragment::RdfsDefault).unwrap();
+        assert_eq!(result.stats.inferred_triples(), 3);
+        assert!(result.graph.contains(&Triple::iris(
+            "http://ex/Bart",
+            vocab::RDF_TYPE,
+            "http://ex/animal"
+        )));
+        assert!(result.graph.contains(&Triple::iris(
+            "http://ex/human",
+            vocab::RDFS_SUB_CLASS_OF,
+            "http://ex/animal"
+        )));
+        // The input is preserved.
+        assert!(input.is_subset(&result.graph));
+        // inferred() returns exactly the difference.
+        assert_eq!(result.inferred(&input).len(), 3);
+    }
+
+    #[test]
+    fn reason_ntriples_and_turtle_agree() {
+        let nt = "\
+<http://ex/human> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://ex/mammal> .\n\
+<http://ex/Bart> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/human> .\n";
+        let ttl = r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://ex/> .
+ex:human rdfs:subClassOf ex:mammal .
+ex:Bart a ex:human .
+"#;
+        let from_nt = reason_ntriples(nt, Fragment::RdfsDefault).unwrap();
+        let from_ttl = reason_turtle(ttl, Fragment::RdfsDefault).unwrap();
+        assert_eq!(from_nt.graph, from_ttl.graph);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(reason_ntriples("<broken>", Fragment::RdfsDefault).is_err());
+    }
+
+    #[test]
+    fn empty_graph_reasons_to_empty_graph() {
+        let result = reason_graph(&Graph::new(), Fragment::RdfsPlus).unwrap();
+        assert!(result.graph.is_empty());
+        assert_eq!(result.stats.inferred_triples(), 0);
+    }
+}

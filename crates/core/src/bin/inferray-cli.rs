@@ -1,0 +1,168 @@
+//! `inferray-cli` — command-line materialization.
+//!
+//! Reads an RDF document (N-Triples by default, Turtle subset with
+//! `--format turtle`), materializes the requested entailment fragment with
+//! the Inferray reasoner, writes the materialization as N-Triples to standard
+//! output and a statistics summary to standard error.
+//!
+//! ```text
+//! inferray-cli [OPTIONS] [FILE]
+//!
+//! Options:
+//!   --fragment <rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full>   (default: rdfs)
+//!   --format   <ntriples|turtle>                                  (default: ntriples)
+//!   --inferred-only      only print the inferred triples
+//!   --sequential         disable the per-rule thread pool
+//!   --help
+//!
+//! FILE defaults to standard input.
+//! ```
+
+use inferray_core::{InferrayOptions, InferrayReasoner, Materializer};
+use inferray_parser::loader::{load_ntriples, load_turtle, LoadedDataset};
+use inferray_rules::Fragment;
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+struct CliOptions {
+    fragment: Fragment,
+    turtle: bool,
+    inferred_only: bool,
+    sequential: bool,
+    input: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: inferray-cli [--fragment rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full] \
+     [--format ntriples|turtle] [--inferred-only] [--sequential] [FILE]\n\
+     Reads RDF, materializes the fragment with Inferray, writes N-Triples to stdout."
+}
+
+fn parse_fragment(name: &str) -> Option<Fragment> {
+    match name.to_ascii_lowercase().as_str() {
+        "rho-df" | "rhodf" | "rho_df" => Some(Fragment::RhoDf),
+        "rdfs" | "rdfs-default" => Some(Fragment::RdfsDefault),
+        "rdfs-full" => Some(Fragment::RdfsFull),
+        "rdfs-plus" => Some(Fragment::RdfsPlus),
+        "rdfs-plus-full" => Some(Fragment::RdfsPlusFull),
+        _ => None,
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut options = CliOptions {
+        fragment: Fragment::RdfsDefault,
+        turtle: false,
+        inferred_only: false,
+        sequential: false,
+        input: None,
+    };
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => return Err(usage().to_string()),
+            "--fragment" => {
+                let value = args.get(i + 1).ok_or("--fragment needs a value")?;
+                options.fragment =
+                    parse_fragment(value).ok_or_else(|| format!("unknown fragment '{value}'"))?;
+                i += 1;
+            }
+            "--format" => {
+                let value = args.get(i + 1).ok_or("--format needs a value")?;
+                options.turtle = match value.as_str() {
+                    "turtle" | "ttl" => true,
+                    "ntriples" | "nt" => false,
+                    other => return Err(format!("unknown format '{other}'")),
+                };
+                i += 1;
+            }
+            "--inferred-only" => options.inferred_only = true,
+            "--sequential" => options.sequential = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
+            file => {
+                if options.input.is_some() {
+                    return Err("more than one input file given".to_string());
+                }
+                options.input = Some(file.to_string());
+            }
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+fn read_input(options: &CliOptions) -> Result<String, String> {
+    match &options.input {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}")),
+        None => {
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            Ok(buffer)
+        }
+    }
+}
+
+fn run(options: &CliOptions) -> Result<(), String> {
+    let text = read_input(options)?;
+    let loaded: LoadedDataset = if options.turtle {
+        load_turtle(&text).map_err(|e| e.to_string())?
+    } else {
+        load_ntriples(&text).map_err(|e| e.to_string())?
+    };
+
+    let reasoner_options = if options.sequential {
+        InferrayOptions::sequential()
+    } else {
+        InferrayOptions::default()
+    };
+    let mut reasoner = InferrayReasoner::with_options(options.fragment, reasoner_options);
+    let input_triples: std::collections::BTreeSet<_> = loaded.store.iter_triples().collect();
+    let mut store = loaded.store;
+    let stats = reasoner.materialize(&mut store);
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut written = 0usize;
+    for triple in store.iter_triples() {
+        if options.inferred_only && input_triples.contains(&triple) {
+            continue;
+        }
+        if let Some(decoded) = loaded.dictionary.decode_triple(triple) {
+            writeln!(out, "{decoded}").map_err(|e| e.to_string())?;
+            written += 1;
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "inferray: {} input triples, {} inferred, {} written, {} iterations, {:?} ({} fragment)",
+        stats.input_triples,
+        stats.inferred_triples(),
+        written,
+        stats.iterations,
+        stats.duration,
+        reasoner.ruleset().fragment,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("inferray-cli: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Tuning knobs of the reasoner.
+
+/// Options controlling an [`InferrayReasoner`](crate::InferrayReasoner) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferrayOptions {
+    /// Run the per-rule executors on dedicated threads (the paper's design;
+    /// §4.3 "each rule is executed on a dedicated thread"). Disable for
+    /// deterministic single-threaded profiling.
+    pub parallel: bool,
+    /// Hard cap on fixed-point iterations — a safety net against bugs, far
+    /// above what any supported ruleset needs (RDFS-Plus converges in a
+    /// handful of iterations).
+    pub max_iterations: usize,
+    /// Skip the dedicated up-front transitive-closure stage and rely solely
+    /// on the in-loop θ executors. Only used by the ablation benchmark that
+    /// quantifies the benefit of the dedicated stage (Table 4 discussion).
+    pub skip_closure_stage: bool,
+}
+
+impl Default for InferrayOptions {
+    fn default() -> Self {
+        InferrayOptions {
+            parallel: true,
+            max_iterations: 64,
+            skip_closure_stage: false,
+        }
+    }
+}
+
+impl InferrayOptions {
+    /// The default, parallel configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Single-threaded configuration (used by tests and profiling runs).
+    pub fn sequential() -> Self {
+        InferrayOptions {
+            parallel: false,
+            ..Self::default()
+        }
+    }
+
+    /// Configuration for the closure-stage ablation.
+    pub fn without_closure_stage() -> Self {
+        InferrayOptions {
+            skip_closure_stage: true,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let opts = InferrayOptions::default();
+        assert!(opts.parallel);
+        assert!(!opts.skip_closure_stage);
+        assert!(opts.max_iterations >= 16);
+    }
+
+    #[test]
+    fn presets() {
+        assert!(!InferrayOptions::sequential().parallel);
+        assert!(InferrayOptions::without_closure_stage().skip_closure_stage);
+        assert_eq!(InferrayOptions::new(), InferrayOptions::default());
+    }
+}

@@ -1,0 +1,439 @@
+//! The Inferray reasoner: Algorithm 1 of the paper.
+
+use crate::closure_stage::{run_closure_stage, ClosureStageStats};
+use crate::options::InferrayOptions;
+use inferray_rules::{
+    apply_rule, Fragment, InferenceStats, Materializer, RuleContext, RuleId, Ruleset,
+};
+use inferray_model::IdTriple;
+use inferray_store::{AccessProfile, InferredBuffer, TripleStore};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The forward-chaining, sort-merge-join, fixed-point reasoner.
+///
+/// ```
+/// use inferray_core::{Fragment, InferrayReasoner, Materializer, TripleStore};
+/// use inferray_dictionary::wellknown;
+/// use inferray_model::IdTriple;
+///
+/// // human ⊑ mammal ⊑ animal, Bart a human.
+/// let human = 5_000_000_001u64;
+/// let mammal = human + 1;
+/// let animal = human + 2;
+/// let bart = human + 3;
+/// let mut store = TripleStore::from_triples([
+///     IdTriple::new(human, wellknown::RDFS_SUB_CLASS_OF, mammal),
+///     IdTriple::new(mammal, wellknown::RDFS_SUB_CLASS_OF, animal),
+///     IdTriple::new(bart, wellknown::RDF_TYPE, human),
+/// ]);
+/// let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+/// let stats = reasoner.materialize(&mut store);
+/// assert_eq!(stats.inferred_triples(), 3); // human⊑animal, Bart a mammal, Bart a animal
+/// assert!(store.contains(&IdTriple::new(bart, wellknown::RDF_TYPE, animal)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InferrayReasoner {
+    ruleset: Ruleset,
+    options: InferrayOptions,
+    last_closure_stats: ClosureStageStats,
+}
+
+impl InferrayReasoner {
+    /// A reasoner for one of the standard fragments, with default options.
+    pub fn new(fragment: Fragment) -> Self {
+        Self::with_options(fragment, InferrayOptions::default())
+    }
+
+    /// A reasoner for a standard fragment with explicit options.
+    pub fn with_options(fragment: Fragment, options: InferrayOptions) -> Self {
+        Self::with_ruleset(Ruleset::for_fragment(fragment), options)
+    }
+
+    /// A reasoner over a custom ruleset (used by the ablation benchmarks).
+    pub fn with_ruleset(ruleset: Ruleset, options: InferrayOptions) -> Self {
+        InferrayReasoner {
+            ruleset,
+            options,
+            last_closure_stats: ClosureStageStats::default(),
+        }
+    }
+
+    /// The ruleset this reasoner applies.
+    pub fn ruleset(&self) -> &Ruleset {
+        &self.ruleset
+    }
+
+    /// The options this reasoner runs with.
+    pub fn options(&self) -> InferrayOptions {
+        self.options
+    }
+
+    /// Statistics of the closure stage of the most recent run.
+    pub fn last_closure_stats(&self) -> ClosureStageStats {
+        self.last_closure_stats
+    }
+
+    /// Applies every rule once over (`main`, `new`), returning the combined
+    /// inferred buffer. Each rule owns its buffer; with `parallel` enabled
+    /// each rule also runs on its own thread (§4.3).
+    fn fire_rules(&self, main: &TripleStore, new: &TripleStore) -> InferredBuffer {
+        let rules: Vec<RuleId> = self.ruleset.rules().to_vec();
+        let mut combined = InferredBuffer::new();
+        if self.options.parallel && rules.len() > 1 {
+            let buffers = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = rules
+                    .iter()
+                    .map(|&rule| {
+                        scope.spawn(move |_| {
+                            let ctx = RuleContext::new(main, new);
+                            let mut buffer = InferredBuffer::new();
+                            apply_rule(rule, &ctx, &mut buffer);
+                            buffer
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rule thread panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("rule scope panicked");
+            for buffer in buffers {
+                combined.absorb(buffer);
+            }
+        } else {
+            let ctx = RuleContext::new(main, new);
+            for rule in rules {
+                apply_rule(rule, &ctx, &mut combined);
+            }
+        }
+        combined
+    }
+
+    /// Incrementally maintains an **already materialized** store after new
+    /// triples are asserted.
+    ///
+    /// The paper notes that forward chaining "requires full materialization
+    /// after deletion" (§1) but additions do not: the fixed point can be
+    /// restarted with the delta as the semi-naive frontier. The dedicated
+    /// up-front closure stage is not re-run — new edges on transitive
+    /// properties are picked up by the in-loop θ executors, which re-close a
+    /// table only when it actually received pairs.
+    ///
+    /// The result is identical to re-materializing the extended input from
+    /// scratch (see the `incremental_maintenance` integration tests), at the
+    /// cost of work proportional to what the delta can newly derive.
+    ///
+    /// Returns the statistics of the incremental run; `input_triples` counts
+    /// the store *after* the delta was asserted, so
+    /// [`InferenceStats::inferred_triples`] is the number of triples the
+    /// delta caused to be derived.
+    pub fn materialize_delta(
+        &mut self,
+        store: &mut TripleStore,
+        delta: impl IntoIterator<Item = IdTriple>,
+    ) -> InferenceStats {
+        let start = Instant::now();
+        let mut profile = AccessProfile::default();
+        store.finalize();
+        self.last_closure_stats = ClosureStageStats::default();
+
+        // Group the delta by property and merge it into the store, keeping
+        // only the genuinely new pairs as the semi-naive frontier.
+        let mut by_property: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for triple in delta {
+            let pairs = by_property.entry(triple.p).or_default();
+            pairs.push(triple.s);
+            pairs.push(triple.o);
+        }
+        let mut new = TripleStore::new();
+        for (p, pairs) in by_property {
+            profile.sequential(pairs.len() as u64);
+            let (new_table, _) = store.merge_property(p, pairs);
+            if !new_table.is_empty() {
+                profile.allocate(2 * new_table.len() as u64);
+                new.replace_table_sorted(p, new_table.into_pairs());
+            }
+        }
+        let input_triples = store.len();
+
+        let outcome = if new.is_empty() {
+            FixedPointOutcome::default()
+        } else {
+            self.run_fixed_point(store, new, &mut profile)
+        };
+
+        InferenceStats {
+            input_triples,
+            output_triples: store.len(),
+            iterations: outcome.iterations,
+            derived_raw: outcome.derived_raw,
+            duplicates_removed: outcome.duplicates_removed,
+            duration: start.elapsed(),
+            profile,
+        }
+    }
+
+    /// The fixed-point loop of Algorithm 1 (lines 4–8), shared by the full
+    /// materialization and the incremental path.
+    fn run_fixed_point(
+        &self,
+        store: &mut TripleStore,
+        mut new: TripleStore,
+        profile: &mut AccessProfile,
+    ) -> FixedPointOutcome {
+        let mut outcome = FixedPointOutcome::default();
+        while !new.is_empty() && outcome.iterations < self.options.max_iterations {
+            outcome.iterations += 1;
+
+            // Pre-build the ⟨o,s⟩ caches so the parallel phase is read-only.
+            store.ensure_all_os();
+            new.ensure_all_os();
+            profile.sequential(2 * (store.len() + new.len()) as u64);
+
+            // Line 5: fire all rules.
+            let inferred = self.fire_rules(store, &new);
+            outcome.derived_raw += inferred.len();
+
+            // Lines 6-7: per-property sort + dedup + merge (Figure 5).
+            let mut next_new = TripleStore::new();
+            for (p, pairs) in inferred.into_iter_tables() {
+                profile.sequential(pairs.len() as u64);
+                let (new_table, merge) = store.merge_property(p, pairs);
+                profile.sequential(2 * (merge.inferred_raw + new_table.len()) as u64);
+                outcome.duplicates_removed +=
+                    merge.duplicates_within_inferred + merge.duplicates_against_main;
+                if !new_table.is_empty() {
+                    profile.allocate(2 * new_table.len() as u64);
+                    next_new.replace_table_sorted(p, new_table.into_pairs());
+                }
+            }
+            new = next_new;
+        }
+        outcome
+    }
+}
+
+/// Counters accumulated by one run of the fixed-point loop.
+#[derive(Debug, Clone, Copy, Default)]
+struct FixedPointOutcome {
+    iterations: usize,
+    derived_raw: usize,
+    duplicates_removed: usize,
+}
+
+impl Materializer for InferrayReasoner {
+    fn name(&self) -> &'static str {
+        "inferray"
+    }
+
+    fn materialize(&mut self, store: &mut TripleStore) -> InferenceStats {
+        let start = Instant::now();
+        let mut profile = AccessProfile::default();
+        store.finalize();
+        let input_triples = store.len();
+
+        // Step 1 (Algorithm 1, line 2): dedicated transitive-closure stage.
+        if !self.options.skip_closure_stage {
+            self.last_closure_stats =
+                run_closure_stage(store, self.ruleset.fragment, &mut profile);
+        } else {
+            self.last_closure_stats = ClosureStageStats::default();
+        }
+
+        // Step 2 (line 3): on the first iteration, new == main.
+        let new: TripleStore = store.clone();
+        profile.allocate(2 * new.len() as u64);
+
+        // Step 3 (lines 4-8): fixed point.
+        let outcome = self.run_fixed_point(store, new, &mut profile);
+
+        InferenceStats {
+            input_triples,
+            output_triples: store.len(),
+            iterations: outcome.iterations,
+            derived_raw: outcome.derived_raw,
+            duplicates_removed: outcome.duplicates_removed,
+            duration: start.elapsed(),
+            profile,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_dictionary::wellknown as wk;
+    use inferray_model::ids::nth_property_id;
+    use inferray_model::IdTriple;
+
+    fn store(triples: &[(u64, u64, u64)]) -> TripleStore {
+        TripleStore::from_triples(triples.iter().map(|&(s, p, o)| IdTriple::new(s, p, o)))
+    }
+
+    const HUMAN: u64 = 9_000_000;
+    const MAMMAL: u64 = 9_000_001;
+    const ANIMAL: u64 = 9_000_002;
+    const BART: u64 = 9_000_003;
+    const LISA: u64 = 9_000_004;
+
+    fn family_dataset() -> TripleStore {
+        store(&[
+            (HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL),
+            (MAMMAL, wk::RDFS_SUB_CLASS_OF, ANIMAL),
+            (BART, wk::RDF_TYPE, HUMAN),
+            (LISA, wk::RDF_TYPE, HUMAN),
+        ])
+    }
+
+    #[test]
+    fn paper_running_example_rdfs() {
+        let mut data = family_dataset();
+        let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+        let stats = reasoner.materialize(&mut data);
+        // Inferred: human⊑animal, and {Bart, Lisa} × {mammal, animal}.
+        assert_eq!(stats.inferred_triples(), 5);
+        assert!(data.contains(&IdTriple::new(BART, wk::RDF_TYPE, MAMMAL)));
+        assert!(data.contains(&IdTriple::new(BART, wk::RDF_TYPE, ANIMAL)));
+        assert!(data.contains(&IdTriple::new(LISA, wk::RDF_TYPE, ANIMAL)));
+        assert!(data.contains(&IdTriple::new(HUMAN, wk::RDFS_SUB_CLASS_OF, ANIMAL)));
+        assert!(stats.iterations >= 1);
+        assert!(stats.output_triples == stats.input_triples + 5);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let mut parallel_store = family_dataset();
+        let mut sequential_store = family_dataset();
+        InferrayReasoner::with_options(Fragment::RdfsDefault, InferrayOptions::default())
+            .materialize(&mut parallel_store);
+        InferrayReasoner::with_options(Fragment::RdfsDefault, InferrayOptions::sequential())
+            .materialize(&mut sequential_store);
+        let a: Vec<_> = parallel_store.iter_triples().collect();
+        let b: Vec<_> = sequential_store.iter_triples().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skipping_the_closure_stage_still_converges_to_the_same_result() {
+        let mut with_stage = family_dataset();
+        let mut without_stage = family_dataset();
+        InferrayReasoner::new(Fragment::RdfsDefault).materialize(&mut with_stage);
+        InferrayReasoner::with_options(
+            Fragment::RdfsDefault,
+            InferrayOptions::without_closure_stage(),
+        )
+        .materialize(&mut without_stage);
+        let a: Vec<_> = with_stage.iter_triples().collect();
+        let b: Vec<_> = without_stage.iter_triples().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rdfs_plus_same_as_and_inverse() {
+        let knows = nth_property_id(700);
+        let kned_by = nth_property_id(701);
+        let alice = 9_100_000u64;
+        let alyce = alice + 1;
+        let bob = alice + 2;
+        let mut data = store(&[
+            (knows, wk::OWL_INVERSE_OF, kned_by),
+            (alice, wk::OWL_SAME_AS, alyce),
+            (alice, knows, bob),
+        ]);
+        let stats = InferrayReasoner::new(Fragment::RdfsPlus).materialize(&mut data);
+        // Inverse property fires.
+        assert!(data.contains(&IdTriple::new(bob, kned_by, alice)));
+        // sameAs substitution propagates the data triple to the alias.
+        assert!(data.contains(&IdTriple::new(alyce, knows, bob)));
+        // ... and its inverse.
+        assert!(data.contains(&IdTriple::new(bob, kned_by, alyce)));
+        // sameAs is symmetric.
+        assert!(data.contains(&IdTriple::new(alyce, wk::OWL_SAME_AS, alice)));
+        assert!(stats.iterations >= 2, "needs at least two iterations to chase the interaction");
+    }
+
+    #[test]
+    fn functional_property_derives_same_as() {
+        let has_mother = nth_property_id(702);
+        let bart = 9_200_000u64;
+        let marge1 = bart + 1;
+        let marge2 = bart + 2;
+        let mut data = store(&[
+            (has_mother, wk::RDF_TYPE, wk::OWL_FUNCTIONAL_PROPERTY),
+            (bart, has_mother, marge1),
+            (bart, has_mother, marge2),
+        ]);
+        InferrayReasoner::new(Fragment::RdfsPlus).materialize(&mut data);
+        assert!(data.contains(&IdTriple::new(marge1, wk::OWL_SAME_AS, marge2)));
+        assert!(data.contains(&IdTriple::new(marge2, wk::OWL_SAME_AS, marge1)));
+    }
+
+    #[test]
+    fn empty_store_is_a_fixed_point_immediately() {
+        let mut data = TripleStore::new();
+        let stats = InferrayReasoner::new(Fragment::RdfsPlus).materialize(&mut data);
+        assert_eq!(stats.input_triples, 0);
+        assert_eq!(stats.output_triples, 0);
+        assert_eq!(stats.inferred_triples(), 0);
+    }
+
+    #[test]
+    fn materialization_is_idempotent() {
+        let mut data = family_dataset();
+        let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+        let first = reasoner.materialize(&mut data);
+        let after_first: Vec<_> = data.iter_triples().collect();
+        let second = reasoner.materialize(&mut data);
+        let after_second: Vec<_> = data.iter_triples().collect();
+        assert_eq!(after_first, after_second);
+        assert!(first.inferred_triples() > 0);
+        assert_eq!(second.inferred_triples(), 0);
+    }
+
+    #[test]
+    fn rdfs_full_adds_axiomatic_triples() {
+        let mut data = family_dataset();
+        InferrayReasoner::new(Fragment::RdfsFull).materialize(&mut data);
+        assert!(data.contains(&IdTriple::new(BART, wk::RDF_TYPE, wk::RDFS_RESOURCE)));
+        assert!(data.contains(&IdTriple::new(HUMAN, wk::RDF_TYPE, wk::RDFS_RESOURCE)));
+    }
+
+    #[test]
+    fn rho_df_subset_derives_less_than_rdfs_full() {
+        let mut rho = family_dataset();
+        let mut full = family_dataset();
+        let rho_stats = InferrayReasoner::new(Fragment::RhoDf).materialize(&mut rho);
+        let full_stats = InferrayReasoner::new(Fragment::RdfsFull).materialize(&mut full);
+        assert!(full_stats.inferred_triples() > rho_stats.inferred_triples());
+        // Everything ρDF derives is also derived by RDFS-Full.
+        for t in rho.iter_triples() {
+            assert!(full.contains(&t));
+        }
+    }
+
+    #[test]
+    fn transitive_property_closure_in_rdfs_plus() {
+        let part_of = nth_property_id(703);
+        let a = 9_300_000u64;
+        let chain: Vec<(u64, u64, u64)> = (0..20)
+            .map(|i| (a + i, part_of, a + i + 1))
+            .chain(std::iter::once((
+                part_of,
+                wk::RDF_TYPE,
+                wk::OWL_TRANSITIVE_PROPERTY,
+            )))
+            .collect();
+        let mut data = store(&chain);
+        let stats = InferrayReasoner::new(Fragment::RdfsPlus).materialize(&mut data);
+        // A chain of 21 nodes closes to 21·20/2 pairs.
+        assert!(data.contains(&IdTriple::new(a, part_of, a + 20)));
+        assert_eq!(
+            data.table(part_of).unwrap().len(),
+            21 * 20 / 2,
+            "full transitive closure expected"
+        );
+        assert!(stats.duration.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! BSBM-like e-commerce workload generator (Table 2 substitution).
+//!
+//! The Berlin SPARQL Benchmark models an e-commerce scenario: a hierarchy of
+//! product types, products typed with the leaves of the hierarchy, producers,
+//! vendors, offers and reviews connected through properties that carry
+//! `rdfs:domain`/`rdfs:range` declarations and a small `rdfs:subPropertyOf`
+//! hierarchy. Those are exactly the constructs the ρDF / RDFS rulesets act
+//! on, so this generator reproduces that shape with a configurable total
+//! triple budget and a deterministic seed.
+
+use crate::Dataset;
+use inferray_model::{vocab, Term, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Namespace of the generated BSBM-like resources.
+pub const BSBM_NS: &str = "http://inferray.example.org/bsbm/";
+
+/// Generator for BSBM-like datasets.
+#[derive(Debug, Clone)]
+pub struct BsbmGenerator {
+    /// Approximate number of triples to generate.
+    pub target_triples: usize,
+    /// Depth of the product-type tree.
+    pub type_tree_depth: usize,
+    /// Branching factor of the product-type tree.
+    pub type_tree_fanout: usize,
+    /// RNG seed (generation is deterministic given the configuration).
+    pub seed: u64,
+}
+
+impl BsbmGenerator {
+    /// A generator targeting `target_triples` triples with the default
+    /// schema shape (depth 4, fan-out 4 → 256 leaf product types).
+    pub fn new(target_triples: usize) -> Self {
+        BsbmGenerator {
+            target_triples,
+            type_tree_depth: 4,
+            type_tree_fanout: 4,
+            seed: 0xB5B3,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut triples = Vec::with_capacity(self.target_triples + 1024);
+
+        let iri = |local: &str| format!("{BSBM_NS}{local}");
+
+        // --- Schema: product type tree ---------------------------------
+        // Level 0 is the root; each node has `fanout` children.
+        let mut levels: Vec<Vec<String>> = vec![vec![iri("ProductType")]];
+        for depth in 1..=self.type_tree_depth {
+            let mut level = Vec::new();
+            for (parent_index, parent) in levels[depth - 1].iter().enumerate() {
+                for child in 0..self.type_tree_fanout {
+                    let name = iri(&format!("ProductType_{depth}_{parent_index}_{child}"));
+                    triples.push(Triple::iris(
+                        name.clone(),
+                        vocab::RDFS_SUB_CLASS_OF,
+                        parent.clone(),
+                    ));
+                    level.push(name);
+                }
+            }
+            levels.push(level);
+        }
+        let leaf_types: Vec<String> = levels.last().cloned().unwrap_or_default();
+
+        // --- Schema: property hierarchy with domains and ranges ---------
+        let product = iri("Product");
+        let producer = iri("Producer");
+        let offer = iri("Offer");
+        let vendor = iri("Vendor");
+        let review = iri("Review");
+        triples.push(Triple::iris(&product, vocab::RDFS_SUB_CLASS_OF, levels[0][0].clone()));
+
+        let produced_by = iri("producedBy");
+        let made_by = iri("madeBy"); // subPropertyOf producedBy
+        let offered_product = iri("offeredProduct");
+        let offered_by = iri("offeredBy");
+        let reviewed_product = iri("reviewedProduct");
+        let price = iri("price");
+
+        for (prop, domain, range) in [
+            (&produced_by, &product, &producer),
+            (&offered_product, &offer, &product),
+            (&offered_by, &offer, &vendor),
+            (&reviewed_product, &review, &product),
+        ] {
+            triples.push(Triple::iris(prop.clone(), vocab::RDFS_DOMAIN, domain.clone()));
+            triples.push(Triple::iris(prop.clone(), vocab::RDFS_RANGE, range.clone()));
+        }
+        triples.push(Triple::iris(&price, vocab::RDFS_DOMAIN, offer.clone()));
+        triples.push(Triple::iris(
+            &made_by,
+            vocab::RDFS_SUB_PROPERTY_OF,
+            produced_by.clone(),
+        ));
+
+        let schema_triples = triples.len();
+
+        // --- Instances ---------------------------------------------------
+        // Budget the remaining triples: each product contributes ~3 triples,
+        // each offer ~3, each review ~1.
+        let remaining = self.target_triples.saturating_sub(schema_triples);
+        let n_products = (remaining / 6).max(1);
+        let n_producers = (n_products / 20).max(1);
+        let n_vendors = (n_products / 50).max(1);
+
+        // Products are the filler entity: keep generating until the budget
+        // is met (the per-product triple count varies with the review coin).
+        for i in 0.. {
+            if triples.len() >= self.target_triples {
+                break;
+            }
+            let product_iri = iri(&format!("Product{i}"));
+            let leaf = &leaf_types[rng.gen_range(0..leaf_types.len().max(1))];
+            triples.push(Triple::iris(&product_iri, vocab::RDF_TYPE, leaf.clone()));
+            let producer_iri = iri(&format!("Producer{}", rng.gen_range(0..n_producers)));
+            // Half the products use the sub-property, exercising PRP-SPO1.
+            let link = if rng.gen_bool(0.5) { &made_by } else { &produced_by };
+            triples.push(Triple::iris(&product_iri, link.clone(), producer_iri));
+            if triples.len() >= self.target_triples {
+                break;
+            }
+
+            // One offer per product (three triples).
+            let offer_iri = iri(&format!("Offer{i}"));
+            triples.push(Triple::iris(&offer_iri, offered_product.clone(), product_iri.clone()));
+            triples.push(Triple::iris(
+                &offer_iri,
+                offered_by.clone(),
+                iri(&format!("Vendor{}", rng.gen_range(0..n_vendors))),
+            ));
+            triples.push(Triple::new(
+                Term::iri(offer_iri),
+                Term::iri(price.clone()),
+                Term::integer(rng.gen_range(1..10_000)),
+            ));
+            // Occasional review.
+            if rng.gen_bool(0.3) {
+                triples.push(Triple::iris(
+                    iri(&format!("Review{i}")),
+                    reviewed_product.clone(),
+                    product_iri,
+                ));
+            }
+            if triples.len() >= self.target_triples {
+                break;
+            }
+        }
+
+        Dataset::new(format!("BSBM-{}", self.target_triples), triples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_model::Term;
+
+    #[test]
+    fn respects_the_triple_budget_approximately() {
+        for target in [500usize, 5_000, 20_000] {
+            let dataset = BsbmGenerator::new(target).generate();
+            assert!(dataset.len() >= target * 9 / 10, "too small for {target}: {}", dataset.len());
+            assert!(dataset.len() <= target + 16, "too large for {target}: {}", dataset.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = BsbmGenerator::new(2_000).generate();
+        let b = BsbmGenerator::new(2_000).generate();
+        assert_eq!(a.triples, b.triples);
+        let c = BsbmGenerator::new(2_000).with_seed(7).generate();
+        assert_ne!(a.triples, c.triples, "different seed ⇒ different data");
+    }
+
+    #[test]
+    fn contains_the_schema_constructs_rdfs_needs() {
+        let dataset = BsbmGenerator::new(3_000).generate();
+        let has_pred = |p: &str| {
+            dataset
+                .triples
+                .iter()
+                .any(|t| t.predicate == Term::iri(p))
+        };
+        assert!(has_pred(vocab::RDFS_SUB_CLASS_OF));
+        assert!(has_pred(vocab::RDFS_SUB_PROPERTY_OF));
+        assert!(has_pred(vocab::RDFS_DOMAIN));
+        assert!(has_pred(vocab::RDFS_RANGE));
+        assert!(has_pred(vocab::RDF_TYPE));
+    }
+
+    #[test]
+    fn type_tree_has_expected_size() {
+        let generator = BsbmGenerator::new(1_000);
+        let dataset = generator.generate();
+        let sco_count = dataset
+            .triples
+            .iter()
+            .filter(|t| t.predicate == Term::iri(vocab::RDFS_SUB_CLASS_OF))
+            .count();
+        // 4 + 16 + 64 + 256 tree edges plus Product ⊑ ProductType.
+        assert_eq!(sco_count, 4 + 16 + 64 + 256 + 1);
+    }
+
+    #[test]
+    fn all_triples_are_valid() {
+        let dataset = BsbmGenerator::new(1_000).generate();
+        assert!(dataset.triples.iter().all(|t| t.is_valid()));
+    }
+}

@@ -1,0 +1,262 @@
+//! LUBM-like university workload generator (Table 3 substitution).
+//!
+//! The Lehigh University Benchmark models universities, departments, faculty,
+//! students, courses and publications. The paper uses it for the RDFS-Plus
+//! benchmark because "only RDFS-Plus is expressive enough to derive many
+//! triples on LUBM"; this generator therefore includes the OWL constructs the
+//! RDFS-Plus rules need on top of the class/property hierarchies:
+//!
+//! * `subOrganizationOf` declared `owl:TransitiveProperty`
+//!   (university → department chains close transitively — PRP-TRP);
+//! * `teacherOf` / `taughtBy` declared `owl:inverseOf` each other
+//!   (PRP-INV1/2);
+//! * `worksFor` ⊑ `memberOf`, `headOf` ⊑ `worksFor` (PRP-SPO1, SCM-SPO);
+//! * `emailAddress` declared `owl:InverseFunctionalProperty` and aliased
+//!   individuals sharing an address (PRP-IFP → owl:sameAs → EQ-REP-*);
+//! * `owl:sameAs` aliases between a fraction of individuals (EQ-SYM,
+//!   EQ-TRANS, EQ-REP-*);
+//! * `Professor ≡ FacultyMember` (CAX-EQC1/2, SCM-EQC1);
+//! * the usual `rdfs:domain`/`rdfs:range` declarations (PRP-DOM/RNG).
+
+use crate::Dataset;
+use inferray_model::{vocab, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Namespace of the generated LUBM-like resources.
+pub const LUBM_NS: &str = "http://inferray.example.org/lubm/";
+
+/// Generator for LUBM-like RDFS-Plus datasets.
+#[derive(Debug, Clone)]
+pub struct LubmGenerator {
+    /// Approximate number of triples to generate.
+    pub target_triples: usize,
+    /// Number of departments per university.
+    pub departments_per_university: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LubmGenerator {
+    /// A generator targeting `target_triples` triples.
+    pub fn new(target_triples: usize) -> Self {
+        LubmGenerator {
+            target_triples,
+            departments_per_university: 12,
+            seed: 0x10B1,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut triples: Vec<Triple> = Vec::with_capacity(self.target_triples + 256);
+        let iri = |local: &str| format!("{LUBM_NS}{local}");
+
+        // --- Schema ------------------------------------------------------
+        let person = iri("Person");
+        let faculty = iri("FacultyMember");
+        let professor = iri("Professor");
+        let full_professor = iri("FullProfessor");
+        let student = iri("Student");
+        let grad_student = iri("GraduateStudent");
+        let organization = iri("Organization");
+        let university = iri("University");
+        let department = iri("Department");
+        let course = iri("Course");
+
+        for (sub, sup) in [
+            (&faculty, &person),
+            (&professor, &faculty),
+            (&full_professor, &professor),
+            (&student, &person),
+            (&grad_student, &student),
+            (&university, &organization),
+            (&department, &organization),
+        ] {
+            triples.push(Triple::iris(sub.clone(), vocab::RDFS_SUB_CLASS_OF, sup.clone()));
+        }
+        // An equivalence to exercise the CAX-EQC / SCM-EQC rules.
+        triples.push(Triple::iris(&professor, vocab::OWL_EQUIVALENT_CLASS, iri("Prof")));
+
+        let member_of = iri("memberOf");
+        let works_for = iri("worksFor");
+        let head_of = iri("headOf");
+        let sub_org_of = iri("subOrganizationOf");
+        let teacher_of = iri("teacherOf");
+        let taught_by = iri("taughtBy");
+        let takes_course = iri("takesCourse");
+        let advisor = iri("advisor");
+        let email = iri("emailAddress");
+
+        triples.push(Triple::iris(&works_for, vocab::RDFS_SUB_PROPERTY_OF, member_of.clone()));
+        triples.push(Triple::iris(&head_of, vocab::RDFS_SUB_PROPERTY_OF, works_for.clone()));
+        triples.push(Triple::iris(&sub_org_of, vocab::RDF_TYPE, vocab::OWL_TRANSITIVE_PROPERTY));
+        triples.push(Triple::iris(&teacher_of, vocab::OWL_INVERSE_OF, taught_by.clone()));
+        triples.push(Triple::iris(&email, vocab::RDF_TYPE, vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY));
+        triples.push(Triple::iris(&advisor, vocab::RDF_TYPE, vocab::OWL_FUNCTIONAL_PROPERTY));
+
+        for (prop, domain, range) in [
+            (&works_for, &person, &organization),
+            (&member_of, &person, &organization),
+            (&teacher_of, &faculty, &course),
+            (&takes_course, &student, &course),
+            (&advisor, &student, &professor),
+            (&sub_org_of, &organization, &organization),
+        ] {
+            triples.push(Triple::iris(prop.clone(), vocab::RDFS_DOMAIN, domain.clone()));
+            triples.push(Triple::iris(prop.clone(), vocab::RDFS_RANGE, range.clone()));
+        }
+
+        // --- Instances ---------------------------------------------------
+        // Rough budget: each student contributes ~4 triples, each professor
+        // ~5, each department ~3.
+        let remaining = self.target_triples.saturating_sub(triples.len());
+        let n_students = (remaining * 6 / 10 / 4).max(1);
+        let n_professors = (remaining * 2 / 10 / 5).max(1);
+        let n_departments = ((n_professors / 8).max(1)).max(self.departments_per_university);
+        let n_universities = (n_departments / self.departments_per_university).max(1);
+        let n_courses = (n_professors * 2).max(1);
+
+        // Universities and departments (subOrganizationOf chains).
+        for u in 0..n_universities {
+            let uni = iri(&format!("University{u}"));
+            triples.push(Triple::iris(&uni, vocab::RDF_TYPE, university.clone()));
+        }
+        for d in 0..n_departments {
+            let dept = iri(&format!("Department{d}"));
+            let uni = iri(&format!("University{}", d % n_universities));
+            triples.push(Triple::iris(&dept, vocab::RDF_TYPE, department.clone()));
+            triples.push(Triple::iris(&dept, sub_org_of.clone(), uni));
+            // Research groups nested under departments give the transitive
+            // property a chain of length 3.
+            let group = iri(&format!("ResearchGroup{d}"));
+            triples.push(Triple::iris(&group, sub_org_of.clone(), dept));
+        }
+
+        // Professors.
+        for p in 0..n_professors {
+            if triples.len() >= self.target_triples {
+                break;
+            }
+            let prof = iri(&format!("Professor{p}"));
+            let dept = iri(&format!("Department{}", p % n_departments));
+            let class = if p % 3 == 0 { &full_professor } else { &professor };
+            triples.push(Triple::iris(&prof, vocab::RDF_TYPE, class.clone()));
+            let employment = if p % 10 == 0 { &head_of } else { &works_for };
+            triples.push(Triple::iris(&prof, employment.clone(), dept));
+            let course_iri = iri(&format!("Course{}", p % n_courses));
+            triples.push(Triple::iris(&prof, teacher_of.clone(), course_iri));
+            triples.push(Triple::iris(
+                &prof,
+                email.clone(),
+                iri(&format!("mailto/prof{p}")),
+            ));
+            // A small fraction of professors have an alias identity.
+            if p % 25 == 0 {
+                let alias = iri(&format!("Prof{p}_alias"));
+                triples.push(Triple::iris(&prof, vocab::OWL_SAME_AS, alias.clone()));
+                // The alias shares the professor's mailbox, so PRP-IFP also
+                // rediscovers the equality.
+                triples.push(Triple::iris(&alias, email.clone(), iri(&format!("mailto/prof{p}"))));
+            }
+        }
+
+        // Students are the filler entity: keep generating until the triple
+        // budget is met.
+        let _ = n_students;
+        for s in 0.. {
+            if triples.len() >= self.target_triples {
+                break;
+            }
+            let stud = iri(&format!("Student{s}"));
+            let class = if s % 4 == 0 { &grad_student } else { &student };
+            triples.push(Triple::iris(&stud, vocab::RDF_TYPE, class.clone()));
+            triples.push(Triple::iris(
+                &stud,
+                takes_course.clone(),
+                iri(&format!("Course{}", rng.gen_range(0..n_courses))),
+            ));
+            triples.push(Triple::iris(
+                &stud,
+                advisor.clone(),
+                iri(&format!("Professor{}", rng.gen_range(0..n_professors))),
+            ));
+            if s % 2 == 0 {
+                triples.push(Triple::iris(
+                    &stud,
+                    member_of.clone(),
+                    iri(&format!("Department{}", rng.gen_range(0..n_departments))),
+                ));
+            }
+        }
+
+        Dataset::new(format!("LUBM-{}", self.target_triples), triples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_model::Term;
+
+    #[test]
+    fn respects_the_triple_budget_approximately() {
+        for target in [1_000usize, 10_000, 50_000] {
+            let dataset = LubmGenerator::new(target).generate();
+            assert!(
+                dataset.len() >= target * 85 / 100,
+                "too small for {target}: {}",
+                dataset.len()
+            );
+            assert!(
+                dataset.len() <= target + 64,
+                "too large for {target}: {}",
+                dataset.len()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = LubmGenerator::new(5_000).generate();
+        let b = LubmGenerator::new(5_000).generate();
+        assert_eq!(a.triples, b.triples);
+    }
+
+    #[test]
+    fn contains_the_owl_constructs_rdfs_plus_needs() {
+        let dataset = LubmGenerator::new(5_000).generate();
+        let has = |p: &str, o: Option<&str>| {
+            dataset.triples.iter().any(|t| {
+                t.predicate == Term::iri(p)
+                    && o.map_or(true, |o| t.object == Term::iri(o))
+            })
+        };
+        assert!(has(vocab::RDF_TYPE, Some(vocab::OWL_TRANSITIVE_PROPERTY)));
+        assert!(has(vocab::RDF_TYPE, Some(vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY)));
+        assert!(has(vocab::RDF_TYPE, Some(vocab::OWL_FUNCTIONAL_PROPERTY)));
+        assert!(has(vocab::OWL_INVERSE_OF, None));
+        assert!(has(vocab::OWL_SAME_AS, None));
+        assert!(has(vocab::OWL_EQUIVALENT_CLASS, None));
+        assert!(has(vocab::RDFS_SUB_PROPERTY_OF, None));
+        assert!(has(vocab::RDFS_DOMAIN, None));
+    }
+
+    #[test]
+    fn all_triples_are_valid() {
+        let dataset = LubmGenerator::new(2_000).generate();
+        assert!(dataset.triples.iter().all(|t| t.is_valid()));
+    }
+
+    #[test]
+    fn label_mentions_the_target_size() {
+        assert_eq!(LubmGenerator::new(123).generate().label, "LUBM-123");
+    }
+}

@@ -1,0 +1,212 @@
+//! Taxonomy generators shaped like the paper's real-world datasets.
+//!
+//! The paper's real-world corpora stress specific parts of the engine:
+//!
+//! * the **Wikipedia ontology** is a very wide, shallow category graph with a
+//!   large schema (many classes, articles typed with categories);
+//! * the **Yago taxonomy** is deep, with a large number of `subClassOf` and
+//!   `subPropertyOf` statements that stress the closure stage and the
+//!   vertical-partitioning table count;
+//! * **WordNet** is dominated by long hypernym chains.
+//!
+//! These seeded generators reproduce those shapes (depth, fan-out, number of
+//! properties, instance/schema ratio) at a configurable scale.
+
+use crate::Dataset;
+use inferray_model::{vocab, Triple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Namespace of the generated taxonomy resources.
+pub const TAXO_NS: &str = "http://inferray.example.org/taxonomy/";
+
+fn iri(local: &str) -> String {
+    format!("{TAXO_NS}{local}")
+}
+
+/// A Wikipedia-ontology-shaped dataset: `n_categories` categories organized
+/// in a shallow (3-level) hierarchy with very high fan-out, and roughly
+/// `4 × n_categories` article instances typed with the categories.
+pub fn wikipedia_like(n_categories: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::new();
+    let n_top = (n_categories / 100).max(1);
+    let n_mid = (n_categories / 10).max(1);
+
+    // Shallow, wide category graph (categories may have several parents,
+    // like Wikipedia's category cycles-free core).
+    for c in 0..n_categories {
+        let category = iri(&format!("Category{c}"));
+        let mid = iri(&format!("MidCategory{}", c % n_mid));
+        triples.push(Triple::iris(&category, vocab::RDFS_SUB_CLASS_OF, mid));
+        if rng.gen_bool(0.2) {
+            let second_parent = iri(&format!("MidCategory{}", rng.gen_range(0..n_mid)));
+            triples.push(Triple::iris(&category, vocab::RDFS_SUB_CLASS_OF, second_parent));
+        }
+    }
+    for m in 0..n_mid {
+        triples.push(Triple::iris(
+            iri(&format!("MidCategory{m}")),
+            vocab::RDFS_SUB_CLASS_OF,
+            iri(&format!("TopCategory{}", m % n_top)),
+        ));
+    }
+    // Articles typed with leaf categories.
+    for a in 0..n_categories * 4 {
+        triples.push(Triple::iris(
+            iri(&format!("Article{a}")),
+            vocab::RDF_TYPE,
+            iri(&format!("Category{}", rng.gen_range(0..n_categories))),
+        ));
+    }
+    Dataset::new(format!("Wikipedia-like-{}", triples.len()), triples)
+}
+
+/// A Yago-taxonomy-shaped dataset: a deep class tree (`depth` levels, modest
+/// fan-out), a sizeable `subPropertyOf` forest over many properties, and
+/// typed entities.
+pub fn yago_like(n_classes: usize, depth: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::new();
+    let depth = depth.max(2);
+
+    // Deep tree: class i's parent is a class from the previous "band" of the
+    // id space, which yields chains of length ≈ depth.
+    let band = (n_classes / depth).max(1);
+    for c in band..n_classes {
+        let parent = c - band - rng.gen_range(0..band.min(c - band + 1));
+        triples.push(Triple::iris(
+            iri(&format!("YagoClass{c}")),
+            vocab::RDFS_SUB_CLASS_OF,
+            iri(&format!("YagoClass{parent}")),
+        ));
+    }
+    // A property forest: many properties, subPropertyOf chains of length ~4.
+    let n_properties = (n_classes / 5).max(4);
+    for p in 4..n_properties {
+        triples.push(Triple::iris(
+            iri(&format!("yagoProp{p}")),
+            vocab::RDFS_SUB_PROPERTY_OF,
+            iri(&format!("yagoProp{}", p / 4)),
+        ));
+        if p % 3 == 0 {
+            triples.push(Triple::iris(
+                iri(&format!("yagoProp{p}")),
+                vocab::RDFS_DOMAIN,
+                iri(&format!("YagoClass{}", rng.gen_range(0..n_classes))),
+            ));
+        }
+    }
+    // Entities typed with leaf classes plus a few facts using the properties.
+    for e in 0..n_classes * 2 {
+        let entity = iri(&format!("Entity{e}"));
+        triples.push(Triple::iris(
+            &entity,
+            vocab::RDF_TYPE,
+            iri(&format!("YagoClass{}", rng.gen_range(n_classes / 2..n_classes))),
+        ));
+        triples.push(Triple::iris(
+            &entity,
+            iri(&format!("yagoProp{}", rng.gen_range(4..n_properties))),
+            iri(&format!("Entity{}", rng.gen_range(0..n_classes * 2))),
+        ));
+    }
+    Dataset::new(format!("Yago-like-{}", triples.len()), triples)
+}
+
+/// A WordNet-shaped dataset: `n_chains` hypernym chains of length
+/// `chain_length` (long `subClassOf` chains), with a couple of synset
+/// instances per concept.
+pub fn wordnet_like(n_chains: usize, chain_length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut triples = Vec::new();
+    for chain in 0..n_chains {
+        for link in 0..chain_length.saturating_sub(1) {
+            triples.push(Triple::iris(
+                iri(&format!("Synset_{chain}_{link}")),
+                vocab::RDFS_SUB_CLASS_OF,
+                iri(&format!("Synset_{chain}_{}", link + 1)),
+            ));
+        }
+        // Word senses typed with the bottom of each chain.
+        for w in 0..3 {
+            triples.push(Triple::iris(
+                iri(&format!("Word_{chain}_{w}")),
+                vocab::RDF_TYPE,
+                iri(&format!("Synset_{chain}_{}", rng.gen_range(0..chain_length.max(1)))),
+            ));
+        }
+    }
+    Dataset::new(format!("WordNet-like-{}", triples.len()), triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_model::Term;
+    use std::collections::HashMap;
+
+    #[test]
+    fn wikipedia_shape_is_wide_and_shallow() {
+        let dataset = wikipedia_like(500, 1);
+        // Typed articles dominate.
+        let types = dataset
+            .triples
+            .iter()
+            .filter(|t| t.predicate == Term::iri(vocab::RDF_TYPE))
+            .count();
+        let sco = dataset
+            .triples
+            .iter()
+            .filter(|t| t.predicate == Term::iri(vocab::RDFS_SUB_CLASS_OF))
+            .count();
+        assert!(types > sco);
+        assert!(dataset.len() > 2_000);
+    }
+
+    #[test]
+    fn yago_shape_has_many_properties() {
+        let dataset = yago_like(1_000, 10, 2);
+        let mut predicates: HashMap<&Term, usize> = HashMap::new();
+        for t in &dataset.triples {
+            *predicates.entry(&t.predicate).or_default() += 1;
+        }
+        // Far more distinct predicates than the BSBM-like schema (vertical
+        // partitioning stress, as in the paper's Yago discussion).
+        assert!(predicates.len() > 50, "got {}", predicates.len());
+        assert!(dataset
+            .triples
+            .iter()
+            .any(|t| t.predicate == Term::iri(vocab::RDFS_SUB_PROPERTY_OF)));
+    }
+
+    #[test]
+    fn wordnet_shape_is_long_chains() {
+        let dataset = wordnet_like(10, 50, 3);
+        let sco = dataset
+            .triples
+            .iter()
+            .filter(|t| t.predicate == Term::iri(vocab::RDFS_SUB_CLASS_OF))
+            .count();
+        assert_eq!(sco, 10 * 49);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(wikipedia_like(100, 9).triples, wikipedia_like(100, 9).triples);
+        assert_eq!(yago_like(100, 5, 9).triples, yago_like(100, 5, 9).triples);
+        assert_eq!(wordnet_like(5, 10, 9).triples, wordnet_like(5, 10, 9).triples);
+    }
+
+    #[test]
+    fn all_triples_are_valid() {
+        for dataset in [
+            wikipedia_like(50, 0),
+            yago_like(60, 6, 0),
+            wordnet_like(4, 12, 0),
+        ] {
+            assert!(dataset.triples.iter().all(|t| t.is_valid()));
+            assert!(!dataset.is_empty());
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The [`Dictionary`] type: term ↔ identifier interning with dense numbering.
+
+use inferray_model::ids::{
+    is_property_id, nth_property_id, nth_resource_id, property_index, resource_index,
+    MAX_PROPERTIES,
+};
+use inferray_model::{vocab, IdTriple, Term, Triple};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while encoding terms or triples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The predicate of a triple was not an IRI.
+    InvalidPredicate(String),
+    /// The subject of a triple was a literal.
+    LiteralSubject(String),
+    /// The property half of the identifier space overflowed (more than 2³²
+    /// distinct properties — never happens on real data).
+    PropertySpaceExhausted,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::InvalidPredicate(t) => write!(f, "predicate is not an IRI: {t}"),
+            EncodeError::LiteralSubject(t) => write!(f, "subject is a literal: {t}"),
+            EncodeError::PropertySpaceExhausted => {
+                write!(f, "more than 2^32 distinct properties")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Bidirectional term ↔ identifier dictionary with dense numbering.
+///
+/// See the crate-level documentation for the numbering scheme. A freshly
+/// created dictionary already contains the RDF/RDFS/OWL vocabulary (in the
+/// order fixed by [`inferray_model::vocab::SCHEMA_PROPERTIES`] /
+/// [`SCHEMA_RESOURCES`](inferray_model::vocab::SCHEMA_RESOURCES)), so the
+/// constants in [`crate::wellknown`] are always valid.
+///
+/// ```
+/// use inferray_dictionary::{Dictionary, wellknown};
+/// use inferray_model::{Term, Triple, vocab};
+///
+/// let mut dict = Dictionary::new();
+/// let t = Triple::iris("http://ex/human", vocab::RDFS_SUB_CLASS_OF, "http://ex/mammal");
+/// let enc = dict.encode_triple(&t).unwrap();
+/// assert_eq!(enc.p, wellknown::RDFS_SUB_CLASS_OF);
+/// assert_eq!(dict.decode(enc.s).unwrap(), &Term::iri("http://ex/human"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dictionary {
+    /// Textual (N-Triples) form → identifier.
+    to_id: HashMap<String, u64>,
+    /// Dense property index → term.
+    properties: Vec<Term>,
+    /// Dense resource index → term.
+    resources: Vec<Term>,
+    /// `(old resource id, new property id)` pairs produced by promotions that
+    /// have not yet been collected by [`Dictionary::take_promotions`].
+    pending_promotions: Vec<(u64, u64)>,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dictionary {
+    /// Creates a dictionary pre-loaded with the RDF/RDFS/OWL vocabulary.
+    pub fn new() -> Self {
+        let mut dict = Dictionary {
+            to_id: HashMap::new(),
+            properties: Vec::new(),
+            resources: Vec::new(),
+            pending_promotions: Vec::new(),
+        };
+        for iri in vocab::SCHEMA_PROPERTIES {
+            dict.intern_property(&Term::iri(*iri))
+                .expect("vocabulary fits the property space");
+        }
+        for iri in vocab::SCHEMA_RESOURCES {
+            dict.intern_resource(&Term::iri(*iri));
+        }
+        dict
+    }
+
+    /// Number of distinct properties registered so far.
+    pub fn num_properties(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Number of distinct resources (non-properties) registered so far.
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Total number of registered terms.
+    pub fn len(&self) -> usize {
+        self.num_properties() + self.num_resources()
+    }
+
+    /// `true` only for a dictionary stripped of its vocabulary (never the
+    /// case for dictionaries built with [`Dictionary::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The identifier of `term`, if it has been registered.
+    pub fn id_of(&self, term: &Term) -> Option<u64> {
+        self.to_id.get(&term.to_string()).copied()
+    }
+
+    /// The identifier of the IRI `iri`, if registered (convenience for tests
+    /// and examples).
+    pub fn id_of_iri(&self, iri: &str) -> Option<u64> {
+        self.id_of(&Term::iri(iri))
+    }
+
+    /// Decodes an identifier back to its term.
+    pub fn decode(&self, id: u64) -> Option<&Term> {
+        if is_property_id(id) {
+            self.properties.get(property_index(id))
+        } else {
+            self.resources.get(resource_index(id))
+        }
+    }
+
+    /// Encodes a term appearing in **predicate** position. Registers it as a
+    /// property, promoting it if it had previously been met as a resource.
+    pub fn encode_as_property(&mut self, term: &Term) -> Result<u64, EncodeError> {
+        if !term.valid_predicate() {
+            return Err(EncodeError::InvalidPredicate(term.to_string()));
+        }
+        self.intern_property(term)
+    }
+
+    /// Encodes a term appearing in **subject or object** position. If the
+    /// term is already known (as either a property or a resource) its
+    /// existing identifier is returned, so properties referenced by schema
+    /// triples keep their property identifier.
+    pub fn encode_as_resource(&mut self, term: &Term) -> u64 {
+        let key = term.to_string();
+        if let Some(&id) = self.to_id.get(&key) {
+            return id;
+        }
+        let id = nth_resource_id(self.resources.len());
+        self.resources.push(term.clone());
+        self.to_id.insert(key, id);
+        id
+    }
+
+    /// Encodes a full triple, registering its terms as needed.
+    ///
+    /// Terms that sit in a *property position* of a schema triple — the
+    /// subject of `rdfs:domain`/`rdfs:range`, both sides of
+    /// `rdfs:subPropertyOf` / `owl:equivalentProperty` / `owl:inverseOf`, or
+    /// the subject of an `rdf:type` declaration whose object is one of the
+    /// property classes — are registered as *properties* even though they do
+    /// not (yet) appear in a predicate position, so the property-hierarchy
+    /// rules can address their tables directly.
+    pub fn encode_triple(&mut self, triple: &Triple) -> Result<IdTriple, EncodeError> {
+        if triple.subject.is_literal() {
+            return Err(EncodeError::LiteralSubject(triple.subject.to_string()));
+        }
+        let p = self.encode_as_property(&triple.predicate)?;
+
+        let subject_is_property = matches!(
+            p,
+            x if x == crate::wellknown::RDFS_SUB_PROPERTY_OF
+                || x == crate::wellknown::RDFS_DOMAIN
+                || x == crate::wellknown::RDFS_RANGE
+                || x == crate::wellknown::OWL_EQUIVALENT_PROPERTY
+                || x == crate::wellknown::OWL_INVERSE_OF
+        ) || (p == crate::wellknown::RDF_TYPE && object_is_property_class(&triple.object));
+        let object_is_property = matches!(
+            p,
+            x if x == crate::wellknown::RDFS_SUB_PROPERTY_OF
+                || x == crate::wellknown::OWL_EQUIVALENT_PROPERTY
+                || x == crate::wellknown::OWL_INVERSE_OF
+        );
+
+        let s = if subject_is_property && triple.subject.valid_predicate() {
+            self.encode_as_property(&triple.subject)?
+        } else {
+            self.encode_as_resource(&triple.subject)
+        };
+        let o = if object_is_property && triple.object.valid_predicate() {
+            self.encode_as_property(&triple.object)?
+        } else {
+            self.encode_as_resource(&triple.object)
+        };
+        Ok(IdTriple::new(s, p, o))
+    }
+
+    /// Decodes an encoded triple. Returns `None` when any identifier is
+    /// unknown.
+    pub fn decode_triple(&self, triple: IdTriple) -> Option<Triple> {
+        Some(Triple::new(
+            self.decode(triple.s)?.clone(),
+            self.decode(triple.p)?.clone(),
+            self.decode(triple.o)?.clone(),
+        ))
+    }
+
+    /// Drains the `(old resource id → new property id)` remappings produced
+    /// by property promotions since the last call. Loaders must apply these
+    /// to any triples they encoded *before* the promotion happened.
+    pub fn take_promotions(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.pending_promotions)
+    }
+
+    /// `true` when promotions are pending (useful to skip the patch pass).
+    pub fn has_pending_promotions(&self) -> bool {
+        !self.pending_promotions.is_empty()
+    }
+
+    /// Iterates over all registered property identifiers in dense order
+    /// (registration order).
+    pub fn property_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.properties.len()).map(nth_property_id)
+    }
+
+    /// Iterates over `(identifier, term)` for every registered term.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Term)> + '_ {
+        let props = self
+            .properties
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (nth_property_id(i), t));
+        let res = self
+            .resources
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (nth_resource_id(i), t));
+        props.chain(res)
+    }
+
+    // --- internal helpers -------------------------------------------------
+
+    fn intern_property(&mut self, term: &Term) -> Result<u64, EncodeError> {
+        let key = term.to_string();
+        if let Some(&id) = self.to_id.get(&key) {
+            if is_property_id(id) {
+                return Ok(id);
+            }
+            // Promotion: the term was first met in a resource position.
+            let new_id = self.fresh_property_id()?;
+            self.properties.push(term.clone());
+            self.to_id.insert(key, new_id);
+            self.pending_promotions.push((id, new_id));
+            return Ok(new_id);
+        }
+        let id = self.fresh_property_id()?;
+        self.properties.push(term.clone());
+        self.to_id.insert(key, id);
+        Ok(id)
+    }
+
+    fn intern_resource(&mut self, term: &Term) -> u64 {
+        self.encode_as_resource(term)
+    }
+
+    fn fresh_property_id(&self) -> Result<u64, EncodeError> {
+        if self.properties.len() as u64 >= MAX_PROPERTIES {
+            return Err(EncodeError::PropertySpaceExhausted);
+        }
+        Ok(nth_property_id(self.properties.len()))
+    }
+}
+
+/// `true` when `term` is one of the RDF/OWL classes whose instances are
+/// properties (so a `rdf:type` declaration marks its subject as a property).
+fn object_is_property_class(term: &Term) -> bool {
+    matches!(
+        term.as_iri(),
+        Some(
+            vocab::RDF_PROPERTY
+                | vocab::RDFS_CONTAINER_MEMBERSHIP_PROPERTY
+                | vocab::OWL_TRANSITIVE_PROPERTY
+                | vocab::OWL_SYMMETRIC_PROPERTY
+                | vocab::OWL_FUNCTIONAL_PROPERTY
+                | vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY
+                | vocab::OWL_DATATYPE_PROPERTY
+                | vocab::OWL_OBJECT_PROPERTY
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wellknown;
+    use inferray_model::ids::{is_resource_id, PROPERTY_BASE};
+
+    #[test]
+    fn vocabulary_is_preregistered_in_order() {
+        let dict = Dictionary::new();
+        assert_eq!(dict.id_of_iri(vocab::RDF_TYPE), Some(PROPERTY_BASE));
+        assert_eq!(
+            dict.id_of_iri(vocab::RDFS_SUB_CLASS_OF),
+            Some(PROPERTY_BASE - 1)
+        );
+        assert_eq!(
+            dict.num_properties(),
+            vocab::SCHEMA_PROPERTIES.len(),
+            "only the vocabulary properties are registered initially"
+        );
+        assert_eq!(dict.num_resources(), vocab::SCHEMA_RESOURCES.len());
+    }
+
+    #[test]
+    fn wellknown_constants_match_registration() {
+        let dict = Dictionary::new();
+        assert_eq!(dict.id_of_iri(vocab::RDF_TYPE), Some(wellknown::RDF_TYPE));
+        assert_eq!(
+            dict.id_of_iri(vocab::OWL_SAME_AS),
+            Some(wellknown::OWL_SAME_AS)
+        );
+        assert_eq!(
+            dict.id_of_iri(vocab::OWL_TRANSITIVE_PROPERTY),
+            Some(wellknown::OWL_TRANSITIVE_PROPERTY)
+        );
+        assert_eq!(
+            dict.id_of_iri(vocab::RDFS_RESOURCE),
+            Some(wellknown::RDFS_RESOURCE)
+        );
+    }
+
+    #[test]
+    fn resources_are_densely_numbered() {
+        let mut dict = Dictionary::new();
+        let base = dict.num_resources();
+        let a = dict.encode_as_resource(&Term::iri("http://ex/a"));
+        let b = dict.encode_as_resource(&Term::iri("http://ex/b"));
+        let a2 = dict.encode_as_resource(&Term::iri("http://ex/a"));
+        assert_eq!(a, nth_resource_id(base));
+        assert_eq!(b, nth_resource_id(base + 1));
+        assert_eq!(a, a2, "re-encoding returns the same id");
+        assert!(is_resource_id(a));
+    }
+
+    #[test]
+    fn properties_are_densely_numbered_downwards() {
+        let mut dict = Dictionary::new();
+        let base = dict.num_properties();
+        let p = dict
+            .encode_as_property(&Term::iri("http://ex/knows"))
+            .unwrap();
+        let q = dict
+            .encode_as_property(&Term::iri("http://ex/likes"))
+            .unwrap();
+        assert_eq!(p, nth_property_id(base));
+        assert_eq!(q, nth_property_id(base + 1));
+        assert!(q < p, "property ids decrease with registration order");
+    }
+
+    #[test]
+    fn encode_triple_round_trips() {
+        let mut dict = Dictionary::new();
+        let t = Triple::iris("http://ex/Bart", vocab::RDF_TYPE, "http://ex/human");
+        let enc = dict.encode_triple(&t).unwrap();
+        assert_eq!(enc.p, wellknown::RDF_TYPE);
+        assert_eq!(dict.decode_triple(enc).unwrap(), t);
+    }
+
+    #[test]
+    fn literal_objects_are_encoded_as_resources() {
+        let mut dict = Dictionary::new();
+        let t = Triple::new(
+            Term::iri("http://ex/a"),
+            Term::iri("http://ex/label"),
+            Term::plain_literal("hello"),
+        );
+        let enc = dict.encode_triple(&t).unwrap();
+        assert!(is_resource_id(enc.o));
+        assert_eq!(dict.decode(enc.o).unwrap(), &Term::plain_literal("hello"));
+    }
+
+    #[test]
+    fn invalid_triples_are_rejected() {
+        let mut dict = Dictionary::new();
+        let bad_pred = Triple::new(
+            Term::iri("http://ex/a"),
+            Term::blank("p"),
+            Term::iri("http://ex/b"),
+        );
+        assert!(matches!(
+            dict.encode_triple(&bad_pred),
+            Err(EncodeError::InvalidPredicate(_))
+        ));
+        let bad_subj = Triple::new(
+            Term::plain_literal("x"),
+            Term::iri("http://ex/p"),
+            Term::iri("http://ex/b"),
+        );
+        assert!(matches!(
+            dict.encode_triple(&bad_subj),
+            Err(EncodeError::LiteralSubject(_))
+        ));
+    }
+
+    #[test]
+    fn promotion_remaps_resource_to_property() {
+        let mut dict = Dictionary::new();
+        // `hasPart` first appears as the subject of a schema triple...
+        let as_resource = dict.encode_as_resource(&Term::iri("http://ex/hasPart"));
+        assert!(is_resource_id(as_resource));
+        // ...and later as a predicate.
+        let as_property = dict
+            .encode_as_property(&Term::iri("http://ex/hasPart"))
+            .unwrap();
+        assert!(is_property_id(as_property));
+        let promotions = dict.take_promotions();
+        assert_eq!(promotions, vec![(as_resource, as_property)]);
+        assert!(!dict.has_pending_promotions());
+        // Subsequent lookups, in any position, return the property id.
+        assert_eq!(
+            dict.encode_as_resource(&Term::iri("http://ex/hasPart")),
+            as_property
+        );
+        assert_eq!(dict.id_of_iri("http://ex/hasPart"), Some(as_property));
+        // Both ids still decode to the term (the stale resource slot remains
+        // addressable so previously-encoded data can be decoded if needed).
+        assert_eq!(
+            dict.decode(as_property).unwrap(),
+            &Term::iri("http://ex/hasPart")
+        );
+    }
+
+    #[test]
+    fn iter_enumerates_every_registered_term() {
+        let mut dict = Dictionary::new();
+        dict.encode_as_resource(&Term::iri("http://ex/a"));
+        let n = dict.len();
+        assert_eq!(dict.iter().count(), n);
+        // Every enumerated id decodes back to the paired term.
+        for (id, term) in dict.iter() {
+            assert_eq!(dict.decode(id).unwrap(), term);
+        }
+    }
+
+    #[test]
+    fn distinct_literals_get_distinct_ids() {
+        let mut dict = Dictionary::new();
+        let a = dict.encode_as_resource(&Term::plain_literal("42"));
+        let b = dict.encode_as_resource(&Term::typed_literal(
+            "42",
+            "http://www.w3.org/2001/XMLSchema#integer",
+        ));
+        let c = dict.encode_as_resource(&Term::lang_literal("42", "en"));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+}

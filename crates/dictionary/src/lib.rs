@@ -1,0 +1,49 @@
+//! # inferray-dictionary
+//!
+//! Dictionary encoding with the *dense numbering* scheme of section 5.1 of
+//! the Inferray paper (Subercaze et al., VLDB 2016).
+//!
+//! Every RDF term is mapped to a fixed-length 64-bit identifier:
+//!
+//! * terms that occur in the *predicate* position (properties) are numbered
+//!   **downwards** from 2³² — the first property gets 2³², the second 2³² − 1,
+//!   and so on;
+//! * every other term (classes, individuals, literals — collectively
+//!   "resources") is numbered **upwards** from 2³² + 1.
+//!
+//! Keeping both halves dense lowers the entropy of the encoded values, which
+//! is what the counting-sort and adaptive-radix kernels in `inferray-sort`
+//! exploit. Encoding and dense numbering happen simultaneously while triples
+//! are read, exactly as in the paper ("each triple is read from the file
+//! system, dictionary encoding and dense numbering happen simultaneously").
+//!
+//! ## Property promotion
+//!
+//! RDF schema triples place properties in the *subject* (and sometimes
+//! object) position — `p rdfs:domain c`, `p1 rdfs:subPropertyOf p2`. With a
+//! single streaming pass a term can therefore be met as a plain resource
+//! before it is discovered to be a property. The [`Dictionary`] handles this
+//! by *promoting* the term: it receives a fresh dense property identifier,
+//! the textual mapping is updated, and the `(old resource id → new property
+//! id)` pair is recorded so that already-encoded triples can be patched in a
+//! single linear pass (see [`Dictionary::take_promotions`]). This keeps the
+//! one-pass loading behaviour of the paper while preserving the invariant
+//! that *a property has exactly one identifier, in the property half*.
+//!
+//! ## Well-known identifiers
+//!
+//! The RDF/RDFS/OWL vocabulary is pre-registered in a fixed order, so the
+//! identifiers of `rdf:type`, `rdfs:subClassOf`, … are compile-time constants
+//! exposed in [`wellknown`]; the rule engine uses them directly without any
+//! dictionary lookup at inference time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dictionary;
+pub mod shared;
+pub mod stats;
+pub mod wellknown;
+
+pub use dictionary::{Dictionary, EncodeError};
+pub use shared::SharedDictionary;

@@ -1,0 +1,122 @@
+//! A thread-safe wrapper around [`Dictionary`].
+//!
+//! The main inference loop decodes nothing — it only moves identifiers — but
+//! the benchmark harness and the parallel N-Triples writer decode triples
+//! from several threads at once. [`SharedDictionary`] provides the minimal
+//! shared-ownership surface for that: concurrent readers through a
+//! `parking_lot::RwLock`, exclusive writers during the load phase.
+
+use crate::{Dictionary, EncodeError};
+use inferray_model::{IdTriple, Term, Triple};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Cheaply clonable, thread-safe dictionary handle.
+#[derive(Debug, Clone, Default)]
+pub struct SharedDictionary {
+    inner: Arc<RwLock<Dictionary>>,
+}
+
+impl SharedDictionary {
+    /// Wraps a fresh [`Dictionary`].
+    pub fn new() -> Self {
+        SharedDictionary {
+            inner: Arc::new(RwLock::new(Dictionary::new())),
+        }
+    }
+
+    /// Wraps an existing dictionary (e.g. one populated by the loader).
+    pub fn from_dictionary(dict: Dictionary) -> Self {
+        SharedDictionary {
+            inner: Arc::new(RwLock::new(dict)),
+        }
+    }
+
+    /// Encodes a triple (exclusive lock).
+    pub fn encode_triple(&self, triple: &Triple) -> Result<IdTriple, EncodeError> {
+        self.inner.write().encode_triple(triple)
+    }
+
+    /// Decodes a triple (shared lock).
+    pub fn decode_triple(&self, triple: IdTriple) -> Option<Triple> {
+        self.inner.read().decode_triple(triple)
+    }
+
+    /// Decodes a single identifier (shared lock).
+    pub fn decode(&self, id: u64) -> Option<Term> {
+        self.inner.read().decode(id).cloned()
+    }
+
+    /// Looks up the identifier of a term (shared lock).
+    pub fn id_of(&self, term: &Term) -> Option<u64> {
+        self.inner.read().id_of(term)
+    }
+
+    /// Runs `f` with shared read access to the underlying dictionary.
+    pub fn with_read<R>(&self, f: impl FnOnce(&Dictionary) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with exclusive write access to the underlying dictionary.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut Dictionary) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Extracts a clone of the underlying dictionary.
+    pub fn snapshot(&self) -> Dictionary {
+        self.inner.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_model::vocab;
+    use std::thread;
+
+    #[test]
+    fn concurrent_reads_after_single_writer_load() {
+        let shared = SharedDictionary::new();
+        let mut encoded = Vec::new();
+        for i in 0..64 {
+            let t = Triple::iris(
+                format!("http://ex/s{i}"),
+                vocab::RDF_TYPE,
+                format!("http://ex/C{}", i % 4),
+            );
+            encoded.push((shared.encode_triple(&t).unwrap(), t));
+        }
+        thread::scope(|scope| {
+            for chunk in encoded.chunks(16) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for (enc, orig) in chunk {
+                        assert_eq!(shared.decode_triple(*enc).as_ref(), Some(orig));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn with_read_and_write_expose_the_dictionary() {
+        let shared = SharedDictionary::new();
+        let n = shared.with_read(|d| d.num_properties());
+        shared.with_write(|d| {
+            d.encode_as_property(&Term::iri("http://ex/p")).unwrap();
+        });
+        assert_eq!(shared.with_read(|d| d.num_properties()), n + 1);
+        assert!(shared.id_of(&Term::iri("http://ex/p")).is_some());
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let shared = SharedDictionary::new();
+        let snap = shared.snapshot();
+        shared.with_write(|d| {
+            d.encode_as_resource(&Term::iri("http://ex/r"));
+        });
+        assert!(snap.id_of_iri("http://ex/r").is_none());
+        assert!(shared.id_of(&Term::iri("http://ex/r")).is_some());
+    }
+}

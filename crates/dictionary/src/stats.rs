@@ -1,0 +1,168 @@
+//! Statistics over encoded identifier collections.
+//!
+//! The operating-range analysis of section 5.4 of the paper is driven by two
+//! quantities: the *range* of the values to be sorted and their *entropy*
+//! (Table 1 indexes its rows by both). This module computes those statistics
+//! for arbitrary identifier slices so the store can pick the right sorting
+//! kernel and the benchmark harness can label its output like the paper does.
+
+/// Summary statistics of a collection of identifiers (one column of a
+/// property table, or the flattened pair array).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdStats {
+    /// Number of values observed.
+    pub count: usize,
+    /// Smallest value (0 when the collection is empty).
+    pub min: u64,
+    /// Largest value (0 when the collection is empty).
+    pub max: u64,
+    /// `max - min + 1` — the "range" axis of Table 1 (0 when empty).
+    pub range: u64,
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Empirical Shannon entropy of the value distribution, in bits.
+    pub entropy_bits: f64,
+}
+
+impl IdStats {
+    /// An empty statistics record.
+    pub fn empty() -> Self {
+        IdStats {
+            count: 0,
+            min: 0,
+            max: 0,
+            range: 0,
+            distinct: 0,
+            entropy_bits: 0.0,
+        }
+    }
+
+    /// `log2(range)` — the entropy bound the paper quotes next to each range
+    /// in Table 1 (e.g. range 500 K → 18.9 bits).
+    pub fn range_bits(&self) -> f64 {
+        if self.range <= 1 {
+            0.0
+        } else {
+            (self.range as f64).log2()
+        }
+    }
+
+    /// Density of the collection: `distinct / range` (1.0 = perfectly dense).
+    pub fn density(&self) -> f64 {
+        if self.range == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / self.range as f64
+        }
+    }
+}
+
+/// Computes [`IdStats`] over a slice of identifiers.
+///
+/// The entropy is the empirical Shannon entropy of the observed frequency
+/// distribution; it is `O(n)` time and `O(distinct)` space (a sorted copy is
+/// used to count frequencies without hashing).
+pub fn id_stats(values: &[u64]) -> IdStats {
+    if values.is_empty() {
+        return IdStats::empty();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let max = *sorted.last().expect("non-empty");
+    let n = sorted.len() as f64;
+
+    let mut distinct = 0usize;
+    let mut entropy = 0.0f64;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        let freq = (j - i) as f64 / n;
+        entropy -= freq * freq.log2();
+        distinct += 1;
+        i = j;
+    }
+
+    IdStats {
+        count: values.len(),
+        min,
+        max,
+        range: max - min + 1,
+        distinct,
+        entropy_bits: entropy,
+    }
+}
+
+/// Computes statistics over the *subject* positions of a flattened pair
+/// array (`[s0, o0, s1, o1, …]`), which is the histogram key the counting
+/// sort uses.
+pub fn subject_stats(pairs: &[u64]) -> IdStats {
+    let subjects: Vec<u64> = pairs.iter().copied().step_by(2).collect();
+    id_stats(&subjects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slice() {
+        let s = id_stats(&[]);
+        assert_eq!(s, IdStats::empty());
+        assert_eq!(s.range_bits(), 0.0);
+        assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn uniform_values_have_zero_entropy() {
+        let s = id_stats(&[7, 7, 7, 7]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.distinct, 1);
+        assert_eq!(s.range, 1);
+        assert!(s.entropy_bits.abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_uniform_distribution_entropy_is_log2_n() {
+        let values: Vec<u64> = (0..1024).collect();
+        let s = id_stats(&values);
+        assert_eq!(s.distinct, 1024);
+        assert!((s.entropy_bits - 10.0).abs() < 1e-9);
+        assert!((s.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_and_min_max() {
+        let s = id_stats(&[10, 2, 30, 2]);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 30);
+        assert_eq!(s.range, 29);
+        assert_eq!(s.distinct, 3);
+    }
+
+    #[test]
+    fn subject_stats_skips_objects() {
+        // pairs: (1, 100), (2, 200), (1, 300)
+        let s = subject_stats(&[1, 100, 2, 200, 1, 300]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.distinct, 2);
+    }
+
+    #[test]
+    fn range_bits_matches_paper_convention() {
+        // Table 1 quotes ~18.9 bits of entropy for a 500 K range.
+        let s = IdStats {
+            count: 500_000,
+            min: 0,
+            max: 499_999,
+            range: 500_000,
+            distinct: 500_000,
+            entropy_bits: 18.9,
+        };
+        assert!((s.range_bits() - 18.93).abs() < 0.01);
+    }
+}

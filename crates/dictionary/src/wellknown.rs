@@ -1,0 +1,172 @@
+//! Compile-time identifiers of the pre-registered vocabulary.
+//!
+//! [`Dictionary::new`](crate::Dictionary::new) registers the vocabulary of
+//! [`inferray_model::vocab`] in a fixed order, so the dense identifiers of
+//! the schema terms are known statically. The rule engine addresses property
+//! tables and matches schema resources through these constants, never through
+//! a dictionary lookup.
+//!
+//! The unit tests in this module (and in `dictionary.rs`) pin the constants
+//! to the registration order; any reordering of
+//! [`SCHEMA_PROPERTIES`](inferray_model::vocab::SCHEMA_PROPERTIES) /
+//! [`SCHEMA_RESOURCES`](inferray_model::vocab::SCHEMA_RESOURCES) is caught by
+//! the test-suite.
+
+use inferray_model::ids::{PROPERTY_BASE, RESOURCE_BASE};
+
+// --- properties (descending from PROPERTY_BASE, registration order) -------
+
+/// `rdf:type`
+pub const RDF_TYPE: u64 = PROPERTY_BASE;
+/// `rdfs:subClassOf`
+pub const RDFS_SUB_CLASS_OF: u64 = PROPERTY_BASE - 1;
+/// `rdfs:subPropertyOf`
+pub const RDFS_SUB_PROPERTY_OF: u64 = PROPERTY_BASE - 2;
+/// `rdfs:domain`
+pub const RDFS_DOMAIN: u64 = PROPERTY_BASE - 3;
+/// `rdfs:range`
+pub const RDFS_RANGE: u64 = PROPERTY_BASE - 4;
+/// `rdfs:member`
+pub const RDFS_MEMBER: u64 = PROPERTY_BASE - 5;
+/// `owl:sameAs`
+pub const OWL_SAME_AS: u64 = PROPERTY_BASE - 6;
+/// `owl:equivalentClass`
+pub const OWL_EQUIVALENT_CLASS: u64 = PROPERTY_BASE - 7;
+/// `owl:equivalentProperty`
+pub const OWL_EQUIVALENT_PROPERTY: u64 = PROPERTY_BASE - 8;
+/// `owl:inverseOf`
+pub const OWL_INVERSE_OF: u64 = PROPERTY_BASE - 9;
+/// `rdfs:label`
+pub const RDFS_LABEL: u64 = PROPERTY_BASE - 10;
+/// `rdfs:comment`
+pub const RDFS_COMMENT: u64 = PROPERTY_BASE - 11;
+/// `rdf:first`
+pub const RDF_FIRST: u64 = PROPERTY_BASE - 12;
+/// `rdf:rest`
+pub const RDF_REST: u64 = PROPERTY_BASE - 13;
+
+/// Number of pre-registered vocabulary properties.
+pub const NUM_SCHEMA_PROPERTIES: usize = 14;
+
+// --- resources (ascending from RESOURCE_BASE, registration order) ---------
+
+/// `rdfs:Resource`
+pub const RDFS_RESOURCE: u64 = RESOURCE_BASE;
+/// `rdfs:Class`
+pub const RDFS_CLASS: u64 = RESOURCE_BASE + 1;
+/// `rdfs:Literal`
+pub const RDFS_LITERAL: u64 = RESOURCE_BASE + 2;
+/// `rdfs:Datatype`
+pub const RDFS_DATATYPE: u64 = RESOURCE_BASE + 3;
+/// `rdfs:ContainerMembershipProperty`
+pub const RDFS_CONTAINER_MEMBERSHIP_PROPERTY: u64 = RESOURCE_BASE + 4;
+/// `rdf:Property`
+pub const RDF_PROPERTY: u64 = RESOURCE_BASE + 5;
+/// `rdf:nil`
+pub const RDF_NIL: u64 = RESOURCE_BASE + 6;
+/// `owl:TransitiveProperty`
+pub const OWL_TRANSITIVE_PROPERTY: u64 = RESOURCE_BASE + 7;
+/// `owl:SymmetricProperty`
+pub const OWL_SYMMETRIC_PROPERTY: u64 = RESOURCE_BASE + 8;
+/// `owl:FunctionalProperty`
+pub const OWL_FUNCTIONAL_PROPERTY: u64 = RESOURCE_BASE + 9;
+/// `owl:InverseFunctionalProperty`
+pub const OWL_INVERSE_FUNCTIONAL_PROPERTY: u64 = RESOURCE_BASE + 10;
+/// `owl:Class`
+pub const OWL_CLASS: u64 = RESOURCE_BASE + 11;
+/// `owl:Thing`
+pub const OWL_THING: u64 = RESOURCE_BASE + 12;
+/// `owl:Nothing`
+pub const OWL_NOTHING: u64 = RESOURCE_BASE + 13;
+/// `owl:DatatypeProperty`
+pub const OWL_DATATYPE_PROPERTY: u64 = RESOURCE_BASE + 14;
+/// `owl:ObjectProperty`
+pub const OWL_OBJECT_PROPERTY: u64 = RESOURCE_BASE + 15;
+
+/// Number of pre-registered vocabulary resources.
+pub const NUM_SCHEMA_RESOURCES: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dictionary;
+    use inferray_model::vocab;
+
+    #[test]
+    fn counts_match_vocabulary_lists() {
+        assert_eq!(NUM_SCHEMA_PROPERTIES, vocab::SCHEMA_PROPERTIES.len());
+        assert_eq!(NUM_SCHEMA_RESOURCES, vocab::SCHEMA_RESOURCES.len());
+    }
+
+    #[test]
+    fn every_constant_matches_the_dictionary() {
+        let dict = Dictionary::new();
+        let expected: &[(&str, u64)] = &[
+            (vocab::RDF_TYPE, RDF_TYPE),
+            (vocab::RDFS_SUB_CLASS_OF, RDFS_SUB_CLASS_OF),
+            (vocab::RDFS_SUB_PROPERTY_OF, RDFS_SUB_PROPERTY_OF),
+            (vocab::RDFS_DOMAIN, RDFS_DOMAIN),
+            (vocab::RDFS_RANGE, RDFS_RANGE),
+            (vocab::RDFS_MEMBER, RDFS_MEMBER),
+            (vocab::OWL_SAME_AS, OWL_SAME_AS),
+            (vocab::OWL_EQUIVALENT_CLASS, OWL_EQUIVALENT_CLASS),
+            (vocab::OWL_EQUIVALENT_PROPERTY, OWL_EQUIVALENT_PROPERTY),
+            (vocab::OWL_INVERSE_OF, OWL_INVERSE_OF),
+            (vocab::RDFS_LABEL, RDFS_LABEL),
+            (vocab::RDFS_COMMENT, RDFS_COMMENT),
+            (vocab::RDF_FIRST, RDF_FIRST),
+            (vocab::RDF_REST, RDF_REST),
+            (vocab::RDFS_RESOURCE, RDFS_RESOURCE),
+            (vocab::RDFS_CLASS, RDFS_CLASS),
+            (vocab::RDFS_LITERAL, RDFS_LITERAL),
+            (vocab::RDFS_DATATYPE, RDFS_DATATYPE),
+            (
+                vocab::RDFS_CONTAINER_MEMBERSHIP_PROPERTY,
+                RDFS_CONTAINER_MEMBERSHIP_PROPERTY,
+            ),
+            (vocab::RDF_PROPERTY, RDF_PROPERTY),
+            (vocab::RDF_NIL, RDF_NIL),
+            (vocab::OWL_TRANSITIVE_PROPERTY, OWL_TRANSITIVE_PROPERTY),
+            (vocab::OWL_SYMMETRIC_PROPERTY, OWL_SYMMETRIC_PROPERTY),
+            (vocab::OWL_FUNCTIONAL_PROPERTY, OWL_FUNCTIONAL_PROPERTY),
+            (
+                vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY,
+                OWL_INVERSE_FUNCTIONAL_PROPERTY,
+            ),
+            (vocab::OWL_CLASS, OWL_CLASS),
+            (vocab::OWL_THING, OWL_THING),
+            (vocab::OWL_NOTHING, OWL_NOTHING),
+            (vocab::OWL_DATATYPE_PROPERTY, OWL_DATATYPE_PROPERTY),
+            (vocab::OWL_OBJECT_PROPERTY, OWL_OBJECT_PROPERTY),
+        ];
+        for (iri, id) in expected {
+            assert_eq!(
+                dict.id_of_iri(iri),
+                Some(*id),
+                "constant mismatch for {iri}"
+            );
+        }
+    }
+
+    #[test]
+    fn property_constants_are_distinct() {
+        let all = [
+            RDF_TYPE,
+            RDFS_SUB_CLASS_OF,
+            RDFS_SUB_PROPERTY_OF,
+            RDFS_DOMAIN,
+            RDFS_RANGE,
+            RDFS_MEMBER,
+            OWL_SAME_AS,
+            OWL_EQUIVALENT_CLASS,
+            OWL_EQUIVALENT_PROPERTY,
+            OWL_INVERSE_OF,
+            RDFS_LABEL,
+            RDFS_COMMENT,
+            RDF_FIRST,
+            RDF_REST,
+        ];
+        let set: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

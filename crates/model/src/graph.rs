@@ -1,0 +1,228 @@
+//! A small set-semantics triple container.
+//!
+//! [`Graph`] is **not** the data structure the reasoner runs on — that is the
+//! vertically partitioned store in `inferray-store`. It exists for the API
+//! boundary: examples build input graphs with it, the parser can collect into
+//! it, and the test-suite uses it to compare the materializations produced by
+//! Inferray and by the baseline reasoners (set equality, difference).
+
+use crate::term::Term;
+use crate::triple::Triple;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An in-memory RDF graph with set semantics (no duplicate triples), kept in
+/// deterministic (sorted) order so that iteration, display and comparison are
+/// reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    triples: BTreeSet<Triple>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// `true` when the graph holds no triple.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Inserts a triple; returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        self.triples.insert(triple)
+    }
+
+    /// Inserts a triple built from three IRIs.
+    pub fn insert_iris(
+        &mut self,
+        s: impl Into<String>,
+        p: impl Into<String>,
+        o: impl Into<String>,
+    ) -> bool {
+        self.insert(Triple::iris(s, p, o))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        self.triples.contains(triple)
+    }
+
+    /// Removes a triple; returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        self.triples.remove(triple)
+    }
+
+    /// Iterates over the triples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+
+    /// All triples whose predicate equals `predicate`.
+    pub fn with_predicate<'a>(
+        &'a self,
+        predicate: &'a Term,
+    ) -> impl Iterator<Item = &'a Triple> + 'a {
+        self.triples.iter().filter(move |t| &t.predicate == predicate)
+    }
+
+    /// All triples whose subject equals `subject`.
+    pub fn with_subject<'a>(&'a self, subject: &'a Term) -> impl Iterator<Item = &'a Triple> + 'a {
+        self.triples.iter().filter(move |t| &t.subject == subject)
+    }
+
+    /// The set of distinct predicates, in sorted order.
+    pub fn predicates(&self) -> Vec<Term> {
+        let mut preds: Vec<Term> = self.triples.iter().map(|t| t.predicate.clone()).collect();
+        preds.sort();
+        preds.dedup();
+        preds
+    }
+
+    /// Set union (consumes neither operand).
+    pub fn union(&self, other: &Graph) -> Graph {
+        Graph {
+            triples: self.triples.union(&other.triples).cloned().collect(),
+        }
+    }
+
+    /// Triples present in `self` but not in `other`.
+    pub fn difference(&self, other: &Graph) -> Graph {
+        Graph {
+            triples: self.triples.difference(&other.triples).cloned().collect(),
+        }
+    }
+
+    /// `true` when every triple of `self` is in `other`.
+    pub fn is_subset(&self, other: &Graph) -> bool {
+        self.triples.is_subset(&other.triples)
+    }
+
+    /// Merges `other` into `self`, returning the number of newly added triples.
+    pub fn extend_from(&mut self, other: &Graph) -> usize {
+        let before = self.len();
+        for t in other.iter() {
+            self.triples.insert(t.clone());
+        }
+        self.len() - before
+    }
+}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        Graph {
+            triples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
+        self.triples.extend(iter);
+    }
+}
+
+impl IntoIterator for Graph {
+    type Item = Triple;
+    type IntoIter = std::collections::btree_set::IntoIter<Triple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Graph {
+    type Item = &'a Triple;
+    type IntoIter = std::collections::btree_set::Iter<'a, Triple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.iter()
+    }
+}
+
+impl fmt::Display for Graph {
+    /// Renders the graph as N-Triples, one statement per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.triples {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert_iris("http://ex/human", vocab::RDFS_SUB_CLASS_OF, "http://ex/mammal");
+        g.insert_iris("http://ex/mammal", vocab::RDFS_SUB_CLASS_OF, "http://ex/animal");
+        g.insert_iris("http://ex/Bart", vocab::RDF_TYPE, "http://ex/human");
+        g
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut g = sample();
+        assert_eq!(g.len(), 3);
+        assert!(!g.insert_iris("http://ex/Bart", vocab::RDF_TYPE, "http://ex/human"));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut g = sample();
+        let t = Triple::iris("http://ex/Bart", vocab::RDF_TYPE, "http://ex/human");
+        assert!(g.contains(&t));
+        assert!(g.remove(&t));
+        assert!(!g.contains(&t));
+        assert!(!g.remove(&t));
+    }
+
+    #[test]
+    fn predicate_filter_and_listing() {
+        let g = sample();
+        let sub = Term::iri(vocab::RDFS_SUB_CLASS_OF);
+        assert_eq!(g.with_predicate(&sub).count(), 2);
+        assert_eq!(g.predicates().len(), 2);
+    }
+
+    #[test]
+    fn union_difference_subset() {
+        let g = sample();
+        let mut h = Graph::new();
+        h.insert_iris("http://ex/Bart", vocab::RDF_TYPE, "http://ex/human");
+        assert!(h.is_subset(&g));
+        assert_eq!(g.union(&h).len(), 3);
+        assert_eq!(g.difference(&h).len(), 2);
+        assert_eq!(h.difference(&g).len(), 0);
+    }
+
+    #[test]
+    fn display_is_sorted_ntriples() {
+        let g = sample();
+        let text = g.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+        assert!(lines.iter().all(|l| l.ends_with(" .")));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let g: Graph = sample().into_iter().collect();
+        assert_eq!(g.len(), 3);
+        let mut h = Graph::new();
+        assert_eq!(h.extend_from(&g), 3);
+        assert_eq!(h.extend_from(&g), 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! RDF terms: IRIs, blank nodes and literals.
+//!
+//! Terms follow the RDF 1.1 abstract syntax. The [`Display`](std::fmt::Display)
+//! implementation renders the canonical N-Triples form, which is what the
+//! serializer in `inferray-parser` emits and what the dictionary uses as the
+//! interning key, so a term always round-trips through its textual form.
+
+use std::fmt;
+
+/// The RDF 1.1 XML Schema string datatype, implied when a literal carries no
+/// explicit datatype and no language tag.
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+
+/// The datatype of language-tagged strings.
+pub const RDF_LANG_STRING: &str =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+
+/// Coarse classification of a [`Term`], useful for validity checks
+/// (e.g. a predicate must be an IRI, a subject must not be a literal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TermKind {
+    /// An IRI reference (RDF URI reference).
+    Iri,
+    /// A blank node, identified by a document-scoped label.
+    BlankNode,
+    /// A literal (plain, typed or language-tagged).
+    Literal,
+}
+
+/// An RDF term.
+///
+/// The three variants mirror the three disjoint subsets of RDF terms
+/// described in the paper's introduction: URIs/IRIs, blank nodes and
+/// literals.
+///
+/// ```
+/// use inferray_model::Term;
+///
+/// let human = Term::iri("http://example.org/human");
+/// let label = Term::plain_literal("a featherless biped");
+/// assert!(human.is_iri());
+/// assert_eq!(label.to_string(), "\"a featherless biped\"");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI, stored without the surrounding angle brackets.
+    Iri(String),
+    /// A blank node label, stored without the leading `_:`.
+    BlankNode(String),
+    /// A literal value.
+    Literal {
+        /// The lexical form (unescaped).
+        lexical: String,
+        /// The datatype IRI, if any. `None` means `xsd:string` (plain) unless
+        /// a language tag is present.
+        datatype: Option<String>,
+        /// The language tag (for `rdf:langString` literals), lower-cased.
+        language: Option<String>,
+    },
+}
+
+impl Term {
+    /// Builds an IRI term.
+    pub fn iri(iri: impl Into<String>) -> Self {
+        Term::Iri(iri.into())
+    }
+
+    /// Builds a blank-node term from its label (without the `_:` prefix).
+    pub fn blank(label: impl Into<String>) -> Self {
+        Term::BlankNode(label.into())
+    }
+
+    /// Builds a plain (untyped, untagged) string literal.
+    pub fn plain_literal(lexical: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: None,
+        }
+    }
+
+    /// Builds a typed literal.
+    pub fn typed_literal(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            datatype: Some(datatype.into()),
+            language: None,
+        }
+    }
+
+    /// Builds a language-tagged literal. The language tag is lower-cased, as
+    /// required for RDF term equality.
+    pub fn lang_literal(lexical: impl Into<String>, language: impl Into<String>) -> Self {
+        Term::Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: Some(language.into().to_ascii_lowercase()),
+        }
+    }
+
+    /// Builds an integer literal typed as `xsd:integer`.
+    pub fn integer(value: i64) -> Self {
+        Term::typed_literal(
+            value.to_string(),
+            "http://www.w3.org/2001/XMLSchema#integer",
+        )
+    }
+
+    /// The coarse kind of this term.
+    pub fn kind(&self) -> TermKind {
+        match self {
+            Term::Iri(_) => TermKind::Iri,
+            Term::BlankNode(_) => TermKind::BlankNode,
+            Term::Literal { .. } => TermKind::Literal,
+        }
+    }
+
+    /// `true` if this term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// `true` if this term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::BlankNode(_))
+    }
+
+    /// `true` if this term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal { .. })
+    }
+
+    /// The IRI string if this term is an IRI, `None` otherwise.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// `true` if this term may appear in the subject position of a triple
+    /// (IRIs and blank nodes).
+    pub fn valid_subject(&self) -> bool {
+        !self.is_literal()
+    }
+
+    /// `true` if this term may appear in the predicate position of a triple
+    /// (IRIs only).
+    pub fn valid_predicate(&self) -> bool {
+        self.is_iri()
+    }
+}
+
+/// Escapes a string for inclusion in an N-Triples quoted literal or IRI.
+///
+/// Only the escapes required by the N-Triples grammar are produced:
+/// backslash, double quote, newline, carriage return and tab.
+pub fn escape_ntriples(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_ntriples`]; also understands `\u` / `\U` escapes.
+///
+/// Returns `None` when the escape sequence is malformed.
+pub fn unescape_ntriples(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            '"' => out.push('"'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            'U' => {
+                let hex: String = chars.by_ref().take(8).collect();
+                if hex.len() != 8 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+impl fmt::Display for Term {
+    /// Formats the term in N-Triples syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{}>", iri),
+            Term::BlankNode(label) => write!(f, "_:{}", label),
+            Term::Literal {
+                lexical,
+                datatype,
+                language,
+            } => {
+                write!(f, "\"{}\"", escape_ntriples(lexical))?;
+                if let Some(lang) = language {
+                    write!(f, "@{}", lang)
+                } else if let Some(dt) = datatype {
+                    if dt == XSD_STRING {
+                        Ok(())
+                    } else {
+                        write!(f, "^^<{}>", dt)
+                    }
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_display_uses_angle_brackets() {
+        let t = Term::iri("http://example.org/a");
+        assert_eq!(t.to_string(), "<http://example.org/a>");
+    }
+
+    #[test]
+    fn blank_node_display_uses_underscore_colon() {
+        assert_eq!(Term::blank("b0").to_string(), "_:b0");
+    }
+
+    #[test]
+    fn plain_literal_display() {
+        assert_eq!(Term::plain_literal("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn typed_literal_display() {
+        let t = Term::typed_literal("42", "http://www.w3.org/2001/XMLSchema#integer");
+        assert_eq!(
+            t.to_string(),
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+    }
+
+    #[test]
+    fn xsd_string_datatype_is_suppressed() {
+        let t = Term::typed_literal("x", XSD_STRING);
+        assert_eq!(t.to_string(), "\"x\"");
+    }
+
+    #[test]
+    fn lang_literal_display_and_lowercasing() {
+        let t = Term::lang_literal("bonjour", "FR");
+        assert_eq!(t.to_string(), "\"bonjour\"@fr");
+    }
+
+    #[test]
+    fn escaping_round_trip() {
+        let raw = "line1\nline2\t\"quoted\" back\\slash";
+        let escaped = escape_ntriples(raw);
+        assert!(!escaped.contains('\n'));
+        assert_eq!(unescape_ntriples(&escaped).unwrap(), raw);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(unescape_ntriples("\\u00e9").unwrap(), "é");
+        assert_eq!(unescape_ntriples("\\U0001F600").unwrap(), "😀");
+        assert!(unescape_ntriples("\\u00z9").is_none());
+        assert!(unescape_ntriples("\\q").is_none());
+    }
+
+    #[test]
+    fn kinds_and_position_validity() {
+        assert_eq!(Term::iri("x").kind(), TermKind::Iri);
+        assert_eq!(Term::blank("x").kind(), TermKind::BlankNode);
+        assert_eq!(Term::plain_literal("x").kind(), TermKind::Literal);
+        assert!(Term::iri("x").valid_subject());
+        assert!(Term::blank("x").valid_subject());
+        assert!(!Term::plain_literal("x").valid_subject());
+        assert!(Term::iri("x").valid_predicate());
+        assert!(!Term::blank("x").valid_predicate());
+    }
+
+    #[test]
+    fn integer_helper() {
+        let t = Term::integer(-7);
+        assert_eq!(
+            t.to_string(),
+            "\"-7\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+    }
+
+    #[test]
+    fn term_ordering_is_total_and_stable() {
+        let mut v = vec![
+            Term::plain_literal("z"),
+            Term::iri("a"),
+            Term::blank("b"),
+            Term::iri("b"),
+        ];
+        v.sort();
+        let sorted: Vec<_> = v.iter().map(|t| t.to_string()).collect();
+        assert_eq!(sorted, vec!["<a>", "<b>", "_:b", "\"z\""]);
+    }
+}

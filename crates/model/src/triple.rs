@@ -1,0 +1,168 @@
+//! Triples, in decoded ([`Triple`]) and dictionary-encoded ([`IdTriple`]) form.
+
+use crate::term::Term;
+use std::fmt;
+
+/// A decoded RDF triple `⟨subject, predicate, object⟩`.
+///
+/// This representation only appears at the I/O boundary (parsing,
+/// serialization, examples); the reasoner itself works on [`IdTriple`]s and,
+/// below that, on flat pair arrays inside the property tables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// The subject (an IRI or a blank node).
+    pub subject: Term,
+    /// The predicate (an IRI).
+    pub predicate: Term,
+    /// The object (any term).
+    pub object: Term,
+}
+
+impl Triple {
+    /// Builds a triple from its three components.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Convenience constructor taking three IRI strings.
+    ///
+    /// ```
+    /// use inferray_model::Triple;
+    /// let t = Triple::iris("http://ex.org/human",
+    ///                      "http://www.w3.org/2000/01/rdf-schema#subClassOf",
+    ///                      "http://ex.org/mammal");
+    /// assert!(t.is_valid());
+    /// ```
+    pub fn iris(
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: impl Into<String>,
+    ) -> Self {
+        Triple::new(
+            Term::iri(subject),
+            Term::iri(predicate),
+            Term::iri(object),
+        )
+    }
+
+    /// `true` when each component is a term allowed in its position by the
+    /// RDF abstract syntax (no literal subject, IRI predicate).
+    pub fn is_valid(&self) -> bool {
+        self.subject.valid_subject() && self.predicate.valid_predicate()
+    }
+}
+
+impl fmt::Display for Triple {
+    /// N-Triples statement form, terminated by ` .`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A dictionary-encoded triple: three 64-bit identifiers.
+///
+/// The predicate identifier always lies in the property half of the ID space
+/// (see [`crate::ids`]); subject and object identifiers may lie in either
+/// half (schema triples such as `p rdfs:domain c` have a property in subject
+/// position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdTriple {
+    /// Encoded subject.
+    pub s: u64,
+    /// Encoded predicate.
+    pub p: u64,
+    /// Encoded object.
+    pub o: u64,
+}
+
+impl IdTriple {
+    /// Builds an encoded triple.
+    #[inline]
+    pub fn new(s: u64, p: u64, o: u64) -> Self {
+        IdTriple { s, p, o }
+    }
+
+    /// Returns the triple as a `(s, p, o)` tuple.
+    #[inline]
+    pub fn as_tuple(&self) -> (u64, u64, u64) {
+        (self.s, self.p, self.o)
+    }
+
+    /// Returns the `⟨s, o⟩` pair, i.e. the row stored in the property table
+    /// of `p`.
+    #[inline]
+    pub fn pair(&self) -> (u64, u64) {
+        (self.s, self.o)
+    }
+}
+
+impl From<(u64, u64, u64)> for IdTriple {
+    fn from((s, p, o): (u64, u64, u64)) -> Self {
+        IdTriple::new(s, p, o)
+    }
+}
+
+impl fmt::Display for IdTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.s, self.p, self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoded_triple_display_is_ntriples() {
+        let t = Triple::iris("http://a", "http://p", "http://b");
+        assert_eq!(t.to_string(), "<http://a> <http://p> <http://b> .");
+    }
+
+    #[test]
+    fn literal_subject_is_invalid() {
+        let t = Triple::new(
+            Term::plain_literal("x"),
+            Term::iri("http://p"),
+            Term::iri("http://o"),
+        );
+        assert!(!t.is_valid());
+    }
+
+    #[test]
+    fn blank_predicate_is_invalid() {
+        let t = Triple::new(Term::iri("http://s"), Term::blank("p"), Term::iri("http://o"));
+        assert!(!t.is_valid());
+    }
+
+    #[test]
+    fn id_triple_tuple_round_trip() {
+        let t: IdTriple = (1, 2, 3).into();
+        assert_eq!(t.as_tuple(), (1, 2, 3));
+        assert_eq!(t.pair(), (1, 3));
+        assert_eq!(t.to_string(), "(1, 2, 3)");
+    }
+
+    #[test]
+    fn id_triple_ordering_is_spo_lexicographic() {
+        let mut v = vec![
+            IdTriple::new(2, 1, 1),
+            IdTriple::new(1, 2, 1),
+            IdTriple::new(1, 1, 2),
+            IdTriple::new(1, 1, 1),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                IdTriple::new(1, 1, 1),
+                IdTriple::new(1, 1, 2),
+                IdTriple::new(1, 2, 1),
+                IdTriple::new(2, 1, 1),
+            ]
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # inferray-parser
+//!
+//! RDF serialization support for the Inferray workspace: a streaming
+//! N-Triples parser, a pragmatic Turtle-subset parser, an N-Triples writer,
+//! and the [`loader`] that feeds parsed triples straight into the
+//! dictionary + vertically-partitioned store pair ("each triple is read from
+//! the file system, dictionary encoding and dense numbering happen
+//! simultaneously", paper §5.1).
+//!
+//! The original Inferray reuses Jena's parsers; this reproduction keeps its
+//! dependency set to the approved offline crates, so both parsers are written
+//! from scratch:
+//!
+//! * [`ntriples`] — full support for the W3C N-Triples grammar as used in
+//!   practice (IRIs, blank nodes, plain/typed/language-tagged literals,
+//!   `\uXXXX` escapes, comments);
+//! * [`turtle`] — the subset of Turtle the benchmark ontologies need:
+//!   `@prefix`/`PREFIX` declarations, prefixed names, the `a` keyword,
+//!   `;`/`,` predicate and object lists, literals and comments. Anonymous
+//!   blank nodes (`[...]`) and collections (`(...)`) are *not* supported and
+//!   produce a clear error.
+//!
+//! Both parsers are line/statement oriented, allocate only for the terms they
+//! produce, and report errors with 1-based line numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loader;
+pub mod ntriples;
+pub mod turtle;
+pub mod writer;
+
+pub use loader::{load_graph, load_ntriples, load_triples, load_turtle, LoadError, LoadedDataset};
+pub use ntriples::{parse_ntriples, parse_ntriples_line, ParseError};
+pub use turtle::parse_turtle;
+pub use writer::{to_ntriples_string, write_graph_ntriples, write_ntriples};

@@ -1,0 +1,334 @@
+//! Streaming N-Triples parser.
+//!
+//! N-Triples is line oriented: one statement per line, terminated by `.`,
+//! with `#` comments and blank lines allowed. Terms are written in their
+//! canonical form (`<iri>`, `_:label`, `"literal"`, `"literal"@lang`,
+//! `"literal"^^<datatype>`), which is also exactly what
+//! [`inferray_model::Term`]'s `Display` produces — so parsing and writing
+//! round-trip.
+
+use inferray_model::term::unescape_ntriples;
+use inferray_model::{Term, Triple};
+use std::fmt;
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line (N-Triples) or statement (Turtle) number.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole N-Triples document, returning the triples in document
+/// order.
+pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, ParseError> {
+    let mut triples = Vec::new();
+    for (i, raw_line) in input.lines().enumerate() {
+        if let Some(triple) = parse_ntriples_line(raw_line, i + 1)? {
+            triples.push(triple);
+        }
+    }
+    Ok(triples)
+}
+
+/// Parses a single N-Triples line. Returns `Ok(None)` for blank lines and
+/// comments. `line_number` is only used for error reporting.
+pub fn parse_ntriples_line(line: &str, line_number: usize) -> Result<Option<Triple>, ParseError> {
+    let mut cursor = Cursor::new(line, line_number);
+    cursor.skip_whitespace();
+    if cursor.is_done() || cursor.peek() == Some('#') {
+        return Ok(None);
+    }
+    let subject = cursor.parse_term()?;
+    cursor.skip_whitespace();
+    let predicate = cursor.parse_term()?;
+    cursor.skip_whitespace();
+    let object = cursor.parse_term()?;
+    cursor.skip_whitespace();
+    cursor.expect('.')?;
+    cursor.skip_whitespace();
+    if !cursor.is_done() && cursor.peek() != Some('#') {
+        return Err(cursor.error("trailing content after '.'"));
+    }
+    let triple = Triple::new(subject, predicate, object);
+    if !triple.is_valid() {
+        return Err(ParseError::new(
+            line_number,
+            format!("invalid triple (check term positions): {triple}"),
+        ));
+    }
+    Ok(Some(triple))
+}
+
+/// A character cursor shared by the N-Triples and Turtle parsers.
+pub(crate) struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    source: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(source: &'a str, line: usize) -> Self {
+        Cursor {
+            chars: source.chars().collect(),
+            pos: 0,
+            line,
+            source,
+        }
+    }
+
+    pub(crate) fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(
+            self.line,
+            format!("{} (in: {:?})", message.into(), self.source),
+        )
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    pub(crate) fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    /// Peeks `offset` characters ahead of the cursor (0 = same as `peek`).
+    pub(crate) fn peek_offset(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    pub(crate) fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    pub(crate) fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    pub(crate) fn expect(&mut self, expected: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            other => Err(self.error(format!("expected '{expected}', found {other:?}"))),
+        }
+    }
+
+    /// Parses one N-Triples term starting at the cursor.
+    pub(crate) fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some('<') => self.parse_iri(),
+            Some('_') => self.parse_blank(),
+            Some('"') => self.parse_literal(),
+            other => Err(self.error(format!("expected a term, found {other:?}"))),
+        }
+    }
+
+    pub(crate) fn parse_iri(&mut self) -> Result<Term, ParseError> {
+        self.expect('<')?;
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => break,
+                Some(c) if c.is_whitespace() => {
+                    return Err(self.error("whitespace inside IRI"));
+                }
+                Some(c) => iri.push(c),
+                None => return Err(self.error("unterminated IRI")),
+            }
+        }
+        let unescaped = unescape_ntriples(&iri).ok_or_else(|| self.error("bad escape in IRI"))?;
+        Ok(Term::iri(unescaped))
+    }
+
+    pub(crate) fn parse_blank(&mut self) -> Result<Term, ParseError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let mut label = String::new();
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
+            label.push(self.bump().expect("peeked"));
+        }
+        // A trailing '.' belongs to the statement terminator, not the label.
+        while label.ends_with('.') {
+            label.pop();
+            self.pos -= 1;
+        }
+        if label.is_empty() {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(Term::blank(label))
+    }
+
+    /// Parses the quoted, escaped part of a literal (`"…"`), returning the
+    /// unescaped lexical form. Shared by the N-Triples and Turtle parsers.
+    pub(crate) fn parse_quoted_string(&mut self) -> Result<String, ParseError> {
+        self.expect('"')?;
+        let mut lexical = String::new();
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    lexical.push('\\');
+                    match self.bump() {
+                        Some(c) => lexical.push(c),
+                        None => return Err(self.error("unterminated escape in literal")),
+                    }
+                }
+                Some('"') => break,
+                Some(c) => lexical.push(c),
+                None => return Err(self.error("unterminated literal")),
+            }
+        }
+        unescape_ntriples(&lexical).ok_or_else(|| self.error("bad escape sequence in literal"))
+    }
+
+    pub(crate) fn parse_literal(&mut self) -> Result<Term, ParseError> {
+        let lexical = self.parse_quoted_string()?;
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let mut lang = String::new();
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
+                    lang.push(self.bump().expect("peeked"));
+                }
+                if lang.is_empty() {
+                    return Err(self.error("empty language tag"));
+                }
+                Ok(Term::lang_literal(lexical, lang))
+            }
+            Some('^') => {
+                self.bump();
+                self.expect('^')?;
+                let datatype = self.parse_iri()?;
+                match datatype {
+                    Term::Iri(dt) => Ok(Term::typed_literal(lexical, dt)),
+                    _ => unreachable!("parse_iri returns IRIs"),
+                }
+            }
+            _ => Ok(Term::plain_literal(lexical)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_model::vocab;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = "<http://ex/human> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://ex/mammal> .\n\
+                   # a comment\n\
+                   \n\
+                   <http://ex/Bart> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/human> .";
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(triples.len(), 2);
+        assert_eq!(triples[0].predicate, Term::iri(vocab::RDFS_SUB_CLASS_OF));
+        assert_eq!(triples[1].subject, Term::iri("http://ex/Bart"));
+    }
+
+    #[test]
+    fn parses_blank_nodes_and_literals() {
+        let doc = r#"_:b0 <http://ex/label> "hello world" .
+_:b1 <http://ex/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b2 <http://ex/name> "José"@es ."#;
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(triples.len(), 3);
+        assert_eq!(triples[0].subject, Term::blank("b0"));
+        assert_eq!(triples[0].object, Term::plain_literal("hello world"));
+        assert_eq!(
+            triples[1].object,
+            Term::typed_literal("42", "http://www.w3.org/2001/XMLSchema#integer")
+        );
+        assert_eq!(triples[2].object, Term::lang_literal("José", "es"));
+    }
+
+    #[test]
+    fn parses_escapes_in_literals() {
+        let doc = r#"<http://ex/a> <http://ex/p> "line1\nline2 \"quoted\" é" ."#;
+        let triples = parse_ntriples(doc).unwrap();
+        assert_eq!(
+            triples[0].object,
+            Term::plain_literal("line1\nline2 \"quoted\" é")
+        );
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        let doc = r#"<http://ex/a> <http://ex/p> "x\ty"@en-GB .
+_:n1 <http://ex/q> <http://ex/b> ."#;
+        let triples = parse_ntriples(doc).unwrap();
+        let rendered: String = triples.iter().map(|t| format!("{t}\n")).collect();
+        let reparsed = parse_ntriples(&rendered).unwrap();
+        assert_eq!(triples, reparsed);
+    }
+
+    #[test]
+    fn blank_line_and_comment_only_lines_are_skipped() {
+        assert_eq!(parse_ntriples("").unwrap().len(), 0);
+        assert_eq!(parse_ntriples("   \n# only a comment\n").unwrap().len(), 0);
+        assert!(parse_ntriples_line("  # c", 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn trailing_comment_after_dot_is_allowed() {
+        let t = parse_ntriples_line("<http://a> <http://p> <http://b> . # done", 3).unwrap();
+        assert!(t.is_some());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let doc = "<http://ex/a> <http://ex/p> <http://ex/b> .\n<http://ex/a> <http://ex/p> .";
+        let err = parse_ntriples(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        for bad in [
+            "<http://a> <http://p> <http://b>",       // missing dot
+            "<http://a> <http://p> <http://b> . junk", // trailing garbage
+            "<http://a <http://p> <http://b> .",      // unterminated IRI
+            "\"lit\" <http://p> <http://b> .",        // literal subject
+            "<http://a> _:b <http://c> .",            // blank predicate
+            "<http://a> <http://p> \"x\"@ .",         // empty language tag
+        ] {
+            assert!(
+                parse_ntriples_line(bad, 1).is_err(),
+                "expected an error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unicode_escape_in_iri() {
+        let t = parse_ntriples_line("<http://ex/caf\\u00e9> <http://p> <http://o> .", 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(t.subject, Term::iri("http://ex/café"));
+    }
+}

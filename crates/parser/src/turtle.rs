@@ -1,0 +1,503 @@
+//! A pragmatic Turtle-subset parser.
+//!
+//! The benchmark ontologies (and the examples) only need a small, common
+//! slice of Turtle on top of N-Triples:
+//!
+//! * `@prefix p: <iri> .` and SPARQL-style `PREFIX p: <iri>` declarations;
+//! * `@base <iri> .` (resolved by simple concatenation of relative IRIs);
+//! * prefixed names (`rdfs:subClassOf`, `ex:Bart`, `:localDefault`);
+//! * the `a` keyword for `rdf:type`;
+//! * predicate lists (`;`) and object lists (`,`);
+//! * IRIs, blank node labels, plain/typed/language-tagged literals, plus
+//!   bare integer/decimal/boolean abbreviations;
+//! * `#` comments.
+//!
+//! Anonymous blank nodes `[...]`, collections `(...)` and multi-line
+//! (`"""`) literals are **not** supported and raise a [`ParseError`] that
+//! says so. This keeps the parser small while covering every file the
+//! test-suite and dataset generators produce.
+
+use crate::ntriples::{Cursor, ParseError};
+use inferray_model::{vocab, Term, Triple};
+use std::collections::HashMap;
+
+/// Parses a Turtle document (restricted to the subset described in the
+/// module documentation), returning the triples in document order.
+pub fn parse_turtle(input: &str) -> Result<Vec<Triple>, ParseError> {
+    TurtleParser::new(input).parse_all()
+}
+
+struct TurtleParser<'a> {
+    cursor: Cursor<'a>,
+    prefixes: HashMap<String, String>,
+    base: String,
+    triples: Vec<Triple>,
+}
+
+impl<'a> TurtleParser<'a> {
+    fn new(input: &'a str) -> Self {
+        TurtleParser {
+            cursor: Cursor::new(input, 1),
+            prefixes: HashMap::new(),
+            base: String::new(),
+            triples: Vec::new(),
+        }
+    }
+
+    fn parse_all(mut self) -> Result<Vec<Triple>, ParseError> {
+        loop {
+            self.skip_trivia();
+            if self.cursor.is_done() {
+                break;
+            }
+            if self.at_keyword("@prefix") || self.at_keyword("PREFIX") {
+                self.parse_prefix()?;
+            } else if self.at_keyword("@base") || self.at_keyword("BASE") {
+                self.parse_base()?;
+            } else {
+                self.parse_statement()?;
+            }
+        }
+        Ok(self.triples)
+    }
+
+    /// Skips whitespace and `#` comments (to end of line).
+    fn skip_trivia(&mut self) {
+        loop {
+            self.cursor.skip_whitespace();
+            if self.cursor.peek() == Some('#') {
+                while let Some(c) = self.cursor.bump() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn at_keyword(&self, keyword: &str) -> bool {
+        let mut probe = 0usize;
+        for expected in keyword.chars() {
+            match self.peek_at(probe) {
+                Some(c) if c.eq_ignore_ascii_case(&expected) => probe += 1,
+                _ => return false,
+            }
+        }
+        // The keyword must be followed by whitespace.
+        matches!(self.peek_at(probe), Some(c) if c.is_whitespace())
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        // Cursor has no lookahead API beyond peek; emulate with a clone of
+        // the character index arithmetic by peeking the source directly.
+        self.cursor.peek_offset(offset)
+    }
+
+    fn parse_prefix(&mut self) -> Result<(), ParseError> {
+        let sparql_style = self.at_keyword("PREFIX");
+        self.consume_keyword(if sparql_style { "PREFIX" } else { "@prefix" })?;
+        self.skip_trivia();
+        let mut name = String::new();
+        while let Some(c) = self.cursor.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() {
+                return Err(self.cursor.error("malformed prefix name"));
+            }
+            name.push(c);
+            self.cursor.bump();
+        }
+        self.cursor.expect(':')?;
+        self.skip_trivia();
+        let iri = match self.cursor.parse_iri()? {
+            Term::Iri(iri) => iri,
+            _ => unreachable!(),
+        };
+        self.skip_trivia();
+        if !sparql_style {
+            self.cursor.expect('.')?;
+        } else if self.cursor.peek() == Some('.') {
+            self.cursor.bump();
+        }
+        self.prefixes.insert(name, iri);
+        Ok(())
+    }
+
+    fn parse_base(&mut self) -> Result<(), ParseError> {
+        let sparql_style = self.at_keyword("BASE");
+        self.consume_keyword(if sparql_style { "BASE" } else { "@base" })?;
+        self.skip_trivia();
+        let iri = match self.cursor.parse_iri()? {
+            Term::Iri(iri) => iri,
+            _ => unreachable!(),
+        };
+        self.skip_trivia();
+        if !sparql_style {
+            self.cursor.expect('.')?;
+        } else if self.cursor.peek() == Some('.') {
+            self.cursor.bump();
+        }
+        self.base = iri;
+        Ok(())
+    }
+
+    fn consume_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
+        for expected in keyword.chars() {
+            match self.cursor.bump() {
+                Some(c) if c.eq_ignore_ascii_case(&expected) => {}
+                other => {
+                    return Err(self
+                        .cursor
+                        .error(format!("expected keyword {keyword}, found {other:?}")))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses `subject predicateObjectList .`
+    fn parse_statement(&mut self) -> Result<(), ParseError> {
+        let subject = self.parse_node()?;
+        loop {
+            self.skip_trivia();
+            let predicate = self.parse_predicate()?;
+            loop {
+                self.skip_trivia();
+                let object = self.parse_node()?;
+                let triple = Triple::new(subject.clone(), predicate.clone(), object);
+                if !triple.is_valid() {
+                    return Err(self.cursor.error(format!("invalid triple: {triple}")));
+                }
+                self.triples.push(triple);
+                self.skip_trivia();
+                match self.cursor.peek() {
+                    Some(',') => {
+                        self.cursor.bump();
+                    }
+                    _ => break,
+                }
+            }
+            self.skip_trivia();
+            match self.cursor.peek() {
+                Some(';') => {
+                    self.cursor.bump();
+                    self.skip_trivia();
+                    // A dangling ';' before '.' is allowed in Turtle.
+                    if self.cursor.peek() == Some('.') {
+                        self.cursor.bump();
+                        return Ok(());
+                    }
+                }
+                Some('.') => {
+                    self.cursor.bump();
+                    return Ok(());
+                }
+                other => {
+                    return Err(self
+                        .cursor
+                        .error(format!("expected ';' or '.', found {other:?}")))
+                }
+            }
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Term, ParseError> {
+        // The `a` keyword.
+        if self.cursor.peek() == Some('a')
+            && matches!(self.peek_at(1), Some(c) if c.is_whitespace())
+        {
+            self.cursor.bump();
+            return Ok(Term::iri(vocab::RDF_TYPE));
+        }
+        self.parse_node()
+    }
+
+    /// Parses an IRI, prefixed name, blank node label or literal.
+    fn parse_node(&mut self) -> Result<Term, ParseError> {
+        match self.cursor.peek() {
+            Some('<') => {
+                let term = self.cursor.parse_iri()?;
+                match term {
+                    Term::Iri(iri) if !self.base.is_empty() && !iri.contains(':') => {
+                        Ok(Term::iri(format!("{}{}", self.base, iri)))
+                    }
+                    other => Ok(other),
+                }
+            }
+            Some('_') => self.cursor.parse_blank(),
+            Some('"') => {
+                // Parse the quoted part here so that the datatype suffix can
+                // be either `^^<iri>` or a prefixed name (`^^xsd:integer`).
+                let lexical = self.cursor.parse_quoted_string()?;
+                match self.cursor.peek() {
+                    Some('@') => {
+                        self.cursor.bump();
+                        let mut lang = String::new();
+                        while matches!(self.peek_at(0), Some(c) if c.is_ascii_alphanumeric() || c == '-')
+                        {
+                            lang.push(self.cursor.bump().expect("peeked"));
+                        }
+                        if lang.is_empty() {
+                            return Err(self.cursor.error("empty language tag"));
+                        }
+                        Ok(Term::lang_literal(lexical, lang))
+                    }
+                    Some('^') => {
+                        self.cursor.bump();
+                        self.cursor.expect('^')?;
+                        let datatype = if self.cursor.peek() == Some('<') {
+                            self.cursor.parse_iri()?
+                        } else {
+                            self.parse_prefixed_name()?
+                        };
+                        match datatype {
+                            Term::Iri(dt) => Ok(Term::typed_literal(lexical, dt)),
+                            _ => Err(self.cursor.error("malformed datatype annotation")),
+                        }
+                    }
+                    _ => Ok(Term::plain_literal(lexical)),
+                }
+            }
+            Some('[') => Err(self
+                .cursor
+                .error("anonymous blank nodes [...] are not supported by this Turtle subset")),
+            Some('(') => Err(self
+                .cursor
+                .error("collections (...) are not supported by this Turtle subset")),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.parse_numeric(),
+            Some(_) => {
+                if self.at_keyword_value("true") {
+                    return Ok(Term::typed_literal(
+                        "true",
+                        format!("{}boolean", vocab::XSD_NS),
+                    ));
+                }
+                if self.at_keyword_value("false") {
+                    return Ok(Term::typed_literal(
+                        "false",
+                        format!("{}boolean", vocab::XSD_NS),
+                    ));
+                }
+                self.parse_prefixed_name()
+            }
+            None => Err(self.cursor.error("unexpected end of input")),
+        }
+    }
+
+    fn at_keyword_value(&mut self, keyword: &str) -> bool {
+        if !self.at_keyword_loose(keyword) {
+            return false;
+        }
+        for _ in 0..keyword.len() {
+            self.cursor.bump();
+        }
+        true
+    }
+
+    fn at_keyword_loose(&self, keyword: &str) -> bool {
+        let mut probe = 0usize;
+        for expected in keyword.chars() {
+            match self.peek_at(probe) {
+                Some(c) if c == expected => probe += 1,
+                _ => return false,
+            }
+        }
+        match self.peek_at(probe) {
+            None => true,
+            Some(c) => c.is_whitespace() || c == '.' || c == ';' || c == ',',
+        }
+    }
+
+    fn parse_numeric(&mut self) -> Result<Term, ParseError> {
+        let mut text = String::new();
+        while matches!(self.cursor.peek(), Some(c) if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E')
+        {
+            // A '.' followed by whitespace/end is the statement terminator.
+            if self.cursor.peek() == Some('.')
+                && !matches!(self.peek_at(1), Some(c) if c.is_ascii_digit())
+            {
+                break;
+            }
+            text.push(self.cursor.bump().expect("peeked"));
+        }
+        if text.is_empty() {
+            return Err(self.cursor.error("expected a numeric literal"));
+        }
+        let datatype = if text.contains('.') || text.contains('e') || text.contains('E') {
+            format!("{}decimal", vocab::XSD_NS)
+        } else {
+            format!("{}integer", vocab::XSD_NS)
+        };
+        Ok(Term::typed_literal(text, datatype))
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<Term, ParseError> {
+        let mut prefix = String::new();
+        while let Some(c) = self.cursor.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() || c == ';' || c == ',' || c == '.' {
+                return Err(self
+                    .cursor
+                    .error(format!("expected a prefixed name, found {prefix:?}")));
+            }
+            prefix.push(c);
+            self.cursor.bump();
+        }
+        self.cursor.expect(':')?;
+        let mut local = String::new();
+        while let Some(c) = self.cursor.peek() {
+            if c.is_whitespace() || c == ';' || c == ',' {
+                break;
+            }
+            if c == '.' {
+                // A dot ends the local name only when followed by
+                // whitespace/end (statement terminator).
+                match self.peek_at(1) {
+                    Some(next) if !next.is_whitespace() => {}
+                    _ => break,
+                }
+            }
+            local.push(c);
+            self.cursor.bump();
+        }
+        let namespace = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| self.cursor.error(format!("undeclared prefix '{prefix}:'")))?;
+        Ok(Term::iri(format!("{namespace}{local}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_model::vocab;
+
+    #[test]
+    fn parses_prefixes_and_a_keyword() {
+        let doc = r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+
+ex:human rdfs:subClassOf ex:mammal .
+ex:Bart a ex:human .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 2);
+        assert_eq!(triples[0].predicate, Term::iri(vocab::RDFS_SUB_CLASS_OF));
+        assert_eq!(triples[1].predicate, Term::iri(vocab::RDF_TYPE));
+        assert_eq!(triples[1].subject, Term::iri("http://example.org/Bart"));
+    }
+
+    #[test]
+    fn sparql_style_prefix_and_default_prefix() {
+        let doc = r#"
+PREFIX : <http://example.org/>
+:a :knows :b .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 1);
+        assert_eq!(triples[0].object, Term::iri("http://example.org/b"));
+    }
+
+    #[test]
+    fn predicate_and_object_lists() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+ex:s ex:p ex:o1 , ex:o2 ;
+     ex:q ex:o3 ;
+     a ex:C .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 4);
+        assert_eq!(triples[0].object, Term::iri("http://ex.org/o1"));
+        assert_eq!(triples[1].object, Term::iri("http://ex.org/o2"));
+        assert_eq!(triples[2].predicate, Term::iri("http://ex.org/q"));
+        assert_eq!(triples[3].predicate, Term::iri(vocab::RDF_TYPE));
+    }
+
+    #[test]
+    fn literals_including_shorthand_numerics_and_booleans() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:a ex:name "Bart" ;
+     ex:age 10 ;
+     ex:height 1.22 ;
+     ex:cool true ;
+     ex:iq "85"^^xsd:integer ;
+     ex:motto "Ay caramba"@en .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 6);
+        assert_eq!(triples[0].object, Term::plain_literal("Bart"));
+        assert_eq!(
+            triples[1].object,
+            Term::typed_literal("10", format!("{}integer", vocab::XSD_NS))
+        );
+        assert_eq!(
+            triples[2].object,
+            Term::typed_literal("1.22", format!("{}decimal", vocab::XSD_NS))
+        );
+        assert_eq!(
+            triples[3].object,
+            Term::typed_literal("true", format!("{}boolean", vocab::XSD_NS))
+        );
+        assert_eq!(
+            triples[4].object,
+            Term::typed_literal("85", format!("{}integer", vocab::XSD_NS))
+        );
+        assert_eq!(triples[5].object, Term::lang_literal("Ay caramba", "en"));
+    }
+
+    #[test]
+    fn base_resolution_for_relative_iris() {
+        let doc = r#"
+@base <http://ex.org/> .
+@prefix ex: <http://ex.org/> .
+<a> ex:p <b> .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].subject, Term::iri("http://ex.org/a"));
+        assert_eq!(triples[0].object, Term::iri("http://ex.org/b"));
+    }
+
+    #[test]
+    fn comments_and_blank_nodes() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> . # declare
+# a full-line comment
+_:x ex:p _:y . # trailing comment
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 1);
+        assert_eq!(triples[0].subject, Term::blank("x"));
+        assert_eq!(triples[0].object, Term::blank("y"));
+    }
+
+    #[test]
+    fn undeclared_prefix_is_an_error() {
+        let err = parse_turtle("foo:a foo:b foo:c .").unwrap_err();
+        assert!(err.message.contains("undeclared prefix"));
+    }
+
+    #[test]
+    fn unsupported_constructs_give_clear_errors() {
+        let err = parse_turtle("@prefix ex: <http://e/> .\nex:a ex:p [ ex:q ex:r ] .").unwrap_err();
+        assert!(err.message.contains("not supported"));
+        let err = parse_turtle("@prefix ex: <http://e/> .\nex:a ex:p ( ex:r ) .").unwrap_err();
+        assert!(err.message.contains("not supported"));
+    }
+
+    #[test]
+    fn local_names_containing_dots() {
+        let doc = "@prefix ex: <http://ex.org/> .\nex:v1.2 ex:p ex:o .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].subject, Term::iri("http://ex.org/v1.2"));
+    }
+}

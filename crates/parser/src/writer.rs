@@ -1,0 +1,86 @@
+//! N-Triples serialization.
+//!
+//! The writer is the inverse of [`crate::ntriples`]: every triple is emitted
+//! as one canonical N-Triples statement, so `parse(write(g)) == g`. The
+//! reasoners use it to dump materializations, and the dataset generators use
+//! it to persist synthetic workloads.
+
+use inferray_model::{Graph, Triple};
+use std::io::{self, Write};
+
+/// Writes triples as N-Triples statements, one per line.
+pub fn write_ntriples<'a, W: Write>(
+    writer: &mut W,
+    triples: impl IntoIterator<Item = &'a Triple>,
+) -> io::Result<usize> {
+    let mut count = 0usize;
+    for triple in triples {
+        writeln!(writer, "{triple}")?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Writes a whole [`Graph`] as N-Triples. Returns the number of statements.
+pub fn write_graph_ntriples<W: Write>(writer: &mut W, graph: &Graph) -> io::Result<usize> {
+    write_ntriples(writer, graph.iter())
+}
+
+/// Renders triples to an in-memory string (convenience for tests and
+/// examples).
+pub fn to_ntriples_string<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> String {
+    let mut out = Vec::new();
+    write_ntriples(&mut out, triples).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("N-Triples output is valid UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntriples::parse_ntriples;
+    use inferray_model::{Term, vocab};
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        g.insert_iris("http://ex/human", vocab::RDFS_SUB_CLASS_OF, "http://ex/mammal");
+        g.insert(Triple::new(
+            Term::iri("http://ex/Bart"),
+            Term::iri("http://ex/says"),
+            Term::lang_literal("Ay caramba \"dude\"", "en"),
+        ));
+        g.insert(Triple::new(
+            Term::blank("b0"),
+            Term::iri(vocab::RDF_TYPE),
+            Term::iri("http://ex/human"),
+        ));
+        g
+    }
+
+    #[test]
+    fn writer_and_parser_round_trip() {
+        let g = sample_graph();
+        let mut buffer = Vec::new();
+        let written = write_graph_ntriples(&mut buffer, &g).unwrap();
+        assert_eq!(written, 3);
+        let text = String::from_utf8(buffer).unwrap();
+        let reparsed: Graph = parse_ntriples(&text).unwrap().into_iter().collect();
+        assert_eq!(reparsed, g);
+    }
+
+    #[test]
+    fn to_string_helper_matches_writer() {
+        let g = sample_graph();
+        let triples: Vec<Triple> = g.iter().cloned().collect();
+        let text = to_ntriples_string(&triples);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().all(|l| l.ends_with(" .")));
+    }
+
+    #[test]
+    fn empty_graph_produces_empty_output() {
+        let g = Graph::new();
+        let mut buffer = Vec::new();
+        assert_eq!(write_graph_ntriples(&mut buffer, &g).unwrap(), 0);
+        assert!(buffer.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based round-trip tests: any graph the model can represent must
+//! survive `write N-Triples → parse N-Triples` unchanged, including literals
+//! with escapes, unicode, language tags and datatypes.
+
+use inferray_model::{Graph, Term, Triple};
+use inferray_parser::{parse_ntriples, to_ntriples_string};
+use proptest::prelude::*;
+
+/// Lexical forms that stress the escaping rules: quotes, backslashes,
+/// newlines, tabs, and non-ASCII text.
+fn arbitrary_lexical() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Plain alphanumeric words.
+        "[a-zA-Z0-9 ]{0,24}",
+        // Strings with characters that must be escaped in N-Triples.
+        prop::collection::vec(
+            prop_oneof![
+                Just('"'),
+                Just('\\'),
+                Just('\n'),
+                Just('\t'),
+                Just('\r'),
+                Just('a'),
+                Just('é'),
+                Just('語'),
+                Just('🦀'),
+            ],
+            0..12
+        )
+        .prop_map(|chars| chars.into_iter().collect()),
+    ]
+}
+
+fn arbitrary_iri() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}".prop_map(|local| format!("http://example.org/{local}"))
+}
+
+fn arbitrary_object() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arbitrary_iri().prop_map(Term::iri),
+        "[A-Za-z][A-Za-z0-9]{0,8}".prop_map(Term::blank),
+        arbitrary_lexical().prop_map(Term::plain_literal),
+        (arbitrary_lexical(), arbitrary_iri())
+            .prop_map(|(lex, dt)| Term::typed_literal(lex, dt)),
+        (arbitrary_lexical(), "[a-z]{2}(-[a-z]{2})?")
+            .prop_map(|(lex, lang)| Term::lang_literal(lex, lang)),
+        any::<i64>().prop_map(Term::integer),
+    ]
+}
+
+fn arbitrary_subject() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arbitrary_iri().prop_map(Term::iri),
+        "[A-Za-z][A-Za-z0-9]{0,8}".prop_map(Term::blank),
+    ]
+}
+
+fn arbitrary_triple() -> impl Strategy<Value = Triple> {
+    (arbitrary_subject(), arbitrary_iri(), arbitrary_object())
+        .prop_map(|(s, p, o)| Triple::new(s, Term::iri(p), o))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// write → parse is the identity on sets of triples.
+    #[test]
+    fn ntriples_roundtrip_preserves_every_triple(
+        triples in prop::collection::vec(arbitrary_triple(), 0..30)
+    ) {
+        let mut graph = Graph::new();
+        for t in &triples {
+            graph.insert(t.clone());
+        }
+        let serialized = to_ntriples_string(graph.iter());
+        let parsed = parse_ntriples(&serialized).expect("writer output must parse");
+        let mut reparsed = Graph::new();
+        for t in parsed {
+            reparsed.insert(t);
+        }
+        prop_assert_eq!(reparsed, graph);
+    }
+
+    /// The writer always terminates each triple with " .\n" and escapes every
+    /// double quote inside literals, so the output is line-oriented.
+    #[test]
+    fn writer_output_is_line_oriented(
+        triples in prop::collection::vec(arbitrary_triple(), 1..20)
+    ) {
+        let serialized = to_ntriples_string(triples.iter());
+        let lines: Vec<&str> = serialized.lines().filter(|l| !l.trim().is_empty()).collect();
+        // One statement per line: escaping keeps newlines out of literals.
+        prop_assert_eq!(lines.len(), triples.len());
+        for line in lines {
+            prop_assert!(line.trim_end().ends_with('.'), "line not terminated: {line:?}");
+        }
+    }
+
+    /// escape/unescape of lexical forms is a round trip.
+    #[test]
+    fn escape_unescape_roundtrip(lexical in arbitrary_lexical()) {
+        let escaped = inferray_model::term::escape_ntriples(&lexical);
+        let unescaped = inferray_model::term::unescape_ntriples(&escaped);
+        prop_assert_eq!(unescaped.as_deref(), Some(lexical.as_str()));
+        // Escaped forms never contain raw newlines or unescaped quotes.
+        prop_assert!(!escaped.contains('\n'));
+        let mut chars = escaped.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                chars.next();
+            } else {
+                prop_assert_ne!(c, '"');
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_documents_are_rejected_with_line_numbers() {
+    for (input, expect_line) in [
+        ("<http://ex/s> <http://ex/p> .", 1),
+        ("<http://ex/s> <http://ex/p> <http://ex/o> .\n<broken line", 2),
+        ("<http://ex/s> \"not a predicate\" <http://ex/o> .", 1),
+        ("<http://ex/s> <http://ex/p> \"unterminated .", 1),
+    ] {
+        let error = parse_ntriples(input).expect_err("must be rejected");
+        assert_eq!(error.line, expect_line, "wrong line for {input:?}");
+    }
+}
+
+#[test]
+fn unicode_and_escapes_survive_a_concrete_roundtrip() {
+    let tricky = Triple::new(
+        Term::iri("http://example.org/s"),
+        Term::iri("http://example.org/says"),
+        Term::lang_literal("Grüße, \"Welt\"\n\t🦀 \\ fin", "de-at"),
+    );
+    let serialized = to_ntriples_string([&tricky]);
+    let parsed = parse_ntriples(&serialized).unwrap();
+    assert_eq!(parsed, vec![tricky]);
+}

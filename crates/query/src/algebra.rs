@@ -1,0 +1,354 @@
+//! The query algebra: patterns, filters and the [`Query`] structure.
+//!
+//! The original Inferray positions materialization as the inference layer of
+//! a triple store: once the closure has been written back, "inferred data
+//! can be consumed as explicit data without integrating the inference engine
+//! with the runtime query engine" (§1). This module models the consumer side
+//! of that contract — a basic-graph-pattern (BGP) query language in the
+//! spirit of the SPARQL subset the vertical-partitioning line of work
+//! ([Abadi et al., PVLDB 2007]) evaluates.
+
+use inferray_model::Term;
+use std::fmt;
+
+/// One position of a triple pattern: either a named variable or a bound RDF
+/// term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternTerm {
+    /// A query variable, stored without the leading `?`.
+    Variable(String),
+    /// A constant term that must match exactly.
+    Constant(Term),
+}
+
+impl PatternTerm {
+    /// Builds a variable pattern term (accepts the name with or without the
+    /// leading `?`/`$`).
+    pub fn var(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let trimmed = name
+            .strip_prefix('?')
+            .or_else(|| name.strip_prefix('$'))
+            .map(str::to_owned)
+            .unwrap_or(name);
+        PatternTerm::Variable(trimmed)
+    }
+
+    /// Builds a constant IRI pattern term.
+    pub fn iri(iri: impl Into<String>) -> Self {
+        PatternTerm::Constant(Term::iri(iri))
+    }
+
+    /// Builds a constant pattern term from any [`Term`].
+    pub fn term(term: Term) -> Self {
+        PatternTerm::Constant(term)
+    }
+
+    /// The variable name, if this position is a variable.
+    pub fn as_variable(&self) -> Option<&str> {
+        match self {
+            PatternTerm::Variable(name) => Some(name),
+            PatternTerm::Constant(_) => None,
+        }
+    }
+
+    /// The constant term, if this position is bound.
+    pub fn as_constant(&self) -> Option<&Term> {
+        match self {
+            PatternTerm::Variable(_) => None,
+            PatternTerm::Constant(term) => Some(term),
+        }
+    }
+
+    /// `true` when this position is a variable.
+    pub fn is_variable(&self) -> bool {
+        matches!(self, PatternTerm::Variable(_))
+    }
+}
+
+impl fmt::Display for PatternTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternTerm::Variable(name) => write!(f, "?{name}"),
+            PatternTerm::Constant(term) => write!(f, "{term}"),
+        }
+    }
+}
+
+/// A triple pattern `⟨s, p, o⟩` where each position is a [`PatternTerm`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriplePatternSpec {
+    /// Subject position.
+    pub s: PatternTerm,
+    /// Predicate position.
+    pub p: PatternTerm,
+    /// Object position.
+    pub o: PatternTerm,
+}
+
+impl TriplePatternSpec {
+    /// Builds a triple pattern from its three positions.
+    pub fn new(s: PatternTerm, p: PatternTerm, o: PatternTerm) -> Self {
+        TriplePatternSpec { s, p, o }
+    }
+
+    /// The distinct variable names used by this pattern, in s/p/o order.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut vars = Vec::new();
+        for position in [&self.s, &self.p, &self.o] {
+            if let Some(name) = position.as_variable() {
+                if !vars.contains(&name) {
+                    vars.push(name);
+                }
+            }
+        }
+        vars
+    }
+
+    /// Number of bound (constant) positions.
+    pub fn bound_positions(&self) -> usize {
+        [&self.s, &self.p, &self.o]
+            .iter()
+            .filter(|t| !t.is_variable())
+            .count()
+    }
+}
+
+impl fmt::Display for TriplePatternSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.s, self.p, self.o)
+    }
+}
+
+/// A filter constraint over the bindings produced by the BGP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterExpr {
+    /// `FILTER(?x = value)` — the binding of `x` must equal the value
+    /// (another variable or a constant term).
+    Equal(String, PatternTerm),
+    /// `FILTER(?x != value)` — the binding of `x` must differ from the value.
+    NotEqual(String, PatternTerm),
+    /// `FILTER(isIRI(?x))`.
+    IsIri(String),
+    /// `FILTER(isLiteral(?x))`.
+    IsLiteral(String),
+    /// `FILTER(isBlank(?x))`.
+    IsBlank(String),
+    /// `FILTER(bound(?x))`.
+    Bound(String),
+}
+
+impl FilterExpr {
+    /// The variables this filter reads.
+    pub fn variables(&self) -> Vec<&str> {
+        match self {
+            FilterExpr::Equal(v, rhs) | FilterExpr::NotEqual(v, rhs) => {
+                let mut vars = vec![v.as_str()];
+                if let Some(name) = rhs.as_variable() {
+                    if name != v {
+                        vars.push(name);
+                    }
+                }
+                vars
+            }
+            FilterExpr::IsIri(v)
+            | FilterExpr::IsLiteral(v)
+            | FilterExpr::IsBlank(v)
+            | FilterExpr::Bound(v) => vec![v.as_str()],
+        }
+    }
+}
+
+/// The projection of a query: either every variable used in the BGP
+/// (`SELECT *`) or an explicit list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// `SELECT *`.
+    All,
+    /// `SELECT ?a ?b …` — variable names without the leading `?`.
+    Variables(Vec<String>),
+}
+
+/// The kind of query: `SELECT` returns bindings, `ASK` returns a boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryForm {
+    /// A `SELECT` query.
+    Select,
+    /// An `ASK` query.
+    Ask,
+}
+
+/// A basic-graph-pattern query over the materialized store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT` or `ASK`.
+    pub form: QueryForm,
+    /// The projection (ignored for `ASK`).
+    pub select: Selection,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// The triple patterns of the BGP (conjunctive).
+    pub patterns: Vec<TriplePatternSpec>,
+    /// `FILTER` constraints, applied conjunctively.
+    pub filters: Vec<FilterExpr>,
+    /// `LIMIT`, if any.
+    pub limit: Option<usize>,
+    /// `OFFSET` (defaults to 0).
+    pub offset: usize,
+}
+
+impl Query {
+    /// A `SELECT *` query over the given patterns with no filters.
+    pub fn select_all(patterns: Vec<TriplePatternSpec>) -> Self {
+        Query {
+            form: QueryForm::Select,
+            select: Selection::All,
+            distinct: false,
+            patterns,
+            filters: Vec::new(),
+            limit: None,
+            offset: 0,
+        }
+    }
+
+    /// A `SELECT ?a ?b …` query over the given patterns.
+    pub fn select(vars: Vec<String>, patterns: Vec<TriplePatternSpec>) -> Self {
+        Query {
+            select: Selection::Variables(vars),
+            ..Query::select_all(patterns)
+        }
+    }
+
+    /// An `ASK` query over the given patterns.
+    pub fn ask(patterns: Vec<TriplePatternSpec>) -> Self {
+        Query {
+            form: QueryForm::Ask,
+            ..Query::select_all(patterns)
+        }
+    }
+
+    /// Adds a filter and returns the modified query (builder style).
+    pub fn with_filter(mut self, filter: FilterExpr) -> Self {
+        self.filters.push(filter);
+        self
+    }
+
+    /// Marks the query as `DISTINCT` and returns it (builder style).
+    pub fn with_distinct(mut self) -> Self {
+        self.distinct = true;
+        self
+    }
+
+    /// Sets `LIMIT` and returns the query (builder style).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Sets `OFFSET` and returns the query (builder style).
+    pub fn with_offset(mut self, offset: usize) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Every distinct variable mentioned in the BGP, in first-use order.
+    pub fn pattern_variables(&self) -> Vec<String> {
+        let mut vars: Vec<String> = Vec::new();
+        for pattern in &self.patterns {
+            for name in pattern.variables() {
+                if !vars.iter().any(|v| v == name) {
+                    vars.push(name.to_owned());
+                }
+            }
+        }
+        vars
+    }
+
+    /// The variables the query projects: the explicit list for
+    /// `SELECT ?a ?b …`, every pattern variable for `SELECT *`.
+    pub fn projected_variables(&self) -> Vec<String> {
+        match &self.select {
+            Selection::All => self.pattern_variables(),
+            Selection::Variables(vars) => vars.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(s: &str, p: &str, o: &str) -> TriplePatternSpec {
+        let position = |text: &str| {
+            if let Some(rest) = text.strip_prefix('?') {
+                PatternTerm::var(rest)
+            } else {
+                PatternTerm::iri(text)
+            }
+        };
+        TriplePatternSpec::new(position(s), position(p), position(o))
+    }
+
+    #[test]
+    fn var_strips_question_mark_and_dollar() {
+        assert_eq!(PatternTerm::var("?x"), PatternTerm::Variable("x".into()));
+        assert_eq!(PatternTerm::var("$x"), PatternTerm::Variable("x".into()));
+        assert_eq!(PatternTerm::var("x"), PatternTerm::Variable("x".into()));
+    }
+
+    #[test]
+    fn pattern_variables_are_deduplicated_in_order() {
+        let q = Query::select_all(vec![
+            pattern("?x", "http://ex/p", "?y"),
+            pattern("?y", "http://ex/q", "?x"),
+            pattern("?z", "?p", "?z"),
+        ]);
+        assert_eq!(q.pattern_variables(), vec!["x", "y", "z", "p"]);
+    }
+
+    #[test]
+    fn bound_positions_counts_constants() {
+        assert_eq!(pattern("?x", "?p", "?o").bound_positions(), 0);
+        assert_eq!(pattern("?x", "http://ex/p", "?o").bound_positions(), 1);
+        assert_eq!(
+            pattern("http://ex/s", "http://ex/p", "http://ex/o").bound_positions(),
+            3
+        );
+    }
+
+    #[test]
+    fn projection_defaults_to_pattern_variables() {
+        let q = Query::select_all(vec![pattern("?x", "http://ex/p", "?y")]);
+        assert_eq!(q.projected_variables(), vec!["x", "y"]);
+        let q = Query::select(vec!["y".into()], vec![pattern("?x", "http://ex/p", "?y")]);
+        assert_eq!(q.projected_variables(), vec!["y"]);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let q = Query::select_all(vec![pattern("?x", "http://ex/p", "?y")])
+            .with_distinct()
+            .with_limit(5)
+            .with_offset(2)
+            .with_filter(FilterExpr::IsIri("x".into()));
+        assert!(q.distinct);
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.offset, 2);
+        assert_eq!(q.filters.len(), 1);
+    }
+
+    #[test]
+    fn filter_variables() {
+        let f = FilterExpr::Equal("x".into(), PatternTerm::var("y"));
+        assert_eq!(f.variables(), vec!["x", "y"]);
+        let f = FilterExpr::NotEqual("x".into(), PatternTerm::iri("http://ex/a"));
+        assert_eq!(f.variables(), vec!["x"]);
+        assert_eq!(FilterExpr::Bound("b".into()).variables(), vec!["b"]);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let p = pattern("?x", "http://ex/p", "?y");
+        assert_eq!(p.to_string(), "?x <http://ex/p> ?y .");
+    }
+}

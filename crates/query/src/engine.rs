@@ -1,0 +1,444 @@
+//! The [`QueryEngine`]: compiles and evaluates queries against a store and
+//! its dictionary.
+
+use crate::algebra::{FilterExpr, PatternTerm, Query, QueryForm, TriplePatternSpec};
+use crate::executor::{evaluate_bgp, CompiledPattern, Row, Slot};
+use crate::planner::order_patterns;
+use crate::solution::SolutionSet;
+use crate::sparql::{parse_query, QueryParseError};
+use inferray_dictionary::Dictionary;
+use inferray_model::{Term, TermKind};
+use inferray_store::TripleStore;
+use std::collections::HashMap;
+
+/// A read-only query engine over a (typically materialized) triple store and
+/// the dictionary that encoded it.
+///
+/// The engine never mutates the store. For best `(?, p, o)` lookups, build
+/// the ⟨o,s⟩ caches first with [`TripleStore::ensure_all_os`] — the engine
+/// transparently falls back to sequential scans when a cache is absent.
+///
+/// # Example
+///
+/// ```
+/// use inferray_parser::load_turtle;
+/// use inferray_query::QueryEngine;
+///
+/// let data = r#"
+/// @prefix ex: <http://example.org/> .
+/// ex:alice ex:knows ex:bob .
+/// ex:bob ex:knows ex:carol .
+/// "#;
+/// let mut loaded = load_turtle(data).unwrap();
+/// loaded.store.ensure_all_os();
+/// let engine = QueryEngine::new(&loaded.store, &loaded.dictionary);
+/// let solutions = engine
+///     .execute_sparql(
+///         "PREFIX ex: <http://example.org/> \
+///          SELECT ?x ?z WHERE { ?x ex:knows ?y . ?y ex:knows ?z }",
+///     )
+///     .unwrap();
+/// assert_eq!(solutions.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine<'a> {
+    store: &'a TripleStore,
+    dictionary: &'a Dictionary,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine over a store and the dictionary that encoded it.
+    pub fn new(store: &'a TripleStore, dictionary: &'a Dictionary) -> Self {
+        QueryEngine { store, dictionary }
+    }
+
+    /// The store the engine reads from.
+    pub fn store(&self) -> &TripleStore {
+        self.store
+    }
+
+    /// The dictionary used to encode constants and decode solutions.
+    pub fn dictionary(&self) -> &Dictionary {
+        self.dictionary
+    }
+
+    /// Parses and executes a SPARQL-subset `SELECT` (or `ASK`) query,
+    /// returning its solutions. For `ASK` queries the solution set contains
+    /// one empty row when the pattern matches and no row otherwise.
+    pub fn execute_sparql(&self, text: &str) -> Result<SolutionSet, QueryParseError> {
+        Ok(self.execute(&parse_query(text)?))
+    }
+
+    /// Parses and executes an `ASK` query (also accepts `SELECT`, in which
+    /// case the answer is "does it have at least one solution").
+    pub fn ask_sparql(&self, text: &str) -> Result<bool, QueryParseError> {
+        Ok(self.ask(&parse_query(text)?))
+    }
+
+    /// Executes a pre-built [`Query`].
+    pub fn execute(&self, query: &Query) -> SolutionSet {
+        let registry = VariableRegistry::for_query(query);
+        let projected = match query.form {
+            QueryForm::Select => query.projected_variables(),
+            QueryForm::Ask => Vec::new(),
+        };
+        let mut solutions = SolutionSet::empty(projected.clone());
+
+        let Some(compiled) = self.compile_patterns(&query.patterns, &registry) else {
+            // A constant of the BGP is not in the dictionary: no solution.
+            return solutions;
+        };
+        let ordered = order_patterns(self.store, compiled);
+        let rows = evaluate_bgp(self.store, &ordered, registry.len());
+
+        for row in rows {
+            if !self.row_passes_filters(&row, &query.filters, &registry) {
+                continue;
+            }
+            if query.form == QueryForm::Ask {
+                solutions.push_row(Vec::new());
+                break;
+            }
+            let projected_row = projected
+                .iter()
+                .map(|name| registry.index(name).and_then(|index| row[index]))
+                .collect();
+            solutions.push_row(projected_row);
+        }
+
+        if query.form == QueryForm::Select {
+            if query.distinct {
+                solutions.deduplicate();
+            }
+            solutions.slice(query.offset, query.limit);
+        }
+        solutions
+    }
+
+    /// Executes a query and reports whether it has at least one solution.
+    pub fn ask(&self, query: &Query) -> bool {
+        let probe = Query {
+            form: QueryForm::Ask,
+            ..query.clone()
+        };
+        !self.execute(&probe).is_empty()
+    }
+
+    /// Compiles the BGP against the dictionary; `None` when a constant term
+    /// is unknown (the BGP can never match).
+    fn compile_patterns(
+        &self,
+        patterns: &[TriplePatternSpec],
+        registry: &VariableRegistry,
+    ) -> Option<Vec<CompiledPattern>> {
+        patterns
+            .iter()
+            .map(|pattern| {
+                Some(CompiledPattern {
+                    s: self.compile_term(&pattern.s, registry)?,
+                    p: self.compile_term(&pattern.p, registry)?,
+                    o: self.compile_term(&pattern.o, registry)?,
+                })
+            })
+            .collect()
+    }
+
+    fn compile_term(&self, term: &PatternTerm, registry: &VariableRegistry) -> Option<Slot> {
+        match term {
+            PatternTerm::Variable(name) => Some(Slot::Var(
+                registry
+                    .index(name)
+                    .expect("registry contains every pattern variable"),
+            )),
+            PatternTerm::Constant(term) => self.dictionary.id_of(term).map(Slot::Bound),
+        }
+    }
+
+    fn row_passes_filters(
+        &self,
+        row: &Row,
+        filters: &[FilterExpr],
+        registry: &VariableRegistry,
+    ) -> bool {
+        filters
+            .iter()
+            .all(|filter| self.filter_holds(row, filter, registry))
+    }
+
+    fn filter_holds(&self, row: &Row, filter: &FilterExpr, registry: &VariableRegistry) -> bool {
+        let value_of = |name: &str| registry.index(name).and_then(|index| row[index]);
+        match filter {
+            FilterExpr::Bound(name) => value_of(name).is_some(),
+            FilterExpr::IsIri(name) => self.kind_of(value_of(name)) == Some(TermKind::Iri),
+            FilterExpr::IsLiteral(name) => {
+                self.kind_of(value_of(name)) == Some(TermKind::Literal)
+            }
+            FilterExpr::IsBlank(name) => {
+                self.kind_of(value_of(name)) == Some(TermKind::BlankNode)
+            }
+            FilterExpr::Equal(name, rhs) => {
+                let Some(lhs) = value_of(name) else {
+                    return false;
+                };
+                match self.resolve_rhs(rhs, &value_of) {
+                    Some(rhs_value) => lhs == rhs_value,
+                    // The right-hand term exists nowhere in the data, so it
+                    // cannot be equal to any bound value.
+                    None => false,
+                }
+            }
+            FilterExpr::NotEqual(name, rhs) => {
+                let Some(lhs) = value_of(name) else {
+                    return false;
+                };
+                match rhs {
+                    PatternTerm::Variable(other) => {
+                        value_of(other).is_some_and(|rhs_value| lhs != rhs_value)
+                    }
+                    PatternTerm::Constant(term) => match self.dictionary.id_of(term) {
+                        Some(rhs_value) => lhs != rhs_value,
+                        // A term absent from the data differs from every
+                        // bound value.
+                        None => true,
+                    },
+                }
+            }
+        }
+    }
+
+    fn resolve_rhs(
+        &self,
+        rhs: &PatternTerm,
+        value_of: &impl Fn(&str) -> Option<u64>,
+    ) -> Option<u64> {
+        match rhs {
+            PatternTerm::Variable(name) => value_of(name),
+            PatternTerm::Constant(term) => self.dictionary.id_of(term),
+        }
+    }
+
+    fn kind_of(&self, id: Option<u64>) -> Option<TermKind> {
+        id.and_then(|id| self.dictionary.decode(id)).map(Term::kind)
+    }
+}
+
+/// Maps variable names to row slot indices.
+struct VariableRegistry {
+    slots: HashMap<String, usize>,
+    count: usize,
+}
+
+impl VariableRegistry {
+    fn for_query(query: &Query) -> Self {
+        let mut registry = VariableRegistry {
+            slots: HashMap::new(),
+            count: 0,
+        };
+        for name in query.pattern_variables() {
+            registry.insert(name);
+        }
+        for filter in &query.filters {
+            for name in filter.variables() {
+                registry.insert(name.to_owned());
+            }
+        }
+        registry
+    }
+
+    fn insert(&mut self, name: String) {
+        if !self.slots.contains_key(&name) {
+            self.slots.insert(name, self.count);
+            self.count += 1;
+        }
+    }
+
+    fn index(&self, name: &str) -> Option<usize> {
+        self.slots.get(name).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{PatternTerm, TriplePatternSpec};
+    use inferray_parser::load_turtle;
+
+    const DATA: &str = r#"
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:alice a ex:Person ; ex:knows ex:bob ; ex:name "Alice" .
+ex:bob a ex:Person ; ex:knows ex:carol ; ex:name "Bob" .
+ex:carol a ex:Robot ; ex:name "Carol"@en .
+ex:Robot rdfs:subClassOf ex:Agent .
+"#;
+
+    fn loaded() -> inferray_parser::LoadedDataset {
+        let mut dataset = load_turtle(DATA).unwrap();
+        dataset.store.ensure_all_os();
+        dataset
+    }
+
+    fn ex(local: &str) -> String {
+        format!("http://example.org/{local}")
+    }
+
+    #[test]
+    fn single_pattern_select() {
+        let dataset = loaded();
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        let solutions = engine
+            .execute_sparql(
+                "PREFIX ex: <http://example.org/> SELECT ?who WHERE { ?who a ex:Person }",
+            )
+            .unwrap();
+        assert_eq!(solutions.len(), 2);
+        let who: Vec<Option<Term>> = (0..solutions.len())
+            .map(|row| solutions.decoded_value(row, "who", &dataset.dictionary))
+            .collect();
+        assert!(who.contains(&Some(Term::iri(ex("alice")))));
+        assert!(who.contains(&Some(Term::iri(ex("bob")))));
+    }
+
+    #[test]
+    fn join_across_two_patterns() {
+        let dataset = loaded();
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        let solutions = engine
+            .execute_sparql(
+                "PREFIX ex: <http://example.org/> \
+                 SELECT ?x ?z WHERE { ?x ex:knows ?y . ?y ex:knows ?z }",
+            )
+            .unwrap();
+        assert_eq!(solutions.len(), 1);
+        assert_eq!(
+            solutions.decoded_value(0, "x", &dataset.dictionary),
+            Some(Term::iri(ex("alice")))
+        );
+        assert_eq!(
+            solutions.decoded_value(0, "z", &dataset.dictionary),
+            Some(Term::iri(ex("carol")))
+        );
+    }
+
+    #[test]
+    fn filters_restrict_solutions() {
+        let dataset = loaded();
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        let all = engine
+            .execute_sparql(
+                "PREFIX ex: <http://example.org/> SELECT ?s ?n WHERE { ?s ex:name ?n }",
+            )
+            .unwrap();
+        assert_eq!(all.len(), 3);
+        let only_alice = engine
+            .execute_sparql(
+                "PREFIX ex: <http://example.org/> \
+                 SELECT ?s WHERE { ?s ex:name ?n . FILTER(?n = \"Alice\") }",
+            )
+            .unwrap();
+        assert_eq!(only_alice.len(), 1);
+        assert_eq!(
+            only_alice.decoded_value(0, "s", &dataset.dictionary),
+            Some(Term::iri(ex("alice")))
+        );
+        let not_alice = engine
+            .execute_sparql(
+                "PREFIX ex: <http://example.org/> \
+                 SELECT ?s WHERE { ?s ex:name ?n . FILTER(?n != \"Alice\") }",
+            )
+            .unwrap();
+        assert_eq!(not_alice.len(), 2);
+        let literals = engine
+            .execute_sparql(
+                "PREFIX ex: <http://example.org/> \
+                 SELECT ?o WHERE { ?s ?p ?o . FILTER(isLiteral(?o)) }",
+            )
+            .unwrap();
+        assert_eq!(literals.len(), 3);
+    }
+
+    #[test]
+    fn unknown_constant_means_no_solutions() {
+        let dataset = loaded();
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        let solutions = engine
+            .execute_sparql(
+                "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s a ex:Unicorn }",
+            )
+            .unwrap();
+        assert!(solutions.is_empty());
+        assert_eq!(solutions.variables(), &["s".to_owned()]);
+    }
+
+    #[test]
+    fn ask_queries() {
+        let dataset = loaded();
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        assert!(engine
+            .ask_sparql("PREFIX ex: <http://example.org/> ASK { ex:alice ex:knows ex:bob }")
+            .unwrap());
+        assert!(!engine
+            .ask_sparql("PREFIX ex: <http://example.org/> ASK { ex:bob ex:knows ex:alice }")
+            .unwrap());
+        assert!(!engine
+            .ask_sparql("PREFIX ex: <http://example.org/> ASK { ex:alice ex:knows ex:ghost }")
+            .unwrap());
+    }
+
+    #[test]
+    fn distinct_limit_offset_apply_in_order() {
+        let dataset = loaded();
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        let types = engine
+            .execute_sparql("SELECT DISTINCT ?t WHERE { ?x a ?t }")
+            .unwrap();
+        assert_eq!(types.len(), 2);
+        let limited = engine
+            .execute_sparql("SELECT ?x WHERE { ?x ?p ?o } LIMIT 3")
+            .unwrap();
+        assert_eq!(limited.len(), 3);
+        let all = engine.execute_sparql("SELECT ?x WHERE { ?x ?p ?o }").unwrap();
+        let offset = engine
+            .execute_sparql("SELECT ?x WHERE { ?x ?p ?o } OFFSET 2")
+            .unwrap();
+        assert_eq!(offset.len(), all.len() - 2);
+    }
+
+    #[test]
+    fn programmatic_query_construction() {
+        let dataset = loaded();
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        let query = Query::select_all(vec![TriplePatternSpec::new(
+            PatternTerm::var("x"),
+            PatternTerm::iri(ex("knows")),
+            PatternTerm::var("y"),
+        )]);
+        let solutions = engine.execute(&query);
+        assert_eq!(solutions.len(), 2);
+        assert!(engine.ask(&query));
+    }
+
+    #[test]
+    fn projecting_a_variable_absent_from_the_bgp_yields_unbound() {
+        let dataset = loaded();
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        let solutions = engine
+            .execute_sparql("SELECT ?ghost WHERE { ?x ?p ?o } LIMIT 1")
+            .unwrap();
+        assert_eq!(solutions.len(), 1);
+        assert_eq!(solutions.rows()[0], vec![None]);
+    }
+
+    #[test]
+    fn empty_bgp_has_exactly_one_empty_solution() {
+        let dataset = loaded();
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        let solutions = engine.execute_sparql("SELECT * WHERE { }").unwrap();
+        assert_eq!(solutions.len(), 1);
+        assert!(engine.ask_sparql("ASK {}").unwrap());
+    }
+}

@@ -1,0 +1,311 @@
+//! Pattern-at-a-time evaluation of a basic graph pattern over the
+//! vertically partitioned store.
+//!
+//! Every triple pattern with a bound predicate resolves to one property
+//! table and is answered with the same primitives the reasoner's sort-merge
+//! joins use: binary search for fully bound patterns, a contiguous run scan
+//! for `(s, p, ?)`, the ⟨o,s⟩ cache for `(?, p, o)` when it is materialized,
+//! and a sequential sweep otherwise. Unbound predicates iterate over the
+//! property tables — the cost the vertical-partitioning design accepts for
+//! its fast bound-predicate path.
+
+use inferray_store::TripleStore;
+
+/// One position of a compiled pattern: a dictionary identifier or a variable
+/// slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// A constant, already dictionary-encoded.
+    Bound(u64),
+    /// A variable, identified by its slot index in the binding rows.
+    Var(usize),
+}
+
+/// A triple pattern with every constant dictionary-encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CompiledPattern {
+    pub(crate) s: Slot,
+    pub(crate) p: Slot,
+    pub(crate) o: Slot,
+}
+
+/// A partial binding row: one entry per variable slot.
+pub(crate) type Row = Vec<Option<u64>>;
+
+/// Evaluates the ordered patterns and returns every complete binding row.
+pub(crate) fn evaluate_bgp(
+    store: &TripleStore,
+    patterns: &[CompiledPattern],
+    variable_count: usize,
+) -> Vec<Row> {
+    let mut rows: Vec<Row> = vec![vec![None; variable_count]];
+    for pattern in patterns {
+        if rows.is_empty() {
+            break;
+        }
+        let mut next = Vec::new();
+        for row in &rows {
+            extend_row(store, pattern, row, &mut next);
+        }
+        rows = next;
+    }
+    rows
+}
+
+/// Produces every extension of `row` that matches `pattern`.
+fn extend_row(store: &TripleStore, pattern: &CompiledPattern, row: &Row, out: &mut Vec<Row>) {
+    let resolve = |slot: Slot| -> Slot {
+        match slot {
+            Slot::Bound(id) => Slot::Bound(id),
+            Slot::Var(index) => match row[index] {
+                Some(value) => Slot::Bound(value),
+                None => Slot::Var(index),
+            },
+        }
+    };
+    let s = resolve(pattern.s);
+    let p = resolve(pattern.p);
+    let o = resolve(pattern.o);
+
+    let mut emit = |s_value: u64, p_value: u64, o_value: u64| {
+        let mut extended = row.clone();
+        if try_bind(&mut extended, pattern.s, s_value)
+            && try_bind(&mut extended, pattern.p, p_value)
+            && try_bind(&mut extended, pattern.o, o_value)
+        {
+            out.push(extended);
+        }
+    };
+
+    match p {
+        Slot::Bound(p_value) => {
+            // A predicate position can resolve to a non-property identifier
+            // (a literal constant, or a variable bound to a resource by an
+            // earlier pattern); no triple can match it.
+            if !inferray_model::ids::is_property_id(p_value) {
+                return;
+            }
+            if let Some(table) = store.table(p_value) {
+                match_in_table(table, p_value, s, o, &mut emit);
+            }
+        }
+        Slot::Var(_) => {
+            for (p_value, table) in store.iter_tables() {
+                match_in_table(table, p_value, s, o, &mut emit);
+            }
+        }
+    }
+}
+
+/// Enumerates the `(s, o)` pairs of one property table that satisfy the
+/// resolved subject/object constraints.
+fn match_in_table(
+    table: &inferray_store::PropertyTable,
+    p_value: u64,
+    s: Slot,
+    o: Slot,
+    emit: &mut impl FnMut(u64, u64, u64),
+) {
+    match (s, o) {
+        (Slot::Bound(s_value), Slot::Bound(o_value)) => {
+            if table.contains_pair(s_value, o_value) {
+                emit(s_value, p_value, o_value);
+            }
+        }
+        (Slot::Bound(s_value), Slot::Var(_)) => {
+            for o_value in table.objects_of(s_value) {
+                emit(s_value, p_value, o_value);
+            }
+        }
+        (Slot::Var(_), Slot::Bound(o_value)) => {
+            if table.has_os_cache() {
+                for s_value in table.subjects_of(o_value) {
+                    emit(s_value, p_value, o_value);
+                }
+            } else {
+                for (s_value, object) in table.iter_pairs() {
+                    if object == o_value {
+                        emit(s_value, p_value, o_value);
+                    }
+                }
+            }
+        }
+        (Slot::Var(_), Slot::Var(_)) => {
+            for (s_value, o_value) in table.iter_pairs() {
+                emit(s_value, p_value, o_value);
+            }
+        }
+    }
+}
+
+/// Binds `value` to the variable behind `slot` (no-op for constants),
+/// returning `false` when it conflicts with an existing binding — which
+/// happens when the same variable occurs in several positions of one
+/// pattern (e.g. `?x ?p ?x`).
+fn try_bind(row: &mut Row, slot: Slot, value: u64) -> bool {
+    match slot {
+        Slot::Bound(_) => true,
+        Slot::Var(index) => match row[index] {
+            None => {
+                row[index] = Some(value);
+                true
+            }
+            Some(existing) => existing == value,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_model::ids::nth_property_id;
+    use inferray_model::IdTriple;
+
+    const A: u64 = 5_000_000;
+    const B: u64 = 5_000_001;
+    const C: u64 = 5_000_002;
+
+    fn knows() -> u64 {
+        nth_property_id(30)
+    }
+
+    fn likes() -> u64 {
+        nth_property_id(31)
+    }
+
+    fn store() -> TripleStore {
+        TripleStore::from_triples([
+            IdTriple::new(A, knows(), B),
+            IdTriple::new(B, knows(), C),
+            IdTriple::new(A, likes(), A),
+            IdTriple::new(C, likes(), A),
+        ])
+    }
+
+    #[test]
+    fn single_pattern_enumerates_a_table() {
+        let store = store();
+        let pattern = CompiledPattern {
+            s: Slot::Var(0),
+            p: Slot::Bound(knows()),
+            o: Slot::Var(1),
+        };
+        let rows = evaluate_bgp(&store, &[pattern], 2);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec![Some(A), Some(B)]));
+        assert!(rows.contains(&vec![Some(B), Some(C)]));
+    }
+
+    #[test]
+    fn two_patterns_join_on_the_shared_variable() {
+        let store = store();
+        // ?x knows ?y . ?y knows ?z  =>  only A -> B -> C.
+        let patterns = [
+            CompiledPattern {
+                s: Slot::Var(0),
+                p: Slot::Bound(knows()),
+                o: Slot::Var(1),
+            },
+            CompiledPattern {
+                s: Slot::Var(1),
+                p: Slot::Bound(knows()),
+                o: Slot::Var(2),
+            },
+        ];
+        let rows = evaluate_bgp(&store, &patterns, 3);
+        assert_eq!(rows, vec![vec![Some(A), Some(B), Some(C)]]);
+    }
+
+    #[test]
+    fn repeated_variable_within_a_pattern_requires_equality() {
+        let store = store();
+        // ?x likes ?x  =>  only (A likes A).
+        let pattern = CompiledPattern {
+            s: Slot::Var(0),
+            p: Slot::Bound(likes()),
+            o: Slot::Var(0),
+        };
+        let rows = evaluate_bgp(&store, &[pattern], 1);
+        assert_eq!(rows, vec![vec![Some(A)]]);
+    }
+
+    #[test]
+    fn unbound_predicate_scans_every_table() {
+        let store = store();
+        let pattern = CompiledPattern {
+            s: Slot::Bound(A),
+            p: Slot::Var(0),
+            o: Slot::Var(1),
+        };
+        let rows = evaluate_bgp(&store, &[pattern], 2);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec![Some(knows()), Some(B)]));
+        assert!(rows.contains(&vec![Some(likes()), Some(A)]));
+    }
+
+    #[test]
+    fn bound_object_works_with_and_without_the_os_cache() {
+        let mut store = store();
+        let pattern = CompiledPattern {
+            s: Slot::Var(0),
+            p: Slot::Bound(likes()),
+            o: Slot::Bound(A),
+        };
+        let before = evaluate_bgp(&store, &[pattern], 1);
+        store.ensure_all_os();
+        let after = evaluate_bgp(&store, &[pattern], 1);
+        let mut before = before;
+        let mut after = after;
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+        assert_eq!(before.len(), 2);
+    }
+
+    #[test]
+    fn fully_bound_pattern_filters_rows() {
+        let store = store();
+        let hit = CompiledPattern {
+            s: Slot::Bound(A),
+            p: Slot::Bound(knows()),
+            o: Slot::Bound(B),
+        };
+        assert_eq!(evaluate_bgp(&store, &[hit], 0), vec![Vec::<Option<u64>>::new()]);
+        let miss = CompiledPattern {
+            s: Slot::Bound(A),
+            p: Slot::Bound(knows()),
+            o: Slot::Bound(C),
+        };
+        assert!(evaluate_bgp(&store, &[miss], 0).is_empty());
+    }
+
+    #[test]
+    fn missing_table_yields_no_rows() {
+        let store = store();
+        let pattern = CompiledPattern {
+            s: Slot::Var(0),
+            p: Slot::Bound(nth_property_id(77)),
+            o: Slot::Var(1),
+        };
+        assert!(evaluate_bgp(&store, &[pattern], 2).is_empty());
+    }
+
+    #[test]
+    fn cartesian_product_when_patterns_share_no_variable() {
+        let store = store();
+        let patterns = [
+            CompiledPattern {
+                s: Slot::Var(0),
+                p: Slot::Bound(knows()),
+                o: Slot::Var(1),
+            },
+            CompiledPattern {
+                s: Slot::Var(2),
+                p: Slot::Bound(likes()),
+                o: Slot::Var(3),
+            },
+        ];
+        let rows = evaluate_bgp(&store, &patterns, 4);
+        assert_eq!(rows.len(), 4); // 2 knows × 2 likes
+    }
+}

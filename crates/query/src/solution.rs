@@ -1,0 +1,255 @@
+//! Query solutions: variable bindings over encoded identifiers.
+//!
+//! The executor works entirely in the encoded (u64) domain — the same flat
+//! identifiers the property tables store — and only decodes terms when the
+//! caller asks for them. This keeps the join pipeline allocation-light and
+//! mirrors how the reasoner itself defers decoding until output time.
+
+use inferray_dictionary::Dictionary;
+use inferray_model::Term;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One row of a solution: the encoded binding of each projected variable
+/// (`None` when the variable is unbound in this solution).
+pub type EncodedRow = Vec<Option<u64>>;
+
+/// The result of a `SELECT` query: a header of variable names plus the
+/// matching rows, in the order the executor produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolutionSet {
+    variables: Vec<String>,
+    rows: Vec<EncodedRow>,
+}
+
+impl SolutionSet {
+    /// Creates a solution set with the given header and no rows.
+    pub fn empty(variables: Vec<String>) -> Self {
+        SolutionSet {
+            variables,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a solution set from a header and pre-built rows. Every row
+    /// must have exactly one entry per variable.
+    pub fn new(variables: Vec<String>, rows: Vec<EncodedRow>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == variables.len()));
+        SolutionSet { variables, rows }
+    }
+
+    /// The projected variable names, in projection order.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// The raw encoded rows.
+    pub fn rows(&self) -> &[EncodedRow] {
+        &self.rows
+    }
+
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the query produced no solution.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row (used by the executor).
+    pub(crate) fn push_row(&mut self, row: EncodedRow) {
+        debug_assert_eq!(row.len(), self.variables.len());
+        self.rows.push(row);
+    }
+
+    /// Index of a variable in the header.
+    pub fn column(&self, variable: &str) -> Option<usize> {
+        self.variables.iter().position(|v| v == variable)
+    }
+
+    /// The encoded bindings of one variable across all rows (`None` entries
+    /// are skipped).
+    pub fn column_values(&self, variable: &str) -> Vec<u64> {
+        match self.column(variable) {
+            Some(index) => self.rows.iter().filter_map(|row| row[index]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Removes duplicate rows, preserving first occurrence order
+    /// (`SELECT DISTINCT`).
+    pub(crate) fn deduplicate(&mut self) {
+        let mut seen: HashSet<EncodedRow> = HashSet::with_capacity(self.rows.len());
+        self.rows.retain(|row| seen.insert(row.clone()));
+    }
+
+    /// Applies `OFFSET`/`LIMIT` in that order (the SPARQL slice semantics).
+    pub(crate) fn slice(&mut self, offset: usize, limit: Option<usize>) {
+        if offset > 0 {
+            if offset >= self.rows.len() {
+                self.rows.clear();
+            } else {
+                self.rows.drain(..offset);
+            }
+        }
+        if let Some(limit) = limit {
+            self.rows.truncate(limit);
+        }
+    }
+
+    /// Decodes every row through the dictionary. Identifiers unknown to the
+    /// dictionary decode to `None` (this only happens if the caller pairs a
+    /// store with the wrong dictionary).
+    pub fn decoded(&self, dictionary: &Dictionary) -> Vec<Vec<Option<Term>>> {
+        self.rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|id| id.and_then(|id| dictionary.decode(id).cloned()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Decodes the binding of `variable` in row `row`, if both exist.
+    pub fn decoded_value(
+        &self,
+        row: usize,
+        variable: &str,
+        dictionary: &Dictionary,
+    ) -> Option<Term> {
+        let column = self.column(variable)?;
+        let id = (*self.rows.get(row)?).get(column).copied().flatten()?;
+        dictionary.decode(id).cloned()
+    }
+
+    /// Renders the solutions as a small text table (decoded through the
+    /// dictionary), convenient for examples and the CLI.
+    pub fn to_table(&self, dictionary: &Dictionary) -> String {
+        let mut out = String::new();
+        out.push_str(&self.variables.join("\t"));
+        out.push('\n');
+        for row in self.decoded(dictionary) {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|t| t.as_ref().map_or("UNBOUND".to_owned(), Term::to_string))
+                .collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A canonical (sorted) copy of the rows, convenient for
+    /// order-insensitive comparisons in tests.
+    pub fn sorted_rows(&self) -> Vec<EncodedRow> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+impl fmt::Display for SolutionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.variables.join("\t"))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|id| id.map_or("UNBOUND".to_owned(), |id| id.to_string()))
+                .collect();
+            writeln!(f, "{}", cells.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_model::Term;
+
+    fn sample() -> SolutionSet {
+        SolutionSet::new(
+            vec!["x".into(), "y".into()],
+            vec![
+                vec![Some(1), Some(2)],
+                vec![Some(3), None],
+                vec![Some(1), Some(2)],
+            ],
+        )
+    }
+
+    #[test]
+    fn header_and_column_lookup() {
+        let s = sample();
+        assert_eq!(s.variables(), &["x".to_owned(), "y".to_owned()]);
+        assert_eq!(s.column("y"), Some(1));
+        assert_eq!(s.column("missing"), None);
+        assert_eq!(s.column_values("x"), vec![1, 3, 1]);
+        assert_eq!(s.column_values("y"), vec![2, 2]);
+    }
+
+    #[test]
+    fn deduplicate_preserves_first_occurrence() {
+        let mut s = sample();
+        s.deduplicate();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.rows()[0], vec![Some(1), Some(2)]);
+        assert_eq!(s.rows()[1], vec![Some(3), None]);
+    }
+
+    #[test]
+    fn slice_applies_offset_then_limit() {
+        let mut s = sample();
+        s.slice(1, Some(1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows()[0], vec![Some(3), None]);
+
+        let mut s = sample();
+        s.slice(10, None);
+        assert!(s.is_empty());
+
+        let mut s = sample();
+        s.slice(0, Some(0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn decoding_uses_the_dictionary() {
+        let mut dictionary = Dictionary::new();
+        let alice = dictionary.encode_as_resource(&Term::iri("http://ex/alice"));
+        let bob = dictionary.encode_as_resource(&Term::iri("http://ex/bob"));
+        let s = SolutionSet::new(
+            vec!["who".into()],
+            vec![vec![Some(alice)], vec![Some(bob)], vec![None]],
+        );
+        let decoded = s.decoded(&dictionary);
+        assert_eq!(decoded[0][0], Some(Term::iri("http://ex/alice")));
+        assert_eq!(decoded[1][0], Some(Term::iri("http://ex/bob")));
+        assert_eq!(decoded[2][0], None);
+        assert_eq!(
+            s.decoded_value(0, "who", &dictionary),
+            Some(Term::iri("http://ex/alice"))
+        );
+        assert_eq!(s.decoded_value(2, "who", &dictionary), None);
+        let table = s.to_table(&dictionary);
+        assert!(table.starts_with("who\n"));
+        assert!(table.contains("<http://ex/alice>"));
+        assert!(table.contains("UNBOUND"));
+    }
+
+    #[test]
+    fn sorted_rows_is_order_insensitive() {
+        let a = SolutionSet::new(
+            vec!["x".into()],
+            vec![vec![Some(2)], vec![Some(1)]],
+        );
+        let b = SolutionSet::new(
+            vec!["x".into()],
+            vec![vec![Some(1)], vec![Some(2)]],
+        );
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+}

@@ -1,0 +1,797 @@
+//! A pragmatic parser for the SPARQL subset the engine evaluates.
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! [PREFIX name: <iri>]*
+//! SELECT [DISTINCT] (* | ?var …) WHERE { group } [LIMIT n] [OFFSET n]
+//! ASK [WHERE] { group }
+//!
+//! group       := (triples | filter)*
+//! triples     := subject predicate object (';' predicate object)* (',' object)* '.'?
+//! filter      := FILTER '(' constraint ')'
+//! constraint  := ?var ('='|'!=') term
+//!              | (isIRI|isLiteral|isBlank|bound) '(' ?var ')'
+//!              | sameTerm '(' ?var ',' term ')'
+//! term        := ?var | <iri> | prefixed:name | 'a' | literal | _:blank | integer
+//! ```
+//!
+//! This is not a conformant SPARQL 1.1 parser — it covers the
+//! basic-graph-pattern queries that vertical partitioning was designed for
+//! (Abadi et al.) and that the examples and benchmarks in this repository
+//! need, while rejecting anything it does not understand instead of
+//! guessing.
+
+use crate::algebra::{FilterExpr, PatternTerm, Query, QueryForm, Selection, TriplePatternSpec};
+use inferray_model::{vocab, Term};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An error raised while parsing a query string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl QueryParseError {
+    fn new(message: impl Into<String>) -> Self {
+        QueryParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parses a SPARQL-subset query string into a [`Query`].
+pub fn parse_query(input: &str) -> Result<Query, QueryParseError> {
+    let tokens = tokenize(input)?;
+    Parser::new(tokens).parse_query()
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    /// `?name` or `$name`.
+    Variable(String),
+    /// `<iri>` with the brackets stripped.
+    Iri(String),
+    /// `prefix:local` (expansion happens in the parser, once prefixes are
+    /// known) or a bare keyword such as `SELECT`, `a`, `isIRI`.
+    Word(String),
+    /// `_:label`.
+    Blank(String),
+    /// A string literal with optional language tag or datatype.
+    Literal {
+        lexical: String,
+        language: Option<String>,
+        datatype: Option<LiteralDatatype>,
+    },
+    /// A bare integer.
+    Integer(i64),
+    /// Structural punctuation: `{ } ( ) . ; , * =`.
+    Punct(char),
+    /// `!=`.
+    NotEquals,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum LiteralDatatype {
+    Iri(String),
+    Prefixed(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, QueryParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '#' => {
+                // Comment until end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' | '}' | '(' | ')' | '.' | ';' | ',' | '*' | '=' => {
+                tokens.push(Token::Punct(c));
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::NotEquals);
+                    i += 2;
+                } else {
+                    return Err(QueryParseError::new("unexpected '!'"));
+                }
+            }
+            '?' | '$' => {
+                let (name, next) = take_while(&chars, i + 1, is_name_char);
+                let (name, trailing_dots) = strip_trailing_dots(name);
+                if name.is_empty() {
+                    return Err(QueryParseError::new("empty variable name"));
+                }
+                tokens.push(Token::Variable(name));
+                for _ in 0..trailing_dots {
+                    tokens.push(Token::Punct('.'));
+                }
+                i = next;
+            }
+            '<' => {
+                let end = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '>')
+                    .ok_or_else(|| QueryParseError::new("unterminated IRI"))?;
+                let iri: String = chars[i + 1..i + 1 + end].iter().collect();
+                tokens.push(Token::Iri(iri));
+                i += end + 2;
+            }
+            '"' => {
+                let (literal, next) = scan_string_literal(&chars, i)?;
+                tokens.push(literal);
+                i = next;
+            }
+            '_' if chars.get(i + 1) == Some(&':') => {
+                let (label, next) = take_while(&chars, i + 2, is_name_char);
+                tokens.push(Token::Blank(label));
+                i = next;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let value = text
+                    .parse::<i64>()
+                    .map_err(|_| QueryParseError::new(format!("invalid integer '{text}'")))?;
+                tokens.push(Token::Integer(value));
+                i = j;
+            }
+            c if is_name_start(c) => {
+                let (word, next) = take_while(&chars, i, |c| is_name_char(c) || c == ':');
+                // `ex:Person.` — the terminating dot is punctuation, not part
+                // of the prefixed name.
+                let (word, trailing_dots) = strip_trailing_dots(word);
+                tokens.push(Token::Word(word));
+                for _ in 0..trailing_dots {
+                    tokens.push(Token::Punct('.'));
+                }
+                i = next;
+            }
+            other => {
+                return Err(QueryParseError::new(format!(
+                    "unexpected character '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Splits trailing `.` characters off a scanned name, returning the cleaned
+/// name and the number of dots removed.
+fn strip_trailing_dots(mut name: String) -> (String, usize) {
+    let mut dots = 0;
+    while name.ends_with('.') {
+        name.pop();
+        dots += 1;
+    }
+    (name, dots)
+}
+
+fn take_while(chars: &[char], start: usize, keep: impl Fn(char) -> bool) -> (String, usize) {
+    let mut out = String::new();
+    let mut i = start;
+    while i < chars.len() && keep(chars[i]) {
+        out.push(chars[i]);
+        i += 1;
+    }
+    (out, i)
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+fn scan_string_literal(chars: &[char], start: usize) -> Result<(Token, usize), QueryParseError> {
+    // `start` points at the opening quote.
+    let mut lexical = String::new();
+    let mut i = start + 1;
+    loop {
+        match chars.get(i) {
+            None => return Err(QueryParseError::new("unterminated string literal")),
+            Some('"') => {
+                i += 1;
+                break;
+            }
+            Some('\\') => {
+                let escaped = chars
+                    .get(i + 1)
+                    .ok_or_else(|| QueryParseError::new("dangling escape in literal"))?;
+                lexical.push(match escaped {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    '"' => '"',
+                    '\\' => '\\',
+                    other => *other,
+                });
+                i += 2;
+            }
+            Some(c) => {
+                lexical.push(*c);
+                i += 1;
+            }
+        }
+    }
+    // Optional language tag or datatype.
+    let mut language = None;
+    let mut datatype = None;
+    if chars.get(i) == Some(&'@') {
+        let (lang, next) = take_while(chars, i + 1, |c| c.is_alphanumeric() || c == '-');
+        language = Some(lang);
+        i = next;
+    } else if chars.get(i) == Some(&'^') && chars.get(i + 1) == Some(&'^') {
+        i += 2;
+        if chars.get(i) == Some(&'<') {
+            let end = chars[i + 1..]
+                .iter()
+                .position(|&c| c == '>')
+                .ok_or_else(|| QueryParseError::new("unterminated datatype IRI"))?;
+            let iri: String = chars[i + 1..i + 1 + end].iter().collect();
+            datatype = Some(LiteralDatatype::Iri(iri));
+            i += end + 2;
+        } else {
+            let (name, next) = take_while(chars, i, |c| is_name_char(c) || c == ':');
+            if name.is_empty() {
+                return Err(QueryParseError::new("missing datatype after '^^'"));
+            }
+            datatype = Some(LiteralDatatype::Prefixed(name));
+            i = next;
+        }
+    }
+    Ok((
+        Token::Literal {
+            lexical,
+            language,
+            datatype,
+        },
+        i,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    position: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            position: 0,
+            prefixes: HashMap::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.position)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.position).cloned();
+        if token.is_some() {
+            self.position += 1;
+        }
+        token
+    }
+
+    fn expect_punct(&mut self, punct: char) -> Result<(), QueryParseError> {
+        match self.next() {
+            Some(Token::Punct(c)) if c == punct => Ok(()),
+            other => Err(QueryParseError::new(format!(
+                "expected '{punct}', found {other:?}"
+            ))),
+        }
+    }
+
+    fn peek_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case(keyword))
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.peek_keyword(keyword) {
+            self.position += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_query(mut self) -> Result<Query, QueryParseError> {
+        self.parse_prologue()?;
+        let form = if self.eat_keyword("SELECT") {
+            QueryForm::Select
+        } else if self.eat_keyword("ASK") {
+            QueryForm::Ask
+        } else {
+            return Err(QueryParseError::new("expected SELECT or ASK"));
+        };
+
+        let mut query = match form {
+            QueryForm::Select => {
+                let distinct = self.eat_keyword("DISTINCT");
+                let select = self.parse_projection()?;
+                if !self.eat_keyword("WHERE") {
+                    return Err(QueryParseError::new("expected WHERE"));
+                }
+                let (patterns, filters) = self.parse_group()?;
+                Query {
+                    form,
+                    select,
+                    distinct,
+                    patterns,
+                    filters,
+                    limit: None,
+                    offset: 0,
+                }
+            }
+            QueryForm::Ask => {
+                self.eat_keyword("WHERE");
+                let (patterns, filters) = self.parse_group()?;
+                Query {
+                    form,
+                    select: Selection::All,
+                    distinct: false,
+                    patterns,
+                    filters,
+                    limit: None,
+                    offset: 0,
+                }
+            }
+        };
+
+        // Solution modifiers, in either order.
+        loop {
+            if self.eat_keyword("LIMIT") {
+                query.limit = Some(self.parse_unsigned("LIMIT")?);
+            } else if self.eat_keyword("OFFSET") {
+                query.offset = self.parse_unsigned("OFFSET")?;
+            } else {
+                break;
+            }
+        }
+
+        match self.peek() {
+            None => Ok(query),
+            Some(other) => Err(QueryParseError::new(format!(
+                "unexpected trailing token {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_prologue(&mut self) -> Result<(), QueryParseError> {
+        while self.eat_keyword("PREFIX") {
+            let name = match self.next() {
+                Some(Token::Word(word)) => word,
+                other => {
+                    return Err(QueryParseError::new(format!(
+                        "expected prefix name, found {other:?}"
+                    )))
+                }
+            };
+            let name = name
+                .strip_suffix(':')
+                .map(str::to_owned)
+                .unwrap_or(name);
+            let iri = match self.next() {
+                Some(Token::Iri(iri)) => iri,
+                other => {
+                    return Err(QueryParseError::new(format!(
+                        "expected namespace IRI, found {other:?}"
+                    )))
+                }
+            };
+            self.prefixes.insert(name, iri);
+        }
+        Ok(())
+    }
+
+    fn parse_projection(&mut self) -> Result<Selection, QueryParseError> {
+        if matches!(self.peek(), Some(Token::Punct('*'))) {
+            self.position += 1;
+            return Ok(Selection::All);
+        }
+        let mut vars = Vec::new();
+        while let Some(Token::Variable(name)) = self.peek() {
+            vars.push(name.clone());
+            self.position += 1;
+        }
+        if vars.is_empty() {
+            return Err(QueryParseError::new("SELECT needs '*' or variables"));
+        }
+        Ok(Selection::Variables(vars))
+    }
+
+    fn parse_unsigned(&mut self, keyword: &str) -> Result<usize, QueryParseError> {
+        match self.next() {
+            Some(Token::Integer(value)) if value >= 0 => Ok(value as usize),
+            other => Err(QueryParseError::new(format!(
+                "{keyword} expects a non-negative integer, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_group(
+        &mut self,
+    ) -> Result<(Vec<TriplePatternSpec>, Vec<FilterExpr>), QueryParseError> {
+        self.expect_punct('{')?;
+        let mut patterns = Vec::new();
+        let mut filters = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Punct('}')) => {
+                    self.position += 1;
+                    break;
+                }
+                None => return Err(QueryParseError::new("unterminated group (missing '}')")),
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("FILTER") => {
+                    self.position += 1;
+                    filters.push(self.parse_filter()?);
+                }
+                _ => self.parse_triples_block(&mut patterns)?,
+            }
+        }
+        Ok((patterns, filters))
+    }
+
+    /// Parses `subject predicate object (';' predicate object)* (',' object)*`
+    /// with an optional trailing `.`.
+    fn parse_triples_block(
+        &mut self,
+        patterns: &mut Vec<TriplePatternSpec>,
+    ) -> Result<(), QueryParseError> {
+        let subject = self.parse_pattern_term(false)?;
+        let mut predicate = self.parse_pattern_term(true)?;
+        let mut object = self.parse_pattern_term(false)?;
+        patterns.push(TriplePatternSpec::new(
+            subject.clone(),
+            predicate.clone(),
+            object,
+        ));
+        loop {
+            match self.peek() {
+                Some(Token::Punct(',')) => {
+                    self.position += 1;
+                    object = self.parse_pattern_term(false)?;
+                    patterns.push(TriplePatternSpec::new(
+                        subject.clone(),
+                        predicate.clone(),
+                        object,
+                    ));
+                }
+                Some(Token::Punct(';')) => {
+                    self.position += 1;
+                    // A dangling ';' before '.' or '}' is tolerated.
+                    if matches!(self.peek(), Some(Token::Punct('.')) | Some(Token::Punct('}'))) {
+                        continue;
+                    }
+                    predicate = self.parse_pattern_term(true)?;
+                    object = self.parse_pattern_term(false)?;
+                    patterns.push(TriplePatternSpec::new(
+                        subject.clone(),
+                        predicate.clone(),
+                        object,
+                    ));
+                }
+                Some(Token::Punct('.')) => {
+                    self.position += 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_filter(&mut self) -> Result<FilterExpr, QueryParseError> {
+        self.expect_punct('(')?;
+        let filter = match self.next() {
+            Some(Token::Variable(name)) => match self.next() {
+                Some(Token::Punct('=')) => {
+                    let rhs = self.parse_pattern_term(false)?;
+                    FilterExpr::Equal(name, rhs)
+                }
+                Some(Token::NotEquals) => {
+                    let rhs = self.parse_pattern_term(false)?;
+                    FilterExpr::NotEqual(name, rhs)
+                }
+                other => {
+                    return Err(QueryParseError::new(format!(
+                        "expected '=' or '!=' after ?{name}, found {other:?}"
+                    )))
+                }
+            },
+            Some(Token::Word(function)) => {
+                let upper = function.to_ascii_uppercase();
+                self.expect_punct('(')?;
+                let variable = match self.next() {
+                    Some(Token::Variable(name)) => name,
+                    other => {
+                        return Err(QueryParseError::new(format!(
+                            "{function} expects a variable, found {other:?}"
+                        )))
+                    }
+                };
+                let filter = match upper.as_str() {
+                    "ISIRI" | "ISURI" => FilterExpr::IsIri(variable),
+                    "ISLITERAL" => FilterExpr::IsLiteral(variable),
+                    "ISBLANK" => FilterExpr::IsBlank(variable),
+                    "BOUND" => FilterExpr::Bound(variable),
+                    "SAMETERM" => {
+                        self.expect_punct(',')?;
+                        let rhs = self.parse_pattern_term(false)?;
+                        self.expect_punct(')')?;
+                        self.expect_punct(')')?;
+                        return Ok(FilterExpr::Equal(variable, rhs));
+                    }
+                    other => {
+                        return Err(QueryParseError::new(format!(
+                            "unsupported filter function '{other}'"
+                        )))
+                    }
+                };
+                self.expect_punct(')')?;
+                filter
+            }
+            other => {
+                return Err(QueryParseError::new(format!(
+                    "unsupported filter expression starting with {other:?}"
+                )))
+            }
+        };
+        self.expect_punct(')')?;
+        Ok(filter)
+    }
+
+    fn parse_pattern_term(&mut self, predicate: bool) -> Result<PatternTerm, QueryParseError> {
+        match self.next() {
+            Some(Token::Variable(name)) => Ok(PatternTerm::Variable(name)),
+            Some(Token::Iri(iri)) => Ok(PatternTerm::iri(iri)),
+            Some(Token::Blank(label)) => Ok(PatternTerm::Constant(Term::blank(label))),
+            Some(Token::Integer(value)) => Ok(PatternTerm::Constant(Term::integer(value))),
+            Some(Token::Literal {
+                lexical,
+                language,
+                datatype,
+            }) => {
+                let term = if let Some(lang) = language {
+                    Term::lang_literal(lexical, lang)
+                } else if let Some(datatype) = datatype {
+                    let iri = match datatype {
+                        LiteralDatatype::Iri(iri) => iri,
+                        LiteralDatatype::Prefixed(name) => self.expand(&name)?,
+                    };
+                    Term::typed_literal(lexical, iri)
+                } else {
+                    Term::plain_literal(lexical)
+                };
+                Ok(PatternTerm::Constant(term))
+            }
+            Some(Token::Word(word)) => {
+                if predicate && word == "a" {
+                    return Ok(PatternTerm::iri(vocab::RDF_TYPE));
+                }
+                Ok(PatternTerm::iri(self.expand(&word)?))
+            }
+            other => Err(QueryParseError::new(format!(
+                "expected a term, found {other:?}"
+            ))),
+        }
+    }
+
+    /// Expands `prefix:local` against declared prefixes, falling back to the
+    /// built-in rdf/rdfs/owl/xsd namespaces.
+    fn expand(&self, name: &str) -> Result<String, QueryParseError> {
+        let Some((prefix, local)) = name.split_once(':') else {
+            return Err(QueryParseError::new(format!(
+                "'{name}' is neither a variable, an IRI nor a prefixed name"
+            )));
+        };
+        if let Some(namespace) = self.prefixes.get(prefix) {
+            return Ok(format!("{namespace}{local}"));
+        }
+        let expanded = vocab::expand_curie(name);
+        if expanded != name {
+            Ok(expanded)
+        } else {
+            Err(QueryParseError::new(format!(
+                "unknown prefix '{prefix}:' (declare it with PREFIX)"
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{FilterExpr, PatternTerm, QueryForm, Selection};
+
+    #[test]
+    fn parses_select_star_with_prefixes() {
+        let q = parse_query(
+            "PREFIX ex: <http://example.org/>\n\
+             SELECT * WHERE { ?x a ex:Person . ?x ex:knows ?y }",
+        )
+        .unwrap();
+        assert_eq!(q.form, QueryForm::Select);
+        assert_eq!(q.select, Selection::All);
+        assert_eq!(q.patterns.len(), 2);
+        assert_eq!(
+            q.patterns[0].p,
+            PatternTerm::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        );
+        assert_eq!(
+            q.patterns[0].o,
+            PatternTerm::iri("http://example.org/Person")
+        );
+        assert_eq!(q.pattern_variables(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn parses_projection_distinct_limit_offset() {
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> \
+             SELECT DISTINCT ?who WHERE { ?who ex:worksFor ?org . } LIMIT 10 OFFSET 3",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.select, Selection::Variables(vec!["who".into()]));
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, 3);
+    }
+
+    #[test]
+    fn parses_predicate_and_object_lists() {
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> \
+             SELECT * WHERE { ?x ex:p ?a , ?b ; ex:q ?c . }",
+        )
+        .unwrap();
+        assert_eq!(q.patterns.len(), 3);
+        assert!(q.patterns.iter().all(|p| p.s == PatternTerm::var("x")));
+        assert_eq!(q.patterns[0].o, PatternTerm::var("a"));
+        assert_eq!(q.patterns[1].o, PatternTerm::var("b"));
+        assert_eq!(q.patterns[2].p, PatternTerm::iri("http://ex/q"));
+    }
+
+    #[test]
+    fn parses_filters() {
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> \
+             SELECT * WHERE { ?x ex:knows ?y . FILTER(?x != ?y) FILTER(isIRI(?x)) }",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(
+            q.filters[0],
+            FilterExpr::NotEqual("x".into(), PatternTerm::var("y"))
+        );
+        assert_eq!(q.filters[1], FilterExpr::IsIri("x".into()));
+    }
+
+    #[test]
+    fn parses_equality_filter_and_same_term() {
+        let q = parse_query(
+            "SELECT * WHERE { ?x <http://ex/p> ?y . FILTER(?y = \"42\"^^<http://www.w3.org/2001/XMLSchema#integer>) }",
+        )
+        .unwrap();
+        assert_eq!(
+            q.filters[0],
+            FilterExpr::Equal(
+                "y".into(),
+                PatternTerm::Constant(Term::typed_literal(
+                    "42",
+                    "http://www.w3.org/2001/XMLSchema#integer"
+                ))
+            )
+        );
+        let q =
+            parse_query("SELECT * WHERE { ?x <http://ex/p> ?y . FILTER(sameTerm(?y, <http://ex/a>)) }")
+                .unwrap();
+        assert_eq!(
+            q.filters[0],
+            FilterExpr::Equal("y".into(), PatternTerm::iri("http://ex/a"))
+        );
+    }
+
+    #[test]
+    fn parses_literals_language_tags_and_integers() {
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> \
+             SELECT * WHERE { ?x ex:label \"chat\"@fr . ?x ex:age 7 . ?x ex:note \"a\\nb\" }",
+        )
+        .unwrap();
+        assert_eq!(
+            q.patterns[0].o,
+            PatternTerm::Constant(Term::lang_literal("chat", "fr"))
+        );
+        assert_eq!(q.patterns[1].o, PatternTerm::Constant(Term::integer(7)));
+        assert_eq!(
+            q.patterns[2].o,
+            PatternTerm::Constant(Term::plain_literal("a\nb"))
+        );
+    }
+
+    #[test]
+    fn parses_ask_queries() {
+        let q = parse_query("ASK { <http://ex/s> <http://ex/p> <http://ex/o> }").unwrap();
+        assert_eq!(q.form, QueryForm::Ask);
+        assert_eq!(q.patterns.len(), 1);
+        let q = parse_query("ASK WHERE { ?x ?p ?o }").unwrap();
+        assert_eq!(q.form, QueryForm::Ask);
+    }
+
+    #[test]
+    fn builtin_prefixes_work_without_declaration() {
+        let q = parse_query("SELECT * WHERE { ?c rdfs:subClassOf ?d }").unwrap();
+        assert_eq!(
+            q.patterns[0].p,
+            PatternTerm::iri("http://www.w3.org/2000/01/rdf-schema#subClassOf")
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_nodes_are_tolerated() {
+        let q = parse_query(
+            "# a comment\nSELECT * WHERE { _:b <http://ex/p> ?x . # trailing comment\n }",
+        )
+        .unwrap();
+        assert_eq!(
+            q.patterns[0].s,
+            PatternTerm::Constant(Term::blank("b"))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("SELECT WHERE { ?x ?p ?o }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x ?p }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x ?p ?o ").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x unknown:p ?o }").is_err());
+        assert!(parse_query("CONSTRUCT { ?x ?p ?o } WHERE { ?x ?p ?o }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x <http://ex/p ?o }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x ?p ?o } LIMIT ?x").is_err());
+        assert!(parse_query("SELECT * WHERE { ?x ?p ?o } nonsense").is_err());
+    }
+
+    #[test]
+    fn rejects_unsupported_filter_functions() {
+        assert!(
+            parse_query("SELECT * WHERE { ?x ?p ?o . FILTER(regex(?o, \"x\")) }").is_err()
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! The rule catalog — Table 5 of the paper.
+//!
+//! Every rule supported by Inferray is described here: its identifier, the
+//! rule *class* it was pigeonholed into (§4.4), and its membership in each of
+//! the three rule fragments (RDFS, ρDF, RDFS-Plus). Membership distinguishes
+//! full members from the "half-circle" rules that "do not produce meaningful
+//! triples and are used only in full versions of rulesets".
+//!
+//! The executors live in [`crate::executors`]; this module is pure metadata,
+//! which the ruleset builder ([`crate::ruleset`]) and the benchmark harness
+//! introspect.
+
+use std::fmt;
+
+/// Identifier of each of the 38 rules of Table 5, in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum RuleId {
+    CaxEqc1,
+    CaxEqc2,
+    CaxSco,
+    EqRepO,
+    EqRepP,
+    EqRepS,
+    EqSym,
+    EqTrans,
+    PrpDom,
+    PrpEqp1,
+    PrpEqp2,
+    PrpFp,
+    PrpIfp,
+    PrpInv1,
+    PrpInv2,
+    PrpRng,
+    PrpSpo1,
+    PrpSymp,
+    PrpTrp,
+    ScmDom1,
+    ScmDom2,
+    ScmEqc1,
+    ScmEqc2,
+    ScmEqp1,
+    ScmEqp2,
+    ScmRng1,
+    ScmRng2,
+    ScmSco,
+    ScmSpo,
+    ScmCls,
+    ScmDp,
+    ScmOp,
+    Rdfs4,
+    Rdfs8,
+    Rdfs12,
+    Rdfs13,
+    Rdfs6,
+    Rdfs10,
+}
+
+impl RuleId {
+    /// Every rule, in Table 5 order.
+    pub const ALL: [RuleId; 38] = [
+        RuleId::CaxEqc1,
+        RuleId::CaxEqc2,
+        RuleId::CaxSco,
+        RuleId::EqRepO,
+        RuleId::EqRepP,
+        RuleId::EqRepS,
+        RuleId::EqSym,
+        RuleId::EqTrans,
+        RuleId::PrpDom,
+        RuleId::PrpEqp1,
+        RuleId::PrpEqp2,
+        RuleId::PrpFp,
+        RuleId::PrpIfp,
+        RuleId::PrpInv1,
+        RuleId::PrpInv2,
+        RuleId::PrpRng,
+        RuleId::PrpSpo1,
+        RuleId::PrpSymp,
+        RuleId::PrpTrp,
+        RuleId::ScmDom1,
+        RuleId::ScmDom2,
+        RuleId::ScmEqc1,
+        RuleId::ScmEqc2,
+        RuleId::ScmEqp1,
+        RuleId::ScmEqp2,
+        RuleId::ScmRng1,
+        RuleId::ScmRng2,
+        RuleId::ScmSco,
+        RuleId::ScmSpo,
+        RuleId::ScmCls,
+        RuleId::ScmDp,
+        RuleId::ScmOp,
+        RuleId::Rdfs4,
+        RuleId::Rdfs8,
+        RuleId::Rdfs12,
+        RuleId::Rdfs13,
+        RuleId::Rdfs6,
+        RuleId::Rdfs10,
+    ];
+
+    /// The metadata record of this rule.
+    pub fn info(self) -> &'static RuleInfo {
+        &CATALOG[self as usize]
+    }
+
+    /// The canonical rule name used in the paper (e.g. `CAX-SCO`).
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+
+    /// The execution class of the rule.
+    pub fn class(self) -> RuleClass {
+        self.info().class
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The execution classes of §4.4 (plus the single-antecedent "trivial" class
+/// and the three-antecedent functional-property class, which the paper
+/// mentions but does not letter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleClass {
+    /// Two-table sort-merge join on subject or object (α).
+    Alpha,
+    /// Self-join of one property table, subject against object (β).
+    Beta,
+    /// Fixed-property antecedent joined on the *property* of the second
+    /// pattern — requires iterating over property tables (γ).
+    Gamma,
+    /// The second antecedent's table is copied (possibly reversed) into the
+    /// head's table (δ).
+    Delta,
+    /// The four `owl:sameAs` replacement rules, handled by a dedicated loop.
+    SameAs,
+    /// Transitivity rules, handled by the dedicated closure stage (θ).
+    Theta,
+    /// Single-antecedent rules.
+    Trivial,
+    /// Three-antecedent functional / inverse-functional property rules.
+    Functional,
+}
+
+impl fmt::Display for RuleClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            RuleClass::Alpha => "α",
+            RuleClass::Beta => "β",
+            RuleClass::Gamma => "γ",
+            RuleClass::Delta => "δ",
+            RuleClass::SameAs => "same-as",
+            RuleClass::Theta => "θ",
+            RuleClass::Trivial => "trivial",
+            RuleClass::Functional => "functional",
+        };
+        f.write_str(label)
+    }
+}
+
+/// Whether (and how) a rule belongs to a fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Membership {
+    /// Not part of the fragment (empty circle in Table 5).
+    No,
+    /// Part of the fragment's default and full versions (filled circle).
+    Default,
+    /// Only part of the *full* version of the fragment (half circle) —
+    /// derives triples "that do not convey interesting knowledge, but
+    /// satisfy the logician".
+    FullOnly,
+}
+
+impl Membership {
+    /// `true` when the rule runs in the default version of the fragment.
+    pub fn in_default(self) -> bool {
+        matches!(self, Membership::Default)
+    }
+
+    /// `true` when the rule runs in the full version of the fragment.
+    pub fn in_full(self) -> bool {
+        !matches!(self, Membership::No)
+    }
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// The rule identifier.
+    pub id: RuleId,
+    /// Canonical (paper) name.
+    pub name: &'static str,
+    /// Row number in Table 5 (1-based).
+    pub table5_row: u8,
+    /// Execution class.
+    pub class: RuleClass,
+    /// Membership in plain RDFS.
+    pub rdfs: Membership,
+    /// Membership in ρDF.
+    pub rho_df: Membership,
+    /// Membership in RDFS-Plus.
+    pub rdfs_plus: Membership,
+    /// One-line description (body ⇒ head).
+    pub description: &'static str,
+}
+
+use Membership::{Default as D, FullOnly as F, No as N};
+use RuleClass::*;
+
+/// The full catalog, in Table 5 order (index = `RuleId as usize`).
+pub static CATALOG: [RuleInfo; 38] = [
+    RuleInfo { id: RuleId::CaxEqc1, name: "CAX-EQC1", table5_row: 1, class: Alpha, rdfs: N, rho_df: N, rdfs_plus: D, description: "c1 owl:equivalentClass c2, x rdf:type c1 ⇒ x rdf:type c2" },
+    RuleInfo { id: RuleId::CaxEqc2, name: "CAX-EQC2", table5_row: 2, class: Alpha, rdfs: N, rho_df: N, rdfs_plus: D, description: "c1 owl:equivalentClass c2, x rdf:type c2 ⇒ x rdf:type c1" },
+    RuleInfo { id: RuleId::CaxSco, name: "CAX-SCO", table5_row: 3, class: Alpha, rdfs: D, rho_df: D, rdfs_plus: D, description: "c1 rdfs:subClassOf c2, x rdf:type c1 ⇒ x rdf:type c2" },
+    RuleInfo { id: RuleId::EqRepO, name: "EQ-REP-O", table5_row: 4, class: SameAs, rdfs: N, rho_df: N, rdfs_plus: D, description: "o1 owl:sameAs o2, s p o1 ⇒ s p o2" },
+    RuleInfo { id: RuleId::EqRepP, name: "EQ-REP-P", table5_row: 5, class: SameAs, rdfs: N, rho_df: N, rdfs_plus: D, description: "p1 owl:sameAs p2, s p1 o ⇒ s p2 o" },
+    RuleInfo { id: RuleId::EqRepS, name: "EQ-REP-S", table5_row: 6, class: SameAs, rdfs: N, rho_df: N, rdfs_plus: D, description: "s1 owl:sameAs s2, s1 p o ⇒ s2 p o" },
+    RuleInfo { id: RuleId::EqSym, name: "EQ-SYM", table5_row: 7, class: Trivial, rdfs: N, rho_df: N, rdfs_plus: D, description: "x owl:sameAs y ⇒ y owl:sameAs x" },
+    RuleInfo { id: RuleId::EqTrans, name: "EQ-TRANS", table5_row: 8, class: Theta, rdfs: N, rho_df: N, rdfs_plus: D, description: "x owl:sameAs y, y owl:sameAs z ⇒ x owl:sameAs z" },
+    RuleInfo { id: RuleId::PrpDom, name: "PRP-DOM", table5_row: 9, class: Gamma, rdfs: D, rho_df: D, rdfs_plus: D, description: "p rdfs:domain c, x p y ⇒ x rdf:type c" },
+    RuleInfo { id: RuleId::PrpEqp1, name: "PRP-EQP1", table5_row: 10, class: Delta, rdfs: N, rho_df: N, rdfs_plus: D, description: "p1 owl:equivalentProperty p2, x p1 y ⇒ x p2 y" },
+    RuleInfo { id: RuleId::PrpEqp2, name: "PRP-EQP2", table5_row: 11, class: Delta, rdfs: N, rho_df: N, rdfs_plus: D, description: "p1 owl:equivalentProperty p2, x p2 y ⇒ x p1 y" },
+    RuleInfo { id: RuleId::PrpFp, name: "PRP-FP", table5_row: 12, class: Functional, rdfs: N, rho_df: N, rdfs_plus: D, description: "p a owl:FunctionalProperty, x p y1, x p y2 ⇒ y1 owl:sameAs y2" },
+    RuleInfo { id: RuleId::PrpIfp, name: "PRP-IFP", table5_row: 13, class: Functional, rdfs: N, rho_df: N, rdfs_plus: D, description: "p a owl:InverseFunctionalProperty, x1 p y, x2 p y ⇒ x1 owl:sameAs x2" },
+    RuleInfo { id: RuleId::PrpInv1, name: "PRP-INV1", table5_row: 14, class: Delta, rdfs: N, rho_df: N, rdfs_plus: D, description: "p1 owl:inverseOf p2, x p1 y ⇒ y p2 x" },
+    RuleInfo { id: RuleId::PrpInv2, name: "PRP-INV2", table5_row: 15, class: Delta, rdfs: N, rho_df: N, rdfs_plus: D, description: "p1 owl:inverseOf p2, x p2 y ⇒ y p1 x" },
+    RuleInfo { id: RuleId::PrpRng, name: "PRP-RNG", table5_row: 16, class: Gamma, rdfs: D, rho_df: D, rdfs_plus: D, description: "p rdfs:range c, x p y ⇒ y rdf:type c" },
+    RuleInfo { id: RuleId::PrpSpo1, name: "PRP-SPO1", table5_row: 17, class: Gamma, rdfs: D, rho_df: D, rdfs_plus: D, description: "p1 rdfs:subPropertyOf p2, x p1 y ⇒ x p2 y" },
+    RuleInfo { id: RuleId::PrpSymp, name: "PRP-SYMP", table5_row: 18, class: Gamma, rdfs: N, rho_df: N, rdfs_plus: D, description: "p a owl:SymmetricProperty, x p y ⇒ y p x" },
+    RuleInfo { id: RuleId::PrpTrp, name: "PRP-TRP", table5_row: 19, class: Theta, rdfs: N, rho_df: N, rdfs_plus: D, description: "p a owl:TransitiveProperty, x p y, y p z ⇒ x p z" },
+    RuleInfo { id: RuleId::ScmDom1, name: "SCM-DOM1", table5_row: 20, class: Alpha, rdfs: D, rho_df: N, rdfs_plus: D, description: "p rdfs:domain c1, c1 rdfs:subClassOf c2 ⇒ p rdfs:domain c2" },
+    RuleInfo { id: RuleId::ScmDom2, name: "SCM-DOM2", table5_row: 21, class: Alpha, rdfs: D, rho_df: D, rdfs_plus: D, description: "p2 rdfs:domain c, p1 rdfs:subPropertyOf p2 ⇒ p1 rdfs:domain c" },
+    RuleInfo { id: RuleId::ScmEqc1, name: "SCM-EQC1", table5_row: 22, class: Trivial, rdfs: N, rho_df: N, rdfs_plus: D, description: "c1 owl:equivalentClass c2 ⇒ c1 rdfs:subClassOf c2, c2 rdfs:subClassOf c1" },
+    RuleInfo { id: RuleId::ScmEqc2, name: "SCM-EQC2", table5_row: 23, class: Beta, rdfs: N, rho_df: N, rdfs_plus: D, description: "c1 rdfs:subClassOf c2, c2 rdfs:subClassOf c1 ⇒ c1 owl:equivalentClass c2" },
+    RuleInfo { id: RuleId::ScmEqp1, name: "SCM-EQP1", table5_row: 24, class: Trivial, rdfs: N, rho_df: N, rdfs_plus: D, description: "p1 owl:equivalentProperty p2 ⇒ p1 rdfs:subPropertyOf p2, p2 rdfs:subPropertyOf p1" },
+    RuleInfo { id: RuleId::ScmEqp2, name: "SCM-EQP2", table5_row: 25, class: Beta, rdfs: N, rho_df: N, rdfs_plus: D, description: "p1 rdfs:subPropertyOf p2, p2 rdfs:subPropertyOf p1 ⇒ p1 owl:equivalentProperty p2" },
+    RuleInfo { id: RuleId::ScmRng1, name: "SCM-RNG1", table5_row: 26, class: Alpha, rdfs: D, rho_df: N, rdfs_plus: D, description: "p rdfs:range c1, c1 rdfs:subClassOf c2 ⇒ p rdfs:range c2" },
+    RuleInfo { id: RuleId::ScmRng2, name: "SCM-RNG2", table5_row: 27, class: Alpha, rdfs: D, rho_df: D, rdfs_plus: D, description: "p2 rdfs:range c, p1 rdfs:subPropertyOf p2 ⇒ p1 rdfs:range c" },
+    RuleInfo { id: RuleId::ScmSco, name: "SCM-SCO", table5_row: 28, class: Theta, rdfs: D, rho_df: D, rdfs_plus: D, description: "c1 rdfs:subClassOf c2, c2 rdfs:subClassOf c3 ⇒ c1 rdfs:subClassOf c3" },
+    RuleInfo { id: RuleId::ScmSpo, name: "SCM-SPO", table5_row: 29, class: Theta, rdfs: D, rho_df: D, rdfs_plus: D, description: "p1 rdfs:subPropertyOf p2, p2 rdfs:subPropertyOf p3 ⇒ p1 rdfs:subPropertyOf p3" },
+    RuleInfo { id: RuleId::ScmCls, name: "SCM-CLS", table5_row: 30, class: Trivial, rdfs: N, rho_df: N, rdfs_plus: F, description: "c a owl:Class ⇒ c ⊑ c, c ≡ c, c ⊑ owl:Thing, owl:Nothing ⊑ c" },
+    RuleInfo { id: RuleId::ScmDp, name: "SCM-DP", table5_row: 31, class: Trivial, rdfs: N, rho_df: N, rdfs_plus: F, description: "p a owl:DatatypeProperty ⇒ p rdfs:subPropertyOf p, p owl:equivalentProperty p" },
+    RuleInfo { id: RuleId::ScmOp, name: "SCM-OP", table5_row: 32, class: Trivial, rdfs: N, rho_df: N, rdfs_plus: F, description: "p a owl:ObjectProperty ⇒ p rdfs:subPropertyOf p, p owl:equivalentProperty p" },
+    RuleInfo { id: RuleId::Rdfs4, name: "RDFS4", table5_row: 33, class: Trivial, rdfs: F, rho_df: F, rdfs_plus: F, description: "x p y ⇒ x rdf:type rdfs:Resource, y rdf:type rdfs:Resource" },
+    RuleInfo { id: RuleId::Rdfs8, name: "RDFS8", table5_row: 34, class: Trivial, rdfs: F, rho_df: N, rdfs_plus: N, description: "x a rdfs:Class ⇒ x rdfs:subClassOf rdfs:Resource" },
+    RuleInfo { id: RuleId::Rdfs12, name: "RDFS12", table5_row: 35, class: Trivial, rdfs: F, rho_df: N, rdfs_plus: N, description: "x a rdfs:ContainerMembershipProperty ⇒ x rdfs:subPropertyOf rdfs:member" },
+    RuleInfo { id: RuleId::Rdfs13, name: "RDFS13", table5_row: 36, class: Trivial, rdfs: F, rho_df: N, rdfs_plus: N, description: "x a rdfs:Datatype ⇒ x rdfs:subClassOf rdfs:Literal" },
+    RuleInfo { id: RuleId::Rdfs6, name: "RDFS6", table5_row: 37, class: Trivial, rdfs: F, rho_df: N, rdfs_plus: N, description: "x a rdf:Property ⇒ x rdfs:subPropertyOf x" },
+    RuleInfo { id: RuleId::Rdfs10, name: "RDFS10", table5_row: 38, class: Trivial, rdfs: F, rho_df: N, rdfs_plus: N, description: "x a rdfs:Class ⇒ x rdfs:subClassOf x" },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_is_indexed_by_rule_id() {
+        for (i, rule) in RuleId::ALL.iter().enumerate() {
+            assert_eq!(*rule as usize, i);
+            assert_eq!(CATALOG[i].id, *rule);
+            assert_eq!(CATALOG[i].table5_row as usize, i + 1);
+            assert_eq!(rule.info().name, rule.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<&str> = CATALOG.iter().map(|r| r.name).collect();
+        assert_eq!(names.len(), 38);
+    }
+
+    #[test]
+    fn fragment_sizes_match_table5() {
+        // Filled circles per column of Table 5.
+        let rdfs_default = CATALOG.iter().filter(|r| r.rdfs.in_default()).count();
+        let rho_default = CATALOG.iter().filter(|r| r.rho_df.in_default()).count();
+        let plus_default = CATALOG.iter().filter(|r| r.rdfs_plus.in_default()).count();
+        assert_eq!(rdfs_default, 10, "RDFS default rules");
+        assert_eq!(rho_default, 8, "ρDF default rules");
+        assert_eq!(plus_default, 29, "RDFS-Plus default rules");
+        // Full versions add the half-circle rules.
+        let rdfs_full = CATALOG.iter().filter(|r| r.rdfs.in_full()).count();
+        let rho_full = CATALOG.iter().filter(|r| r.rho_df.in_full()).count();
+        let plus_full = CATALOG.iter().filter(|r| r.rdfs_plus.in_full()).count();
+        assert_eq!(rdfs_full, 16);
+        assert_eq!(rho_full, 9);
+        assert_eq!(plus_full, 33);
+    }
+
+    #[test]
+    fn class_assignment_matches_table5() {
+        assert_eq!(RuleId::CaxSco.class(), RuleClass::Alpha);
+        assert_eq!(RuleId::ScmDom1.class(), RuleClass::Alpha);
+        assert_eq!(RuleId::ScmEqc2.class(), RuleClass::Beta);
+        assert_eq!(RuleId::PrpDom.class(), RuleClass::Gamma);
+        assert_eq!(RuleId::PrpSpo1.class(), RuleClass::Gamma);
+        assert_eq!(RuleId::PrpInv1.class(), RuleClass::Delta);
+        assert_eq!(RuleId::EqRepS.class(), RuleClass::SameAs);
+        assert_eq!(RuleId::ScmSco.class(), RuleClass::Theta);
+        assert_eq!(RuleId::PrpTrp.class(), RuleClass::Theta);
+        assert_eq!(RuleId::EqSym.class(), RuleClass::Trivial);
+        assert_eq!(RuleId::PrpFp.class(), RuleClass::Functional);
+    }
+
+    #[test]
+    fn every_rdfs_rule_is_in_rdfs_plus_except_the_legacy_axiomatic_ones() {
+        for info in CATALOG.iter() {
+            if info.rdfs.in_default() {
+                assert!(
+                    info.rdfs_plus.in_default(),
+                    "{} is a default RDFS rule but not an RDFS-Plus rule",
+                    info.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rho_df_is_a_subset_of_rdfs() {
+        for info in CATALOG.iter() {
+            if info.rho_df.in_default() {
+                assert!(info.rdfs.in_default(), "{} in ρDF but not RDFS", info.name);
+            }
+        }
+    }
+
+    #[test]
+    fn display_of_classes_and_rules() {
+        assert_eq!(RuleId::CaxSco.to_string(), "CAX-SCO");
+        assert_eq!(RuleClass::Alpha.to_string(), "α");
+        assert_eq!(RuleClass::SameAs.to_string(), "same-as");
+    }
+}

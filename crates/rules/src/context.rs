@@ -1,0 +1,133 @@
+//! The read-only view the rule executors operate on.
+
+use inferray_store::{PropertyTable, TripleStore};
+use std::borrow::Cow;
+
+/// The two stores a rule reads during one fixed-point iteration:
+///
+/// * `main` — everything known so far (asserted + previously inferred);
+/// * `new` — the triples added by the previous iteration (`new ⊆ main`).
+///
+/// Rules join one antecedent against `new` and the other against `main`
+/// (both orders), the classic semi-naive strategy that Algorithm 1 uses to
+/// avoid re-deriving from exclusively-old pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleContext<'a> {
+    /// The full store.
+    pub main: &'a TripleStore,
+    /// The triples discovered in the previous iteration.
+    pub new: &'a TripleStore,
+}
+
+impl<'a> RuleContext<'a> {
+    /// Builds a context from the two stores.
+    pub fn new(main: &'a TripleStore, new: &'a TripleStore) -> Self {
+        RuleContext { main, new }
+    }
+
+    /// The subject-sorted pair view of `prop` in `store` (empty slice when
+    /// the table does not exist).
+    pub fn subject_view(store: &'a TripleStore, prop: u64) -> &'a [u64] {
+        store.table(prop).map(|t| t.pairs()).unwrap_or(&[])
+    }
+
+    /// The object-sorted pair view (`[o, s, o, s, …]`) of `prop` in `store`.
+    /// Uses the table's ⟨o,s⟩ cache when it has been materialized, and falls
+    /// back to computing a temporary copy otherwise, so executors stay
+    /// correct even when the orchestrator forgot to call `ensure_os`.
+    pub fn object_view(store: &'a TripleStore, prop: u64) -> Cow<'a, [u64]> {
+        match store.table(prop) {
+            None => Cow::Borrowed(&[][..]),
+            Some(table) => Self::object_view_of(table),
+        }
+    }
+
+    /// Object-sorted view of a single table (cache or computed copy).
+    pub fn object_view_of(table: &'a PropertyTable) -> Cow<'a, [u64]> {
+        if let Some(cached) = table.os_pairs() {
+            Cow::Borrowed(cached)
+        } else {
+            let mut swapped = inferray_sort::swap_pairs(table.pairs());
+            inferray_sort::sort_pairs_auto_dedup(&mut swapped);
+            Cow::Owned(swapped)
+        }
+    }
+
+    /// The subjects `x` such that `⟨x, prop, object⟩ ∈ store`, using the
+    /// ⟨o,s⟩ cache when available and a linear scan otherwise. Used by the
+    /// rules whose schema antecedent is a `rdf:type` pattern with a fixed
+    /// object (PRP-SYMP, PRP-TRP, PRP-FP, PRP-IFP, SCM-CLS, …).
+    pub fn subjects_with_object(store: &TripleStore, prop: u64, object: u64) -> Vec<u64> {
+        match store.table(prop) {
+            None => Vec::new(),
+            Some(table) => {
+                if table.os_pairs().is_some() {
+                    table.subjects_of(object).collect()
+                } else {
+                    table
+                        .iter_pairs()
+                        .filter(|&(_, o)| o == object)
+                        .map(|(s, _)| s)
+                        .collect()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_dictionary::wellknown;
+    use inferray_model::IdTriple;
+
+    fn stores() -> (TripleStore, TripleStore) {
+        let main = TripleStore::from_triples([
+            IdTriple::new(10, wellknown::RDF_TYPE, 20),
+            IdTriple::new(11, wellknown::RDF_TYPE, 20),
+            IdTriple::new(12, wellknown::RDF_TYPE, 21),
+            IdTriple::new(20, wellknown::RDFS_SUB_CLASS_OF, 21),
+        ]);
+        let new = TripleStore::from_triples([IdTriple::new(20, wellknown::RDFS_SUB_CLASS_OF, 21)]);
+        (main, new)
+    }
+
+    #[test]
+    fn subject_view_of_missing_table_is_empty() {
+        let (main, new) = stores();
+        let ctx = RuleContext::new(&main, &new);
+        assert!(RuleContext::subject_view(ctx.main, wellknown::RDFS_DOMAIN).is_empty());
+        assert_eq!(
+            RuleContext::subject_view(ctx.main, wellknown::RDFS_SUB_CLASS_OF),
+            &[20, 21]
+        );
+    }
+
+    #[test]
+    fn object_view_falls_back_to_a_computed_copy() {
+        let (main, _) = stores();
+        let view = RuleContext::object_view(&main, wellknown::RDF_TYPE);
+        assert!(matches!(view, Cow::Owned(_)), "no cache was built");
+        assert_eq!(view.as_ref(), &[20, 10, 20, 11, 21, 12]);
+    }
+
+    #[test]
+    fn object_view_uses_the_cache_when_present() {
+        let (mut main, _) = stores();
+        main.ensure_all_os();
+        let view = RuleContext::object_view(&main, wellknown::RDF_TYPE);
+        assert!(matches!(view, Cow::Borrowed(_)));
+        assert_eq!(view.as_ref(), &[20, 10, 20, 11, 21, 12]);
+    }
+
+    #[test]
+    fn subjects_with_object_with_and_without_cache() {
+        let (mut main, _) = stores();
+        let without = RuleContext::subjects_with_object(&main, wellknown::RDF_TYPE, 20);
+        main.ensure_all_os();
+        let with = RuleContext::subjects_with_object(&main, wellknown::RDF_TYPE, 20);
+        assert_eq!(without, vec![10, 11]);
+        assert_eq!(with, without);
+        assert!(RuleContext::subjects_with_object(&main, wellknown::RDFS_DOMAIN, 20).is_empty());
+    }
+}

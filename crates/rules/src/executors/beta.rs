@@ -1,0 +1,134 @@
+//! β-rules: self-joins of one property table, subject against object.
+//!
+//! `SCM-EQC2` and `SCM-EQP2` detect mutual subsumption: when both `(c1, c2)`
+//! and `(c2, c1)` are in the hierarchy table, the two classes (properties)
+//! are equivalent. With the table sorted on ⟨s,o⟩ the reversed pair is found
+//! by a binary search, so the whole rule is a linear scan of the *new* pairs
+//! with a logarithmic probe each — the "standard sort-merge join … with the
+//! potential overhead of computing the ⟨o,s⟩-sorted table" the paper
+//! describes degenerates to this simpler form because both antecedents use
+//! the same table.
+
+use crate::context::RuleContext;
+use inferray_dictionary::wellknown;
+use inferray_store::InferredBuffer;
+
+/// Generic β executor: for every `(a, b)` in the *new* part of
+/// `hierarchy_prop` such that `(b, a)` is in *main*, emit both
+/// `⟨a, out_prop, b⟩` and `⟨b, out_prop, a⟩`.
+///
+/// Both orientations must be emitted from a single new pair: the reversed
+/// pair `(b, a)` may be old (in `main` only), in which case no later
+/// iteration would ever produce the `⟨b, out_prop, a⟩` head. Duplicates
+/// (when both pairs are new) are removed by the merge step.
+fn apply_beta(hierarchy_prop: u64, out_prop: u64, ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    let Some(main_table) = ctx.main.table(hierarchy_prop) else {
+        return;
+    };
+    let Some(new_table) = ctx.new.table(hierarchy_prop) else {
+        return;
+    };
+    for (a, b) in new_table.iter_pairs() {
+        if main_table.contains_pair(b, a) {
+            out.add(out_prop, a, b);
+            out.add(out_prop, b, a);
+        }
+    }
+}
+
+/// SCM-EQC2: `c1 ⊑ c2, c2 ⊑ c1 ⇒ c1 ≡ c2`.
+pub fn scm_eqc2(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    apply_beta(
+        wellknown::RDFS_SUB_CLASS_OF,
+        wellknown::OWL_EQUIVALENT_CLASS,
+        ctx,
+        out,
+    );
+}
+
+/// SCM-EQP2: `p1 ⊑ₚ p2, p2 ⊑ₚ p1 ⇒ p1 ≡ₚ p2`.
+pub fn scm_eqp2(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    apply_beta(
+        wellknown::RDFS_SUB_PROPERTY_OF,
+        wellknown::OWL_EQUIVALENT_PROPERTY,
+        ctx,
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executors::test_support::{buffer_to_set, derive, store};
+    use inferray_dictionary::wellknown as wk;
+
+    const A: u64 = 2_000_000;
+    const B: u64 = 2_000_001;
+    const C: u64 = 2_000_002;
+    const P: u64 = 900;
+    const Q: u64 = 901;
+
+    #[test]
+    fn mutual_subclasses_become_equivalent() {
+        let main = store(&[
+            (A, wk::RDFS_SUB_CLASS_OF, B),
+            (B, wk::RDFS_SUB_CLASS_OF, A),
+            (A, wk::RDFS_SUB_CLASS_OF, C), // one-directional: no equivalence
+        ]);
+        let derived = derive(&main, |ctx, out| scm_eqc2(ctx, out));
+        assert_eq!(
+            derived.into_iter().collect::<Vec<_>>(),
+            vec![
+                (A, wk::OWL_EQUIVALENT_CLASS, B),
+                (B, wk::OWL_EQUIVALENT_CLASS, A)
+            ]
+        );
+    }
+
+    #[test]
+    fn reflexive_subclass_yields_reflexive_equivalence() {
+        let main = store(&[(A, wk::RDFS_SUB_CLASS_OF, A)]);
+        let derived = derive(&main, |ctx, out| scm_eqc2(ctx, out));
+        assert_eq!(
+            derived.into_iter().collect::<Vec<_>>(),
+            vec![(A, wk::OWL_EQUIVALENT_CLASS, A)]
+        );
+    }
+
+    #[test]
+    fn mutual_subproperties_become_equivalent() {
+        let main = store(&[
+            (P, wk::RDFS_SUB_PROPERTY_OF, Q),
+            (Q, wk::RDFS_SUB_PROPERTY_OF, P),
+        ]);
+        let derived = derive(&main, |ctx, out| scm_eqp2(ctx, out));
+        assert!(derived.contains(&(P, wk::OWL_EQUIVALENT_PROPERTY, Q)));
+        assert!(derived.contains(&(Q, wk::OWL_EQUIVALENT_PROPERTY, P)));
+    }
+
+    #[test]
+    fn semi_naive_detects_the_cycle_closed_by_a_new_pair() {
+        // (A ⊑ B) is old; (B ⊑ A) arrives in `new`. The rule must fire for
+        // the new pair against main and emit *both* orientations of the
+        // equivalence: (A ⊑ B) will never be in `new` again, so this is the
+        // only chance to derive (A ≡ B).
+        let main = store(&[
+            (A, wk::RDFS_SUB_CLASS_OF, B),
+            (B, wk::RDFS_SUB_CLASS_OF, A),
+        ]);
+        let new = store(&[(B, wk::RDFS_SUB_CLASS_OF, A)]);
+        let ctx = RuleContext::new(&main, &new);
+        let mut out = InferredBuffer::new();
+        scm_eqc2(&ctx, &mut out);
+        let derived = buffer_to_set(&out);
+        assert!(derived.contains(&(B, wk::OWL_EQUIVALENT_CLASS, A)));
+        assert!(derived.contains(&(A, wk::OWL_EQUIVALENT_CLASS, B)));
+    }
+
+    #[test]
+    fn no_table_no_derivation() {
+        let main = store(&[(A, wk::RDF_TYPE, B)]);
+        assert!(derive(&main, |ctx, out| scm_eqc2(ctx, out)).is_empty());
+        assert!(derive(&main, |ctx, out| scm_eqp2(ctx, out)).is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! γ- and δ-rules: rules whose second antecedent has a *variable* property.
+//!
+//! γ-rules (PRP-DOM, PRP-RNG, PRP-SPO1, PRP-SYMP) join a schema table on the
+//! property identifier of the data pattern: "the join is performed on the
+//! property of the second triple pattern. Consequently, this requires to
+//! iterate over several property tables" (§4.4). δ-rules (PRP-EQP1/2,
+//! PRP-INV1/2) are the special case where the data table is copied — possibly
+//! reversed — into the head's table.
+//!
+//! Semi-naive evaluation pairs the *new* schema triples with the *main* data
+//! tables and the *main* schema triples with the *new* data tables.
+
+use crate::context::RuleContext;
+use inferray_dictionary::wellknown;
+use inferray_model::ids::is_property_id;
+use inferray_store::{InferredBuffer, TripleStore};
+
+/// Drives one γ/δ rule: for every `(s, o)` pair of the schema table
+/// `schema_prop` (semi-naive over both stores), calls
+/// `handle(s, o, data_store, out)` with the complementary data store.
+fn for_schema_and_data(
+    ctx: &RuleContext<'_>,
+    schema_prop: u64,
+    out: &mut InferredBuffer,
+    mut handle: impl FnMut(u64, u64, &TripleStore, &mut InferredBuffer),
+) {
+    if let Some(table) = ctx.new.table(schema_prop) {
+        for (s, o) in table.iter_pairs() {
+            handle(s, o, ctx.main, out);
+        }
+    }
+    if let Some(table) = ctx.main.table(schema_prop) {
+        for (s, o) in table.iter_pairs() {
+            handle(s, o, ctx.new, out);
+        }
+    }
+}
+
+/// PRP-DOM: `p domain c, x p y ⇒ x a c`.
+pub fn prp_dom(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_schema_and_data(ctx, wellknown::RDFS_DOMAIN, out, |p, c, data, out| {
+        if !is_property_id(p) {
+            return;
+        }
+        if let Some(table) = data.table(p) {
+            for (x, _) in table.iter_pairs() {
+                out.add(wellknown::RDF_TYPE, x, c);
+            }
+        }
+    });
+}
+
+/// PRP-RNG: `p range c, x p y ⇒ y a c`.
+pub fn prp_rng(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_schema_and_data(ctx, wellknown::RDFS_RANGE, out, |p, c, data, out| {
+        if !is_property_id(p) {
+            return;
+        }
+        if let Some(table) = data.table(p) {
+            for (_, y) in table.iter_pairs() {
+                out.add(wellknown::RDF_TYPE, y, c);
+            }
+        }
+    });
+}
+
+/// PRP-SPO1: `p1 ⊑ₚ p2, x p1 y ⇒ x p2 y`.
+pub fn prp_spo1(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_schema_and_data(
+        ctx,
+        wellknown::RDFS_SUB_PROPERTY_OF,
+        out,
+        |p1, p2, data, out| {
+            if p1 == p2 || !is_property_id(p1) || !is_property_id(p2) {
+                return;
+            }
+            if let Some(table) = data.table(p1) {
+                out.add_pairs(p2, table.pairs());
+            }
+        },
+    );
+}
+
+/// PRP-SYMP: `p a owl:SymmetricProperty, x p y ⇒ y p x`.
+pub fn prp_symp(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    // Pass 1: newly declared symmetric properties against all data.
+    let newly_symmetric = RuleContext::subjects_with_object(
+        ctx.new,
+        wellknown::RDF_TYPE,
+        wellknown::OWL_SYMMETRIC_PROPERTY,
+    );
+    copy_reversed(&newly_symmetric, ctx.main, out);
+    // Pass 2: all symmetric properties against the new data.
+    let all_symmetric = RuleContext::subjects_with_object(
+        ctx.main,
+        wellknown::RDF_TYPE,
+        wellknown::OWL_SYMMETRIC_PROPERTY,
+    );
+    copy_reversed(&all_symmetric, ctx.new, out);
+}
+
+fn copy_reversed(properties: &[u64], data: &TripleStore, out: &mut InferredBuffer) {
+    for &p in properties {
+        if !is_property_id(p) {
+            continue;
+        }
+        if let Some(table) = data.table(p) {
+            for (x, y) in table.iter_pairs() {
+                out.add(p, y, x);
+            }
+        }
+    }
+}
+
+/// PRP-EQP1: `p1 ≡ₚ p2, x p1 y ⇒ x p2 y`.
+pub fn prp_eqp1(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_schema_and_data(
+        ctx,
+        wellknown::OWL_EQUIVALENT_PROPERTY,
+        out,
+        |p1, p2, data, out| {
+            if p1 == p2 || !is_property_id(p1) || !is_property_id(p2) {
+                return;
+            }
+            if let Some(table) = data.table(p1) {
+                out.add_pairs(p2, table.pairs());
+            }
+        },
+    );
+}
+
+/// PRP-EQP2: `p1 ≡ₚ p2, x p2 y ⇒ x p1 y`.
+pub fn prp_eqp2(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_schema_and_data(
+        ctx,
+        wellknown::OWL_EQUIVALENT_PROPERTY,
+        out,
+        |p1, p2, data, out| {
+            if p1 == p2 || !is_property_id(p1) || !is_property_id(p2) {
+                return;
+            }
+            if let Some(table) = data.table(p2) {
+                out.add_pairs(p1, table.pairs());
+            }
+        },
+    );
+}
+
+/// PRP-INV1: `p1 inverseOf p2, x p1 y ⇒ y p2 x`.
+pub fn prp_inv1(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_schema_and_data(ctx, wellknown::OWL_INVERSE_OF, out, |p1, p2, data, out| {
+        if !is_property_id(p1) || !is_property_id(p2) {
+            return;
+        }
+        if let Some(table) = data.table(p1) {
+            for (x, y) in table.iter_pairs() {
+                out.add(p2, y, x);
+            }
+        }
+    });
+}
+
+/// PRP-INV2: `p1 inverseOf p2, x p2 y ⇒ y p1 x`.
+pub fn prp_inv2(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_schema_and_data(ctx, wellknown::OWL_INVERSE_OF, out, |p1, p2, data, out| {
+        if !is_property_id(p1) || !is_property_id(p2) {
+            return;
+        }
+        if let Some(table) = data.table(p2) {
+            for (x, y) in table.iter_pairs() {
+                out.add(p1, y, x);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executors::test_support::{derive, store};
+    use inferray_dictionary::wellknown as wk;
+    use inferray_model::ids::nth_property_id;
+
+    const PERSON: u64 = 3_000_000;
+    const CITY: u64 = 3_000_001;
+    const ALICE: u64 = 3_000_002;
+    const LYON: u64 = 3_000_003;
+    const BOB: u64 = 3_000_004;
+
+    fn prop(n: usize) -> u64 {
+        // Property ids outside the pre-registered vocabulary.
+        nth_property_id(100 + n)
+    }
+
+    #[test]
+    fn prp_dom_types_the_subject() {
+        let lives_in = prop(0);
+        let main = store(&[
+            (lives_in, wk::RDFS_DOMAIN, PERSON),
+            (ALICE, lives_in, LYON),
+            (BOB, lives_in, LYON),
+        ]);
+        let derived = derive(&main, |ctx, out| prp_dom(ctx, out));
+        assert!(derived.contains(&(ALICE, wk::RDF_TYPE, PERSON)));
+        assert!(derived.contains(&(BOB, wk::RDF_TYPE, PERSON)));
+        assert_eq!(derived.len(), 2);
+    }
+
+    #[test]
+    fn prp_rng_types_the_object() {
+        let lives_in = prop(0);
+        let main = store(&[
+            (lives_in, wk::RDFS_RANGE, CITY),
+            (ALICE, lives_in, LYON),
+        ]);
+        let derived = derive(&main, |ctx, out| prp_rng(ctx, out));
+        assert_eq!(
+            derived.into_iter().collect::<Vec<_>>(),
+            vec![(LYON, wk::RDF_TYPE, CITY)]
+        );
+    }
+
+    #[test]
+    fn prp_spo1_copies_the_subproperty_table() {
+        let has_son = prop(1);
+        let has_child = prop(2);
+        let main = store(&[
+            (has_son, wk::RDFS_SUB_PROPERTY_OF, has_child),
+            (ALICE, has_son, BOB),
+        ]);
+        let derived = derive(&main, |ctx, out| prp_spo1(ctx, out));
+        assert_eq!(
+            derived.into_iter().collect::<Vec<_>>(),
+            vec![(ALICE, has_child, BOB)]
+        );
+    }
+
+    #[test]
+    fn prp_spo1_skips_reflexive_subproperty_pairs() {
+        let p = prop(3);
+        let main = store(&[(p, wk::RDFS_SUB_PROPERTY_OF, p), (ALICE, p, BOB)]);
+        assert!(derive(&main, |ctx, out| prp_spo1(ctx, out)).is_empty());
+    }
+
+    #[test]
+    fn prp_symp_reverses_pairs_of_symmetric_properties() {
+        let married_to = prop(4);
+        let main = store(&[
+            (married_to, wk::RDF_TYPE, wk::OWL_SYMMETRIC_PROPERTY),
+            (ALICE, married_to, BOB),
+        ]);
+        let derived = derive(&main, |ctx, out| prp_symp(ctx, out));
+        assert!(derived.contains(&(BOB, married_to, ALICE)));
+    }
+
+    #[test]
+    fn prp_eqp_copies_in_both_directions() {
+        let p = prop(5);
+        let q = prop(6);
+        let main = store(&[
+            (p, wk::OWL_EQUIVALENT_PROPERTY, q),
+            (ALICE, p, LYON),
+            (BOB, q, LYON),
+        ]);
+        let d1 = derive(&main, |ctx, out| prp_eqp1(ctx, out));
+        assert!(d1.contains(&(ALICE, q, LYON)));
+        assert!(!d1.contains(&(BOB, p, LYON)));
+        let d2 = derive(&main, |ctx, out| prp_eqp2(ctx, out));
+        assert!(d2.contains(&(BOB, p, LYON)));
+    }
+
+    #[test]
+    fn prp_inv_reverses_in_both_directions() {
+        let parent_of = prop(7);
+        let child_of = prop(8);
+        let main = store(&[
+            (parent_of, wk::OWL_INVERSE_OF, child_of),
+            (ALICE, parent_of, BOB),
+            (LYON, child_of, CITY),
+        ]);
+        let d1 = derive(&main, |ctx, out| prp_inv1(ctx, out));
+        assert!(d1.contains(&(BOB, child_of, ALICE)));
+        let d2 = derive(&main, |ctx, out| prp_inv2(ctx, out));
+        assert!(d2.contains(&(CITY, parent_of, LYON)));
+    }
+
+    #[test]
+    fn schema_pairs_with_non_property_values_are_ignored() {
+        // A domain triple whose subject is a resource (data error) must not
+        // crash or derive anything.
+        let main = store(&[(PERSON, wk::RDFS_DOMAIN, CITY), (ALICE, prop(0), LYON)]);
+        assert!(derive(&main, |ctx, out| prp_dom(ctx, out)).is_empty());
+    }
+
+    #[test]
+    fn semi_naive_covers_new_data_against_old_schema() {
+        let lives_in = prop(0);
+        let main = store(&[
+            (lives_in, wk::RDFS_DOMAIN, PERSON),
+            (ALICE, lives_in, LYON),
+        ]);
+        let new = store(&[(ALICE, lives_in, LYON)]);
+        let ctx = RuleContext::new(&main, &new);
+        let mut out = InferredBuffer::new();
+        prp_dom(&ctx, &mut out);
+        let derived = crate::executors::test_support::buffer_to_set(&out);
+        assert!(derived.contains(&(ALICE, wk::RDF_TYPE, PERSON)));
+    }
+}

@@ -1,0 +1,192 @@
+//! θ-rules: transitivity, handled by the closure machinery.
+//!
+//! Inferray computes the transitive closures of `rdfs:subClassOf`,
+//! `rdfs:subPropertyOf`, `owl:sameAs` and of every declared
+//! `owl:TransitiveProperty` **before** the fixed-point loop (§4.1). The
+//! executors in this module cover the complementary case: when an iteration
+//! of the loop *adds* pairs to one of those tables (e.g. `SCM-EQC1` deriving
+//! new `subClassOf` links from an equivalence), the closure of the affected
+//! table is recomputed with the same Nuutila machinery and the missing pairs
+//! are emitted. When nothing new touched the table the executor is a no-op,
+//! so the up-front closure is never repeated.
+
+use crate::context::RuleContext;
+use inferray_closure::transitive_closure;
+use inferray_dictionary::wellknown;
+use inferray_model::ids::is_property_id;
+use inferray_store::InferredBuffer;
+
+/// SCM-SCO: transitivity of `rdfs:subClassOf`.
+pub fn scm_sco(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    close_if_new(ctx, wellknown::RDFS_SUB_CLASS_OF, false, out);
+}
+
+/// SCM-SPO: transitivity of `rdfs:subPropertyOf`.
+pub fn scm_spo(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    close_if_new(ctx, wellknown::RDFS_SUB_PROPERTY_OF, false, out);
+}
+
+/// EQ-TRANS: transitivity of `owl:sameAs` (which is also symmetric, so the
+/// symmetric pairs are added before closing, as in §4.1).
+pub fn eq_trans(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    close_if_new(ctx, wellknown::OWL_SAME_AS, true, out);
+}
+
+/// PRP-TRP: transitivity of every property declared `owl:TransitiveProperty`.
+pub fn prp_trp(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    // Properties newly declared transitive must be closed even if their
+    // table did not change this iteration.
+    let newly_declared = RuleContext::subjects_with_object(
+        ctx.new,
+        wellknown::RDF_TYPE,
+        wellknown::OWL_TRANSITIVE_PROPERTY,
+    );
+    let all_declared = RuleContext::subjects_with_object(
+        ctx.main,
+        wellknown::RDF_TYPE,
+        wellknown::OWL_TRANSITIVE_PROPERTY,
+    );
+    for &p in &all_declared {
+        if !is_property_id(p) {
+            continue;
+        }
+        let force = newly_declared.contains(&p);
+        if force {
+            close_table(ctx, p, false, out);
+        } else {
+            close_if_new(ctx, p, false, out);
+        }
+    }
+}
+
+/// Recomputes the closure of `prop` when the previous iteration added pairs
+/// to it.
+fn close_if_new(ctx: &RuleContext<'_>, prop: u64, symmetric: bool, out: &mut InferredBuffer) {
+    let has_new = ctx.new.table(prop).is_some_and(|t| !t.is_empty());
+    if !has_new {
+        return;
+    }
+    close_table(ctx, prop, symmetric, out);
+}
+
+/// Closes the *main* table of `prop`, emitting every closure pair that is not
+/// already present.
+fn close_table(ctx: &RuleContext<'_>, prop: u64, symmetric: bool, out: &mut InferredBuffer) {
+    let Some(table) = ctx.main.table(prop) else {
+        return;
+    };
+    if table.is_empty() {
+        return;
+    }
+    let mut edges = table.to_tuple_pairs();
+    if symmetric {
+        let swapped: Vec<(u64, u64)> = edges.iter().map(|&(a, b)| (b, a)).collect();
+        edges.extend(swapped);
+    }
+    for (a, b) in transitive_closure(&edges) {
+        if !table.contains_pair(a, b) {
+            out.add(prop, a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executors::test_support::{buffer_to_set, derive, store};
+    use inferray_dictionary::wellknown as wk;
+    use inferray_model::ids::nth_property_id;
+
+    const A: u64 = 7_000_000;
+    const B: u64 = 7_000_001;
+    const C: u64 = 7_000_002;
+    const D: u64 = 7_000_003;
+
+    #[test]
+    fn scm_sco_closes_a_chain() {
+        let main = store(&[
+            (A, wk::RDFS_SUB_CLASS_OF, B),
+            (B, wk::RDFS_SUB_CLASS_OF, C),
+            (C, wk::RDFS_SUB_CLASS_OF, D),
+        ]);
+        let derived = derive(&main, |ctx, out| scm_sco(ctx, out));
+        assert_eq!(derived.len(), 3);
+        assert!(derived.contains(&(A, wk::RDFS_SUB_CLASS_OF, C)));
+        assert!(derived.contains(&(A, wk::RDFS_SUB_CLASS_OF, D)));
+        assert!(derived.contains(&(B, wk::RDFS_SUB_CLASS_OF, D)));
+    }
+
+    #[test]
+    fn scm_spo_closes_property_hierarchies() {
+        let p = nth_property_id(500);
+        let q = nth_property_id(501);
+        let r = nth_property_id(502);
+        let main = store(&[
+            (p, wk::RDFS_SUB_PROPERTY_OF, q),
+            (q, wk::RDFS_SUB_PROPERTY_OF, r),
+        ]);
+        let derived = derive(&main, |ctx, out| scm_spo(ctx, out));
+        assert_eq!(
+            derived.into_iter().collect::<Vec<_>>(),
+            vec![(p, wk::RDFS_SUB_PROPERTY_OF, r)]
+        );
+    }
+
+    #[test]
+    fn eq_trans_closes_same_as_symmetrically() {
+        let main = store(&[(A, wk::OWL_SAME_AS, B), (B, wk::OWL_SAME_AS, C)]);
+        let derived = derive(&main, |ctx, out| eq_trans(ctx, out));
+        // The symmetric-then-transitive closure connects {A, B, C} fully,
+        // including reflexive pairs; the two asserted pairs are not repeated.
+        assert!(derived.contains(&(A, wk::OWL_SAME_AS, C)));
+        assert!(derived.contains(&(C, wk::OWL_SAME_AS, A)));
+        assert!(derived.contains(&(B, wk::OWL_SAME_AS, A)));
+        assert!(derived.contains(&(A, wk::OWL_SAME_AS, A)));
+        assert!(!derived.contains(&(A, wk::OWL_SAME_AS, B)), "already asserted");
+    }
+
+    #[test]
+    fn prp_trp_closes_declared_transitive_properties_only() {
+        let ancestor = nth_property_id(503);
+        let knows = nth_property_id(504);
+        let main = store(&[
+            (ancestor, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY),
+            (A, ancestor, B),
+            (B, ancestor, C),
+            (A, knows, B),
+            (B, knows, C),
+        ]);
+        let derived = derive(&main, |ctx, out| prp_trp(ctx, out));
+        assert!(derived.contains(&(A, ancestor, C)));
+        assert!(!derived.iter().any(|&(_, p, _)| p == knows));
+    }
+
+    #[test]
+    fn theta_rules_are_no_ops_when_nothing_new_touched_the_table() {
+        let main = store(&[
+            (A, wk::RDFS_SUB_CLASS_OF, B),
+            (B, wk::RDFS_SUB_CLASS_OF, C),
+        ]);
+        let empty_new = store(&[]);
+        let ctx = RuleContext::new(&main, &empty_new);
+        let mut out = InferredBuffer::new();
+        scm_sco(&ctx, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn newly_declared_transitive_property_forces_a_closure() {
+        let ancestor = nth_property_id(505);
+        let main = store(&[
+            (ancestor, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY),
+            (A, ancestor, B),
+            (B, ancestor, C),
+        ]);
+        // Only the declaration is new; the ancestor table itself is old.
+        let new = store(&[(ancestor, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY)]);
+        let ctx = RuleContext::new(&main, &new);
+        let mut out = InferredBuffer::new();
+        prp_trp(&ctx, &mut out);
+        assert!(buffer_to_set(&out).contains(&(A, ancestor, C)));
+    }
+}

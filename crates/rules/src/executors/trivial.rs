@@ -1,0 +1,238 @@
+//! Single-antecedent ("trivial") rules.
+//!
+//! These rules need no join at all: every matching triple of the *new* store
+//! directly produces its head triples. The paper keeps most of them out of
+//! the default rulesets because they "derive triples that do not convey
+//! interesting knowledge, but satisfy the logician"; they are included in the
+//! *full* ruleset flavours (half circles of Table 5).
+
+use crate::context::RuleContext;
+use inferray_dictionary::wellknown;
+use inferray_store::InferredBuffer;
+
+/// Iterates the `rdf:type` pairs of the *new* store whose object is `class`,
+/// calling `handle(subject)` for each.
+fn for_new_instances_of(
+    ctx: &RuleContext<'_>,
+    class: u64,
+    mut handle: impl FnMut(u64),
+) {
+    if let Some(table) = ctx.new.table(wellknown::RDF_TYPE) {
+        for (s, o) in table.iter_pairs() {
+            if o == class {
+                handle(s);
+            }
+        }
+    }
+}
+
+/// EQ-SYM: `x sameAs y ⇒ y sameAs x`.
+pub fn eq_sym(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    if let Some(table) = ctx.new.table(wellknown::OWL_SAME_AS) {
+        for (x, y) in table.iter_pairs() {
+            if x != y {
+                out.add(wellknown::OWL_SAME_AS, y, x);
+            }
+        }
+    }
+}
+
+/// SCM-EQC1: `c1 ≡ c2 ⇒ c1 ⊑ c2, c2 ⊑ c1`.
+pub fn scm_eqc1(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    if let Some(table) = ctx.new.table(wellknown::OWL_EQUIVALENT_CLASS) {
+        for (c1, c2) in table.iter_pairs() {
+            out.add(wellknown::RDFS_SUB_CLASS_OF, c1, c2);
+            out.add(wellknown::RDFS_SUB_CLASS_OF, c2, c1);
+        }
+    }
+}
+
+/// SCM-EQP1: `p1 ≡ₚ p2 ⇒ p1 ⊑ₚ p2, p2 ⊑ₚ p1`.
+pub fn scm_eqp1(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    if let Some(table) = ctx.new.table(wellknown::OWL_EQUIVALENT_PROPERTY) {
+        for (p1, p2) in table.iter_pairs() {
+            out.add(wellknown::RDFS_SUB_PROPERTY_OF, p1, p2);
+            out.add(wellknown::RDFS_SUB_PROPERTY_OF, p2, p1);
+        }
+    }
+}
+
+/// SCM-CLS: `c a owl:Class ⇒ c ⊑ c, c ≡ c, c ⊑ owl:Thing, owl:Nothing ⊑ c`.
+pub fn scm_cls(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_new_instances_of(ctx, wellknown::OWL_CLASS, |c| {
+        out.add(wellknown::RDFS_SUB_CLASS_OF, c, c);
+        out.add(wellknown::OWL_EQUIVALENT_CLASS, c, c);
+        out.add(wellknown::RDFS_SUB_CLASS_OF, c, wellknown::OWL_THING);
+        out.add(wellknown::RDFS_SUB_CLASS_OF, wellknown::OWL_NOTHING, c);
+    });
+}
+
+/// SCM-DP: `p a owl:DatatypeProperty ⇒ p ⊑ₚ p, p ≡ₚ p`.
+pub fn scm_dp(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_new_instances_of(ctx, wellknown::OWL_DATATYPE_PROPERTY, |p| {
+        out.add(wellknown::RDFS_SUB_PROPERTY_OF, p, p);
+        out.add(wellknown::OWL_EQUIVALENT_PROPERTY, p, p);
+    });
+}
+
+/// SCM-OP: `p a owl:ObjectProperty ⇒ p ⊑ₚ p, p ≡ₚ p`.
+pub fn scm_op(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_new_instances_of(ctx, wellknown::OWL_OBJECT_PROPERTY, |p| {
+        out.add(wellknown::RDFS_SUB_PROPERTY_OF, p, p);
+        out.add(wellknown::OWL_EQUIVALENT_PROPERTY, p, p);
+    });
+}
+
+/// RDFS4: `x p y ⇒ x a rdfs:Resource, y a rdfs:Resource`.
+pub fn rdfs4(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for (_, table) in ctx.new.iter_tables() {
+        for (x, y) in table.iter_pairs() {
+            out.add(wellknown::RDF_TYPE, x, wellknown::RDFS_RESOURCE);
+            out.add(wellknown::RDF_TYPE, y, wellknown::RDFS_RESOURCE);
+        }
+    }
+}
+
+/// RDFS6: `x a rdf:Property ⇒ x ⊑ₚ x`.
+pub fn rdfs6(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_new_instances_of(ctx, wellknown::RDF_PROPERTY, |x| {
+        out.add(wellknown::RDFS_SUB_PROPERTY_OF, x, x);
+    });
+}
+
+/// RDFS8: `x a rdfs:Class ⇒ x ⊑ rdfs:Resource`.
+pub fn rdfs8(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_new_instances_of(ctx, wellknown::RDFS_CLASS, |x| {
+        out.add(wellknown::RDFS_SUB_CLASS_OF, x, wellknown::RDFS_RESOURCE);
+    });
+}
+
+/// RDFS10: `x a rdfs:Class ⇒ x ⊑ x`.
+pub fn rdfs10(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_new_instances_of(ctx, wellknown::RDFS_CLASS, |x| {
+        out.add(wellknown::RDFS_SUB_CLASS_OF, x, x);
+    });
+}
+
+/// RDFS12: `x a rdfs:ContainerMembershipProperty ⇒ x ⊑ₚ rdfs:member`.
+pub fn rdfs12(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_new_instances_of(ctx, wellknown::RDFS_CONTAINER_MEMBERSHIP_PROPERTY, |x| {
+        out.add(wellknown::RDFS_SUB_PROPERTY_OF, x, wellknown::RDFS_MEMBER);
+    });
+}
+
+/// RDFS13: `x a rdfs:Datatype ⇒ x ⊑ rdfs:Literal`.
+pub fn rdfs13(ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    for_new_instances_of(ctx, wellknown::RDFS_DATATYPE, |x| {
+        out.add(wellknown::RDFS_SUB_CLASS_OF, x, wellknown::RDFS_LITERAL);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executors::test_support::{derive, store};
+    use inferray_dictionary::wellknown as wk;
+    use inferray_model::ids::nth_property_id;
+
+    const A: u64 = 5_000_000;
+    const B: u64 = 5_000_001;
+
+    #[test]
+    fn eq_sym_adds_the_symmetric_pair_once() {
+        let main = store(&[(A, wk::OWL_SAME_AS, B), (B, wk::OWL_SAME_AS, B)]);
+        let derived = derive(&main, |ctx, out| eq_sym(ctx, out));
+        assert_eq!(
+            derived.into_iter().collect::<Vec<_>>(),
+            vec![(B, wk::OWL_SAME_AS, A)]
+        );
+    }
+
+    #[test]
+    fn scm_eqc1_and_eqp1_expand_equivalences() {
+        let p = nth_property_id(300);
+        let q = nth_property_id(301);
+        let main = store(&[
+            (A, wk::OWL_EQUIVALENT_CLASS, B),
+            (p, wk::OWL_EQUIVALENT_PROPERTY, q),
+        ]);
+        let classes = derive(&main, |ctx, out| scm_eqc1(ctx, out));
+        assert!(classes.contains(&(A, wk::RDFS_SUB_CLASS_OF, B)));
+        assert!(classes.contains(&(B, wk::RDFS_SUB_CLASS_OF, A)));
+        let props = derive(&main, |ctx, out| scm_eqp1(ctx, out));
+        assert!(props.contains(&(p, wk::RDFS_SUB_PROPERTY_OF, q)));
+        assert!(props.contains(&(q, wk::RDFS_SUB_PROPERTY_OF, p)));
+    }
+
+    #[test]
+    fn scm_cls_produces_the_four_axioms() {
+        let main = store(&[(A, wk::RDF_TYPE, wk::OWL_CLASS)]);
+        let derived = derive(&main, |ctx, out| scm_cls(ctx, out));
+        assert_eq!(derived.len(), 4);
+        assert!(derived.contains(&(A, wk::RDFS_SUB_CLASS_OF, A)));
+        assert!(derived.contains(&(A, wk::OWL_EQUIVALENT_CLASS, A)));
+        assert!(derived.contains(&(A, wk::RDFS_SUB_CLASS_OF, wk::OWL_THING)));
+        assert!(derived.contains(&(wk::OWL_NOTHING, wk::RDFS_SUB_CLASS_OF, A)));
+    }
+
+    #[test]
+    fn scm_dp_and_op_make_properties_self_related() {
+        let p = nth_property_id(302);
+        let q = nth_property_id(303);
+        let main = store(&[
+            (p, wk::RDF_TYPE, wk::OWL_DATATYPE_PROPERTY),
+            (q, wk::RDF_TYPE, wk::OWL_OBJECT_PROPERTY),
+        ]);
+        let dp = derive(&main, |ctx, out| scm_dp(ctx, out));
+        assert!(dp.contains(&(p, wk::RDFS_SUB_PROPERTY_OF, p)));
+        assert!(dp.contains(&(p, wk::OWL_EQUIVALENT_PROPERTY, p)));
+        assert!(!dp.contains(&(q, wk::RDFS_SUB_PROPERTY_OF, q)));
+        let op = derive(&main, |ctx, out| scm_op(ctx, out));
+        assert!(op.contains(&(q, wk::OWL_EQUIVALENT_PROPERTY, q)));
+    }
+
+    #[test]
+    fn rdfs4_types_every_node_as_resource() {
+        let p = nth_property_id(304);
+        let main = store(&[(A, p, B)]);
+        let derived = derive(&main, |ctx, out| rdfs4(ctx, out));
+        assert!(derived.contains(&(A, wk::RDF_TYPE, wk::RDFS_RESOURCE)));
+        assert!(derived.contains(&(B, wk::RDF_TYPE, wk::RDFS_RESOURCE)));
+    }
+
+    #[test]
+    fn rdfs_axiomatic_class_and_property_rules() {
+        let main = store(&[
+            (A, wk::RDF_TYPE, wk::RDFS_CLASS),
+            (B, wk::RDF_TYPE, wk::RDF_PROPERTY),
+        ]);
+        let d8 = derive(&main, |ctx, out| rdfs8(ctx, out));
+        assert!(d8.contains(&(A, wk::RDFS_SUB_CLASS_OF, wk::RDFS_RESOURCE)));
+        let d10 = derive(&main, |ctx, out| rdfs10(ctx, out));
+        assert!(d10.contains(&(A, wk::RDFS_SUB_CLASS_OF, A)));
+        let d6 = derive(&main, |ctx, out| rdfs6(ctx, out));
+        assert!(d6.contains(&(B, wk::RDFS_SUB_PROPERTY_OF, B)));
+    }
+
+    #[test]
+    fn rdfs12_and_13() {
+        let main = store(&[
+            (A, wk::RDF_TYPE, wk::RDFS_CONTAINER_MEMBERSHIP_PROPERTY),
+            (B, wk::RDF_TYPE, wk::RDFS_DATATYPE),
+        ]);
+        let d12 = derive(&main, |ctx, out| rdfs12(ctx, out));
+        assert!(d12.contains(&(A, wk::RDFS_SUB_PROPERTY_OF, wk::RDFS_MEMBER)));
+        let d13 = derive(&main, |ctx, out| rdfs13(ctx, out));
+        assert!(d13.contains(&(B, wk::RDFS_SUB_CLASS_OF, wk::RDFS_LITERAL)));
+    }
+
+    #[test]
+    fn trivial_rules_only_look_at_new_triples() {
+        let main = store(&[(A, wk::OWL_SAME_AS, B)]);
+        let empty_new = store(&[]);
+        let ctx = RuleContext::new(&main, &empty_new);
+        let mut out = InferredBuffer::new();
+        eq_sym(&ctx, &mut out);
+        assert!(out.is_empty(), "single-antecedent rules are driven by new");
+    }
+}

@@ -1,0 +1,231 @@
+//! Rulesets: the RDFS / ρDF / RDFS-Plus fragments in their default and full
+//! flavours.
+//!
+//! "Systems usually perform incomplete RDFS reasoning and consider only rules
+//! whose antecedents are made of two-way joins … single-antecedent rules
+//! derive triples that do not convey interesting knowledge" (§1). The
+//! benchmark therefore distinguishes, per fragment, a *default* version
+//! (filled circles of Table 5) from a *full* version that adds the
+//! half-circle rules.
+
+use crate::catalog::{Membership, RuleClass, RuleId, CATALOG};
+
+/// The inference fragments evaluated in the paper (§6, "Rulesets").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fragment {
+    /// ρDF — the minimal meaningful subset of RDFS.
+    RhoDf,
+    /// RDFS, default flavour (meaningful rules only).
+    RdfsDefault,
+    /// RDFS, full flavour (adds the axiomatic RDFS4/6/8/10/12/13 rules).
+    RdfsFull,
+    /// RDFS-Plus, default flavour.
+    RdfsPlus,
+    /// RDFS-Plus, full flavour (adds SCM-CLS / SCM-DP / SCM-OP / RDFS4).
+    RdfsPlusFull,
+}
+
+impl Fragment {
+    /// All fragments, in benchmark order.
+    pub const ALL: [Fragment; 5] = [
+        Fragment::RhoDf,
+        Fragment::RdfsDefault,
+        Fragment::RdfsFull,
+        Fragment::RdfsPlus,
+        Fragment::RdfsPlusFull,
+    ];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fragment::RhoDf => "rho-df",
+            Fragment::RdfsDefault => "RDFS-default",
+            Fragment::RdfsFull => "RDFS-Full",
+            Fragment::RdfsPlus => "RDFS-Plus",
+            Fragment::RdfsPlusFull => "RDFS-Plus-Full",
+        }
+    }
+
+    /// The membership column of Table 5 relevant to this fragment, and
+    /// whether the full flavour is requested.
+    fn membership(self, rule: RuleId) -> (Membership, bool) {
+        let info = rule.info();
+        match self {
+            Fragment::RhoDf => (info.rho_df, false),
+            Fragment::RdfsDefault => (info.rdfs, false),
+            Fragment::RdfsFull => (info.rdfs, true),
+            Fragment::RdfsPlus => (info.rdfs_plus, false),
+            Fragment::RdfsPlusFull => (info.rdfs_plus, true),
+        }
+    }
+
+    /// `true` when `rule` belongs to this fragment.
+    pub fn includes(self, rule: RuleId) -> bool {
+        let (membership, full) = self.membership(rule);
+        if full {
+            membership.in_full()
+        } else {
+            membership.in_default()
+        }
+    }
+}
+
+impl std::fmt::Display for Fragment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete, ordered set of rules to execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ruleset {
+    /// The fragment this ruleset realizes.
+    pub fragment: Fragment,
+    rules: Vec<RuleId>,
+}
+
+impl Ruleset {
+    /// Builds the ruleset of a fragment from the catalog.
+    pub fn for_fragment(fragment: Fragment) -> Self {
+        let rules = CATALOG
+            .iter()
+            .filter(|info| fragment.includes(info.id))
+            .map(|info| info.id)
+            .collect();
+        Ruleset { fragment, rules }
+    }
+
+    /// A custom ruleset (used by tests and by the ablation benchmarks).
+    pub fn custom(fragment: Fragment, rules: Vec<RuleId>) -> Self {
+        Ruleset { fragment, rules }
+    }
+
+    /// The rules, in Table 5 order.
+    pub fn rules(&self) -> &[RuleId] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when the ruleset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// `true` when the ruleset contains `rule`.
+    pub fn contains(&self, rule: RuleId) -> bool {
+        self.rules.contains(&rule)
+    }
+
+    /// The rules that are *not* handled by the transitive-closure stage
+    /// (everything except the θ class) — the ones the fixed-point loop
+    /// dispatches to per-rule threads.
+    pub fn fixed_point_rules(&self) -> Vec<RuleId> {
+        self.rules
+            .iter()
+            .copied()
+            .filter(|r| r.class() != RuleClass::Theta)
+            .collect()
+    }
+
+    /// The θ (closure) rules of the ruleset.
+    pub fn theta_rules(&self) -> Vec<RuleId> {
+        self.rules
+            .iter()
+            .copied()
+            .filter(|r| r.class() == RuleClass::Theta)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_sizes() {
+        assert_eq!(Ruleset::for_fragment(Fragment::RhoDf).len(), 8);
+        assert_eq!(Ruleset::for_fragment(Fragment::RdfsDefault).len(), 10);
+        assert_eq!(Ruleset::for_fragment(Fragment::RdfsFull).len(), 16);
+        assert_eq!(Ruleset::for_fragment(Fragment::RdfsPlus).len(), 29);
+        assert_eq!(Ruleset::for_fragment(Fragment::RdfsPlusFull).len(), 33);
+    }
+
+    #[test]
+    fn rho_df_contains_exactly_the_paper_rules() {
+        let ruleset = Ruleset::for_fragment(Fragment::RhoDf);
+        let expected = [
+            RuleId::CaxSco,
+            RuleId::PrpDom,
+            RuleId::PrpRng,
+            RuleId::PrpSpo1,
+            RuleId::ScmDom2,
+            RuleId::ScmRng2,
+            RuleId::ScmSco,
+            RuleId::ScmSpo,
+        ];
+        assert_eq!(ruleset.rules(), &expected);
+    }
+
+    #[test]
+    fn rdfs_full_adds_only_axiomatic_rules() {
+        let default: std::collections::HashSet<_> =
+            Ruleset::for_fragment(Fragment::RdfsDefault).rules().to_vec().into_iter().collect();
+        let full: std::collections::HashSet<_> =
+            Ruleset::for_fragment(Fragment::RdfsFull).rules().to_vec().into_iter().collect();
+        let extra: Vec<_> = full.difference(&default).collect();
+        assert_eq!(extra.len(), 6);
+        for rule in [
+            RuleId::Rdfs4,
+            RuleId::Rdfs6,
+            RuleId::Rdfs8,
+            RuleId::Rdfs10,
+            RuleId::Rdfs12,
+            RuleId::Rdfs13,
+        ] {
+            assert!(full.contains(&rule));
+            assert!(!default.contains(&rule));
+        }
+    }
+
+    #[test]
+    fn theta_rules_are_separated_from_fixed_point_rules() {
+        let ruleset = Ruleset::for_fragment(Fragment::RdfsPlus);
+        let theta = ruleset.theta_rules();
+        assert_eq!(
+            theta,
+            vec![RuleId::EqTrans, RuleId::PrpTrp, RuleId::ScmSco, RuleId::ScmSpo]
+        );
+        let fp = ruleset.fixed_point_rules();
+        assert_eq!(fp.len() + theta.len(), ruleset.len());
+        assert!(!fp.contains(&RuleId::ScmSco));
+    }
+
+    #[test]
+    fn rdfs_fragments_never_include_owl_rules() {
+        for fragment in [Fragment::RhoDf, Fragment::RdfsDefault, Fragment::RdfsFull] {
+            let ruleset = Ruleset::for_fragment(fragment);
+            assert!(!ruleset.contains(RuleId::CaxEqc1));
+            assert!(!ruleset.contains(RuleId::PrpTrp));
+            assert!(!ruleset.contains(RuleId::EqSym));
+        }
+    }
+
+    #[test]
+    fn custom_ruleset() {
+        let rs = Ruleset::custom(Fragment::RdfsDefault, vec![RuleId::CaxSco]);
+        assert_eq!(rs.len(), 1);
+        assert!(rs.contains(RuleId::CaxSco));
+        assert!(!Ruleset::custom(Fragment::RdfsDefault, vec![]).contains(RuleId::CaxSco));
+        assert!(Ruleset::custom(Fragment::RdfsDefault, vec![]).is_empty());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Fragment::RhoDf.to_string(), "rho-df");
+        assert_eq!(Fragment::RdfsPlus.to_string(), "RDFS-Plus");
+    }
+}

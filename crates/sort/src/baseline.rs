@@ -1,0 +1,213 @@
+//! Generic comparison sorts used as baselines in Table 1 of the paper.
+//!
+//! The paper compares its counting and MSDA kernels against generic 128-bit
+//! sorts (SIMD Radix128/Merge128 from Satish et al., plus mergesort and
+//! quicksort). SIMD intrinsics are out of scope for a portable reproduction,
+//! so the stand-ins are:
+//!
+//! * [`std_sort_pairs`] — Rust's pattern-defeating quicksort
+//!   (`sort_unstable`) on `(u64, u64)` tuples, the strongest generic
+//!   comparison sort readily available;
+//! * [`merge_sort_pairs`] — a textbook top-down merge sort, the
+//!   non-SIMD analogue of the paper's `Mergesort` row;
+//! * [`quick_sort_pairs`] — a textbook median-of-three quicksort, the
+//!   analogue of the paper's `Quicksort` row.
+//!
+//! They all operate on the same flat pair-array convention as the kernels in
+//! [`crate::counting`] and [`crate::radix`] so Table 1 compares like with
+//! like.
+
+/// Sorts a flat pair array with the standard library's unstable sort.
+/// Serves as the correctness oracle for every other kernel.
+pub fn std_sort_pairs(pairs: &mut [u64]) {
+    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    let mut tuples = to_tuples(pairs);
+    tuples.sort_unstable();
+    from_tuples(&tuples, pairs);
+}
+
+/// Textbook top-down merge sort over `(u64, u64)` tuples.
+pub fn merge_sort_pairs(pairs: &mut [u64]) {
+    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    let mut tuples = to_tuples(pairs);
+    let mut scratch = tuples.clone();
+    merge_sort_recurse(&mut tuples, &mut scratch);
+    from_tuples(&tuples, pairs);
+}
+
+/// Textbook recursive quicksort (median-of-three pivot, insertion sort for
+/// small partitions) over `(u64, u64)` tuples.
+pub fn quick_sort_pairs(pairs: &mut [u64]) {
+    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    let mut tuples = to_tuples(pairs);
+    quick_sort_recurse(&mut tuples);
+    from_tuples(&tuples, pairs);
+}
+
+fn to_tuples(pairs: &[u64]) -> Vec<(u64, u64)> {
+    pairs.chunks_exact(2).map(|p| (p[0], p[1])).collect()
+}
+
+fn from_tuples(tuples: &[(u64, u64)], pairs: &mut [u64]) {
+    for (i, (s, o)) in tuples.iter().enumerate() {
+        pairs[2 * i] = *s;
+        pairs[2 * i + 1] = *o;
+    }
+}
+
+fn merge_sort_recurse(data: &mut [(u64, u64)], scratch: &mut [(u64, u64)]) {
+    let n = data.len();
+    if n <= 32 {
+        data.sort_unstable();
+        return;
+    }
+    let mid = n / 2;
+    merge_sort_recurse(&mut data[..mid], &mut scratch[..mid]);
+    merge_sort_recurse(&mut data[mid..], &mut scratch[mid..]);
+    // Merge into scratch, then copy back.
+    let (mut i, mut j, mut k) = (0usize, mid, 0usize);
+    while i < mid && j < n {
+        if data[i] <= data[j] {
+            scratch[k] = data[i];
+            i += 1;
+        } else {
+            scratch[k] = data[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < mid {
+        scratch[k] = data[i];
+        i += 1;
+        k += 1;
+    }
+    while j < n {
+        scratch[k] = data[j];
+        j += 1;
+        k += 1;
+    }
+    data.copy_from_slice(&scratch[..n]);
+}
+
+fn quick_sort_recurse(data: &mut [(u64, u64)]) {
+    let n = data.len();
+    if n <= 24 {
+        data.sort_unstable();
+        return;
+    }
+    // Median-of-three pivot selection.
+    let (a, b, c) = (data[0], data[n / 2], data[n - 1]);
+    let pivot = median3(a, b, c);
+
+    // Hoare partition.
+    let mut i = 0usize;
+    let mut j = n - 1;
+    loop {
+        while data[i] < pivot {
+            i += 1;
+        }
+        while data[j] > pivot {
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        data.swap(i, j);
+        i += 1;
+        j -= 1;
+    }
+    // Guard against a degenerate split (possible with pathological pivot
+    // placement); the recursion must always strictly shrink.
+    if j + 1 == n {
+        data.sort_unstable();
+        return;
+    }
+    let (left, right) = data.split_at_mut(j + 1);
+    quick_sort_recurse(left);
+    quick_sort_recurse(right);
+}
+
+fn median3(a: (u64, u64), b: (u64, u64), c: (u64, u64)) -> (u64, u64) {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    if c < lo {
+        lo
+    } else if c > hi {
+        hi
+    } else {
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::is_sorted_pairs;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_pairs(n: usize, range: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..2 * n).map(|_| rng.gen_range(0..range)).collect()
+    }
+
+    #[test]
+    fn all_baselines_agree_with_std() {
+        for (n, range, seed) in [(0usize, 10u64, 1u64), (1, 10, 2), (500, 100, 3), (4000, 1 << 40, 4)] {
+            let original = random_pairs(n, range.max(1), seed);
+            let mut expected = original.clone();
+            std_sort_pairs(&mut expected);
+
+            let mut m = original.clone();
+            merge_sort_pairs(&mut m);
+            assert_eq!(m, expected, "merge sort mismatch n={n}");
+
+            let mut q = original.clone();
+            quick_sort_pairs(&mut q);
+            assert_eq!(q, expected, "quick sort mismatch n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reversed_input() {
+        let mut asc: Vec<u64> = (0..200u64).flat_map(|i| [i, i * 2]).collect();
+        let mut desc: Vec<u64> = (0..200u64).rev().flat_map(|i| [i, i * 2]).collect();
+        let mut expected = desc.clone();
+        std_sort_pairs(&mut expected);
+        merge_sort_pairs(&mut desc);
+        assert_eq!(desc, expected);
+        quick_sort_pairs(&mut asc);
+        assert!(is_sorted_pairs(&asc));
+    }
+
+    #[test]
+    fn duplicate_heavy_input() {
+        let mut v: Vec<u64> = std::iter::repeat([3u64, 1u64]).take(300).flatten().collect();
+        v.extend_from_slice(&[1, 9, 1, 9, 2, 2]);
+        let mut expected = v.clone();
+        std_sort_pairs(&mut expected);
+        let mut q = v.clone();
+        quick_sort_pairs(&mut q);
+        assert_eq!(q, expected);
+        let mut m = v;
+        merge_sort_pairs(&mut m);
+        assert_eq!(m, expected);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_and_quick_match_std(mut values in proptest::collection::vec(any::<u64>(), 0..256)) {
+            if values.len() % 2 == 1 {
+                values.pop();
+            }
+            let mut expected = values.clone();
+            std_sort_pairs(&mut expected);
+            let mut m = values.clone();
+            merge_sort_pairs(&mut m);
+            prop_assert_eq!(&m, &expected);
+            let mut q = values;
+            quick_sort_pairs(&mut q);
+            prop_assert_eq!(q, expected);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Counting sort for pairs of integers — Algorithm 2 of the paper.
+//!
+//! The classic counting sort handles scalar keys; the paper adapts it to
+//! key-value *pairs* while keeping linear time:
+//!
+//! 1. build the histogram of the subjects (the keys) and keep a copy;
+//! 2. compute each subject's starting position in the final array by a
+//!    cumulative sum of the histogram;
+//! 3. scatter the object values into a single `objects` array, each object
+//!    landing inside the (still unsorted) sub-array reserved for its subject;
+//! 4. sort each per-subject sub-array;
+//! 5. rebuild the pair array by walking the histogram copy, emitting
+//!    `(subject, object)` pairs and — in the dedup variant — skipping
+//!    repeated objects, which is sufficient because equal pairs are adjacent
+//!    at this point.
+//!
+//! The algorithm shines when the subject range is small compared to the
+//! number of pairs (dense graphs); see [`crate::operating_range`] for the
+//! crossover against the radix kernel.
+
+use crate::pairs::subject_min_max;
+
+/// Sorts a flat pair array (`[s0, o0, s1, o1, …]`) lexicographically by
+/// ⟨s,o⟩ using the pair-counting-sort of Algorithm 2, **keeping** duplicates.
+///
+/// # Panics
+/// Panics if the vector length is odd.
+pub fn counting_sort_pairs(pairs: &mut Vec<u64>) {
+    counting_sort_impl(pairs, false);
+}
+
+/// Sorts a flat pair array and removes duplicate pairs in the same pass
+/// (the fused "sort & remove duplicates" step of Figure 5). The vector is
+/// truncated to the deduplicated length.
+///
+/// # Panics
+/// Panics if the vector length is odd.
+pub fn counting_sort_pairs_dedup(pairs: &mut Vec<u64>) {
+    counting_sort_impl(pairs, true);
+}
+
+fn counting_sort_impl(pairs: &mut Vec<u64>, dedup: bool) {
+    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    if pairs.len() <= 2 {
+        return;
+    }
+    let (min, max) = subject_min_max(pairs).expect("non-empty");
+    let width = (max - min + 1) as usize;
+
+    // Lines 1-2: histogram of the subjects, and a copy for the rebuild phase.
+    let mut histogram = vec![0u32; width];
+    for s in pairs.iter().copied().step_by(2) {
+        histogram[(s - min) as usize] += 1;
+    }
+    let histogram_copy = histogram.clone();
+
+    // Line 3: starting position of each subject's object sub-array.
+    let mut start = vec![0usize; width + 1];
+    let mut acc = 0usize;
+    for (i, &count) in histogram.iter().enumerate() {
+        start[i] = acc;
+        acc += count as usize;
+    }
+    start[width] = acc;
+
+    // Lines 4-10: scatter objects into per-subject sub-arrays (unsorted).
+    let mut objects = vec![0u64; pairs.len() / 2];
+    for i in (0..pairs.len()).step_by(2) {
+        let key = (pairs[i] - min) as usize;
+        let position = start[key];
+        let remaining = histogram[key] as usize;
+        histogram[key] -= 1;
+        objects[position + remaining - 1] = pairs[i + 1];
+    }
+
+    // Lines 11-13: sort each sub-array of objects.
+    for i in 0..width {
+        let (lo, hi) = (start[i], start[i + 1]);
+        if hi - lo > 1 {
+            objects[lo..hi].sort_unstable();
+        }
+    }
+
+    // Lines 14-26: rebuild the pair array, optionally skipping duplicates.
+    let mut write = 0usize;
+    let mut read = 0usize;
+    for (i, &count) in histogram_copy.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let subject = min + i as u64;
+        let mut previous_object = 0u64;
+        for k in 0..count {
+            let object = objects[read];
+            read += 1;
+            if !dedup || k == 0 || object != previous_object {
+                pairs[write] = subject;
+                pairs[write + 1] = object;
+                write += 2;
+            }
+            previous_object = object;
+        }
+    }
+    // Line 27: trim to the number of (unique) pairs actually written.
+    pairs.truncate(write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::std_sort_pairs;
+    use crate::pairs::{dedup_sorted_pairs, is_sorted_pairs};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The worked example of Figure 6: pairs (4,1) (2,3) (1,2) (5,3) (4,4).
+    #[test]
+    fn paper_figure6_trace() {
+        let mut v = vec![4, 1, 2, 3, 1, 2, 5, 3, 4, 4];
+        counting_sort_pairs(&mut v);
+        assert_eq!(v, vec![1, 2, 2, 3, 4, 1, 4, 4, 5, 3]);
+    }
+
+    #[test]
+    fn empty_and_single_pair() {
+        let mut v: Vec<u64> = vec![];
+        counting_sort_pairs_dedup(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![9, 3];
+        counting_sort_pairs_dedup(&mut v);
+        assert_eq!(v, vec![9, 3]);
+    }
+
+    #[test]
+    fn dedup_variant_removes_duplicate_pairs() {
+        let mut v = vec![3, 7, 3, 7, 1, 1, 3, 7, 1, 1];
+        counting_sort_pairs_dedup(&mut v);
+        assert_eq!(v, vec![1, 1, 3, 7]);
+    }
+
+    #[test]
+    fn keeps_duplicates_without_dedup() {
+        let mut v = vec![3, 7, 3, 7, 1, 1];
+        counting_sort_pairs(&mut v);
+        assert_eq!(v, vec![1, 1, 3, 7, 3, 7]);
+    }
+
+    #[test]
+    fn same_subject_objects_are_sorted() {
+        let mut v = vec![5, 9, 5, 1, 5, 4, 5, 1];
+        counting_sort_pairs(&mut v);
+        assert_eq!(v, vec![5, 1, 5, 1, 5, 4, 5, 9]);
+        let mut v2 = vec![5, 9, 5, 1, 5, 4, 5, 1];
+        counting_sort_pairs_dedup(&mut v2);
+        assert_eq!(v2, vec![5, 1, 5, 4, 5, 9]);
+    }
+
+    #[test]
+    fn handles_large_ids_with_small_range() {
+        // Dense-numbered identifiers sit near 2^32; only the range matters.
+        let base = 1u64 << 32;
+        let mut v = vec![base + 5, base + 1, base + 2, base + 9, base + 5, base];
+        counting_sort_pairs(&mut v);
+        assert_eq!(v, vec![base + 2, base + 9, base + 5, base, base + 5, base + 1]);
+    }
+
+    #[test]
+    fn matches_std_sort_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [10usize, 100, 1000, 5000] {
+            let mut v: Vec<u64> = (0..2 * n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        rng.gen_range(1000..1300)
+                    } else {
+                        rng.gen_range(0..10_000)
+                    }
+                })
+                .collect();
+            let mut expected = v.clone();
+            std_sort_pairs(&mut expected);
+            counting_sort_pairs(&mut v);
+            assert_eq!(v, expected);
+        }
+    }
+
+    #[test]
+    fn dedup_matches_sort_then_dedup() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<u64> = (0..2000)
+            .map(|i| {
+                if i % 2 == 0 {
+                    rng.gen_range(0..50)
+                } else {
+                    rng.gen_range(0..20)
+                }
+            })
+            .collect();
+        let mut expected = v.clone();
+        std_sort_pairs(&mut expected);
+        dedup_sorted_pairs(&mut expected);
+        counting_sort_pairs_dedup(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sorted_and_permutation(mut values in proptest::collection::vec(0u64..5000, 0..400)) {
+            if values.len() % 2 == 1 {
+                values.pop();
+            }
+            let mut expected = values.clone();
+            std_sort_pairs(&mut expected);
+            let mut actual = values.clone();
+            counting_sort_pairs(&mut actual);
+            prop_assert!(is_sorted_pairs(&actual));
+            prop_assert_eq!(actual, expected);
+        }
+
+        #[test]
+        fn prop_dedup_equals_generic(mut values in proptest::collection::vec(0u64..64, 0..400)) {
+            if values.len() % 2 == 1 {
+                values.pop();
+            }
+            let mut expected = values.clone();
+            std_sort_pairs(&mut expected);
+            dedup_sorted_pairs(&mut expected);
+            let mut actual = values;
+            counting_sort_pairs_dedup(&mut actual);
+            prop_assert_eq!(actual, expected);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Helpers shared by every sorting kernel: the flat pair-array convention,
+//! sortedness checks, duplicate removal on sorted arrays, and ⟨s,o⟩ ↔ ⟨o,s⟩
+//! swapping (used to build the object-sorted cache of a property table).
+
+/// Returns `true` when `pairs` (flat `[s0, o0, s1, o1, …]`) is sorted
+/// lexicographically by ⟨s,o⟩.
+///
+/// # Panics
+/// Panics if the slice length is odd.
+pub fn is_sorted_pairs(pairs: &[u64]) -> bool {
+    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    pairs
+        .chunks_exact(2)
+        .zip(pairs.chunks_exact(2).skip(1))
+        .all(|(a, b)| (a[0], a[1]) <= (b[0], b[1]))
+}
+
+/// Removes duplicate pairs from a *sorted* flat pair array, truncating it in
+/// place. Returns the number of pairs removed.
+///
+/// # Panics
+/// Panics if the slice length is odd. Debug builds also assert sortedness.
+pub fn dedup_sorted_pairs(pairs: &mut Vec<u64>) -> usize {
+    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    debug_assert!(is_sorted_pairs(pairs), "dedup requires a sorted array");
+    if pairs.is_empty() {
+        return 0;
+    }
+    let mut write = 2usize;
+    for read in (2..pairs.len()).step_by(2) {
+        if pairs[read] != pairs[write - 2] || pairs[read + 1] != pairs[write - 1] {
+            pairs[write] = pairs[read];
+            pairs[write + 1] = pairs[read + 1];
+            write += 2;
+        }
+    }
+    let removed = (pairs.len() - write) / 2;
+    pairs.truncate(write);
+    removed
+}
+
+/// Returns a new flat array with every pair swapped: `(s, o)` becomes
+/// `(o, s)`. Sorting the result on its first component yields the
+/// object-sorted view the β/α rules join on.
+pub fn swap_pairs(pairs: &[u64]) -> Vec<u64> {
+    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    let mut out = Vec::with_capacity(pairs.len());
+    for pair in pairs.chunks_exact(2) {
+        out.push(pair[1]);
+        out.push(pair[0]);
+    }
+    out
+}
+
+/// Number of pairs stored in a flat pair array.
+#[inline]
+pub fn pair_count(pairs: &[u64]) -> usize {
+    debug_assert!(pairs.len() % 2 == 0);
+    pairs.len() / 2
+}
+
+/// Minimum and maximum over the *subject* (even-index) positions.
+/// Returns `None` for an empty array.
+pub fn subject_min_max(pairs: &[u64]) -> Option<(u64, u64)> {
+    debug_assert!(pairs.len() % 2 == 0);
+    let mut iter = pairs.iter().copied().step_by(2);
+    let first = iter.next()?;
+    let (mut min, mut max) = (first, first);
+    for s in iter {
+        min = min.min(s);
+        max = max.max(s);
+    }
+    Some((min, max))
+}
+
+/// Minimum and maximum over the *object* (odd-index) positions.
+pub fn object_min_max(pairs: &[u64]) -> Option<(u64, u64)> {
+    debug_assert!(pairs.len() % 2 == 0);
+    let mut iter = pairs.iter().copied().skip(1).step_by(2);
+    let first = iter.next()?;
+    let (mut min, mut max) = (first, first);
+    for o in iter {
+        min = min.min(o);
+        max = max.max(o);
+    }
+    Some((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sortedness_check() {
+        assert!(is_sorted_pairs(&[]));
+        assert!(is_sorted_pairs(&[1, 2]));
+        assert!(is_sorted_pairs(&[1, 2, 1, 3, 2, 0]));
+        assert!(!is_sorted_pairs(&[1, 3, 1, 2]));
+        assert!(!is_sorted_pairs(&[2, 0, 1, 9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "even length")]
+    fn odd_length_panics() {
+        is_sorted_pairs(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn dedup_removes_adjacent_duplicates() {
+        let mut v = vec![1, 1, 1, 1, 1, 2, 3, 0, 3, 0];
+        let removed = dedup_sorted_pairs(&mut v);
+        assert_eq!(removed, 2);
+        assert_eq!(v, vec![1, 1, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn dedup_on_empty_and_singleton() {
+        let mut v: Vec<u64> = vec![];
+        assert_eq!(dedup_sorted_pairs(&mut v), 0);
+        let mut v = vec![5, 6];
+        assert_eq!(dedup_sorted_pairs(&mut v), 0);
+        assert_eq!(v, vec![5, 6]);
+    }
+
+    #[test]
+    fn dedup_all_identical() {
+        let mut v = vec![4, 4, 4, 4, 4, 4];
+        assert_eq!(dedup_sorted_pairs(&mut v), 2);
+        assert_eq!(v, vec![4, 4]);
+    }
+
+    #[test]
+    fn swap_exchanges_components() {
+        assert_eq!(swap_pairs(&[1, 2, 3, 4]), vec![2, 1, 4, 3]);
+        assert_eq!(swap_pairs(&[]), Vec::<u64>::new());
+        // swapping twice is the identity
+        let v = vec![9, 8, 7, 6, 5, 4];
+        assert_eq!(swap_pairs(&swap_pairs(&v)), v);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let v = vec![5, 100, 2, 300, 9, 1];
+        assert_eq!(subject_min_max(&v), Some((2, 9)));
+        assert_eq!(object_min_max(&v), Some((1, 300)));
+        assert_eq!(subject_min_max(&[]), None);
+        assert_eq!(object_min_max(&[]), None);
+        assert_eq!(pair_count(&v), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-rule output buffers for the parallel inference stage.
+//!
+//! "Each rule is executed on a dedicated thread and holds its own inferred
+//! property table to avoid potential contention" (§4.3). An
+//! [`InferredBuffer`] is exactly that: an append-only map from property
+//! identifier to a raw (unsorted, possibly duplicated) pair vector. After
+//! all rule threads join, the buffers are combined and handed, property by
+//! property, to the merge step of Figure 5.
+
+use std::collections::BTreeMap;
+
+/// Append-only buffer of inferred ⟨s,o⟩ pairs, grouped by property.
+#[derive(Debug, Clone, Default)]
+pub struct InferredBuffer {
+    tables: BTreeMap<u64, Vec<u64>>,
+}
+
+impl InferredBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        InferredBuffer::default()
+    }
+
+    /// Records the inferred triple `⟨s, p, o⟩`.
+    #[inline]
+    pub fn add(&mut self, p: u64, s: u64, o: u64) {
+        let table = self.tables.entry(p).or_default();
+        table.push(s);
+        table.push(o);
+    }
+
+    /// Records many pairs for one property at once.
+    pub fn add_pairs(&mut self, p: u64, pairs: &[u64]) {
+        assert!(pairs.len() % 2 == 0, "pair array must have even length");
+        if pairs.is_empty() {
+            return;
+        }
+        self.tables.entry(p).or_default().extend_from_slice(pairs);
+    }
+
+    /// Total number of pairs buffered (duplicates included).
+    pub fn len(&self) -> usize {
+        self.tables.values().map(|v| v.len() / 2).sum()
+    }
+
+    /// `true` when nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.values().all(|v| v.is_empty())
+    }
+
+    /// Number of distinct properties touched.
+    pub fn property_count(&self) -> usize {
+        self.tables.iter().filter(|(_, v)| !v.is_empty()).count()
+    }
+
+    /// Absorbs another buffer (used to combine the per-rule buffers after
+    /// the threads join).
+    pub fn absorb(&mut self, other: InferredBuffer) {
+        for (p, mut pairs) in other.tables {
+            self.tables.entry(p).or_default().append(&mut pairs);
+        }
+    }
+
+    /// Iterates over `(property, raw pairs)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u64])> + '_ {
+        self.tables.iter().map(|(&p, v)| (p, v.as_slice()))
+    }
+
+    /// Consumes the buffer, yielding `(property, raw pairs)` in ascending
+    /// property order.
+    pub fn into_iter_tables(self) -> impl Iterator<Item = (u64, Vec<u64>)> {
+        self.tables.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer() {
+        let buf = InferredBuffer::new();
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.property_count(), 0);
+    }
+
+    #[test]
+    fn add_groups_by_property() {
+        let mut buf = InferredBuffer::new();
+        buf.add(100, 1, 2);
+        buf.add(100, 3, 4);
+        buf.add(200, 5, 6);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.property_count(), 2);
+        let tables: Vec<(u64, Vec<u64>)> = buf
+            .iter()
+            .map(|(p, pairs)| (p, pairs.to_vec()))
+            .collect();
+        assert_eq!(tables, vec![(100, vec![1, 2, 3, 4]), (200, vec![5, 6])]);
+    }
+
+    #[test]
+    fn duplicates_are_kept_until_merge() {
+        let mut buf = InferredBuffer::new();
+        buf.add(7, 1, 1);
+        buf.add(7, 1, 1);
+        assert_eq!(buf.len(), 2, "the buffer itself never deduplicates");
+    }
+
+    #[test]
+    fn add_pairs_bulk() {
+        let mut buf = InferredBuffer::new();
+        buf.add_pairs(9, &[1, 2, 3, 4]);
+        buf.add_pairs(9, &[]);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn absorb_concatenates_per_property() {
+        let mut a = InferredBuffer::new();
+        a.add(1, 10, 11);
+        let mut b = InferredBuffer::new();
+        b.add(1, 20, 21);
+        b.add(2, 30, 31);
+        a.absorb(b);
+        assert_eq!(a.len(), 3);
+        let table1: Vec<u64> = a.iter().find(|(p, _)| *p == 1).unwrap().1.to_vec();
+        assert_eq!(table1, vec![10, 11, 20, 21]);
+    }
+
+    #[test]
+    fn into_iter_tables_is_property_ordered() {
+        let mut buf = InferredBuffer::new();
+        buf.add(300, 1, 1);
+        buf.add(100, 2, 2);
+        buf.add(200, 3, 3);
+        let props: Vec<u64> = buf.into_iter_tables().map(|(p, _)| p).collect();
+        assert_eq!(props, vec![100, 200, 300]);
+    }
+}

@@ -1,0 +1,44 @@
+//! # inferray-store
+//!
+//! The vertically partitioned, sorted-array triple store of the Inferray
+//! reasoner (sections 4.2 and 4.3 of the paper).
+//!
+//! A triple store is an array of **property tables**, one per predicate,
+//! addressed by the dense property index of the dictionary
+//! (`inferray-dictionary`). Each [`PropertyTable`] is a flat `Vec<u64>` of
+//! `⟨subject, object⟩` pairs kept sorted on ⟨s,o⟩ and duplicate-free, plus a
+//! lazily materialized cache of the same pairs sorted on ⟨o,s⟩ — the two
+//! orders the sort-merge-join rule executors need. Every access pattern in
+//! the hot path is a sequential scan or a binary search over a contiguous
+//! array, which is precisely the "predictable memory access pattern" the
+//! paper designs for.
+//!
+//! The module map follows the paper:
+//!
+//! * [`property_table`] — the sorted pair arrays and their ⟨o,s⟩ cache (§4.2);
+//! * [`triple_store`] — the array of property tables ([`TripleStore`]);
+//! * [`merge`] — the per-iteration update step of Figure 5: sort and
+//!   deduplicate the inferred pairs, merge them into *main*, and emit the
+//!   genuinely new pairs into *new*;
+//! * [`inferred`] — the per-rule output buffers used during parallel rule
+//!   execution (each rule thread owns one, avoiding contention);
+//! * [`profile`] — software memory-access counters standing in for the
+//!   hardware cache/TLB/page-fault counters of Figures 7–8 (see DESIGN.md
+//!   for the substitution rationale).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inferred;
+pub mod merge;
+pub mod profile;
+pub mod property_table;
+pub mod query;
+pub mod triple_store;
+
+pub use inferred::InferredBuffer;
+pub use merge::{merge_new_pairs, MergeOutcome};
+pub use profile::AccessProfile;
+pub use property_table::PropertyTable;
+pub use query::TriplePattern;
+pub use triple_store::TripleStore;

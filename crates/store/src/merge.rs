@@ -1,0 +1,202 @@
+//! The per-iteration property-table update of Figure 5.
+//!
+//! After all rules have fired, every property table that received inferred
+//! pairs is updated in two linear steps:
+//!
+//! 1. the inferred pairs are sorted on ⟨s,o⟩ and deduplicated (one call to
+//!    the low-entropy kernels of `inferray-sort`);
+//! 2. *main* and *inferred* are merged list-wise: pairs already in *main*
+//!    are skipped (second layer of duplicate elimination), pairs that are
+//!    genuinely new are appended both to the updated *main* and to *new*,
+//!    which seeds the next fixed-point iteration.
+//!
+//! "The time complexity of the whole process is linear as both lists are
+//! sorted."
+
+use crate::property_table::PropertyTable;
+use inferray_sort::sort_pairs_auto_dedup;
+
+/// Counters describing one merge (used by the access profile and the tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Pairs handed in by the rule executors, before any deduplication.
+    pub inferred_raw: usize,
+    /// Duplicates removed by the sort-dedup of the inferred buffer (step 1).
+    pub duplicates_within_inferred: usize,
+    /// Inferred pairs skipped because they were already in *main* (step 2).
+    pub duplicates_against_main: usize,
+    /// Genuinely new pairs added to *main* and *new*.
+    pub new_pairs: usize,
+}
+
+/// Merges raw inferred pairs into `main`, returning the *new* table (the
+/// pairs that were not previously in `main`) and the merge counters.
+///
+/// `main` must be finalized (sorted, duplicate-free); it is updated in place
+/// and its ⟨o,s⟩ cache is invalidated when new pairs arrive, as required by
+/// §4.2 ("in the case of receiving new triples in a property table, the
+/// possibly existing ⟨o,s⟩ sorted cache is invalidated").
+pub fn merge_new_pairs(main: &mut PropertyTable, mut inferred: Vec<u64>) -> (PropertyTable, MergeOutcome) {
+    assert!(inferred.len() % 2 == 0, "pair array must have even length");
+    let mut outcome = MergeOutcome {
+        inferred_raw: inferred.len() / 2,
+        ..MergeOutcome::default()
+    };
+
+    // Step 1: sort and deduplicate the inferred pairs.
+    sort_pairs_auto_dedup(&mut inferred);
+    outcome.duplicates_within_inferred = outcome.inferred_raw - inferred.len() / 2;
+
+    if inferred.is_empty() {
+        return (PropertyTable::new(), outcome);
+    }
+
+    // Step 2: linear merge of the two sorted lists.
+    let old = main.pairs();
+    let mut merged: Vec<u64> = Vec::with_capacity(old.len() + inferred.len());
+    let mut fresh: Vec<u64> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() && j < inferred.len() {
+        let a = (old[i], old[i + 1]);
+        let b = (inferred[j], inferred[j + 1]);
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => {
+                merged.extend_from_slice(&[a.0, a.1]);
+                i += 2;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.extend_from_slice(&[b.0, b.1]);
+                fresh.extend_from_slice(&[b.0, b.1]);
+                j += 2;
+            }
+            std::cmp::Ordering::Equal => {
+                // Already known: keep one copy in main, skip in new.
+                merged.extend_from_slice(&[a.0, a.1]);
+                outcome.duplicates_against_main += 1;
+                i += 2;
+                j += 2;
+            }
+        }
+    }
+    if i < old.len() {
+        merged.extend_from_slice(&old[i..]);
+    }
+    while j < inferred.len() {
+        merged.extend_from_slice(&inferred[j..j + 2]);
+        fresh.extend_from_slice(&inferred[j..j + 2]);
+        j += 2;
+    }
+
+    outcome.new_pairs = fresh.len() / 2;
+    if outcome.new_pairs > 0 {
+        main.replace_with_sorted(merged);
+    }
+    let mut new_table = PropertyTable::new();
+    new_table.replace_with_sorted(fresh);
+    (new_table, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_sort::is_sorted_pairs;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_figure5_example() {
+        // Main: (1,1) (1,8) (9,6) — Inferred: (4,3) (7,3) (2,1) (1,1) (1,2) (1,1)
+        // After sort+dedup of inferred: (1,1) (1,2) (2,1) (4,3) (7,3)
+        // New: everything except (1,1), which is already in main.
+        let mut main = PropertyTable::from_pairs(vec![1, 1, 1, 8, 9, 6]);
+        let inferred = vec![4, 3, 7, 3, 2, 1, 1, 1, 1, 2, 1, 1];
+        let (new, outcome) = merge_new_pairs(&mut main, inferred);
+        assert_eq!(new.pairs(), &[1, 2, 2, 1, 4, 3, 7, 3]);
+        assert_eq!(main.pairs(), &[1, 1, 1, 2, 1, 8, 2, 1, 4, 3, 7, 3, 9, 6]);
+        assert_eq!(outcome.inferred_raw, 6);
+        assert_eq!(outcome.duplicates_within_inferred, 1);
+        assert_eq!(outcome.duplicates_against_main, 1);
+        assert_eq!(outcome.new_pairs, 4);
+    }
+
+    #[test]
+    fn empty_inferred_changes_nothing() {
+        let mut main = PropertyTable::from_pairs(vec![3, 3]);
+        let before = main.pairs().to_vec();
+        let (new, outcome) = merge_new_pairs(&mut main, vec![]);
+        assert!(new.is_empty());
+        assert_eq!(outcome, MergeOutcome { inferred_raw: 0, ..Default::default() });
+        assert_eq!(main.pairs(), &before[..]);
+    }
+
+    #[test]
+    fn all_duplicates_produce_empty_new() {
+        let mut main = PropertyTable::from_pairs(vec![1, 2, 3, 4]);
+        let (new, outcome) = merge_new_pairs(&mut main, vec![3, 4, 1, 2, 1, 2]);
+        assert!(new.is_empty());
+        assert_eq!(outcome.new_pairs, 0);
+        assert_eq!(outcome.duplicates_within_inferred, 1);
+        assert_eq!(outcome.duplicates_against_main, 2);
+        assert_eq!(main.len(), 2);
+    }
+
+    #[test]
+    fn merge_into_empty_main() {
+        let mut main = PropertyTable::new();
+        let (new, outcome) = merge_new_pairs(&mut main, vec![5, 6, 1, 2]);
+        assert_eq!(main.pairs(), &[1, 2, 5, 6]);
+        assert_eq!(new.pairs(), &[1, 2, 5, 6]);
+        assert_eq!(outcome.new_pairs, 2);
+    }
+
+    #[test]
+    fn os_cache_is_invalidated_when_new_pairs_arrive() {
+        let mut main = PropertyTable::from_pairs(vec![1, 2]);
+        main.ensure_os();
+        assert!(main.has_os_cache());
+        let (_, outcome) = merge_new_pairs(&mut main, vec![9, 9]);
+        assert_eq!(outcome.new_pairs, 1);
+        assert!(!main.has_os_cache());
+    }
+
+    #[test]
+    fn os_cache_survives_a_no_op_merge() {
+        let mut main = PropertyTable::from_pairs(vec![1, 2]);
+        main.ensure_os();
+        let (_, outcome) = merge_new_pairs(&mut main, vec![1, 2]);
+        assert_eq!(outcome.new_pairs, 0);
+        assert!(main.has_os_cache(), "no new pair ⇒ cache can be kept");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_semantics(
+            main_pairs in proptest::collection::vec(0u64..30, 0..60),
+            mut inferred in proptest::collection::vec(0u64..30, 0..60),
+        ) {
+            let mut main_pairs = main_pairs;
+            if main_pairs.len() % 2 == 1 { main_pairs.pop(); }
+            if inferred.len() % 2 == 1 { inferred.pop(); }
+
+            let mut main = PropertyTable::from_pairs(main_pairs.clone());
+            let before: std::collections::BTreeSet<(u64, u64)> = main.iter_pairs().collect();
+            let inferred_set: std::collections::BTreeSet<(u64, u64)> =
+                inferred.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+
+            let (new, outcome) = merge_new_pairs(&mut main, inferred);
+
+            let after: std::collections::BTreeSet<(u64, u64)> = main.iter_pairs().collect();
+            let new_set: std::collections::BTreeSet<(u64, u64)> = new.iter_pairs().collect();
+
+            // main' = main ∪ inferred, new = inferred \ main, all sorted/deduped.
+            let expected_after: std::collections::BTreeSet<(u64, u64)> =
+                before.union(&inferred_set).copied().collect();
+            let expected_new: std::collections::BTreeSet<(u64, u64)> =
+                inferred_set.difference(&before).copied().collect();
+            prop_assert_eq!(&after, &expected_after);
+            prop_assert_eq!(&new_set, &expected_new);
+            prop_assert!(is_sorted_pairs(main.pairs()));
+            prop_assert!(is_sorted_pairs(new.pairs()));
+            prop_assert_eq!(outcome.new_pairs, expected_new.len());
+        }
+    }
+}

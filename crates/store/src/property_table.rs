@@ -1,0 +1,343 @@
+//! A single property table: the `⟨s,o⟩` pairs of one predicate.
+//!
+//! "Property tables are stored in dynamic arrays sorted on ⟨s,o⟩, along with
+//! a cached version sorted on ⟨o,s⟩. The cached ⟨o,s⟩ sorted index is
+//! computed lazily upon need." (paper §4.2). The ⟨o,s⟩ cache is invalidated
+//! whenever new pairs reach the table.
+
+use inferray_sort::{sort_pairs_auto_dedup, swap_pairs};
+
+/// The sorted pair array of one predicate, with its lazy object-sorted cache.
+#[derive(Debug, Clone, Default)]
+pub struct PropertyTable {
+    /// Flat `[s0, o0, s1, o1, …]`, sorted on ⟨s,o⟩ and duplicate-free when
+    /// `dirty` is false.
+    so: Vec<u64>,
+    /// Cache of the same pairs *swapped and* sorted on ⟨o,s⟩, stored as flat
+    /// `[o0, s0, o1, s1, …]`. `None` until requested.
+    os: Option<Vec<u64>>,
+    /// `true` when unsorted pairs have been appended since the last
+    /// [`PropertyTable::finalize`].
+    dirty: bool,
+}
+
+impl PropertyTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PropertyTable::default()
+    }
+
+    /// Creates a table from raw (possibly unsorted, possibly duplicated)
+    /// pairs and finalizes it.
+    pub fn from_pairs(pairs: Vec<u64>) -> Self {
+        let mut table = PropertyTable {
+            so: pairs,
+            os: None,
+            dirty: true,
+        };
+        table.finalize();
+        table
+    }
+
+    /// Number of pairs currently stored (including not-yet-finalized ones).
+    pub fn len(&self) -> usize {
+        self.so.len() / 2
+    }
+
+    /// `true` when the table holds no pair.
+    pub fn is_empty(&self) -> bool {
+        self.so.is_empty()
+    }
+
+    /// `true` when pairs have been appended since the last finalize.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Appends a pair; the table becomes dirty and its ⟨o,s⟩ cache is
+    /// dropped.
+    pub fn add_pair(&mut self, s: u64, o: u64) {
+        self.so.push(s);
+        self.so.push(o);
+        self.dirty = true;
+        self.os = None;
+    }
+
+    /// Appends many pairs from a flat slice.
+    pub fn add_pairs(&mut self, pairs: &[u64]) {
+        assert!(pairs.len() % 2 == 0, "pair array must have even length");
+        if pairs.is_empty() {
+            return;
+        }
+        self.so.extend_from_slice(pairs);
+        self.dirty = true;
+        self.os = None;
+    }
+
+    /// Sorts on ⟨s,o⟩ and removes duplicate pairs. Idempotent.
+    pub fn finalize(&mut self) {
+        if self.dirty {
+            sort_pairs_auto_dedup(&mut self.so);
+            self.dirty = false;
+            self.os = None;
+        }
+    }
+
+    /// The ⟨s,o⟩-sorted flat pair array.
+    ///
+    /// # Panics
+    /// Debug-asserts that the table has been finalized.
+    pub fn pairs(&self) -> &[u64] {
+        debug_assert!(!self.dirty, "property table read while dirty");
+        &self.so
+    }
+
+    /// Iterates over the pairs as `(s, o)` tuples, in ⟨s,o⟩ order.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.pairs().chunks_exact(2).map(|p| (p[0], p[1]))
+    }
+
+    /// Builds (if needed) the ⟨o,s⟩-sorted cache.
+    pub fn ensure_os(&mut self) {
+        debug_assert!(!self.dirty, "ensure_os on a dirty table");
+        if self.os.is_none() {
+            let mut swapped = swap_pairs(&self.so);
+            sort_pairs_auto_dedup(&mut swapped);
+            self.os = Some(swapped);
+        }
+    }
+
+    /// The ⟨o,s⟩-sorted flat array (`[o, s, o, s, …]`), when the cache has
+    /// been built with [`PropertyTable::ensure_os`].
+    pub fn os_pairs(&self) -> Option<&[u64]> {
+        self.os.as_deref()
+    }
+
+    /// `true` when the ⟨o,s⟩ cache is materialized.
+    pub fn has_os_cache(&self) -> bool {
+        self.os.is_some()
+    }
+
+    /// Drops the ⟨o,s⟩ cache ("this cache may be cleared at runtime if
+    /// memory is exhausted").
+    pub fn clear_os_cache(&mut self) {
+        self.os = None;
+    }
+
+    /// Iterates over the objects associated with subject `s` (⟨s,o⟩ order).
+    pub fn objects_of(&self, s: u64) -> impl Iterator<Item = u64> + '_ {
+        let range = key_range(self.pairs(), s);
+        self.pairs()[range].chunks_exact(2).map(|p| p[1])
+    }
+
+    /// Iterates over the subjects associated with object `o`. Requires the
+    /// ⟨o,s⟩ cache (panics otherwise) — callers ensure it before read-only
+    /// parallel phases.
+    pub fn subjects_of(&self, o: u64) -> impl Iterator<Item = u64> + '_ {
+        let os = self
+            .os_pairs()
+            .expect("subjects_of requires the ⟨o,s⟩ cache (call ensure_os first)");
+        let range = key_range(os, o);
+        os[range].chunks_exact(2).map(|p| p[1])
+    }
+
+    /// Binary-searches for an exact pair.
+    pub fn contains_pair(&self, s: u64, o: u64) -> bool {
+        pair_binary_search(self.pairs(), s, o).is_ok()
+    }
+
+    /// Replaces the table contents with already-sorted, duplicate-free pairs.
+    /// Used by the merge step and by the closure stage.
+    pub fn replace_with_sorted(&mut self, pairs: Vec<u64>) {
+        debug_assert!(inferray_sort::is_sorted_pairs(&pairs));
+        self.so = pairs;
+        self.os = None;
+        self.dirty = false;
+    }
+
+    /// Consumes the table and returns its raw sorted pair vector.
+    pub fn into_pairs(mut self) -> Vec<u64> {
+        self.finalize();
+        self.so
+    }
+
+    /// The pairs as `(s, o)` tuples collected into a vector (convenience for
+    /// the closure stage, which wants tuple edges).
+    pub fn to_tuple_pairs(&self) -> Vec<(u64, u64)> {
+        self.iter_pairs().collect()
+    }
+}
+
+/// Binary search over a flat pair array sorted on its (first, second)
+/// components; `Ok(pair_index)` on exact match, `Err(insertion_pair_index)`
+/// otherwise.
+fn pair_binary_search(pairs: &[u64], first: u64, second: u64) -> Result<usize, usize> {
+    let n = pairs.len() / 2;
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let key = (pairs[2 * mid], pairs[2 * mid + 1]);
+        match key.cmp(&(first, second)) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// The element range (even offsets) of all pairs whose first component
+/// equals `key` in a flat sorted pair array.
+fn key_range(pairs: &[u64], key: u64) -> std::ops::Range<usize> {
+    let n = pairs.len() / 2;
+    // Lower bound: first pair with first component >= key.
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if pairs[2 * mid] < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    let start = lo;
+    // Upper bound: first pair with first component > key.
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if pairs[2 * mid] <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    (2 * start)..(2 * lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PropertyTable {
+        // (5,2) (1,9) (1,3) (5,2) (2,7)
+        PropertyTable::from_pairs(vec![5, 2, 1, 9, 1, 3, 5, 2, 2, 7])
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_dedups() {
+        let t = table();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.pairs(), &[1, 3, 1, 9, 2, 7, 5, 2]);
+        assert!(!t.is_dirty());
+    }
+
+    #[test]
+    fn add_pair_marks_dirty_and_finalize_restores_order() {
+        let mut t = table();
+        t.add_pair(0, 1);
+        assert!(t.is_dirty());
+        t.finalize();
+        assert_eq!(t.pairs()[..2], [0, 1]);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut t = table();
+        let before = t.pairs().to_vec();
+        t.finalize();
+        t.finalize();
+        assert_eq!(t.pairs(), &before[..]);
+    }
+
+    #[test]
+    fn os_cache_is_lazy_and_sorted_by_object() {
+        let mut t = table();
+        assert!(!t.has_os_cache());
+        assert!(t.os_pairs().is_none());
+        t.ensure_os();
+        assert!(t.has_os_cache());
+        assert_eq!(t.os_pairs().unwrap(), &[2, 5, 3, 1, 7, 2, 9, 1]);
+        t.clear_os_cache();
+        assert!(!t.has_os_cache());
+    }
+
+    #[test]
+    fn adding_pairs_invalidates_os_cache() {
+        let mut t = table();
+        t.ensure_os();
+        t.add_pair(9, 9);
+        assert!(!t.has_os_cache());
+    }
+
+    #[test]
+    fn objects_of_returns_contiguous_run() {
+        let t = PropertyTable::from_pairs(vec![1, 5, 1, 3, 2, 9, 1, 4]);
+        assert_eq!(t.objects_of(1).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(t.objects_of(2).collect::<Vec<_>>(), vec![9]);
+        assert_eq!(t.objects_of(42).count(), 0);
+    }
+
+    #[test]
+    fn subjects_of_uses_os_cache() {
+        let mut t = PropertyTable::from_pairs(vec![1, 7, 2, 7, 3, 8]);
+        t.ensure_os();
+        assert_eq!(t.subjects_of(7).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(t.subjects_of(8).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(t.subjects_of(9).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the")]
+    fn subjects_of_without_cache_panics() {
+        let t = table();
+        let _ = t.subjects_of(2).count();
+    }
+
+    #[test]
+    fn contains_pair_binary_search() {
+        let t = table();
+        assert!(t.contains_pair(1, 9));
+        assert!(t.contains_pair(5, 2));
+        assert!(!t.contains_pair(1, 4));
+        assert!(!t.contains_pair(6, 0));
+    }
+
+    #[test]
+    fn empty_table_behaviour() {
+        let t = PropertyTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(!t.contains_pair(1, 1));
+        assert_eq!(t.iter_pairs().count(), 0);
+        assert_eq!(t.objects_of(3).count(), 0);
+    }
+
+    #[test]
+    fn replace_with_sorted_and_into_pairs() {
+        let mut t = table();
+        t.replace_with_sorted(vec![1, 1, 2, 2]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.into_pairs(), vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn to_tuple_pairs_round_trip() {
+        let t = table();
+        let tuples = t.to_tuple_pairs();
+        assert_eq!(tuples, vec![(1, 3), (1, 9), (2, 7), (5, 2)]);
+    }
+
+    #[test]
+    fn key_range_bounds() {
+        let pairs = vec![1, 1, 1, 2, 3, 0, 3, 9, 7, 7];
+        assert_eq!(key_range(&pairs, 1), 0..4);
+        assert_eq!(key_range(&pairs, 3), 4..8);
+        assert_eq!(key_range(&pairs, 7), 8..10);
+        assert_eq!(key_range(&pairs, 0), 0..0);
+        assert_eq!(key_range(&pairs, 2), 4..4);
+        assert_eq!(key_range(&pairs, 9), 10..10);
+    }
+}

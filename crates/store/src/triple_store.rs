@@ -1,0 +1,289 @@
+//! The [`TripleStore`]: an array of property tables addressed by dense
+//! property index.
+//!
+//! "The principle of vertical partitioning is to store a list of triples
+//! ⟨s, p, o⟩ into *n* two-column tables where *n* is the number of unique
+//! properties" (§4.2). Because the dictionary numbers properties densely
+//! downwards from 2³², translating a property identifier to a slot in the
+//! table array is a single subtraction ([`inferray_model::ids::property_index`]).
+
+use crate::merge::{merge_new_pairs, MergeOutcome};
+use crate::property_table::PropertyTable;
+use inferray_model::ids::{is_property_id, property_id_from_index, property_index};
+use inferray_model::IdTriple;
+
+/// A vertically partitioned triple store: one [`PropertyTable`] per
+/// predicate.
+#[derive(Debug, Clone, Default)]
+pub struct TripleStore {
+    /// Slot `i` holds the table of the property with dense index `i`.
+    tables: Vec<Option<PropertyTable>>,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TripleStore::default()
+    }
+
+    /// Builds a store from encoded triples and finalizes it.
+    pub fn from_triples(triples: impl IntoIterator<Item = IdTriple>) -> Self {
+        let mut store = TripleStore::new();
+        for t in triples {
+            store.add_triple(t);
+        }
+        store.finalize();
+        store
+    }
+
+    /// Adds an encoded triple (the affected table becomes dirty).
+    pub fn add_triple(&mut self, triple: IdTriple) {
+        self.add_pair(triple.p, triple.s, triple.o);
+    }
+
+    /// Adds a ⟨s,o⟩ pair to the table of property `p`.
+    pub fn add_pair(&mut self, p: u64, s: u64, o: u64) {
+        self.table_or_create(p).add_pair(s, o);
+    }
+
+    /// Sorts and deduplicates every dirty table.
+    pub fn finalize(&mut self) {
+        for table in self.tables.iter_mut().flatten() {
+            table.finalize();
+        }
+    }
+
+    /// The table of property `p`, if any triples with that predicate exist.
+    pub fn table(&self, p: u64) -> Option<&PropertyTable> {
+        debug_assert!(is_property_id(p), "not a property id: {p}");
+        self.tables.get(property_index(p)).and_then(|t| t.as_ref())
+    }
+
+    /// Mutable access to the table of property `p`, if it exists.
+    pub fn table_mut(&mut self, p: u64) -> Option<&mut PropertyTable> {
+        debug_assert!(is_property_id(p), "not a property id: {p}");
+        self.tables
+            .get_mut(property_index(p))
+            .and_then(|t| t.as_mut())
+    }
+
+    /// The table of property `p`, created empty if absent.
+    pub fn table_or_create(&mut self, p: u64) -> &mut PropertyTable {
+        debug_assert!(is_property_id(p), "not a property id: {p}");
+        let index = property_index(p);
+        if index >= self.tables.len() {
+            self.tables.resize_with(index + 1, || None);
+        }
+        self.tables[index].get_or_insert_with(PropertyTable::new)
+    }
+
+    /// Builds the ⟨o,s⟩ cache of the table of `p`, if the table exists.
+    pub fn ensure_os(&mut self, p: u64) {
+        if let Some(table) = self.table_mut(p) {
+            table.ensure_os();
+        }
+    }
+
+    /// Builds the ⟨o,s⟩ cache of every non-empty table.
+    pub fn ensure_all_os(&mut self) {
+        for table in self.tables.iter_mut().flatten() {
+            if !table.is_empty() {
+                table.ensure_os();
+            }
+        }
+    }
+
+    /// Iterates over the property identifiers that have a (possibly empty)
+    /// table.
+    pub fn property_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_ref().is_some_and(|t| !t.is_empty()))
+            .map(|(i, _)| property_id_from_index(i))
+    }
+
+    /// Iterates over `(property id, table)` for every non-empty table.
+    pub fn iter_tables(&self) -> impl Iterator<Item = (u64, &PropertyTable)> + '_ {
+        self.tables
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (property_id_from_index(i), t)))
+            .filter(|(_, t)| !t.is_empty())
+    }
+
+    /// Iterates over every stored triple.
+    pub fn iter_triples(&self) -> impl Iterator<Item = IdTriple> + '_ {
+        self.iter_tables().flat_map(|(p, table)| {
+            table.iter_pairs().map(move |(s, o)| IdTriple::new(s, p, o))
+        })
+    }
+
+    /// Total number of triples (pairs summed over all tables).
+    pub fn len(&self) -> usize {
+        self.tables
+            .iter()
+            .flatten()
+            .map(|t| t.len())
+            .sum()
+    }
+
+    /// `true` when no triple is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test for a fully encoded triple (binary search).
+    pub fn contains(&self, triple: &IdTriple) -> bool {
+        self.table(triple.p)
+            .is_some_and(|t| t.contains_pair(triple.s, triple.o))
+    }
+
+    /// Number of distinct non-empty property tables.
+    pub fn table_count(&self) -> usize {
+        self.tables
+            .iter()
+            .flatten()
+            .filter(|t| !t.is_empty())
+            .count()
+    }
+
+    /// Merges raw inferred pairs for property `p` into this store (the
+    /// Figure 5 update), returning the *new* table and the merge counters.
+    pub fn merge_property(&mut self, p: u64, inferred: Vec<u64>) -> (PropertyTable, MergeOutcome) {
+        let table = self.table_or_create(p);
+        table.finalize();
+        merge_new_pairs(table, inferred)
+    }
+
+    /// Replaces the whole table of property `p` with already-sorted pairs
+    /// (used by the transitive-closure stage).
+    pub fn replace_table_sorted(&mut self, p: u64, pairs: Vec<u64>) {
+        self.table_or_create(p).replace_with_sorted(pairs);
+    }
+
+    /// Removes every triple while keeping the allocated table slots.
+    pub fn clear(&mut self) {
+        for table in self.tables.iter_mut() {
+            *table = None;
+        }
+    }
+}
+
+impl FromIterator<IdTriple> for TripleStore {
+    fn from_iter<I: IntoIterator<Item = IdTriple>>(iter: I) -> Self {
+        TripleStore::from_triples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_dictionary::wellknown;
+
+    fn sample_store() -> TripleStore {
+        // type(bart, human), type(lisa, human), subClassOf(human, mammal)
+        let human = 1_000_000_000_000u64;
+        let mammal = human + 1;
+        let bart = human + 2;
+        let lisa = human + 3;
+        TripleStore::from_triples([
+            IdTriple::new(bart, wellknown::RDF_TYPE, human),
+            IdTriple::new(lisa, wellknown::RDF_TYPE, human),
+            IdTriple::new(human, wellknown::RDFS_SUB_CLASS_OF, mammal),
+        ])
+    }
+
+    #[test]
+    fn from_triples_builds_one_table_per_property() {
+        let store = sample_store();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.table_count(), 2);
+        assert_eq!(store.table(wellknown::RDF_TYPE).unwrap().len(), 2);
+        assert_eq!(store.table(wellknown::RDFS_SUB_CLASS_OF).unwrap().len(), 1);
+        assert!(store.table(wellknown::RDFS_DOMAIN).is_none());
+    }
+
+    #[test]
+    fn add_and_contains() {
+        let mut store = TripleStore::new();
+        let t = IdTriple::new(10, wellknown::RDFS_DOMAIN, 20);
+        assert!(!store.contains(&t));
+        store.add_triple(t);
+        store.finalize();
+        assert!(store.contains(&t));
+        assert!(!store.contains(&IdTriple::new(10, wellknown::RDFS_RANGE, 20)));
+    }
+
+    #[test]
+    fn duplicate_triples_collapse_on_finalize() {
+        let mut store = TripleStore::new();
+        for _ in 0..5 {
+            store.add_triple(IdTriple::new(1, wellknown::RDF_TYPE, 2));
+        }
+        store.finalize();
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn iter_triples_round_trips() {
+        let store = sample_store();
+        let collected: Vec<IdTriple> = store.iter_triples().collect();
+        assert_eq!(collected.len(), 3);
+        let rebuilt = TripleStore::from_triples(collected);
+        assert_eq!(rebuilt.len(), store.len());
+        for t in store.iter_triples() {
+            assert!(rebuilt.contains(&t));
+        }
+    }
+
+    #[test]
+    fn property_ids_lists_only_nonempty_tables() {
+        let store = sample_store();
+        let mut ids: Vec<u64> = store.property_ids().collect();
+        ids.sort_unstable();
+        let mut expected = vec![wellknown::RDF_TYPE, wellknown::RDFS_SUB_CLASS_OF];
+        expected.sort_unstable();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn merge_property_updates_main_and_returns_new() {
+        let mut store = sample_store();
+        let human = 1_000_000_000_000u64;
+        let bart = human + 2;
+        let maggie = human + 9;
+        // Existing pair (bart, human) plus a new one (maggie, human).
+        let (new, outcome) =
+            store.merge_property(wellknown::RDF_TYPE, vec![bart, human, maggie, human]);
+        assert_eq!(outcome.new_pairs, 1);
+        assert_eq!(outcome.duplicates_against_main, 1);
+        assert_eq!(new.len(), 1);
+        assert_eq!(store.table(wellknown::RDF_TYPE).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn ensure_all_os_builds_caches() {
+        let mut store = sample_store();
+        store.ensure_all_os();
+        for (_, table) in store.iter_tables() {
+            assert!(table.has_os_cache());
+        }
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let mut store = sample_store();
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.table_count(), 0);
+    }
+
+    #[test]
+    fn replace_table_sorted() {
+        let mut store = TripleStore::new();
+        store.replace_table_sorted(wellknown::RDFS_SUB_CLASS_OF, vec![1, 2, 3, 4]);
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(&IdTriple::new(3, wellknown::RDFS_SUB_CLASS_OF, 4)));
+    }
+}

@@ -1,0 +1,55 @@
+//! End-to-end materialization of a LUBM-like university workload under
+//! RDFS-Plus — a miniature of the paper's Table 3 experiment, comparing
+//! Inferray against both baselines on the same generated dataset.
+//!
+//! ```text
+//! cargo run --release --example lubm_materialization [triples]
+//! ```
+
+use inferray::baselines::{HashJoinReasoner, NaiveIterativeReasoner};
+use inferray::datasets::LubmGenerator;
+use inferray::parser::load_triples;
+use inferray::{Fragment, InferrayReasoner, Materializer, TripleStore};
+
+fn run(name: &str, engine: &mut dyn Materializer, store: &TripleStore) -> usize {
+    let mut store = store.clone();
+    let stats = engine.materialize(&mut store);
+    println!(
+        "{name:<16} {:>10?}   {:>8} input   {:>8} output   {:>8} inferred   {} iterations",
+        stats.duration,
+        stats.input_triples,
+        stats.output_triples,
+        stats.inferred_triples(),
+        stats.iterations,
+    );
+    stats.output_triples
+}
+
+fn main() {
+    let target: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50_000);
+
+    println!("Generating a LUBM-like dataset of ~{target} triples …");
+    let dataset = LubmGenerator::new(target).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("valid dataset");
+    println!(
+        "{} distinct triples over {} properties.\n",
+        loaded.store.len(),
+        loaded.store.table_count()
+    );
+
+    println!("Materializing the RDFS-Plus fragment:");
+    let a = run("inferray", &mut InferrayReasoner::new(Fragment::RdfsPlus), &loaded.store);
+    let b = run("hash-join", &mut HashJoinReasoner::new(Fragment::RdfsPlus), &loaded.store);
+    let c = run(
+        "naive-iterative",
+        &mut NaiveIterativeReasoner::new(Fragment::RdfsPlus),
+        &loaded.store,
+    );
+
+    assert_eq!(a, b, "engines must agree on the materialization size");
+    assert_eq!(b, c, "engines must agree on the materialization size");
+    println!("\nAll three engines agree on the materialization ({a} triples).");
+}

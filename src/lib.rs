@@ -1,0 +1,63 @@
+//! # inferray
+//!
+//! Umbrella crate for the **Inferray** workspace — a from-scratch Rust
+//! reproduction of *"Inferray: fast in-memory RDF inference"* (Subercaze,
+//! Gravier, Chevalier, Laforest — PVLDB 9, VLDB 2016).
+//!
+//! Inferray is a forward-chaining (materialization) reasoner for the RDFS,
+//! ρDF and RDFS-Plus rule fragments, built around three ideas:
+//!
+//! 1. a **vertically partitioned** triple store whose property tables are
+//!    flat, sorted arrays of 64-bit `⟨subject, object⟩` pairs, so every rule
+//!    is a sequential sort-merge join;
+//! 2. **dense dictionary numbering** and two low-entropy sorting kernels
+//!    (pair counting sort and adaptive MSD radix) that keep those tables
+//!    sorted cheaply;
+//! 3. a dedicated **transitive-closure stage** (Nuutila's algorithm with
+//!    interval-set reachability) run before the fixed-point rule loop.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use inferray::{reason_graph, Fragment, Graph, Triple, vocab};
+//!
+//! let mut graph = Graph::new();
+//! graph.insert_iris("http://ex/human", vocab::RDFS_SUB_CLASS_OF, "http://ex/mammal");
+//! graph.insert_iris("http://ex/mammal", vocab::RDFS_SUB_CLASS_OF, "http://ex/animal");
+//! graph.insert_iris("http://ex/Bart", vocab::RDF_TYPE, "http://ex/human");
+//!
+//! let result = reason_graph(&graph, Fragment::RdfsDefault).unwrap();
+//! assert!(result.graph.contains(&Triple::iris(
+//!     "http://ex/Bart", vocab::RDF_TYPE, "http://ex/animal")));
+//! assert_eq!(result.stats.inferred_triples(), 3);
+//! ```
+//!
+//! The individual subsystems are re-exported as modules: [`model`],
+//! [`dictionary`], [`parser`], [`sort`], [`closure`], [`store`], [`rules`],
+//! [`core`], [`baselines`] and [`datasets`]. See `DESIGN.md` for the mapping
+//! between the paper's sections and these crates, and `EXPERIMENTS.md` for
+//! the reproduced tables and figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use inferray_baselines as baselines;
+pub use inferray_closure as closure;
+pub use inferray_core as core;
+pub use inferray_datasets as datasets;
+pub use inferray_dictionary as dictionary;
+pub use inferray_model as model;
+pub use inferray_parser as parser;
+pub use inferray_query as query;
+pub use inferray_rules as rules;
+pub use inferray_sort as sort;
+pub use inferray_store as store;
+
+// The items most applications need, at the crate root.
+pub use inferray_core::{
+    reason_graph, Fragment, InferenceStats, InferrayOptions, InferrayReasoner, Materializer,
+    ReasonedGraph, TripleStore,
+};
+pub use inferray_model::{vocab, Graph, IdTriple, Term, Triple};
+pub use inferray_parser::{load_graph, load_ntriples, load_turtle, parse_ntriples, parse_turtle};
+pub use inferray_query::{QueryEngine, SolutionSet};

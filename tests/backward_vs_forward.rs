@@ -1,0 +1,176 @@
+//! Equivalence of the backward-chaining (query-time) comparator and the
+//! forward-chaining (materialization) engines on the ρdf fragment.
+//!
+//! The paper's introduction frames the two strategies as a trade-off with
+//! the same semantics; these tests pin that down: for any input, the set of
+//! triples the `BackwardChainer` can derive at query time equals the set the
+//! Inferray reasoner materializes, and individual pattern queries agree with
+//! pattern matching over the materialized store.
+
+use inferray::baselines::BackwardChainer;
+use inferray::core::{InferrayReasoner, Materializer};
+use inferray::dictionary::wellknown;
+use inferray::rules::Fragment;
+use inferray::store::{TriplePattern, TripleStore};
+use inferray::IdTriple;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn materialize_rho_df(store: &TripleStore) -> BTreeSet<IdTriple> {
+    let mut materialized = store.clone();
+    InferrayReasoner::new(Fragment::RhoDf).materialize(&mut materialized);
+    materialized.iter_triples().collect()
+}
+
+fn backward_closure(store: &TripleStore) -> BTreeSet<IdTriple> {
+    BackwardChainer::new(store).all_triples().into_iter().collect()
+}
+
+#[test]
+fn hand_built_ontology_closures_agree() {
+    const HUMAN: u64 = 8_100_000;
+    const MAMMAL: u64 = 8_100_001;
+    const ANIMAL: u64 = 8_100_002;
+    const BART: u64 = 8_100_003;
+    const HELPER: u64 = 8_100_004;
+    let has_pet = inferray::model::ids::nth_property_id(40);
+    let has_dog = inferray::model::ids::nth_property_id(41);
+
+    let store = TripleStore::from_triples([
+        IdTriple::new(HUMAN, wellknown::RDFS_SUB_CLASS_OF, MAMMAL),
+        IdTriple::new(MAMMAL, wellknown::RDFS_SUB_CLASS_OF, ANIMAL),
+        IdTriple::new(BART, wellknown::RDF_TYPE, HUMAN),
+        IdTriple::new(has_dog, wellknown::RDFS_SUB_PROPERTY_OF, has_pet),
+        IdTriple::new(has_pet, wellknown::RDFS_DOMAIN, HUMAN),
+        IdTriple::new(has_pet, wellknown::RDFS_RANGE, ANIMAL),
+        IdTriple::new(BART, has_dog, HELPER),
+    ]);
+
+    let forward = materialize_rho_df(&store);
+    let backward = backward_closure(&store);
+    assert_eq!(forward, backward);
+    // Sanity: the closure is strictly larger than the input.
+    assert!(forward.len() > store.len());
+}
+
+#[test]
+fn cyclic_class_hierarchy_closures_agree() {
+    let a = 8_200_000;
+    let b = 8_200_001;
+    let c = 8_200_002;
+    let x = 8_200_003;
+    let store = TripleStore::from_triples([
+        IdTriple::new(a, wellknown::RDFS_SUB_CLASS_OF, b),
+        IdTriple::new(b, wellknown::RDFS_SUB_CLASS_OF, c),
+        IdTriple::new(c, wellknown::RDFS_SUB_CLASS_OF, a),
+        IdTriple::new(x, wellknown::RDF_TYPE, a),
+    ]);
+    assert_eq!(materialize_rho_df(&store), backward_closure(&store));
+}
+
+// ---------------------------------------------------------------------------
+// Random ρdf datasets
+// ---------------------------------------------------------------------------
+
+/// A randomly shaped ρdf dataset: a class taxonomy, a property hierarchy,
+/// domain/range statements and instance triples, over disjoint small
+/// universes so joins actually happen.
+fn arbitrary_rho_df_store() -> impl Strategy<Value = Vec<IdTriple>> {
+    let class = |n: u8| 8_300_000u64 + n as u64;
+    let instance = |n: u8| 8_400_000u64 + n as u64;
+    let property = |n: u8| inferray::model::ids::nth_property_id(50 + n as usize);
+
+    let subclass = prop::collection::vec((0u8..6, 0u8..6), 0..8).prop_map(move |edges| {
+        edges
+            .into_iter()
+            .map(|(a, b)| IdTriple::new(class(a), wellknown::RDFS_SUB_CLASS_OF, class(b)))
+            .collect::<Vec<_>>()
+    });
+    let subproperty = prop::collection::vec((0u8..4, 0u8..4), 0..5).prop_map(move |edges| {
+        edges
+            .into_iter()
+            .map(|(a, b)| IdTriple::new(property(a), wellknown::RDFS_SUB_PROPERTY_OF, property(b)))
+            .collect::<Vec<_>>()
+    });
+    let domains = prop::collection::vec((0u8..4, 0u8..6), 0..4).prop_map(move |edges| {
+        edges
+            .into_iter()
+            .map(|(p, c)| IdTriple::new(property(p), wellknown::RDFS_DOMAIN, class(c)))
+            .collect::<Vec<_>>()
+    });
+    let ranges = prop::collection::vec((0u8..4, 0u8..6), 0..4).prop_map(move |edges| {
+        edges
+            .into_iter()
+            .map(|(p, c)| IdTriple::new(property(p), wellknown::RDFS_RANGE, class(c)))
+            .collect::<Vec<_>>()
+    });
+    let types = prop::collection::vec((0u8..8, 0u8..6), 0..10).prop_map(move |edges| {
+        edges
+            .into_iter()
+            .map(|(x, c)| IdTriple::new(instance(x), wellknown::RDF_TYPE, class(c)))
+            .collect::<Vec<_>>()
+    });
+    let links = prop::collection::vec((0u8..8, 0u8..4, 0u8..8), 0..12).prop_map(move |edges| {
+        edges
+            .into_iter()
+            .map(|(x, p, y)| IdTriple::new(instance(x), property(p), instance(y)))
+            .collect::<Vec<_>>()
+    });
+
+    (subclass, subproperty, domains, ranges, types, links).prop_map(
+        |(mut a, b, c, d, e, f)| {
+            a.extend(b);
+            a.extend(c);
+            a.extend(d);
+            a.extend(e);
+            a.extend(f);
+            a
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The backward rewriter derives exactly the triples the forward engine
+    /// materializes.
+    #[test]
+    fn closures_agree_on_random_datasets(triples in arbitrary_rho_df_store()) {
+        let store = TripleStore::from_triples(triples);
+        prop_assert_eq!(materialize_rho_df(&store), backward_closure(&store));
+    }
+
+    /// Pattern queries answered at query time agree with pattern matching
+    /// over the materialized store.
+    #[test]
+    fn pattern_queries_agree_with_materialized_lookup(
+        triples in arbitrary_rho_df_store(),
+        instance_pick in 0u8..8,
+        class_pick in 0u8..6,
+        property_pick in 0u8..4,
+    ) {
+        let store = TripleStore::from_triples(triples);
+        let chainer = BackwardChainer::new(&store);
+        let mut materialized = store.clone();
+        InferrayReasoner::new(Fragment::RhoDf).materialize(&mut materialized);
+
+        let instance = 8_400_000u64 + instance_pick as u64;
+        let class = 8_300_000u64 + class_pick as u64;
+        let property = inferray::model::ids::nth_property_id(50 + property_pick as usize);
+
+        let patterns = [
+            TriplePattern::any().with_p(wellknown::RDF_TYPE).with_s(instance),
+            TriplePattern::any().with_p(wellknown::RDF_TYPE).with_o(class),
+            TriplePattern::any().with_p(property),
+            TriplePattern::any().with_p(wellknown::RDFS_SUB_CLASS_OF).with_s(class),
+            TriplePattern::any().with_p(wellknown::RDFS_DOMAIN).with_s(property),
+        ];
+        for pattern in patterns {
+            let mut backward: Vec<IdTriple> = chainer.match_pattern(pattern);
+            backward.sort_unstable();
+            let mut forward: Vec<IdTriple> = materialized.match_pattern(pattern);
+            forward.sort_unstable();
+            prop_assert_eq!(backward, forward, "pattern {:?}", pattern);
+        }
+    }
+}

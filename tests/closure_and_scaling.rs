@@ -1,0 +1,90 @@
+//! Closure exactness and scaling behaviour through the full reasoner —
+//! the functional counterpart of Table 4.
+
+use inferray::closure::{bfs_closure, iterative_closure, transitive_closure};
+use inferray::datasets::chain;
+use inferray::dictionary::wellknown;
+use inferray::parser::load_triples;
+use inferray::{Fragment, IdTriple, InferrayReasoner, Materializer};
+
+#[test]
+fn chain_closures_are_exact_for_a_range_of_lengths() {
+    for length in [2usize, 3, 10, 100, 500] {
+        let triples = chain::subclass_chain(length);
+        let loaded = load_triples(triples.iter()).unwrap();
+        let mut store = loaded.store;
+        InferrayReasoner::new(Fragment::RhoDf).materialize(&mut store);
+        assert_eq!(
+            store.len(),
+            chain::closure_size(length),
+            "closure size mismatch for a chain of {length}"
+        );
+        // Spot-check the farthest pair.
+        let first = loaded
+            .dictionary
+            .id_of_iri(&format!("{}C0", chain::CHAIN_NS))
+            .unwrap();
+        let last = loaded
+            .dictionary
+            .id_of_iri(&format!("{}C{}", chain::CHAIN_NS, length - 1))
+            .unwrap();
+        assert!(store.contains(&IdTriple::new(first, wellknown::RDFS_SUB_CLASS_OF, last)));
+        assert!(!store.contains(&IdTriple::new(last, wellknown::RDFS_SUB_CLASS_OF, first)));
+    }
+}
+
+#[test]
+fn closure_kernels_agree_on_random_shaped_graphs() {
+    // Chains with shortcuts, forks, and a cycle.
+    let mut edges: Vec<(u64, u64)> = (0..200u64).map(|i| (i, i + 1)).collect();
+    edges.push((50, 150)); // shortcut
+    edges.push((120, 60)); // back edge → cycle between 60..=120
+    edges.push((10, 300)); // fork out of the chain
+    let nuutila = transitive_closure(&edges);
+    let bfs = bfs_closure(&edges);
+    let (iterative, stats) = iterative_closure(&edges);
+    assert_eq!(nuutila, bfs);
+    assert_eq!(nuutila, iterative);
+    assert!(stats.iterations > 1);
+}
+
+#[test]
+fn transitivity_throughput_counts_match_formula() {
+    // chain::closure_size and the reasoner must agree, and the iterative
+    // baseline must report substantially more derivations than results.
+    let length = 200usize;
+    let edges: Vec<(u64, u64)> = (0..length as u64 - 1).map(|i| (i, i + 1)).collect();
+    let closed = transitive_closure(&edges);
+    assert_eq!(closed.len(), chain::closure_size(length));
+    let (_, stats) = iterative_closure(&edges);
+    assert!(
+        stats.derived_including_duplicates > closed.len(),
+        "the iterative strategy must overshoot ({} derived for {} results)",
+        stats.derived_including_duplicates,
+        closed.len()
+    );
+}
+
+#[test]
+fn branching_taxonomy_closure_through_the_reasoner() {
+    // A complete binary tree of classes: every class is a subclass of all of
+    // its ancestors after materialization.
+    let depth = 9u32; // 2^9 - 1 = 511 classes
+    let mut triples = Vec::new();
+    for node in 2..(1u64 << depth) {
+        triples.push(inferray::Triple::iris(
+            format!("http://ex/C{node}"),
+            inferray::vocab::RDFS_SUB_CLASS_OF,
+            format!("http://ex/C{}", node / 2),
+        ));
+    }
+    let loaded = load_triples(triples.iter()).unwrap();
+    let mut store = loaded.store;
+    InferrayReasoner::new(Fragment::RhoDf).materialize(&mut store);
+    // Each node at depth d (root = depth 0) has d ancestors; the total is
+    // sum over nodes of depth(node).
+    let expected: usize = (2..(1u64 << depth))
+        .map(|node| (64 - node.leading_zeros() - 1) as usize)
+        .sum();
+    assert_eq!(store.len(), expected);
+}

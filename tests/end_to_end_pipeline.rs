@@ -1,0 +1,131 @@
+//! End-to-end pipeline tests: text → parser → dictionary/store → reasoner →
+//! decoded graph → serializer, exercising the public API the way an
+//! application would.
+
+use inferray::core::api::{reason_ntriples, reason_turtle};
+use inferray::parser::{parse_ntriples, to_ntriples_string};
+use inferray::{load_ntriples, reason_graph, Fragment, Graph, Term, Triple, vocab};
+
+const EX: &str = "http://example.org/";
+
+fn ex(local: &str) -> String {
+    format!("{EX}{local}")
+}
+
+#[test]
+fn figure4_example_from_ntriples_text() {
+    let document = format!(
+        "<{h}> <{sco}> <{m}> .\n<{m}> <{sco}> <{a}> .\n<{b}> <{t}> <{h}> .\n<{l}> <{t}> <{h}> .\n",
+        h = ex("human"),
+        m = ex("mammal"),
+        a = ex("animal"),
+        b = ex("Bart"),
+        l = ex("Lisa"),
+        sco = vocab::RDFS_SUB_CLASS_OF,
+        t = vocab::RDF_TYPE,
+    );
+    let result = reason_ntriples(&document, Fragment::RdfsDefault).unwrap();
+    assert_eq!(result.stats.inferred_triples(), 5);
+    for (instance, class) in [
+        ("Bart", "mammal"),
+        ("Bart", "animal"),
+        ("Lisa", "mammal"),
+        ("Lisa", "animal"),
+    ] {
+        assert!(result
+            .graph
+            .contains(&Triple::iris(ex(instance), vocab::RDF_TYPE, ex(class))));
+    }
+}
+
+#[test]
+fn materialization_round_trips_through_ntriples() {
+    let mut graph = Graph::new();
+    graph.insert_iris(ex("dog"), vocab::RDFS_SUB_CLASS_OF, ex("mammal"));
+    graph.insert_iris(ex("Rex"), vocab::RDF_TYPE, ex("dog"));
+    let result = reason_graph(&graph, Fragment::RdfsDefault).unwrap();
+
+    let triples: Vec<Triple> = result.graph.iter().cloned().collect();
+    let text = to_ntriples_string(&triples);
+    let reparsed: Graph = parse_ntriples(&text).unwrap().into_iter().collect();
+    assert_eq!(reparsed, result.graph, "serialize → parse must round-trip");
+}
+
+#[test]
+fn turtle_input_with_schema_and_instances() {
+    let document = r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex:   <http://example.org/> .
+
+ex:teaches rdfs:domain ex:Teacher ;
+           rdfs:range  ex:Course .
+ex:Teacher rdfs:subClassOf ex:Person .
+
+ex:Socrates ex:teaches ex:Philosophy101 .
+"#;
+    let result = reason_turtle(document, Fragment::RhoDf).unwrap();
+    assert!(result
+        .graph
+        .contains(&Triple::iris(ex("Socrates"), vocab::RDF_TYPE, ex("Teacher"))));
+    assert!(result
+        .graph
+        .contains(&Triple::iris(ex("Socrates"), vocab::RDF_TYPE, ex("Person"))));
+    assert!(result
+        .graph
+        .contains(&Triple::iris(ex("Philosophy101"), vocab::RDF_TYPE, ex("Course"))));
+}
+
+#[test]
+fn literals_survive_the_whole_pipeline() {
+    let mut graph = Graph::new();
+    graph.insert(Triple::new(
+        Term::iri(ex("Bart")),
+        Term::iri(ex("age")),
+        Term::typed_literal("10", "http://www.w3.org/2001/XMLSchema#integer"),
+    ));
+    graph.insert_iris(ex("age"), vocab::RDFS_DOMAIN, ex("Person"));
+    let result = reason_graph(&graph, Fragment::RdfsDefault).unwrap();
+    // The literal-valued triple is preserved and the domain typing fires.
+    assert!(graph.is_subset(&result.graph));
+    assert!(result
+        .graph
+        .contains(&Triple::iris(ex("Bart"), vocab::RDF_TYPE, ex("Person"))));
+}
+
+#[test]
+fn loading_reports_sizes_and_handles_duplicates() {
+    let document = format!(
+        "<{a}> <{p}> <{b}> .\n<{a}> <{p}> <{b}> .\n# comment line\n",
+        a = ex("a"),
+        p = ex("p"),
+        b = ex("b"),
+    );
+    let loaded = load_ntriples(&document).unwrap();
+    assert_eq!(loaded.len(), 1, "duplicate statements collapse at load time");
+    assert!(loaded.dictionary.id_of_iri(&ex("p")).is_some());
+}
+
+#[test]
+fn property_promotion_through_the_full_pipeline() {
+    // The schema triple mentions `hasPart` as a subject before it is ever
+    // used as a predicate; inference must still type `Car` correctly.
+    let document = format!(
+        "<{has_part}> <{domain}> <{whole}> .\n<{car}> <{has_part}> <{wheel}> .\n",
+        has_part = ex("hasPart"),
+        domain = vocab::RDFS_DOMAIN,
+        whole = ex("Whole"),
+        car = ex("Car"),
+        wheel = ex("Wheel"),
+    );
+    let result = reason_ntriples(&document, Fragment::RdfsDefault).unwrap();
+    assert!(result
+        .graph
+        .contains(&Triple::iris(ex("Car"), vocab::RDF_TYPE, ex("Whole"))));
+}
+
+#[test]
+fn empty_and_comment_only_documents() {
+    let result = reason_ntriples("# nothing here\n", Fragment::RdfsPlus).unwrap();
+    assert!(result.graph.is_empty());
+    assert_eq!(result.stats.iterations, 0);
+}

@@ -1,0 +1,242 @@
+//! Incremental maintenance: asserting a delta into an already-materialized
+//! store and restarting the fixed point must give exactly the same store as
+//! re-materializing the extended input from scratch.
+
+use inferray::core::{InferrayReasoner, Materializer};
+use inferray::dictionary::wellknown;
+use inferray::rules::Fragment;
+use inferray::store::TripleStore;
+use inferray::{IdTriple, InferrayOptions};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn triples_of(store: &TripleStore) -> BTreeSet<IdTriple> {
+    store.iter_triples().collect()
+}
+
+/// Materializes `initial`, applies `delta` incrementally, and checks the
+/// result equals materializing `initial ∪ delta` from scratch.
+fn assert_incremental_equals_batch(
+    fragment: Fragment,
+    initial: &[IdTriple],
+    delta: &[IdTriple],
+) {
+    // Incremental path.
+    let mut incremental = TripleStore::from_triples(initial.iter().copied());
+    let mut reasoner = InferrayReasoner::new(fragment);
+    reasoner.materialize(&mut incremental);
+    let stats = reasoner.materialize_delta(&mut incremental, delta.iter().copied());
+
+    // From-scratch path.
+    let mut batch = TripleStore::from_triples(initial.iter().copied().chain(delta.iter().copied()));
+    InferrayReasoner::new(fragment).materialize(&mut batch);
+
+    assert_eq!(
+        triples_of(&incremental),
+        triples_of(&batch),
+        "incremental and batch materializations diverge for {fragment}"
+    );
+    assert_eq!(incremental.len(), stats.output_triples);
+}
+
+const HUMAN: u64 = 9_500_000;
+const MAMMAL: u64 = 9_500_001;
+const ANIMAL: u64 = 9_500_002;
+const AGENT: u64 = 9_500_003;
+const BART: u64 = 9_500_010;
+const LISA: u64 = 9_500_011;
+
+#[test]
+fn adding_an_instance_propagates_existing_schema() {
+    let initial = [
+        IdTriple::new(HUMAN, wellknown::RDFS_SUB_CLASS_OF, MAMMAL),
+        IdTriple::new(MAMMAL, wellknown::RDFS_SUB_CLASS_OF, ANIMAL),
+        IdTriple::new(BART, wellknown::RDF_TYPE, HUMAN),
+    ];
+    let delta = [IdTriple::new(LISA, wellknown::RDF_TYPE, HUMAN)];
+    assert_incremental_equals_batch(Fragment::RdfsDefault, &initial, &delta);
+
+    // And the incremental run really did infer the new types.
+    let mut store = TripleStore::from_triples(initial);
+    let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+    reasoner.materialize(&mut store);
+    let before = store.len();
+    let stats = reasoner.materialize_delta(&mut store, delta);
+    assert!(store.contains(&IdTriple::new(LISA, wellknown::RDF_TYPE, ANIMAL)));
+    assert_eq!(store.len(), before + 3); // Lisa a human, mammal, animal
+    assert_eq!(stats.inferred_triples(), 2);
+}
+
+#[test]
+fn adding_a_schema_edge_retypes_existing_instances() {
+    let initial = [
+        IdTriple::new(HUMAN, wellknown::RDFS_SUB_CLASS_OF, MAMMAL),
+        IdTriple::new(BART, wellknown::RDF_TYPE, HUMAN),
+        IdTriple::new(LISA, wellknown::RDF_TYPE, MAMMAL),
+    ];
+    // New transitive edge at the top of the hierarchy: everything below must
+    // be re-typed, which exercises the θ executors without the up-front
+    // closure stage.
+    let delta = [
+        IdTriple::new(MAMMAL, wellknown::RDFS_SUB_CLASS_OF, ANIMAL),
+        IdTriple::new(ANIMAL, wellknown::RDFS_SUB_CLASS_OF, AGENT),
+    ];
+    assert_incremental_equals_batch(Fragment::RdfsDefault, &initial, &delta);
+
+    let mut store = TripleStore::from_triples(initial);
+    let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+    reasoner.materialize(&mut store);
+    reasoner.materialize_delta(&mut store, delta);
+    assert!(store.contains(&IdTriple::new(BART, wellknown::RDF_TYPE, AGENT)));
+    assert!(store.contains(&IdTriple::new(HUMAN, wellknown::RDFS_SUB_CLASS_OF, AGENT)));
+}
+
+#[test]
+fn empty_and_duplicate_deltas_are_noops() {
+    let initial = [
+        IdTriple::new(HUMAN, wellknown::RDFS_SUB_CLASS_OF, MAMMAL),
+        IdTriple::new(BART, wellknown::RDF_TYPE, HUMAN),
+    ];
+    let mut store = TripleStore::from_triples(initial);
+    let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+    reasoner.materialize(&mut store);
+    let before = triples_of(&store);
+
+    let stats = reasoner.materialize_delta(&mut store, []);
+    assert_eq!(stats.iterations, 0);
+    assert_eq!(stats.inferred_triples(), 0);
+    assert_eq!(triples_of(&store), before);
+
+    // A delta consisting only of already-known triples changes nothing.
+    let stats = reasoner.materialize_delta(&mut store, initial);
+    assert_eq!(stats.iterations, 0);
+    assert_eq!(triples_of(&store), before);
+}
+
+#[test]
+fn successive_deltas_accumulate_correctly() {
+    let initial = [IdTriple::new(BART, wellknown::RDF_TYPE, HUMAN)];
+    let delta1 = [IdTriple::new(HUMAN, wellknown::RDFS_SUB_CLASS_OF, MAMMAL)];
+    let delta2 = [IdTriple::new(MAMMAL, wellknown::RDFS_SUB_CLASS_OF, ANIMAL)];
+
+    let mut incremental = TripleStore::from_triples(initial);
+    let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+    reasoner.materialize(&mut incremental);
+    reasoner.materialize_delta(&mut incremental, delta1);
+    reasoner.materialize_delta(&mut incremental, delta2);
+
+    let mut batch = TripleStore::from_triples(
+        initial.iter().chain(&delta1).chain(&delta2).copied(),
+    );
+    InferrayReasoner::new(Fragment::RdfsDefault).materialize(&mut batch);
+    assert_eq!(triples_of(&incremental), triples_of(&batch));
+}
+
+#[test]
+fn incremental_works_with_sequential_options_and_rdfs_plus() {
+    let works_for = inferray::model::ids::nth_property_id(60);
+    let head_of = inferray::model::ids::nth_property_id(61);
+    let initial = [
+        IdTriple::new(head_of, wellknown::RDFS_SUB_PROPERTY_OF, works_for),
+        IdTriple::new(BART, head_of, LISA),
+    ];
+    let delta = [
+        IdTriple::new(works_for, wellknown::OWL_INVERSE_OF, head_of),
+        IdTriple::new(LISA, works_for, BART),
+    ];
+    // Batch vs incremental under RDFS-Plus, sequential execution.
+    let mut incremental = TripleStore::from_triples(initial);
+    let mut reasoner =
+        InferrayReasoner::with_options(Fragment::RdfsPlus, InferrayOptions::sequential());
+    reasoner.materialize(&mut incremental);
+    reasoner.materialize_delta(&mut incremental, delta);
+
+    let mut batch = TripleStore::from_triples(initial.iter().chain(&delta).copied());
+    InferrayReasoner::with_options(Fragment::RdfsPlus, InferrayOptions::sequential())
+        .materialize(&mut batch);
+    assert_eq!(triples_of(&incremental), triples_of(&batch));
+}
+
+// ---------------------------------------------------------------------------
+// Property-based equivalence on random datasets and random splits
+// ---------------------------------------------------------------------------
+
+/// Random RDFS-shaped triples: schema statements over a small class/property
+/// universe plus instance triples.
+fn arbitrary_dataset() -> impl Strategy<Value = Vec<IdTriple>> {
+    let class = |n: u8| 9_600_000u64 + n as u64;
+    let instance = |n: u8| 9_700_000u64 + n as u64;
+    let property = |n: u8| inferray::model::ids::nth_property_id(70 + n as usize);
+
+    prop::collection::vec(
+        prop_oneof![
+            // subClassOf edges
+            (0u8..6, 0u8..6).prop_map(move |(a, b)| IdTriple::new(
+                class(a),
+                wellknown::RDFS_SUB_CLASS_OF,
+                class(b)
+            )),
+            // subPropertyOf edges
+            (0u8..3, 0u8..3).prop_map(move |(a, b)| IdTriple::new(
+                property(a),
+                wellknown::RDFS_SUB_PROPERTY_OF,
+                property(b)
+            )),
+            // domain / range
+            (0u8..3, 0u8..6).prop_map(move |(p, c)| IdTriple::new(
+                property(p),
+                wellknown::RDFS_DOMAIN,
+                class(c)
+            )),
+            (0u8..3, 0u8..6).prop_map(move |(p, c)| IdTriple::new(
+                property(p),
+                wellknown::RDFS_RANGE,
+                class(c)
+            )),
+            // rdf:type assertions
+            (0u8..8, 0u8..6).prop_map(move |(x, c)| IdTriple::new(
+                instance(x),
+                wellknown::RDF_TYPE,
+                class(c)
+            )),
+            // instance links
+            (0u8..8, 0u8..3, 0u8..8).prop_map(move |(x, p, y)| IdTriple::new(
+                instance(x),
+                property(p),
+                instance(y)
+            )),
+        ],
+        1..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any dataset and any split point, materialize(prefix) followed by
+    /// materialize_delta(suffix) equals materialize(whole).
+    #[test]
+    fn incremental_equals_batch_on_random_splits(
+        triples in arbitrary_dataset(),
+        split_ratio in 0.0f64..1.0,
+    ) {
+        let split = ((triples.len() as f64) * split_ratio) as usize;
+        let (initial, delta) = triples.split_at(split.min(triples.len()));
+
+        for fragment in [Fragment::RhoDf, Fragment::RdfsDefault] {
+            let mut incremental = TripleStore::from_triples(initial.iter().copied());
+            let mut reasoner = InferrayReasoner::new(fragment);
+            reasoner.materialize(&mut incremental);
+            reasoner.materialize_delta(&mut incremental, delta.iter().copied());
+
+            let mut batch = TripleStore::from_triples(triples.iter().copied());
+            InferrayReasoner::new(fragment).materialize(&mut batch);
+
+            prop_assert_eq!(
+                triples_of(&incremental),
+                triples_of(&batch),
+                "fragment {}", fragment
+            );
+        }
+    }
+}

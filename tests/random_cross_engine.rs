@@ -1,0 +1,111 @@
+//! Randomized cross-engine equivalence: the sort-merge reasoner (Inferray)
+//! and the hash-join / naive baselines must produce identical
+//! materializations on randomly generated datasets that exercise the
+//! RDFS-Plus constructs (sameAs, inverses, transitive/symmetric/functional
+//! properties, equivalences) — not just on the curated benchmark datasets.
+
+use inferray::baselines::{HashJoinReasoner, NaiveIterativeReasoner};
+use inferray::core::InferrayReasoner;
+use inferray::dictionary::wellknown;
+use inferray::rules::{Fragment, Materializer};
+use inferray::store::TripleStore;
+use inferray::IdTriple;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn materialized(engine: &mut dyn Materializer, base: &TripleStore) -> BTreeSet<IdTriple> {
+    let mut store = base.clone();
+    engine.materialize(&mut store);
+    store.iter_triples().collect()
+}
+
+/// Random datasets mixing plain RDFS schema with the owl: constructs that
+/// RDFS-Plus adds (Table 5, rules 1–19).
+fn arbitrary_rdfs_plus_dataset() -> impl Strategy<Value = Vec<IdTriple>> {
+    let class = |n: u8| 9_800_000u64 + n as u64;
+    let instance = |n: u8| 9_900_000u64 + n as u64;
+    let property = |n: u8| inferray::model::ids::nth_property_id(80 + n as usize);
+
+    prop::collection::vec(
+        prop_oneof![
+            // Plain RDFS schema.
+            (0u8..5, 0u8..5).prop_map(move |(a, b)| IdTriple::new(
+                class(a), wellknown::RDFS_SUB_CLASS_OF, class(b))),
+            (0u8..4, 0u8..4).prop_map(move |(a, b)| IdTriple::new(
+                property(a), wellknown::RDFS_SUB_PROPERTY_OF, property(b))),
+            (0u8..4, 0u8..5).prop_map(move |(p, c)| IdTriple::new(
+                property(p), wellknown::RDFS_DOMAIN, class(c))),
+            (0u8..4, 0u8..5).prop_map(move |(p, c)| IdTriple::new(
+                property(p), wellknown::RDFS_RANGE, class(c))),
+            // OWL vocabulary used by RDFS-Plus.
+            (0u8..5, 0u8..5).prop_map(move |(a, b)| IdTriple::new(
+                class(a), wellknown::OWL_EQUIVALENT_CLASS, class(b))),
+            (0u8..4, 0u8..4).prop_map(move |(a, b)| IdTriple::new(
+                property(a), wellknown::OWL_EQUIVALENT_PROPERTY, property(b))),
+            (0u8..4, 0u8..4).prop_map(move |(a, b)| IdTriple::new(
+                property(a), wellknown::OWL_INVERSE_OF, property(b))),
+            (0u8..4).prop_map(move |p| IdTriple::new(
+                property(p), wellknown::RDF_TYPE, wellknown::OWL_TRANSITIVE_PROPERTY)),
+            (0u8..4).prop_map(move |p| IdTriple::new(
+                property(p), wellknown::RDF_TYPE, wellknown::OWL_SYMMETRIC_PROPERTY)),
+            (0u8..4).prop_map(move |p| IdTriple::new(
+                property(p), wellknown::RDF_TYPE, wellknown::OWL_FUNCTIONAL_PROPERTY)),
+            (0u8..4).prop_map(move |p| IdTriple::new(
+                property(p), wellknown::RDF_TYPE, wellknown::OWL_INVERSE_FUNCTIONAL_PROPERTY)),
+            // sameAs links between individuals.
+            (0u8..6, 0u8..6).prop_map(move |(a, b)| IdTriple::new(
+                instance(a), wellknown::OWL_SAME_AS, instance(b))),
+            // Instance data.
+            (0u8..6, 0u8..5).prop_map(move |(x, c)| IdTriple::new(
+                instance(x), wellknown::RDF_TYPE, class(c))),
+            (0u8..6, 0u8..4, 0u8..6).prop_map(move |(x, p, y)| IdTriple::new(
+                instance(x), property(p), instance(y))),
+        ],
+        1..28,
+    )
+}
+
+proptest! {
+    // These datasets can close over sameAs cliques, so keep the case count
+    // moderate; the curated equivalence suite covers the larger shapes.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All three engines agree on ρdf, RDFS-default and RDFS-Plus for any
+    /// random dataset.
+    #[test]
+    fn engines_agree_on_random_rdfs_plus_data(triples in arbitrary_rdfs_plus_dataset()) {
+        let base = TripleStore::from_triples(triples);
+        for fragment in [Fragment::RhoDf, Fragment::RdfsDefault, Fragment::RdfsPlus] {
+            let inferray = materialized(&mut InferrayReasoner::new(fragment), &base);
+            let hash_join = materialized(&mut HashJoinReasoner::new(fragment), &base);
+            prop_assert_eq!(&inferray, &hash_join, "inferray vs hash-join, {}", fragment);
+            let naive = materialized(&mut NaiveIterativeReasoner::new(fragment), &base);
+            prop_assert_eq!(&inferray, &naive, "inferray vs naive, {}", fragment);
+        }
+    }
+
+    /// Materialization is idempotent and monotone in the input for the most
+    /// complex fragment.
+    #[test]
+    fn rdfs_plus_is_idempotent_and_monotone(
+        triples in arbitrary_rdfs_plus_dataset(),
+        extra in arbitrary_rdfs_plus_dataset(),
+    ) {
+        let base = TripleStore::from_triples(triples.clone());
+        let once = materialized(&mut InferrayReasoner::new(Fragment::RdfsPlus), &base);
+
+        // Idempotent: re-materializing the closure adds nothing.
+        let closed = TripleStore::from_triples(once.iter().copied());
+        let twice = materialized(&mut InferrayReasoner::new(Fragment::RdfsPlus), &closed);
+        prop_assert_eq!(&once, &twice);
+
+        // Monotone: a superset of the input derives a superset of the output.
+        let larger_input: Vec<IdTriple> =
+            triples.iter().chain(extra.iter()).copied().collect();
+        let larger = materialized(
+            &mut InferrayReasoner::new(Fragment::RdfsPlus),
+            &TripleStore::from_triples(larger_input),
+        );
+        prop_assert!(once.is_subset(&larger));
+    }
+}

@@ -1,0 +1,116 @@
+//! Store-level queries and reasoner invariants exercised through the public
+//! API: pattern lookup after materialization, monotonicity (the input is
+//! always contained in the output), idempotence, and fragment monotonicity
+//! (a larger fragment never derives less).
+
+use inferray::datasets::{BsbmGenerator, LubmGenerator};
+use inferray::dictionary::wellknown;
+use inferray::parser::load_triples;
+use inferray::store::TriplePattern;
+use inferray::{Fragment, IdTriple, InferrayReasoner, Materializer, Triple, vocab};
+use proptest::prelude::*;
+
+#[test]
+fn pattern_queries_over_a_materialized_store() {
+    let dataset = BsbmGenerator::new(2_000).generate();
+    let loaded = load_triples(dataset.triples.iter()).unwrap();
+    let mut store = loaded.store;
+    InferrayReasoner::new(Fragment::RdfsDefault).materialize(&mut store);
+
+    // Every triple with predicate rdf:type can be found through the pattern
+    // API, and counts agree with the table size.
+    let type_triples = store.match_pattern(TriplePattern::any().with_p(wellknown::RDF_TYPE));
+    assert_eq!(
+        type_triples.len(),
+        store.table(wellknown::RDF_TYPE).unwrap().len()
+    );
+    assert!(type_triples.iter().all(|t| t.p == wellknown::RDF_TYPE));
+
+    // A fully-bound pattern behaves like `contains`.
+    let sample = type_triples[0];
+    let exact = store.match_pattern(
+        TriplePattern::any()
+            .with_s(sample.s)
+            .with_p(sample.p)
+            .with_o(sample.o),
+    );
+    assert_eq!(exact, vec![sample]);
+
+    // The wildcard pattern enumerates the whole store.
+    assert_eq!(store.count_pattern(TriplePattern::any()), store.len());
+}
+
+#[test]
+fn materialization_is_monotone_and_idempotent_on_generated_data() {
+    let dataset = LubmGenerator::new(4_000).generate();
+    let loaded = load_triples(dataset.triples.iter()).unwrap();
+    let input: Vec<IdTriple> = loaded.store.iter_triples().collect();
+
+    let mut store = loaded.store.clone();
+    let mut reasoner = InferrayReasoner::new(Fragment::RdfsPlus);
+    let first = reasoner.materialize(&mut store);
+    // Monotonicity: every input triple is still present.
+    for triple in &input {
+        assert!(store.contains(triple));
+    }
+    // Idempotence: a second run adds nothing.
+    let after_first = store.len();
+    let second = reasoner.materialize(&mut store);
+    assert_eq!(store.len(), after_first);
+    assert_eq!(second.inferred_triples(), 0);
+    assert!(first.output_triples >= first.input_triples);
+}
+
+#[test]
+fn larger_fragments_never_derive_less() {
+    let dataset = LubmGenerator::new(3_000).generate();
+    let loaded = load_triples(dataset.triples.iter()).unwrap();
+    let mut sizes = Vec::new();
+    for fragment in [
+        Fragment::RhoDf,
+        Fragment::RdfsDefault,
+        Fragment::RdfsFull,
+        Fragment::RdfsPlusFull,
+    ] {
+        let mut store = loaded.store.clone();
+        InferrayReasoner::new(fragment).materialize(&mut store);
+        sizes.push(store.len());
+    }
+    assert!(
+        sizes.windows(2).all(|w| w[0] <= w[1]),
+        "materialization sizes must be monotone in the fragment: {sizes:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Random tiny ontologies: the reasoner must terminate, preserve its
+    /// input, and be idempotent.
+    #[test]
+    fn prop_reasoner_invariants_on_random_graphs(
+        subclass_edges in proptest::collection::vec((0u8..12, 0u8..12), 0..20),
+        type_edges in proptest::collection::vec((0u8..12, 0u8..12), 0..20),
+    ) {
+        let mut graph = inferray::Graph::new();
+        for (a, b) in &subclass_edges {
+            graph.insert(Triple::iris(
+                format!("http://ex/C{a}"),
+                vocab::RDFS_SUB_CLASS_OF,
+                format!("http://ex/C{b}"),
+            ));
+        }
+        for (i, c) in &type_edges {
+            graph.insert(Triple::iris(
+                format!("http://ex/i{i}"),
+                vocab::RDF_TYPE,
+                format!("http://ex/C{c}"),
+            ));
+        }
+        let result = inferray::reason_graph(&graph, Fragment::RdfsDefault).unwrap();
+        prop_assert!(graph.is_subset(&result.graph));
+        // Idempotence through the decoded API.
+        let again = inferray::reason_graph(&result.graph, Fragment::RdfsDefault).unwrap();
+        prop_assert_eq!(&again.graph, &result.graph);
+        prop_assert_eq!(again.stats.inferred_triples(), 0);
+    }
+}
