@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the redesigned table-update stage: the
+//! seed's always-rebuild merge (`merge_new_pairs_rebuild`) against the
+//! adaptive merge (`merge_new_pairs_with` + reused `SortScratch`) in the
+//! regimes the fixed-point loop actually visits:
+//!
+//! * `steady-small-delta` — a shrinking frontier against a large main table
+//!   (the dominant regime after iteration 2);
+//! * `all-duplicate`      — the delta derives nothing new (the final
+//!   iteration of every fixed point);
+//! * `tail-append`        — the delta sorts after the whole main table;
+//! * `iteration1-bulk`    — delta comparable to main (both paths rebuild).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inferray_sort::SortScratch;
+use inferray_store::{merge_new_pairs_rebuild, merge_new_pairs_with, PropertyTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const MAIN_PAIRS: usize = 100_000;
+
+fn main_table() -> PropertyTable {
+    let base = 1u64 << 32;
+    // Dense but not contiguous: every third id, objects over a small range.
+    PropertyTable::from_pairs(
+        (0..MAIN_PAIRS as u64)
+            .flat_map(|i| [base + 3 * i, (i * 7) % 1_000])
+            .collect(),
+    )
+}
+
+/// A delta of `fresh` new pairs and `dups` pairs already present in main.
+fn delta(fresh: usize, dups: usize, seed: u64) -> Vec<u64> {
+    let base = 1u64 << 32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(2 * (fresh + dups));
+    for _ in 0..fresh {
+        // Odd offsets never collide with the 3·i subjects of main.
+        let i = rng.gen_range(0..MAIN_PAIRS as u64);
+        out.extend_from_slice(&[base + 3 * i + 1, i % 1_000]);
+    }
+    for _ in 0..dups {
+        let i = rng.gen_range(0..MAIN_PAIRS as u64);
+        out.extend_from_slice(&[base + 3 * i, (i * 7) % 1_000]);
+    }
+    out
+}
+
+fn tail_delta(fresh: usize) -> Vec<u64> {
+    let base = (1u64 << 32) + 3 * MAIN_PAIRS as u64 + 10;
+    (0..fresh as u64).flat_map(|i| [base + i, i % 50]).collect()
+}
+
+fn bench_pair(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    main: &PropertyTable,
+    delta: &[u64],
+) {
+    group.throughput(Throughput::Elements((main.len() + delta.len() / 2) as u64));
+    group.bench_function(BenchmarkId::new("seed-rebuild", label), |b| {
+        b.iter(|| {
+            let mut table = main.clone();
+            let (new, outcome) = merge_new_pairs_rebuild(&mut table, delta.to_vec());
+            black_box((new.len(), outcome.new_pairs))
+        })
+    });
+    let mut scratch = SortScratch::new();
+    group.bench_function(BenchmarkId::new("adaptive", label), |b| {
+        b.iter(|| {
+            let mut table = main.clone();
+            let (new, outcome) = merge_new_pairs_with(&mut table, delta.to_vec(), &mut scratch);
+            black_box((new.len(), outcome.new_pairs))
+        })
+    });
+}
+
+fn bench_table_update(c: &mut Criterion) {
+    let main = main_table();
+    let mut group = c.benchmark_group("table-update");
+    group.sample_size(10);
+
+    bench_pair(&mut group, "steady-small-delta", &main, &delta(256, 256, 1));
+    bench_pair(&mut group, "all-duplicate", &main, &delta(0, 512, 2));
+    bench_pair(&mut group, "tail-append", &main, &tail_delta(512));
+    bench_pair(
+        &mut group,
+        "iteration1-bulk",
+        &main,
+        &delta(MAIN_PAIRS / 2, MAIN_PAIRS / 2, 3),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_update);
+criterion_main!(benches);

@@ -89,8 +89,8 @@ fn main() {
         for &range in &ranges {
             for &size in &sizes {
                 let predicted = recommend_algorithm(size, range as u64);
-                let counting = throughput(&random_pairs(size, range as u64, 1), &counting_sort_pairs);
-                let radix = throughput(&random_pairs(size, range as u64, 1), &|v: &mut Vec<u64>| {
+                let counting = throughput(&random_pairs(size, range as u64, 1), counting_sort_pairs);
+                let radix = throughput(&random_pairs(size, range as u64, 1), |v: &mut Vec<u64>| {
                     msda_radix_sort_pairs(v)
                 });
                 let actual = if counting >= radix {

@@ -1,0 +1,256 @@
+//! The table-update benchmark: measures the redesigned per-iteration update
+//! stage (Figure 5) against the seed implementation and records the result
+//! in `BENCH_table_update.json` so future PRs can track the trajectory.
+//!
+//! Three variants run the **same** sequence of per-property update rounds
+//! (small, partially duplicate deltas against a LUBM-scale store — the
+//! steady-state regime of the fixed-point loop):
+//!
+//! * `seed-rebuild`        — the seed path: allocating sort + full rebuild
+//!   of the merged vector, per property, sequential;
+//! * `adaptive-sequential` — the reasoner's update stage
+//!   ([`inferray_core::run_table_update`]) without a pool, one reused
+//!   [`SortScratch`];
+//! * `adaptive-parallel`   — the same stage fanned out over the persistent
+//!   worker pool, one scratch per lane. Both variants call the *exact*
+//!   function the reasoner's fixed-point loop calls, so the benchmark
+//!   cannot drift from the product code path.
+//!
+//! The binary also materializes the dataset with the full reasoner and
+//! prints the per-iteration fire/update breakdown
+//! ([`inferray_core::IterationProfile`]).
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin table_update [--scale N] [--out FILE]
+//! ```
+
+use inferray_bench::ScaleConfig;
+use inferray_core::{run_table_update, InferrayReasoner, Materializer};
+use inferray_datasets::lubm::LubmGenerator;
+use inferray_parser::loader::load_triples;
+use inferray_rules::Fragment;
+use inferray_sort::SortScratch;
+use inferray_store::{merge_new_pairs_rebuild, TripleStore};
+use std::time::{Duration, Instant};
+
+/// Update rounds applied to the store (a stand-in for fixed-point
+/// iterations 2..N, where the frontier is small).
+const ROUNDS: usize = 12;
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    let out_path = out_path_from_args();
+    let target_triples = 200_000 / scale.divisor;
+
+    println!("table_update — Figure 5 update-stage benchmark (LUBM ~{target_triples} triples)");
+
+    // -- build the main store ------------------------------------------------
+    let dataset = LubmGenerator::new(target_triples).with_seed(42).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("generated dataset is valid");
+    let mut base_store: TripleStore = loaded.store;
+    base_store.finalize();
+    let main_pairs: usize = base_store.len();
+    let tables: usize = base_store.table_count();
+
+    // -- synthesize the per-round deltas ------------------------------------
+    let rounds = make_rounds(&base_store);
+    let delta_pairs: usize = rounds
+        .iter()
+        .flat_map(|r| r.iter().map(|(_, d)| d.len() / 2))
+        .sum();
+    println!(
+        "store: {main_pairs} pairs over {tables} tables; {ROUNDS} rounds, {delta_pairs} delta pairs total"
+    );
+
+    // Interleave repetitions of the three variants and keep each one's
+    // minimum: single-shot millisecond timings are hopelessly noisy on a
+    // shared box, and min-of-reps is the standard robust estimator.
+    const REPS: usize = 5;
+    let pool = inferray_parallel::global();
+    let lanes = pool.threads() + 1;
+    let mut scratch = SortScratch::new();
+    let mut scratches: Vec<SortScratch> = (0..lanes).map(|_| SortScratch::new()).collect();
+
+    let mut seed_time = Duration::MAX;
+    let mut adaptive_time = Duration::MAX;
+    let mut parallel_time = Duration::MAX;
+    let mut seed_store = base_store.clone();
+    let mut adaptive_store = base_store.clone();
+    let mut parallel_store = base_store.clone();
+    for rep in 0..REPS {
+        // Variant 1: the seed path — allocating sort + full rebuild.
+        let mut store = base_store.clone();
+        seed_time = seed_time.min(time(|| {
+            for round in &rounds {
+                for (p, delta) in round {
+                    let table = store.table_or_create(*p);
+                    table.finalize();
+                    let (_new, _outcome) = merge_new_pairs_rebuild(table, delta.clone());
+                }
+            }
+        }));
+        if rep == REPS - 1 {
+            seed_store = store;
+        }
+
+        // Variant 2: the reasoner's update stage, sequential (no pool).
+        let mut store = base_store.clone();
+        adaptive_time = adaptive_time.min(time(|| {
+            for round in &rounds {
+                run_table_update(
+                    None,
+                    &mut store,
+                    round.clone(),
+                    std::slice::from_mut(&mut scratch),
+                );
+            }
+        }));
+        if rep == REPS - 1 {
+            adaptive_store = store;
+        }
+
+        // Variant 3: the reasoner's update stage over the persistent pool.
+        let mut store = base_store.clone();
+        parallel_time = parallel_time.min(time(|| {
+            for round in &rounds {
+                run_table_update(Some(pool), &mut store, round.clone(), &mut scratches);
+            }
+        }));
+        if rep == REPS - 1 {
+            parallel_store = store;
+        }
+    }
+
+    // All three variants must agree — this is the determinism contract.
+    assert_stores_equal(&seed_store, &adaptive_store, "adaptive-sequential");
+    assert_stores_equal(&seed_store, &parallel_store, "adaptive-parallel");
+
+    let speedup_sequential = seed_time.as_secs_f64() / adaptive_time.as_secs_f64().max(1e-12);
+    let speedup_parallel = seed_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-12);
+    println!("seed-rebuild:        {:>10.3} ms", seed_time.as_secs_f64() * 1e3);
+    println!(
+        "adaptive-sequential: {:>10.3} ms  ({speedup_sequential:.2}x)",
+        adaptive_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "adaptive-parallel:   {:>10.3} ms  ({speedup_parallel:.2}x, {lanes} lanes)",
+        parallel_time.as_secs_f64() * 1e3
+    );
+
+    // -- full materialization with the iteration profile ----------------------
+    let mut reasoner = InferrayReasoner::new(Fragment::RdfsPlus);
+    let mut store = base_store.clone();
+    let stats = reasoner.materialize(&mut store);
+    let profile = reasoner.last_iteration_profile();
+    println!("\nfull RDFS-Plus materialization ({} -> {} triples):", stats.input_triples, stats.output_triples);
+    print!("{}", profile.report());
+
+    // -- record -------------------------------------------------------------
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"table_update\",\n",
+            "  \"dataset\": {{ \"generator\": \"lubm\", \"target_triples\": {}, \"main_pairs\": {}, \"tables\": {} }},\n",
+            "  \"workload\": {{ \"rounds\": {}, \"delta_pairs\": {} }},\n",
+            "  \"seed_rebuild_ms\": {:.3},\n",
+            "  \"adaptive_sequential_ms\": {:.3},\n",
+            "  \"adaptive_parallel_ms\": {:.3},\n",
+            "  \"speedup_sequential\": {:.3},\n",
+            "  \"speedup_parallel\": {:.3},\n",
+            "  \"pool_lanes\": {},\n",
+            "  \"materialization\": {{\n",
+            "    \"fragment\": \"rdfs-plus\",\n",
+            "    \"input_triples\": {},\n",
+            "    \"output_triples\": {},\n",
+            "    \"iterations\": {},\n",
+            "    \"os_cache_ms\": {:.3},\n",
+            "    \"fire_ms\": {:.3},\n",
+            "    \"update_ms\": {:.3}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        target_triples,
+        main_pairs,
+        tables,
+        ROUNDS,
+        delta_pairs,
+        seed_time.as_secs_f64() * 1e3,
+        adaptive_time.as_secs_f64() * 1e3,
+        parallel_time.as_secs_f64() * 1e3,
+        speedup_sequential,
+        speedup_parallel,
+        lanes,
+        stats.input_triples,
+        stats.output_triples,
+        stats.iterations,
+        profile.total_os_cache().as_secs_f64() * 1e3,
+        profile.total_fire().as_secs_f64() * 1e3,
+        profile.total_update().as_secs_f64() * 1e3,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    println!("\nrecorded -> {out_path}");
+}
+
+fn out_path_from_args() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_table_update.json".to_string())
+}
+
+fn time(f: impl FnOnce()) -> Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+/// Builds `ROUNDS` rounds of small deltas shaped like the measured
+/// fixed-point frontier (see the iteration profile this binary prints):
+/// after iteration 1 the overwhelming majority of derived pairs are
+/// duplicates — most tables receive a *fully* duplicate delta, and the few
+/// genuinely fresh pairs mix interior positions with tail positions.
+fn make_rounds(store: &TripleStore) -> Vec<Vec<(u64, Vec<u64>)>> {
+    let mut rounds = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS as u64 {
+        let mut deltas: Vec<(u64, Vec<u64>)> = Vec::new();
+        for (table_index, (p, table)) in store.iter_tables().enumerate() {
+            let pairs = table.pairs();
+            let n = table.len();
+            if n < 8 {
+                continue;
+            }
+            let d = (n / 64).max(4);
+            let fresh_table = (table_index as u64 + round).is_multiple_of(4);
+            let mut delta = Vec::with_capacity(2 * d);
+            for k in 0..d as u64 {
+                let idx = ((k * 2_654_435_761 + round * 97) % n as u64) as usize;
+                let (s, o) = (pairs[2 * idx], pairs[2 * idx + 1]);
+                if !fresh_table || k % 8 < 6 {
+                    // A pair already in main: the dominant case after
+                    // iteration 2 (the profile shows 98-100% duplicates).
+                    delta.extend_from_slice(&[s, o]);
+                } else if k % 8 == 6 {
+                    // A fresh interior pair: same subject, new object.
+                    delta.extend_from_slice(&[s, o + 1_000_000_000 + round]);
+                } else {
+                    // A fresh tail pair: a brand-new (densely higher) subject.
+                    delta.extend_from_slice(&[s + 2_000_000_000 + round * 1_000 + k, o]);
+                }
+            }
+            deltas.push((p, delta));
+        }
+        rounds.push(deltas);
+    }
+    rounds
+}
+
+fn assert_stores_equal(expected: &TripleStore, actual: &TripleStore, label: &str) {
+    assert_eq!(expected.len(), actual.len(), "{label}: triple count diverged");
+    for (p, table) in expected.iter_tables() {
+        let other = actual
+            .table(p)
+            .unwrap_or_else(|| panic!("{label}: table {p} missing"));
+        assert_eq!(table.pairs(), other.pairs(), "{label}: table {p} diverged");
+    }
+}

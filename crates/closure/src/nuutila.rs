@@ -122,13 +122,13 @@ fn close_component(edges: &[(u64, u64)], out: &mut Vec<(u64, u64)>) {
 
     // Expansion: every member of c reaches every member of every component
     // in reach[c].
-    for c in 0..ncomp {
-        if reach[c].is_empty() {
+    for (c, reachable) in reach.iter().enumerate().take(ncomp) {
+        if reachable.is_empty() {
             continue;
         }
         for &u in &scc.members[c] {
             let from = graph.label(u);
-            for d in reach[c].iter() {
+            for d in reachable.iter() {
                 for &v in &scc.members[d as usize] {
                     out.push((from, graph.label(v)));
                 }

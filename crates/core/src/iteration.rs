@@ -1,0 +1,120 @@
+//! Per-iteration timing breakdown of the fixed-point loop.
+//!
+//! The paper's performance story lives inside one iteration: rule firing
+//! (§4.3, parallel) followed by the per-property table update (Figure 5:
+//! sort, dedup, merge). [`IterationProfile`] records both phases for every
+//! iteration of the most recent run, so the `table_update` benchmark — and
+//! anyone debugging a slow materialization — can see where the time goes
+//! and how the delta shrinks towards the fixed point.
+
+use std::time::Duration;
+
+/// Timing and volume counters of one fixed-point iteration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IterationSample {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Wall-clock time spent rebuilding the ⟨o,s⟩ caches the previous
+    /// iteration's merges invalidated (§4.2), before the rules fire.
+    pub os_cache: Duration,
+    /// Wall-clock time of the rule-firing phase (line 5 of Algorithm 1).
+    pub fire: Duration,
+    /// Wall-clock time of the table-update phase (lines 6-7, Figure 5).
+    pub update: Duration,
+    /// Raw pairs produced by the rule executors this iteration.
+    pub raw_pairs: usize,
+    /// Genuinely new pairs after both deduplication layers.
+    pub new_pairs: usize,
+    /// Property tables that received inferred pairs.
+    pub properties_touched: usize,
+}
+
+/// The iteration-by-iteration profile of one materialization run.
+#[derive(Debug, Clone, Default)]
+pub struct IterationProfile {
+    /// One sample per executed iteration, in order.
+    pub samples: Vec<IterationSample>,
+}
+
+impl IterationProfile {
+    /// Total time spent firing rules.
+    pub fn total_fire(&self) -> Duration {
+        self.samples.iter().map(|s| s.fire).sum()
+    }
+
+    /// Total time spent in the table-update stage.
+    pub fn total_update(&self) -> Duration {
+        self.samples.iter().map(|s| s.update).sum()
+    }
+
+    /// Total time spent rebuilding invalidated ⟨o,s⟩ caches.
+    pub fn total_os_cache(&self) -> Duration {
+        self.samples.iter().map(|s| s.os_cache).sum()
+    }
+
+    /// Renders a compact plain-text report (one line per iteration).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from(
+            "iter  os-cache-ms    fire-ms  update-ms    raw-pairs    new-pairs  tables\n",
+        );
+        for s in &self.samples {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>12.3} {:>10.3} {:>10.3} {:>12} {:>12} {:>7}",
+                s.iteration,
+                s.os_cache.as_secs_f64() * 1e3,
+                s.fire.as_secs_f64() * 1e3,
+                s.update.as_secs_f64() * 1e3,
+                s.raw_pairs,
+                s.new_pairs,
+                s.properties_touched,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "total fire {:.3} ms, update {:.3} ms over {} iterations",
+            self.total_fire().as_secs_f64() * 1e3,
+            self.total_update().as_secs_f64() * 1e3,
+            self.samples.len(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_report() {
+        let profile = IterationProfile {
+            samples: vec![
+                IterationSample {
+                    iteration: 1,
+                    os_cache: Duration::from_millis(3),
+                    fire: Duration::from_millis(4),
+                    update: Duration::from_millis(2),
+                    raw_pairs: 100,
+                    new_pairs: 40,
+                    properties_touched: 3,
+                },
+                IterationSample {
+                    iteration: 2,
+                    os_cache: Duration::from_millis(1),
+                    fire: Duration::from_millis(1),
+                    update: Duration::from_millis(1),
+                    raw_pairs: 10,
+                    new_pairs: 0,
+                    properties_touched: 1,
+                },
+            ],
+        };
+        assert_eq!(profile.total_fire(), Duration::from_millis(5));
+        assert_eq!(profile.total_update(), Duration::from_millis(3));
+        assert_eq!(profile.total_os_cache(), Duration::from_millis(4));
+        let report = profile.report();
+        assert!(report.contains("2 iterations"));
+        assert!(report.lines().count() >= 4);
+    }
+}

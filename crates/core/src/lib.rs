@@ -31,12 +31,14 @@
 
 pub mod api;
 pub mod closure_stage;
+pub mod iteration;
 pub mod options;
 pub mod reasoner;
 
 pub use api::{reason_graph, ReasonedGraph};
+pub use iteration::{IterationProfile, IterationSample};
 pub use options::InferrayOptions;
-pub use reasoner::InferrayReasoner;
+pub use reasoner::{run_table_update, InferrayReasoner, PropertyUpdate};
 
 // Re-export the pieces users need to drive the encoded API without adding
 // every substrate crate to their dependency list.

@@ -1,12 +1,31 @@
 //! The Inferray reasoner: Algorithm 1 of the paper.
+//!
+//! Both phases of an iteration run on the persistent worker pool of
+//! `inferray-parallel` (the seed spawned fresh OS threads per rule, per
+//! iteration):
+//!
+//! * **rule firing** (§4.3) — one task per rule, each with its own
+//!   [`InferredBuffer`];
+//! * **table update** (Figure 5) — the per-property sort + dedup + merge is
+//!   embarrassingly parallel across properties: the affected tables are
+//!   *taken out* of the store, chunked round-robin across the pool's lanes
+//!   (each lane owning a reusable [`SortScratch`]), merged with the
+//!   adaptive merge of `inferray-store`, and re-installed in ascending
+//!   property order. Results and statistics are byte-for-byte identical to
+//!   the sequential path (see the `determinism_parallel` integration test).
 
 use crate::closure_stage::{run_closure_stage, ClosureStageStats};
+use crate::iteration::{IterationProfile, IterationSample};
 use crate::options::InferrayOptions;
+use inferray_model::IdTriple;
+use inferray_parallel::ThreadPool;
 use inferray_rules::{
     apply_rule, Fragment, InferenceStats, Materializer, RuleContext, RuleId, Ruleset,
 };
-use inferray_model::IdTriple;
-use inferray_store::{AccessProfile, InferredBuffer, TripleStore};
+use inferray_sort::SortScratch;
+use inferray_store::{
+    merge_new_pairs_with, AccessProfile, InferredBuffer, MergeOutcome, PropertyTable, TripleStore,
+};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -37,6 +56,96 @@ pub struct InferrayReasoner {
     ruleset: Ruleset,
     options: InferrayOptions,
     last_closure_stats: ClosureStageStats,
+    last_iteration_profile: IterationProfile,
+}
+
+/// The result of updating one property table (computed on a pool worker).
+pub struct PropertyUpdate {
+    /// The property whose table was updated.
+    pub p: u64,
+    /// The genuinely new pairs (the next iteration's frontier for `p`).
+    pub new_table: PropertyTable,
+    /// Counters of the merge.
+    pub outcome: MergeOutcome,
+}
+
+/// The per-iteration table-update stage (Figure 5) over every property that
+/// received inferred pairs: take the affected tables out of the store;
+/// sort, dedup and merge each one (chunked round-robin across the pool's
+/// lanes, one reusable [`SortScratch`] per lane; sequentially with
+/// `scratches[0]` when `pool` is `None`); and re-install the updated
+/// tables. Returns the per-property results in ascending property order
+/// regardless of scheduling.
+///
+/// Public because the `table_update` benchmark drives exactly this function
+/// — the benchmark and the reasoner cannot drift apart.
+pub fn run_table_update(
+    pool: Option<&ThreadPool>,
+    store: &mut TripleStore,
+    tables: Vec<(u64, Vec<u64>)>,
+    scratches: &mut [SortScratch],
+) -> Vec<PropertyUpdate> {
+    match pool {
+        Some(pool) if tables.len() > 1 => {
+            // Take the affected tables out of the store so each chunk owns
+            // its tables outright — no locks, no aliasing.
+            let lanes = scratches.len().min(tables.len()).max(1);
+            let mut chunks: Vec<Vec<(u64, PropertyTable, Vec<u64>)>> =
+                (0..lanes).map(|_| Vec::new()).collect();
+            for (index, (p, pairs)) in tables.into_iter().enumerate() {
+                let table = store.take_table(p).unwrap_or_default();
+                chunks[index % lanes].push((p, table, pairs));
+            }
+            let tasks: Vec<_> = chunks
+                .into_iter()
+                .zip(scratches.iter_mut())
+                .map(|(chunk, scratch)| {
+                    move || {
+                        chunk
+                            .into_iter()
+                            .map(|(p, mut table, pairs)| {
+                                table.finalize_with(scratch);
+                                let (new_table, outcome) =
+                                    merge_new_pairs_with(&mut table, pairs, scratch);
+                                (p, table, new_table, outcome)
+                            })
+                            .collect::<Vec<_>>()
+                    }
+                })
+                .collect();
+            let mut results: Vec<(u64, PropertyTable, PropertyTable, MergeOutcome)> =
+                pool.run_ordered(tasks).into_iter().flatten().collect();
+            results.sort_unstable_by_key(|(p, ..)| *p);
+            results
+                .into_iter()
+                .map(|(p, table, new_table, outcome)| {
+                    store.set_table(p, table);
+                    PropertyUpdate {
+                        p,
+                        new_table,
+                        outcome,
+                    }
+                })
+                .collect()
+        }
+        _ => {
+            let scratch = scratches.first_mut().expect("at least one scratch");
+            tables
+                .into_iter()
+                .map(|(p, pairs)| {
+                    let mut table = store.take_table(p).unwrap_or_default();
+                    table.finalize_with(scratch);
+                    let (new_table, outcome) = merge_new_pairs_with(&mut table, pairs, scratch);
+                    store.set_table(p, table);
+                    PropertyUpdate {
+                        p,
+                        new_table,
+                        outcome,
+                    }
+                })
+                .collect()
+        }
+    }
 }
 
 impl InferrayReasoner {
@@ -56,6 +165,7 @@ impl InferrayReasoner {
             ruleset,
             options,
             last_closure_stats: ClosureStageStats::default(),
+            last_iteration_profile: IterationProfile::default(),
         }
     }
 
@@ -74,38 +184,46 @@ impl InferrayReasoner {
         self.last_closure_stats
     }
 
+    /// Per-iteration timing breakdown (fire vs. table update) of the most
+    /// recent run.
+    pub fn last_iteration_profile(&self) -> &IterationProfile {
+        &self.last_iteration_profile
+    }
+
     /// Applies every rule once over (`main`, `new`), returning the combined
-    /// inferred buffer. Each rule owns its buffer; with `parallel` enabled
-    /// each rule also runs on its own thread (§4.3).
-    fn fire_rules(&self, main: &TripleStore, new: &TripleStore) -> InferredBuffer {
-        let rules: Vec<RuleId> = self.ruleset.rules().to_vec();
+    /// inferred buffer. Each rule owns its buffer; with a pool each rule
+    /// also runs as its own task (§4.3). Buffers are absorbed in rule
+    /// order, so the combined buffer is schedule-independent.
+    fn fire_rules(
+        &self,
+        pool: Option<&ThreadPool>,
+        main: &TripleStore,
+        new: &TripleStore,
+    ) -> InferredBuffer {
+        let rules: &[RuleId] = self.ruleset.rules();
         let mut combined = InferredBuffer::new();
-        if self.options.parallel && rules.len() > 1 {
-            let buffers = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = rules
+        match pool {
+            Some(pool) if rules.len() > 1 => {
+                let tasks: Vec<_> = rules
                     .iter()
                     .map(|&rule| {
-                        scope.spawn(move |_| {
+                        move || {
                             let ctx = RuleContext::new(main, new);
                             let mut buffer = InferredBuffer::new();
                             apply_rule(rule, &ctx, &mut buffer);
                             buffer
-                        })
+                        }
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("rule thread panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("rule scope panicked");
-            for buffer in buffers {
-                combined.absorb(buffer);
+                for buffer in pool.run_ordered(tasks) {
+                    combined.absorb(buffer);
+                }
             }
-        } else {
-            let ctx = RuleContext::new(main, new);
-            for rule in rules {
-                apply_rule(rule, &ctx, &mut combined);
+            _ => {
+                let ctx = RuleContext::new(main, new);
+                for &rule in rules {
+                    apply_rule(rule, &ctx, &mut combined);
+                }
             }
         }
         combined
@@ -141,6 +259,7 @@ impl InferrayReasoner {
 
         // Group the delta by property and merge it into the store, keeping
         // only the genuinely new pairs as the semi-naive frontier.
+        let mut scratch = SortScratch::new();
         let mut by_property: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         for triple in delta {
             let pairs = by_property.entry(triple.p).or_default();
@@ -150,7 +269,7 @@ impl InferrayReasoner {
         let mut new = TripleStore::new();
         for (p, pairs) in by_property {
             profile.sequential(pairs.len() as u64);
-            let (new_table, _) = store.merge_property(p, pairs);
+            let (new_table, _) = store.merge_property_with(p, pairs, &mut scratch);
             if !new_table.is_empty() {
                 profile.allocate(2 * new_table.len() as u64);
                 new.replace_table_sorted(p, new_table.into_pairs());
@@ -159,6 +278,7 @@ impl InferrayReasoner {
         let input_triples = store.len();
 
         let outcome = if new.is_empty() {
+            self.last_iteration_profile = IterationProfile::default();
             FixedPointOutcome::default()
         } else {
             self.run_fixed_point(store, new, &mut profile)
@@ -178,39 +298,77 @@ impl InferrayReasoner {
     /// The fixed-point loop of Algorithm 1 (lines 4–8), shared by the full
     /// materialization and the incremental path.
     fn run_fixed_point(
-        &self,
+        &mut self,
         store: &mut TripleStore,
         mut new: TripleStore,
         profile: &mut AccessProfile,
     ) -> FixedPointOutcome {
+        let pool = if self.options.parallel {
+            Some(inferray_parallel::global())
+        } else {
+            None
+        };
+        // One sort scratch per execution lane (workers + the calling
+        // thread), created once per run and reused across iterations: the
+        // steady state performs zero sort allocations.
+        let lanes = pool.map_or(1, |p| p.threads() + 1);
+        let mut scratches: Vec<SortScratch> = (0..lanes).map(|_| SortScratch::new()).collect();
+
+        let mut iteration_profile = IterationProfile::default();
         let mut outcome = FixedPointOutcome::default();
         while !new.is_empty() && outcome.iterations < self.options.max_iterations {
             outcome.iterations += 1;
 
-            // Pre-build the ⟨o,s⟩ caches so the parallel phase is read-only.
-            store.ensure_all_os();
-            new.ensure_all_os();
+            // Pre-build the ⟨o,s⟩ caches so the parallel phase is read-only
+            // (timed separately: this re-sorts the caches the previous
+            // iteration's merges invalidated, which is neither rule firing
+            // nor this iteration's merge work).
+            let os_start = Instant::now();
+            store.ensure_all_os_with(&mut scratches[0]);
+            new.ensure_all_os_with(&mut scratches[0]);
             profile.sequential(2 * (store.len() + new.len()) as u64);
+            let os_cache = os_start.elapsed();
 
             // Line 5: fire all rules.
-            let inferred = self.fire_rules(store, &new);
-            outcome.derived_raw += inferred.len();
+            let fire_start = Instant::now();
+            let inferred = self.fire_rules(pool, store, &new);
+            let fire = fire_start.elapsed();
+            let raw_pairs = inferred.len();
+            outcome.derived_raw += raw_pairs;
 
-            // Lines 6-7: per-property sort + dedup + merge (Figure 5).
+            // Lines 6-7: per-property sort + dedup + merge (Figure 5),
+            // parallel across properties.
+            let update_start = Instant::now();
+            let tables: Vec<(u64, Vec<u64>)> = inferred.into_iter_tables().collect();
+            let properties_touched = tables.len();
+            let results = run_table_update(pool, store, tables, &mut scratches);
+
             let mut next_new = TripleStore::new();
-            for (p, pairs) in inferred.into_iter_tables() {
-                profile.sequential(pairs.len() as u64);
-                let (new_table, merge) = store.merge_property(p, pairs);
-                profile.sequential(2 * (merge.inferred_raw + new_table.len()) as u64);
+            let mut new_pairs = 0usize;
+            for result in results {
+                let merge = result.outcome;
+                profile.sequential(2 * merge.inferred_raw as u64);
+                profile.sequential(2 * (merge.inferred_raw + result.new_table.len()) as u64);
                 outcome.duplicates_removed +=
                     merge.duplicates_within_inferred + merge.duplicates_against_main;
-                if !new_table.is_empty() {
-                    profile.allocate(2 * new_table.len() as u64);
-                    next_new.replace_table_sorted(p, new_table.into_pairs());
+                new_pairs += merge.new_pairs;
+                if !result.new_table.is_empty() {
+                    profile.allocate(2 * result.new_table.len() as u64);
+                    next_new.replace_table_sorted(result.p, result.new_table.into_pairs());
                 }
             }
+            iteration_profile.samples.push(IterationSample {
+                iteration: outcome.iterations,
+                os_cache,
+                fire,
+                update: update_start.elapsed(),
+                raw_pairs,
+                new_pairs,
+                properties_touched,
+            });
             new = next_new;
         }
+        self.last_iteration_profile = iteration_profile;
         outcome
     }
 }
@@ -435,5 +593,22 @@ mod tests {
             "full transitive closure expected"
         );
         assert!(stats.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn iteration_profile_tracks_the_run() {
+        let mut data = family_dataset();
+        let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+        let stats = reasoner.materialize(&mut data);
+        let profile = reasoner.last_iteration_profile();
+        assert_eq!(profile.samples.len(), stats.iterations);
+        assert_eq!(
+            profile.samples.iter().map(|s| s.raw_pairs).sum::<usize>(),
+            stats.derived_raw
+        );
+        // The last iteration derives nothing new (that is why it was last).
+        assert_eq!(profile.samples.last().unwrap().new_pairs, 0);
+        let report = profile.report();
+        assert!(report.contains("iterations"));
     }
 }

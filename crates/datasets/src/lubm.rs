@@ -236,7 +236,7 @@ mod tests {
         let has = |p: &str, o: Option<&str>| {
             dataset.triples.iter().any(|t| {
                 t.predicate == Term::iri(p)
-                    && o.map_or(true, |o| t.object == Term::iri(o))
+                    && o.is_none_or(|o| t.object == Term::iri(o))
             })
         };
         assert!(has(vocab::RDF_TYPE, Some(vocab::OWL_TRANSITIVE_PROPERTY)));

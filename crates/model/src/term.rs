@@ -317,12 +317,10 @@ mod tests {
 
     #[test]
     fn term_ordering_is_total_and_stable() {
-        let mut v = vec![
-            Term::plain_literal("z"),
+        let mut v = [Term::plain_literal("z"),
             Term::iri("a"),
             Term::blank("b"),
-            Term::iri("b"),
-        ];
+            Term::iri("b")];
         v.sort();
         let sorted: Vec<_> = v.iter().map(|t| t.to_string()).collect();
         assert_eq!(sorted, vec!["<a>", "<b>", "_:b", "\"z\""]);

@@ -206,7 +206,7 @@ mod tests {
             (BART, wk::RDF_TYPE, HUMAN),
             (LISA, wk::RDF_TYPE, HUMAN),
         ]);
-        let derived = derive(&main, |ctx, out| cax_sco(ctx, out));
+        let derived = derive(&main, cax_sco);
         assert_eq!(
             derived.into_iter().collect::<Vec<_>>(),
             vec![
@@ -222,7 +222,7 @@ mod tests {
             (HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL),
             (BART, wk::RDF_TYPE, MAMMAL), // already typed with the superclass
         ]);
-        let derived = derive(&main, |ctx, out| cax_sco(ctx, out));
+        let derived = derive(&main, cax_sco);
         assert!(derived.is_empty());
     }
 
@@ -233,10 +233,10 @@ mod tests {
             (BART, wk::RDF_TYPE, HUMAN),
             (LISA, wk::RDF_TYPE, MAMMAL),
         ]);
-        let d1 = derive(&main, |ctx, out| cax_eqc1(ctx, out));
+        let d1 = derive(&main, cax_eqc1);
         assert!(d1.contains(&(BART, wk::RDF_TYPE, MAMMAL)));
         assert!(!d1.contains(&(LISA, wk::RDF_TYPE, HUMAN)));
-        let d2 = derive(&main, |ctx, out| cax_eqc2(ctx, out));
+        let d2 = derive(&main, cax_eqc2);
         assert!(d2.contains(&(LISA, wk::RDF_TYPE, HUMAN)));
         assert!(!d2.contains(&(BART, wk::RDF_TYPE, MAMMAL)));
     }
@@ -248,10 +248,10 @@ mod tests {
             (HAS_CHILD, wk::RDFS_RANGE, HUMAN),
             (HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL),
         ]);
-        let dom = derive(&main, |ctx, out| scm_dom1(ctx, out));
+        let dom = derive(&main, scm_dom1);
         assert_eq!(dom.len(), 1);
         assert!(dom.contains(&(HAS_CHILD, wk::RDFS_DOMAIN, MAMMAL)));
-        let rng = derive(&main, |ctx, out| scm_rng1(ctx, out));
+        let rng = derive(&main, scm_rng1);
         assert!(rng.contains(&(HAS_CHILD, wk::RDFS_RANGE, MAMMAL)));
     }
 
@@ -262,9 +262,9 @@ mod tests {
             (HAS_CHILD, wk::RDFS_RANGE, MAMMAL),
             (HAS_SON, wk::RDFS_SUB_PROPERTY_OF, HAS_CHILD),
         ]);
-        let dom = derive(&main, |ctx, out| scm_dom2(ctx, out));
+        let dom = derive(&main, scm_dom2);
         assert!(dom.contains(&(HAS_SON, wk::RDFS_DOMAIN, HUMAN)));
-        let rng = derive(&main, |ctx, out| scm_rng2(ctx, out));
+        let rng = derive(&main, scm_rng2);
         assert!(rng.contains(&(HAS_SON, wk::RDFS_RANGE, MAMMAL)));
     }
 
@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn missing_tables_are_handled_gracefully() {
         let main = store(&[(BART, wk::RDF_TYPE, HUMAN)]); // no subClassOf table
-        let derived = derive(&main, |ctx, out| cax_sco(ctx, out));
+        let derived = derive(&main, cax_sco);
         assert!(derived.is_empty());
     }
 }

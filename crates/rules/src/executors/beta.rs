@@ -75,7 +75,7 @@ mod tests {
             (B, wk::RDFS_SUB_CLASS_OF, A),
             (A, wk::RDFS_SUB_CLASS_OF, C), // one-directional: no equivalence
         ]);
-        let derived = derive(&main, |ctx, out| scm_eqc2(ctx, out));
+        let derived = derive(&main, scm_eqc2);
         assert_eq!(
             derived.into_iter().collect::<Vec<_>>(),
             vec![
@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn reflexive_subclass_yields_reflexive_equivalence() {
         let main = store(&[(A, wk::RDFS_SUB_CLASS_OF, A)]);
-        let derived = derive(&main, |ctx, out| scm_eqc2(ctx, out));
+        let derived = derive(&main, scm_eqc2);
         assert_eq!(
             derived.into_iter().collect::<Vec<_>>(),
             vec![(A, wk::OWL_EQUIVALENT_CLASS, A)]
@@ -101,7 +101,7 @@ mod tests {
             (P, wk::RDFS_SUB_PROPERTY_OF, Q),
             (Q, wk::RDFS_SUB_PROPERTY_OF, P),
         ]);
-        let derived = derive(&main, |ctx, out| scm_eqp2(ctx, out));
+        let derived = derive(&main, scm_eqp2);
         assert!(derived.contains(&(P, wk::OWL_EQUIVALENT_PROPERTY, Q)));
         assert!(derived.contains(&(Q, wk::OWL_EQUIVALENT_PROPERTY, P)));
     }
@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn no_table_no_derivation() {
         let main = store(&[(A, wk::RDF_TYPE, B)]);
-        assert!(derive(&main, |ctx, out| scm_eqc2(ctx, out)).is_empty());
-        assert!(derive(&main, |ctx, out| scm_eqp2(ctx, out)).is_empty());
+        assert!(derive(&main, scm_eqc2).is_empty());
+        assert!(derive(&main, scm_eqp2).is_empty());
     }
 }

@@ -100,7 +100,7 @@ mod tests {
             (ALICE, has_mother, EMAIL_C),
             (BOB, has_mother, EMAIL_A), // single value: nothing derived for BOB
         ]);
-        let derived = derive(&main, |ctx, out| prp_fp(ctx, out));
+        let derived = derive(&main, prp_fp);
         // Consecutive links over the sorted objects of ALICE.
         assert!(derived.contains(&(EMAIL_A, wk::OWL_SAME_AS, EMAIL_B)));
         assert!(derived.contains(&(EMAIL_B, wk::OWL_SAME_AS, EMAIL_C)));
@@ -116,7 +116,7 @@ mod tests {
             (BOB, mailbox, EMAIL_A),
             (BOB, mailbox, EMAIL_B), // unique value: no link from this one
         ]);
-        let derived = derive(&main, |ctx, out| prp_ifp(ctx, out));
+        let derived = derive(&main, prp_ifp);
         assert_eq!(
             derived.into_iter().collect::<Vec<_>>(),
             vec![(ALICE, wk::OWL_SAME_AS, BOB)]
@@ -130,15 +130,15 @@ mod tests {
             (ALICE, knows, EMAIL_A),
             (ALICE, knows, EMAIL_B),
         ]);
-        assert!(derive(&main, |ctx, out| prp_fp(ctx, out)).is_empty());
-        assert!(derive(&main, |ctx, out| prp_ifp(ctx, out)).is_empty());
+        assert!(derive(&main, prp_fp).is_empty());
+        assert!(derive(&main, prp_ifp).is_empty());
     }
 
     #[test]
     fn functional_declaration_without_data_is_a_no_op() {
         let p = nth_property_id(403);
         let main = store(&[(p, wk::RDF_TYPE, wk::OWL_FUNCTIONAL_PROPERTY)]);
-        assert!(derive(&main, |ctx, out| prp_fp(ctx, out)).is_empty());
+        assert!(derive(&main, prp_fp).is_empty());
     }
 
     #[test]
@@ -150,6 +150,6 @@ mod tests {
             (ALICE, p, EMAIL_A),
         ]);
         // The table is deduplicated at finalize, so only one value remains.
-        assert!(derive(&main, |ctx, out| prp_fp(ctx, out)).is_empty());
+        assert!(derive(&main, prp_fp).is_empty());
     }
 }

@@ -200,7 +200,7 @@ mod tests {
             (ALICE, lives_in, LYON),
             (BOB, lives_in, LYON),
         ]);
-        let derived = derive(&main, |ctx, out| prp_dom(ctx, out));
+        let derived = derive(&main, prp_dom);
         assert!(derived.contains(&(ALICE, wk::RDF_TYPE, PERSON)));
         assert!(derived.contains(&(BOB, wk::RDF_TYPE, PERSON)));
         assert_eq!(derived.len(), 2);
@@ -213,7 +213,7 @@ mod tests {
             (lives_in, wk::RDFS_RANGE, CITY),
             (ALICE, lives_in, LYON),
         ]);
-        let derived = derive(&main, |ctx, out| prp_rng(ctx, out));
+        let derived = derive(&main, prp_rng);
         assert_eq!(
             derived.into_iter().collect::<Vec<_>>(),
             vec![(LYON, wk::RDF_TYPE, CITY)]
@@ -228,7 +228,7 @@ mod tests {
             (has_son, wk::RDFS_SUB_PROPERTY_OF, has_child),
             (ALICE, has_son, BOB),
         ]);
-        let derived = derive(&main, |ctx, out| prp_spo1(ctx, out));
+        let derived = derive(&main, prp_spo1);
         assert_eq!(
             derived.into_iter().collect::<Vec<_>>(),
             vec![(ALICE, has_child, BOB)]
@@ -239,7 +239,7 @@ mod tests {
     fn prp_spo1_skips_reflexive_subproperty_pairs() {
         let p = prop(3);
         let main = store(&[(p, wk::RDFS_SUB_PROPERTY_OF, p), (ALICE, p, BOB)]);
-        assert!(derive(&main, |ctx, out| prp_spo1(ctx, out)).is_empty());
+        assert!(derive(&main, prp_spo1).is_empty());
     }
 
     #[test]
@@ -249,7 +249,7 @@ mod tests {
             (married_to, wk::RDF_TYPE, wk::OWL_SYMMETRIC_PROPERTY),
             (ALICE, married_to, BOB),
         ]);
-        let derived = derive(&main, |ctx, out| prp_symp(ctx, out));
+        let derived = derive(&main, prp_symp);
         assert!(derived.contains(&(BOB, married_to, ALICE)));
     }
 
@@ -262,10 +262,10 @@ mod tests {
             (ALICE, p, LYON),
             (BOB, q, LYON),
         ]);
-        let d1 = derive(&main, |ctx, out| prp_eqp1(ctx, out));
+        let d1 = derive(&main, prp_eqp1);
         assert!(d1.contains(&(ALICE, q, LYON)));
         assert!(!d1.contains(&(BOB, p, LYON)));
-        let d2 = derive(&main, |ctx, out| prp_eqp2(ctx, out));
+        let d2 = derive(&main, prp_eqp2);
         assert!(d2.contains(&(BOB, p, LYON)));
     }
 
@@ -278,9 +278,9 @@ mod tests {
             (ALICE, parent_of, BOB),
             (LYON, child_of, CITY),
         ]);
-        let d1 = derive(&main, |ctx, out| prp_inv1(ctx, out));
+        let d1 = derive(&main, prp_inv1);
         assert!(d1.contains(&(BOB, child_of, ALICE)));
-        let d2 = derive(&main, |ctx, out| prp_inv2(ctx, out));
+        let d2 = derive(&main, prp_inv2);
         assert!(d2.contains(&(CITY, parent_of, LYON)));
     }
 
@@ -289,7 +289,7 @@ mod tests {
         // A domain triple whose subject is a resource (data error) must not
         // crash or derive anything.
         let main = store(&[(PERSON, wk::RDFS_DOMAIN, CITY), (ALICE, prop(0), LYON)]);
-        assert!(derive(&main, |ctx, out| prp_dom(ctx, out)).is_empty());
+        assert!(derive(&main, prp_dom).is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub enum JoinSide {
 /// Sort-merge join of two sorted views. For every pair of entries with equal
 /// keys, `emit(key, left_payload, right_payload)` is called.
 pub fn merge_join(left: &[u64], right: &[u64], mut emit: impl FnMut(u64, u64, u64)) {
-    debug_assert!(left.len() % 2 == 0 && right.len() % 2 == 0);
+    debug_assert!(left.len().is_multiple_of(2) && right.len().is_multiple_of(2));
     let (mut i, mut j) = (0usize, 0usize);
     while i < left.len() && j < right.len() {
         let lk = left[i];

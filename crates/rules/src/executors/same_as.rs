@@ -116,7 +116,7 @@ mod tests {
             (ALICE, knows, BOB),
             (BOB, knows, LYON),
         ]);
-        let derived = derive(&main, |ctx, out| eq_rep_s(ctx, out));
+        let derived = derive(&main, eq_rep_s);
         assert!(derived.contains(&(ALIZ, knows, BOB)));
         assert!(!derived.contains(&(ALIZ, knows, LYON)));
         // The sameAs triple itself also has ALICE as subject, so the rule
@@ -133,7 +133,7 @@ mod tests {
             (BOB, knows, ALICE),
             (BOB, knows, LYON),
         ]);
-        let derived = derive(&main, |ctx, out| eq_rep_o(ctx, out));
+        let derived = derive(&main, eq_rep_o);
         // Only the object equal to the sameAs subject is substituted; the
         // LYON-valued triple contributes nothing.
         assert_eq!(derived.into_iter().collect::<Vec<_>>(), vec![(BOB, knows, ALIZ)]);
@@ -147,7 +147,7 @@ mod tests {
             (knows, wk::OWL_SAME_AS, acquainted),
             (ALICE, knows, BOB),
         ]);
-        let derived = derive(&main, |ctx, out| eq_rep_p(ctx, out));
+        let derived = derive(&main, eq_rep_p);
         assert!(derived.contains(&(ALICE, acquainted, BOB)));
     }
 
@@ -155,7 +155,7 @@ mod tests {
     fn same_as_between_individuals_does_not_touch_property_tables() {
         let knows = prop(0);
         let main = store(&[(ALICE, wk::OWL_SAME_AS, ALIZ), (ALICE, knows, BOB)]);
-        let derived = derive(&main, |ctx, out| eq_rep_p(ctx, out));
+        let derived = derive(&main, eq_rep_p);
         // ALICE is not a property id, so EQ-REP-P derives nothing.
         assert!(derived.is_empty());
     }
@@ -164,17 +164,17 @@ mod tests {
     fn reflexive_same_as_is_skipped() {
         let knows = prop(0);
         let main = store(&[(ALICE, wk::OWL_SAME_AS, ALICE), (ALICE, knows, BOB)]);
-        assert!(derive(&main, |ctx, out| eq_rep_s(ctx, out)).is_empty());
-        assert!(derive(&main, |ctx, out| eq_rep_o(ctx, out)).is_empty());
+        assert!(derive(&main, eq_rep_s).is_empty());
+        assert!(derive(&main, eq_rep_o).is_empty());
     }
 
     #[test]
     fn no_same_as_table_derives_nothing() {
         let knows = prop(0);
         let main = store(&[(ALICE, knows, BOB)]);
-        assert!(derive(&main, |ctx, out| eq_rep_s(ctx, out)).is_empty());
-        assert!(derive(&main, |ctx, out| eq_rep_o(ctx, out)).is_empty());
-        assert!(derive(&main, |ctx, out| eq_rep_p(ctx, out)).is_empty());
+        assert!(derive(&main, eq_rep_s).is_empty());
+        assert!(derive(&main, eq_rep_o).is_empty());
+        assert!(derive(&main, eq_rep_p).is_empty());
     }
 
     #[test]

@@ -109,7 +109,7 @@ mod tests {
             (B, wk::RDFS_SUB_CLASS_OF, C),
             (C, wk::RDFS_SUB_CLASS_OF, D),
         ]);
-        let derived = derive(&main, |ctx, out| scm_sco(ctx, out));
+        let derived = derive(&main, scm_sco);
         assert_eq!(derived.len(), 3);
         assert!(derived.contains(&(A, wk::RDFS_SUB_CLASS_OF, C)));
         assert!(derived.contains(&(A, wk::RDFS_SUB_CLASS_OF, D)));
@@ -125,7 +125,7 @@ mod tests {
             (p, wk::RDFS_SUB_PROPERTY_OF, q),
             (q, wk::RDFS_SUB_PROPERTY_OF, r),
         ]);
-        let derived = derive(&main, |ctx, out| scm_spo(ctx, out));
+        let derived = derive(&main, scm_spo);
         assert_eq!(
             derived.into_iter().collect::<Vec<_>>(),
             vec![(p, wk::RDFS_SUB_PROPERTY_OF, r)]
@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn eq_trans_closes_same_as_symmetrically() {
         let main = store(&[(A, wk::OWL_SAME_AS, B), (B, wk::OWL_SAME_AS, C)]);
-        let derived = derive(&main, |ctx, out| eq_trans(ctx, out));
+        let derived = derive(&main, eq_trans);
         // The symmetric-then-transitive closure connects {A, B, C} fully,
         // including reflexive pairs; the two asserted pairs are not repeated.
         assert!(derived.contains(&(A, wk::OWL_SAME_AS, C)));
@@ -156,7 +156,7 @@ mod tests {
             (A, knows, B),
             (B, knows, C),
         ]);
-        let derived = derive(&main, |ctx, out| prp_trp(ctx, out));
+        let derived = derive(&main, prp_trp);
         assert!(derived.contains(&(A, ancestor, C)));
         assert!(!derived.iter().any(|&(_, p, _)| p == knows));
     }

@@ -141,7 +141,7 @@ mod tests {
     #[test]
     fn eq_sym_adds_the_symmetric_pair_once() {
         let main = store(&[(A, wk::OWL_SAME_AS, B), (B, wk::OWL_SAME_AS, B)]);
-        let derived = derive(&main, |ctx, out| eq_sym(ctx, out));
+        let derived = derive(&main, eq_sym);
         assert_eq!(
             derived.into_iter().collect::<Vec<_>>(),
             vec![(B, wk::OWL_SAME_AS, A)]
@@ -156,10 +156,10 @@ mod tests {
             (A, wk::OWL_EQUIVALENT_CLASS, B),
             (p, wk::OWL_EQUIVALENT_PROPERTY, q),
         ]);
-        let classes = derive(&main, |ctx, out| scm_eqc1(ctx, out));
+        let classes = derive(&main, scm_eqc1);
         assert!(classes.contains(&(A, wk::RDFS_SUB_CLASS_OF, B)));
         assert!(classes.contains(&(B, wk::RDFS_SUB_CLASS_OF, A)));
-        let props = derive(&main, |ctx, out| scm_eqp1(ctx, out));
+        let props = derive(&main, scm_eqp1);
         assert!(props.contains(&(p, wk::RDFS_SUB_PROPERTY_OF, q)));
         assert!(props.contains(&(q, wk::RDFS_SUB_PROPERTY_OF, p)));
     }
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn scm_cls_produces_the_four_axioms() {
         let main = store(&[(A, wk::RDF_TYPE, wk::OWL_CLASS)]);
-        let derived = derive(&main, |ctx, out| scm_cls(ctx, out));
+        let derived = derive(&main, scm_cls);
         assert_eq!(derived.len(), 4);
         assert!(derived.contains(&(A, wk::RDFS_SUB_CLASS_OF, A)));
         assert!(derived.contains(&(A, wk::OWL_EQUIVALENT_CLASS, A)));
@@ -183,11 +183,11 @@ mod tests {
             (p, wk::RDF_TYPE, wk::OWL_DATATYPE_PROPERTY),
             (q, wk::RDF_TYPE, wk::OWL_OBJECT_PROPERTY),
         ]);
-        let dp = derive(&main, |ctx, out| scm_dp(ctx, out));
+        let dp = derive(&main, scm_dp);
         assert!(dp.contains(&(p, wk::RDFS_SUB_PROPERTY_OF, p)));
         assert!(dp.contains(&(p, wk::OWL_EQUIVALENT_PROPERTY, p)));
         assert!(!dp.contains(&(q, wk::RDFS_SUB_PROPERTY_OF, q)));
-        let op = derive(&main, |ctx, out| scm_op(ctx, out));
+        let op = derive(&main, scm_op);
         assert!(op.contains(&(q, wk::OWL_EQUIVALENT_PROPERTY, q)));
     }
 
@@ -195,7 +195,7 @@ mod tests {
     fn rdfs4_types_every_node_as_resource() {
         let p = nth_property_id(304);
         let main = store(&[(A, p, B)]);
-        let derived = derive(&main, |ctx, out| rdfs4(ctx, out));
+        let derived = derive(&main, rdfs4);
         assert!(derived.contains(&(A, wk::RDF_TYPE, wk::RDFS_RESOURCE)));
         assert!(derived.contains(&(B, wk::RDF_TYPE, wk::RDFS_RESOURCE)));
     }
@@ -206,11 +206,11 @@ mod tests {
             (A, wk::RDF_TYPE, wk::RDFS_CLASS),
             (B, wk::RDF_TYPE, wk::RDF_PROPERTY),
         ]);
-        let d8 = derive(&main, |ctx, out| rdfs8(ctx, out));
+        let d8 = derive(&main, rdfs8);
         assert!(d8.contains(&(A, wk::RDFS_SUB_CLASS_OF, wk::RDFS_RESOURCE)));
-        let d10 = derive(&main, |ctx, out| rdfs10(ctx, out));
+        let d10 = derive(&main, rdfs10);
         assert!(d10.contains(&(A, wk::RDFS_SUB_CLASS_OF, A)));
-        let d6 = derive(&main, |ctx, out| rdfs6(ctx, out));
+        let d6 = derive(&main, rdfs6);
         assert!(d6.contains(&(B, wk::RDFS_SUB_PROPERTY_OF, B)));
     }
 
@@ -220,9 +220,9 @@ mod tests {
             (A, wk::RDF_TYPE, wk::RDFS_CONTAINER_MEMBERSHIP_PROPERTY),
             (B, wk::RDF_TYPE, wk::RDFS_DATATYPE),
         ]);
-        let d12 = derive(&main, |ctx, out| rdfs12(ctx, out));
+        let d12 = derive(&main, rdfs12);
         assert!(d12.contains(&(A, wk::RDFS_SUB_PROPERTY_OF, wk::RDFS_MEMBER)));
-        let d13 = derive(&main, |ctx, out| rdfs13(ctx, out));
+        let d13 = derive(&main, rdfs13);
         assert!(d13.contains(&(B, wk::RDFS_SUB_CLASS_OF, wk::RDFS_LITERAL)));
     }
 

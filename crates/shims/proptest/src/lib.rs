@@ -1,0 +1,91 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without network access, so this shim implements the
+//! subset of the proptest API its tests use: the [`strategy::Strategy`]
+//! trait with `prop_map`, integer-range / tuple / `Just` / regex-string
+//! strategies, [`collection::vec`] and [`collection::btree_set`], the
+//! [`prop_oneof!`] union, and the [`proptest!`] test macro with
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case panics with the rendered inputs of
+//!   that case instead of a minimized counter-example;
+//! * **deterministic seeding** — the RNG is seeded from the test's module
+//!   path and the case index, so failures reproduce across runs and CI;
+//! * `prop_assert*` are plain `assert*` aliases (they panic rather than
+//!   return `Err`, which is equivalent under this runner).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Property-test declaration macro (see crate docs for the differences from
+/// real proptest).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg_pat:pat_param in $arg_strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let ( $( $arg_pat, )+ ) = (
+                    $( $crate::strategy::Strategy::sample(&($arg_strat), &mut __rng), )+
+                );
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($strat:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

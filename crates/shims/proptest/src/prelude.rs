@@ -1,0 +1,9 @@
+//! The items `use proptest::prelude::*` brings into scope.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{BoxedStrategy, Just, Map, Strategy, Union};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// The `prop` path alias (`prop::collection::vec` etc.).
+pub use crate as prop;

@@ -1,0 +1,249 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest compiles full regexes into strategies; the patterns used in
+//! this workspace only need character classes, literals, optional groups and
+//! `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers, e.g. `"[a-z]{1,8}"`,
+//! `"[A-Za-z][A-Za-z0-9]{0,8}"` or `"[a-z]{2}(-[a-z]{2})?"`. Anything
+//! outside that subset panics with a clear message so a future test author
+//! knows to extend this module.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum AtomKind {
+    /// A character class: inclusive ranges plus literal alternatives.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+    /// A parenthesized sub-pattern.
+    Group(Vec<Atom>),
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    kind: AtomKind,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Generates one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse_sequence(&mut pattern.chars().collect::<Vec<_>>().as_slice(), pattern);
+    let mut out = String::new();
+    emit_sequence(&atoms, rng, &mut out);
+    out
+}
+
+fn emit_sequence(atoms: &[Atom], rng: &mut TestRng, out: &mut String) {
+    for atom in atoms {
+        let count = if atom.min == atom.max {
+            atom.min
+        } else {
+            rng.usize_in(atom.min, atom.max + 1)
+        };
+        for _ in 0..count {
+            match &atom.kind {
+                AtomKind::Literal(c) => out.push(*c),
+                AtomKind::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for &(lo, hi) in ranges {
+                        let span = (hi as u64) - (lo as u64) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(lo as u32 + pick as u32).expect("class range"));
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+                AtomKind::Group(inner) => emit_sequence(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Parses a sequence of atoms until end-of-input or a closing parenthesis
+/// (which is left unconsumed).
+fn parse_sequence(rest: &mut &[char], pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = rest.first() {
+        if c == ')' {
+            break;
+        }
+        *rest = &rest[1..];
+        let kind = match c {
+            '[' => AtomKind::Class(parse_class(rest, pattern)),
+            '(' => {
+                let inner = parse_sequence(rest, pattern);
+                match rest.first() {
+                    Some(')') => *rest = &rest[1..],
+                    _ => unsupported(pattern, "unterminated group"),
+                }
+                AtomKind::Group(inner)
+            }
+            '\\' => {
+                let escaped = rest.first().copied().unwrap_or_else(|| {
+                    unsupported(pattern, "dangling escape");
+                });
+                *rest = &rest[1..];
+                AtomKind::Literal(match escaped {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                })
+            }
+            '|' | '.' | '^' | '$' | '*' | '+' | '?' | '{' => {
+                unsupported(pattern, "construct outside the supported subset")
+            }
+            literal => AtomKind::Literal(literal),
+        };
+        let (min, max) = parse_quantifier(rest, pattern);
+        atoms.push(Atom { kind, min, max });
+    }
+    atoms
+}
+
+fn parse_class(rest: &mut &[char], pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = next_or(rest, pattern, "unterminated character class");
+        if c == ']' {
+            if ranges.is_empty() {
+                unsupported(pattern, "empty character class");
+            }
+            return ranges;
+        }
+        if rest.first() == Some(&'-') && rest.get(1).is_some_and(|&n| n != ']') {
+            *rest = &rest[1..];
+            let hi = next_or(rest, pattern, "unterminated class range");
+            if hi < c {
+                unsupported(pattern, "inverted class range");
+            }
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+}
+
+fn parse_quantifier(rest: &mut &[char], pattern: &str) -> (usize, usize) {
+    match rest.first() {
+        Some('?') => {
+            *rest = &rest[1..];
+            (0, 1)
+        }
+        Some('*') => {
+            *rest = &rest[1..];
+            (0, 8)
+        }
+        Some('+') => {
+            *rest = &rest[1..];
+            (1, 8)
+        }
+        Some('{') => {
+            *rest = &rest[1..];
+            let mut digits = String::new();
+            let mut min: Option<usize> = None;
+            loop {
+                let c = next_or(rest, pattern, "unterminated quantifier");
+                match c {
+                    '0'..='9' => digits.push(c),
+                    ',' => {
+                        min = Some(digits.parse().unwrap_or_else(|_| {
+                            unsupported(pattern, "malformed quantifier");
+                        }));
+                        digits.clear();
+                    }
+                    '}' => {
+                        let n: usize = digits.parse().unwrap_or_else(|_| {
+                            unsupported(pattern, "malformed quantifier");
+                        });
+                        return match min {
+                            Some(lo) => (lo, n),
+                            None => (n, n),
+                        };
+                    }
+                    _ => unsupported(pattern, "malformed quantifier"),
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn next_or(rest: &mut &[char], pattern: &str, message: &str) -> char {
+    match rest.first() {
+        Some(&c) => {
+            *rest = &rest[1..];
+            c
+        }
+        None => unsupported(pattern, message),
+    }
+}
+
+fn unsupported(pattern: &str, message: &str) -> ! {
+    panic!("proptest shim: unsupported regex pattern {pattern:?}: {message}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string", 0)
+    }
+
+    #[test]
+    fn classes_with_quantifiers() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = sample_pattern("[A-Za-z][A-Za-z0-9]{0,8}", &mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(t.len() <= 9 && !t.is_empty());
+
+            let u = sample_pattern("[a-zA-Z0-9 ]{0,24}", &mut rng);
+            assert!(u.len() <= 24);
+            assert!(u.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn optional_group_with_literal() {
+        let mut rng = rng();
+        let mut saw_long = false;
+        let mut saw_short = false;
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z]{2}(-[a-z]{2})?", &mut rng);
+            match s.len() {
+                2 => saw_short = true,
+                5 => {
+                    saw_long = true;
+                    assert_eq!(s.as_bytes()[2], b'-');
+                }
+                n => panic!("unexpected length {n}: {s:?}"),
+            }
+        }
+        assert!(saw_long && saw_short);
+    }
+
+    #[test]
+    fn exact_count_and_escape() {
+        let mut rng = rng();
+        assert_eq!(sample_pattern("[a-a]{3}", &mut rng), "aaa");
+        assert_eq!(sample_pattern("ab\\.c", &mut rng), "ab.c");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unsupported_construct_panics() {
+        sample_pattern("a|b", &mut rng());
+    }
+}

@@ -20,7 +20,7 @@
 /// Sorts a flat pair array with the standard library's unstable sort.
 /// Serves as the correctness oracle for every other kernel.
 pub fn std_sort_pairs(pairs: &mut [u64]) {
-    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
     let mut tuples = to_tuples(pairs);
     tuples.sort_unstable();
     from_tuples(&tuples, pairs);
@@ -28,7 +28,7 @@ pub fn std_sort_pairs(pairs: &mut [u64]) {
 
 /// Textbook top-down merge sort over `(u64, u64)` tuples.
 pub fn merge_sort_pairs(pairs: &mut [u64]) {
-    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
     let mut tuples = to_tuples(pairs);
     let mut scratch = tuples.clone();
     merge_sort_recurse(&mut tuples, &mut scratch);
@@ -38,7 +38,7 @@ pub fn merge_sort_pairs(pairs: &mut [u64]) {
 /// Textbook recursive quicksort (median-of-three pivot, insertion sort for
 /// small partitions) over `(u64, u64)` tuples.
 pub fn quick_sort_pairs(pairs: &mut [u64]) {
-    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
     let mut tuples = to_tuples(pairs);
     quick_sort_recurse(&mut tuples);
     from_tuples(&tuples, pairs);
@@ -182,7 +182,7 @@ mod tests {
 
     #[test]
     fn duplicate_heavy_input() {
-        let mut v: Vec<u64> = std::iter::repeat([3u64, 1u64]).take(300).flatten().collect();
+        let mut v: Vec<u64> = std::iter::repeat_n([3u64, 1u64], 300).flatten().collect();
         v.extend_from_slice(&[1, 9, 1, 9, 2, 2]);
         let mut expected = v.clone();
         std_sort_pairs(&mut expected);

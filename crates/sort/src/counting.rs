@@ -3,13 +3,13 @@
 //! The classic counting sort handles scalar keys; the paper adapts it to
 //! key-value *pairs* while keeping linear time:
 //!
-//! 1. build the histogram of the subjects (the keys) and keep a copy;
+//! 1. build the histogram of the subjects (the keys);
 //! 2. compute each subject's starting position in the final array by a
 //!    cumulative sum of the histogram;
 //! 3. scatter the object values into a single `objects` array, each object
 //!    landing inside the (still unsorted) sub-array reserved for its subject;
 //! 4. sort each per-subject sub-array;
-//! 5. rebuild the pair array by walking the histogram copy, emitting
+//! 5. rebuild the pair array by walking the start offsets, emitting
 //!    `(subject, object)` pairs and — in the dedup variant — skipping
 //!    repeated objects, which is sufficient because equal pairs are adjacent
 //!    at this point.
@@ -17,8 +17,15 @@
 //! The algorithm shines when the subject range is small compared to the
 //! number of pairs (dense graphs); see [`crate::operating_range`] for the
 //! crossover against the radix kernel.
+//!
+//! All working memory (histogram, offsets, object scatter area) comes from a
+//! caller-provided [`SortScratch`], so repeated calls — the per-iteration
+//! table updates of Figure 5 — allocate nothing once the scratch has grown
+//! to the workload's high-water mark. The historical entry points without a
+//! scratch parameter run with a throwaway scratch.
 
 use crate::pairs::subject_min_max;
+use crate::scratch::SortScratch;
 
 /// Sorts a flat pair array (`[s0, o0, s1, o1, …]`) lexicographically by
 /// ⟨s,o⟩ using the pair-counting-sort of Algorithm 2, **keeping** duplicates.
@@ -26,7 +33,7 @@ use crate::pairs::subject_min_max;
 /// # Panics
 /// Panics if the vector length is odd.
 pub fn counting_sort_pairs(pairs: &mut Vec<u64>) {
-    counting_sort_impl(pairs, false);
+    counting_sort_impl(pairs, false, &mut SortScratch::new());
 }
 
 /// Sorts a flat pair array and removes duplicate pairs in the same pass
@@ -36,26 +43,36 @@ pub fn counting_sort_pairs(pairs: &mut Vec<u64>) {
 /// # Panics
 /// Panics if the vector length is odd.
 pub fn counting_sort_pairs_dedup(pairs: &mut Vec<u64>) {
-    counting_sort_impl(pairs, true);
+    counting_sort_impl(pairs, true, &mut SortScratch::new());
 }
 
-fn counting_sort_impl(pairs: &mut Vec<u64>, dedup: bool) {
-    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+/// [`counting_sort_pairs`] against a reusable [`SortScratch`].
+pub fn counting_sort_pairs_with(pairs: &mut Vec<u64>, scratch: &mut SortScratch) {
+    counting_sort_impl(pairs, false, scratch);
+}
+
+/// [`counting_sort_pairs_dedup`] against a reusable [`SortScratch`].
+pub fn counting_sort_pairs_dedup_with(pairs: &mut Vec<u64>, scratch: &mut SortScratch) {
+    counting_sort_impl(pairs, true, scratch);
+}
+
+fn counting_sort_impl(pairs: &mut Vec<u64>, dedup: bool, scratch: &mut SortScratch) {
+    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
     if pairs.len() <= 2 {
         return;
     }
     let (min, max) = subject_min_max(pairs).expect("non-empty");
     let width = (max - min + 1) as usize;
+    let (histogram, start, objects) = scratch.counting_arenas(width, pairs.len() / 2);
 
-    // Lines 1-2: histogram of the subjects, and a copy for the rebuild phase.
-    let mut histogram = vec![0u32; width];
+    // Lines 1-2: histogram of the subjects.
     for s in pairs.iter().copied().step_by(2) {
         histogram[(s - min) as usize] += 1;
     }
-    let histogram_copy = histogram.clone();
 
-    // Line 3: starting position of each subject's object sub-array.
-    let mut start = vec![0usize; width + 1];
+    // Line 3: starting position of each subject's object sub-array. The
+    // offsets double as the per-subject counts in the rebuild phase
+    // (`start[i + 1] - start[i]`), which is why no histogram copy is kept.
     let mut acc = 0usize;
     for (i, &count) in histogram.iter().enumerate() {
         start[i] = acc;
@@ -64,7 +81,7 @@ fn counting_sort_impl(pairs: &mut Vec<u64>, dedup: bool) {
     start[width] = acc;
 
     // Lines 4-10: scatter objects into per-subject sub-arrays (unsorted).
-    let mut objects = vec![0u64; pairs.len() / 2];
+    // The histogram is consumed as a countdown of remaining slots.
     for i in (0..pairs.len()).step_by(2) {
         let key = (pairs[i] - min) as usize;
         let position = start[key];
@@ -83,16 +100,14 @@ fn counting_sort_impl(pairs: &mut Vec<u64>, dedup: bool) {
 
     // Lines 14-26: rebuild the pair array, optionally skipping duplicates.
     let mut write = 0usize;
-    let mut read = 0usize;
-    for (i, &count) in histogram_copy.iter().enumerate() {
-        if count == 0 {
+    for i in 0..width {
+        let (lo, hi) = (start[i], start[i + 1]);
+        if lo == hi {
             continue;
         }
         let subject = min + i as u64;
         let mut previous_object = 0u64;
-        for k in 0..count {
-            let object = objects[read];
-            read += 1;
+        for (k, &object) in objects[lo..hi].iter().enumerate() {
             if !dedup || k == 0 || object != previous_object {
                 pairs[write] = subject;
                 pairs[write + 1] = object;
@@ -202,6 +217,19 @@ mod tests {
         dedup_sorted_pairs(&mut expected);
         counting_sort_pairs_dedup(&mut v);
         assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut scratch = SortScratch::new();
+        for n in [5usize, 500, 50, 2000, 3] {
+            let mut v: Vec<u64> = (0..2 * n).map(|_| rng.gen_range(0..200u64)).collect();
+            let mut expected = v.clone();
+            std_sort_pairs(&mut expected);
+            counting_sort_pairs_with(&mut v, &mut scratch);
+            assert_eq!(v, expected, "n = {n}");
+        }
     }
 
     proptest! {

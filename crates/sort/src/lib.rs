@@ -37,8 +37,19 @@ pub mod counting;
 pub mod operating_range;
 pub mod pairs;
 pub mod radix;
+pub mod scratch;
 
-pub use counting::{counting_sort_pairs, counting_sort_pairs_dedup};
-pub use operating_range::{recommend_algorithm, sort_pairs_auto, sort_pairs_auto_dedup, Algorithm};
+pub use counting::{
+    counting_sort_pairs, counting_sort_pairs_dedup, counting_sort_pairs_dedup_with,
+    counting_sort_pairs_with,
+};
+pub use operating_range::{
+    recommend_algorithm, sort_pairs_auto, sort_pairs_auto_dedup, sort_pairs_auto_dedup_with,
+    sort_pairs_auto_with, Algorithm,
+};
 pub use pairs::{dedup_sorted_pairs, is_sorted_pairs, swap_pairs};
-pub use radix::{msda_radix_sort_pairs, msda_radix_sort_pairs_dedup};
+pub use radix::{
+    msda_radix_sort_pairs, msda_radix_sort_pairs_dedup, msda_radix_sort_pairs_dedup_with,
+    msda_radix_sort_pairs_with,
+};
+pub use scratch::SortScratch;

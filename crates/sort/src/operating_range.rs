@@ -14,9 +14,10 @@
 //! radix kernel is always chosen. [`sort_pairs_auto`] applies the decision
 //! and sorts.
 
-use crate::counting::{counting_sort_pairs, counting_sort_pairs_dedup};
+use crate::counting::{counting_sort_pairs_dedup_with, counting_sort_pairs_with};
 use crate::pairs::subject_min_max;
-use crate::radix::{msda_radix_sort_pairs, msda_radix_sort_pairs_dedup};
+use crate::radix::{msda_radix_sort_pairs_dedup_with, msda_radix_sort_pairs_with};
+use crate::scratch::SortScratch;
 
 /// The sorting kernel chosen for a given pair array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,21 +69,34 @@ pub fn recommend_for(pairs: &[u64]) -> Algorithm {
 /// Sorts a flat pair array with the kernel picked by the operating-range
 /// rule, keeping duplicates. Returns the kernel used.
 pub fn sort_pairs_auto(pairs: &mut Vec<u64>) -> Algorithm {
-    let algo = recommend_for(pairs);
-    match algo {
-        Algorithm::Counting => counting_sort_pairs(pairs),
-        Algorithm::MsdaRadix => msda_radix_sort_pairs(pairs),
-    }
-    algo
+    sort_pairs_auto_with(pairs, &mut SortScratch::new())
 }
 
 /// Sorts a flat pair array and removes duplicate pairs with the kernel picked
 /// by the operating-range rule. Returns the kernel used.
 pub fn sort_pairs_auto_dedup(pairs: &mut Vec<u64>) -> Algorithm {
+    sort_pairs_auto_dedup_with(pairs, &mut SortScratch::new())
+}
+
+/// [`sort_pairs_auto`] against a reusable [`SortScratch`]: repeated calls —
+/// the Figure 5 update stage sorts every property's inferred pairs on every
+/// iteration — allocate nothing once the scratch reaches its high-water
+/// mark.
+pub fn sort_pairs_auto_with(pairs: &mut Vec<u64>, scratch: &mut SortScratch) -> Algorithm {
     let algo = recommend_for(pairs);
     match algo {
-        Algorithm::Counting => counting_sort_pairs_dedup(pairs),
-        Algorithm::MsdaRadix => msda_radix_sort_pairs_dedup(pairs),
+        Algorithm::Counting => counting_sort_pairs_with(pairs, scratch),
+        Algorithm::MsdaRadix => msda_radix_sort_pairs_with(pairs, scratch),
+    }
+    algo
+}
+
+/// [`sort_pairs_auto_dedup`] against a reusable [`SortScratch`].
+pub fn sort_pairs_auto_dedup_with(pairs: &mut Vec<u64>, scratch: &mut SortScratch) -> Algorithm {
+    let algo = recommend_for(pairs);
+    match algo {
+        Algorithm::Counting => counting_sort_pairs_dedup_with(pairs, scratch),
+        Algorithm::MsdaRadix => msda_radix_sort_pairs_dedup_with(pairs, scratch),
     }
     algo
 }

@@ -8,7 +8,7 @@
 /// # Panics
 /// Panics if the slice length is odd.
 pub fn is_sorted_pairs(pairs: &[u64]) -> bool {
-    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
     pairs
         .chunks_exact(2)
         .zip(pairs.chunks_exact(2).skip(1))
@@ -21,7 +21,7 @@ pub fn is_sorted_pairs(pairs: &[u64]) -> bool {
 /// # Panics
 /// Panics if the slice length is odd. Debug builds also assert sortedness.
 pub fn dedup_sorted_pairs(pairs: &mut Vec<u64>) -> usize {
-    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
     debug_assert!(is_sorted_pairs(pairs), "dedup requires a sorted array");
     if pairs.is_empty() {
         return 0;
@@ -43,7 +43,7 @@ pub fn dedup_sorted_pairs(pairs: &mut Vec<u64>) -> usize {
 /// `(o, s)`. Sorting the result on its first component yields the
 /// object-sorted view the β/α rules join on.
 pub fn swap_pairs(pairs: &[u64]) -> Vec<u64> {
-    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
     let mut out = Vec::with_capacity(pairs.len());
     for pair in pairs.chunks_exact(2) {
         out.push(pair[1]);
@@ -55,14 +55,14 @@ pub fn swap_pairs(pairs: &[u64]) -> Vec<u64> {
 /// Number of pairs stored in a flat pair array.
 #[inline]
 pub fn pair_count(pairs: &[u64]) -> usize {
-    debug_assert!(pairs.len() % 2 == 0);
+    debug_assert!(pairs.len().is_multiple_of(2));
     pairs.len() / 2
 }
 
 /// Minimum and maximum over the *subject* (even-index) positions.
 /// Returns `None` for an empty array.
 pub fn subject_min_max(pairs: &[u64]) -> Option<(u64, u64)> {
-    debug_assert!(pairs.len() % 2 == 0);
+    debug_assert!(pairs.len().is_multiple_of(2));
     let mut iter = pairs.iter().copied().step_by(2);
     let first = iter.next()?;
     let (mut min, mut max) = (first, first);
@@ -75,7 +75,7 @@ pub fn subject_min_max(pairs: &[u64]) -> Option<(u64, u64)> {
 
 /// Minimum and maximum over the *object* (odd-index) positions.
 pub fn object_min_max(pairs: &[u64]) -> Option<(u64, u64)> {
-    debug_assert!(pairs.len() % 2 == 0);
+    debug_assert!(pairs.len().is_multiple_of(2));
     let mut iter = pairs.iter().copied().skip(1).step_by(2);
     let first = iter.next()?;
     let (mut min, mut max) = (first, first);

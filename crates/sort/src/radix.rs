@@ -11,17 +11,22 @@
 //!   saving several levels of recursive calls ("for a range of 10 million
 //!   with an 8-bit radix, significant values start at the sixth byte out of
 //!   eight");
-//! * **small-bucket cutoff** — buckets smaller than a threshold fall back to
-//!   a comparison sort, the standard practical optimisation for MSD radix.
+//! * **small-bucket cutoff** — buckets at or below a threshold fall back to
+//!   an **in-place insertion sort** over the flat pair slots, the standard
+//!   practical optimisation for MSD radix. (The seed collected each bucket
+//!   into a fresh `Vec<(u64, u64)>` first — one heap allocation per bucket,
+//!   i.e. thousands per table sort; the fallback now allocates nothing.)
 //!
 //! The sort is out-of-place per level (scatter into a scratch buffer, copy
-//! back), giving stable O(n) work per examined digit.
+//! back), giving stable O(n) work per examined digit. The scratch buffer
+//! comes from a caller-provided [`SortScratch`] so repeated sorts reuse it.
 
 use crate::pairs::{dedup_sorted_pairs, object_min_max, subject_min_max};
+use crate::scratch::SortScratch;
 
-/// Buckets at or below this number of pairs are sorted with a comparison
-/// sort instead of recursing further.
-const SMALL_BUCKET_PAIRS: usize = 48;
+/// Buckets at or below this number of pairs are finished with the in-place
+/// insertion sort instead of recursing further.
+const SMALL_BUCKET_PAIRS: usize = 32;
 
 /// Sorts a flat pair array lexicographically by ⟨s,o⟩ with the adaptive MSD
 /// radix sort, keeping duplicates.
@@ -29,21 +34,35 @@ const SMALL_BUCKET_PAIRS: usize = 48;
 /// # Panics
 /// Panics if the vector length is odd.
 pub fn msda_radix_sort_pairs(pairs: &mut [u64]) {
-    assert!(pairs.len() % 2 == 0, "pair array must have even length");
+    msda_radix_sort_pairs_with(pairs, &mut SortScratch::new());
+}
+
+/// Sorts and removes duplicate pairs (truncating the vector).
+pub fn msda_radix_sort_pairs_dedup(pairs: &mut Vec<u64>) {
+    msda_radix_sort_pairs_dedup_with(pairs, &mut SortScratch::new());
+}
+
+/// [`msda_radix_sort_pairs`] against a reusable [`SortScratch`].
+pub fn msda_radix_sort_pairs_with(pairs: &mut [u64], scratch: &mut SortScratch) {
+    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
     if pairs.len() <= 2 {
+        return;
+    }
+    if pairs.len() / 2 <= SMALL_BUCKET_PAIRS {
+        insertion_sort_pairs(pairs);
         return;
     }
     let levels = active_levels(pairs);
     if levels.is_empty() {
         return; // every pair identical
     }
-    let mut scratch = vec![0u64; pairs.len()];
-    radix_recurse(pairs, &mut scratch, &levels, 0);
+    let scratch = scratch.pair_scratch(pairs.len());
+    radix_recurse(pairs, scratch, &levels, 0);
 }
 
-/// Sorts and removes duplicate pairs (truncating the vector).
-pub fn msda_radix_sort_pairs_dedup(pairs: &mut Vec<u64>) {
-    msda_radix_sort_pairs(pairs);
+/// [`msda_radix_sort_pairs_dedup`] against a reusable [`SortScratch`].
+pub fn msda_radix_sort_pairs_dedup_with(pairs: &mut Vec<u64>, scratch: &mut SortScratch) {
+    msda_radix_sort_pairs_with(pairs, scratch);
     dedup_sorted_pairs(pairs);
 }
 
@@ -98,7 +117,7 @@ fn radix_recurse(pairs: &mut [u64], scratch: &mut [u64], levels: &[u8], depth: u
         return;
     }
     if n_pairs <= SMALL_BUCKET_PAIRS {
-        comparison_sort(pairs);
+        insertion_sort_pairs(pairs);
         return;
     }
     let level = levels[depth];
@@ -146,13 +165,22 @@ fn radix_recurse(pairs: &mut [u64], scratch: &mut [u64], levels: &[u8], depth: u
     }
 }
 
-/// Comparison sort of a small flat pair slice (used as the recursion cutoff).
-fn comparison_sort(pairs: &mut [u64]) {
-    let mut tuples: Vec<(u64, u64)> = pairs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
-    tuples.sort_unstable();
-    for (i, (s, o)) in tuples.into_iter().enumerate() {
-        pairs[2 * i] = s;
-        pairs[2 * i + 1] = o;
+/// In-place insertion sort of a small flat pair slice (the recursion
+/// cutoff). Shifts pair slots directly — no tuple vector, no allocation.
+pub(crate) fn insertion_sort_pairs(pairs: &mut [u64]) {
+    debug_assert!(pairs.len().is_multiple_of(2));
+    let n = pairs.len() / 2;
+    for i in 1..n {
+        let s = pairs[2 * i];
+        let o = pairs[2 * i + 1];
+        let mut j = i;
+        while j > 0 && (pairs[2 * j - 2], pairs[2 * j - 1]) > (s, o) {
+            pairs[2 * j] = pairs[2 * j - 2];
+            pairs[2 * j + 1] = pairs[2 * j - 1];
+            j -= 1;
+        }
+        pairs[2 * j] = s;
+        pairs[2 * j + 1] = o;
     }
 }
 
@@ -225,7 +253,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let base = 1u64 << 32;
         for n in [100usize, 1000, 20_000] {
-            let mut v: Vec<u64> = (0..2 * n).map(|_| base + rng.gen_range(0..5_000)).collect();
+            let mut v: Vec<u64> = (0..2 * n).map(|_| base + rng.gen_range(0..5_000u64)).collect();
             let mut expected = v.clone();
             std_sort_pairs(&mut expected);
             msda_radix_sort_pairs(&mut v);
@@ -248,6 +276,31 @@ mod tests {
         let mut v = vec![9, 9, 1, 2, 9, 9, 1, 2, 1, 3];
         msda_radix_sort_pairs_dedup(&mut v);
         assert_eq!(v, vec![1, 2, 1, 3, 9, 9]);
+    }
+
+    #[test]
+    fn insertion_sort_is_in_place_and_correct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in 0..=SMALL_BUCKET_PAIRS {
+            let mut v: Vec<u64> = (0..2 * n).map(|_| rng.gen_range(0..30u64)).collect();
+            let mut expected = v.clone();
+            std_sort_pairs(&mut expected);
+            insertion_sort_pairs(&mut v);
+            assert_eq!(v, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut scratch = SortScratch::new();
+        for n in [2000usize, 50, 400, 20_000, 5] {
+            let mut v: Vec<u64> = (0..2 * n).map(|_| rng.gen::<u64>()).collect();
+            let mut expected = v.clone();
+            std_sort_pairs(&mut expected);
+            msda_radix_sort_pairs_with(&mut v, &mut scratch);
+            assert_eq!(v, expected, "n = {n}");
+        }
     }
 
     proptest! {

@@ -31,7 +31,7 @@ impl InferredBuffer {
 
     /// Records many pairs for one property at once.
     pub fn add_pairs(&mut self, p: u64, pairs: &[u64]) {
-        assert!(pairs.len() % 2 == 0, "pair array must have even length");
+        assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
         if pairs.is_empty() {
             return;
         }
@@ -54,10 +54,29 @@ impl InferredBuffer {
     }
 
     /// Absorbs another buffer (used to combine the per-rule buffers after
-    /// the threads join).
+    /// the threads join). When this buffer has nothing yet for a property,
+    /// the other buffer's vector is **moved** in wholesale — reusing its
+    /// allocation instead of copying pair by pair, which matters because the
+    /// fixed-point loop absorbs one buffer per rule on every iteration.
     pub fn absorb(&mut self, other: InferredBuffer) {
+        use std::collections::btree_map::Entry;
         for (p, mut pairs) in other.tables {
-            self.tables.entry(p).or_default().append(&mut pairs);
+            if pairs.is_empty() {
+                continue;
+            }
+            match self.tables.entry(p) {
+                Entry::Vacant(slot) => {
+                    slot.insert(pairs);
+                }
+                Entry::Occupied(mut slot) => {
+                    if slot.get().is_empty() {
+                        // Keep the larger allocation, drop the stub.
+                        *slot.get_mut() = pairs;
+                    } else {
+                        slot.get_mut().append(&mut pairs);
+                    }
+                }
+            }
         }
     }
 

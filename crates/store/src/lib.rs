@@ -37,7 +37,9 @@ pub mod query;
 pub mod triple_store;
 
 pub use inferred::InferredBuffer;
-pub use merge::{merge_new_pairs, MergeOutcome};
+pub use merge::{
+    merge_new_pairs, merge_new_pairs_rebuild, merge_new_pairs_with, MergeOutcome, MergeStrategy,
+};
 pub use profile::AccessProfile;
 pub use property_table::PropertyTable;
 pub use query::TriplePattern;

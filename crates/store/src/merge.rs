@@ -12,9 +12,55 @@
 //!
 //! "The time complexity of the whole process is linear as both lists are
 //! sorted."
+//!
+//! ## Adaptivity
+//!
+//! Linear is the right *complexity*, but the seed implementation always
+//! rebuilt the whole merged vector — O(|main|) allocation and copying even
+//! when the delta was a handful of pairs. After the second fixed-point
+//! iteration that is the dominant regime: the frontier shrinks every round
+//! while *main* keeps growing. [`merge_new_pairs_with`] therefore picks a
+//! strategy per call (reported in [`MergeOutcome::strategy`]):
+//!
+//! * [`MergeStrategy::TailAppend`] — every inferred pair sorts after the
+//!   last pair of *main*: extend in place, no merge at all;
+//! * [`MergeStrategy::GallopSplice`] — the delta is small relative to
+//!   *main* (`|delta| · 8 ≤ |main|`): find each pair's position by a
+//!   galloping (exponential + binary) search from the previous position,
+//!   drop duplicates, and splice the survivors into *main* with one
+//!   backward in-place merge pass — no rebuild, no allocation beyond the
+//!   vector's amortized growth;
+//! * within the galloping path, a **fully duplicate** delta short-circuits:
+//!   *main* is untouched and its ⟨o,s⟩ cache survives;
+//! * [`MergeStrategy::Rebuild`] — comparable sizes (the first iterations):
+//!   the seed's linear rebuild, which is optimal there.
+//!
+//! Sorting scratch comes from a caller-provided
+//! [`SortScratch`](inferray_sort::SortScratch), so the steady state
+//! performs zero sort allocations (see `inferray-sort`).
 
 use crate::property_table::PropertyTable;
-use inferray_sort::sort_pairs_auto_dedup;
+use inferray_sort::{sort_pairs_auto_dedup_with, SortScratch};
+
+/// A delta this many times smaller than *main* takes the galloping splice
+/// path instead of the linear rebuild.
+const GALLOP_FACTOR: usize = 8;
+
+/// How one merge was executed (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Nothing to merge (empty delta after dedup) or fully duplicate delta.
+    #[default]
+    NoOp,
+    /// *main* was empty; the delta became the table.
+    Bootstrap,
+    /// Delta appended after the last pair of *main*.
+    TailAppend,
+    /// Galloping duplicate scan + backward in-place splice.
+    GallopSplice,
+    /// Classic full rebuild of the merged vector (the seed path).
+    Rebuild,
+}
 
 /// Counters describing one merge (used by the access profile and the tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,6 +73,17 @@ pub struct MergeOutcome {
     pub duplicates_against_main: usize,
     /// Genuinely new pairs added to *main* and *new*.
     pub new_pairs: usize,
+    /// The execution strategy the adaptive merge chose.
+    pub strategy: MergeStrategy,
+}
+
+/// Merges raw inferred pairs into `main` with a throwaway sort scratch.
+/// Prefer [`merge_new_pairs_with`] on hot paths.
+pub fn merge_new_pairs(
+    main: &mut PropertyTable,
+    inferred: Vec<u64>,
+) -> (PropertyTable, MergeOutcome) {
+    merge_new_pairs_with(main, inferred, &mut SortScratch::new())
 }
 
 /// Merges raw inferred pairs into `main`, returning the *new* table (the
@@ -35,26 +92,152 @@ pub struct MergeOutcome {
 /// `main` must be finalized (sorted, duplicate-free); it is updated in place
 /// and its ⟨o,s⟩ cache is invalidated when new pairs arrive, as required by
 /// §4.2 ("in the case of receiving new triples in a property table, the
-/// possibly existing ⟨o,s⟩ sorted cache is invalidated").
-pub fn merge_new_pairs(main: &mut PropertyTable, mut inferred: Vec<u64>) -> (PropertyTable, MergeOutcome) {
-    assert!(inferred.len() % 2 == 0, "pair array must have even length");
+/// possibly existing ⟨o,s⟩ sorted cache is invalidated"). A merge that adds
+/// nothing leaves `main` — and its cache — untouched.
+pub fn merge_new_pairs_with(
+    main: &mut PropertyTable,
+    mut inferred: Vec<u64>,
+    scratch: &mut SortScratch,
+) -> (PropertyTable, MergeOutcome) {
+    assert!(inferred.len().is_multiple_of(2), "pair array must have even length");
     let mut outcome = MergeOutcome {
         inferred_raw: inferred.len() / 2,
         ..MergeOutcome::default()
     };
 
-    // Step 1: sort and deduplicate the inferred pairs.
-    sort_pairs_auto_dedup(&mut inferred);
+    // Step 1: sort and deduplicate the inferred pairs (reused scratch).
+    sort_pairs_auto_dedup_with(&mut inferred, scratch);
     outcome.duplicates_within_inferred = outcome.inferred_raw - inferred.len() / 2;
 
     if inferred.is_empty() {
         return (PropertyTable::new(), outcome);
     }
 
-    // Step 2: linear merge of the two sorted lists.
+    // Step 2: pick the cheapest correct merge strategy.
+    enum Path {
+        Bootstrap,
+        TailAppend,
+        Gallop,
+        Rebuild,
+    }
+    let path = {
+        let old = main.pairs();
+        if old.is_empty() {
+            Path::Bootstrap
+        } else if (inferred[0], inferred[1]) > (old[old.len() - 2], old[old.len() - 1]) {
+            Path::TailAppend
+        } else if inferred.len() * GALLOP_FACTOR <= old.len() {
+            Path::Gallop
+        } else {
+            Path::Rebuild
+        }
+    };
+
+    match path {
+        Path::Bootstrap => {
+            outcome.new_pairs = inferred.len() / 2;
+            outcome.strategy = MergeStrategy::Bootstrap;
+            main.replace_with_sorted(inferred.clone());
+            let mut new_table = PropertyTable::new();
+            new_table.replace_with_sorted(inferred);
+            (new_table, outcome)
+        }
+        Path::TailAppend => {
+            outcome.new_pairs = inferred.len() / 2;
+            outcome.strategy = MergeStrategy::TailAppend;
+            main.append_sorted_suffix(&inferred);
+            let mut new_table = PropertyTable::new();
+            new_table.replace_with_sorted(inferred);
+            (new_table, outcome)
+        }
+        Path::Gallop => {
+            // Pass 1: classify each inferred pair by galloping through
+            // `main` from the previous match position, compacting the
+            // genuinely new pairs to the front of `inferred` in place.
+            let mut write = 0usize;
+            {
+                let old = main.pairs();
+                let n_old = old.len() / 2;
+                let mut cursor = 0usize;
+                let mut read = 0usize;
+                while read < inferred.len() {
+                    let key = (inferred[read], inferred[read + 1]);
+                    cursor = gallop_lower_bound(old, cursor, key);
+                    if cursor < n_old
+                        && old[2 * cursor] == key.0
+                        && old[2 * cursor + 1] == key.1
+                    {
+                        outcome.duplicates_against_main += 1;
+                    } else {
+                        inferred[write] = key.0;
+                        inferred[write + 1] = key.1;
+                        write += 2;
+                    }
+                    read += 2;
+                }
+            }
+            inferred.truncate(write);
+            outcome.new_pairs = write / 2;
+            if write == 0 {
+                // Fully duplicate delta: nothing changes, cache survives.
+                outcome.strategy = MergeStrategy::NoOp;
+                return (PropertyTable::new(), outcome);
+            }
+            outcome.strategy = MergeStrategy::GallopSplice;
+            // Pass 2: one backward in-place merge of the survivors.
+            main.splice_in_sorted(&inferred);
+            let mut new_table = PropertyTable::new();
+            new_table.replace_with_sorted(inferred);
+            (new_table, outcome)
+        }
+        Path::Rebuild => {
+            let (new_table, rebuild) = rebuild_merge(main, &inferred);
+            outcome.duplicates_against_main = rebuild.duplicates_against_main;
+            outcome.new_pairs = rebuild.new_pairs;
+            outcome.strategy = MergeStrategy::Rebuild;
+            (new_table, outcome)
+        }
+    }
+}
+
+/// The seed's always-rebuild merge, kept as the reference/baseline
+/// implementation for the `table_update` benchmark and the adaptive-merge
+/// property tests. Takes raw pairs like [`merge_new_pairs`]: the input is
+/// sorted and deduplicated internally (with a throwaway, allocating
+/// scratch — exactly the seed's behavior).
+pub fn merge_new_pairs_rebuild(
+    main: &mut PropertyTable,
+    mut inferred: Vec<u64>,
+) -> (PropertyTable, MergeOutcome) {
+    assert!(inferred.len().is_multiple_of(2), "pair array must have even length");
+    let mut outcome = MergeOutcome {
+        inferred_raw: inferred.len() / 2,
+        ..MergeOutcome::default()
+    };
+    inferray_sort::sort_pairs_auto_dedup(&mut inferred);
+    outcome.duplicates_within_inferred = outcome.inferred_raw - inferred.len() / 2;
+    if inferred.is_empty() {
+        return (PropertyTable::new(), outcome);
+    }
+    let (new_table, rebuild) = rebuild_merge(main, &inferred);
+    outcome.duplicates_against_main = rebuild.duplicates_against_main;
+    outcome.new_pairs = rebuild.new_pairs;
+    outcome.strategy = MergeStrategy::Rebuild;
+    (new_table, outcome)
+}
+
+struct RebuildCounters {
+    duplicates_against_main: usize,
+    new_pairs: usize,
+}
+
+/// Linear merge of sorted `inferred` into `main`, rebuilding the merged
+/// vector (optimal when the two sides have comparable sizes).
+fn rebuild_merge(main: &mut PropertyTable, inferred: &[u64]) -> (PropertyTable, RebuildCounters) {
     let old = main.pairs();
     let mut merged: Vec<u64> = Vec::with_capacity(old.len() + inferred.len());
     let mut fresh: Vec<u64> = Vec::new();
+    let mut duplicates_against_main = 0usize;
     let (mut i, mut j) = (0usize, 0usize);
     while i < old.len() && j < inferred.len() {
         let a = (old[i], old[i + 1]);
@@ -72,7 +255,7 @@ pub fn merge_new_pairs(main: &mut PropertyTable, mut inferred: Vec<u64>) -> (Pro
             std::cmp::Ordering::Equal => {
                 // Already known: keep one copy in main, skip in new.
                 merged.extend_from_slice(&[a.0, a.1]);
-                outcome.duplicates_against_main += 1;
+                duplicates_against_main += 1;
                 i += 2;
                 j += 2;
             }
@@ -87,13 +270,54 @@ pub fn merge_new_pairs(main: &mut PropertyTable, mut inferred: Vec<u64>) -> (Pro
         j += 2;
     }
 
-    outcome.new_pairs = fresh.len() / 2;
-    if outcome.new_pairs > 0 {
+    let counters = RebuildCounters {
+        duplicates_against_main,
+        new_pairs: fresh.len() / 2,
+    };
+    if counters.new_pairs > 0 {
         main.replace_with_sorted(merged);
     }
     let mut new_table = PropertyTable::new();
     new_table.replace_with_sorted(fresh);
-    (new_table, outcome)
+    (new_table, counters)
+}
+
+/// First pair index `>= lo` whose pair is `>= key`, assuming `pairs` is
+/// sorted; exponential probe from `lo` followed by a binary search of the
+/// bracketed range. `lo` is the result of the previous search, which makes a
+/// whole ascending delta scan O(Σ log(gap)) instead of O(n).
+fn gallop_lower_bound(pairs: &[u64], mut lo: usize, key: (u64, u64)) -> usize {
+    let n = pairs.len() / 2;
+    let at = |i: usize| (pairs[2 * i], pairs[2 * i + 1]);
+    if lo >= n || at(lo) >= key {
+        return lo.min(n);
+    }
+    // Invariant from here on: at(lo) < key <= at(hi) (hi may be n).
+    let mut step = 1usize;
+    let mut hi;
+    loop {
+        let probe = lo + step;
+        if probe >= n {
+            hi = n;
+            break;
+        }
+        if at(probe) < key {
+            lo = probe;
+            step *= 2;
+        } else {
+            hi = probe;
+            break;
+        }
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if at(mid) < key {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
 }
 
 #[cfg(test)]
@@ -116,6 +340,7 @@ mod tests {
         assert_eq!(outcome.duplicates_within_inferred, 1);
         assert_eq!(outcome.duplicates_against_main, 1);
         assert_eq!(outcome.new_pairs, 4);
+        assert_eq!(outcome.strategy, MergeStrategy::Rebuild);
     }
 
     #[test]
@@ -146,6 +371,7 @@ mod tests {
         assert_eq!(main.pairs(), &[1, 2, 5, 6]);
         assert_eq!(new.pairs(), &[1, 2, 5, 6]);
         assert_eq!(outcome.new_pairs, 2);
+        assert_eq!(outcome.strategy, MergeStrategy::Bootstrap);
     }
 
     #[test]
@@ -165,6 +391,73 @@ mod tests {
         let (_, outcome) = merge_new_pairs(&mut main, vec![1, 2]);
         assert_eq!(outcome.new_pairs, 0);
         assert!(main.has_os_cache(), "no new pair ⇒ cache can be kept");
+    }
+
+    // -- adaptive-path behaviour ------------------------------------------
+
+    /// A 256-pair main table: (i, 10·i) for i in 0..256.
+    fn big_main() -> PropertyTable {
+        PropertyTable::from_pairs((0..256u64).flat_map(|i| [i, 10 * i]).collect())
+    }
+
+    #[test]
+    fn small_fresh_delta_takes_the_gallop_splice_path() {
+        let mut main = big_main();
+        let (new, outcome) = merge_new_pairs(&mut main, vec![7, 5, 200, 1]);
+        assert_eq!(outcome.strategy, MergeStrategy::GallopSplice);
+        assert_eq!(outcome.new_pairs, 2);
+        assert_eq!(new.pairs(), &[7, 5, 200, 1]);
+        assert_eq!(main.len(), 258);
+        assert!(is_sorted_pairs(main.pairs()));
+        assert!(main.contains_pair(7, 5));
+        assert!(main.contains_pair(200, 1));
+        assert!(main.contains_pair(7, 70), "pre-existing pairs survive");
+    }
+
+    #[test]
+    fn fully_duplicate_small_delta_short_circuits() {
+        let mut main = big_main();
+        main.ensure_os();
+        let before = main.pairs().to_vec();
+        let (new, outcome) = merge_new_pairs(&mut main, vec![3, 30, 100, 1000, 3, 30]);
+        assert_eq!(outcome.strategy, MergeStrategy::NoOp);
+        assert_eq!(outcome.duplicates_against_main, 2);
+        assert_eq!(outcome.duplicates_within_inferred, 1);
+        assert!(new.is_empty());
+        assert_eq!(main.pairs(), &before[..]);
+        assert!(main.has_os_cache(), "short-circuit must keep the ⟨o,s⟩ cache");
+    }
+
+    #[test]
+    fn delta_past_the_end_takes_the_tail_append_path() {
+        let mut main = big_main();
+        let (new, outcome) = merge_new_pairs(&mut main, vec![999, 1, 500, 2]);
+        assert_eq!(outcome.strategy, MergeStrategy::TailAppend);
+        assert_eq!(outcome.new_pairs, 2);
+        assert_eq!(new.pairs(), &[500, 2, 999, 1]);
+        assert!(is_sorted_pairs(main.pairs()));
+        assert_eq!(main.len(), 258);
+    }
+
+    #[test]
+    fn gallop_lower_bound_agrees_with_linear_scan() {
+        let pairs: Vec<u64> = (0..64u64).flat_map(|i| [i / 2, i % 5]).collect();
+        let mut sorted = pairs.clone();
+        inferray_sort::sort_pairs_auto(&mut sorted);
+        let n = sorted.len() / 2;
+        for lo in 0..=n {
+            for key in [(0u64, 0u64), (3, 1), (15, 4), (31, 2), (99, 0)] {
+                let expected = (lo..n)
+                    .find(|&i| (sorted[2 * i], sorted[2 * i + 1]) >= key)
+                    .unwrap_or(n)
+                    .max(lo);
+                assert_eq!(
+                    gallop_lower_bound(&sorted, lo, key),
+                    expected,
+                    "lo = {lo}, key = {key:?}"
+                );
+            }
+        }
     }
 
     proptest! {
@@ -197,6 +490,40 @@ mod tests {
             prop_assert!(is_sorted_pairs(main.pairs()));
             prop_assert!(is_sorted_pairs(new.pairs()));
             prop_assert_eq!(outcome.new_pairs, expected_new.len());
+        }
+
+        /// The adaptive merge must be observationally identical to the seed
+        /// rebuild merge — same updated main, same new table, same counters
+        /// — across delta-to-main size ratios that hit every strategy.
+        #[test]
+        fn prop_adaptive_equals_rebuild(
+            main_pairs in proptest::collection::vec((0u64..200, 0u64..8), 0..120),
+            delta in proptest::collection::vec((0u64..260, 0u64..8), 0..12),
+        ) {
+            let flat_main: Vec<u64> = main_pairs.iter().flat_map(|&(s, o)| [s, o]).collect();
+            let flat_delta: Vec<u64> = delta.iter().flat_map(|&(s, o)| [s, o]).collect();
+
+            let mut adaptive_main = PropertyTable::from_pairs(flat_main.clone());
+            let mut rebuild_main = PropertyTable::from_pairs(flat_main);
+
+            let mut scratch = SortScratch::new();
+            let (adaptive_new, adaptive_outcome) =
+                merge_new_pairs_with(&mut adaptive_main, flat_delta.clone(), &mut scratch);
+            let (rebuild_new, rebuild_outcome) =
+                merge_new_pairs_rebuild(&mut rebuild_main, flat_delta);
+
+            prop_assert_eq!(adaptive_main.pairs(), rebuild_main.pairs());
+            prop_assert_eq!(adaptive_new.pairs(), rebuild_new.pairs());
+            prop_assert_eq!(adaptive_outcome.inferred_raw, rebuild_outcome.inferred_raw);
+            prop_assert_eq!(
+                adaptive_outcome.duplicates_within_inferred,
+                rebuild_outcome.duplicates_within_inferred
+            );
+            prop_assert_eq!(
+                adaptive_outcome.duplicates_against_main,
+                rebuild_outcome.duplicates_against_main
+            );
+            prop_assert_eq!(adaptive_outcome.new_pairs, rebuild_outcome.new_pairs);
         }
     }
 }

@@ -5,7 +5,7 @@
 //! computed lazily upon need." (paper §4.2). The ⟨o,s⟩ cache is invalidated
 //! whenever new pairs reach the table.
 
-use inferray_sort::{sort_pairs_auto_dedup, swap_pairs};
+use inferray_sort::{sort_pairs_auto_dedup, sort_pairs_auto_dedup_with, swap_pairs, SortScratch};
 
 /// The sorted pair array of one predicate, with its lazy object-sorted cache.
 #[derive(Debug, Clone, Default)]
@@ -65,7 +65,7 @@ impl PropertyTable {
 
     /// Appends many pairs from a flat slice.
     pub fn add_pairs(&mut self, pairs: &[u64]) {
-        assert!(pairs.len() % 2 == 0, "pair array must have even length");
+        assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
         if pairs.is_empty() {
             return;
         }
@@ -78,6 +78,15 @@ impl PropertyTable {
     pub fn finalize(&mut self) {
         if self.dirty {
             sort_pairs_auto_dedup(&mut self.so);
+            self.dirty = false;
+            self.os = None;
+        }
+    }
+
+    /// [`PropertyTable::finalize`] against a reusable sort scratch.
+    pub fn finalize_with(&mut self, scratch: &mut SortScratch) {
+        if self.dirty {
+            sort_pairs_auto_dedup_with(&mut self.so, scratch);
             self.dirty = false;
             self.os = None;
         }
@@ -99,10 +108,15 @@ impl PropertyTable {
 
     /// Builds (if needed) the ⟨o,s⟩-sorted cache.
     pub fn ensure_os(&mut self) {
+        self.ensure_os_with(&mut SortScratch::new());
+    }
+
+    /// [`PropertyTable::ensure_os`] against a reusable sort scratch.
+    pub fn ensure_os_with(&mut self, scratch: &mut SortScratch) {
         debug_assert!(!self.dirty, "ensure_os on a dirty table");
         if self.os.is_none() {
             let mut swapped = swap_pairs(&self.so);
-            sort_pairs_auto_dedup(&mut swapped);
+            sort_pairs_auto_dedup_with(&mut swapped, scratch);
             self.os = Some(swapped);
         }
     }
@@ -153,6 +167,67 @@ impl PropertyTable {
         self.so = pairs;
         self.os = None;
         self.dirty = false;
+    }
+
+    /// Appends already-sorted pairs that all sort strictly after the current
+    /// last pair — the adaptive merge's tail-append strategy. The table
+    /// stays finalized; the ⟨o,s⟩ cache is invalidated.
+    pub fn append_sorted_suffix(&mut self, pairs: &[u64]) {
+        debug_assert!(!self.dirty, "append_sorted_suffix on a dirty table");
+        debug_assert!(inferray_sort::is_sorted_pairs(pairs));
+        debug_assert!(
+            self.so.is_empty()
+                || pairs.is_empty()
+                || (self.so[self.so.len() - 2], self.so[self.so.len() - 1])
+                    < (pairs[0], pairs[1]),
+            "suffix must sort after the whole table"
+        );
+        if pairs.is_empty() {
+            return;
+        }
+        self.so.extend_from_slice(pairs);
+        self.os = None;
+    }
+
+    /// Splices already-sorted, duplicate-free pairs **known to be absent**
+    /// from the table into place with one backward in-place merge pass — the
+    /// adaptive merge's small-delta strategy. No rebuild allocation: the
+    /// vector grows by `fresh.len()`, and the existing pairs between
+    /// insertion points move as whole blocks (`copy_within`, i.e. memmove)
+    /// rather than pair by pair, so the shift runs at copy bandwidth.
+    pub fn splice_in_sorted(&mut self, fresh: &[u64]) {
+        debug_assert!(!self.dirty, "splice_in_sorted on a dirty table");
+        debug_assert!(fresh.len().is_multiple_of(2));
+        debug_assert!(inferray_sort::is_sorted_pairs(fresh));
+        if fresh.is_empty() {
+            return;
+        }
+        let old_len = self.so.len();
+        self.so.resize(old_len + fresh.len(), 0);
+        let so = &mut self.so;
+        let mut read_end = old_len; // exclusive end of the unmoved old region
+        let mut write_end = so.len(); // exclusive end of the write region
+        let mut take = fresh.len();
+        while take > 0 {
+            let key = (fresh[take - 2], fresh[take - 1]);
+            // Everything in the old region strictly greater than `key`
+            // belongs after it: move that block in one memmove. (`key` is
+            // absent from the table, so lower bound == upper bound.)
+            let boundary = 2 * pair_binary_search(&so[..read_end], key.0, key.1)
+                .unwrap_or_else(|insertion| insertion);
+            let block = read_end - boundary;
+            if block > 0 {
+                so.copy_within(boundary..read_end, write_end - block);
+                write_end -= block;
+                read_end = boundary;
+            }
+            so[write_end - 2] = key.0;
+            so[write_end - 1] = key.1;
+            write_end -= 2;
+            take -= 2;
+        }
+        // The remaining old prefix is already in place.
+        self.os = None;
     }
 
     /// Consumes the table and returns its raw sorted pair vector.

@@ -93,6 +93,15 @@ impl TripleStore {
         }
     }
 
+    /// [`TripleStore::ensure_all_os`] against a reusable sort scratch.
+    pub fn ensure_all_os_with(&mut self, scratch: &mut inferray_sort::SortScratch) {
+        for table in self.tables.iter_mut().flatten() {
+            if !table.is_empty() {
+                table.ensure_os_with(scratch);
+            }
+        }
+    }
+
     /// Iterates over the property identifiers that have a (possibly empty)
     /// table.
     pub fn property_ids(&self) -> impl Iterator<Item = u64> + '_ {
@@ -154,6 +163,39 @@ impl TripleStore {
         let table = self.table_or_create(p);
         table.finalize();
         merge_new_pairs(table, inferred)
+    }
+
+    /// [`TripleStore::merge_property`] against a reusable sort scratch (the
+    /// hot-path variant used by the fixed-point loop).
+    pub fn merge_property_with(
+        &mut self,
+        p: u64,
+        inferred: Vec<u64>,
+        scratch: &mut inferray_sort::SortScratch,
+    ) -> (PropertyTable, MergeOutcome) {
+        let table = self.table_or_create(p);
+        table.finalize_with(scratch);
+        crate::merge::merge_new_pairs_with(table, inferred, scratch)
+    }
+
+    /// Removes and returns the table of property `p`, leaving an empty slot.
+    /// The parallel update stage takes the affected tables out, merges each
+    /// on a worker, and puts the results back with
+    /// [`TripleStore::set_table`] — giving workers exclusive ownership
+    /// without any locking.
+    pub fn take_table(&mut self, p: u64) -> Option<PropertyTable> {
+        debug_assert!(is_property_id(p), "not a property id: {p}");
+        self.tables.get_mut(property_index(p)).and_then(|t| t.take())
+    }
+
+    /// (Re)installs `table` as the table of property `p`.
+    pub fn set_table(&mut self, p: u64, table: PropertyTable) {
+        debug_assert!(is_property_id(p), "not a property id: {p}");
+        let index = property_index(p);
+        if index >= self.tables.len() {
+            self.tables.resize_with(index + 1, || None);
+        }
+        self.tables[index] = Some(table);
     }
 
     /// Replaces the whole table of property `p` with already-sorted pairs

@@ -1,0 +1,127 @@
+//! Determinism of the parallel execution paths.
+//!
+//! The reasoner runs both its phases — rule firing (§4.3) and the
+//! per-property table update (Figure 5) — on a worker pool. Parallelism
+//! must be unobservable: for any input, the parallel and sequential
+//! configurations must produce **byte-identical** stores (same flat pair
+//! array in every property table) and identical statistics counters,
+//! including the software memory-access profile.
+
+use inferray::datasets::lubm::LubmGenerator;
+use inferray::datasets::taxonomy::wikipedia_like;
+use inferray::datasets::Dataset;
+use inferray::parser::loader::load_triples;
+use inferray::{Fragment, InferenceStats, InferrayOptions, InferrayReasoner, Materializer, TripleStore};
+
+fn store_for(dataset: &Dataset) -> TripleStore {
+    load_triples(dataset.triples.iter())
+        .expect("generated datasets are valid")
+        .store
+}
+
+/// Byte-level equality: every property table's flat ⟨s,o⟩ array matches.
+fn assert_stores_byte_identical(a: &TripleStore, b: &TripleStore, label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: triple counts differ");
+    assert_eq!(a.table_count(), b.table_count(), "{label}: table counts differ");
+    for (p, table) in a.iter_tables() {
+        let other = b
+            .table(p)
+            .unwrap_or_else(|| panic!("{label}: property {p} missing from sequential store"));
+        assert_eq!(
+            table.pairs(),
+            other.pairs(),
+            "{label}: table {p} diverged between parallel and sequential"
+        );
+    }
+}
+
+/// Counter-level equality (everything except wall-clock time).
+fn assert_stats_equal(a: &InferenceStats, b: &InferenceStats, label: &str) {
+    assert_eq!(a.input_triples, b.input_triples, "{label}: input_triples");
+    assert_eq!(a.output_triples, b.output_triples, "{label}: output_triples");
+    assert_eq!(a.iterations, b.iterations, "{label}: iterations");
+    assert_eq!(a.derived_raw, b.derived_raw, "{label}: derived_raw");
+    assert_eq!(
+        a.duplicates_removed, b.duplicates_removed,
+        "{label}: duplicates_removed"
+    );
+    assert_eq!(a.profile, b.profile, "{label}: access profile");
+}
+
+fn check_dataset(dataset: &Dataset, fragment: Fragment) {
+    let label = format!("{} / {fragment:?}", dataset.label);
+
+    let mut parallel_store = store_for(dataset);
+    let mut parallel_reasoner = InferrayReasoner::with_options(fragment, InferrayOptions::default());
+    let parallel_stats = parallel_reasoner.materialize(&mut parallel_store);
+
+    let mut sequential_store = store_for(dataset);
+    let mut sequential_reasoner =
+        InferrayReasoner::with_options(fragment, InferrayOptions::sequential());
+    let sequential_stats = sequential_reasoner.materialize(&mut sequential_store);
+
+    assert!(
+        parallel_stats.inferred_triples() > 0,
+        "{label}: the dataset must actually derive something for this test to bite"
+    );
+    assert_stores_byte_identical(&parallel_store, &sequential_store, &label);
+    assert_stats_equal(&parallel_stats, &sequential_stats, &label);
+
+    // Both runs recorded the same per-iteration shape.
+    let a = parallel_reasoner.last_iteration_profile();
+    let b = sequential_reasoner.last_iteration_profile();
+    assert_eq!(a.samples.len(), b.samples.len(), "{label}: iteration count");
+    for (pa, pb) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(pa.raw_pairs, pb.raw_pairs, "{label}: raw pairs per iteration");
+        assert_eq!(pa.new_pairs, pb.new_pairs, "{label}: new pairs per iteration");
+        assert_eq!(
+            pa.properties_touched, pb.properties_touched,
+            "{label}: properties touched per iteration"
+        );
+    }
+}
+
+#[test]
+fn lubm_parallel_equals_sequential_rdfs() {
+    let dataset = LubmGenerator::new(6_000).with_seed(7).generate();
+    check_dataset(&dataset, Fragment::RdfsDefault);
+}
+
+#[test]
+fn lubm_parallel_equals_sequential_rdfs_plus() {
+    let dataset = LubmGenerator::new(6_000).with_seed(11).generate();
+    check_dataset(&dataset, Fragment::RdfsPlus);
+}
+
+#[test]
+fn taxonomy_parallel_equals_sequential_rdfs() {
+    let dataset = wikipedia_like(400, 3);
+    check_dataset(&dataset, Fragment::RdfsDefault);
+}
+
+#[test]
+fn taxonomy_parallel_equals_sequential_rdfs_plus() {
+    let dataset = wikipedia_like(300, 5);
+    check_dataset(&dataset, Fragment::RdfsPlus);
+}
+
+#[test]
+fn incremental_delta_is_deterministic_too() {
+    let dataset = LubmGenerator::new(3_000).with_seed(3).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("valid dataset");
+    let all: Vec<_> = loaded.store.iter_triples().collect();
+    let (base, delta) = all.split_at(all.len() / 2);
+
+    let run = |options: InferrayOptions| {
+        let mut store: TripleStore = base.iter().copied().collect();
+        let mut reasoner = InferrayReasoner::with_options(Fragment::RdfsDefault, options);
+        reasoner.materialize(&mut store);
+        let stats = reasoner.materialize_delta(&mut store, delta.iter().copied());
+        (store, stats)
+    };
+    let (parallel_store, parallel_stats) = run(InferrayOptions::default());
+    let (sequential_store, sequential_stats) = run(InferrayOptions::sequential());
+
+    assert_stores_byte_identical(&parallel_store, &sequential_store, "incremental");
+    assert_stats_equal(&parallel_stats, &sequential_stats, "incremental");
+}
