@@ -502,11 +502,8 @@ mod tests {
     fn instances_of_a_class_are_enumerated() {
         let store = family_store();
         let chainer = BackwardChainer::new(&store);
-        let animals = chainer.match_pattern(
-            TriplePattern::any()
-                .with_p(wk::RDF_TYPE)
-                .with_o(ANIMAL),
-        );
+        let animals =
+            chainer.match_pattern(TriplePattern::any().with_p(wk::RDF_TYPE).with_o(ANIMAL));
         let subjects: HashSet<u64> = animals.iter().map(|t| t.s).collect();
         assert!(subjects.contains(&BART));
         assert!(subjects.contains(&SANTAS_HELPER));

@@ -86,17 +86,26 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
     let (body, head, not_equal): (Vec<TriplePattern>, Vec<TriplePattern>, Vec<(u8, u8)>) = match id
     {
         RuleId::CaxEqc1 => (
-            vec![pattern(V0, Const(wk::OWL_EQUIVALENT_CLASS), V1), pattern(V2, Const(wk::RDF_TYPE), V0)],
+            vec![
+                pattern(V0, Const(wk::OWL_EQUIVALENT_CLASS), V1),
+                pattern(V2, Const(wk::RDF_TYPE), V0),
+            ],
             vec![pattern(V2, Const(wk::RDF_TYPE), V1)],
             vec![],
         ),
         RuleId::CaxEqc2 => (
-            vec![pattern(V0, Const(wk::OWL_EQUIVALENT_CLASS), V1), pattern(V2, Const(wk::RDF_TYPE), V1)],
+            vec![
+                pattern(V0, Const(wk::OWL_EQUIVALENT_CLASS), V1),
+                pattern(V2, Const(wk::RDF_TYPE), V1),
+            ],
             vec![pattern(V2, Const(wk::RDF_TYPE), V0)],
             vec![],
         ),
         RuleId::CaxSco => (
-            vec![pattern(V0, Const(wk::RDFS_SUB_CLASS_OF), V1), pattern(V2, Const(wk::RDF_TYPE), V0)],
+            vec![
+                pattern(V0, Const(wk::RDFS_SUB_CLASS_OF), V1),
+                pattern(V2, Const(wk::RDF_TYPE), V0),
+            ],
             vec![pattern(V2, Const(wk::RDF_TYPE), V1)],
             vec![],
         ),
@@ -121,7 +130,10 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
             vec![],
         ),
         RuleId::EqTrans => (
-            vec![pattern(V0, Const(wk::OWL_SAME_AS), V1), pattern(V1, Const(wk::OWL_SAME_AS), V2)],
+            vec![
+                pattern(V0, Const(wk::OWL_SAME_AS), V1),
+                pattern(V1, Const(wk::OWL_SAME_AS), V2),
+            ],
             vec![pattern(V0, Const(wk::OWL_SAME_AS), V2)],
             vec![],
         ),
@@ -131,12 +143,18 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
             vec![],
         ),
         RuleId::PrpEqp1 => (
-            vec![pattern(V0, Const(wk::OWL_EQUIVALENT_PROPERTY), V1), pattern(V2, V0, V3)],
+            vec![
+                pattern(V0, Const(wk::OWL_EQUIVALENT_PROPERTY), V1),
+                pattern(V2, V0, V3),
+            ],
             vec![pattern(V2, V1, V3)],
             vec![],
         ),
         RuleId::PrpEqp2 => (
-            vec![pattern(V0, Const(wk::OWL_EQUIVALENT_PROPERTY), V1), pattern(V2, V1, V3)],
+            vec![
+                pattern(V0, Const(wk::OWL_EQUIVALENT_PROPERTY), V1),
+                pattern(V2, V1, V3),
+            ],
             vec![pattern(V2, V0, V3)],
             vec![],
         ),
@@ -151,7 +169,11 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
         ),
         RuleId::PrpIfp => (
             vec![
-                pattern(V0, Const(wk::RDF_TYPE), Const(wk::OWL_INVERSE_FUNCTIONAL_PROPERTY)),
+                pattern(
+                    V0,
+                    Const(wk::RDF_TYPE),
+                    Const(wk::OWL_INVERSE_FUNCTIONAL_PROPERTY),
+                ),
                 pattern(V1, V0, V3),
                 pattern(V2, V0, V3),
             ],
@@ -159,12 +181,18 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
             vec![(1, 2)],
         ),
         RuleId::PrpInv1 => (
-            vec![pattern(V0, Const(wk::OWL_INVERSE_OF), V1), pattern(V2, V0, V3)],
+            vec![
+                pattern(V0, Const(wk::OWL_INVERSE_OF), V1),
+                pattern(V2, V0, V3),
+            ],
             vec![pattern(V3, V1, V2)],
             vec![],
         ),
         RuleId::PrpInv2 => (
-            vec![pattern(V0, Const(wk::OWL_INVERSE_OF), V1), pattern(V2, V1, V3)],
+            vec![
+                pattern(V0, Const(wk::OWL_INVERSE_OF), V1),
+                pattern(V2, V1, V3),
+            ],
             vec![pattern(V3, V0, V2)],
             vec![],
         ),
@@ -174,7 +202,10 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
             vec![],
         ),
         RuleId::PrpSpo1 => (
-            vec![pattern(V0, Const(wk::RDFS_SUB_PROPERTY_OF), V1), pattern(V2, V0, V3)],
+            vec![
+                pattern(V0, Const(wk::RDFS_SUB_PROPERTY_OF), V1),
+                pattern(V2, V0, V3),
+            ],
             vec![pattern(V2, V1, V3)],
             vec![],
         ),
@@ -196,12 +227,18 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
             vec![],
         ),
         RuleId::ScmDom1 => (
-            vec![pattern(V0, Const(wk::RDFS_DOMAIN), V1), pattern(V1, Const(wk::RDFS_SUB_CLASS_OF), V2)],
+            vec![
+                pattern(V0, Const(wk::RDFS_DOMAIN), V1),
+                pattern(V1, Const(wk::RDFS_SUB_CLASS_OF), V2),
+            ],
             vec![pattern(V0, Const(wk::RDFS_DOMAIN), V2)],
             vec![],
         ),
         RuleId::ScmDom2 => (
-            vec![pattern(V0, Const(wk::RDFS_DOMAIN), V1), pattern(V2, Const(wk::RDFS_SUB_PROPERTY_OF), V0)],
+            vec![
+                pattern(V0, Const(wk::RDFS_DOMAIN), V1),
+                pattern(V2, Const(wk::RDFS_SUB_PROPERTY_OF), V0),
+            ],
             vec![pattern(V2, Const(wk::RDFS_DOMAIN), V1)],
             vec![],
         ),
@@ -238,12 +275,18 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
             vec![],
         ),
         RuleId::ScmRng1 => (
-            vec![pattern(V0, Const(wk::RDFS_RANGE), V1), pattern(V1, Const(wk::RDFS_SUB_CLASS_OF), V2)],
+            vec![
+                pattern(V0, Const(wk::RDFS_RANGE), V1),
+                pattern(V1, Const(wk::RDFS_SUB_CLASS_OF), V2),
+            ],
             vec![pattern(V0, Const(wk::RDFS_RANGE), V2)],
             vec![],
         ),
         RuleId::ScmRng2 => (
-            vec![pattern(V0, Const(wk::RDFS_RANGE), V1), pattern(V2, Const(wk::RDFS_SUB_PROPERTY_OF), V0)],
+            vec![
+                pattern(V0, Const(wk::RDFS_RANGE), V1),
+                pattern(V2, Const(wk::RDFS_SUB_PROPERTY_OF), V0),
+            ],
             vec![pattern(V2, Const(wk::RDFS_RANGE), V1)],
             vec![],
         ),
@@ -274,7 +317,11 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
             vec![],
         ),
         RuleId::ScmDp => (
-            vec![pattern(V0, Const(wk::RDF_TYPE), Const(wk::OWL_DATATYPE_PROPERTY))],
+            vec![pattern(
+                V0,
+                Const(wk::RDF_TYPE),
+                Const(wk::OWL_DATATYPE_PROPERTY),
+            )],
             vec![
                 pattern(V0, Const(wk::RDFS_SUB_PROPERTY_OF), V0),
                 pattern(V0, Const(wk::OWL_EQUIVALENT_PROPERTY), V0),
@@ -282,7 +329,11 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
             vec![],
         ),
         RuleId::ScmOp => (
-            vec![pattern(V0, Const(wk::RDF_TYPE), Const(wk::OWL_OBJECT_PROPERTY))],
+            vec![pattern(
+                V0,
+                Const(wk::RDF_TYPE),
+                Const(wk::OWL_OBJECT_PROPERTY),
+            )],
             vec![
                 pattern(V0, Const(wk::RDFS_SUB_PROPERTY_OF), V0),
                 pattern(V0, Const(wk::OWL_EQUIVALENT_PROPERTY), V0),
@@ -299,17 +350,33 @@ pub fn datalog_rule(id: RuleId) -> DatalogRule {
         ),
         RuleId::Rdfs8 => (
             vec![pattern(V0, Const(wk::RDF_TYPE), Const(wk::RDFS_CLASS))],
-            vec![pattern(V0, Const(wk::RDFS_SUB_CLASS_OF), Const(wk::RDFS_RESOURCE))],
+            vec![pattern(
+                V0,
+                Const(wk::RDFS_SUB_CLASS_OF),
+                Const(wk::RDFS_RESOURCE),
+            )],
             vec![],
         ),
         RuleId::Rdfs12 => (
-            vec![pattern(V0, Const(wk::RDF_TYPE), Const(wk::RDFS_CONTAINER_MEMBERSHIP_PROPERTY))],
-            vec![pattern(V0, Const(wk::RDFS_SUB_PROPERTY_OF), Const(wk::RDFS_MEMBER))],
+            vec![pattern(
+                V0,
+                Const(wk::RDF_TYPE),
+                Const(wk::RDFS_CONTAINER_MEMBERSHIP_PROPERTY),
+            )],
+            vec![pattern(
+                V0,
+                Const(wk::RDFS_SUB_PROPERTY_OF),
+                Const(wk::RDFS_MEMBER),
+            )],
             vec![],
         ),
         RuleId::Rdfs13 => (
             vec![pattern(V0, Const(wk::RDF_TYPE), Const(wk::RDFS_DATATYPE))],
-            vec![pattern(V0, Const(wk::RDFS_SUB_CLASS_OF), Const(wk::RDFS_LITERAL))],
+            vec![pattern(
+                V0,
+                Const(wk::RDFS_SUB_CLASS_OF),
+                Const(wk::RDFS_LITERAL),
+            )],
             vec![],
         ),
         RuleId::Rdfs6 => (

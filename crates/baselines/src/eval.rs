@@ -208,10 +208,7 @@ mod tests {
         // sameAs between a property and an individual: EQ-REP-P would emit a
         // triple whose predicate is the individual — it must be skipped.
         let p = inferray_model::ids::nth_property_id(801);
-        let mut idx = index(&[
-            (p, wk::OWL_SAME_AS, BART),
-            (HUMAN, p, MAMMAL),
-        ]);
+        let mut idx = index(&[(p, wk::OWL_SAME_AS, BART), (HUMAN, p, MAMMAL)]);
         let rule = datalog_rule(RuleId::EqRepP);
         let mut out = Vec::new();
         evaluate_rule(&rule, &mut idx, &mut out);
@@ -226,7 +223,11 @@ mod tests {
         evaluate_rule(&rule, &mut idx, &mut out);
         assert_eq!(out.len(), 4);
         assert!(out.contains(&IdTriple::new(HUMAN, wk::RDFS_SUB_CLASS_OF, wk::OWL_THING)));
-        assert!(out.contains(&IdTriple::new(wk::OWL_NOTHING, wk::RDFS_SUB_CLASS_OF, HUMAN)));
+        assert!(out.contains(&IdTriple::new(
+            wk::OWL_NOTHING,
+            wk::RDFS_SUB_CLASS_OF,
+            HUMAN
+        )));
     }
 
     #[test]

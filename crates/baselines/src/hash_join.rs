@@ -122,7 +122,10 @@ mod tests {
         assert_eq!(stats.inferred_triples(), 3);
         assert!(data.contains(&IdTriple::new(BART, wk::RDF_TYPE, ANIMAL)));
         assert!(data.contains(&IdTriple::new(HUMAN, wk::RDFS_SUB_CLASS_OF, ANIMAL)));
-        assert!(stats.profile.hash_probes > 0, "hash probes must be accounted");
+        assert!(
+            stats.profile.hash_probes > 0,
+            "hash probes must be accounted"
+        );
     }
 
     #[test]
@@ -132,8 +135,14 @@ mod tests {
             .collect();
         let mut data = store(&chain);
         let stats = HashJoinReasoner::new(Fragment::RhoDf).materialize(&mut data);
-        assert_eq!(data.table(wk::RDFS_SUB_CLASS_OF).unwrap().len(), 31 * 30 / 2);
-        assert!(stats.iterations > 2, "iterative closure needs several rounds");
+        assert_eq!(
+            data.table(wk::RDFS_SUB_CLASS_OF).unwrap().len(),
+            31 * 30 / 2
+        );
+        assert!(
+            stats.iterations > 2,
+            "iterative closure needs several rounds"
+        );
     }
 
     #[test]

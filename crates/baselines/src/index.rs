@@ -66,8 +66,14 @@ impl TripleIndex {
         self.profile.hash_probe(5);
         self.profile.allocate(3);
         self.by_p.entry(triple.p).or_default().push(triple);
-        self.by_ps.entry((triple.p, triple.s)).or_default().push(triple);
-        self.by_po.entry((triple.p, triple.o)).or_default().push(triple);
+        self.by_ps
+            .entry((triple.p, triple.s))
+            .or_default()
+            .push(triple);
+        self.by_po
+            .entry((triple.p, triple.o))
+            .or_default()
+            .push(triple);
         self.by_s.entry(triple.s).or_default().push(triple);
         self.by_o.entry(triple.o).or_default().push(triple);
         true
@@ -109,10 +115,7 @@ impl TripleIndex {
         candidates
     }
 
-    fn lookup(
-        &mut self,
-        select: &dyn Fn(&TripleIndex) -> Option<&Vec<IdTriple>>,
-    ) -> Vec<IdTriple> {
+    fn lookup(&mut self, select: &dyn Fn(&TripleIndex) -> Option<&Vec<IdTriple>>) -> Vec<IdTriple> {
         self.profile.hash_probe(1);
         let result = select(self).cloned().unwrap_or_default();
         self.profile.random(result.len() as u64 * 3);

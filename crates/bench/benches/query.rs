@@ -30,9 +30,21 @@ fn social_graph() -> Graph {
     let mut graph = Graph::new();
     let rdf_type = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
     let sub_class_of = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
-    graph.insert_iris("http://bench.example/Employee", sub_class_of, "http://bench.example/Person");
-    graph.insert_iris("http://bench.example/Manager", sub_class_of, "http://bench.example/Employee");
-    graph.insert_iris("http://bench.example/knows", "http://www.w3.org/2000/01/rdf-schema#domain", "http://bench.example/Person");
+    graph.insert_iris(
+        "http://bench.example/Employee",
+        sub_class_of,
+        "http://bench.example/Person",
+    );
+    graph.insert_iris(
+        "http://bench.example/Manager",
+        sub_class_of,
+        "http://bench.example/Employee",
+    );
+    graph.insert_iris(
+        "http://bench.example/knows",
+        "http://www.w3.org/2000/01/rdf-schema#domain",
+        "http://bench.example/Person",
+    );
     for i in 0..PERSONS {
         let class = match i % 10 {
             0 => "http://bench.example/Manager",
@@ -58,8 +70,7 @@ fn bench_query(c: &mut Criterion) {
     let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
 
     let ask = "PREFIX b: <http://bench.example/> ASK { b:person1 b:knows ?x }";
-    let type_scan =
-        "PREFIX b: <http://bench.example/> SELECT ?x WHERE { ?x a b:Person }";
+    let type_scan = "PREFIX b: <http://bench.example/> SELECT ?x WHERE { ?x a b:Person }";
     let two_hop = "PREFIX b: <http://bench.example/> \
                    SELECT ?a ?c WHERE { ?a b:knows ?b . ?b b:knows ?c . ?a a b:Manager }";
 

@@ -43,6 +43,13 @@ fn configurations() -> Vec<(&'static str, InferrayOptions)> {
             },
         ),
         (
+            "no rule scheduling (fire all rules)",
+            InferrayOptions {
+                schedule_rules: false,
+                ..default
+            },
+        ),
+        (
             "sequential + no closure stage",
             InferrayOptions {
                 parallel: false,
@@ -58,7 +65,10 @@ fn workloads(scale: &ScaleConfig) -> Vec<(Fragment, Dataset)> {
     vec![
         (
             Fragment::RhoDf,
-            Dataset::new(format!("chain-{chain_length}"), subclass_chain(chain_length)),
+            Dataset::new(
+                format!("chain-{chain_length}"),
+                subclass_chain(chain_length),
+            ),
         ),
         (
             Fragment::RdfsDefault,
@@ -109,5 +119,9 @@ fn main() {
             ]);
         }
     }
-    print_table("Ablation (ms, slowdown relative to the full configuration)", &header, &rows);
+    print_table(
+        "Ablation (ms, slowdown relative to the full configuration)",
+        &header,
+        &rows,
+    );
 }

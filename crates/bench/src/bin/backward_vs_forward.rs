@@ -34,7 +34,10 @@ const QUERY_BATCH: usize = 500;
 fn datasets(scale: &ScaleConfig) -> Vec<Dataset> {
     let chain_length = scale.chain(1_000);
     vec![
-        Dataset::new(format!("chain-{chain_length}"), subclass_chain(chain_length)),
+        Dataset::new(
+            format!("chain-{chain_length}"),
+            subclass_chain(chain_length),
+        ),
         BsbmGenerator::new(scale.triples(5_000_000)).generate(),
         LubmGenerator::new(scale.triples(5_000_000)).generate(),
     ]
@@ -60,8 +63,13 @@ fn query_subjects(store: &TripleStore) -> Vec<u64> {
 }
 
 fn pattern_for(store: &TripleStore, subject: u64) -> TriplePattern {
-    if store.table(wellknown::RDF_TYPE).is_some_and(|t| !t.is_empty()) {
-        TriplePattern::any().with_p(wellknown::RDF_TYPE).with_s(subject)
+    if store
+        .table(wellknown::RDF_TYPE)
+        .is_some_and(|t| !t.is_empty())
+    {
+        TriplePattern::any()
+            .with_p(wellknown::RDF_TYPE)
+            .with_s(subject)
     } else {
         TriplePattern::any()
             .with_p(wellknown::RDFS_SUB_CLASS_OF)
@@ -104,7 +112,9 @@ fn main() {
         let query_start = Instant::now();
         let mut forward_answers = 0usize;
         for &s in &subjects {
-            forward_answers += forward_store.match_pattern(pattern_for(&base_store, s)).len();
+            forward_answers += forward_store
+                .match_pattern(pattern_for(&base_store, s))
+                .len();
         }
         let forward_query_ms = query_start.elapsed().as_secs_f64() * 1e3;
 
@@ -129,7 +139,10 @@ fn main() {
         let per_query_backward = backward_query_ms / subjects.len().max(1) as f64;
         let break_even = if per_query_backward > per_query_forward {
             let extra_setup = forward_setup_ms - backward_setup_ms;
-            format!("{:.0}", (extra_setup / (per_query_backward - per_query_forward)).max(0.0))
+            format!(
+                "{:.0}",
+                (extra_setup / (per_query_backward - per_query_forward)).max(0.0)
+            )
         } else {
             "never".to_string()
         };

@@ -19,7 +19,10 @@ use inferray_rules::Fragment;
 fn main() {
     let scale = ScaleConfig::from_env();
     println!("Figure 7 — software memory-access profile, transitivity-closure benchmark");
-    println!("(per inferred triple; paper chain lengths 500/1000/2500 divided by {})", scale.divisor);
+    println!(
+        "(per inferred triple; paper chain lengths 500/1000/2500 divided by {})",
+        scale.divisor
+    );
 
     let lengths: Vec<usize> = [500usize, 1_000, 2_500]
         .iter()
@@ -27,14 +30,23 @@ fn main() {
         .collect();
 
     let header = vec![
-        "chain", "engine", "seq words/triple", "rand words/triple", "hash probes/triple", "alloc words/triple", "random %",
+        "chain",
+        "engine",
+        "seq words/triple",
+        "rand words/triple",
+        "hash probes/triple",
+        "alloc words/triple",
+        "random %",
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
     for &length in &lengths {
         let dataset = Dataset::new(format!("chain-{length}"), chain::subclass_chain(length));
         for mut engine in reasoners_for(Fragment::RhoDf, scale.skip_naive) {
             let result = run_materializer(engine.as_mut(), &dataset);
-            let per = result.stats.profile.per_triple(result.stats.inferred_triples());
+            let per = result
+                .stats
+                .profile
+                .per_triple(result.stats.inferred_triples());
             rows.push(vec![
                 length.to_string(),
                 result.engine.to_string(),

@@ -26,16 +26,28 @@ fn datasets(scale: &ScaleConfig) -> Vec<Dataset> {
 fn main() {
     let scale = ScaleConfig::from_env();
     println!("Figure 8 — software memory-access profile, RDFS-Plus benchmark");
-    println!("(per inferred triple; paper dataset sizes divided by {})", scale.divisor);
+    println!(
+        "(per inferred triple; paper dataset sizes divided by {})",
+        scale.divisor
+    );
 
     let header = vec![
-        "dataset", "engine", "seq words/triple", "rand words/triple", "hash probes/triple", "alloc words/triple", "random %",
+        "dataset",
+        "engine",
+        "seq words/triple",
+        "rand words/triple",
+        "hash probes/triple",
+        "alloc words/triple",
+        "random %",
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
     for dataset in datasets(&scale) {
         for mut engine in reasoners_for(Fragment::RdfsPlus, scale.skip_naive) {
             let result = run_materializer(engine.as_mut(), &dataset);
-            let per = result.stats.profile.per_triple(result.stats.inferred_triples());
+            let per = result
+                .stats
+                .profile
+                .per_triple(result.stats.inferred_triples());
             rows.push(vec![
                 dataset.label.clone(),
                 result.engine.to_string(),

@@ -1,0 +1,221 @@
+//! The rule-firing benchmark: measures the §4.3 rule-dependency scheduler
+//! against the fire-everything loop and records the result in
+//! `BENCH_rule_firing.json` so future PRs can track the trajectory.
+//!
+//! Two variants materialize the **same** LUBM-scale dataset with the same
+//! reasoner:
+//!
+//! * `full`      — every rule of the ruleset fires on every iteration
+//!   (`InferrayOptions::unscheduled()`, the pre-scheduler behaviour);
+//! * `scheduled` — from iteration 2 on, only the rules whose input tables
+//!   received new pairs in the previous iteration fire
+//!   (`InferrayOptions::default()`).
+//!
+//! Both run the *exact* reasoner loop (the scheduler is a reasoner option,
+//! not a benchmark-side reimplementation), and the resulting stores are
+//! asserted byte-identical before anything is recorded. The JSON captures
+//! per-fragment rule firings, the firing reduction, and min-of-reps
+//! wall-clock times.
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin rule_firing [--scale N] [--out FILE]
+//! ```
+
+use inferray_bench::ScaleConfig;
+use inferray_core::{InferrayOptions, InferrayReasoner, Materializer};
+use inferray_datasets::lubm::LubmGenerator;
+use inferray_parser::loader::load_triples;
+use inferray_rules::Fragment;
+use inferray_store::TripleStore;
+use std::time::{Duration, Instant};
+
+const REPS: usize = 5;
+
+struct FragmentRecord {
+    fragment: &'static str,
+    iterations: usize,
+    firings_full: usize,
+    firings_scheduled: usize,
+    reduction: f64,
+    full_ms: f64,
+    scheduled_ms: f64,
+}
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    let out_path = out_path_from_args();
+    let target_triples = 200_000 / scale.divisor;
+
+    println!("rule_firing — §4.3 dependency-scheduler benchmark (LUBM ~{target_triples} triples)");
+
+    let dataset = LubmGenerator::new(target_triples).with_seed(42).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("generated dataset is valid");
+    let base_store: TripleStore = loaded.store;
+    println!(
+        "store: {} pairs over {} tables",
+        base_store.len(),
+        base_store.table_count()
+    );
+
+    let mut records = Vec::new();
+    for fragment in [Fragment::RdfsDefault, Fragment::RdfsPlus] {
+        let record = run_fragment(fragment, &base_store);
+        println!(
+            "{:<14} firings {:>4} -> {:>4} (-{:.1}%), wall {:>9.3} ms -> {:>9.3} ms over {} iterations",
+            record.fragment,
+            record.firings_full,
+            record.firings_scheduled,
+            100.0 * record.reduction,
+            record.full_ms,
+            record.scheduled_ms,
+            record.iterations,
+        );
+        records.push(record);
+    }
+
+    let total_full: usize = records.iter().map(|r| r.firings_full).sum();
+    let total_scheduled: usize = records.iter().map(|r| r.firings_scheduled).sum();
+    let overall = 1.0 - total_scheduled as f64 / total_full.max(1) as f64;
+    println!(
+        "overall: {total_full} -> {total_scheduled} rule firings (-{:.1}%)",
+        100.0 * overall
+    );
+
+    let json = render_json(target_triples, &base_store, &records, overall);
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    println!("\nrecorded -> {out_path}");
+}
+
+fn run_fragment(fragment: Fragment, base_store: &TripleStore) -> FragmentRecord {
+    // Interleave repetitions of the two variants and keep each one's
+    // minimum (single-shot timings are noisy on a shared box).
+    let mut full_time = Duration::MAX;
+    let mut scheduled_time = Duration::MAX;
+    let mut full_store = base_store.clone();
+    let mut scheduled_store = base_store.clone();
+    let mut firings_full = 0usize;
+    let mut firings_scheduled = 0usize;
+    let mut iterations = 0usize;
+    // One untimed warm-up of each variant: the very first materialization
+    // in a process pays page-fault and frequency-ramp costs that would
+    // otherwise be charged to whichever variant happens to run first.
+    for options in [InferrayOptions::unscheduled(), InferrayOptions::default()] {
+        let mut store = base_store.clone();
+        InferrayReasoner::with_options(fragment, options).materialize(&mut store);
+    }
+    for rep in 0..REPS {
+        let mut store = base_store.clone();
+        let mut reasoner = InferrayReasoner::with_options(fragment, InferrayOptions::unscheduled());
+        let start = Instant::now();
+        reasoner.materialize(&mut store);
+        full_time = full_time.min(start.elapsed());
+        if rep == REPS - 1 {
+            firings_full = reasoner.last_iteration_profile().total_rules_fired();
+            full_store = store;
+        }
+
+        let mut store = base_store.clone();
+        let mut reasoner = InferrayReasoner::new(fragment);
+        let start = Instant::now();
+        let stats = reasoner.materialize(&mut store);
+        scheduled_time = scheduled_time.min(start.elapsed());
+        if rep == REPS - 1 {
+            let profile = reasoner.last_iteration_profile();
+            firings_scheduled = profile.total_rules_fired();
+            assert_eq!(
+                firings_scheduled + profile.total_rules_skipped(),
+                firings_full,
+                "fired + skipped must cover the full schedule"
+            );
+            iterations = stats.iterations;
+            scheduled_store = store;
+            print!("{}", profile.report());
+        }
+    }
+
+    // The scheduler must not change the result — this is the §4.3 contract.
+    assert_stores_equal(&full_store, &scheduled_store, fragment.name());
+
+    FragmentRecord {
+        fragment: fragment.name(),
+        iterations,
+        firings_full,
+        firings_scheduled,
+        reduction: 1.0 - firings_scheduled as f64 / firings_full.max(1) as f64,
+        full_ms: full_time.as_secs_f64() * 1e3,
+        scheduled_ms: scheduled_time.as_secs_f64() * 1e3,
+    }
+}
+
+fn render_json(
+    target_triples: usize,
+    base_store: &TripleStore,
+    records: &[FragmentRecord],
+    overall_reduction: f64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut fragments = String::new();
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            fragments,
+            concat!(
+                "    {{\n",
+                "      \"fragment\": \"{}\",\n",
+                "      \"iterations\": {},\n",
+                "      \"rule_firings_full\": {},\n",
+                "      \"rule_firings_scheduled\": {},\n",
+                "      \"firing_reduction\": {:.3},\n",
+                "      \"full_ms\": {:.3},\n",
+                "      \"scheduled_ms\": {:.3},\n",
+                "      \"wall_clock_speedup\": {:.3}\n",
+                "    }}{}\n",
+            ),
+            r.fragment,
+            r.iterations,
+            r.firings_full,
+            r.firings_scheduled,
+            r.reduction,
+            r.full_ms,
+            r.scheduled_ms,
+            r.full_ms / r.scheduled_ms.max(1e-9),
+            if i + 1 == records.len() { "" } else { "," },
+        );
+    }
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"rule_firing\",\n",
+            "  \"dataset\": {{ \"generator\": \"lubm\", \"target_triples\": {}, \"main_pairs\": {}, \"tables\": {} }},\n",
+            "  \"overall_firing_reduction\": {:.3},\n",
+            "  \"fragments\": [\n{}  ]\n",
+            "}}\n",
+        ),
+        target_triples,
+        base_store.len(),
+        base_store.table_count(),
+        overall_reduction,
+        fragments,
+    )
+}
+
+fn out_path_from_args() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_rule_firing.json".to_string())
+}
+
+fn assert_stores_equal(expected: &TripleStore, actual: &TripleStore, label: &str) {
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "{label}: triple count diverged"
+    );
+    for (p, table) in expected.iter_tables() {
+        let other = actual
+            .table(p)
+            .unwrap_or_else(|| panic!("{label}: table {p} missing"));
+        assert_eq!(table.pairs(), other.pairs(), "{label}: table {p} diverged");
+    }
+}

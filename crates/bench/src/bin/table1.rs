@@ -41,12 +41,22 @@ fn main() {
     let crossover = std::env::args().any(|a| a == "--crossover");
 
     // Paper grid: ranges and sizes from 500 K to 50 M.
-    let paper_points = [500_000usize, 1_000_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000];
+    let paper_points = [
+        500_000usize,
+        1_000_000,
+        5_000_000,
+        10_000_000,
+        25_000_000,
+        50_000_000,
+    ];
     let ranges: Vec<usize> = paper_points.iter().map(|&p| scale.triples(p)).collect();
     let sizes: Vec<usize> = ranges.clone();
 
     println!("Table 1 — pair-sorting throughput in million pairs/second");
-    println!("(paper sizes divided by {}; entropy = log2(range))", scale.divisor);
+    println!(
+        "(paper sizes divided by {}; entropy = log2(range))",
+        scale.divisor
+    );
 
     let header: Vec<String> = std::iter::once("range (entropy)".to_string())
         .chain(std::iter::once("algorithm".to_string()))
@@ -61,7 +71,10 @@ fn main() {
             ("Counting", &counting_sort_pairs as &dyn Fn(&mut Vec<u64>)),
             ("MSDA Radix", &(|v: &mut Vec<u64>| msda_radix_sort_pairs(v))),
         ] {
-            let mut row = vec![format!("{}K ({entropy:.1})", range / 1000), name.to_string()];
+            let mut row = vec![
+                format!("{}K ({entropy:.1})", range / 1000),
+                name.to_string(),
+            ];
             for &size in &sizes {
                 let pairs = random_pairs(size, range as u64, 42);
                 row.push(format!("{:.1}", throughput(&pairs, sorter)));
@@ -71,7 +84,10 @@ fn main() {
     }
     // Generic baselines (entropy-independent, one row each as in the paper).
     for (name, sorter) in [
-        ("std pdqsort", &(|v: &mut Vec<u64>| std_sort_pairs(v)) as &dyn Fn(&mut Vec<u64>)),
+        (
+            "std pdqsort",
+            &(|v: &mut Vec<u64>| std_sort_pairs(v)) as &dyn Fn(&mut Vec<u64>),
+        ),
         ("Mergesort", &(|v: &mut Vec<u64>| merge_sort_pairs(v))),
         ("Quicksort", &(|v: &mut Vec<u64>| quick_sort_pairs(v))),
     ] {
@@ -89,7 +105,8 @@ fn main() {
         for &range in &ranges {
             for &size in &sizes {
                 let predicted = recommend_algorithm(size, range as u64);
-                let counting = throughput(&random_pairs(size, range as u64, 1), counting_sort_pairs);
+                let counting =
+                    throughput(&random_pairs(size, range as u64, 1), counting_sort_pairs);
                 let radix = throughput(&random_pairs(size, range as u64, 1), |v: &mut Vec<u64>| {
                     msda_radix_sort_pairs(v)
                 });

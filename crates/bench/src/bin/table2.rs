@@ -16,14 +16,20 @@ fn datasets(scale: &ScaleConfig) -> Vec<(&'static str, Dataset)> {
     let mut sets = Vec::new();
     for paper_size in [1_000_000usize, 5_000_000, 10_000_000, 25_000_000] {
         let size = scale.triples(paper_size);
-        sets.push((
-            "synthetic",
-            BsbmGenerator::new(size).generate(),
-        ));
+        sets.push(("synthetic", BsbmGenerator::new(size).generate()));
     }
-    sets.push(("real-world", wikipedia_like(scale.triples(2_000_000) / 10, 11)));
-    sets.push(("real-world", yago_like(scale.triples(3_000_000) / 10, 12, 13)));
-    sets.push(("real-world", wordnet_like(scale.triples(1_000_000) / 500, 40, 17)));
+    sets.push((
+        "real-world",
+        wikipedia_like(scale.triples(2_000_000) / 10, 11),
+    ));
+    sets.push((
+        "real-world",
+        yago_like(scale.triples(3_000_000) / 10, 12, 13),
+    ));
+    sets.push((
+        "real-world",
+        wordnet_like(scale.triples(1_000_000) / 500, 40, 17),
+    ));
     sets
 }
 

@@ -23,9 +23,18 @@ fn datasets(scale: &ScaleConfig) -> Vec<(&'static str, Dataset)> {
         let size = scale.triples(paper_size);
         sets.push(("synthetic", LubmGenerator::new(size).generate()));
     }
-    sets.push(("real-world", wikipedia_like(scale.triples(2_000_000) / 10, 21)));
-    sets.push(("real-world", yago_like(scale.triples(3_000_000) / 10, 12, 23)));
-    sets.push(("real-world", wordnet_like(scale.triples(1_000_000) / 500, 40, 27)));
+    sets.push((
+        "real-world",
+        wikipedia_like(scale.triples(2_000_000) / 10, 21),
+    ));
+    sets.push((
+        "real-world",
+        yago_like(scale.triples(3_000_000) / 10, 12, 23),
+    ));
+    sets.push((
+        "real-world",
+        wordnet_like(scale.triples(1_000_000) / 500, 40, 27),
+    ));
     sets
 }
 

@@ -10,8 +10,8 @@
 //! ~312 M triples and needs 16 GB); the scaled default covers 50 to 1,250
 //! nodes, which already separates the approaches by orders of magnitude.
 
-use inferray_bench::{fmt_ms, print_table, run_materializer, ScaleConfig};
 use inferray_baselines::{HashJoinReasoner, NaiveIterativeReasoner};
+use inferray_bench::{fmt_ms, print_table, run_materializer, ScaleConfig};
 use inferray_core::{InferrayOptions, InferrayReasoner};
 use inferray_datasets::{chain, Dataset};
 use inferray_rules::{Fragment, Ruleset};
@@ -24,7 +24,13 @@ fn main() {
     let paper_lengths = [100usize, 500, 1_000, 2_500, 5_000, 10_000, 25_000];
     let lengths: Vec<usize> = paper_lengths.iter().map(|&l| scale.chain(l)).collect();
 
-    let mut header = vec!["chain length", "closure triples", "inferray", "inferray (no closure stage)", "hash-join"];
+    let mut header = vec![
+        "chain length",
+        "closure triples",
+        "inferray",
+        "inferray (no closure stage)",
+        "hash-join",
+    ];
     if !scale.skip_naive {
         header.push("naive-iterative");
     }

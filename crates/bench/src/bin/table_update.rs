@@ -127,7 +127,10 @@ fn main() {
 
     let speedup_sequential = seed_time.as_secs_f64() / adaptive_time.as_secs_f64().max(1e-12);
     let speedup_parallel = seed_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-12);
-    println!("seed-rebuild:        {:>10.3} ms", seed_time.as_secs_f64() * 1e3);
+    println!(
+        "seed-rebuild:        {:>10.3} ms",
+        seed_time.as_secs_f64() * 1e3
+    );
     println!(
         "adaptive-sequential: {:>10.3} ms  ({speedup_sequential:.2}x)",
         adaptive_time.as_secs_f64() * 1e3
@@ -142,7 +145,10 @@ fn main() {
     let mut store = base_store.clone();
     let stats = reasoner.materialize(&mut store);
     let profile = reasoner.last_iteration_profile();
-    println!("\nfull RDFS-Plus materialization ({} -> {} triples):", stats.input_triples, stats.output_triples);
+    println!(
+        "\nfull RDFS-Plus materialization ({} -> {} triples):",
+        stats.input_triples, stats.output_triples
+    );
     print!("{}", profile.report());
 
     // -- record -------------------------------------------------------------
@@ -246,7 +252,11 @@ fn make_rounds(store: &TripleStore) -> Vec<Vec<(u64, Vec<u64>)>> {
 }
 
 fn assert_stores_equal(expected: &TripleStore, actual: &TripleStore, label: &str) {
-    assert_eq!(expected.len(), actual.len(), "{label}: triple count diverged");
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "{label}: triple count diverged"
+    );
     for (p, table) in expected.iter_tables() {
         let other = actual
             .table(p)

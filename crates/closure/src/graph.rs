@@ -33,9 +33,8 @@ impl DenseGraph {
         labels.sort_unstable();
         labels.dedup();
 
-        let index_of = |id: u64| -> u32 {
-            labels.binary_search(&id).expect("label present") as u32
-        };
+        let index_of =
+            |id: u64| -> u32 { labels.binary_search(&id).expect("label present") as u32 };
 
         let n = labels.len();
         let mut degree = vec![0usize; n];
@@ -155,10 +154,8 @@ mod tests {
     fn edges_iterator_round_trips() {
         let input = vec![(10u64, 20u64), (20, 30), (30, 10)];
         let g = DenseGraph::from_edges(&input);
-        let mut recovered: Vec<(u64, u64)> = g
-            .edges()
-            .map(|(s, t)| (g.label(s), g.label(t)))
-            .collect();
+        let mut recovered: Vec<(u64, u64)> =
+            g.edges().map(|(s, t)| (g.label(s), g.label(t))).collect();
         recovered.sort_unstable();
         let mut expected = input;
         expected.sort_unstable();

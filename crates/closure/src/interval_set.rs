@@ -55,10 +55,7 @@ impl IntervalSet {
 
     /// Number of values in the set.
     pub fn len(&self) -> usize {
-        self.runs
-            .iter()
-            .map(|&(s, e)| (e - s) as usize + 1)
-            .sum()
+        self.runs.iter().map(|&(s, e)| (e - s) as usize + 1).sum()
     }
 
     /// `true` when the set holds no value.
@@ -259,7 +256,10 @@ mod tests {
 
     #[test]
     fn singleton_and_range_constructors() {
-        assert_eq!(IntervalSet::singleton(7).iter().collect::<Vec<_>>(), vec![7]);
+        assert_eq!(
+            IntervalSet::singleton(7).iter().collect::<Vec<_>>(),
+            vec![7]
+        );
         assert_eq!(IntervalSet::from_range(3, 3).len(), 1);
     }
 

@@ -137,10 +137,7 @@ mod tests {
     #[test]
     fn bfs_closure_on_chain() {
         let closed = bfs_closure(&[(1, 2), (2, 3), (3, 4)]);
-        assert_eq!(
-            closed,
-            vec![(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
-        );
+        assert_eq!(closed, vec![(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]);
     }
 
     #[test]

@@ -214,8 +214,7 @@ mod tests {
     #[test]
     fn diamond_dag() {
         let closed = transitive_closure(&[(1, 2), (1, 3), (2, 4), (3, 4)]);
-        let expected: Vec<(u64, u64)> =
-            vec![(1, 2), (1, 3), (1, 4), (2, 4), (3, 4)];
+        let expected: Vec<(u64, u64)> = vec![(1, 2), (1, 3), (1, 4), (2, 4), (3, 4)];
         assert_eq!(closed, expected);
     }
 

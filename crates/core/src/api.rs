@@ -78,8 +78,16 @@ mod tests {
 
     fn family() -> Graph {
         let mut g = Graph::new();
-        g.insert_iris("http://ex/human", vocab::RDFS_SUB_CLASS_OF, "http://ex/mammal");
-        g.insert_iris("http://ex/mammal", vocab::RDFS_SUB_CLASS_OF, "http://ex/animal");
+        g.insert_iris(
+            "http://ex/human",
+            vocab::RDFS_SUB_CLASS_OF,
+            "http://ex/mammal",
+        );
+        g.insert_iris(
+            "http://ex/mammal",
+            vocab::RDFS_SUB_CLASS_OF,
+            "http://ex/animal",
+        );
         g.insert_iris("http://ex/Bart", vocab::RDF_TYPE, "http://ex/human");
         g
     }

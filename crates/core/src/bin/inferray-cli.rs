@@ -93,8 +93,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
 
 fn read_input(options: &CliOptions) -> Result<String, String> {
     match &options.input {
-        Some(path) => std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}")),
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
         None => {
             let mut buffer = String::new();
             std::io::stdin()

@@ -38,8 +38,20 @@ pub fn run_closure_stage(
     let mut stats = ClosureStageStats::default();
 
     // Always: the RDFS schema hierarchies.
-    close_property(store, wellknown::RDFS_SUB_CLASS_OF, false, &mut stats, profile);
-    close_property(store, wellknown::RDFS_SUB_PROPERTY_OF, false, &mut stats, profile);
+    close_property(
+        store,
+        wellknown::RDFS_SUB_CLASS_OF,
+        false,
+        &mut stats,
+        profile,
+    );
+    close_property(
+        store,
+        wellknown::RDFS_SUB_PROPERTY_OF,
+        false,
+        &mut stats,
+        profile,
+    );
 
     if matches!(fragment, Fragment::RdfsPlus | Fragment::RdfsPlusFull) {
         // owl:sameAs — symmetric, so symmetrize before closing (§4.1).
@@ -163,7 +175,10 @@ mod tests {
         let mut rdfs = store(&triples);
         let mut profile = AccessProfile::default();
         run_closure_stage(&mut rdfs, Fragment::RdfsFull, &mut profile);
-        assert!(!rdfs.contains(&IdTriple::new(A, ancestor, C)), "RDFS ignores owl:TransitiveProperty");
+        assert!(
+            !rdfs.contains(&IdTriple::new(A, ancestor, C)),
+            "RDFS ignores owl:TransitiveProperty"
+        );
 
         let mut plus = store(&triples);
         let stats = run_closure_stage(&mut plus, Fragment::RdfsPlus, &mut profile);
@@ -183,10 +198,7 @@ mod tests {
 
     #[test]
     fn closure_is_idempotent() {
-        let mut s = store(&[
-            (A, wk::RDFS_SUB_CLASS_OF, B),
-            (B, wk::RDFS_SUB_CLASS_OF, C),
-        ]);
+        let mut s = store(&[(A, wk::RDFS_SUB_CLASS_OF, B), (B, wk::RDFS_SUB_CLASS_OF, C)]);
         let mut profile = AccessProfile::default();
         let first = run_closure_stage(&mut s, Fragment::RdfsDefault, &mut profile);
         let len_after_first = s.len();

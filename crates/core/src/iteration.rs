@@ -27,6 +27,11 @@ pub struct IterationSample {
     pub new_pairs: usize,
     /// Property tables that received inferred pairs.
     pub properties_touched: usize,
+    /// Rules actually fired this iteration (the §4.3 dependency schedule).
+    pub rules_fired: usize,
+    /// Rules of the ruleset skipped because none of their input tables
+    /// received new pairs in the previous iteration.
+    pub rules_skipped: usize,
 }
 
 /// The iteration-by-iteration profile of one materialization run.
@@ -52,16 +57,26 @@ impl IterationProfile {
         self.samples.iter().map(|s| s.os_cache).sum()
     }
 
+    /// Total rule firings across the run.
+    pub fn total_rules_fired(&self) -> usize {
+        self.samples.iter().map(|s| s.rules_fired).sum()
+    }
+
+    /// Total rule firings the dependency scheduler avoided.
+    pub fn total_rules_skipped(&self) -> usize {
+        self.samples.iter().map(|s| s.rules_skipped).sum()
+    }
+
     /// Renders a compact plain-text report (one line per iteration).
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from(
-            "iter  os-cache-ms    fire-ms  update-ms    raw-pairs    new-pairs  tables\n",
+            "iter  os-cache-ms    fire-ms  update-ms    raw-pairs    new-pairs  tables  fired  skipped\n",
         );
         for s in &self.samples {
             let _ = writeln!(
                 out,
-                "{:>4} {:>12.3} {:>10.3} {:>10.3} {:>12} {:>12} {:>7}",
+                "{:>4} {:>12.3} {:>10.3} {:>10.3} {:>12} {:>12} {:>7} {:>6} {:>8}",
                 s.iteration,
                 s.os_cache.as_secs_f64() * 1e3,
                 s.fire.as_secs_f64() * 1e3,
@@ -69,14 +84,18 @@ impl IterationProfile {
                 s.raw_pairs,
                 s.new_pairs,
                 s.properties_touched,
+                s.rules_fired,
+                s.rules_skipped,
             );
         }
         let _ = writeln!(
             out,
-            "total fire {:.3} ms, update {:.3} ms over {} iterations",
+            "total fire {:.3} ms, update {:.3} ms over {} iterations ({} rules fired, {} skipped)",
             self.total_fire().as_secs_f64() * 1e3,
             self.total_update().as_secs_f64() * 1e3,
             self.samples.len(),
+            self.total_rules_fired(),
+            self.total_rules_skipped(),
         );
         out
     }
@@ -98,6 +117,8 @@ mod tests {
                     raw_pairs: 100,
                     new_pairs: 40,
                     properties_touched: 3,
+                    rules_fired: 10,
+                    rules_skipped: 0,
                 },
                 IterationSample {
                     iteration: 2,
@@ -107,14 +128,19 @@ mod tests {
                     raw_pairs: 10,
                     new_pairs: 0,
                     properties_touched: 1,
+                    rules_fired: 4,
+                    rules_skipped: 6,
                 },
             ],
         };
         assert_eq!(profile.total_fire(), Duration::from_millis(5));
         assert_eq!(profile.total_update(), Duration::from_millis(3));
         assert_eq!(profile.total_os_cache(), Duration::from_millis(4));
+        assert_eq!(profile.total_rules_fired(), 14);
+        assert_eq!(profile.total_rules_skipped(), 6);
         let report = profile.report();
         assert!(report.contains("2 iterations"));
+        assert!(report.contains("14 rules fired, 6 skipped"));
         assert!(report.lines().count() >= 4);
     }
 }

@@ -15,6 +15,12 @@ pub struct InferrayOptions {
     /// on the in-loop θ executors. Only used by the ablation benchmark that
     /// quantifies the benefit of the dedicated stage (Table 4 discussion).
     pub skip_closure_stage: bool,
+    /// Schedule rules by the §4.3 dependency graph: from iteration 2 on,
+    /// fire only the rules whose input tables received new pairs in the
+    /// previous iteration. The result is byte-identical to firing every rule
+    /// (a rule with unchanged inputs can only re-derive duplicates); disable
+    /// as an escape hatch for debugging or to measure the saving.
+    pub schedule_rules: bool,
 }
 
 impl Default for InferrayOptions {
@@ -23,6 +29,7 @@ impl Default for InferrayOptions {
             parallel: true,
             max_iterations: 64,
             skip_closure_stage: false,
+            schedule_rules: true,
         }
     }
 }
@@ -48,6 +55,17 @@ impl InferrayOptions {
             ..Self::default()
         }
     }
+
+    /// Configuration with delta-driven rule scheduling disabled: every rule
+    /// of the ruleset fires on every iteration (the pre-scheduler behaviour,
+    /// kept as the reference for the equivalence suite and the `rule_firing`
+    /// benchmark).
+    pub fn unscheduled() -> Self {
+        InferrayOptions {
+            schedule_rules: false,
+            ..Self::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -59,6 +77,7 @@ mod tests {
         let opts = InferrayOptions::default();
         assert!(opts.parallel);
         assert!(!opts.skip_closure_stage);
+        assert!(opts.schedule_rules);
         assert!(opts.max_iterations >= 16);
     }
 
@@ -66,6 +85,8 @@ mod tests {
     fn presets() {
         assert!(!InferrayOptions::sequential().parallel);
         assert!(InferrayOptions::without_closure_stage().skip_closure_stage);
+        assert!(!InferrayOptions::unscheduled().schedule_rules);
+        assert!(InferrayOptions::unscheduled().parallel);
         assert_eq!(InferrayOptions::new(), InferrayOptions::default());
     }
 }

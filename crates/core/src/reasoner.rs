@@ -5,7 +5,11 @@
 //! iteration):
 //!
 //! * **rule firing** (§4.3) — one task per rule, each with its own
-//!   [`InferredBuffer`];
+//!   [`InferredBuffer`]. From iteration 2 on, only the rules whose input
+//!   tables received new pairs in the previous iteration are scheduled
+//!   (the rule-dependency graph of §4.3; see `docs/rule-scheduling.md`),
+//!   which makes late iterations — where the frontier touches one or two
+//!   properties — nearly free;
 //! * **table update** (Figure 5) — the per-property sort + dedup + merge is
 //!   embarrassingly parallel across properties: the affected tables are
 //!   *taken out* of the store, chunked round-robin across the pool's lanes
@@ -190,17 +194,17 @@ impl InferrayReasoner {
         &self.last_iteration_profile
     }
 
-    /// Applies every rule once over (`main`, `new`), returning the combined
-    /// inferred buffer. Each rule owns its buffer; with a pool each rule
-    /// also runs as its own task (§4.3). Buffers are absorbed in rule
+    /// Applies the given rules once over (`main`, `new`), returning the
+    /// combined inferred buffer. Each rule owns its buffer; with a pool each
+    /// rule also runs as its own task (§4.3). Buffers are absorbed in rule
     /// order, so the combined buffer is schedule-independent.
     fn fire_rules(
         &self,
         pool: Option<&ThreadPool>,
         main: &TripleStore,
         new: &TripleStore,
+        rules: &[RuleId],
     ) -> InferredBuffer {
-        let rules: &[RuleId] = self.ruleset.rules();
         let mut combined = InferredBuffer::new();
         match pool {
             Some(pool) if rules.len() > 1 => {
@@ -281,7 +285,7 @@ impl InferrayReasoner {
             self.last_iteration_profile = IterationProfile::default();
             FixedPointOutcome::default()
         } else {
-            self.run_fixed_point(store, new, &mut profile)
+            self.run_fixed_point(store, new, &mut profile, true)
         };
 
         InferenceStats {
@@ -297,11 +301,19 @@ impl InferrayReasoner {
 
     /// The fixed-point loop of Algorithm 1 (lines 4–8), shared by the full
     /// materialization and the incremental path.
+    ///
+    /// `schedule_first_iteration` is set by [`Self::materialize_delta`],
+    /// whose iteration-1 frontier is the (typically tiny) delta against an
+    /// already-materialized store, so even the first firing round can be
+    /// restricted to the rules the delta's properties feed. The full
+    /// materialization passes `false`: its first iteration has `new == main`
+    /// and must fire the complete ruleset.
     fn run_fixed_point(
         &mut self,
         store: &mut TripleStore,
         mut new: TripleStore,
         profile: &mut AccessProfile,
+        schedule_first_iteration: bool,
     ) -> FixedPointOutcome {
         let pool = if self.options.parallel {
             Some(inferray_parallel::global())
@@ -316,22 +328,39 @@ impl InferrayReasoner {
 
         let mut iteration_profile = IterationProfile::default();
         let mut outcome = FixedPointOutcome::default();
+        let total_rules = self.ruleset.len();
         while !new.is_empty() && outcome.iterations < self.options.max_iterations {
             outcome.iterations += 1;
 
             // Pre-build the ⟨o,s⟩ caches so the parallel phase is read-only
             // (timed separately: this re-sorts the caches the previous
             // iteration's merges invalidated, which is neither rule firing
-            // nor this iteration's merge work).
+            // nor this iteration's merge work). Only the pairs actually
+            // re-sorted are charged to the access profile — caches that
+            // survived the previous iteration untouched cost nothing.
             let os_start = Instant::now();
-            store.ensure_all_os_with(&mut scratches[0]);
-            new.ensure_all_os_with(&mut scratches[0]);
-            profile.sequential(2 * (store.len() + new.len()) as u64);
+            let resorted = store.ensure_all_os_with(&mut scratches[0])
+                + new.ensure_all_os_with(&mut scratches[0]);
+            profile.sequential(2 * resorted as u64);
             let os_cache = os_start.elapsed();
 
-            // Line 5: fire all rules.
+            // Line 5: fire the scheduled rules. A full materialization fires
+            // everything on iteration 1 (`new == main`: every input is
+            // "changed"); the incremental path schedules from the start,
+            // because its iteration 1 frontier is the delta and the store is
+            // already a fixed point of the ruleset. From iteration 2 on,
+            // only the rules whose input tables received new pairs in the
+            // previous iteration — exactly the tables of `new` — can derive
+            // anything but duplicates (§4.3).
+            let schedule =
+                self.options.schedule_rules && (outcome.iterations > 1 || schedule_first_iteration);
+            let scheduled: Vec<RuleId> = if schedule {
+                self.ruleset.scheduled_rules(store, &new)
+            } else {
+                self.ruleset.rules().to_vec()
+            };
             let fire_start = Instant::now();
-            let inferred = self.fire_rules(pool, store, &new);
+            let inferred = self.fire_rules(pool, store, &new, &scheduled);
             let fire = fire_start.elapsed();
             let raw_pairs = inferred.len();
             outcome.derived_raw += raw_pairs;
@@ -365,6 +394,8 @@ impl InferrayReasoner {
                 raw_pairs,
                 new_pairs,
                 properties_touched,
+                rules_fired: scheduled.len(),
+                rules_skipped: total_rules - scheduled.len(),
             });
             new = next_new;
         }
@@ -394,8 +425,7 @@ impl Materializer for InferrayReasoner {
 
         // Step 1 (Algorithm 1, line 2): dedicated transitive-closure stage.
         if !self.options.skip_closure_stage {
-            self.last_closure_stats =
-                run_closure_stage(store, self.ruleset.fragment, &mut profile);
+            self.last_closure_stats = run_closure_stage(store, self.ruleset.fragment, &mut profile);
         } else {
             self.last_closure_stats = ClosureStageStats::default();
         }
@@ -405,7 +435,7 @@ impl Materializer for InferrayReasoner {
         profile.allocate(2 * new.len() as u64);
 
         // Step 3 (lines 4-8): fixed point.
-        let outcome = self.run_fixed_point(store, new, &mut profile);
+        let outcome = self.run_fixed_point(store, new, &mut profile, false);
 
         InferenceStats {
             input_triples,
@@ -509,7 +539,10 @@ mod tests {
         assert!(data.contains(&IdTriple::new(bob, kned_by, alyce)));
         // sameAs is symmetric.
         assert!(data.contains(&IdTriple::new(alyce, wk::OWL_SAME_AS, alice)));
-        assert!(stats.iterations >= 2, "needs at least two iterations to chase the interaction");
+        assert!(
+            stats.iterations >= 2,
+            "needs at least two iterations to chase the interaction"
+        );
     }
 
     #[test]
@@ -593,6 +626,57 @@ mod tests {
             "full transitive closure expected"
         );
         assert!(stats.duration.as_nanos() > 0);
+    }
+
+    #[test]
+    fn scheduled_and_unscheduled_runs_agree_byte_for_byte() {
+        // The sameAs/inverse interaction needs several iterations, each
+        // touching different properties — the scheduler has real decisions
+        // to make.
+        let knows = nth_property_id(710);
+        let kned_by = nth_property_id(711);
+        let alice = 9_400_000u64;
+        let build = || {
+            store(&[
+                (knows, wk::OWL_INVERSE_OF, kned_by),
+                (alice, wk::OWL_SAME_AS, alice + 1),
+                (alice, knows, alice + 2),
+                (alice + 2, wk::RDF_TYPE, alice + 3),
+                (alice + 3, wk::RDFS_SUB_CLASS_OF, alice + 4),
+            ])
+        };
+        let mut scheduled_store = build();
+        let mut full_store = build();
+        let mut scheduled =
+            InferrayReasoner::with_options(Fragment::RdfsPlus, InferrayOptions::default());
+        scheduled.materialize(&mut scheduled_store);
+        InferrayReasoner::with_options(Fragment::RdfsPlus, InferrayOptions::unscheduled())
+            .materialize(&mut full_store);
+        let a: Vec<_> = scheduled_store.iter_triples().collect();
+        let b: Vec<_> = full_store.iter_triples().collect();
+        assert_eq!(a, b);
+        // The run took several iterations and the scheduler skipped rules.
+        let profile = scheduled.last_iteration_profile();
+        assert!(profile.samples.len() >= 2);
+        assert_eq!(
+            profile.samples[0].rules_skipped, 0,
+            "iteration 1 fires everything"
+        );
+        assert!(profile.total_rules_skipped() > 0);
+    }
+
+    #[test]
+    fn unscheduled_profile_reports_no_skips() {
+        let mut data = family_dataset();
+        let mut reasoner =
+            InferrayReasoner::with_options(Fragment::RdfsDefault, InferrayOptions::unscheduled());
+        reasoner.materialize(&mut data);
+        let profile = reasoner.last_iteration_profile();
+        assert!(profile.total_rules_skipped() == 0);
+        assert!(profile
+            .samples
+            .iter()
+            .all(|s| s.rules_fired == Ruleset::for_fragment(Fragment::RdfsDefault).len()));
     }
 
     #[test]

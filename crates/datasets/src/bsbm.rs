@@ -80,7 +80,11 @@ impl BsbmGenerator {
         let offer = iri("Offer");
         let vendor = iri("Vendor");
         let review = iri("Review");
-        triples.push(Triple::iris(&product, vocab::RDFS_SUB_CLASS_OF, levels[0][0].clone()));
+        triples.push(Triple::iris(
+            &product,
+            vocab::RDFS_SUB_CLASS_OF,
+            levels[0][0].clone(),
+        ));
 
         let produced_by = iri("producedBy");
         let made_by = iri("madeBy"); // subPropertyOf producedBy
@@ -95,7 +99,11 @@ impl BsbmGenerator {
             (&offered_by, &offer, &vendor),
             (&reviewed_product, &review, &product),
         ] {
-            triples.push(Triple::iris(prop.clone(), vocab::RDFS_DOMAIN, domain.clone()));
+            triples.push(Triple::iris(
+                prop.clone(),
+                vocab::RDFS_DOMAIN,
+                domain.clone(),
+            ));
             triples.push(Triple::iris(prop.clone(), vocab::RDFS_RANGE, range.clone()));
         }
         triples.push(Triple::iris(&price, vocab::RDFS_DOMAIN, offer.clone()));
@@ -126,7 +134,11 @@ impl BsbmGenerator {
             triples.push(Triple::iris(&product_iri, vocab::RDF_TYPE, leaf.clone()));
             let producer_iri = iri(&format!("Producer{}", rng.gen_range(0..n_producers)));
             // Half the products use the sub-property, exercising PRP-SPO1.
-            let link = if rng.gen_bool(0.5) { &made_by } else { &produced_by };
+            let link = if rng.gen_bool(0.5) {
+                &made_by
+            } else {
+                &produced_by
+            };
             triples.push(Triple::iris(&product_iri, link.clone(), producer_iri));
             if triples.len() >= self.target_triples {
                 break;
@@ -134,7 +146,11 @@ impl BsbmGenerator {
 
             // One offer per product (three triples).
             let offer_iri = iri(&format!("Offer{i}"));
-            triples.push(Triple::iris(&offer_iri, offered_product.clone(), product_iri.clone()));
+            triples.push(Triple::iris(
+                &offer_iri,
+                offered_product.clone(),
+                product_iri.clone(),
+            ));
             triples.push(Triple::iris(
                 &offer_iri,
                 offered_by.clone(),
@@ -171,8 +187,16 @@ mod tests {
     fn respects_the_triple_budget_approximately() {
         for target in [500usize, 5_000, 20_000] {
             let dataset = BsbmGenerator::new(target).generate();
-            assert!(dataset.len() >= target * 9 / 10, "too small for {target}: {}", dataset.len());
-            assert!(dataset.len() <= target + 16, "too large for {target}: {}", dataset.len());
+            assert!(
+                dataset.len() >= target * 9 / 10,
+                "too small for {target}: {}",
+                dataset.len()
+            );
+            assert!(
+                dataset.len() <= target + 16,
+                "too large for {target}: {}",
+                dataset.len()
+            );
         }
     }
 
@@ -188,12 +212,7 @@ mod tests {
     #[test]
     fn contains_the_schema_constructs_rdfs_needs() {
         let dataset = BsbmGenerator::new(3_000).generate();
-        let has_pred = |p: &str| {
-            dataset
-                .triples
-                .iter()
-                .any(|t| t.predicate == Term::iri(p))
-        };
+        let has_pred = |p: &str| dataset.triples.iter().any(|t| t.predicate == Term::iri(p));
         assert!(has_pred(vocab::RDFS_SUB_CLASS_OF));
         assert!(has_pred(vocab::RDFS_SUB_PROPERTY_OF));
         assert!(has_pred(vocab::RDFS_DOMAIN));

@@ -53,7 +53,10 @@ mod tests {
     #[test]
     fn chain_edges_are_consecutive() {
         let triples = subclass_chain(4);
-        assert_eq!(triples[0].subject.as_iri().unwrap(), format!("{CHAIN_NS}C0"));
+        assert_eq!(
+            triples[0].subject.as_iri().unwrap(),
+            format!("{CHAIN_NS}C0")
+        );
         assert_eq!(triples[2].object.as_iri().unwrap(), format!("{CHAIN_NS}C3"));
         assert!(triples
             .iter()

@@ -80,10 +80,18 @@ impl LubmGenerator {
             (&university, &organization),
             (&department, &organization),
         ] {
-            triples.push(Triple::iris(sub.clone(), vocab::RDFS_SUB_CLASS_OF, sup.clone()));
+            triples.push(Triple::iris(
+                sub.clone(),
+                vocab::RDFS_SUB_CLASS_OF,
+                sup.clone(),
+            ));
         }
         // An equivalence to exercise the CAX-EQC / SCM-EQC rules.
-        triples.push(Triple::iris(&professor, vocab::OWL_EQUIVALENT_CLASS, iri("Prof")));
+        triples.push(Triple::iris(
+            &professor,
+            vocab::OWL_EQUIVALENT_CLASS,
+            iri("Prof"),
+        ));
 
         let member_of = iri("memberOf");
         let works_for = iri("worksFor");
@@ -95,12 +103,36 @@ impl LubmGenerator {
         let advisor = iri("advisor");
         let email = iri("emailAddress");
 
-        triples.push(Triple::iris(&works_for, vocab::RDFS_SUB_PROPERTY_OF, member_of.clone()));
-        triples.push(Triple::iris(&head_of, vocab::RDFS_SUB_PROPERTY_OF, works_for.clone()));
-        triples.push(Triple::iris(&sub_org_of, vocab::RDF_TYPE, vocab::OWL_TRANSITIVE_PROPERTY));
-        triples.push(Triple::iris(&teacher_of, vocab::OWL_INVERSE_OF, taught_by.clone()));
-        triples.push(Triple::iris(&email, vocab::RDF_TYPE, vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY));
-        triples.push(Triple::iris(&advisor, vocab::RDF_TYPE, vocab::OWL_FUNCTIONAL_PROPERTY));
+        triples.push(Triple::iris(
+            &works_for,
+            vocab::RDFS_SUB_PROPERTY_OF,
+            member_of.clone(),
+        ));
+        triples.push(Triple::iris(
+            &head_of,
+            vocab::RDFS_SUB_PROPERTY_OF,
+            works_for.clone(),
+        ));
+        triples.push(Triple::iris(
+            &sub_org_of,
+            vocab::RDF_TYPE,
+            vocab::OWL_TRANSITIVE_PROPERTY,
+        ));
+        triples.push(Triple::iris(
+            &teacher_of,
+            vocab::OWL_INVERSE_OF,
+            taught_by.clone(),
+        ));
+        triples.push(Triple::iris(
+            &email,
+            vocab::RDF_TYPE,
+            vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY,
+        ));
+        triples.push(Triple::iris(
+            &advisor,
+            vocab::RDF_TYPE,
+            vocab::OWL_FUNCTIONAL_PROPERTY,
+        ));
 
         for (prop, domain, range) in [
             (&works_for, &person, &organization),
@@ -110,7 +142,11 @@ impl LubmGenerator {
             (&advisor, &student, &professor),
             (&sub_org_of, &organization, &organization),
         ] {
-            triples.push(Triple::iris(prop.clone(), vocab::RDFS_DOMAIN, domain.clone()));
+            triples.push(Triple::iris(
+                prop.clone(),
+                vocab::RDFS_DOMAIN,
+                domain.clone(),
+            ));
             triples.push(Triple::iris(prop.clone(), vocab::RDFS_RANGE, range.clone()));
         }
 
@@ -147,7 +183,11 @@ impl LubmGenerator {
             }
             let prof = iri(&format!("Professor{p}"));
             let dept = iri(&format!("Department{}", p % n_departments));
-            let class = if p % 3 == 0 { &full_professor } else { &professor };
+            let class = if p % 3 == 0 {
+                &full_professor
+            } else {
+                &professor
+            };
             triples.push(Triple::iris(&prof, vocab::RDF_TYPE, class.clone()));
             let employment = if p % 10 == 0 { &head_of } else { &works_for };
             triples.push(Triple::iris(&prof, employment.clone(), dept));
@@ -164,7 +204,11 @@ impl LubmGenerator {
                 triples.push(Triple::iris(&prof, vocab::OWL_SAME_AS, alias.clone()));
                 // The alias shares the professor's mailbox, so PRP-IFP also
                 // rediscovers the equality.
-                triples.push(Triple::iris(&alias, email.clone(), iri(&format!("mailto/prof{p}"))));
+                triples.push(Triple::iris(
+                    &alias,
+                    email.clone(),
+                    iri(&format!("mailto/prof{p}")),
+                ));
             }
         }
 
@@ -234,13 +278,16 @@ mod tests {
     fn contains_the_owl_constructs_rdfs_plus_needs() {
         let dataset = LubmGenerator::new(5_000).generate();
         let has = |p: &str, o: Option<&str>| {
-            dataset.triples.iter().any(|t| {
-                t.predicate == Term::iri(p)
-                    && o.is_none_or(|o| t.object == Term::iri(o))
-            })
+            dataset
+                .triples
+                .iter()
+                .any(|t| t.predicate == Term::iri(p) && o.is_none_or(|o| t.object == Term::iri(o)))
         };
         assert!(has(vocab::RDF_TYPE, Some(vocab::OWL_TRANSITIVE_PROPERTY)));
-        assert!(has(vocab::RDF_TYPE, Some(vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY)));
+        assert!(has(
+            vocab::RDF_TYPE,
+            Some(vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY)
+        ));
         assert!(has(vocab::RDF_TYPE, Some(vocab::OWL_FUNCTIONAL_PROPERTY)));
         assert!(has(vocab::OWL_INVERSE_OF, None));
         assert!(has(vocab::OWL_SAME_AS, None));

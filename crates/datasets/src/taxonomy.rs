@@ -41,7 +41,11 @@ pub fn wikipedia_like(n_categories: usize, seed: u64) -> Dataset {
         triples.push(Triple::iris(&category, vocab::RDFS_SUB_CLASS_OF, mid));
         if rng.gen_bool(0.2) {
             let second_parent = iri(&format!("MidCategory{}", rng.gen_range(0..n_mid)));
-            triples.push(Triple::iris(&category, vocab::RDFS_SUB_CLASS_OF, second_parent));
+            triples.push(Triple::iris(
+                &category,
+                vocab::RDFS_SUB_CLASS_OF,
+                second_parent,
+            ));
         }
     }
     for m in 0..n_mid {
@@ -103,7 +107,10 @@ pub fn yago_like(n_classes: usize, depth: usize, seed: u64) -> Dataset {
         triples.push(Triple::iris(
             &entity,
             vocab::RDF_TYPE,
-            iri(&format!("YagoClass{}", rng.gen_range(n_classes / 2..n_classes))),
+            iri(&format!(
+                "YagoClass{}",
+                rng.gen_range(n_classes / 2..n_classes)
+            )),
         ));
         triples.push(Triple::iris(
             &entity,
@@ -133,7 +140,10 @@ pub fn wordnet_like(n_chains: usize, chain_length: usize, seed: u64) -> Dataset 
             triples.push(Triple::iris(
                 iri(&format!("Word_{chain}_{w}")),
                 vocab::RDF_TYPE,
-                iri(&format!("Synset_{chain}_{}", rng.gen_range(0..chain_length.max(1)))),
+                iri(&format!(
+                    "Synset_{chain}_{}",
+                    rng.gen_range(0..chain_length.max(1))
+                )),
             ));
         }
     }
@@ -193,9 +203,15 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(wikipedia_like(100, 9).triples, wikipedia_like(100, 9).triples);
+        assert_eq!(
+            wikipedia_like(100, 9).triples,
+            wikipedia_like(100, 9).triples
+        );
         assert_eq!(yago_like(100, 5, 9).triples, yago_like(100, 5, 9).triples);
-        assert_eq!(wordnet_like(5, 10, 9).triples, wordnet_like(5, 10, 9).triples);
+        assert_eq!(
+            wordnet_like(5, 10, 9).triples,
+            wordnet_like(5, 10, 9).triples
+        );
     }
 
     #[test]

@@ -177,7 +177,8 @@ impl Dictionary {
                 || x == crate::wellknown::RDFS_RANGE
                 || x == crate::wellknown::OWL_EQUIVALENT_PROPERTY
                 || x == crate::wellknown::OWL_INVERSE_OF
-        ) || (p == crate::wellknown::RDF_TYPE && object_is_property_class(&triple.object));
+        ) || (p == crate::wellknown::RDF_TYPE
+            && object_is_property_class(&triple.object));
         let object_is_property = matches!(
             p,
             x if x == crate::wellknown::RDFS_SUB_PROPERTY_OF

@@ -28,9 +28,8 @@ fn arbitrary_predicate() -> impl Strategy<Value = Term> {
 
 fn arbitrary_triples() -> impl Strategy<Value = Vec<Triple>> {
     prop::collection::vec(
-        ("[a-z]{1,6}", arbitrary_predicate(), arbitrary_term()).prop_map(|(s, p, o)| {
-            Triple::new(Term::iri(format!("http://example.org/{s}")), p, o)
-        }),
+        ("[a-z]{1,6}", arbitrary_predicate(), arbitrary_term())
+            .prop_map(|(s, p, o)| Triple::new(Term::iri(format!("http://example.org/{s}")), p, o)),
         0..40,
     )
 }
@@ -130,11 +129,15 @@ fn late_property_discovery_promotes_and_reports_the_mapping() {
 fn well_known_vocabulary_is_preloaded_at_fixed_ids() {
     let dictionary = Dictionary::new();
     assert_eq!(
-        dictionary.id_of(&Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")),
+        dictionary.id_of(&Term::iri(
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        )),
         Some(wellknown::RDF_TYPE)
     );
     assert_eq!(
-        dictionary.id_of(&Term::iri("http://www.w3.org/2000/01/rdf-schema#subClassOf")),
+        dictionary.id_of(&Term::iri(
+            "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+        )),
         Some(wellknown::RDFS_SUB_CLASS_OF)
     );
     assert_eq!(
@@ -142,7 +145,10 @@ fn well_known_vocabulary_is_preloaded_at_fixed_ids() {
         Some(wellknown::OWL_THING)
     );
     // A fresh dictionary contains exactly the preloaded vocabulary.
-    assert_eq!(dictionary.num_properties(), wellknown::NUM_SCHEMA_PROPERTIES);
+    assert_eq!(
+        dictionary.num_properties(),
+        wellknown::NUM_SCHEMA_PROPERTIES
+    );
     assert_eq!(dictionary.num_resources(), wellknown::NUM_SCHEMA_RESOURCES);
 }
 

@@ -70,7 +70,9 @@ impl Graph {
         &'a self,
         predicate: &'a Term,
     ) -> impl Iterator<Item = &'a Triple> + 'a {
-        self.triples.iter().filter(move |t| &t.predicate == predicate)
+        self.triples
+            .iter()
+            .filter(move |t| &t.predicate == predicate)
     }
 
     /// All triples whose subject equals `subject`.
@@ -162,8 +164,16 @@ mod tests {
 
     fn sample() -> Graph {
         let mut g = Graph::new();
-        g.insert_iris("http://ex/human", vocab::RDFS_SUB_CLASS_OF, "http://ex/mammal");
-        g.insert_iris("http://ex/mammal", vocab::RDFS_SUB_CLASS_OF, "http://ex/animal");
+        g.insert_iris(
+            "http://ex/human",
+            vocab::RDFS_SUB_CLASS_OF,
+            "http://ex/mammal",
+        );
+        g.insert_iris(
+            "http://ex/mammal",
+            vocab::RDFS_SUB_CLASS_OF,
+            "http://ex/animal",
+        );
         g.insert_iris("http://ex/Bart", vocab::RDF_TYPE, "http://ex/human");
         g
     }

@@ -12,8 +12,7 @@ use std::fmt;
 pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
 
 /// The datatype of language-tagged strings.
-pub const RDF_LANG_STRING: &str =
-    "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+pub const RDF_LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
 
 /// Coarse classification of a [`Term`], useful for validity checks
 /// (e.g. a predicate must be an IRI, a subject must not be a literal).
@@ -317,10 +316,12 @@ mod tests {
 
     #[test]
     fn term_ordering_is_total_and_stable() {
-        let mut v = [Term::plain_literal("z"),
+        let mut v = [
+            Term::plain_literal("z"),
             Term::iri("a"),
             Term::blank("b"),
-            Term::iri("b")];
+            Term::iri("b"),
+        ];
         v.sort();
         let sorted: Vec<_> = v.iter().map(|t| t.to_string()).collect();
         assert_eq!(sorted, vec!["<a>", "<b>", "_:b", "\"z\""]);

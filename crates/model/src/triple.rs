@@ -42,11 +42,7 @@ impl Triple {
         predicate: impl Into<String>,
         object: impl Into<String>,
     ) -> Self {
-        Triple::new(
-            Term::iri(subject),
-            Term::iri(predicate),
-            Term::iri(object),
-        )
+        Triple::new(Term::iri(subject), Term::iri(predicate), Term::iri(object))
     }
 
     /// `true` when each component is a term allowed in its position by the
@@ -134,7 +130,11 @@ mod tests {
 
     #[test]
     fn blank_predicate_is_invalid() {
-        let t = Triple::new(Term::iri("http://s"), Term::blank("p"), Term::iri("http://o"));
+        let t = Triple::new(
+            Term::iri("http://s"),
+            Term::blank("p"),
+            Term::iri("http://o"),
+        );
         assert!(!t.is_valid());
     }
 

@@ -34,8 +34,7 @@ pub const RDF_NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
 /// `rdfs:subClassOf` — transitive class hierarchy property.
 pub const RDFS_SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
 /// `rdfs:subPropertyOf` — transitive property hierarchy property.
-pub const RDFS_SUB_PROPERTY_OF: &str =
-    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+pub const RDFS_SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
 /// `rdfs:domain`.
 pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
 /// `rdfs:range`.
@@ -65,19 +64,15 @@ pub const OWL_SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
 /// `owl:equivalentClass`.
 pub const OWL_EQUIVALENT_CLASS: &str = "http://www.w3.org/2002/07/owl#equivalentClass";
 /// `owl:equivalentProperty`.
-pub const OWL_EQUIVALENT_PROPERTY: &str =
-    "http://www.w3.org/2002/07/owl#equivalentProperty";
+pub const OWL_EQUIVALENT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#equivalentProperty";
 /// `owl:inverseOf`.
 pub const OWL_INVERSE_OF: &str = "http://www.w3.org/2002/07/owl#inverseOf";
 /// `owl:TransitiveProperty`.
-pub const OWL_TRANSITIVE_PROPERTY: &str =
-    "http://www.w3.org/2002/07/owl#TransitiveProperty";
+pub const OWL_TRANSITIVE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#TransitiveProperty";
 /// `owl:SymmetricProperty`.
-pub const OWL_SYMMETRIC_PROPERTY: &str =
-    "http://www.w3.org/2002/07/owl#SymmetricProperty";
+pub const OWL_SYMMETRIC_PROPERTY: &str = "http://www.w3.org/2002/07/owl#SymmetricProperty";
 /// `owl:FunctionalProperty`.
-pub const OWL_FUNCTIONAL_PROPERTY: &str =
-    "http://www.w3.org/2002/07/owl#FunctionalProperty";
+pub const OWL_FUNCTIONAL_PROPERTY: &str = "http://www.w3.org/2002/07/owl#FunctionalProperty";
 /// `owl:InverseFunctionalProperty`.
 pub const OWL_INVERSE_FUNCTIONAL_PROPERTY: &str =
     "http://www.w3.org/2002/07/owl#InverseFunctionalProperty";
@@ -88,8 +83,7 @@ pub const OWL_THING: &str = "http://www.w3.org/2002/07/owl#Thing";
 /// `owl:Nothing`.
 pub const OWL_NOTHING: &str = "http://www.w3.org/2002/07/owl#Nothing";
 /// `owl:DatatypeProperty`.
-pub const OWL_DATATYPE_PROPERTY: &str =
-    "http://www.w3.org/2002/07/owl#DatatypeProperty";
+pub const OWL_DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
 /// `owl:ObjectProperty`.
 pub const OWL_OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
 
@@ -176,7 +170,10 @@ mod tests {
     fn properties_and_resources_are_disjoint() {
         let props: HashSet<_> = SCHEMA_PROPERTIES.iter().collect();
         for r in SCHEMA_RESOURCES {
-            assert!(!props.contains(r), "{r} listed as both property and resource");
+            assert!(
+                !props.contains(r),
+                "{r} listed as both property and resource"
+            );
         }
     }
 

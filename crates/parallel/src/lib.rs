@@ -42,7 +42,10 @@ struct Shared {
 
 impl Shared {
     fn pop_job(&self) -> Option<Job> {
-        self.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
     }
 }
 
@@ -71,10 +74,7 @@ impl Latch {
     fn wait(&self) {
         let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
         while *remaining > 0 {
-            remaining = self
-                .done
-                .wait(remaining)
-                .unwrap_or_else(|e| e.into_inner());
+            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -134,11 +134,7 @@ impl ThreadPool {
         let latch = Latch::new(count);
 
         {
-            let mut queue = self
-                .shared
-                .queue
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             for (index, task) in tasks.into_iter().enumerate() {
                 let slot = &slots[index];
                 let panic_slot = &panic_slot;
@@ -287,10 +283,7 @@ mod tests {
     fn tasks_may_borrow_the_callers_stack() {
         let pool = ThreadPool::new(3);
         let data: Vec<String> = (0..32).map(|i| format!("item-{i}")).collect();
-        let tasks: Vec<_> = data
-            .iter()
-            .map(|s| move || s.len())
-            .collect();
+        let tasks: Vec<_> = data.iter().map(|s| move || s.len()).collect();
         let lengths = pool.run_ordered(tasks);
         assert_eq!(lengths.len(), data.len());
         assert_eq!(lengths[0], "item-0".len());

@@ -310,12 +310,12 @@ _:n1 <http://ex/q> <http://ex/b> ."#;
     #[test]
     fn rejects_malformed_statements() {
         for bad in [
-            "<http://a> <http://p> <http://b>",       // missing dot
+            "<http://a> <http://p> <http://b>",        // missing dot
             "<http://a> <http://p> <http://b> . junk", // trailing garbage
-            "<http://a <http://p> <http://b> .",      // unterminated IRI
-            "\"lit\" <http://p> <http://b> .",        // literal subject
-            "<http://a> _:b <http://c> .",            // blank predicate
-            "<http://a> <http://p> \"x\"@ .",         // empty language tag
+            "<http://a <http://p> <http://b> .",       // unterminated IRI
+            "\"lit\" <http://p> <http://b> .",         // literal subject
+            "<http://a> _:b <http://c> .",             // blank predicate
+            "<http://a> <http://p> \"x\"@ .",          // empty language tag
         ] {
             assert!(
                 parse_ntriples_line(bad, 1).is_err(),

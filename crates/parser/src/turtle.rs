@@ -205,9 +205,13 @@ impl<'a> TurtleParser<'a> {
     }
 
     fn parse_predicate(&mut self) -> Result<Term, ParseError> {
-        // The `a` keyword.
+        // The `a` keyword: `a` followed by anything that cannot continue a
+        // prefixed name (whitespace, `<` of an IRI, `"` of a literal, …).
+        // Requiring whitespace specifically would wrongly reject compact
+        // forms like `a<http://…>`, while `a:C` or `abc:x` must still parse
+        // as prefixed names.
         if self.cursor.peek() == Some('a')
-            && matches!(self.peek_at(1), Some(c) if c.is_whitespace())
+            && !matches!(self.peek_at(1), Some(c) if is_name_continuation(c))
         {
             self.cursor.bump();
             return Ok(Term::iri(vocab::RDF_TYPE));
@@ -221,8 +225,8 @@ impl<'a> TurtleParser<'a> {
             Some('<') => {
                 let term = self.cursor.parse_iri()?;
                 match term {
-                    Term::Iri(iri) if !self.base.is_empty() && !iri.contains(':') => {
-                        Ok(Term::iri(format!("{}{}", self.base, iri)))
+                    Term::Iri(iri) if !self.base.is_empty() && !has_scheme(&iri) => {
+                        Ok(Term::iri(resolve_against_base(&self.base, &iri)))
                     }
                     other => Ok(other),
                 }
@@ -373,6 +377,57 @@ impl<'a> TurtleParser<'a> {
     }
 }
 
+/// `true` when `c` can continue a prefixed-name token started by a letter
+/// (the PN_CHARS-ish set this subset accepts, plus the `:` that introduces
+/// the local part and the `.`/`%` that may appear inside a name). Used to
+/// decide whether a leading `a` is the `rdf:type` keyword or the start of a
+/// name such as `a:C` or `abc:x`.
+fn is_name_continuation(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':' | '%')
+}
+
+/// `true` when `iri` is an absolute IRI reference, i.e. starts with a scheme
+/// (RFC 3986: `ALPHA *( ALPHA / DIGIT / "+" / "-" / "." ) ":"`). A colon
+/// appearing after the first `/`, `?` or `#` — as in `foo/bar:baz` or
+/// `#frag:x` — belongs to the path/query/fragment of a *relative* reference,
+/// which must still be resolved against the base.
+fn has_scheme(iri: &str) -> bool {
+    let mut chars = iri.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() => {}
+        _ => return false,
+    }
+    for c in chars {
+        match c {
+            ':' => return true,
+            '/' | '?' | '#' => return false,
+            c if c.is_ascii_alphanumeric() || matches!(c, '+' | '-' | '.') => {}
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Resolves a relative `reference` against `base`. Path-relative references
+/// keep the subset's documented simple concatenation (bases in the test
+/// corpora end in `/` or `#`), but the two reference forms RFC 3986 anchors
+/// higher up are honoured: a network-path reference (`//host/x`) keeps only
+/// the base's scheme, and an absolute-path reference (`/x`) keeps the
+/// base's scheme and authority.
+fn resolve_against_base(base: &str, reference: &str) -> String {
+    if let Some((scheme, after_authority)) = base.split_once("://") {
+        if reference.starts_with("//") {
+            return format!("{scheme}:{reference}");
+        }
+        if reference.starts_with('/') {
+            let authority_len = after_authority.find('/').unwrap_or(after_authority.len());
+            let prefix_len = scheme.len() + "://".len() + authority_len;
+            return format!("{}{}", &base[..prefix_len], reference);
+        }
+    }
+    format!("{base}{reference}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,6 +520,101 @@ ex:a ex:name "Bart" ;
         let triples = parse_turtle(doc).unwrap();
         assert_eq!(triples[0].subject, Term::iri("http://ex.org/a"));
         assert_eq!(triples[0].object, Term::iri("http://ex.org/b"));
+    }
+
+    #[test]
+    fn base_resolution_of_relative_iris_containing_colons() {
+        // A ':' after '/' or '#' does not make the reference absolute: these
+        // are relative and must be resolved against the base.
+        let doc = r#"
+@base <http://ex.org/> .
+@prefix ex: <http://ex.org/> .
+<foo/bar:baz> ex:p <#frag:x> .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].subject, Term::iri("http://ex.org/foo/bar:baz"));
+        assert_eq!(triples[0].object, Term::iri("http://ex.org/#frag:x"));
+    }
+
+    #[test]
+    fn base_resolution_leaves_absolute_iris_alone() {
+        let doc = r#"
+@base <http://base.org/> .
+@prefix ex: <http://ex.org/> .
+<http://other.org/a> ex:p <mailto:bart@ex.org> , <urn:isbn:12-34> .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].subject, Term::iri("http://other.org/a"));
+        assert_eq!(triples[0].object, Term::iri("mailto:bart@ex.org"));
+        assert_eq!(triples[1].object, Term::iri("urn:isbn:12-34"));
+    }
+
+    #[test]
+    fn rooted_and_network_path_references_resolve_against_the_base_origin() {
+        // An absolute-path reference keeps the base's scheme + authority; a
+        // network-path reference keeps only the scheme — neither is plain
+        // concatenation onto a base with a path.
+        let doc = r#"
+@base <http://ex.org/a/> .
+@prefix ex: <http://ex.org/> .
+</rooted:x> ex:p <//other.org/y> .
+"#;
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].subject, Term::iri("http://ex.org/rooted:x"));
+        assert_eq!(triples[0].object, Term::iri("http://other.org/y"));
+        assert_eq!(
+            resolve_against_base("http://ex.org/a/", "/rooted:x"),
+            "http://ex.org/rooted:x"
+        );
+        assert_eq!(
+            resolve_against_base("http://ex.org/a/", "//other.org/y"),
+            "http://other.org/y"
+        );
+        // A base without an authority falls back to concatenation.
+        assert_eq!(resolve_against_base("tag:base/", "x"), "tag:base/x");
+    }
+
+    #[test]
+    fn scheme_detection() {
+        for absolute in ["http://a/b", "mailto:x", "urn:isbn:1", "a+b-c.d:rest"] {
+            assert!(has_scheme(absolute), "{absolute} has a scheme");
+        }
+        for relative in [
+            "foo/bar:baz",
+            "#frag:x",
+            "a?q=:v",
+            "a",
+            "",
+            "1:x",
+            "foo bar:x",
+            "/rooted:x",
+        ] {
+            assert!(!has_scheme(relative), "{relative} is relative");
+        }
+    }
+
+    #[test]
+    fn a_keyword_without_trailing_whitespace() {
+        // `a` directly followed by the object's opening '<' is still the
+        // rdf:type keyword.
+        let doc = "@prefix ex: <http://ex.org/> .\nex:Bart a<http://ex.org/human>.";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples.len(), 1);
+        assert_eq!(triples[0].predicate, Term::iri(vocab::RDF_TYPE));
+        assert_eq!(triples[0].object, Term::iri("http://ex.org/human"));
+    }
+
+    #[test]
+    fn prefixes_starting_with_a_are_not_the_keyword() {
+        let doc = "@prefix a: <http://ex.org/> .\nex:s a:p a:o .\n@prefix ex: <http://ex.org/> .";
+        // Declare ex: first so the subject resolves.
+        let doc = &format!("@prefix ex: <http://ex.org/> .\n{doc}");
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].predicate, Term::iri("http://ex.org/p"));
+        // And `a` in predicate position followed by whitespace still works.
+        let doc = "@prefix ex: <http://ex.org/> .\nex:s a ex:C .";
+        let triples = parse_turtle(doc).unwrap();
+        assert_eq!(triples[0].predicate, Term::iri(vocab::RDF_TYPE));
     }
 
     #[test]

@@ -38,11 +38,15 @@ pub fn to_ntriples_string<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> 
 mod tests {
     use super::*;
     use crate::ntriples::parse_ntriples;
-    use inferray_model::{Term, vocab};
+    use inferray_model::{vocab, Term};
 
     fn sample_graph() -> Graph {
         let mut g = Graph::new();
-        g.insert_iris("http://ex/human", vocab::RDFS_SUB_CLASS_OF, "http://ex/mammal");
+        g.insert_iris(
+            "http://ex/human",
+            vocab::RDFS_SUB_CLASS_OF,
+            "http://ex/mammal",
+        );
         g.insert(Triple::new(
             Term::iri("http://ex/Bart"),
             Term::iri("http://ex/says"),

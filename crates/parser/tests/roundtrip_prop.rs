@@ -40,8 +40,7 @@ fn arbitrary_object() -> impl Strategy<Value = Term> {
         arbitrary_iri().prop_map(Term::iri),
         "[A-Za-z][A-Za-z0-9]{0,8}".prop_map(Term::blank),
         arbitrary_lexical().prop_map(Term::plain_literal),
-        (arbitrary_lexical(), arbitrary_iri())
-            .prop_map(|(lex, dt)| Term::typed_literal(lex, dt)),
+        (arbitrary_lexical(), arbitrary_iri()).prop_map(|(lex, dt)| Term::typed_literal(lex, dt)),
         (arbitrary_lexical(), "[a-z]{2}(-[a-z]{2})?")
             .prop_map(|(lex, lang)| Term::lang_literal(lex, lang)),
         any::<i64>().prop_map(Term::integer),
@@ -119,7 +118,10 @@ proptest! {
 fn malformed_documents_are_rejected_with_line_numbers() {
     for (input, expect_line) in [
         ("<http://ex/s> <http://ex/p> .", 1),
-        ("<http://ex/s> <http://ex/p> <http://ex/o> .\n<broken line", 2),
+        (
+            "<http://ex/s> <http://ex/p> <http://ex/o> .\n<broken line",
+            2,
+        ),
         ("<http://ex/s> \"not a predicate\" <http://ex/o> .", 1),
         ("<http://ex/s> <http://ex/p> \"unterminated .", 1),
     ] {

@@ -170,12 +170,8 @@ impl<'a> QueryEngine<'a> {
         match filter {
             FilterExpr::Bound(name) => value_of(name).is_some(),
             FilterExpr::IsIri(name) => self.kind_of(value_of(name)) == Some(TermKind::Iri),
-            FilterExpr::IsLiteral(name) => {
-                self.kind_of(value_of(name)) == Some(TermKind::Literal)
-            }
-            FilterExpr::IsBlank(name) => {
-                self.kind_of(value_of(name)) == Some(TermKind::BlankNode)
-            }
+            FilterExpr::IsLiteral(name) => self.kind_of(value_of(name)) == Some(TermKind::Literal),
+            FilterExpr::IsBlank(name) => self.kind_of(value_of(name)) == Some(TermKind::BlankNode),
             FilterExpr::Equal(name, rhs) => {
                 let Some(lhs) = value_of(name) else {
                     return false;
@@ -329,9 +325,7 @@ ex:Robot rdfs:subClassOf ex:Agent .
         let dataset = loaded();
         let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
         let all = engine
-            .execute_sparql(
-                "PREFIX ex: <http://example.org/> SELECT ?s ?n WHERE { ?s ex:name ?n }",
-            )
+            .execute_sparql("PREFIX ex: <http://example.org/> SELECT ?s ?n WHERE { ?s ex:name ?n }")
             .unwrap();
         assert_eq!(all.len(), 3);
         let only_alice = engine
@@ -366,9 +360,7 @@ ex:Robot rdfs:subClassOf ex:Agent .
         let dataset = loaded();
         let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
         let solutions = engine
-            .execute_sparql(
-                "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s a ex:Unicorn }",
-            )
+            .execute_sparql("PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s a ex:Unicorn }")
             .unwrap();
         assert!(solutions.is_empty());
         assert_eq!(solutions.variables(), &["s".to_owned()]);
@@ -401,7 +393,9 @@ ex:Robot rdfs:subClassOf ex:Agent .
             .execute_sparql("SELECT ?x WHERE { ?x ?p ?o } LIMIT 3")
             .unwrap();
         assert_eq!(limited.len(), 3);
-        let all = engine.execute_sparql("SELECT ?x WHERE { ?x ?p ?o }").unwrap();
+        let all = engine
+            .execute_sparql("SELECT ?x WHERE { ?x ?p ?o }")
+            .unwrap();
         let offset = engine
             .execute_sparql("SELECT ?x WHERE { ?x ?p ?o } OFFSET 2")
             .unwrap();

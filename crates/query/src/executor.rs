@@ -270,7 +270,10 @@ mod tests {
             p: Slot::Bound(knows()),
             o: Slot::Bound(B),
         };
-        assert_eq!(evaluate_bgp(&store, &[hit], 0), vec![Vec::<Option<u64>>::new()]);
+        assert_eq!(
+            evaluate_bgp(&store, &[hit], 0),
+            vec![Vec::<Option<u64>>::new()]
+        );
         let miss = CompiledPattern {
             s: Slot::Bound(A),
             p: Slot::Bound(knows()),

@@ -69,9 +69,7 @@ mod planner;
 pub mod solution;
 pub mod sparql;
 
-pub use algebra::{
-    FilterExpr, PatternTerm, Query, QueryForm, Selection, TriplePatternSpec,
-};
+pub use algebra::{FilterExpr, PatternTerm, Query, QueryForm, Selection, TriplePatternSpec};
 pub use engine::QueryEngine;
 pub use solution::{EncodedRow, SolutionSet};
 pub use sparql::{parse_query, QueryParseError};

@@ -50,9 +50,9 @@ pub(crate) fn order_patterns(
 }
 
 fn shares_variable(pattern: &CompiledPattern, bound: &HashSet<usize>) -> bool {
-    [&pattern.s, &pattern.p, &pattern.o].iter().any(|slot| {
-        matches!(slot, Slot::Var(index) if bound.contains(index))
-    })
+    [&pattern.s, &pattern.p, &pattern.o]
+        .iter()
+        .any(|slot| matches!(slot, Slot::Var(index) if bound.contains(index)))
 }
 
 /// Estimated number of bindings the pattern produces given the variables
@@ -156,7 +156,11 @@ mod tests {
         let p_large = nth_property_id(21);
         let patterns = vec![
             pattern(Slot::Var(0), Slot::Bound(p_large), Slot::Var(1)),
-            pattern(Slot::Bound(2_000_000), Slot::Bound(p_large), Slot::Bound(3_000_000)),
+            pattern(
+                Slot::Bound(2_000_000),
+                Slot::Bound(p_large),
+                Slot::Bound(3_000_000),
+            ),
         ];
         let ordered = order_patterns(&store, patterns);
         assert!(matches!(ordered[0].s, Slot::Bound(_)));

@@ -242,14 +242,8 @@ mod tests {
 
     #[test]
     fn sorted_rows_is_order_insensitive() {
-        let a = SolutionSet::new(
-            vec!["x".into()],
-            vec![vec![Some(2)], vec![Some(1)]],
-        );
-        let b = SolutionSet::new(
-            vec!["x".into()],
-            vec![vec![Some(1)], vec![Some(2)]],
-        );
+        let a = SolutionSet::new(vec!["x".into()], vec![vec![Some(2)], vec![Some(1)]]);
+        let b = SolutionSet::new(vec!["x".into()], vec![vec![Some(1)], vec![Some(2)]]);
         assert_eq!(a.sorted_rows(), b.sorted_rows());
     }
 }

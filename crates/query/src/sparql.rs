@@ -403,10 +403,7 @@ impl Parser {
                     )))
                 }
             };
-            let name = name
-                .strip_suffix(':')
-                .map(str::to_owned)
-                .unwrap_or(name);
+            let name = name.strip_suffix(':').map(str::to_owned).unwrap_or(name);
             let iri = match self.next() {
                 Some(Token::Iri(iri)) => iri,
                 other => {
@@ -496,7 +493,10 @@ impl Parser {
                 Some(Token::Punct(';')) => {
                     self.position += 1;
                     // A dangling ';' before '.' or '}' is tolerated.
-                    if matches!(self.peek(), Some(Token::Punct('.')) | Some(Token::Punct('}'))) {
+                    if matches!(
+                        self.peek(),
+                        Some(Token::Punct('.')) | Some(Token::Punct('}'))
+                    ) {
                         continue;
                     }
                     predicate = self.parse_pattern_term(true)?;
@@ -719,9 +719,10 @@ mod tests {
                 ))
             )
         );
-        let q =
-            parse_query("SELECT * WHERE { ?x <http://ex/p> ?y . FILTER(sameTerm(?y, <http://ex/a>)) }")
-                .unwrap();
+        let q = parse_query(
+            "SELECT * WHERE { ?x <http://ex/p> ?y . FILTER(sameTerm(?y, <http://ex/a>)) }",
+        )
+        .unwrap();
         assert_eq!(
             q.filters[0],
             FilterExpr::Equal("y".into(), PatternTerm::iri("http://ex/a"))
@@ -770,10 +771,7 @@ mod tests {
             "# a comment\nSELECT * WHERE { _:b <http://ex/p> ?x . # trailing comment\n }",
         )
         .unwrap();
-        assert_eq!(
-            q.patterns[0].s,
-            PatternTerm::Constant(Term::blank("b"))
-        );
+        assert_eq!(q.patterns[0].s, PatternTerm::Constant(Term::blank("b")));
     }
 
     #[test]
@@ -790,8 +788,6 @@ mod tests {
 
     #[test]
     fn rejects_unsupported_filter_functions() {
-        assert!(
-            parse_query("SELECT * WHERE { ?x ?p ?o . FILTER(regex(?o, \"x\")) }").is_err()
-        );
+        assert!(parse_query("SELECT * WHERE { ?x ?p ?o . FILTER(regex(?o, \"x\")) }").is_err());
     }
 }

@@ -38,7 +38,8 @@ fn arbitrary_bgp() -> impl Strategy<Value = Vec<TriplePatternSpec>> {
         (0u8..3).prop_map(|n| PatternTerm::iri(predicate(n))),
     ];
     prop::collection::vec(
-        (position.clone(), pred_position, position).prop_map(|(s, p, o)| TriplePatternSpec::new(s, p, o)),
+        (position.clone(), pred_position, position)
+            .prop_map(|(s, p, o)| TriplePatternSpec::new(s, p, o)),
         1..4,
     )
 }

@@ -209,10 +209,7 @@ mod tests {
         let derived = derive(&main, cax_sco);
         assert_eq!(
             derived.into_iter().collect::<Vec<_>>(),
-            vec![
-                (BART, wk::RDF_TYPE, MAMMAL),
-                (LISA, wk::RDF_TYPE, MAMMAL)
-            ]
+            vec![(BART, wk::RDF_TYPE, MAMMAL), (LISA, wk::RDF_TYPE, MAMMAL)]
         );
     }
 

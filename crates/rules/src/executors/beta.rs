@@ -112,10 +112,7 @@ mod tests {
         // the new pair against main and emit *both* orientations of the
         // equivalence: (A ⊑ B) will never be in `new` again, so this is the
         // only chance to derive (A ≡ B).
-        let main = store(&[
-            (A, wk::RDFS_SUB_CLASS_OF, B),
-            (B, wk::RDFS_SUB_CLASS_OF, A),
-        ]);
+        let main = store(&[(A, wk::RDFS_SUB_CLASS_OF, B), (B, wk::RDFS_SUB_CLASS_OF, A)]);
         let new = store(&[(B, wk::RDFS_SUB_CLASS_OF, A)]);
         let ctx = RuleContext::new(&main, &new);
         let mut out = InferredBuffer::new();

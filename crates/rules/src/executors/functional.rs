@@ -126,10 +126,7 @@ mod tests {
     #[test]
     fn non_functional_properties_are_ignored() {
         let knows = nth_property_id(402);
-        let main = store(&[
-            (ALICE, knows, EMAIL_A),
-            (ALICE, knows, EMAIL_B),
-        ]);
+        let main = store(&[(ALICE, knows, EMAIL_A), (ALICE, knows, EMAIL_B)]);
         assert!(derive(&main, prp_fp).is_empty());
         assert!(derive(&main, prp_ifp).is_empty());
     }

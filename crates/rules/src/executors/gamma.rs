@@ -209,10 +209,7 @@ mod tests {
     #[test]
     fn prp_rng_types_the_object() {
         let lives_in = prop(0);
-        let main = store(&[
-            (lives_in, wk::RDFS_RANGE, CITY),
-            (ALICE, lives_in, LYON),
-        ]);
+        let main = store(&[(lives_in, wk::RDFS_RANGE, CITY), (ALICE, lives_in, LYON)]);
         let derived = derive(&main, prp_rng);
         assert_eq!(
             derived.into_iter().collect::<Vec<_>>(),
@@ -295,10 +292,7 @@ mod tests {
     #[test]
     fn semi_naive_covers_new_data_against_old_schema() {
         let lives_in = prop(0);
-        let main = store(&[
-            (lives_in, wk::RDFS_DOMAIN, PERSON),
-            (ALICE, lives_in, LYON),
-        ]);
+        let main = store(&[(lives_in, wk::RDFS_DOMAIN, PERSON), (ALICE, lives_in, LYON)]);
         let new = store(&[(ALICE, lives_in, LYON)]);
         let ctx = RuleContext::new(&main, &new);
         let mut out = InferredBuffer::new();

@@ -82,8 +82,8 @@ pub(crate) mod test_support {
     //! Helpers shared by the executor unit tests.
 
     use crate::context::RuleContext;
-    use inferray_store::{InferredBuffer, TripleStore};
     use inferray_model::IdTriple;
+    use inferray_store::{InferredBuffer, TripleStore};
     use std::collections::BTreeSet;
 
     /// Builds a finalized store from `(s, p, o)` tuples.

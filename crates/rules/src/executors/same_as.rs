@@ -136,17 +136,17 @@ mod tests {
         let derived = derive(&main, eq_rep_o);
         // Only the object equal to the sameAs subject is substituted; the
         // LYON-valued triple contributes nothing.
-        assert_eq!(derived.into_iter().collect::<Vec<_>>(), vec![(BOB, knows, ALIZ)]);
+        assert_eq!(
+            derived.into_iter().collect::<Vec<_>>(),
+            vec![(BOB, knows, ALIZ)]
+        );
     }
 
     #[test]
     fn eq_rep_p_copies_property_tables() {
         let knows = prop(0);
         let acquainted = prop(1);
-        let main = store(&[
-            (knows, wk::OWL_SAME_AS, acquainted),
-            (ALICE, knows, BOB),
-        ]);
+        let main = store(&[(knows, wk::OWL_SAME_AS, acquainted), (ALICE, knows, BOB)]);
         let derived = derive(&main, eq_rep_p);
         assert!(derived.contains(&(ALICE, acquainted, BOB)));
     }

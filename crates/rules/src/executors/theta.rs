@@ -142,7 +142,10 @@ mod tests {
         assert!(derived.contains(&(C, wk::OWL_SAME_AS, A)));
         assert!(derived.contains(&(B, wk::OWL_SAME_AS, A)));
         assert!(derived.contains(&(A, wk::OWL_SAME_AS, A)));
-        assert!(!derived.contains(&(A, wk::OWL_SAME_AS, B)), "already asserted");
+        assert!(
+            !derived.contains(&(A, wk::OWL_SAME_AS, B)),
+            "already asserted"
+        );
     }
 
     #[test]
@@ -163,10 +166,7 @@ mod tests {
 
     #[test]
     fn theta_rules_are_no_ops_when_nothing_new_touched_the_table() {
-        let main = store(&[
-            (A, wk::RDFS_SUB_CLASS_OF, B),
-            (B, wk::RDFS_SUB_CLASS_OF, C),
-        ]);
+        let main = store(&[(A, wk::RDFS_SUB_CLASS_OF, B), (B, wk::RDFS_SUB_CLASS_OF, C)]);
         let empty_new = store(&[]);
         let ctx = RuleContext::new(&main, &empty_new);
         let mut out = InferredBuffer::new();

@@ -12,11 +12,7 @@ use inferray_store::InferredBuffer;
 
 /// Iterates the `rdf:type` pairs of the *new* store whose object is `class`,
 /// calling `handle(subject)` for each.
-fn for_new_instances_of(
-    ctx: &RuleContext<'_>,
-    class: u64,
-    mut handle: impl FnMut(u64),
-) {
+fn for_new_instances_of(ctx: &RuleContext<'_>, class: u64, mut handle: impl FnMut(u64)) {
     if let Some(table) = ctx.new.table(wellknown::RDF_TYPE) {
         for (s, o) in table.iter_pairs() {
             if o == class {

@@ -24,7 +24,7 @@ pub mod executors;
 pub mod materializer;
 pub mod ruleset;
 
-pub use catalog::{Membership, RuleClass, RuleId, RuleInfo, CATALOG};
+pub use catalog::{Membership, RuleClass, RuleId, RuleInfo, RuleInputs, CATALOG};
 pub use context::RuleContext;
 pub use executors::apply_rule;
 pub use materializer::{InferenceStats, Materializer};

@@ -8,7 +8,11 @@
 //! (filled circles of Table 5) from a *full* version that adds the
 //! half-circle rules.
 
-use crate::catalog::{Membership, RuleClass, RuleId, CATALOG};
+use crate::catalog::{Membership, RuleClass, RuleId, RuleInputs, SchemaSide, CATALOG};
+use crate::context::RuleContext;
+use inferray_dictionary::wellknown as wk;
+use inferray_store::TripleStore;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The inference fragments evaluated in the paper (§6, "Rulesets").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,12 +80,28 @@ impl std::fmt::Display for Fragment {
     }
 }
 
-/// A concrete, ordered set of rules to execute.
+/// A concrete, ordered set of rules to execute, together with the
+/// property→rules dependency index derived from the catalog's input
+/// signatures (§4.3): which rules must re-fire when a given property table
+/// receives new pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ruleset {
     /// The fragment this ruleset realizes.
     pub fragment: Fragment,
     rules: Vec<RuleId>,
+    /// Bitmask (bit = `RuleId as usize`) of the member rules with a dynamic
+    /// input signature (γ/δ property-variable, marked-properties, guarded or
+    /// unconditional whole-store scans) — their dependency edges are
+    /// evaluated against the stores at scheduling time.
+    dynamic_mask: u64,
+    /// Property id → bitmask of the member rules with that property in
+    /// their *fixed* input signature.
+    by_property: BTreeMap<u64, u64>,
+}
+
+/// The catalog-position bit of a rule (38 rules < 64, so one `u64` suffices).
+fn rule_bit(rule: RuleId) -> u64 {
+    1u64 << (rule as usize)
 }
 
 impl Ruleset {
@@ -92,12 +112,33 @@ impl Ruleset {
             .filter(|info| fragment.includes(info.id))
             .map(|info| info.id)
             .collect();
-        Ruleset { fragment, rules }
+        Self::with_dependency_index(fragment, rules)
     }
 
     /// A custom ruleset (used by tests and by the ablation benchmarks).
     pub fn custom(fragment: Fragment, rules: Vec<RuleId>) -> Self {
-        Ruleset { fragment, rules }
+        Self::with_dependency_index(fragment, rules)
+    }
+
+    fn with_dependency_index(fragment: Fragment, rules: Vec<RuleId>) -> Self {
+        let mut dynamic_mask = 0u64;
+        let mut by_property: BTreeMap<u64, u64> = BTreeMap::new();
+        for &rule in &rules {
+            match rule.inputs() {
+                RuleInputs::Properties(props) => {
+                    for &p in props {
+                        *by_property.entry(p).or_insert(0) |= rule_bit(rule);
+                    }
+                }
+                _ => dynamic_mask |= rule_bit(rule),
+            }
+        }
+        Ruleset {
+            fragment,
+            rules,
+            dynamic_mask,
+            by_property,
+        }
     }
 
     /// The rules, in Table 5 order.
@@ -139,6 +180,98 @@ impl Ruleset {
             .filter(|r| r.class() == RuleClass::Theta)
             .collect()
     }
+
+    /// The member rules that *may* read the table of property `p`: the rules
+    /// with `p` in their fixed signature, the dynamic rules anchored at `p`
+    /// (schema / marker-declaration / guard table), and the unconditional
+    /// whole-store scans. In Table 5 order.
+    pub fn rules_reading(&self, p: u64) -> Vec<RuleId> {
+        let mut mask = self.by_property.get(&p).copied().unwrap_or(0);
+        for &rule in &self.rules {
+            let inputs = rule.inputs();
+            if inputs == RuleInputs::AnyProperty || inputs.anchor() == Some(p) {
+                mask |= rule_bit(rule);
+            }
+        }
+        self.rules_in_mask(mask)
+    }
+
+    /// The subset of the ruleset that can derive something new given that
+    /// exactly the tables of `new` received new pairs in the previous
+    /// iteration (`new ⊆ main`), in Table 5 order.
+    ///
+    /// This is the §4.3 scheduling decision: a rule whose input tables are
+    /// all unchanged sees the same `main` projection it saw when it last
+    /// fired and an empty `new` projection, so re-firing it can only
+    /// reproduce duplicates. Fixed signatures are answered by the
+    /// dependency index; the dynamic signatures are evaluated against the
+    /// stores — the data tables a γ/δ rule reads are the ones its (small)
+    /// schema table names, and the tables the functional/symmetric/
+    /// transitive rules read are the ones declared with the marker class.
+    pub fn scheduled_rules(&self, main: &TripleStore, new: &TripleStore) -> Vec<RuleId> {
+        let changed: BTreeSet<u64> = new.property_ids().collect();
+        let mut mask = 0u64;
+        for &p in &changed {
+            mask |= self.by_property.get(&p).copied().unwrap_or(0);
+        }
+        for &rule in &self.rules {
+            if self.dynamic_mask & rule_bit(rule) != 0
+                && dynamic_inputs_changed(rule.inputs(), main, new, &changed)
+            {
+                mask |= rule_bit(rule);
+            }
+        }
+        self.rules_in_mask(mask)
+    }
+
+    fn rules_in_mask(&self, mask: u64) -> Vec<RuleId> {
+        self.rules
+            .iter()
+            .copied()
+            .filter(|&r| mask & rule_bit(r) != 0)
+            .collect()
+    }
+}
+
+/// Evaluates a dynamic input signature: `true` when the rule may derive
+/// something that is not already in `main`, given that exactly the tables of
+/// `changed` received new pairs.
+fn dynamic_inputs_changed(
+    inputs: RuleInputs,
+    main: &TripleStore,
+    new: &TripleStore,
+    changed: &BTreeSet<u64>,
+) -> bool {
+    match inputs {
+        RuleInputs::Properties(_) => unreachable!("fixed signatures use the index"),
+        RuleInputs::AnyProperty => true,
+        RuleInputs::AnyGuardedBy { guard } => {
+            changed.contains(&guard) || main.table(guard).is_some_and(|t| !t.is_empty())
+        }
+        RuleInputs::PropertyVariable { schema, side } => {
+            if changed.contains(&schema) {
+                return true;
+            }
+            let Some(table) = main.table(schema) else {
+                return false;
+            };
+            match side {
+                SchemaSide::Subject => table.iter_pairs().any(|(s, _)| changed.contains(&s)),
+                SchemaSide::Object => table.iter_pairs().any(|(_, o)| changed.contains(&o)),
+            }
+        }
+        RuleInputs::MarkedProperties { marker } => {
+            // A property newly declared with the marker feeds the rule even
+            // when its data table is old …
+            if !RuleContext::subjects_with_object(new, wk::RDF_TYPE, marker).is_empty() {
+                return true;
+            }
+            // … and so do new pairs in the table of any declared property.
+            RuleContext::subjects_with_object(main, wk::RDF_TYPE, marker)
+                .iter()
+                .any(|p| changed.contains(p))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,10 +305,16 @@ mod tests {
 
     #[test]
     fn rdfs_full_adds_only_axiomatic_rules() {
-        let default: std::collections::HashSet<_> =
-            Ruleset::for_fragment(Fragment::RdfsDefault).rules().to_vec().into_iter().collect();
-        let full: std::collections::HashSet<_> =
-            Ruleset::for_fragment(Fragment::RdfsFull).rules().to_vec().into_iter().collect();
+        let default: std::collections::HashSet<_> = Ruleset::for_fragment(Fragment::RdfsDefault)
+            .rules()
+            .to_vec()
+            .into_iter()
+            .collect();
+        let full: std::collections::HashSet<_> = Ruleset::for_fragment(Fragment::RdfsFull)
+            .rules()
+            .to_vec()
+            .into_iter()
+            .collect();
         let extra: Vec<_> = full.difference(&default).collect();
         assert_eq!(extra.len(), 6);
         for rule in [
@@ -197,7 +336,12 @@ mod tests {
         let theta = ruleset.theta_rules();
         assert_eq!(
             theta,
-            vec![RuleId::EqTrans, RuleId::PrpTrp, RuleId::ScmSco, RuleId::ScmSpo]
+            vec![
+                RuleId::EqTrans,
+                RuleId::PrpTrp,
+                RuleId::ScmSco,
+                RuleId::ScmSpo
+            ]
         );
         let fp = ruleset.fixed_point_rules();
         assert_eq!(fp.len() + theta.len(), ruleset.len());
@@ -212,6 +356,144 @@ mod tests {
             assert!(!ruleset.contains(RuleId::PrpTrp));
             assert!(!ruleset.contains(RuleId::EqSym));
         }
+    }
+
+    use inferray_model::ids::nth_property_id;
+    use inferray_model::IdTriple;
+
+    fn store(triples: &[(u64, u64, u64)]) -> TripleStore {
+        TripleStore::from_triples(triples.iter().map(|&(s, p, o)| IdTriple::new(s, p, o)))
+    }
+
+    #[test]
+    fn dependency_index_schedules_only_affected_rules() {
+        let ruleset = Ruleset::for_fragment(Fragment::RdfsDefault);
+        let knows = nth_property_id(900);
+        let person = 9_800_000u64;
+        let main = store(&[
+            (knows, wk::RDFS_DOMAIN, person),
+            (person, wk::RDFS_SUB_CLASS_OF, person + 1),
+            (person + 10, knows, person + 11),
+            (person + 10, wk::RDF_TYPE, person),
+        ]);
+        // Only rdf:type changed: the schema rules must not fire again —
+        // CAX-SCO (reads rdf:type) must; the γ rules must not either, since
+        // rdf:type is not a data property named by any domain/range/
+        // subPropertyOf pair.
+        let new = store(&[(person + 10, wk::RDF_TYPE, person)]);
+        let scheduled = ruleset.scheduled_rules(&main, &new);
+        assert_eq!(scheduled, vec![RuleId::CaxSco]);
+        // A data property named by a domain pair changed: PRP-DOM comes
+        // back (and only it — `knows` has no range/subPropertyOf pair).
+        let new = store(&[(person + 12, knows, person + 13)]);
+        let scheduled = ruleset.scheduled_rules(&main, &new);
+        assert_eq!(scheduled, vec![RuleId::PrpDom]);
+        // subClassOf changed: the schema rules reading it come back.
+        let new = store(&[(person, wk::RDFS_SUB_CLASS_OF, person + 1)]);
+        let scheduled = ruleset.scheduled_rules(&main, &new);
+        assert!(scheduled.contains(&RuleId::CaxSco));
+        assert!(scheduled.contains(&RuleId::ScmSco));
+        assert!(scheduled.contains(&RuleId::ScmDom1));
+        assert!(!scheduled.contains(&RuleId::ScmDom2));
+        assert!(!scheduled.contains(&RuleId::ScmSpo));
+    }
+
+    #[test]
+    fn marked_property_rules_follow_declarations() {
+        let ruleset = Ruleset::for_fragment(Fragment::RdfsPlus);
+        let part_of = nth_property_id(901);
+        let other = nth_property_id(902);
+        let a = 9_810_000u64;
+        let main = store(&[
+            (part_of, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY),
+            (a, part_of, a + 1),
+            (a, other, a + 2),
+        ]);
+        // New pairs on the declared transitive property: PRP-TRP fires.
+        let new = store(&[(a, part_of, a + 1)]);
+        assert!(ruleset
+            .scheduled_rules(&main, &new)
+            .contains(&RuleId::PrpTrp));
+        // New pairs on an undeclared property: PRP-TRP is skipped.
+        let new = store(&[(a, other, a + 2)]);
+        assert!(!ruleset
+            .scheduled_rules(&main, &new)
+            .contains(&RuleId::PrpTrp));
+        // A new declaration alone re-fires the rule even though the data
+        // table is old.
+        let new = store(&[(other, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY)]);
+        assert!(ruleset
+            .scheduled_rules(&main, &new)
+            .contains(&RuleId::PrpTrp));
+    }
+
+    #[test]
+    fn same_as_scans_fire_only_while_same_as_pairs_exist() {
+        let ruleset = Ruleset::for_fragment(Fragment::RdfsPlus);
+        let knows = nth_property_id(903);
+        let a = 9_820_000u64;
+        let without_same_as = store(&[(a, knows, a + 1)]);
+        let new = store(&[(a, knows, a + 1)]);
+        let scheduled = ruleset.scheduled_rules(&without_same_as, &new);
+        assert!(!scheduled.contains(&RuleId::EqRepS));
+        assert!(!scheduled.contains(&RuleId::EqRepO));
+        let with_same_as = store(&[(a, knows, a + 1), (a, wk::OWL_SAME_AS, a + 2)]);
+        let scheduled = ruleset.scheduled_rules(&with_same_as, &new);
+        assert!(scheduled.contains(&RuleId::EqRepS));
+        assert!(scheduled.contains(&RuleId::EqRepO));
+    }
+
+    #[test]
+    fn scheduled_rules_preserve_table5_order_and_membership() {
+        let ruleset = Ruleset::for_fragment(Fragment::RdfsPlus);
+        let p = nth_property_id(904);
+        let c = 9_830_000u64;
+        // A change in every fixed schema table plus marked declarations:
+        // the schedule is the full ruleset, in the same order.
+        let everything = store(&[
+            (c, wk::RDF_TYPE, c + 1),
+            (c, wk::RDFS_SUB_CLASS_OF, c + 1),
+            (p, wk::RDFS_SUB_PROPERTY_OF, p),
+            (p, wk::RDFS_DOMAIN, c),
+            (p, wk::RDFS_RANGE, c),
+            (c, wk::OWL_SAME_AS, c + 2),
+            (c, wk::OWL_EQUIVALENT_CLASS, c + 3),
+            (p, wk::OWL_EQUIVALENT_PROPERTY, p),
+            (p, wk::OWL_INVERSE_OF, p),
+            (p, wk::RDF_TYPE, wk::OWL_FUNCTIONAL_PROPERTY),
+            (p, wk::RDF_TYPE, wk::OWL_INVERSE_FUNCTIONAL_PROPERTY),
+            (p, wk::RDF_TYPE, wk::OWL_SYMMETRIC_PROPERTY),
+            (p, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY),
+        ]);
+        let scheduled = ruleset.scheduled_rules(&everything, &everything.clone());
+        assert_eq!(scheduled, ruleset.rules());
+        // Nothing changed (empty `new`): nothing is scheduled except the
+        // sameAs scans (a sameAs table exists in main).
+        let empty = TripleStore::new();
+        let minimal = ruleset.scheduled_rules(&everything, &empty);
+        assert_eq!(minimal, vec![RuleId::EqRepO, RuleId::EqRepS]);
+        // A rule outside the ruleset is never scheduled even if its input
+        // changed.
+        let rho = Ruleset::for_fragment(Fragment::RhoDf);
+        let same_as = store(&[(c, wk::OWL_SAME_AS, c + 2)]);
+        let scheduled = rho.scheduled_rules(&same_as, &same_as.clone());
+        assert!(!scheduled.contains(&RuleId::EqSym));
+    }
+
+    #[test]
+    fn rules_reading_a_property() {
+        let ruleset = Ruleset::for_fragment(Fragment::RdfsDefault);
+        let readers = ruleset.rules_reading(wk::RDFS_DOMAIN);
+        assert!(readers.contains(&RuleId::ScmDom1));
+        assert!(readers.contains(&RuleId::ScmDom2));
+        assert!(
+            readers.contains(&RuleId::PrpDom),
+            "PRP-DOM is anchored at rdfs:domain"
+        );
+        assert!(!readers.contains(&RuleId::CaxSco));
+        let full = Ruleset::for_fragment(Fragment::RdfsPlusFull);
+        let readers = full.rules_reading(wk::RDFS_LABEL);
+        assert_eq!(readers, vec![RuleId::Rdfs4], "only the whole-store scan");
     }
 
     #[test]

@@ -84,7 +84,8 @@ impl Bencher {
         let warm_start = Instant::now();
         black_box(routine());
         let once = warm_start.elapsed().max(Duration::from_nanos(1));
-        let iters = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let iters =
+            (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
 
         let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
@@ -177,9 +178,14 @@ impl Criterion {
     }
 
     /// Measures one stand-alone benchmark.
-    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let label = id.into_label();
-        self.benchmark_group(label.clone()).bench_function("default", f);
+        self.benchmark_group(label.clone())
+            .bench_function("default", f);
         self
     }
 }

@@ -20,7 +20,10 @@
 /// Sorts a flat pair array with the standard library's unstable sort.
 /// Serves as the correctness oracle for every other kernel.
 pub fn std_sort_pairs(pairs: &mut [u64]) {
-    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
+    assert!(
+        pairs.len().is_multiple_of(2),
+        "pair array must have even length"
+    );
     let mut tuples = to_tuples(pairs);
     tuples.sort_unstable();
     from_tuples(&tuples, pairs);
@@ -28,7 +31,10 @@ pub fn std_sort_pairs(pairs: &mut [u64]) {
 
 /// Textbook top-down merge sort over `(u64, u64)` tuples.
 pub fn merge_sort_pairs(pairs: &mut [u64]) {
-    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
+    assert!(
+        pairs.len().is_multiple_of(2),
+        "pair array must have even length"
+    );
     let mut tuples = to_tuples(pairs);
     let mut scratch = tuples.clone();
     merge_sort_recurse(&mut tuples, &mut scratch);
@@ -38,7 +44,10 @@ pub fn merge_sort_pairs(pairs: &mut [u64]) {
 /// Textbook recursive quicksort (median-of-three pivot, insertion sort for
 /// small partitions) over `(u64, u64)` tuples.
 pub fn quick_sort_pairs(pairs: &mut [u64]) {
-    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
+    assert!(
+        pairs.len().is_multiple_of(2),
+        "pair array must have even length"
+    );
     let mut tuples = to_tuples(pairs);
     quick_sort_recurse(&mut tuples);
     from_tuples(&tuples, pairs);
@@ -153,7 +162,12 @@ mod tests {
 
     #[test]
     fn all_baselines_agree_with_std() {
-        for (n, range, seed) in [(0usize, 10u64, 1u64), (1, 10, 2), (500, 100, 3), (4000, 1 << 40, 4)] {
+        for (n, range, seed) in [
+            (0usize, 10u64, 1u64),
+            (1, 10, 2),
+            (500, 100, 3),
+            (4000, 1 << 40, 4),
+        ] {
             let original = random_pairs(n, range.max(1), seed);
             let mut expected = original.clone();
             std_sort_pairs(&mut expected);

@@ -24,45 +24,90 @@
 //! to the workload's high-water mark. The historical entry points without a
 //! scratch parameter run with a throwaway scratch.
 
+use crate::operating_range::MAX_COUNTING_RANGE;
 use crate::pairs::subject_min_max;
+use crate::radix::{msda_radix_sort_pairs_dedup_with, msda_radix_sort_pairs_with};
 use crate::scratch::SortScratch;
 
 /// Sorts a flat pair array (`[s0, o0, s1, o1, …]`) lexicographically by
 /// ⟨s,o⟩ using the pair-counting-sort of Algorithm 2, **keeping** duplicates.
 ///
+/// The histogram is proportional to the subject span (`max − min + 1`), so
+/// inputs outside the counting operating range
+/// ([`MAX_COUNTING_RANGE`]) — e.g. a handful of pairs whose subjects are
+/// billions apart — are routed to the adaptive MSD radix kernel instead of
+/// attempting a multi-gigabyte arena allocation.
+///
 /// # Panics
 /// Panics if the vector length is odd.
 pub fn counting_sort_pairs(pairs: &mut Vec<u64>) {
-    counting_sort_impl(pairs, false, &mut SortScratch::new());
+    counting_sort_pairs_with(pairs, &mut SortScratch::new());
 }
 
 /// Sorts a flat pair array and removes duplicate pairs in the same pass
 /// (the fused "sort & remove duplicates" step of Figure 5). The vector is
-/// truncated to the deduplicated length.
+/// truncated to the deduplicated length. Subject spans outside the counting
+/// operating range fall back to the radix kernel (see
+/// [`counting_sort_pairs`]).
 ///
 /// # Panics
 /// Panics if the vector length is odd.
 pub fn counting_sort_pairs_dedup(pairs: &mut Vec<u64>) {
-    counting_sort_impl(pairs, true, &mut SortScratch::new());
+    counting_sort_pairs_dedup_with(pairs, &mut SortScratch::new());
 }
 
 /// [`counting_sort_pairs`] against a reusable [`SortScratch`].
 pub fn counting_sort_pairs_with(pairs: &mut Vec<u64>, scratch: &mut SortScratch) {
-    counting_sort_impl(pairs, false, scratch);
+    if subject_span_exceeds_operating_range(pairs) {
+        msda_radix_sort_pairs_with(pairs, scratch);
+    } else {
+        counting_sort_impl(pairs, false, scratch);
+    }
 }
 
 /// [`counting_sort_pairs_dedup`] against a reusable [`SortScratch`].
 pub fn counting_sort_pairs_dedup_with(pairs: &mut Vec<u64>, scratch: &mut SortScratch) {
-    counting_sort_impl(pairs, true, scratch);
+    if subject_span_exceeds_operating_range(pairs) {
+        msda_radix_sort_pairs_dedup_with(pairs, scratch);
+    } else {
+        counting_sort_impl(pairs, true, scratch);
+    }
+}
+
+/// The guard shared by the public entry points: `true` when the histogram
+/// the counting kernel would allocate is larger than the operating-range
+/// cap, in which case the caller must fall back to radix.
+fn subject_span_exceeds_operating_range(pairs: &[u64]) -> bool {
+    match subject_min_max(pairs) {
+        Some((min, max)) => max - min + 1 > MAX_COUNTING_RANGE,
+        None => false,
+    }
+}
+
+/// The unguarded kernel, for [`crate::operating_range`] — its dispatch rule
+/// already proved the span admissible, so the min/max scan is not repeated.
+pub(crate) fn counting_sort_unchecked_with(
+    pairs: &mut Vec<u64>,
+    dedup: bool,
+    scratch: &mut SortScratch,
+) {
+    counting_sort_impl(pairs, dedup, scratch);
 }
 
 fn counting_sort_impl(pairs: &mut Vec<u64>, dedup: bool, scratch: &mut SortScratch) {
-    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
+    assert!(
+        pairs.len().is_multiple_of(2),
+        "pair array must have even length"
+    );
     if pairs.len() <= 2 {
         return;
     }
     let (min, max) = subject_min_max(pairs).expect("non-empty");
     let width = (max - min + 1) as usize;
+    debug_assert!(
+        width as u64 <= MAX_COUNTING_RANGE,
+        "counting sort invoked outside its operating range (span {width})"
+    );
     let (histogram, start, objects) = scratch.counting_arenas(width, pairs.len() / 2);
 
     // Lines 1-2: histogram of the subjects.
@@ -177,7 +222,50 @@ mod tests {
         let base = 1u64 << 32;
         let mut v = vec![base + 5, base + 1, base + 2, base + 9, base + 5, base];
         counting_sort_pairs(&mut v);
-        assert_eq!(v, vec![base + 2, base + 9, base + 5, base, base + 5, base + 1]);
+        assert_eq!(
+            v,
+            vec![base + 2, base + 9, base + 5, base, base + 5, base + 1]
+        );
+    }
+
+    #[test]
+    fn pathological_subject_span_falls_back_to_radix() {
+        // Subjects {0, 5_000_000_000}: a raw counting histogram would need
+        // ~5 billion slots (~20 GiB). The guarded entry points must complete
+        // — via the radix fallback — and still sort correctly.
+        let mut v = vec![5_000_000_000u64, 1, 0, 2, 5_000_000_000, 1];
+        counting_sort_pairs(&mut v);
+        assert_eq!(v, vec![0, 2, 5_000_000_000, 1, 5_000_000_000, 1]);
+
+        let mut v = vec![5_000_000_000u64, 1, 0, 2, 5_000_000_000, 1];
+        counting_sort_pairs_dedup(&mut v);
+        assert_eq!(v, vec![0, 2, 5_000_000_000, 1]);
+
+        // The reusable-scratch variants take the same guard.
+        let mut scratch = SortScratch::new();
+        let mut v = vec![u64::MAX - 1, 7, 3, 9];
+        counting_sort_pairs_with(&mut v, &mut scratch);
+        assert_eq!(v, vec![3, 9, u64::MAX - 1, 7]);
+        let mut v = vec![u64::MAX - 1, 7, 3, 9, 3, 9];
+        counting_sort_pairs_dedup_with(&mut v, &mut scratch);
+        assert_eq!(v, vec![3, 9, u64::MAX - 1, 7]);
+    }
+
+    #[test]
+    fn guard_rejects_only_spans_beyond_the_operating_range() {
+        // Exactly at the cap: admissible (counting may still be slow there,
+        // but the histogram fits the arena policy).
+        let at_cap = vec![MAX_COUNTING_RANGE - 1, 1, 0, 2];
+        assert!(!subject_span_exceeds_operating_range(&at_cap));
+        // One past the cap: rejected.
+        let past_cap = vec![MAX_COUNTING_RANGE, 1, 0, 2];
+        assert!(subject_span_exceeds_operating_range(&past_cap));
+        // Empty input: nothing to guard.
+        assert!(!subject_span_exceeds_operating_range(&[]));
+        // In-range spans keep using the counting kernel.
+        let mut v = vec![1 << 20, 1, 0, 2];
+        counting_sort_pairs(&mut v);
+        assert_eq!(v, vec![0, 2, 1 << 20, 1]);
     }
 
     #[test]

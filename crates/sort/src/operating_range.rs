@@ -14,7 +14,7 @@
 //! radix kernel is always chosen. [`sort_pairs_auto`] applies the decision
 //! and sorts.
 
-use crate::counting::{counting_sort_pairs_dedup_with, counting_sort_pairs_with};
+use crate::counting::counting_sort_unchecked_with;
 use crate::pairs::subject_min_max;
 use crate::radix::{msda_radix_sort_pairs_dedup_with, msda_radix_sort_pairs_with};
 use crate::scratch::SortScratch;
@@ -85,7 +85,7 @@ pub fn sort_pairs_auto_dedup(pairs: &mut Vec<u64>) -> Algorithm {
 pub fn sort_pairs_auto_with(pairs: &mut Vec<u64>, scratch: &mut SortScratch) -> Algorithm {
     let algo = recommend_for(pairs);
     match algo {
-        Algorithm::Counting => counting_sort_pairs_with(pairs, scratch),
+        Algorithm::Counting => counting_sort_unchecked_with(pairs, false, scratch),
         Algorithm::MsdaRadix => msda_radix_sort_pairs_with(pairs, scratch),
     }
     algo
@@ -95,7 +95,7 @@ pub fn sort_pairs_auto_with(pairs: &mut Vec<u64>, scratch: &mut SortScratch) -> 
 pub fn sort_pairs_auto_dedup_with(pairs: &mut Vec<u64>, scratch: &mut SortScratch) -> Algorithm {
     let algo = recommend_for(pairs);
     match algo {
-        Algorithm::Counting => counting_sort_pairs_dedup_with(pairs, scratch),
+        Algorithm::Counting => counting_sort_unchecked_with(pairs, true, scratch),
         Algorithm::MsdaRadix => msda_radix_sort_pairs_dedup_with(pairs, scratch),
     }
     algo
@@ -113,11 +113,20 @@ mod tests {
     #[test]
     fn rule_of_thumb_matches_paper_operating_ranges() {
         // Dense cases from Table 1 (size ≥ range) → counting.
-        assert_eq!(recommend_algorithm(25_000_000, 1_000_000), Algorithm::Counting);
+        assert_eq!(
+            recommend_algorithm(25_000_000, 1_000_000),
+            Algorithm::Counting
+        );
         assert_eq!(recommend_algorithm(500_000, 500_000), Algorithm::Counting);
         // Sparse cases (range > size) → radix.
-        assert_eq!(recommend_algorithm(500_000, 10_000_000), Algorithm::MsdaRadix);
-        assert_eq!(recommend_algorithm(1_000_000, 50_000_000), Algorithm::MsdaRadix);
+        assert_eq!(
+            recommend_algorithm(500_000, 10_000_000),
+            Algorithm::MsdaRadix
+        );
+        assert_eq!(
+            recommend_algorithm(1_000_000, 50_000_000),
+            Algorithm::MsdaRadix
+        );
     }
 
     #[test]

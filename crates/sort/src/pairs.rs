@@ -8,7 +8,10 @@
 /// # Panics
 /// Panics if the slice length is odd.
 pub fn is_sorted_pairs(pairs: &[u64]) -> bool {
-    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
+    assert!(
+        pairs.len().is_multiple_of(2),
+        "pair array must have even length"
+    );
     pairs
         .chunks_exact(2)
         .zip(pairs.chunks_exact(2).skip(1))
@@ -21,7 +24,10 @@ pub fn is_sorted_pairs(pairs: &[u64]) -> bool {
 /// # Panics
 /// Panics if the slice length is odd. Debug builds also assert sortedness.
 pub fn dedup_sorted_pairs(pairs: &mut Vec<u64>) -> usize {
-    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
+    assert!(
+        pairs.len().is_multiple_of(2),
+        "pair array must have even length"
+    );
     debug_assert!(is_sorted_pairs(pairs), "dedup requires a sorted array");
     if pairs.is_empty() {
         return 0;
@@ -43,7 +49,10 @@ pub fn dedup_sorted_pairs(pairs: &mut Vec<u64>) -> usize {
 /// `(o, s)`. Sorting the result on its first component yields the
 /// object-sorted view the β/α rules join on.
 pub fn swap_pairs(pairs: &[u64]) -> Vec<u64> {
-    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
+    assert!(
+        pairs.len().is_multiple_of(2),
+        "pair array must have even length"
+    );
     let mut out = Vec::with_capacity(pairs.len());
     for pair in pairs.chunks_exact(2) {
         out.push(pair[1]);

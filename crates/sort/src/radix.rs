@@ -44,7 +44,10 @@ pub fn msda_radix_sort_pairs_dedup(pairs: &mut Vec<u64>) {
 
 /// [`msda_radix_sort_pairs`] against a reusable [`SortScratch`].
 pub fn msda_radix_sort_pairs_with(pairs: &mut [u64], scratch: &mut SortScratch) {
-    assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
+    assert!(
+        pairs.len().is_multiple_of(2),
+        "pair array must have even length"
+    );
     if pairs.len() <= 2 {
         return;
     }
@@ -155,12 +158,7 @@ fn radix_recurse(pairs: &mut [u64], scratch: &mut [u64], levels: &[u8], depth: u
         if count > 1 {
             let lo = offsets[digit] * 2;
             let hi = lo + count * 2;
-            radix_recurse(
-                &mut pairs[lo..hi],
-                &mut scratch[lo..hi],
-                levels,
-                depth + 1,
-            );
+            radix_recurse(&mut pairs[lo..hi], &mut scratch[lo..hi], levels, depth + 1);
         }
     }
 }
@@ -224,7 +222,10 @@ mod tests {
         assert_eq!(first_differing_byte(0, 256), Some(6));
         // "For a range of 10 million with an 8-bit radix, significant values
         // start at the sixth byte out of eight" (paper §5.3) — i.e. index 5.
-        assert_eq!(first_differing_byte(1 << 32, (1 << 32) + 10_000_000), Some(5));
+        assert_eq!(
+            first_differing_byte(1 << 32, (1 << 32) + 10_000_000),
+            Some(5)
+        );
         assert_eq!(first_differing_byte(0, u64::MAX), Some(0));
     }
 
@@ -233,7 +234,14 @@ mod tests {
         // Subjects span ~10M around 2^32 → subject bytes 5..8 are examined;
         // objects span 0..5 → only the last object byte (level 15) is.
         let base = 1u64 << 32;
-        let pairs = vec![base + 1, base + 5, base + 9_999_999, base + 2, base + 3, base];
+        let pairs = vec![
+            base + 1,
+            base + 5,
+            base + 9_999_999,
+            base + 2,
+            base + 3,
+            base,
+        ];
         let levels = active_levels(&pairs);
         assert_eq!(levels, vec![5, 6, 7, 15]);
     }
@@ -253,7 +261,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let base = 1u64 << 32;
         for n in [100usize, 1000, 20_000] {
-            let mut v: Vec<u64> = (0..2 * n).map(|_| base + rng.gen_range(0..5_000u64)).collect();
+            let mut v: Vec<u64> = (0..2 * n)
+                .map(|_| base + rng.gen_range(0..5_000u64))
+                .collect();
             let mut expected = v.clone();
             std_sort_pairs(&mut expected);
             msda_radix_sort_pairs(&mut v);

@@ -31,7 +31,10 @@ impl InferredBuffer {
 
     /// Records many pairs for one property at once.
     pub fn add_pairs(&mut self, p: u64, pairs: &[u64]) {
-        assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
+        assert!(
+            pairs.len().is_multiple_of(2),
+            "pair array must have even length"
+        );
         if pairs.is_empty() {
             return;
         }
@@ -112,10 +115,8 @@ mod tests {
         buf.add(200, 5, 6);
         assert_eq!(buf.len(), 3);
         assert_eq!(buf.property_count(), 2);
-        let tables: Vec<(u64, Vec<u64>)> = buf
-            .iter()
-            .map(|(p, pairs)| (p, pairs.to_vec()))
-            .collect();
+        let tables: Vec<(u64, Vec<u64>)> =
+            buf.iter().map(|(p, pairs)| (p, pairs.to_vec())).collect();
         assert_eq!(tables, vec![(100, vec![1, 2, 3, 4]), (200, vec![5, 6])]);
     }
 

@@ -99,7 +99,10 @@ pub fn merge_new_pairs_with(
     mut inferred: Vec<u64>,
     scratch: &mut SortScratch,
 ) -> (PropertyTable, MergeOutcome) {
-    assert!(inferred.len().is_multiple_of(2), "pair array must have even length");
+    assert!(
+        inferred.len().is_multiple_of(2),
+        "pair array must have even length"
+    );
     let mut outcome = MergeOutcome {
         inferred_raw: inferred.len() / 2,
         ..MergeOutcome::default()
@@ -163,10 +166,7 @@ pub fn merge_new_pairs_with(
                 while read < inferred.len() {
                     let key = (inferred[read], inferred[read + 1]);
                     cursor = gallop_lower_bound(old, cursor, key);
-                    if cursor < n_old
-                        && old[2 * cursor] == key.0
-                        && old[2 * cursor + 1] == key.1
-                    {
+                    if cursor < n_old && old[2 * cursor] == key.0 && old[2 * cursor + 1] == key.1 {
                         outcome.duplicates_against_main += 1;
                     } else {
                         inferred[write] = key.0;
@@ -209,7 +209,10 @@ pub fn merge_new_pairs_rebuild(
     main: &mut PropertyTable,
     mut inferred: Vec<u64>,
 ) -> (PropertyTable, MergeOutcome) {
-    assert!(inferred.len().is_multiple_of(2), "pair array must have even length");
+    assert!(
+        inferred.len().is_multiple_of(2),
+        "pair array must have even length"
+    );
     let mut outcome = MergeOutcome {
         inferred_raw: inferred.len() / 2,
         ..MergeOutcome::default()
@@ -349,7 +352,13 @@ mod tests {
         let before = main.pairs().to_vec();
         let (new, outcome) = merge_new_pairs(&mut main, vec![]);
         assert!(new.is_empty());
-        assert_eq!(outcome, MergeOutcome { inferred_raw: 0, ..Default::default() });
+        assert_eq!(
+            outcome,
+            MergeOutcome {
+                inferred_raw: 0,
+                ..Default::default()
+            }
+        );
         assert_eq!(main.pairs(), &before[..]);
     }
 
@@ -425,7 +434,10 @@ mod tests {
         assert_eq!(outcome.duplicates_within_inferred, 1);
         assert!(new.is_empty());
         assert_eq!(main.pairs(), &before[..]);
-        assert!(main.has_os_cache(), "short-circuit must keep the ⟨o,s⟩ cache");
+        assert!(
+            main.has_os_cache(),
+            "short-circuit must keep the ⟨o,s⟩ cache"
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl PropertyTable {
 
     /// Appends many pairs from a flat slice.
     pub fn add_pairs(&mut self, pairs: &[u64]) {
-        assert!(pairs.len().is_multiple_of(2), "pair array must have even length");
+        assert!(
+            pairs.len().is_multiple_of(2),
+            "pair array must have even length"
+        );
         if pairs.is_empty() {
             return;
         }
@@ -106,19 +109,22 @@ impl PropertyTable {
         self.pairs().chunks_exact(2).map(|p| (p[0], p[1]))
     }
 
-    /// Builds (if needed) the ⟨o,s⟩-sorted cache.
-    pub fn ensure_os(&mut self) {
-        self.ensure_os_with(&mut SortScratch::new());
+    /// Builds (if needed) the ⟨o,s⟩-sorted cache. Returns the number of
+    /// pairs actually re-sorted: `0` when the cache was still valid.
+    pub fn ensure_os(&mut self) -> usize {
+        self.ensure_os_with(&mut SortScratch::new())
     }
 
     /// [`PropertyTable::ensure_os`] against a reusable sort scratch.
-    pub fn ensure_os_with(&mut self, scratch: &mut SortScratch) {
+    pub fn ensure_os_with(&mut self, scratch: &mut SortScratch) -> usize {
         debug_assert!(!self.dirty, "ensure_os on a dirty table");
-        if self.os.is_none() {
-            let mut swapped = swap_pairs(&self.so);
-            sort_pairs_auto_dedup_with(&mut swapped, scratch);
-            self.os = Some(swapped);
+        if self.os.is_some() {
+            return 0;
         }
+        let mut swapped = swap_pairs(&self.so);
+        sort_pairs_auto_dedup_with(&mut swapped, scratch);
+        self.os = Some(swapped);
+        self.len()
     }
 
     /// The ⟨o,s⟩-sorted flat array (`[o, s, o, s, …]`), when the cache has
@@ -178,8 +184,7 @@ impl PropertyTable {
         debug_assert!(
             self.so.is_empty()
                 || pairs.is_empty()
-                || (self.so[self.so.len() - 2], self.so[self.so.len() - 1])
-                    < (pairs[0], pairs[1]),
+                || (self.so[self.so.len() - 2], self.so[self.so.len() - 1]) < (pairs[0], pairs[1]),
             "suffix must sort after the whole table"
         );
         if pairs.is_empty() {

@@ -194,7 +194,9 @@ mod tests {
     fn missing_table_and_counts() {
         let s = store();
         let unknown_p = (1u64 << 32) - 5;
-        assert!(s.match_pattern(TriplePattern::any().with_p(unknown_p)).is_empty());
+        assert!(s
+            .match_pattern(TriplePattern::any().with_p(unknown_p))
+            .is_empty());
         assert_eq!(s.count_pattern(TriplePattern::any()), 4);
         assert_eq!(s.count_pattern(TriplePattern::any().with_s(99)), 0);
     }

@@ -78,28 +78,28 @@ impl TripleStore {
     }
 
     /// Builds the ⟨o,s⟩ cache of the table of `p`, if the table exists.
-    pub fn ensure_os(&mut self, p: u64) {
-        if let Some(table) = self.table_mut(p) {
-            table.ensure_os();
-        }
+    /// Returns the number of pairs re-sorted (`0` when the cache was valid).
+    pub fn ensure_os(&mut self, p: u64) -> usize {
+        self.table_mut(p).map_or(0, |table| table.ensure_os())
     }
 
-    /// Builds the ⟨o,s⟩ cache of every non-empty table.
-    pub fn ensure_all_os(&mut self) {
-        for table in self.tables.iter_mut().flatten() {
-            if !table.is_empty() {
-                table.ensure_os();
-            }
-        }
+    /// Builds the ⟨o,s⟩ cache of every non-empty table. Returns the total
+    /// number of pairs actually re-sorted — only the tables whose caches the
+    /// preceding merges invalidated contribute, so steady-state iterations
+    /// (where most tables are untouched) report a small count.
+    pub fn ensure_all_os(&mut self) -> usize {
+        self.ensure_all_os_with(&mut inferray_sort::SortScratch::new())
     }
 
     /// [`TripleStore::ensure_all_os`] against a reusable sort scratch.
-    pub fn ensure_all_os_with(&mut self, scratch: &mut inferray_sort::SortScratch) {
+    pub fn ensure_all_os_with(&mut self, scratch: &mut inferray_sort::SortScratch) -> usize {
+        let mut resorted = 0usize;
         for table in self.tables.iter_mut().flatten() {
             if !table.is_empty() {
-                table.ensure_os_with(scratch);
+                resorted += table.ensure_os_with(scratch);
             }
         }
+        resorted
     }
 
     /// Iterates over the property identifiers that have a (possibly empty)
@@ -123,18 +123,13 @@ impl TripleStore {
 
     /// Iterates over every stored triple.
     pub fn iter_triples(&self) -> impl Iterator<Item = IdTriple> + '_ {
-        self.iter_tables().flat_map(|(p, table)| {
-            table.iter_pairs().map(move |(s, o)| IdTriple::new(s, p, o))
-        })
+        self.iter_tables()
+            .flat_map(|(p, table)| table.iter_pairs().map(move |(s, o)| IdTriple::new(s, p, o)))
     }
 
     /// Total number of triples (pairs summed over all tables).
     pub fn len(&self) -> usize {
-        self.tables
-            .iter()
-            .flatten()
-            .map(|t| t.len())
-            .sum()
+        self.tables.iter().flatten().map(|t| t.len()).sum()
     }
 
     /// `true` when no triple is stored.
@@ -185,7 +180,9 @@ impl TripleStore {
     /// without any locking.
     pub fn take_table(&mut self, p: u64) -> Option<PropertyTable> {
         debug_assert!(is_property_id(p), "not a property id: {p}");
-        self.tables.get_mut(property_index(p)).and_then(|t| t.take())
+        self.tables
+            .get_mut(property_index(p))
+            .and_then(|t| t.take())
     }
 
     /// (Re)installs `table` as the table of property `p`.
@@ -311,6 +308,22 @@ mod tests {
         for (_, table) in store.iter_tables() {
             assert!(table.has_os_cache());
         }
+    }
+
+    #[test]
+    fn ensure_all_os_reports_only_the_pairs_actually_resorted() {
+        let mut store = sample_store();
+        // First pass: every pair is sorted (2 rdf:type + 1 subClassOf).
+        assert_eq!(store.ensure_all_os(), 3);
+        // Second pass: every cache is still valid — nothing is re-sorted.
+        assert_eq!(store.ensure_all_os(), 0);
+        // Invalidate exactly one table: only its pairs are charged.
+        let human = 1_000_000_000_000u64;
+        store.add_triple(IdTriple::new(human + 9, wellknown::RDF_TYPE, human));
+        store.finalize();
+        assert_eq!(store.ensure_all_os(), 3, "3 rdf:type pairs re-sorted");
+        assert_eq!(store.ensure_os(wellknown::RDF_TYPE), 0, "cache now valid");
+        assert_eq!(store.ensure_os(wellknown::RDFS_DOMAIN), 0, "no such table");
     }
 
     #[test]

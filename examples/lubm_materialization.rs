@@ -41,8 +41,16 @@ fn main() {
     );
 
     println!("Materializing the RDFS-Plus fragment:");
-    let a = run("inferray", &mut InferrayReasoner::new(Fragment::RdfsPlus), &loaded.store);
-    let b = run("hash-join", &mut HashJoinReasoner::new(Fragment::RdfsPlus), &loaded.store);
+    let a = run(
+        "inferray",
+        &mut InferrayReasoner::new(Fragment::RdfsPlus),
+        &loaded.store,
+    );
+    let b = run(
+        "hash-join",
+        &mut HashJoinReasoner::new(Fragment::RdfsPlus),
+        &loaded.store,
+    );
     let c = run(
         "naive-iterative",
         &mut NaiveIterativeReasoner::new(Fragment::RdfsPlus),

@@ -8,15 +8,31 @@
 //! cargo run --example quickstart
 //! ```
 
-use inferray::{reason_graph, Fragment, Graph, vocab};
+use inferray::{reason_graph, vocab, Fragment, Graph};
 
 fn main() {
     // 1. Build the input graph (the paper's running example).
     let mut graph = Graph::new();
-    graph.insert_iris("http://example.org/human", vocab::RDFS_SUB_CLASS_OF, "http://example.org/mammal");
-    graph.insert_iris("http://example.org/mammal", vocab::RDFS_SUB_CLASS_OF, "http://example.org/animal");
-    graph.insert_iris("http://example.org/Bart", vocab::RDF_TYPE, "http://example.org/human");
-    graph.insert_iris("http://example.org/Lisa", vocab::RDF_TYPE, "http://example.org/human");
+    graph.insert_iris(
+        "http://example.org/human",
+        vocab::RDFS_SUB_CLASS_OF,
+        "http://example.org/mammal",
+    );
+    graph.insert_iris(
+        "http://example.org/mammal",
+        vocab::RDFS_SUB_CLASS_OF,
+        "http://example.org/animal",
+    );
+    graph.insert_iris(
+        "http://example.org/Bart",
+        vocab::RDF_TYPE,
+        "http://example.org/human",
+    );
+    graph.insert_iris(
+        "http://example.org/Lisa",
+        vocab::RDF_TYPE,
+        "http://example.org/human",
+    );
 
     println!("Input graph ({} triples):\n{}", graph.len(), graph);
 
@@ -25,7 +41,8 @@ fn main() {
 
     // 3. Show what was inferred.
     let inferred = result.inferred(&graph);
-    println!("Inferred {} triples in {:?} ({} fixed-point iterations):",
+    println!(
+        "Inferred {} triples in {:?} ({} fixed-point iterations):",
         result.stats.inferred_triples(),
         result.stats.duration,
         result.stats.iterations,

@@ -50,27 +50,40 @@ fn main() {
 
     // The shared ORCID makes the two IRIs equal…
     let same = Triple::iris(ex("J_Doe"), owl_same_as, ex("JaneDoe"));
-    assert!(result.graph.contains(&same), "PRP-IFP should identify the author");
+    assert!(
+        result.graph.contains(&same),
+        "PRP-IFP should identify the author"
+    );
     println!("✓ {same}");
 
     // …so facts flow across the alias in both directions…
     let nationality = Triple::iris(ex("J_Doe"), ex("nationality"), ex("France"));
-    assert!(result.graph.contains(&nationality), "EQ-REP-S should copy the nationality");
+    assert!(
+        result.graph.contains(&nationality),
+        "EQ-REP-S should copy the nationality"
+    );
     println!("✓ {nationality}");
 
     // …the inverse property links the book back to both IRIs…
     let written_by = Triple::iris(ex("TheBook"), ex("writtenBy"), ex("JaneDoe"));
-    assert!(result.graph.contains(&written_by), "PRP-INV + EQ-REP should apply");
+    assert!(
+        result.graph.contains(&written_by),
+        "PRP-INV + EQ-REP should apply"
+    );
     println!("✓ {written_by}");
 
     // …and the class hierarchy + domain typing still applies.
     let typed = Triple::iris(ex("JaneDoe"), rdf_type, ex("Author"));
-    assert!(result.graph.contains(&typed), "CAX-SCO / PRP-DOM should type the alias");
+    assert!(
+        result.graph.contains(&typed),
+        "CAX-SCO / PRP-DOM should type the alias"
+    );
     println!("✓ {typed}");
 
     println!("\nEverything known about either IRI:");
     for triple in result.graph.iter().filter(|t| {
-        t.subject == inferray::Term::iri(ex("JaneDoe")) || t.subject == inferray::Term::iri(ex("J_Doe"))
+        t.subject == inferray::Term::iri(ex("JaneDoe"))
+            || t.subject == inferray::Term::iri(ex("J_Doe"))
     }) {
         println!("  {triple}");
     }

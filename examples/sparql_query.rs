@@ -12,9 +12,9 @@
 //! ```
 
 use inferray::core::{InferrayReasoner, Materializer};
+use inferray::load_turtle;
 use inferray::query::QueryEngine;
 use inferray::rules::Fragment;
-use inferray::load_turtle;
 
 const DATA: &str = r#"
 @prefix ex: <http://example.org/> .

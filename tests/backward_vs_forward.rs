@@ -23,7 +23,10 @@ fn materialize_rho_df(store: &TripleStore) -> BTreeSet<IdTriple> {
 }
 
 fn backward_closure(store: &TripleStore) -> BTreeSet<IdTriple> {
-    BackwardChainer::new(store).all_triples().into_iter().collect()
+    BackwardChainer::new(store)
+        .all_triples()
+        .into_iter()
+        .collect()
 }
 
 #[test]
@@ -117,16 +120,14 @@ fn arbitrary_rho_df_store() -> impl Strategy<Value = Vec<IdTriple>> {
             .collect::<Vec<_>>()
     });
 
-    (subclass, subproperty, domains, ranges, types, links).prop_map(
-        |(mut a, b, c, d, e, f)| {
-            a.extend(b);
-            a.extend(c);
-            a.extend(d);
-            a.extend(e);
-            a.extend(f);
-            a
-        },
-    )
+    (subclass, subproperty, domains, ranges, types, links).prop_map(|(mut a, b, c, d, e, f)| {
+        a.extend(b);
+        a.extend(c);
+        a.extend(d);
+        a.extend(e);
+        a.extend(f);
+        a
+    })
 }
 
 proptest! {

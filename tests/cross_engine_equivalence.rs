@@ -25,7 +25,8 @@ fn assert_all_engines_agree(triples: &[Triple], fragment: Fragment, label: &str)
     let inferray = materialize(&mut InferrayReasoner::new(fragment), &loaded.store);
     let hash_join = materialize(&mut HashJoinReasoner::new(fragment), &loaded.store);
     assert_eq!(
-        inferray, hash_join,
+        inferray,
+        hash_join,
         "{label}/{fragment}: inferray vs hash-join disagree \
          (inferray {} triples, hash-join {})",
         inferray.len(),
@@ -97,6 +98,9 @@ fn rdfs_plus_on_taxonomies_with_owl_free_data_matches_rdfs() {
         &mut InferrayReasoner::new(Fragment::RdfsDefault),
         &loaded.store,
     );
-    let plus = materialize(&mut InferrayReasoner::new(Fragment::RdfsPlus), &loaded.store);
+    let plus = materialize(
+        &mut InferrayReasoner::new(Fragment::RdfsPlus),
+        &loaded.store,
+    );
     assert_eq!(rdfs, plus, "no owl constructs ⇒ identical materializations");
 }

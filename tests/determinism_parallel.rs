@@ -11,7 +11,9 @@ use inferray::datasets::lubm::LubmGenerator;
 use inferray::datasets::taxonomy::wikipedia_like;
 use inferray::datasets::Dataset;
 use inferray::parser::loader::load_triples;
-use inferray::{Fragment, InferenceStats, InferrayOptions, InferrayReasoner, Materializer, TripleStore};
+use inferray::{
+    Fragment, InferenceStats, InferrayOptions, InferrayReasoner, Materializer, TripleStore,
+};
 
 fn store_for(dataset: &Dataset) -> TripleStore {
     load_triples(dataset.triples.iter())
@@ -22,7 +24,11 @@ fn store_for(dataset: &Dataset) -> TripleStore {
 /// Byte-level equality: every property table's flat ⟨s,o⟩ array matches.
 fn assert_stores_byte_identical(a: &TripleStore, b: &TripleStore, label: &str) {
     assert_eq!(a.len(), b.len(), "{label}: triple counts differ");
-    assert_eq!(a.table_count(), b.table_count(), "{label}: table counts differ");
+    assert_eq!(
+        a.table_count(),
+        b.table_count(),
+        "{label}: table counts differ"
+    );
     for (p, table) in a.iter_tables() {
         let other = b
             .table(p)
@@ -38,7 +44,10 @@ fn assert_stores_byte_identical(a: &TripleStore, b: &TripleStore, label: &str) {
 /// Counter-level equality (everything except wall-clock time).
 fn assert_stats_equal(a: &InferenceStats, b: &InferenceStats, label: &str) {
     assert_eq!(a.input_triples, b.input_triples, "{label}: input_triples");
-    assert_eq!(a.output_triples, b.output_triples, "{label}: output_triples");
+    assert_eq!(
+        a.output_triples, b.output_triples,
+        "{label}: output_triples"
+    );
     assert_eq!(a.iterations, b.iterations, "{label}: iterations");
     assert_eq!(a.derived_raw, b.derived_raw, "{label}: derived_raw");
     assert_eq!(
@@ -52,7 +61,8 @@ fn check_dataset(dataset: &Dataset, fragment: Fragment) {
     let label = format!("{} / {fragment:?}", dataset.label);
 
     let mut parallel_store = store_for(dataset);
-    let mut parallel_reasoner = InferrayReasoner::with_options(fragment, InferrayOptions::default());
+    let mut parallel_reasoner =
+        InferrayReasoner::with_options(fragment, InferrayOptions::default());
     let parallel_stats = parallel_reasoner.materialize(&mut parallel_store);
 
     let mut sequential_store = store_for(dataset);
@@ -72,8 +82,14 @@ fn check_dataset(dataset: &Dataset, fragment: Fragment) {
     let b = sequential_reasoner.last_iteration_profile();
     assert_eq!(a.samples.len(), b.samples.len(), "{label}: iteration count");
     for (pa, pb) in a.samples.iter().zip(&b.samples) {
-        assert_eq!(pa.raw_pairs, pb.raw_pairs, "{label}: raw pairs per iteration");
-        assert_eq!(pa.new_pairs, pb.new_pairs, "{label}: new pairs per iteration");
+        assert_eq!(
+            pa.raw_pairs, pb.raw_pairs,
+            "{label}: raw pairs per iteration"
+        );
+        assert_eq!(
+            pa.new_pairs, pb.new_pairs,
+            "{label}: new pairs per iteration"
+        );
         assert_eq!(
             pa.properties_touched, pb.properties_touched,
             "{label}: properties touched per iteration"

@@ -4,7 +4,7 @@
 
 use inferray::core::api::{reason_ntriples, reason_turtle};
 use inferray::parser::{parse_ntriples, to_ntriples_string};
-use inferray::{load_ntriples, reason_graph, Fragment, Graph, Term, Triple, vocab};
+use inferray::{load_ntriples, reason_graph, vocab, Fragment, Graph, Term, Triple};
 
 const EX: &str = "http://example.org/";
 
@@ -64,15 +64,19 @@ ex:Teacher rdfs:subClassOf ex:Person .
 ex:Socrates ex:teaches ex:Philosophy101 .
 "#;
     let result = reason_turtle(document, Fragment::RhoDf).unwrap();
-    assert!(result
-        .graph
-        .contains(&Triple::iris(ex("Socrates"), vocab::RDF_TYPE, ex("Teacher"))));
+    assert!(result.graph.contains(&Triple::iris(
+        ex("Socrates"),
+        vocab::RDF_TYPE,
+        ex("Teacher")
+    )));
     assert!(result
         .graph
         .contains(&Triple::iris(ex("Socrates"), vocab::RDF_TYPE, ex("Person"))));
-    assert!(result
-        .graph
-        .contains(&Triple::iris(ex("Philosophy101"), vocab::RDF_TYPE, ex("Course"))));
+    assert!(result.graph.contains(&Triple::iris(
+        ex("Philosophy101"),
+        vocab::RDF_TYPE,
+        ex("Course")
+    )));
 }
 
 #[test]
@@ -101,7 +105,11 @@ fn loading_reports_sizes_and_handles_duplicates() {
         b = ex("b"),
     );
     let loaded = load_ntriples(&document).unwrap();
-    assert_eq!(loaded.len(), 1, "duplicate statements collapse at load time");
+    assert_eq!(
+        loaded.len(),
+        1,
+        "duplicate statements collapse at load time"
+    );
     assert!(loaded.dictionary.id_of_iri(&ex("p")).is_some());
 }
 

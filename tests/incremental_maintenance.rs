@@ -16,11 +16,7 @@ fn triples_of(store: &TripleStore) -> BTreeSet<IdTriple> {
 
 /// Materializes `initial`, applies `delta` incrementally, and checks the
 /// result equals materializing `initial ∪ delta` from scratch.
-fn assert_incremental_equals_batch(
-    fragment: Fragment,
-    initial: &[IdTriple],
-    delta: &[IdTriple],
-) {
+fn assert_incremental_equals_batch(fragment: Fragment, initial: &[IdTriple], delta: &[IdTriple]) {
     // Incremental path.
     let mut incremental = TripleStore::from_triples(initial.iter().copied());
     let mut reasoner = InferrayReasoner::new(fragment);
@@ -125,9 +121,8 @@ fn successive_deltas_accumulate_correctly() {
     reasoner.materialize_delta(&mut incremental, delta1);
     reasoner.materialize_delta(&mut incremental, delta2);
 
-    let mut batch = TripleStore::from_triples(
-        initial.iter().chain(&delta1).chain(&delta2).copied(),
-    );
+    let mut batch =
+        TripleStore::from_triples(initial.iter().chain(&delta1).chain(&delta2).copied());
     InferrayReasoner::new(Fragment::RdfsDefault).materialize(&mut batch);
     assert_eq!(triples_of(&incremental), triples_of(&batch));
 }

@@ -42,9 +42,7 @@ fn queries_see_inferred_triples_as_explicit_data() {
     // smith is a Professor (asserted), hence Faculty and Person (inferred
     // through SCM-SCO + CAX-SCO), and teaches gives Faculty via PRP-DOM.
     let classes = engine
-        .execute_sparql(
-            "PREFIX ex: <http://example.org/> SELECT ?c WHERE { ex:smith a ?c }",
-        )
+        .execute_sparql("PREFIX ex: <http://example.org/> SELECT ?c WHERE { ex:smith a ?c }")
         .unwrap();
     let decoded: Vec<Term> = (0..classes.len())
         .filter_map(|row| classes.decoded_value(row, "c", &dataset.dictionary))
@@ -55,9 +53,7 @@ fn queries_see_inferred_triples_as_explicit_data() {
 
     // headOf ⊑ worksFor: the inferred worksFor triple is queryable.
     assert!(engine
-        .ask_sparql(
-            "PREFIX ex: <http://example.org/> ASK { ex:smith ex:worksFor ex:cslab }"
-        )
+        .ask_sparql("PREFIX ex: <http://example.org/> ASK { ex:smith ex:worksFor ex:cslab }")
         .unwrap());
 
     // Range inference: databases is a Course.
@@ -267,9 +263,7 @@ fn ntriples_roundtrip_feeds_the_engine() {
     let dataset = inferray::load_graph(&graph).unwrap();
     let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
     let hops = engine
-        .execute_sparql(
-            "SELECT ?x ?z WHERE { ?x <http://ex/p> ?y . ?y <http://ex/p> ?z }",
-        )
+        .execute_sparql("SELECT ?x ?z WHERE { ?x <http://ex/p> ?y . ?y <http://ex/p> ?z }")
         .unwrap();
     assert_eq!(hops.len(), 1);
 }

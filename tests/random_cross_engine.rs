@@ -30,36 +30,78 @@ fn arbitrary_rdfs_plus_dataset() -> impl Strategy<Value = Vec<IdTriple>> {
         prop_oneof![
             // Plain RDFS schema.
             (0u8..5, 0u8..5).prop_map(move |(a, b)| IdTriple::new(
-                class(a), wellknown::RDFS_SUB_CLASS_OF, class(b))),
+                class(a),
+                wellknown::RDFS_SUB_CLASS_OF,
+                class(b)
+            )),
             (0u8..4, 0u8..4).prop_map(move |(a, b)| IdTriple::new(
-                property(a), wellknown::RDFS_SUB_PROPERTY_OF, property(b))),
+                property(a),
+                wellknown::RDFS_SUB_PROPERTY_OF,
+                property(b)
+            )),
             (0u8..4, 0u8..5).prop_map(move |(p, c)| IdTriple::new(
-                property(p), wellknown::RDFS_DOMAIN, class(c))),
+                property(p),
+                wellknown::RDFS_DOMAIN,
+                class(c)
+            )),
             (0u8..4, 0u8..5).prop_map(move |(p, c)| IdTriple::new(
-                property(p), wellknown::RDFS_RANGE, class(c))),
+                property(p),
+                wellknown::RDFS_RANGE,
+                class(c)
+            )),
             // OWL vocabulary used by RDFS-Plus.
             (0u8..5, 0u8..5).prop_map(move |(a, b)| IdTriple::new(
-                class(a), wellknown::OWL_EQUIVALENT_CLASS, class(b))),
+                class(a),
+                wellknown::OWL_EQUIVALENT_CLASS,
+                class(b)
+            )),
             (0u8..4, 0u8..4).prop_map(move |(a, b)| IdTriple::new(
-                property(a), wellknown::OWL_EQUIVALENT_PROPERTY, property(b))),
+                property(a),
+                wellknown::OWL_EQUIVALENT_PROPERTY,
+                property(b)
+            )),
             (0u8..4, 0u8..4).prop_map(move |(a, b)| IdTriple::new(
-                property(a), wellknown::OWL_INVERSE_OF, property(b))),
+                property(a),
+                wellknown::OWL_INVERSE_OF,
+                property(b)
+            )),
             (0u8..4).prop_map(move |p| IdTriple::new(
-                property(p), wellknown::RDF_TYPE, wellknown::OWL_TRANSITIVE_PROPERTY)),
+                property(p),
+                wellknown::RDF_TYPE,
+                wellknown::OWL_TRANSITIVE_PROPERTY
+            )),
             (0u8..4).prop_map(move |p| IdTriple::new(
-                property(p), wellknown::RDF_TYPE, wellknown::OWL_SYMMETRIC_PROPERTY)),
+                property(p),
+                wellknown::RDF_TYPE,
+                wellknown::OWL_SYMMETRIC_PROPERTY
+            )),
             (0u8..4).prop_map(move |p| IdTriple::new(
-                property(p), wellknown::RDF_TYPE, wellknown::OWL_FUNCTIONAL_PROPERTY)),
+                property(p),
+                wellknown::RDF_TYPE,
+                wellknown::OWL_FUNCTIONAL_PROPERTY
+            )),
             (0u8..4).prop_map(move |p| IdTriple::new(
-                property(p), wellknown::RDF_TYPE, wellknown::OWL_INVERSE_FUNCTIONAL_PROPERTY)),
+                property(p),
+                wellknown::RDF_TYPE,
+                wellknown::OWL_INVERSE_FUNCTIONAL_PROPERTY
+            )),
             // sameAs links between individuals.
             (0u8..6, 0u8..6).prop_map(move |(a, b)| IdTriple::new(
-                instance(a), wellknown::OWL_SAME_AS, instance(b))),
+                instance(a),
+                wellknown::OWL_SAME_AS,
+                instance(b)
+            )),
             // Instance data.
             (0u8..6, 0u8..5).prop_map(move |(x, c)| IdTriple::new(
-                instance(x), wellknown::RDF_TYPE, class(c))),
+                instance(x),
+                wellknown::RDF_TYPE,
+                class(c)
+            )),
             (0u8..6, 0u8..4, 0u8..6).prop_map(move |(x, p, y)| IdTriple::new(
-                instance(x), property(p), instance(y))),
+                instance(x),
+                property(p),
+                instance(y)
+            )),
         ],
         1..28,
     )

@@ -1,0 +1,189 @@
+//! Scheduled-vs-full equivalence suite for the §4.3 rule-dependency
+//! scheduler.
+//!
+//! The scheduling invariant: from iteration 2 on, a rule none of whose input
+//! tables received new pairs in the previous iteration can only re-derive
+//! duplicates, so skipping it must leave the materialization **byte
+//! identical** — same property tables, same pair arrays — to firing every
+//! rule of the ruleset on every iteration. This suite pins that invariant
+//! for every fragment, for the parallel and sequential loops, for the
+//! incremental (`materialize_delta`) path, and checks the scheduler actually
+//! skips work on multi-iteration datasets.
+
+use inferray::core::{InferrayReasoner, Materializer};
+use inferray::datasets::LubmGenerator;
+use inferray::dictionary::wellknown as wk;
+use inferray::model::ids::nth_property_id;
+use inferray::parser::loader::load_triples;
+use inferray::rules::Fragment;
+use inferray::store::TripleStore;
+use inferray::{IdTriple, InferrayOptions};
+
+/// Byte-level equality: same non-empty tables, same ⟨s,o⟩ pair arrays.
+fn assert_byte_identical(expected: &TripleStore, actual: &TripleStore, label: &str) {
+    let expected_props: Vec<u64> = expected.property_ids().collect();
+    let actual_props: Vec<u64> = actual.property_ids().collect();
+    assert_eq!(
+        expected_props, actual_props,
+        "{label}: property sets diverge"
+    );
+    for p in expected_props {
+        assert_eq!(
+            expected.table(p).unwrap().pairs(),
+            actual.table(p).unwrap().pairs(),
+            "{label}: table {p} diverges"
+        );
+    }
+}
+
+fn store(triples: &[(u64, u64, u64)]) -> TripleStore {
+    TripleStore::from_triples(triples.iter().map(|&(s, p, o)| IdTriple::new(s, p, o)))
+}
+
+/// A dataset exercising every rule family: class/property hierarchies,
+/// domains and ranges, equivalences, sameAs chains, inverse, symmetric,
+/// transitive, functional and inverse-functional properties.
+fn mixed_dataset() -> Vec<(u64, u64, u64)> {
+    let p = |n: usize| nth_property_id(800 + n);
+    let (knows, kned_by, part_of, has_id, owns, married) = (p(0), p(1), p(2), p(3), p(4), p(5));
+    let e = 9_700_000u64;
+    vec![
+        // Class hierarchy + instances.
+        (e, wk::RDFS_SUB_CLASS_OF, e + 1),
+        (e + 1, wk::RDFS_SUB_CLASS_OF, e + 2),
+        (e + 2, wk::OWL_EQUIVALENT_CLASS, e + 3),
+        (e + 10, wk::RDF_TYPE, e),
+        (e + 11, wk::RDF_TYPE, e + 1),
+        // Property hierarchy, domain/range.
+        (knows, wk::RDFS_SUB_PROPERTY_OF, owns),
+        (owns, wk::RDFS_DOMAIN, e),
+        (owns, wk::RDFS_RANGE, e + 1),
+        (knows, wk::OWL_INVERSE_OF, kned_by),
+        (married, wk::RDF_TYPE, wk::OWL_SYMMETRIC_PROPERTY),
+        (part_of, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY),
+        (has_id, wk::RDF_TYPE, wk::OWL_INVERSE_FUNCTIONAL_PROPERTY),
+        (owns, wk::RDF_TYPE, wk::OWL_FUNCTIONAL_PROPERTY),
+        // Instance data feeding the above.
+        (e + 10, knows, e + 11),
+        (e + 10, married, e + 12),
+        (e + 12, part_of, e + 13),
+        (e + 13, part_of, e + 14),
+        (e + 10, has_id, e + 20),
+        (e + 15, has_id, e + 20),
+        (e + 16, owns, e + 17),
+        (e + 16, owns, e + 18),
+        // sameAs chain.
+        (e + 10, wk::OWL_SAME_AS, e + 30),
+        (e + 30, wk::OWL_SAME_AS, e + 31),
+    ]
+}
+
+#[test]
+fn scheduled_equals_full_on_every_fragment() {
+    let triples = mixed_dataset();
+    for fragment in Fragment::ALL {
+        for parallel in [true, false] {
+            let base = if parallel {
+                InferrayOptions::default()
+            } else {
+                InferrayOptions::sequential()
+            };
+            let mut scheduled_store = store(&triples);
+            let mut full_store = store(&triples);
+            let mut scheduled = InferrayReasoner::with_options(fragment, base);
+            scheduled.materialize(&mut scheduled_store);
+            let full_options = InferrayOptions {
+                schedule_rules: false,
+                ..base
+            };
+            InferrayReasoner::with_options(fragment, full_options).materialize(&mut full_store);
+            assert_byte_identical(
+                &full_store,
+                &scheduled_store,
+                &format!("{fragment} (parallel={parallel})"),
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduler_skips_rules_on_a_multi_iteration_dataset() {
+    let triples = mixed_dataset();
+    for fragment in Fragment::ALL {
+        let mut data = store(&triples);
+        let mut reasoner = InferrayReasoner::new(fragment);
+        let stats = reasoner.materialize(&mut data);
+        let profile = reasoner.last_iteration_profile();
+        assert!(
+            stats.iterations >= 2,
+            "{fragment}: needs multiple iterations"
+        );
+        assert_eq!(
+            profile.samples[0].rules_skipped, 0,
+            "{fragment}: iteration 1 fires the full ruleset"
+        );
+        assert!(
+            profile.total_rules_skipped() > 0,
+            "{fragment}: the scheduler skipped nothing"
+        );
+    }
+}
+
+#[test]
+fn scheduled_equals_full_on_lubm() {
+    let dataset = LubmGenerator::new(8_000).with_seed(7).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("generated dataset is valid");
+    for fragment in [Fragment::RdfsDefault, Fragment::RdfsPlus] {
+        let mut scheduled_store = loaded.store.clone();
+        let mut full_store = loaded.store.clone();
+        let mut scheduled = InferrayReasoner::new(fragment);
+        scheduled.materialize(&mut scheduled_store);
+        InferrayReasoner::with_options(fragment, InferrayOptions::unscheduled())
+            .materialize(&mut full_store);
+        assert_byte_identical(&full_store, &scheduled_store, &format!("LUBM {fragment}"));
+        assert!(
+            scheduled.last_iteration_profile().total_rules_skipped() > 0,
+            "LUBM {fragment}: no rule firing saved"
+        );
+    }
+}
+
+#[test]
+fn incremental_path_is_identical_with_and_without_scheduling() {
+    let triples = mixed_dataset();
+    let p = |n: usize| nth_property_id(800 + n);
+    let e = 9_700_000u64;
+    let delta = [
+        IdTriple::new(e + 40, wk::RDF_TYPE, e),
+        IdTriple::new(e + 40, p(0), e + 10),
+        IdTriple::new(e + 14, p(2), e + 41),
+        IdTriple::new(e + 31, wk::OWL_SAME_AS, e + 42),
+    ];
+    for fragment in Fragment::ALL {
+        // Scheduled incremental run.
+        let mut scheduled_store = store(&triples);
+        let mut scheduled = InferrayReasoner::new(fragment);
+        scheduled.materialize(&mut scheduled_store);
+        scheduled.materialize_delta(&mut scheduled_store, delta);
+
+        // Unscheduled incremental run.
+        let mut full_store = store(&triples);
+        let mut full = InferrayReasoner::with_options(fragment, InferrayOptions::unscheduled());
+        full.materialize(&mut full_store);
+        full.materialize_delta(&mut full_store, delta);
+        assert_byte_identical(&full_store, &scheduled_store, &format!("delta {fragment}"));
+
+        // Both equal re-materializing the extended input from scratch.
+        let mut batch = store(&triples);
+        for t in delta {
+            batch.add_triple(t);
+        }
+        batch.finalize();
+        InferrayReasoner::new(fragment).materialize(&mut batch);
+        assert_byte_identical(
+            &batch,
+            &scheduled_store,
+            &format!("delta-vs-batch {fragment}"),
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //! what a given fragment must (and must not) derive, checked through the
 //! decoded-graph API.
 
-use inferray::{reason_graph, Fragment, Graph, Triple, vocab};
+use inferray::{reason_graph, vocab, Fragment, Graph, Triple};
 
 const EX: &str = "http://example.org/";
 
@@ -24,11 +24,31 @@ fn domain_range_and_subproperty_in_rho_df() {
     let result = reason_graph(&g, Fragment::RhoDf).unwrap();
 
     // PRP-SPO1, then PRP-DOM / PRP-RNG on the derived triple.
-    assert!(contains(&result, &ex("Homer"), &ex("hasChild"), &ex("Bart")));
-    assert!(contains(&result, &ex("Homer"), vocab::RDF_TYPE, &ex("Parent")));
-    assert!(contains(&result, &ex("Bart"), vocab::RDF_TYPE, &ex("Child")));
+    assert!(contains(
+        &result,
+        &ex("Homer"),
+        &ex("hasChild"),
+        &ex("Bart")
+    ));
+    assert!(contains(
+        &result,
+        &ex("Homer"),
+        vocab::RDF_TYPE,
+        &ex("Parent")
+    ));
+    assert!(contains(
+        &result,
+        &ex("Bart"),
+        vocab::RDF_TYPE,
+        &ex("Child")
+    ));
     // SCM-DOM2: hasSon inherits the domain of hasChild.
-    assert!(contains(&result, &ex("hasSon"), vocab::RDFS_DOMAIN, &ex("Parent")));
+    assert!(contains(
+        &result,
+        &ex("hasSon"),
+        vocab::RDFS_DOMAIN,
+        &ex("Parent")
+    ));
 }
 
 #[test]
@@ -38,9 +58,19 @@ fn rho_df_excludes_domain_widening_but_rdfs_includes_it() {
     g.insert_iris(ex("Parent"), vocab::RDFS_SUB_CLASS_OF, ex("Person"));
     // SCM-DOM1 (domain widening along subClassOf) is in RDFS but not ρDF.
     let rho = reason_graph(&g, Fragment::RhoDf).unwrap();
-    assert!(!contains(&rho, &ex("hasChild"), vocab::RDFS_DOMAIN, &ex("Person")));
+    assert!(!contains(
+        &rho,
+        &ex("hasChild"),
+        vocab::RDFS_DOMAIN,
+        &ex("Person")
+    ));
     let rdfs = reason_graph(&g, Fragment::RdfsDefault).unwrap();
-    assert!(contains(&rdfs, &ex("hasChild"), vocab::RDFS_DOMAIN, &ex("Person")));
+    assert!(contains(
+        &rdfs,
+        &ex("hasChild"),
+        vocab::RDFS_DOMAIN,
+        &ex("Person")
+    ));
 }
 
 #[test]
@@ -51,11 +81,36 @@ fn rdfs_full_axiomatic_triples() {
     let default = reason_graph(&g, Fragment::RdfsDefault).unwrap();
     let full = reason_graph(&g, Fragment::RdfsFull).unwrap();
     // RDFS10 / RDFS8 / RDFS4 only fire in the full flavour.
-    assert!(!contains(&default, &ex("Dog"), vocab::RDFS_SUB_CLASS_OF, &ex("Dog")));
-    assert!(contains(&full, &ex("Dog"), vocab::RDFS_SUB_CLASS_OF, &ex("Dog")));
-    assert!(contains(&full, &ex("Dog"), vocab::RDFS_SUB_CLASS_OF, vocab::RDFS_RESOURCE));
-    assert!(contains(&full, &ex("Rex"), vocab::RDF_TYPE, vocab::RDFS_RESOURCE));
-    assert!(contains(&full, &ex("Postman"), vocab::RDF_TYPE, vocab::RDFS_RESOURCE));
+    assert!(!contains(
+        &default,
+        &ex("Dog"),
+        vocab::RDFS_SUB_CLASS_OF,
+        &ex("Dog")
+    ));
+    assert!(contains(
+        &full,
+        &ex("Dog"),
+        vocab::RDFS_SUB_CLASS_OF,
+        &ex("Dog")
+    ));
+    assert!(contains(
+        &full,
+        &ex("Dog"),
+        vocab::RDFS_SUB_CLASS_OF,
+        vocab::RDFS_RESOURCE
+    ));
+    assert!(contains(
+        &full,
+        &ex("Rex"),
+        vocab::RDF_TYPE,
+        vocab::RDFS_RESOURCE
+    ));
+    assert!(contains(
+        &full,
+        &ex("Postman"),
+        vocab::RDF_TYPE,
+        vocab::RDFS_RESOURCE
+    ));
     assert!(full.stats.inferred_triples() > default.stats.inferred_triples());
 }
 
@@ -66,14 +121,39 @@ fn equivalent_classes_exchange_instances_in_rdfs_plus() {
     g.insert_iris(ex("Socrates"), vocab::RDF_TYPE, ex("Human"));
     g.insert_iris(ex("Plato"), vocab::RDF_TYPE, ex("Person"));
     let result = reason_graph(&g, Fragment::RdfsPlus).unwrap();
-    assert!(contains(&result, &ex("Socrates"), vocab::RDF_TYPE, &ex("Person")));
-    assert!(contains(&result, &ex("Plato"), vocab::RDF_TYPE, &ex("Human")));
+    assert!(contains(
+        &result,
+        &ex("Socrates"),
+        vocab::RDF_TYPE,
+        &ex("Person")
+    ));
+    assert!(contains(
+        &result,
+        &ex("Plato"),
+        vocab::RDF_TYPE,
+        &ex("Human")
+    ));
     // SCM-EQC1 expands the equivalence into mutual subsumption.
-    assert!(contains(&result, &ex("Human"), vocab::RDFS_SUB_CLASS_OF, &ex("Person")));
-    assert!(contains(&result, &ex("Person"), vocab::RDFS_SUB_CLASS_OF, &ex("Human")));
+    assert!(contains(
+        &result,
+        &ex("Human"),
+        vocab::RDFS_SUB_CLASS_OF,
+        &ex("Person")
+    ));
+    assert!(contains(
+        &result,
+        &ex("Person"),
+        vocab::RDFS_SUB_CLASS_OF,
+        &ex("Human")
+    ));
     // But RDFS alone ignores owl:equivalentClass.
     let rdfs = reason_graph(&g, Fragment::RdfsDefault).unwrap();
-    assert!(!contains(&rdfs, &ex("Socrates"), vocab::RDF_TYPE, &ex("Person")));
+    assert!(!contains(
+        &rdfs,
+        &ex("Socrates"),
+        vocab::RDF_TYPE,
+        &ex("Person")
+    ));
 }
 
 #[test]
@@ -82,23 +162,56 @@ fn mutual_subclasses_become_equivalent_in_rdfs_plus() {
     g.insert_iris(ex("A"), vocab::RDFS_SUB_CLASS_OF, ex("B"));
     g.insert_iris(ex("B"), vocab::RDFS_SUB_CLASS_OF, ex("A"));
     let result = reason_graph(&g, Fragment::RdfsPlus).unwrap();
-    assert!(contains(&result, &ex("A"), vocab::OWL_EQUIVALENT_CLASS, &ex("B")));
-    assert!(contains(&result, &ex("B"), vocab::OWL_EQUIVALENT_CLASS, &ex("A")));
+    assert!(contains(
+        &result,
+        &ex("A"),
+        vocab::OWL_EQUIVALENT_CLASS,
+        &ex("B")
+    ));
+    assert!(contains(
+        &result,
+        &ex("B"),
+        vocab::OWL_EQUIVALENT_CLASS,
+        &ex("A")
+    ));
 }
 
 #[test]
 fn symmetric_and_transitive_properties() {
     let mut g = Graph::new();
-    g.insert_iris(ex("marriedTo"), vocab::RDF_TYPE, vocab::OWL_SYMMETRIC_PROPERTY);
-    g.insert_iris(ex("ancestorOf"), vocab::RDF_TYPE, vocab::OWL_TRANSITIVE_PROPERTY);
+    g.insert_iris(
+        ex("marriedTo"),
+        vocab::RDF_TYPE,
+        vocab::OWL_SYMMETRIC_PROPERTY,
+    );
+    g.insert_iris(
+        ex("ancestorOf"),
+        vocab::RDF_TYPE,
+        vocab::OWL_TRANSITIVE_PROPERTY,
+    );
     g.insert_iris(ex("Marge"), ex("marriedTo"), ex("Homer"));
     g.insert_iris(ex("Abe"), ex("ancestorOf"), ex("Homer"));
     g.insert_iris(ex("Homer"), ex("ancestorOf"), ex("Bart"));
     let result = reason_graph(&g, Fragment::RdfsPlus).unwrap();
-    assert!(contains(&result, &ex("Homer"), &ex("marriedTo"), &ex("Marge")));
-    assert!(contains(&result, &ex("Abe"), &ex("ancestorOf"), &ex("Bart")));
+    assert!(contains(
+        &result,
+        &ex("Homer"),
+        &ex("marriedTo"),
+        &ex("Marge")
+    ));
+    assert!(contains(
+        &result,
+        &ex("Abe"),
+        &ex("ancestorOf"),
+        &ex("Bart")
+    ));
     // Symmetry is not transitivity: no reflexive marriage.
-    assert!(!contains(&result, &ex("Homer"), &ex("marriedTo"), &ex("Homer")));
+    assert!(!contains(
+        &result,
+        &ex("Homer"),
+        &ex("marriedTo"),
+        &ex("Homer")
+    ));
 }
 
 #[test]
@@ -108,31 +221,64 @@ fn same_as_substitution_is_complete_in_both_directions() {
     g.insert_iris(ex("Clark"), ex("worksAt"), ex("DailyPlanet"));
     g.insert_iris(ex("Lois"), ex("loves"), ex("Superman"));
     let result = reason_graph(&g, Fragment::RdfsPlus).unwrap();
-    assert!(contains(&result, &ex("Superman"), vocab::OWL_SAME_AS, &ex("Clark")));
-    assert!(contains(&result, &ex("Superman"), &ex("worksAt"), &ex("DailyPlanet")));
+    assert!(contains(
+        &result,
+        &ex("Superman"),
+        vocab::OWL_SAME_AS,
+        &ex("Clark")
+    ));
+    assert!(contains(
+        &result,
+        &ex("Superman"),
+        &ex("worksAt"),
+        &ex("DailyPlanet")
+    ));
     assert!(contains(&result, &ex("Lois"), &ex("loves"), &ex("Clark")));
 }
 
 #[test]
 fn functional_property_identifies_values_and_merges_their_facts() {
     let mut g = Graph::new();
-    g.insert_iris(ex("hasBirthMother"), vocab::RDF_TYPE, vocab::OWL_FUNCTIONAL_PROPERTY);
+    g.insert_iris(
+        ex("hasBirthMother"),
+        vocab::RDF_TYPE,
+        vocab::OWL_FUNCTIONAL_PROPERTY,
+    );
     g.insert_iris(ex("Bart"), ex("hasBirthMother"), ex("Marge"));
     g.insert_iris(ex("Bart"), ex("hasBirthMother"), ex("MargeBouvier"));
     g.insert_iris(ex("MargeBouvier"), ex("bornIn"), ex("Springfield"));
     let result = reason_graph(&g, Fragment::RdfsPlus).unwrap();
-    assert!(contains(&result, &ex("Marge"), vocab::OWL_SAME_AS, &ex("MargeBouvier")));
-    assert!(contains(&result, &ex("Marge"), &ex("bornIn"), &ex("Springfield")));
+    assert!(contains(
+        &result,
+        &ex("Marge"),
+        vocab::OWL_SAME_AS,
+        &ex("MargeBouvier")
+    ));
+    assert!(contains(
+        &result,
+        &ex("Marge"),
+        &ex("bornIn"),
+        &ex("Springfield")
+    ));
 }
 
 #[test]
 fn inverse_functional_property_identifies_subjects() {
     let mut g = Graph::new();
-    g.insert_iris(ex("ssn"), vocab::RDF_TYPE, vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY);
+    g.insert_iris(
+        ex("ssn"),
+        vocab::RDF_TYPE,
+        vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY,
+    );
     g.insert_iris(ex("JohnSmith"), ex("ssn"), ex("ssn-123"));
     g.insert_iris(ex("JSmith"), ex("ssn"), ex("ssn-123"));
     let result = reason_graph(&g, Fragment::RdfsPlus).unwrap();
-    assert!(contains(&result, &ex("JohnSmith"), vocab::OWL_SAME_AS, &ex("JSmith")));
+    assert!(contains(
+        &result,
+        &ex("JohnSmith"),
+        vocab::OWL_SAME_AS,
+        &ex("JSmith")
+    ));
 }
 
 #[test]
@@ -142,8 +288,18 @@ fn inverse_properties_flow_both_ways() {
     g.insert_iris(ex("Socrates"), ex("teaches"), ex("Logic"));
     g.insert_iris(ex("Rhetoric"), ex("taughtBy"), ex("Aristotle"));
     let result = reason_graph(&g, Fragment::RdfsPlus).unwrap();
-    assert!(contains(&result, &ex("Logic"), &ex("taughtBy"), &ex("Socrates")));
-    assert!(contains(&result, &ex("Aristotle"), &ex("teaches"), &ex("Rhetoric")));
+    assert!(contains(
+        &result,
+        &ex("Logic"),
+        &ex("taughtBy"),
+        &ex("Socrates")
+    ));
+    assert!(contains(
+        &result,
+        &ex("Aristotle"),
+        &ex("teaches"),
+        &ex("Rhetoric")
+    ));
 }
 
 #[test]
@@ -152,9 +308,19 @@ fn equivalent_properties_share_their_extensions() {
     g.insert_iris(ex("price"), vocab::OWL_EQUIVALENT_PROPERTY, ex("cost"));
     g.insert_iris(ex("Widget"), ex("price"), ex("TenEuros"));
     let result = reason_graph(&g, Fragment::RdfsPlus).unwrap();
-    assert!(contains(&result, &ex("Widget"), &ex("cost"), &ex("TenEuros")));
+    assert!(contains(
+        &result,
+        &ex("Widget"),
+        &ex("cost"),
+        &ex("TenEuros")
+    ));
     // SCM-EQP1 also yields the mutual subPropertyOf pair.
-    assert!(contains(&result, &ex("price"), vocab::RDFS_SUB_PROPERTY_OF, &ex("cost")));
+    assert!(contains(
+        &result,
+        &ex("price"),
+        vocab::RDFS_SUB_PROPERTY_OF,
+        &ex("cost")
+    ));
 }
 
 #[test]
@@ -163,8 +329,28 @@ fn rdfs_plus_full_adds_class_axioms() {
     g.insert_iris(ex("Robot"), vocab::RDF_TYPE, vocab::OWL_CLASS);
     let default = reason_graph(&g, Fragment::RdfsPlus).unwrap();
     let full = reason_graph(&g, Fragment::RdfsPlusFull).unwrap();
-    assert!(!contains(&default, &ex("Robot"), vocab::RDFS_SUB_CLASS_OF, vocab::OWL_THING));
-    assert!(contains(&full, &ex("Robot"), vocab::RDFS_SUB_CLASS_OF, vocab::OWL_THING));
-    assert!(contains(&full, vocab::OWL_NOTHING, vocab::RDFS_SUB_CLASS_OF, &ex("Robot")));
-    assert!(contains(&full, &ex("Robot"), vocab::OWL_EQUIVALENT_CLASS, &ex("Robot")));
+    assert!(!contains(
+        &default,
+        &ex("Robot"),
+        vocab::RDFS_SUB_CLASS_OF,
+        vocab::OWL_THING
+    ));
+    assert!(contains(
+        &full,
+        &ex("Robot"),
+        vocab::RDFS_SUB_CLASS_OF,
+        vocab::OWL_THING
+    ));
+    assert!(contains(
+        &full,
+        vocab::OWL_NOTHING,
+        vocab::RDFS_SUB_CLASS_OF,
+        &ex("Robot")
+    ));
+    assert!(contains(
+        &full,
+        &ex("Robot"),
+        vocab::OWL_EQUIVALENT_CLASS,
+        &ex("Robot")
+    ));
 }

@@ -7,7 +7,7 @@ use inferray::datasets::{BsbmGenerator, LubmGenerator};
 use inferray::dictionary::wellknown;
 use inferray::parser::load_triples;
 use inferray::store::TriplePattern;
-use inferray::{Fragment, IdTriple, InferrayReasoner, Materializer, Triple, vocab};
+use inferray::{vocab, Fragment, IdTriple, InferrayReasoner, Materializer, Triple};
 use proptest::prelude::*;
 
 #[test]
