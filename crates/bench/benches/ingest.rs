@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for the streaming ingest pipeline: the
+//! seed-shaped two-pass load (`parse_ntriples` into `Vec<Triple>` +
+//! `load_triples`) against the chunked zero-copy pipeline, sequential and
+//! parallel, on a LUBM-shaped document.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inferray_datasets::lubm::LubmGenerator;
+use inferray_parser::{load_triples, parse_ntriples, Ingest, LoaderOptions};
+use std::hint::black_box;
+
+const TARGET_TRIPLES: usize = 20_000;
+
+fn bench_ingest(c: &mut Criterion) {
+    let document = LubmGenerator::new(TARGET_TRIPLES)
+        .with_seed(42)
+        .generate()
+        .to_ntriples();
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Bytes(document.len() as u64));
+
+    group.bench_function(BenchmarkId::new("two-pass-seed", TARGET_TRIPLES), |b| {
+        b.iter(|| {
+            let triples = parse_ntriples(black_box(&document)).expect("valid");
+            black_box(load_triples(triples).expect("valid"))
+        })
+    });
+
+    let sequential = Ingest::with_options(LoaderOptions::sequential());
+    group.bench_function(BenchmarkId::new("ingest-sequential", TARGET_TRIPLES), |b| {
+        b.iter(|| black_box(sequential.ntriples(black_box(&document)).expect("valid")))
+    });
+
+    let parallel = Ingest::new();
+    group.bench_function(BenchmarkId::new("ingest-parallel", TARGET_TRIPLES), |b| {
+        b.iter(|| black_box(parallel.ntriples(black_box(&document)).expect("valid")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,551 @@
+//! The ingest benchmark: measures the streaming parallel text → store
+//! pipeline against the seed-shaped load path and records the result in
+//! `BENCH_ingest.json` so future PRs can track the trajectory.
+//!
+//! Four variants load the **same** LUBM-scale N-Triples document:
+//!
+//! * `seed`              — a faithful reproduction of the seed's load path
+//!   (kept in [`seed_path`]): a `Vec<char>` cursor parser building an owned
+//!   `Triple` per statement, a dictionary allocating `term.to_string()` on
+//!   *every* lookup, and the clone-the-table promotion patch;
+//! * `two-pass`          — the current compatibility shape: zero-copy lexer
+//!   collected into `Vec<Triple>`, then `load_triples` (borrowed-key
+//!   dictionary);
+//! * `ingest-sequential` — the streaming pipeline with one lane (the
+//!   `LoaderOptions::sequential` escape hatch);
+//! * `ingest-parallel`   — the same pipeline fanned out over ≥ 4 worker
+//!   lanes: chunked zero-copy lexing, thread-local delta dictionaries,
+//!   deterministic merge, parallel per-property table build. All four must
+//!   produce byte-identical dictionaries and stores — asserted every run.
+//!
+//! The binary also ingests a promotion-heavy Turtle fixture (every chunking
+//! splits the resource→property promotion chains differently) and asserts
+//! the same identity, covering the acceptance criterion directly.
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin ingest [--scale N] [--out FILE]
+//! ```
+
+use inferray_bench::ScaleConfig;
+use inferray_datasets::lubm::LubmGenerator;
+use inferray_parser::{load_triples, parse_ntriples, Ingest, LoadedDataset, LoaderOptions};
+use std::time::{Duration, Instant};
+
+/// Worker lanes for the parallel variant (the acceptance criterion measures
+/// "on ≥ 4 threads"; a dedicated pool is spawned so the record does not
+/// depend on the machine's core count).
+const PARALLEL_LANES: usize = 4;
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    let out_path = out_path_from_args();
+    let target_triples = 200_000 / scale.divisor;
+
+    println!("ingest — streaming parallel load benchmark (LUBM ~{target_triples} triples)");
+
+    let dataset = LubmGenerator::new(target_triples).with_seed(42).generate();
+    let document = dataset.to_ntriples();
+    let lanes = inferray_parallel::global().threads() + 1;
+    println!(
+        "document: {} statements, {:.1} MiB, {lanes} pool lanes",
+        dataset.len(),
+        document.len() as f64 / (1024.0 * 1024.0)
+    );
+
+    // Interleave repetitions and keep each variant's minimum (single-shot
+    // millisecond timings are hopelessly noisy on a shared box).
+    const REPS: usize = 7;
+    let sequential_ingest = Ingest::with_options(LoaderOptions::sequential());
+    let parallel_ingest =
+        Ingest::with_options(LoaderOptions::default().with_threads(PARALLEL_LANES));
+
+    let mut seed_time = Duration::MAX;
+    let mut two_pass_time = Duration::MAX;
+    let mut sequential_time = Duration::MAX;
+    let mut parallel_time = Duration::MAX;
+    // Per-repetition speedups: within one repetition the variants run back
+    // to back, so load spikes on a shared box hit them together and the
+    // *ratio* stays meaningful even when absolute times wander. The medians
+    // of these paired ratios are the recorded speedups.
+    let mut ratios_two_pass = Vec::with_capacity(REPS);
+    let mut ratios_sequential = Vec::with_capacity(REPS);
+    let mut ratios_parallel = Vec::with_capacity(REPS);
+    let mut seed = None;
+    let mut two_pass = None;
+    let mut sequential = None;
+    let mut parallel = None;
+    for _ in 0..REPS {
+        let (seed_t, loaded) = timed(|| seed_path::load_ntriples(&document));
+        seed_time = seed_time.min(seed_t);
+        seed = Some(loaded);
+
+        let (time, loaded) = timed(|| {
+            let triples = parse_ntriples(&document).expect("generated dataset is valid");
+            load_triples(triples).expect("generated dataset encodes")
+        });
+        two_pass_time = two_pass_time.min(time);
+        ratios_two_pass.push(seed_t.as_secs_f64() / time.as_secs_f64().max(1e-12));
+        two_pass = Some(loaded);
+
+        let (time, loaded) = timed(|| {
+            sequential_ingest
+                .ntriples(&document)
+                .expect("generated dataset is valid")
+        });
+        sequential_time = sequential_time.min(time);
+        ratios_sequential.push(seed_t.as_secs_f64() / time.as_secs_f64().max(1e-12));
+        sequential = Some(loaded);
+
+        let (time, loaded) = timed(|| {
+            parallel_ingest
+                .ntriples(&document)
+                .expect("generated dataset is valid")
+        });
+        parallel_time = parallel_time.min(time);
+        ratios_parallel.push(seed_t.as_secs_f64() / time.as_secs_f64().max(1e-12));
+        parallel = Some(loaded);
+    }
+    let seed = seed.expect("ran");
+    let two_pass = two_pass.expect("ran");
+    let sequential = sequential.expect("ran");
+    let parallel = parallel.expect("ran");
+
+    // The determinism contract: every path agrees with the seed byte for
+    // byte.
+    seed_path::assert_matches(&seed, &two_pass, "two-pass");
+    assert_identical(&two_pass, &sequential, "ingest-sequential");
+    assert_identical(&two_pass, &parallel, "ingest-parallel");
+
+    let speedup_two_pass = median(&mut ratios_two_pass);
+    let speedup_sequential = median(&mut ratios_sequential);
+    let speedup_parallel = median(&mut ratios_parallel);
+    println!(
+        "seed:              {:>10.3} ms",
+        seed_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "two-pass:          {:>10.3} ms  ({speedup_two_pass:.2}x)",
+        two_pass_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "ingest-sequential: {:>10.3} ms  ({speedup_sequential:.2}x)",
+        sequential_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "ingest-parallel:   {:>10.3} ms  ({speedup_parallel:.2}x, {PARALLEL_LANES} lanes)",
+        parallel_time.as_secs_f64() * 1e3
+    );
+
+    // -- promotion-heavy Turtle fixture --------------------------------------
+    let turtle = promotion_heavy_turtle(2_000.min(target_triples));
+    let turtle_sequential = sequential_ingest
+        .turtle(&turtle)
+        .expect("fixture is valid turtle");
+    let turtle_parallel = parallel_ingest
+        .turtle(&turtle)
+        .expect("fixture is valid turtle");
+    assert_identical(&turtle_sequential, &turtle_parallel, "turtle-parallel");
+    println!(
+        "turtle fixture: {} triples, parallel == sequential ✓",
+        turtle_parallel.len()
+    );
+
+    // -- record -------------------------------------------------------------
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"ingest\",\n",
+            "  \"dataset\": {{ \"generator\": \"lubm\", \"target_triples\": {}, \"statements\": {}, \"document_bytes\": {} }},\n",
+            "  \"seed_ms\": {:.3},\n",
+            "  \"two_pass_ms\": {:.3},\n",
+            "  \"ingest_sequential_ms\": {:.3},\n",
+            "  \"ingest_parallel_ms\": {:.3},\n",
+            "  \"speedup_two_pass\": {:.3},\n",
+            "  \"speedup_sequential\": {:.3},\n",
+            "  \"speedup_parallel\": {:.3},\n",
+            "  \"parallel_lanes\": {},\n",
+            "  \"machine_pool_lanes\": {},\n",
+            "  \"loaded\": {{ \"triples\": {}, \"properties\": {}, \"resources\": {}, \"tables\": {} }},\n",
+            "  \"turtle_fixture\": {{ \"triples\": {}, \"parallel_equals_sequential\": true }}\n",
+            "}}\n",
+        ),
+        target_triples,
+        dataset.len(),
+        document.len(),
+        seed_time.as_secs_f64() * 1e3,
+        two_pass_time.as_secs_f64() * 1e3,
+        sequential_time.as_secs_f64() * 1e3,
+        parallel_time.as_secs_f64() * 1e3,
+        speedup_two_pass,
+        speedup_sequential,
+        speedup_parallel,
+        PARALLEL_LANES,
+        lanes,
+        parallel.len(),
+        parallel.dictionary.num_properties(),
+        parallel.dictionary.num_resources(),
+        parallel.store.table_count(),
+        turtle_parallel.len(),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    println!("\nrecorded -> {out_path}");
+}
+
+fn out_path_from_args() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string())
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let value = f();
+    (start.elapsed(), value)
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty());
+    values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    values[values.len() / 2]
+}
+
+fn assert_identical(expected: &LoadedDataset, actual: &LoadedDataset, label: &str) {
+    assert_eq!(
+        expected.dictionary.len(),
+        actual.dictionary.len(),
+        "{label}: dictionary size diverged"
+    );
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "{label}: triple count diverged"
+    );
+    assert_eq!(expected, actual, "{label}: datasets diverged");
+}
+
+/// A faithful reproduction of the seed's text → store path, kept so the
+/// benchmark's baseline cannot silently inherit later optimizations: a
+/// `Vec<char>` cursor parser materializing an owned `Triple` per statement,
+/// a dictionary allocating `term.to_string()` on **every** lookup, and the
+/// clone-the-table promotion patch.
+mod seed_path {
+    use inferray_model::ids::{is_property_id, nth_property_id, nth_resource_id};
+    use inferray_model::term::unescape_ntriples;
+    use inferray_model::{vocab, IdTriple, Term, Triple};
+    use inferray_parser::LoadedDataset;
+    use inferray_store::{PropertyTable, TripleStore};
+    use std::collections::HashMap;
+
+    /// The seed loader's result: its dictionary kept its interning map and
+    /// dense term tables exactly like today's, so equality is checked
+    /// field-wise against the modern [`LoadedDataset`].
+    pub struct SeedLoaded {
+        to_id: HashMap<String, u64>,
+        num_properties: usize,
+        num_resources: usize,
+        store: TripleStore,
+    }
+
+    pub fn load_ntriples(input: &str) -> SeedLoaded {
+        let mut triples: Vec<Triple> = Vec::new();
+        for (i, line) in input.lines().enumerate() {
+            if let Some(t) = parse_line(line, i + 1) {
+                triples.push(t);
+            }
+        }
+        let mut dict = SeedDictionary::new();
+        let mut store = TripleStore::new();
+        for t in &triples {
+            store.add_triple(dict.encode_triple(t));
+        }
+        if !dict.pending.is_empty() {
+            let remap: HashMap<u64, u64> = dict.pending.drain(..).collect();
+            let properties: Vec<u64> = store.property_ids().collect();
+            for p in properties {
+                if let Some(table) = store.table_mut(p) {
+                    let mut pairs: Vec<u64> = table.clone().into_pairs();
+                    let mut changed = false;
+                    for value in pairs.iter_mut() {
+                        if let Some(&new_id) = remap.get(value) {
+                            *value = new_id;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        *table = PropertyTable::from_pairs(pairs);
+                    }
+                }
+            }
+        }
+        store.finalize();
+        SeedLoaded {
+            to_id: dict.to_id,
+            num_properties: dict.properties.len(),
+            num_resources: dict.resources.len(),
+            store,
+        }
+    }
+
+    pub fn assert_matches(seed: &SeedLoaded, modern: &LoadedDataset, label: &str) {
+        assert_eq!(
+            seed.num_properties,
+            modern.dictionary.num_properties(),
+            "{label}: property count diverged from seed"
+        );
+        assert_eq!(
+            seed.num_resources,
+            modern.dictionary.num_resources(),
+            "{label}: resource count diverged from seed"
+        );
+        for (key, &id) in &seed.to_id {
+            assert_eq!(
+                modern.dictionary.id_of_text(key),
+                Some(id),
+                "{label}: id of {key} diverged from seed"
+            );
+        }
+        assert_eq!(
+            seed.store, modern.store,
+            "{label}: store diverged from seed"
+        );
+    }
+
+    // -- the seed parser ----------------------------------------------------
+
+    struct Cursor {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl Cursor {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+        fn bump(&mut self) -> Option<char> {
+            let c = self.peek();
+            if c.is_some() {
+                self.pos += 1;
+            }
+            c
+        }
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.pos += 1;
+            }
+        }
+        fn parse_term(&mut self) -> Term {
+            match self.peek() {
+                Some('<') => {
+                    self.bump();
+                    let mut iri = String::new();
+                    while let Some(c) = self.bump() {
+                        if c == '>' {
+                            break;
+                        }
+                        iri.push(c);
+                    }
+                    Term::iri(unescape_ntriples(&iri).expect("benchmark input is valid"))
+                }
+                Some('_') => {
+                    self.bump();
+                    self.bump(); // ':'
+                    let mut label = String::new();
+                    while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-')
+                    {
+                        label.push(self.bump().expect("peeked"));
+                    }
+                    Term::blank(label)
+                }
+                _ => {
+                    self.bump(); // '"'
+                    let mut lexical = String::new();
+                    while let Some(c) = self.bump() {
+                        match c {
+                            '\\' => {
+                                lexical.push('\\');
+                                lexical.push(self.bump().expect("escaped char"));
+                            }
+                            '"' => break,
+                            c => lexical.push(c),
+                        }
+                    }
+                    let lexical = unescape_ntriples(&lexical).expect("benchmark input is valid");
+                    match self.peek() {
+                        Some('@') => {
+                            self.bump();
+                            let mut lang = String::new();
+                            while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-')
+                            {
+                                lang.push(self.bump().expect("peeked"));
+                            }
+                            Term::lang_literal(lexical, lang)
+                        }
+                        Some('^') => {
+                            self.bump();
+                            self.bump();
+                            match self.parse_term() {
+                                Term::Iri(dt) => Term::typed_literal(lexical, dt),
+                                _ => unreachable!("datatype is an IRI"),
+                            }
+                        }
+                        _ => Term::plain_literal(lexical),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_line(line: &str, _line_number: usize) -> Option<Triple> {
+        // The seed collected every line into a fresh `Vec<char>` before
+        // looking at a single character.
+        let mut cursor = Cursor {
+            chars: line.chars().collect(),
+            pos: 0,
+        };
+        cursor.skip_ws();
+        if cursor.peek().is_none() || cursor.peek() == Some('#') {
+            return None;
+        }
+        let subject = cursor.parse_term();
+        cursor.skip_ws();
+        let predicate = cursor.parse_term();
+        cursor.skip_ws();
+        let object = cursor.parse_term();
+        Some(Triple::new(subject, predicate, object))
+    }
+
+    // -- the seed dictionary ------------------------------------------------
+
+    struct SeedDictionary {
+        to_id: HashMap<String, u64>,
+        properties: Vec<Term>,
+        resources: Vec<Term>,
+        pending: Vec<(u64, u64)>,
+    }
+
+    impl SeedDictionary {
+        fn new() -> Self {
+            let mut dict = SeedDictionary {
+                to_id: HashMap::new(),
+                properties: Vec::new(),
+                resources: Vec::new(),
+                pending: Vec::new(),
+            };
+            for iri in vocab::SCHEMA_PROPERTIES {
+                dict.intern_property(&Term::iri(*iri));
+            }
+            for iri in vocab::SCHEMA_RESOURCES {
+                dict.encode_as_resource(&Term::iri(*iri));
+            }
+            dict
+        }
+
+        fn intern_property(&mut self, term: &Term) -> u64 {
+            // The seed rendered the key on every call.
+            let key = term.to_string();
+            if let Some(&id) = self.to_id.get(&key) {
+                if is_property_id(id) {
+                    return id;
+                }
+                let new_id = nth_property_id(self.properties.len());
+                self.properties.push(term.clone());
+                self.to_id.insert(key, new_id);
+                self.pending.push((id, new_id));
+                return new_id;
+            }
+            let id = nth_property_id(self.properties.len());
+            self.properties.push(term.clone());
+            self.to_id.insert(key, id);
+            id
+        }
+
+        fn encode_as_resource(&mut self, term: &Term) -> u64 {
+            let key = term.to_string();
+            if let Some(&id) = self.to_id.get(&key) {
+                return id;
+            }
+            let id = nth_resource_id(self.resources.len());
+            self.resources.push(term.clone());
+            self.to_id.insert(key, id);
+            id
+        }
+
+        fn encode_triple(&mut self, triple: &Triple) -> IdTriple {
+            let p = self.intern_property(&triple.predicate);
+            let subject_is_property = matches!(
+                p,
+                x if x == inferray_dictionary::wellknown::RDFS_SUB_PROPERTY_OF
+                    || x == inferray_dictionary::wellknown::RDFS_DOMAIN
+                    || x == inferray_dictionary::wellknown::RDFS_RANGE
+                    || x == inferray_dictionary::wellknown::OWL_EQUIVALENT_PROPERTY
+                    || x == inferray_dictionary::wellknown::OWL_INVERSE_OF
+            ) || (p == inferray_dictionary::wellknown::RDF_TYPE
+                && object_is_property_class(&triple.object));
+            let object_is_property = matches!(
+                p,
+                x if x == inferray_dictionary::wellknown::RDFS_SUB_PROPERTY_OF
+                    || x == inferray_dictionary::wellknown::OWL_EQUIVALENT_PROPERTY
+                    || x == inferray_dictionary::wellknown::OWL_INVERSE_OF
+            );
+            let s = if subject_is_property && triple.subject.valid_predicate() {
+                self.intern_property(&triple.subject)
+            } else {
+                self.encode_as_resource(&triple.subject)
+            };
+            let o = if object_is_property && triple.object.valid_predicate() {
+                self.intern_property(&triple.object)
+            } else {
+                self.encode_as_resource(&triple.object)
+            };
+            IdTriple::new(s, p, o)
+        }
+    }
+
+    fn object_is_property_class(term: &Term) -> bool {
+        matches!(
+            term.as_iri(),
+            Some(
+                vocab::RDF_PROPERTY
+                    | vocab::RDFS_CONTAINER_MEMBERSHIP_PROPERTY
+                    | vocab::OWL_TRANSITIVE_PROPERTY
+                    | vocab::OWL_SYMMETRIC_PROPERTY
+                    | vocab::OWL_FUNCTIONAL_PROPERTY
+                    | vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY
+                    | vocab::OWL_DATATYPE_PROPERTY
+                    | vocab::OWL_OBJECT_PROPERTY
+            )
+        )
+    }
+}
+
+/// A Turtle document whose resource→property promotion chains interleave
+/// with bulk instance statements, so any chunking cuts through them.
+fn promotion_heavy_turtle(properties: usize) -> String {
+    let mut doc = String::from(
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+         @prefix owl: <http://www.w3.org/2002/07/owl#> .\n\
+         @prefix ex: <http://promo.example.org/> .\n",
+    );
+    for i in 0..properties {
+        // The term appears as a schema *subject* first (registered as a
+        // resource candidate, promoted when the predicate use arrives)...
+        doc.push_str(&format!("ex:rel{i} rdfs:domain ex:Dom{} .\n", i % 13));
+        doc.push_str(&format!(
+            "ex:item{i} a ex:Dom{} ; ex:score {} .\n",
+            i % 13,
+            i % 97
+        ));
+        // ...and as a predicate only much later (different chunk at most
+        // chunk sizes), plus inverse declarations promoting objects.
+        doc.push_str(&format!(
+            "ex:subj{i} ex:rel{} ex:obj{i} .\n",
+            properties - 1 - i
+        ));
+        if i % 7 == 0 {
+            doc.push_str(&format!("ex:rel{i} owl:inverseOf ex:revRel{i} .\n"));
+        }
+    }
+    doc
+}

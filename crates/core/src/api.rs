@@ -8,7 +8,8 @@
 
 use crate::{InferrayOptions, InferrayReasoner};
 use inferray_model::Graph;
-use inferray_parser::loader::{load_graph, load_ntriples, load_turtle, LoadError};
+use inferray_parser::loader::{load_graph, LoadError};
+use inferray_parser::{Ingest, LoaderOptions};
 use inferray_rules::{Fragment, InferenceStats, Materializer};
 
 /// The result of reasoning over a decoded graph.
@@ -42,16 +43,49 @@ pub fn reason_graph_with_options(
     finish(loaded, fragment, options)
 }
 
-/// Parses an N-Triples document and materializes `fragment` over it.
+/// Parses an N-Triples document (streaming parallel ingest, see
+/// [`inferray_parser::ingest`]) and materializes `fragment` over it.
 pub fn reason_ntriples(input: &str, fragment: Fragment) -> Result<ReasonedGraph, LoadError> {
-    let loaded = load_ntriples(input)?;
-    finish(loaded, fragment, InferrayOptions::default())
+    reason_ntriples_with(
+        input,
+        fragment,
+        InferrayOptions::default(),
+        LoaderOptions::default(),
+    )
 }
 
 /// Parses a Turtle (subset) document and materializes `fragment` over it.
 pub fn reason_turtle(input: &str, fragment: Fragment) -> Result<ReasonedGraph, LoadError> {
-    let loaded = load_turtle(input)?;
-    finish(loaded, fragment, InferrayOptions::default())
+    reason_turtle_with(
+        input,
+        fragment,
+        InferrayOptions::default(),
+        LoaderOptions::default(),
+    )
+}
+
+/// [`reason_ntriples`] with explicit reasoner and loader options — the
+/// loader options select the ingest thread count / chunk size (or the
+/// sequential escape hatch); the result is byte-identical either way.
+pub fn reason_ntriples_with(
+    input: &str,
+    fragment: Fragment,
+    options: InferrayOptions,
+    loader: LoaderOptions,
+) -> Result<ReasonedGraph, LoadError> {
+    let loaded = Ingest::with_options(loader).ntriples(input)?;
+    finish(loaded, fragment, options)
+}
+
+/// [`reason_turtle`] with explicit reasoner and loader options.
+pub fn reason_turtle_with(
+    input: &str,
+    fragment: Fragment,
+    options: InferrayOptions,
+    loader: LoaderOptions,
+) -> Result<ReasonedGraph, LoadError> {
+    let loaded = Ingest::with_options(loader).turtle(input)?;
+    finish(loaded, fragment, options)
 }
 
 fn finish(

@@ -12,14 +12,16 @@
 //!   --fragment <rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full>   (default: rdfs)
 //!   --format   <ntriples|turtle>                                  (default: ntriples)
 //!   --inferred-only      only print the inferred triples
-//!   --sequential         disable the per-rule thread pool
+//!   --sequential         disable the per-rule thread pool AND parallel ingest
+//!   --ingest-threads <N> worker lanes for the streaming loader (default: pool size)
+//!   --chunk-kib <N>      approximate ingest chunk size in KiB (default: auto)
 //!   --help
 //!
 //! FILE defaults to standard input.
 //! ```
 
-use inferray_core::{InferrayOptions, InferrayReasoner, Materializer};
-use inferray_parser::loader::{load_ntriples, load_turtle, LoadedDataset};
+use inferray_core::{InferrayOptions, InferrayReasoner, Ingest, LoaderOptions, Materializer};
+use inferray_parser::loader::LoadedDataset;
 use inferray_rules::Fragment;
 use std::io::{Read, Write};
 use std::process::ExitCode;
@@ -29,12 +31,15 @@ struct CliOptions {
     turtle: bool,
     inferred_only: bool,
     sequential: bool,
+    ingest_threads: Option<usize>,
+    chunk_kib: Option<usize>,
     input: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: inferray-cli [--fragment rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full] \
-     [--format ntriples|turtle] [--inferred-only] [--sequential] [FILE]\n\
+     [--format ntriples|turtle] [--inferred-only] [--sequential] \
+     [--ingest-threads N] [--chunk-kib N] [FILE]\n\
      Reads RDF, materializes the fragment with Inferray, writes N-Triples to stdout."
 }
 
@@ -55,6 +60,8 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         turtle: false,
         inferred_only: false,
         sequential: false,
+        ingest_threads: None,
+        chunk_kib: None,
         input: None,
     };
     let mut i = 0usize;
@@ -78,6 +85,28 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--inferred-only" => options.inferred_only = true,
             "--sequential" => options.sequential = true,
+            "--ingest-threads" => {
+                let value = args.get(i + 1).ok_or("--ingest-threads needs a value")?;
+                options.ingest_threads = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("bad thread count '{value}'"))?,
+                );
+                i += 1;
+            }
+            "--chunk-kib" => {
+                let value = args.get(i + 1).ok_or("--chunk-kib needs a value")?;
+                options.chunk_kib = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("bad chunk size '{value}'"))?,
+                );
+                i += 1;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
             file => {
                 if options.input.is_some() {
@@ -106,10 +135,20 @@ fn read_input(options: &CliOptions) -> Result<String, String> {
 
 fn run(options: &CliOptions) -> Result<(), String> {
     let text = read_input(options)?;
-    let loaded: LoadedDataset = if options.turtle {
-        load_turtle(&text).map_err(|e| e.to_string())?
+    let mut loader = if options.sequential {
+        LoaderOptions::sequential()
     } else {
-        load_ntriples(&text).map_err(|e| e.to_string())?
+        LoaderOptions {
+            threads: options.ingest_threads,
+            chunk_bytes: None,
+        }
+    };
+    loader.chunk_bytes = options.chunk_kib.map(|kib| kib * 1024);
+    let ingest = Ingest::with_options(loader);
+    let loaded: LoadedDataset = if options.turtle {
+        ingest.turtle(&text).map_err(|e| e.to_string())?
+    } else {
+        ingest.ntriples(&text).map_err(|e| e.to_string())?
     };
 
     let reasoner_options = if options.sequential {

@@ -35,12 +35,16 @@ pub mod iteration;
 pub mod options;
 pub mod reasoner;
 
-pub use api::{reason_graph, ReasonedGraph};
+pub use api::{
+    reason_graph, reason_ntriples, reason_ntriples_with, reason_turtle, reason_turtle_with,
+    ReasonedGraph,
+};
 pub use iteration::{IterationProfile, IterationSample};
 pub use options::InferrayOptions;
 pub use reasoner::{run_table_update, InferrayReasoner, PropertyUpdate};
 
 // Re-export the pieces users need to drive the encoded API without adding
 // every substrate crate to their dependency list.
+pub use inferray_parser::{Ingest, LoaderOptions};
 pub use inferray_rules::{Fragment, InferenceStats, Materializer, Ruleset};
 pub use inferray_store::TripleStore;

@@ -70,6 +70,23 @@ impl Dataset {
     pub fn is_empty(&self) -> bool {
         self.triples.is_empty()
     }
+
+    /// Serializes the dataset as an N-Triples document (one statement per
+    /// line, generation order preserved).
+    pub fn to_ntriples(&self) -> String {
+        inferray_parser::to_ntriples_string(self.triples.iter())
+    }
+
+    /// Loads the dataset through the streaming ingest pipeline: serializes
+    /// to N-Triples and runs the chunked parallel loader, producing a
+    /// dictionary + store byte-identical to the sequential path. Benchmarks
+    /// use this to exercise the exact text → store product code path.
+    pub fn ingest(
+        &self,
+        options: inferray_parser::LoaderOptions,
+    ) -> Result<inferray_parser::LoadedDataset, inferray_parser::LoadError> {
+        inferray_parser::Ingest::with_options(options).ntriples(&self.to_ntriples())
+    }
 }
 
 #[cfg(test)]

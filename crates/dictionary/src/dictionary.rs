@@ -4,9 +4,26 @@ use inferray_model::ids::{
     is_property_id, nth_property_id, nth_resource_id, property_index, resource_index,
     MAX_PROPERTIES,
 };
-use inferray_model::{vocab, IdTriple, Term, Triple};
-use std::collections::HashMap;
+use inferray_model::{vocab, FxHashMap, IdTriple, Term, Triple};
+use std::cell::RefCell;
 use std::fmt;
+use std::fmt::Write as _;
+
+/// Renders `term`'s canonical textual form (the interning key) into a
+/// thread-local scratch buffer and hands it to `f`, so lookups of known
+/// terms never allocate — the hot encode path pays one allocation per *new*
+/// term, not per occurrence.
+fn with_term_key<R>(term: &Term, f: impl FnOnce(&str) -> R) -> R {
+    thread_local! {
+        static KEY_BUF: RefCell<String> = const { RefCell::new(String::new()) };
+    }
+    KEY_BUF.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        write!(buf, "{term}").expect("writing to a String cannot fail");
+        f(&buf)
+    })
+}
 
 /// Errors produced while encoding terms or triples.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,10 +69,11 @@ impl std::error::Error for EncodeError {}
 /// assert_eq!(enc.p, wellknown::RDFS_SUB_CLASS_OF);
 /// assert_eq!(dict.decode(enc.s).unwrap(), &Term::iri("http://ex/human"));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dictionary {
-    /// Textual (N-Triples) form → identifier.
-    to_id: HashMap<String, u64>,
+    /// Textual (N-Triples) form → identifier (FxHash: the keys are long and
+    /// hashed on every occurrence, see [`inferray_model::hash`]).
+    to_id: FxHashMap<String, u64>,
     /// Dense property index → term.
     properties: Vec<Term>,
     /// Dense resource index → term.
@@ -75,7 +93,7 @@ impl Dictionary {
     /// Creates a dictionary pre-loaded with the RDF/RDFS/OWL vocabulary.
     pub fn new() -> Self {
         let mut dict = Dictionary {
-            to_id: HashMap::new(),
+            to_id: FxHashMap::default(),
             properties: Vec::new(),
             resources: Vec::new(),
             pending_promotions: Vec::new(),
@@ -111,9 +129,18 @@ impl Dictionary {
         self.len() == 0
     }
 
-    /// The identifier of `term`, if it has been registered.
+    /// The identifier of `term`, if it has been registered. Allocation-free:
+    /// the lookup key is rendered into a reusable scratch buffer.
     pub fn id_of(&self, term: &Term) -> Option<u64> {
-        self.to_id.get(&term.to_string()).copied()
+        with_term_key(term, |key| self.to_id.get(key).copied())
+    }
+
+    /// The identifier registered for the canonical textual form `key`
+    /// (exactly what `Term::to_string()` renders). This is the borrowed-key
+    /// entry point the streaming ingest layer uses to remap its thread-local
+    /// delta dictionaries without materializing `Term`s.
+    pub fn id_of_text(&self, key: &str) -> Option<u64> {
+        self.to_id.get(key).copied()
     }
 
     /// The identifier of the IRI `iri`, if registered (convenience for tests
@@ -145,13 +172,12 @@ impl Dictionary {
     /// existing identifier is returned, so properties referenced by schema
     /// triples keep their property identifier.
     pub fn encode_as_resource(&mut self, term: &Term) -> u64 {
-        let key = term.to_string();
-        if let Some(&id) = self.to_id.get(&key) {
+        if let Some(id) = with_term_key(term, |key| self.to_id.get(key).copied()) {
             return id;
         }
         let id = nth_resource_id(self.resources.len());
         self.resources.push(term.clone());
-        self.to_id.insert(key, id);
+        self.to_id.insert(term.to_string(), id);
         id
     }
 
@@ -245,21 +271,20 @@ impl Dictionary {
     // --- internal helpers -------------------------------------------------
 
     fn intern_property(&mut self, term: &Term) -> Result<u64, EncodeError> {
-        let key = term.to_string();
-        if let Some(&id) = self.to_id.get(&key) {
+        if let Some(id) = with_term_key(term, |key| self.to_id.get(key).copied()) {
             if is_property_id(id) {
                 return Ok(id);
             }
             // Promotion: the term was first met in a resource position.
             let new_id = self.fresh_property_id()?;
             self.properties.push(term.clone());
-            self.to_id.insert(key, new_id);
+            self.to_id.insert(term.to_string(), new_id);
             self.pending_promotions.push((id, new_id));
             return Ok(new_id);
         }
         let id = self.fresh_property_id()?;
         self.properties.push(term.clone());
-        self.to_id.insert(key, id);
+        self.to_id.insert(term.to_string(), id);
         Ok(id)
     }
 

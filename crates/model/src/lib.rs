@@ -27,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod graph;
+pub mod hash;
 pub mod ids;
 pub mod term;
 pub mod triple;
 pub mod vocab;
 
 pub use graph::Graph;
+pub use hash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use term::{Term, TermKind};
 pub use triple::{IdTriple, Triple};

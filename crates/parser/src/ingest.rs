@@ -1,0 +1,702 @@
+//! Streaming parallel ingest: text → dictionary + store without a serial
+//! wall.
+//!
+//! The legacy load path parsed a whole document into an owned `Vec<Triple>`
+//! (one `String` per term) and then dictionary-encoded it one triple at a
+//! time — a strictly sequential preamble in front of the now-parallel
+//! inference stages. [`Ingest`] replaces it with a three-phase pipeline
+//! (documented in `docs/ingest.md`):
+//!
+//! 1. **Lex + local intern** (parallel): the document is cut into chunks on
+//!    statement boundaries ([`crate::lex`]); each worker lexes its chunk
+//!    zero-copy and interns every term occurrence into a *thread-local delta
+//!    dictionary* (textual key → dense local index), recording only the
+//!    chunk-local *intern events* that could change global dictionary state
+//!    (first occurrence of a term, first property demand of a term first
+//!    met as a resource) and each triple as three local indexes.
+//! 2. **Merge** (sequential, but over distinct-term events only): because
+//!    chunks are contiguous document slices, concatenating the per-chunk
+//!    event lists replays the exact global first-occurrence order, so
+//!    feeding them through the ordinary [`Dictionary`] assigns the *same
+//!    dense identifiers, in the same order, with the same resource→property
+//!    promotions* as the sequential loader — the byte-identical-dictionary
+//!    invariant. Promotions are resolved here, before any pair buffer
+//!    exists, so no table rewrite is ever needed.
+//! 3. **Remap + table build** (parallel): each worker translates its local
+//!    indexes through the merged dictionary and scatters `⟨s,o⟩` pairs into
+//!    per-property buffers; the buffers are concatenated in chunk order
+//!    (reproducing document order) and every property lane is sorted and
+//!    deduplicated on its own pool lane with a reusable
+//!    [`SortScratch`](inferray_sort::SortScratch).
+//!
+//! The chunk structure is invisible in the result: any thread count and any
+//! chunk size produce a dictionary and store byte-identical to
+//! [`LoaderOptions::sequential`] (and to the legacy loader), which the
+//! `ingest_equivalence` proptest suite asserts.
+
+use crate::lex::{
+    lex_ntriples_chunk, lex_turtle_prologue, split_ntriples, split_turtle_body, Chunk, TermRef,
+    TripleRef, TurtleChunkLexer,
+};
+use crate::loader::{LoadError, LoadedDataset};
+use crate::ntriples::ParseError;
+use inferray_dictionary::Dictionary;
+use inferray_model::ids::{property_id_from_index, property_index};
+use inferray_model::{vocab, FxHashMap, Term};
+use inferray_parallel::ThreadPool;
+use inferray_sort::SortScratch;
+use inferray_store::{PropertyTable, TripleStore};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Default minimum chunk size: below this, splitting costs more than it
+/// saves.
+const DEFAULT_MIN_CHUNK_BYTES: usize = 64 * 1024;
+
+/// How many chunks each pool lane gets by default. Mild oversubscription
+/// evens out chunks whose statements are unusually cheap or expensive;
+/// higher values only re-intern more shared terms per chunk.
+const CHUNKS_PER_LANE: usize = 2;
+
+/// Tuning knobs of the streaming ingest pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct LoaderOptions {
+    /// Worker lanes. `None` uses the process-wide pool
+    /// ([`inferray_parallel::global`]); `Some(1)` is the sequential escape
+    /// hatch; `Some(n)` spawns a dedicated pool of `n` lanes for this load.
+    pub threads: Option<usize>,
+    /// Approximate chunk size in bytes. `None` picks
+    /// `max(64 KiB, len / (2 × lanes))`. Setting it explicitly overrides the
+    /// per-lane cap (useful to stress chunk boundaries in tests).
+    pub chunk_bytes: Option<usize>,
+}
+
+impl LoaderOptions {
+    /// Options for the sequential escape hatch: one lane, one chunk.
+    pub fn sequential() -> Self {
+        LoaderOptions {
+            threads: Some(1),
+            chunk_bytes: None,
+        }
+    }
+
+    /// Overrides the number of worker lanes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Overrides the approximate chunk size in bytes.
+    pub fn with_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.chunk_bytes = Some(bytes);
+        self
+    }
+}
+
+/// The streaming parallel loader: the text → [`LoadedDataset`] entry point.
+///
+/// ```
+/// use inferray_parser::{Ingest, LoaderOptions};
+///
+/// let doc = "<http://ex/Bart> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/human> .\n";
+/// let parallel = Ingest::new().ntriples(doc).unwrap();
+/// let sequential = Ingest::with_options(LoaderOptions::sequential())
+///     .ntriples(doc)
+///     .unwrap();
+/// assert_eq!(parallel, sequential); // byte-identical, always
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Ingest {
+    options: LoaderOptions,
+}
+
+impl Ingest {
+    /// An ingest over the process-wide thread pool with default chunking.
+    pub fn new() -> Self {
+        Ingest::default()
+    }
+
+    /// An ingest with explicit options.
+    pub fn with_options(options: LoaderOptions) -> Self {
+        Ingest { options }
+    }
+
+    /// Parses and loads an N-Triples document.
+    pub fn ntriples(&self, input: &str) -> Result<LoadedDataset, LoadError> {
+        let pool = self.pool();
+        let lanes = pool.lanes();
+        let chunks = split_ntriples(input, self.chunk_target(input.len(), lanes));
+        let tasks: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| move || lex_ntriples_into_sink(chunk))
+            .collect();
+        let outputs = run_tasks(pool.get(), tasks);
+        assemble(outputs, &pool)
+    }
+
+    /// Parses and loads a Turtle (subset) document.
+    pub fn turtle(&self, input: &str) -> Result<LoadedDataset, LoadError> {
+        let pool = self.pool();
+        let lanes = pool.lanes();
+        let prologue = lex_turtle_prologue(input).map_err(LoadError::Parse)?;
+        let body = Chunk {
+            text: &input[prologue.body_offset..],
+            first_line: prologue.body_first_line,
+        };
+        let chunks = match split_turtle_body(
+            body.text,
+            body.first_line,
+            self.chunk_target(body.text.len(), lanes),
+        ) {
+            Some(chunks) => chunks,
+            // Directives after the prologue: lex the body as one chunk, in
+            // stream order.
+            None => vec![body],
+        };
+        let tasks: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let prefixes = prologue.prefixes.clone();
+                let base = prologue.base.clone();
+                move || lex_turtle_into_sink(chunk, prefixes, base)
+            })
+            .collect();
+        let outputs = run_tasks(pool.get(), tasks);
+        assemble(outputs, &pool)
+    }
+
+    fn pool(&self) -> PoolHandle {
+        match self.options.threads {
+            Some(n) if n <= 1 => PoolHandle::Inline,
+            // The caller participates in draining the queue, so a pool of
+            // `n - 1` workers gives exactly `n` lanes.
+            Some(n) => PoolHandle::Owned(ThreadPool::new(n - 1)),
+            None => PoolHandle::Global(inferray_parallel::global()),
+        }
+    }
+
+    fn chunk_target(&self, input_len: usize, lanes: usize) -> usize {
+        match self.options.chunk_bytes {
+            Some(bytes) => input_len.div_ceil(bytes.max(1)).max(1),
+            None if lanes <= 1 => 1,
+            None => (lanes * CHUNKS_PER_LANE)
+                .min(input_len.div_ceil(DEFAULT_MIN_CHUNK_BYTES))
+                .max(1),
+        }
+    }
+}
+
+/// Where phase work runs: inline, on the shared pool, or on a dedicated one.
+enum PoolHandle {
+    Inline,
+    Global(&'static ThreadPool),
+    Owned(ThreadPool),
+}
+
+impl PoolHandle {
+    fn get(&self) -> Option<&ThreadPool> {
+        match self {
+            PoolHandle::Inline => None,
+            PoolHandle::Global(pool) => Some(pool),
+            PoolHandle::Owned(pool) => Some(pool),
+        }
+    }
+
+    fn lanes(&self) -> usize {
+        match self.get() {
+            Some(pool) => pool.threads() + 1,
+            None => 1,
+        }
+    }
+}
+
+fn run_tasks<R, F>(pool: Option<&ThreadPool>, tasks: Vec<F>) -> Vec<R>
+where
+    R: Send,
+    F: FnOnce() -> R + Send,
+{
+    match pool {
+        Some(pool) if tasks.len() > 1 => pool.run_ordered(tasks),
+        _ => tasks.into_iter().map(|task| task()).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: lex + thread-local delta dictionaries
+// ---------------------------------------------------------------------------
+
+/// How a term occurrence constrains the dictionary, mirroring
+/// [`Dictionary::encode_triple`]'s choice between `encode_as_property` and
+/// `encode_as_resource`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Demand {
+    Property,
+    Resource,
+}
+
+/// The canonical textual keys of the schema terms whose *position* in a
+/// triple forces property registration (see `Dictionary::encode_triple`).
+struct SchemaKeys {
+    rdf_type: String,
+    /// Predicates whose subject is a property.
+    subject_position: Vec<String>,
+    /// Predicates whose object is a property.
+    object_position: Vec<String>,
+    /// Classes whose `rdf:type` instances are properties.
+    property_classes: Vec<String>,
+}
+
+fn schema_keys() -> &'static SchemaKeys {
+    static KEYS: OnceLock<SchemaKeys> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let key = |iri: &str| format!("<{iri}>");
+        SchemaKeys {
+            rdf_type: key(vocab::RDF_TYPE),
+            subject_position: [
+                vocab::RDFS_SUB_PROPERTY_OF,
+                vocab::RDFS_DOMAIN,
+                vocab::RDFS_RANGE,
+                vocab::OWL_EQUIVALENT_PROPERTY,
+                vocab::OWL_INVERSE_OF,
+            ]
+            .iter()
+            .map(|iri| key(iri))
+            .collect(),
+            object_position: [
+                vocab::RDFS_SUB_PROPERTY_OF,
+                vocab::OWL_EQUIVALENT_PROPERTY,
+                vocab::OWL_INVERSE_OF,
+            ]
+            .iter()
+            .map(|iri| key(iri))
+            .collect(),
+            property_classes: [
+                vocab::RDF_PROPERTY,
+                vocab::RDFS_CONTAINER_MEMBERSHIP_PROPERTY,
+                vocab::OWL_TRANSITIVE_PROPERTY,
+                vocab::OWL_SYMMETRIC_PROPERTY,
+                vocab::OWL_FUNCTIONAL_PROPERTY,
+                vocab::OWL_INVERSE_FUNCTIONAL_PROPERTY,
+                vocab::OWL_DATATYPE_PROPERTY,
+                vocab::OWL_OBJECT_PROPERTY,
+            ]
+            .iter()
+            .map(|iri| key(iri))
+            .collect(),
+        }
+    })
+}
+
+/// One chunk's thread-local delta dictionary plus its encoded statements.
+#[derive(Default)]
+struct ChunkSink {
+    /// Textual key → dense local index.
+    index: FxHashMap<String, u32>,
+    /// Local index → owned term (chunk-local first-occurrence order).
+    terms: Vec<Term>,
+    /// Whether the term has already been demanded as a property locally.
+    demanded_property: Vec<bool>,
+    /// The ordered intern events that could change global dictionary state.
+    events: Vec<(u32, Demand)>,
+    /// Statements as `[s, p, o]` local indexes, in chunk order.
+    triples: Vec<[u32; 3]>,
+}
+
+/// Reusable key-rendering buffers (one set per worker, zero steady-state
+/// allocations).
+#[derive(Default)]
+struct KeyBufs {
+    s: String,
+    p: String,
+    o: String,
+}
+
+impl ChunkSink {
+    fn intern(&mut self, key: &str, term: &TermRef<'_>, demand: Demand) -> u32 {
+        if let Some(&i) = self.index.get(key) {
+            if demand == Demand::Property && !self.demanded_property[i as usize] {
+                // First local property demand of a term first met as a
+                // resource: the merge must see this transition.
+                self.demanded_property[i as usize] = true;
+                self.events.push((i, Demand::Property));
+            }
+            return i;
+        }
+        let i = u32::try_from(self.terms.len()).expect("chunk holds fewer than 2^32 terms");
+        self.index.insert(key.to_string(), i);
+        self.terms.push(term.to_term());
+        self.demanded_property.push(demand == Demand::Property);
+        self.events.push((i, demand));
+        i
+    }
+
+    /// Interns one statement's terms (in the sequential loader's P, S, O
+    /// event order) and records the encoded triple.
+    fn add(&mut self, triple: &TripleRef<'_>, bufs: &mut KeyBufs) {
+        bufs.p.clear();
+        triple.predicate.write_key(&mut bufs.p);
+        bufs.s.clear();
+        triple.subject.write_key(&mut bufs.s);
+        bufs.o.clear();
+        triple.object.write_key(&mut bufs.o);
+
+        let schema = schema_keys();
+        let subject_is_property = (schema.subject_position.iter().any(|k| k == &bufs.p)
+            || (bufs.p == schema.rdf_type && schema.property_classes.iter().any(|k| k == &bufs.o)))
+            && triple.subject.is_iri();
+        let object_is_property =
+            schema.object_position.iter().any(|k| k == &bufs.p) && triple.object.is_iri();
+
+        let p = self.intern(&bufs.p, &triple.predicate, Demand::Property);
+        let s = self.intern(
+            &bufs.s,
+            &triple.subject,
+            if subject_is_property {
+                Demand::Property
+            } else {
+                Demand::Resource
+            },
+        );
+        let o = self.intern(
+            &bufs.o,
+            &triple.object,
+            if object_is_property {
+                Demand::Property
+            } else {
+                Demand::Resource
+            },
+        );
+        self.triples.push([s, p, o]);
+    }
+}
+
+fn lex_ntriples_into_sink(chunk: Chunk<'_>) -> Result<ChunkSink, ParseError> {
+    let mut sink = ChunkSink::default();
+    let mut bufs = KeyBufs::default();
+    lex_ntriples_chunk(chunk, |triple| sink.add(&triple, &mut bufs))?;
+    Ok(sink)
+}
+
+fn lex_turtle_into_sink(
+    chunk: Chunk<'_>,
+    prefixes: HashMap<String, String>,
+    base: String,
+) -> Result<ChunkSink, ParseError> {
+    let mut sink = ChunkSink::default();
+    let mut bufs = KeyBufs::default();
+    let mut lexer = TurtleChunkLexer::new(chunk, prefixes, base);
+    while lexer.next_statement(|triple| sink.add(&triple, &mut bufs))? {}
+    Ok(sink)
+}
+
+// ---------------------------------------------------------------------------
+// Phases 2 + 3: deterministic merge, remap, parallel table build
+// ---------------------------------------------------------------------------
+
+fn assemble(
+    outputs: Vec<Result<ChunkSink, ParseError>>,
+    pool: &PoolHandle,
+) -> Result<LoadedDataset, LoadError> {
+    // The first failing chunk is also the earliest document position, so
+    // errors are identical to the sequential pass.
+    let mut chunks = Vec::with_capacity(outputs.len());
+    for output in outputs {
+        chunks.push(output.map_err(LoadError::Parse)?);
+    }
+
+    // Phase 2 — merge. Chunks are contiguous document slices, so replaying
+    // the concatenated event lists through a fresh dictionary visits every
+    // term in global first-occurrence order: identifiers, registration order
+    // and promotions all match the sequential loader exactly. Every distinct
+    // chunk term has a first-occurrence event, so the encode calls also fill
+    // the chunk's local-index → global-id table as a side effect — no
+    // second lookup pass over the (long) textual keys is needed.
+    let mut dictionary = Dictionary::new();
+    let mut remaps: Vec<Vec<u64>> = chunks
+        .iter()
+        .map(|chunk| vec![0u64; chunk.terms.len()])
+        .collect();
+    for (chunk, remap) in chunks.iter().zip(remaps.iter_mut()) {
+        for &(index, demand) in &chunk.events {
+            let term = &chunk.terms[index as usize];
+            let id = match demand {
+                Demand::Property => dictionary
+                    .encode_as_property(term)
+                    .map_err(|e| LoadError::Encode(e.to_string()))?,
+                Demand::Resource => dictionary.encode_as_resource(term),
+            };
+            // A same-chunk promotion event overwrites the resource id with
+            // the promoted property id.
+            remap[index as usize] = id;
+        }
+    }
+    // Resolve cross-chunk promotions: a term promoted in a later chunk must
+    // remap to its property id in *every* chunk. (Same reason the sequential
+    // loader patches tables — but here no pair buffer exists yet, so it is a
+    // patch over the small remap tables instead.) Draining the list also
+    // leaves the dictionary in the same state as the sequential loader.
+    let promotions: FxHashMap<u64, u64> = dictionary.take_promotions().into_iter().collect();
+    if !promotions.is_empty() {
+        for remap in &mut remaps {
+            for id in remap.iter_mut() {
+                if let Some(&promoted) = promotions.get(id) {
+                    *id = promoted;
+                }
+            }
+        }
+    }
+
+    // Phase 3a — translate local indexes through the remap tables and
+    // scatter pairs into per-property buffers, one task per chunk.
+    let num_properties = dictionary.num_properties();
+    let bucket_tasks: Vec<_> = chunks
+        .iter()
+        .zip(remaps.iter())
+        .map(|(chunk, remap)| move || bucket_chunk(chunk, remap, num_properties))
+        .collect();
+    let buckets = run_tasks(pool.get(), bucket_tasks);
+
+    // Gather the chunk buffers per property, in chunk order — the
+    // concatenation is exactly the document-order pair sequence.
+    let mut per_property: Vec<Vec<Vec<u64>>> = vec![Vec::new(); num_properties];
+    for chunk_buckets in buckets {
+        for (index, pairs) in chunk_buckets {
+            per_property[index].push(pairs);
+        }
+    }
+
+    // Phase 3b — build and finalize each property lane. Lanes are
+    // independent, so distribute them over the pool (largest first for
+    // balance) with one sort scratch per task.
+    let mut jobs: Vec<(usize, Vec<Vec<u64>>)> = per_property
+        .into_iter()
+        .enumerate()
+        .filter(|(_, buffers)| !buffers.is_empty())
+        .collect();
+    jobs.sort_by_key(|(index, buffers)| {
+        let pairs: usize = buffers.iter().map(|b| b.len()).sum();
+        (std::cmp::Reverse(pairs), *index)
+    });
+    let lanes = pool.lanes().min(jobs.len()).max(1);
+    let mut groups: Vec<Vec<(usize, Vec<Vec<u64>>)>> = (0..lanes).map(|_| Vec::new()).collect();
+    for (slot, job) in jobs.into_iter().enumerate() {
+        groups[slot % lanes].push(job);
+    }
+    let table_tasks: Vec<_> = groups
+        .into_iter()
+        .map(|group| {
+            move || {
+                let mut scratch = SortScratch::new();
+                group
+                    .into_iter()
+                    .map(|(index, buffers)| {
+                        let total = buffers.iter().map(|b| b.len()).sum();
+                        let mut pairs = Vec::with_capacity(total);
+                        for buffer in &buffers {
+                            pairs.extend_from_slice(buffer);
+                        }
+                        let mut table = PropertyTable::from_raw(pairs);
+                        table.finalize_with(&mut scratch);
+                        (index, table)
+                    })
+                    .collect::<Vec<_>>()
+            }
+        })
+        .collect();
+    let built = run_tasks(pool.get(), table_tasks);
+
+    let mut store = TripleStore::new();
+    let mut finished: Vec<(usize, PropertyTable)> = built.into_iter().flatten().collect();
+    // Install in ascending property order so the slot array grows once and
+    // matches the sequential loader's layout.
+    finished.sort_unstable_by_key(|(index, _)| *index);
+    for (index, table) in finished {
+        store.set_table(property_id_from_index(index), table);
+    }
+
+    Ok(LoadedDataset { dictionary, store })
+}
+
+/// Translates one chunk's local indexes through its remap table and
+/// scatters its statements into per-property pair buffers.
+fn bucket_chunk(chunk: &ChunkSink, remap: &[u64], num_properties: usize) -> Vec<(usize, Vec<u64>)> {
+    let mut lanes: Vec<Vec<u64>> = vec![Vec::new(); num_properties];
+    for [s, p, o] in &chunk.triples {
+        let lane = &mut lanes[property_index(remap[*p as usize])];
+        lane.push(remap[*s as usize]);
+        lane.push(remap[*o as usize]);
+    }
+    lanes
+        .into_iter()
+        .enumerate()
+        .filter(|(_, pairs)| !pairs.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{load_ntriples, load_turtle};
+    use inferray_dictionary::wellknown;
+    use inferray_model::ids::is_property_id;
+
+    fn sample_nt() -> String {
+        let mut doc = String::new();
+        for i in 0..200 {
+            doc.push_str(&format!(
+                "<http://ex/s{i}> <http://ex/p{}> <http://ex/o{}> .\n",
+                i % 7,
+                i % 31
+            ));
+            if i % 10 == 0 {
+                doc.push_str(&format!(
+                    "<http://ex/s{i}> <http://ex/label> \"subject {i}\"@en .\n"
+                ));
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn parallel_equals_sequential_equals_legacy() {
+        let doc = sample_nt();
+        let sequential = Ingest::with_options(LoaderOptions::sequential())
+            .ntriples(&doc)
+            .unwrap();
+        let legacy = load_ntriples(&doc).unwrap();
+        assert_eq!(sequential, legacy);
+        for threads in [2, 3, 8] {
+            for chunk_bytes in [64, 700, 1 << 20] {
+                let parallel = Ingest::with_options(LoaderOptions {
+                    threads: Some(threads),
+                    chunk_bytes: Some(chunk_bytes),
+                })
+                .ntriples(&doc)
+                .unwrap();
+                assert_eq!(
+                    parallel, sequential,
+                    "threads={threads} chunk_bytes={chunk_bytes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn promotion_across_chunks_matches_sequential() {
+        // `hasPart` is used as a plain resource early (one chunk) and as a
+        // predicate much later (another chunk): the merge must promote it
+        // and every chunk's pairs must use the promoted id.
+        let mut doc = String::from(
+            "<http://ex/hasPart> <http://www.w3.org/2000/01/rdf-schema#domain> <http://ex/Whole> .\n",
+        );
+        for i in 0..100 {
+            doc.push_str(&format!("<http://ex/s{i}> <http://ex/p> <http://ex/o> .\n"));
+        }
+        doc.push_str("<http://ex/Car> <http://ex/hasPart> <http://ex/Wheel> .\n");
+
+        let sequential = Ingest::with_options(LoaderOptions::sequential())
+            .ntriples(&doc)
+            .unwrap();
+        let parallel = Ingest::with_options(LoaderOptions {
+            threads: Some(4),
+            chunk_bytes: Some(256),
+        })
+        .ntriples(&doc)
+        .unwrap();
+        assert_eq!(parallel, sequential);
+
+        let prop_id = parallel.dictionary.id_of_iri("http://ex/hasPart").unwrap();
+        assert!(is_property_id(prop_id));
+        let domain = parallel.store.table(wellknown::RDFS_DOMAIN).unwrap();
+        assert_eq!(
+            domain.iter_pairs().map(|(s, _)| s).collect::<Vec<_>>(),
+            vec![prop_id]
+        );
+        assert_eq!(parallel.store.table(prop_id).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn chunked_errors_match_sequential_errors() {
+        let mut doc = sample_nt();
+        doc.push_str("<http://ex/broken .\n");
+        doc.push_str(&sample_nt());
+        let sequential = Ingest::with_options(LoaderOptions::sequential())
+            .ntriples(&doc)
+            .unwrap_err();
+        let parallel = Ingest::with_options(LoaderOptions {
+            threads: Some(4),
+            chunk_bytes: Some(128),
+        })
+        .ntriples(&doc)
+        .unwrap_err();
+        match (&sequential, &parallel) {
+            (LoadError::Parse(a), LoadError::Parse(b)) => assert_eq!(a, b),
+            other => panic!("expected parse errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn turtle_ingest_matches_legacy_loader() {
+        let doc = r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix ex: <http://example.org/> .
+ex:hasPart rdfs:domain ex:Whole .
+ex:teaches owl:inverseOf ex:taughtBy .
+ex:Car ex:hasPart ex:Wheel .
+ex:human rdfs:subClassOf ex:mammal .
+ex:Bart a ex:human ; ex:age 10 ; ex:name "Bart"@en .
+ex:Prof ex:taughtBy ex:Bart .
+"#;
+        let legacy = load_turtle(doc).unwrap();
+        let sequential = Ingest::with_options(LoaderOptions::sequential())
+            .turtle(doc)
+            .unwrap();
+        let parallel = Ingest::with_options(LoaderOptions {
+            threads: Some(4),
+            chunk_bytes: Some(64),
+        })
+        .turtle(doc)
+        .unwrap();
+        assert_eq!(sequential, legacy);
+        assert_eq!(parallel, legacy);
+        assert!(is_property_id(
+            legacy
+                .dictionary
+                .id_of_iri("http://example.org/hasPart")
+                .unwrap()
+        ));
+    }
+
+    #[test]
+    fn turtle_directive_glued_to_terminator_stays_identical() {
+        // A mid-body directive with no whitespace after the preceding '.'
+        // forces the single-chunk fallback; parallel must match sequential.
+        let mut doc = String::from("@prefix ex: <http://ex.org/> .\n");
+        for i in 0..50 {
+            doc.push_str(&format!("ex:s{i} ex:p ex:o{i} .\n"));
+        }
+        doc.push_str("ex:a ex:p ex:b .@prefix zz: <http://zz.org/> .\nzz:c zz:q zz:d .\n");
+        let sequential = Ingest::with_options(LoaderOptions::sequential())
+            .turtle(&doc)
+            .unwrap();
+        let parallel = Ingest::with_options(LoaderOptions {
+            threads: Some(4),
+            chunk_bytes: Some(16),
+        })
+        .turtle(&doc)
+        .unwrap();
+        assert_eq!(parallel, sequential);
+        assert!(sequential.dictionary.id_of_iri("http://zz.org/q").is_some());
+    }
+
+    #[test]
+    fn empty_inputs_load_empty_datasets() {
+        for input in ["", "\n\n# only comments\n"] {
+            let loaded = Ingest::new().ntriples(input).unwrap();
+            assert!(loaded.is_empty());
+            let loaded = Ingest::new().turtle(input).unwrap();
+            assert!(loaded.is_empty());
+        }
+    }
+}

@@ -1,0 +1,1260 @@
+//! Zero-copy, chunk-splittable lexers for N-Triples and the Turtle subset.
+//!
+//! The seed parsers materialized a `Vec<char>` per statement and an owned
+//! [`Term`] per occurrence before any encoding happened, which made the text →
+//! store pipeline allocation-bound and strictly sequential. This module is the
+//! parser layer of the streaming ingest subsystem (see `docs/ingest.md`):
+//!
+//! * [`TermRef`] / [`TripleRef`] — borrowed term forms. A term borrows its
+//!   slices straight out of the input document (`Cow::Borrowed`) and only
+//!   owns memory when the textual form needs normalization (escape sequences,
+//!   prefixed-name expansion, base resolution, language-tag lowercasing).
+//! * [`lex_ntriples_line`] — one N-Triples statement, zero-copy.
+//! * [`split_ntriples`] — cuts a document into balanced chunks on line
+//!   boundaries, each carrying its 1-based first line number so parse errors
+//!   are identical no matter how the document was chunked.
+//! * [`lex_turtle_prologue`] / [`split_turtle_body`] / [`TurtleChunkLexer`] —
+//!   the same for the Turtle subset: the prologue (leading `@prefix`/`@base`
+//!   directives) is lexed once, then the body is cut on *top-level statement
+//!   boundaries* and every chunk is lexed against a snapshot of the prologue.
+//!   Documents that declare directives after the prologue are detected by the
+//!   splitter and fall back to a single chunk, where the chunk lexer handles
+//!   mid-document directives itself.
+//!
+//! The legacy `parse_ntriples` / `parse_turtle` entry points are thin
+//! wrappers over these lexers that collect owned [`Triple`]s.
+
+use crate::ntriples::ParseError;
+use crate::turtle::{has_scheme, resolve_against_base};
+use inferray_model::term::{escape_ntriples, unescape_ntriples, XSD_STRING};
+use inferray_model::{vocab, Term, Triple};
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// A borrowed RDF term: the zero-copy analogue of [`Term`].
+///
+/// Every `Cow` is `Borrowed` when the input slice already is the canonical
+/// form and `Owned` only when normalization allocated (escapes, prefixed-name
+/// expansion, base resolution, language lowercasing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermRef<'a> {
+    /// An IRI without the angle brackets.
+    Iri(Cow<'a, str>),
+    /// A blank node label without the `_:` prefix.
+    Blank(Cow<'a, str>),
+    /// A literal, mirroring [`Term::Literal`].
+    Literal {
+        /// The unescaped lexical form.
+        lexical: Cow<'a, str>,
+        /// Datatype IRI, if any.
+        datatype: Option<Cow<'a, str>>,
+        /// Language tag (already lower-cased), if any.
+        language: Option<Cow<'a, str>>,
+    },
+}
+
+impl<'a> TermRef<'a> {
+    /// `true` when the term is an IRI (the only kind valid in predicate
+    /// position).
+    pub fn is_iri(&self) -> bool {
+        matches!(self, TermRef::Iri(_))
+    }
+
+    /// `true` when the term is a literal (invalid in subject position).
+    pub fn is_literal(&self) -> bool {
+        matches!(self, TermRef::Literal { .. })
+    }
+
+    /// Converts into an owned [`Term`].
+    pub fn into_term(self) -> Term {
+        match self {
+            TermRef::Iri(iri) => Term::Iri(iri.into_owned()),
+            TermRef::Blank(label) => Term::BlankNode(label.into_owned()),
+            TermRef::Literal {
+                lexical,
+                datatype,
+                language,
+            } => Term::Literal {
+                lexical: lexical.into_owned(),
+                datatype: datatype.map(Cow::into_owned),
+                language: language.map(Cow::into_owned),
+            },
+        }
+    }
+
+    /// Clones into an owned [`Term`].
+    pub fn to_term(&self) -> Term {
+        self.clone().into_term()
+    }
+
+    /// Appends the canonical N-Triples textual form — exactly what
+    /// `Term::to_string()` produces, i.e. the dictionary's interning key —
+    /// to `out` without allocating.
+    pub fn write_key(&self, out: &mut String) {
+        match self {
+            TermRef::Iri(iri) => {
+                out.push('<');
+                out.push_str(iri);
+                out.push('>');
+            }
+            TermRef::Blank(label) => {
+                out.push_str("_:");
+                out.push_str(label);
+            }
+            TermRef::Literal {
+                lexical,
+                datatype,
+                language,
+            } => {
+                out.push('"');
+                if lexical
+                    .bytes()
+                    .any(|b| matches!(b, b'\\' | b'"' | b'\n' | b'\r' | b'\t'))
+                {
+                    out.push_str(&escape_ntriples(lexical));
+                } else {
+                    out.push_str(lexical);
+                }
+                out.push('"');
+                if let Some(lang) = language {
+                    out.push('@');
+                    out.push_str(lang);
+                } else if let Some(dt) = datatype {
+                    if dt != XSD_STRING {
+                        out.push_str("^^<");
+                        out.push_str(dt);
+                        out.push('>');
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A borrowed triple, the zero-copy analogue of [`Triple`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TripleRef<'a> {
+    /// Subject term.
+    pub subject: TermRef<'a>,
+    /// Predicate term.
+    pub predicate: TermRef<'a>,
+    /// Object term.
+    pub object: TermRef<'a>,
+}
+
+impl<'a> TripleRef<'a> {
+    /// Converts into an owned [`Triple`].
+    pub fn into_triple(self) -> Triple {
+        Triple::new(
+            self.subject.into_term(),
+            self.predicate.into_term(),
+            self.object.into_term(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The byte cursor
+// ---------------------------------------------------------------------------
+
+/// A byte-offset cursor over a `&str` slice that tracks 1-based line numbers
+/// and the start of the current line (for error context). Unlike the seed's
+/// `Vec<char>` cursor it never allocates.
+pub(crate) struct Scan<'a> {
+    input: &'a str,
+    pos: usize,
+    line: usize,
+    line_start: usize,
+}
+
+impl<'a> Scan<'a> {
+    pub(crate) fn new(input: &'a str, first_line: usize) -> Self {
+        Scan {
+            input,
+            pos: 0,
+            line: first_line,
+            line_start: 0,
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    pub(crate) fn line(&self) -> usize {
+        self.line
+    }
+
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    #[inline]
+    pub(crate) fn peek(&self) -> Option<char> {
+        let b = *self.input.as_bytes().get(self.pos)?;
+        if b < 0x80 {
+            // ASCII fast path: no UTF-8 decoding (the overwhelming majority
+            // of RDF surface syntax is ASCII).
+            Some(b as char)
+        } else {
+            self.input[self.pos..].chars().next()
+        }
+    }
+
+    /// Peeks the character `offset` *characters* (not bytes) ahead.
+    pub(crate) fn peek_at(&self, offset: usize) -> Option<char> {
+        self.input[self.pos..].chars().nth(offset)
+    }
+
+    #[inline]
+    pub(crate) fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    pub(crate) fn skip_whitespace(&mut self) {
+        let bytes = self.input.as_bytes();
+        loop {
+            match bytes.get(self.pos) {
+                Some(b' ' | b'\t' | b'\r') => self.pos += 1,
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                Some(b) if *b >= 0x80 => {
+                    // Rare non-ASCII whitespace (NBSP etc.).
+                    match self.peek() {
+                        Some(c) if c.is_whitespace() => {
+                            self.pos += c.len_utf8();
+                        }
+                        _ => return,
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skips whitespace and `#` comments (to end of line).
+    pub(crate) fn skip_trivia(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.peek() == Some('#') {
+                while let Some(c) = self.bump() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    pub(crate) fn expect(&mut self, expected: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            other => Err(self.error(format!("expected '{expected}', found {other:?}"))),
+        }
+    }
+
+    /// `true` when the input at the cursor starts with `prefix` (byte-exact).
+    pub(crate) fn starts_with(&self, prefix: &str) -> bool {
+        self.input[self.pos..].starts_with(prefix)
+    }
+
+    /// The text of the line the cursor currently sits on (error context).
+    fn current_line_text(&self) -> &'a str {
+        let rest = &self.input[self.line_start..];
+        rest.lines().next().unwrap_or(rest)
+    }
+
+    pub(crate) fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(
+            self.line,
+            format!("{} (in: {:?})", message.into(), self.current_line_text()),
+        )
+    }
+
+    // -- term lexers --------------------------------------------------------
+
+    /// Lexes `<iri>`, borrowing the inner slice unless it contains escapes.
+    pub(crate) fn lex_iri(&mut self) -> Result<Cow<'a, str>, ParseError> {
+        self.expect('<')?;
+        let start = self.pos;
+        let mut has_escape = false;
+        let bytes = self.input.as_bytes();
+        loop {
+            // Byte loop: every delimiter is ASCII, and multi-byte UTF-8
+            // continuation bytes (>= 0x80) can simply be skipped.
+            match bytes.get(self.pos) {
+                Some(b'>') => break,
+                Some(b' ' | b'\t' | b'\r' | b'\n') => {
+                    return Err(self.error("whitespace inside IRI"));
+                }
+                Some(b) => {
+                    if *b == b'\\' {
+                        has_escape = true;
+                    } else if *b >= 0xC0 {
+                        // Lead byte of a multi-byte character (a char
+                        // boundary, so decoding is safe): rare non-ASCII
+                        // whitespace must still be rejected. Continuation
+                        // bytes (0x80..0xC0) are skipped blindly.
+                        if matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                            return Err(self.error("whitespace inside IRI"));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                None => return Err(self.error("unterminated IRI")),
+            }
+        }
+        let raw = &self.input[start..self.pos];
+        self.pos += 1; // consume '>'
+        if has_escape {
+            match unescape_ntriples(raw) {
+                Some(unescaped) => Ok(Cow::Owned(unescaped)),
+                None => Err(self.error("bad escape in IRI")),
+            }
+        } else {
+            Ok(Cow::Borrowed(raw))
+        }
+    }
+
+    /// Lexes `_:label`, always borrowing.
+    pub(crate) fn lex_blank(&mut self) -> Result<Cow<'a, str>, ParseError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let start = self.pos;
+        loop {
+            // ASCII fast path for the common label characters.
+            match self.input.as_bytes().get(self.pos) {
+                Some(b) if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.') => {
+                    self.pos += 1;
+                }
+                Some(b) if *b >= 0x80 => match self.peek() {
+                    Some(c) if c.is_alphanumeric() => {
+                        self.pos += c.len_utf8();
+                    }
+                    _ => break,
+                },
+                _ => break,
+            }
+        }
+        let mut end = self.pos;
+        // A trailing '.' belongs to the statement terminator, not the label.
+        while end > start && self.input.as_bytes()[end - 1] == b'.' {
+            end -= 1;
+            self.pos -= 1;
+        }
+        if end == start {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(Cow::Borrowed(&self.input[start..end]))
+    }
+
+    /// Lexes the quoted, escaped part of a literal (`"…"`), returning the
+    /// unescaped lexical form (borrowed when no escape occurs).
+    pub(crate) fn lex_quoted_string(&mut self) -> Result<Cow<'a, str>, ParseError> {
+        self.expect('"')?;
+        let start = self.pos;
+        let mut has_escape = false;
+        let bytes = self.input.as_bytes();
+        loop {
+            // Byte loop: the delimiters (`"`, `\`) are ASCII; continuation
+            // bytes of multi-byte characters pass straight through.
+            match bytes.get(self.pos) {
+                Some(b'\\') => {
+                    has_escape = true;
+                    self.pos += 1;
+                    if self.bump().is_none() {
+                        return Err(self.error("unterminated escape in literal"));
+                    }
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                Some(_) => self.pos += 1,
+                None => return Err(self.error("unterminated literal")),
+            }
+        }
+        let raw = &self.input[start..self.pos - 1];
+        if has_escape {
+            match unescape_ntriples(raw) {
+                Some(unescaped) => Ok(Cow::Owned(unescaped)),
+                None => Err(self.error("bad escape sequence in literal")),
+            }
+        } else {
+            Ok(Cow::Borrowed(raw))
+        }
+    }
+
+    /// Lexes the `@lang` suffix after a quoted string (cursor sits on `@`).
+    fn lex_language(&mut self) -> Result<Cow<'a, str>, ParseError> {
+        self.bump(); // '@'
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
+            self.bump();
+        }
+        let raw = &self.input[start..self.pos];
+        if raw.is_empty() {
+            return Err(self.error("empty language tag"));
+        }
+        // RDF term equality lower-cases language tags (see Term::lang_literal).
+        if raw.bytes().any(|b| b.is_ascii_uppercase()) {
+            Ok(Cow::Owned(raw.to_ascii_lowercase()))
+        } else {
+            Ok(Cow::Borrowed(raw))
+        }
+    }
+
+    /// Lexes a full N-Triples literal (quoted string plus optional `@lang` or
+    /// `^^<datatype>` suffix).
+    pub(crate) fn lex_literal(&mut self) -> Result<TermRef<'a>, ParseError> {
+        let lexical = self.lex_quoted_string()?;
+        match self.peek() {
+            Some('@') => {
+                let language = self.lex_language()?;
+                Ok(TermRef::Literal {
+                    lexical,
+                    datatype: None,
+                    language: Some(language),
+                })
+            }
+            Some('^') => {
+                self.bump();
+                self.expect('^')?;
+                let datatype = self.lex_iri()?;
+                Ok(TermRef::Literal {
+                    lexical,
+                    datatype: Some(datatype),
+                    language: None,
+                })
+            }
+            _ => Ok(TermRef::Literal {
+                lexical,
+                datatype: None,
+                language: None,
+            }),
+        }
+    }
+
+    /// Lexes one N-Triples term.
+    pub(crate) fn lex_term(&mut self) -> Result<TermRef<'a>, ParseError> {
+        match self.peek() {
+            Some('<') => Ok(TermRef::Iri(self.lex_iri()?)),
+            Some('_') => Ok(TermRef::Blank(self.lex_blank()?)),
+            Some('"') => self.lex_literal(),
+            other => Err(self.error(format!("expected a term, found {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// N-Triples: statement lexer + chunk splitter
+// ---------------------------------------------------------------------------
+
+/// Lexes a single N-Triples line into a borrowed triple. Returns `Ok(None)`
+/// for blank lines and comments. `line_number` is used for error reporting.
+pub fn lex_ntriples_line(
+    line: &str,
+    line_number: usize,
+) -> Result<Option<TripleRef<'_>>, ParseError> {
+    let mut scan = Scan::new(line, line_number);
+    scan.skip_whitespace();
+    if scan.is_done() || scan.peek() == Some('#') {
+        return Ok(None);
+    }
+    let subject = scan.lex_term()?;
+    scan.skip_whitespace();
+    let predicate = scan.lex_term()?;
+    scan.skip_whitespace();
+    let object = scan.lex_term()?;
+    scan.skip_whitespace();
+    scan.expect('.')?;
+    scan.skip_whitespace();
+    if !scan.is_done() && scan.peek() != Some('#') {
+        return Err(scan.error("trailing content after '.'"));
+    }
+    if subject.is_literal() || !predicate.is_iri() {
+        let rendered = TripleRef {
+            subject,
+            predicate,
+            object,
+        }
+        .into_triple();
+        return Err(ParseError::new(
+            line_number,
+            format!("invalid triple (check term positions): {rendered}"),
+        ));
+    }
+    Ok(Some(TripleRef {
+        subject,
+        predicate,
+        object,
+    }))
+}
+
+/// A contiguous slice of an input document plus the 1-based line number of
+/// its first line, so chunk-local errors report document-global positions.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunk<'a> {
+    /// The chunk text.
+    pub text: &'a str,
+    /// 1-based line number of the chunk's first line in the whole document.
+    pub first_line: usize,
+}
+
+/// Splits an N-Triples document into at most `target_chunks` chunks of
+/// roughly equal byte size, cutting only on line boundaries. Concatenating
+/// the chunk texts reproduces the input exactly.
+pub fn split_ntriples(input: &str, target_chunks: usize) -> Vec<Chunk<'_>> {
+    let target_chunks = target_chunks.max(1);
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let goal = (input.len() / target_chunks).max(1);
+    let mut chunks = Vec::with_capacity(target_chunks);
+    let mut start = 0usize;
+    let mut first_line = 1usize;
+    while start < input.len() {
+        let tentative = (start + goal).min(input.len());
+        // Extend to the end of the line containing `tentative`. Byte search:
+        // `tentative` may sit inside a multi-byte character, but `\n` is
+        // ASCII, so the offset after it is always a char boundary.
+        let end = match input.as_bytes()[tentative..]
+            .iter()
+            .position(|&b| b == b'\n')
+        {
+            Some(offset) => tentative + offset + 1,
+            None => input.len(),
+        };
+        let text = &input[start..end];
+        chunks.push(Chunk { text, first_line });
+        first_line += text.bytes().filter(|&b| b == b'\n').count();
+        start = end;
+    }
+    chunks
+}
+
+/// Iterates the statements of one N-Triples chunk, yielding borrowed
+/// triples with document-global line numbers.
+pub fn lex_ntriples_chunk<'a>(
+    chunk: Chunk<'a>,
+    mut emit: impl FnMut(TripleRef<'a>),
+) -> Result<(), ParseError> {
+    for (i, line) in chunk.text.lines().enumerate() {
+        if let Some(triple) = lex_ntriples_line(line, chunk.first_line + i)? {
+            emit(triple);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Turtle: prologue, statement splitter, chunk lexer
+// ---------------------------------------------------------------------------
+
+/// The leading directives of a Turtle document: every `@prefix`/`PREFIX` and
+/// `@base`/`BASE` declaration before the first statement.
+#[derive(Debug, Clone, Default)]
+pub struct TurtlePrologue {
+    /// Declared prefixes (name → namespace IRI).
+    pub prefixes: HashMap<String, String>,
+    /// The base IRI, empty when none was declared.
+    pub base: String,
+    /// Byte offset of the first body statement.
+    pub body_offset: usize,
+    /// 1-based line number of the first body statement.
+    pub body_first_line: usize,
+}
+
+/// `true` when the cursor sits on `keyword` followed by whitespace.
+fn at_keyword(scan: &Scan<'_>, keyword: &str) -> bool {
+    let mut probe = 0usize;
+    for expected in keyword.chars() {
+        match scan.peek_at(probe) {
+            Some(c) if c.eq_ignore_ascii_case(&expected) => probe += 1,
+            _ => return false,
+        }
+    }
+    matches!(scan.peek_at(probe), Some(c) if c.is_whitespace())
+}
+
+fn at_directive(scan: &Scan<'_>) -> bool {
+    at_keyword(scan, "@prefix")
+        || at_keyword(scan, "PREFIX")
+        || at_keyword(scan, "@base")
+        || at_keyword(scan, "BASE")
+}
+
+fn consume_keyword(scan: &mut Scan<'_>, keyword: &str) -> Result<(), ParseError> {
+    for expected in keyword.chars() {
+        match scan.bump() {
+            Some(c) if c.eq_ignore_ascii_case(&expected) => {}
+            other => return Err(scan.error(format!("expected keyword {keyword}, found {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+/// Lexes one directive at the cursor into `prefixes` / `base`.
+fn lex_directive(
+    scan: &mut Scan<'_>,
+    prefixes: &mut HashMap<String, String>,
+    base: &mut String,
+) -> Result<(), ParseError> {
+    if at_keyword(scan, "@prefix") || at_keyword(scan, "PREFIX") {
+        let sparql_style = at_keyword(scan, "PREFIX");
+        consume_keyword(scan, if sparql_style { "PREFIX" } else { "@prefix" })?;
+        scan.skip_trivia();
+        let start = scan.pos();
+        while let Some(c) = scan.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() {
+                return Err(scan.error("malformed prefix name"));
+            }
+            scan.bump();
+        }
+        let name = scan.input[start..scan.pos()].to_string();
+        scan.expect(':')?;
+        scan.skip_trivia();
+        let iri = scan.lex_iri()?.into_owned();
+        scan.skip_trivia();
+        if !sparql_style {
+            scan.expect('.')?;
+        } else if scan.peek() == Some('.') {
+            scan.bump();
+        }
+        prefixes.insert(name, iri);
+        Ok(())
+    } else {
+        let sparql_style = at_keyword(scan, "BASE");
+        consume_keyword(scan, if sparql_style { "BASE" } else { "@base" })?;
+        scan.skip_trivia();
+        let iri = scan.lex_iri()?.into_owned();
+        scan.skip_trivia();
+        if !sparql_style {
+            scan.expect('.')?;
+        } else if scan.peek() == Some('.') {
+            scan.bump();
+        }
+        *base = iri;
+        Ok(())
+    }
+}
+
+/// Lexes the prologue of a Turtle document: directives up to the first
+/// statement (or end of input).
+pub fn lex_turtle_prologue(input: &str) -> Result<TurtlePrologue, ParseError> {
+    let mut scan = Scan::new(input, 1);
+    let mut prologue = TurtlePrologue::default();
+    loop {
+        scan.skip_trivia();
+        if scan.is_done() || !at_directive(&scan) {
+            prologue.body_offset = scan.pos();
+            prologue.body_first_line = scan.line();
+            return Ok(prologue);
+        }
+        lex_directive(&mut scan, &mut prologue.prefixes, &mut prologue.base)?;
+    }
+}
+
+/// Splits a Turtle body (everything after the prologue) into at most
+/// `target_chunks` chunks, cutting only on top-level statement boundaries
+/// (a `.` outside IRIs, literals and comments, followed by whitespace, a
+/// comment or end of input).
+///
+/// Returns `None` when a directive is declared *after* the prologue — the
+/// caller must then lex the body as a single chunk, whose lexer applies
+/// directives in stream order.
+pub fn split_turtle_body(
+    body: &str,
+    first_line: usize,
+    target_chunks: usize,
+) -> Option<Vec<Chunk<'_>>> {
+    let target_chunks = target_chunks.max(1);
+    if body.trim().is_empty() {
+        return Some(Vec::new());
+    }
+
+    // One linear scan: collect every top-level statement end offset.
+    #[derive(PartialEq)]
+    enum State {
+        TopLevel,
+        Iri,
+        Literal,
+        Comment,
+    }
+    let bytes = body.as_bytes();
+    let mut state = State::TopLevel;
+    let mut boundaries: Vec<usize> = Vec::new(); // exclusive end offsets
+    let mut at_statement_start = true;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Comment => {
+                if b == b'\n' {
+                    state = State::TopLevel;
+                }
+            }
+            State::Iri => {
+                if b == b'>' {
+                    state = State::TopLevel;
+                }
+            }
+            State::Literal => {
+                if b == b'\\' {
+                    i += 1; // skip the escaped byte
+                } else if b == b'"' {
+                    state = State::TopLevel;
+                }
+            }
+            State::TopLevel => {
+                // Mid-body directive: give up on parallel chunking.
+                // Deliberately conservative — ANY top-level occurrence of a
+                // directive keyword bails out, not just ones at recognized
+                // statement starts, because a directive can directly follow
+                // a `.` terminator that this token-free scan cannot identify
+                // (e.g. `ex:a ex:p ex:b .@prefix zz: <…> .`). A false
+                // positive (say, a predicate whose local name is `prefix`)
+                // only costs parallelism: the single-chunk lexer is the
+                // sequential semantics. `@` probes unconditionally; the
+                // bare SPARQL keywords only after whitespace or `.`, so
+                // names like `ex:prefix` don't disable chunking.
+                let directive_start = b == b'@'
+                    || (matches!(b, b'P' | b'p' | b'B' | b'b')
+                        && (i == 0 || matches!(bytes[i - 1], b' ' | b'\t' | b'\r' | b'\n' | b'.')));
+                if directive_start {
+                    // `b` is ASCII, so `i` is a char boundary.
+                    let scan = Scan::new(&body[i..], 1);
+                    if at_directive(&scan) {
+                        return None;
+                    }
+                }
+                if at_statement_start && !(b as char).is_ascii_whitespace() && b != b'#' {
+                    at_statement_start = false;
+                }
+                match b {
+                    b'#' => state = State::Comment,
+                    b'<' => state = State::Iri,
+                    b'"' => state = State::Literal,
+                    b'.' => {
+                        let next = bytes.get(i + 1).copied();
+                        let terminates = match next {
+                            None => true,
+                            Some(n) => (n as char).is_ascii_whitespace() || n == b'#',
+                        };
+                        if terminates && !at_statement_start {
+                            boundaries.push(i + 1);
+                            at_statement_start = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        i += 1;
+    }
+
+    if boundaries.is_empty() {
+        // No complete statement found; hand everything to one chunk so the
+        // lexer produces the error (or handles the single partial statement).
+        return Some(vec![Chunk {
+            text: body,
+            first_line,
+        }]);
+    }
+    // Make the final boundary cover trailing trivia (and any trailing
+    // incomplete statement, which the last chunk's lexer will report).
+    *boundaries.last_mut().expect("non-empty") = body.len();
+
+    let per_chunk = boundaries.len().div_ceil(target_chunks);
+    let mut chunks = Vec::with_capacity(target_chunks);
+    let mut start = 0usize;
+    let mut line = first_line;
+    for group in boundaries.chunks(per_chunk) {
+        let end = *group.last().expect("non-empty group");
+        let text = &body[start..end];
+        chunks.push(Chunk {
+            text,
+            first_line: line,
+        });
+        line += text.bytes().filter(|&b| b == b'\n').count();
+        start = end;
+    }
+    Some(chunks)
+}
+
+/// `true` when `c` can continue a prefixed-name token started by a letter.
+/// Used to decide whether a leading `a` is the `rdf:type` keyword or the
+/// start of a name such as `a:C` or `abc:x`.
+fn is_name_continuation(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':' | '%')
+}
+
+/// A statement-at-a-time lexer over one Turtle chunk.
+///
+/// The lexer owns a snapshot of the prologue's prefix map and base IRI; when
+/// the chunk contains further directives (only possible in single-chunk mode,
+/// see [`split_turtle_body`]) they are applied in stream order.
+pub struct TurtleChunkLexer<'a> {
+    scan: Scan<'a>,
+    prefixes: HashMap<String, String>,
+    base: String,
+}
+
+impl<'a> TurtleChunkLexer<'a> {
+    /// A lexer over `chunk` with the given prologue snapshot.
+    pub fn new(chunk: Chunk<'a>, prefixes: HashMap<String, String>, base: String) -> Self {
+        TurtleChunkLexer {
+            scan: Scan::new(chunk.text, chunk.first_line),
+            prefixes,
+            base,
+        }
+    }
+
+    /// Lexes the next statement, passing each of its triples to `emit`.
+    /// Returns `Ok(false)` at end of input.
+    pub fn next_statement(
+        &mut self,
+        mut emit: impl FnMut(TripleRef<'a>),
+    ) -> Result<bool, ParseError> {
+        self.scan.skip_trivia();
+        if self.scan.is_done() {
+            return Ok(false);
+        }
+        if at_directive(&self.scan) {
+            lex_directive(&mut self.scan, &mut self.prefixes, &mut self.base)?;
+            return Ok(true);
+        }
+        let subject = self.lex_node()?;
+        loop {
+            self.scan.skip_trivia();
+            let predicate = self.lex_predicate()?;
+            loop {
+                self.scan.skip_trivia();
+                let object = self.lex_node()?;
+                if subject.is_literal() || !predicate.is_iri() {
+                    let rendered = TripleRef {
+                        subject,
+                        predicate,
+                        object,
+                    }
+                    .into_triple();
+                    return Err(self.scan.error(format!("invalid triple: {rendered}")));
+                }
+                emit(TripleRef {
+                    subject: subject.clone(),
+                    predicate: predicate.clone(),
+                    object,
+                });
+                self.scan.skip_trivia();
+                match self.scan.peek() {
+                    Some(',') => {
+                        self.scan.bump();
+                    }
+                    _ => break,
+                }
+            }
+            self.scan.skip_trivia();
+            match self.scan.peek() {
+                Some(';') => {
+                    self.scan.bump();
+                    self.scan.skip_trivia();
+                    // A dangling ';' before '.' is allowed in Turtle.
+                    if self.scan.peek() == Some('.') {
+                        self.scan.bump();
+                        return Ok(true);
+                    }
+                }
+                Some('.') => {
+                    self.scan.bump();
+                    return Ok(true);
+                }
+                other => {
+                    return Err(self
+                        .scan
+                        .error(format!("expected ';' or '.', found {other:?}")))
+                }
+            }
+        }
+    }
+
+    fn lex_predicate(&mut self) -> Result<TermRef<'a>, ParseError> {
+        // The `a` keyword: `a` followed by anything that cannot continue a
+        // prefixed name (whitespace, `<` of an IRI, `"` of a literal, …).
+        if self.scan.peek() == Some('a')
+            && !matches!(self.scan.peek_at(1), Some(c) if is_name_continuation(c))
+        {
+            self.scan.bump();
+            return Ok(TermRef::Iri(Cow::Borrowed(vocab::RDF_TYPE)));
+        }
+        self.lex_node()
+    }
+
+    /// Lexes an IRI, prefixed name, blank node label or literal.
+    fn lex_node(&mut self) -> Result<TermRef<'a>, ParseError> {
+        match self.scan.peek() {
+            Some('<') => {
+                let iri = self.scan.lex_iri()?;
+                if !self.base.is_empty() && !has_scheme(&iri) {
+                    Ok(TermRef::Iri(Cow::Owned(resolve_against_base(
+                        &self.base, &iri,
+                    ))))
+                } else {
+                    Ok(TermRef::Iri(iri))
+                }
+            }
+            Some('_') => Ok(TermRef::Blank(self.scan.lex_blank()?)),
+            Some('"') => {
+                // The datatype suffix can be either `^^<iri>` or a prefixed
+                // name (`^^xsd:integer`).
+                let lexical = self.scan.lex_quoted_string()?;
+                match self.scan.peek() {
+                    Some('@') => {
+                        let language = self.scan.lex_language()?;
+                        Ok(TermRef::Literal {
+                            lexical,
+                            datatype: None,
+                            language: Some(language),
+                        })
+                    }
+                    Some('^') => {
+                        self.scan.bump();
+                        self.scan.expect('^')?;
+                        let datatype = if self.scan.peek() == Some('<') {
+                            self.scan.lex_iri()?
+                        } else {
+                            match self.lex_prefixed_name()? {
+                                TermRef::Iri(iri) => iri,
+                                _ => return Err(self.scan.error("malformed datatype annotation")),
+                            }
+                        };
+                        Ok(TermRef::Literal {
+                            lexical,
+                            datatype: Some(datatype),
+                            language: None,
+                        })
+                    }
+                    _ => Ok(TermRef::Literal {
+                        lexical,
+                        datatype: None,
+                        language: None,
+                    }),
+                }
+            }
+            Some('[') => Err(self
+                .scan
+                .error("anonymous blank nodes [...] are not supported by this Turtle subset")),
+            Some('(') => Err(self
+                .scan
+                .error("collections (...) are not supported by this Turtle subset")),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.lex_numeric(),
+            Some(_) => {
+                if self.at_keyword_value("true") {
+                    return Ok(TermRef::Literal {
+                        lexical: Cow::Borrowed("true"),
+                        datatype: Some(Cow::Owned(format!("{}boolean", vocab::XSD_NS))),
+                        language: None,
+                    });
+                }
+                if self.at_keyword_value("false") {
+                    return Ok(TermRef::Literal {
+                        lexical: Cow::Borrowed("false"),
+                        datatype: Some(Cow::Owned(format!("{}boolean", vocab::XSD_NS))),
+                        language: None,
+                    });
+                }
+                self.lex_prefixed_name()
+            }
+            None => Err(self.scan.error("unexpected end of input")),
+        }
+    }
+
+    /// Consumes `keyword` when it stands alone (followed by whitespace or a
+    /// statement separator), returning whether it did.
+    fn at_keyword_value(&mut self, keyword: &str) -> bool {
+        if !self.scan.starts_with(keyword) {
+            return false;
+        }
+        let boundary = self.scan.peek_at(keyword.chars().count());
+        let ok = match boundary {
+            None => true,
+            Some(c) => c.is_whitespace() || c == '.' || c == ';' || c == ',',
+        };
+        if ok {
+            for _ in 0..keyword.chars().count() {
+                self.scan.bump();
+            }
+        }
+        ok
+    }
+
+    fn lex_numeric(&mut self) -> Result<TermRef<'a>, ParseError> {
+        let start = self.scan.pos();
+        while matches!(self.scan.peek(), Some(c) if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E')
+        {
+            // A '.' followed by whitespace/end is the statement terminator.
+            if self.scan.peek() == Some('.')
+                && !matches!(self.scan.peek_at(1), Some(c) if c.is_ascii_digit())
+            {
+                break;
+            }
+            self.scan.bump();
+        }
+        let text = &self.scan.input[start..self.scan.pos()];
+        if text.is_empty() {
+            return Err(self.scan.error("expected a numeric literal"));
+        }
+        let datatype = if text.contains(['.', 'e', 'E']) {
+            format!("{}decimal", vocab::XSD_NS)
+        } else {
+            format!("{}integer", vocab::XSD_NS)
+        };
+        Ok(TermRef::Literal {
+            lexical: Cow::Borrowed(text),
+            datatype: Some(Cow::Owned(datatype)),
+            language: None,
+        })
+    }
+
+    fn lex_prefixed_name(&mut self) -> Result<TermRef<'a>, ParseError> {
+        let start = self.scan.pos();
+        while let Some(c) = self.scan.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() || c == ';' || c == ',' || c == '.' {
+                let prefix = &self.scan.input[start..self.scan.pos()];
+                return Err(self
+                    .scan
+                    .error(format!("expected a prefixed name, found {prefix:?}")));
+            }
+            self.scan.bump();
+        }
+        let prefix = &self.scan.input[start..self.scan.pos()];
+        self.scan.expect(':')?;
+        let local_start = self.scan.pos();
+        while let Some(c) = self.scan.peek() {
+            if c.is_whitespace() || c == ';' || c == ',' {
+                break;
+            }
+            if c == '.' {
+                // A dot ends the local name only when followed by
+                // whitespace/end (statement terminator).
+                match self.scan.peek_at(1) {
+                    Some(next) if !next.is_whitespace() => {}
+                    _ => break,
+                }
+            }
+            self.scan.bump();
+        }
+        let local = &self.scan.input[local_start..self.scan.pos()];
+        let namespace = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| self.scan.error(format!("undeclared prefix '{prefix}:'")))?;
+        Ok(TermRef::Iri(Cow::Owned(format!("{namespace}{local}"))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_keys_match_term_display() {
+        let doc = r#"<http://ex/a> <http://ex/p> "line1\nline2 \"x\" café"@EN-gb ."#;
+        let triple = lex_ntriples_line(doc, 1).unwrap().unwrap();
+        let mut key = String::new();
+        for term in [&triple.subject, &triple.predicate, &triple.object] {
+            key.clear();
+            term.write_key(&mut key);
+            assert_eq!(key, term.to_term().to_string());
+        }
+    }
+
+    #[test]
+    fn borrowed_when_no_escapes() {
+        let triple = lex_ntriples_line("<http://ex/a> <http://ex/p> \"plain\" .", 1)
+            .unwrap()
+            .unwrap();
+        assert!(matches!(triple.subject, TermRef::Iri(Cow::Borrowed(_))));
+        assert!(matches!(
+            triple.object,
+            TermRef::Literal {
+                lexical: Cow::Borrowed(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn xsd_string_datatype_is_suppressed_in_key() {
+        let line = format!("<http://a> <http://p> \"x\"^^<{XSD_STRING}> .");
+        let triple = lex_ntriples_line(&line, 1).unwrap().unwrap();
+        let mut key = String::new();
+        triple.object.write_key(&mut key);
+        assert_eq!(key, "\"x\"");
+    }
+
+    #[test]
+    fn ntriples_chunks_preserve_text_and_line_numbers() {
+        let doc: String = (0..100)
+            .map(|i| format!("<http://ex/s{i}> <http://ex/p> <http://ex/o{i}> .\n"))
+            .collect();
+        for n in [1, 2, 3, 7, 100, 1000] {
+            let chunks = split_ntriples(&doc, n);
+            let rejoined: String = chunks.iter().map(|c| c.text).collect();
+            assert_eq!(rejoined, doc);
+            let mut expected_line = 1usize;
+            for chunk in &chunks {
+                assert_eq!(chunk.first_line, expected_line);
+                expected_line += chunk.text.bytes().filter(|&b| b == b'\n').count();
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_errors_carry_global_line_numbers() {
+        let mut doc: String = (0..50)
+            .map(|i| format!("<http://ex/s{i}> <http://ex/p> <http://ex/o{i}> .\n"))
+            .collect();
+        doc.push_str("<broken\n");
+        let chunks = split_ntriples(&doc, 4);
+        let mut error = None;
+        for chunk in chunks {
+            if let Err(e) = lex_ntriples_chunk(chunk, |_| {}) {
+                error = Some(e);
+                break;
+            }
+        }
+        assert_eq!(error.expect("must fail").line, 51);
+    }
+
+    #[test]
+    fn turtle_prologue_and_body_split() {
+        let doc = "\
+@prefix ex: <http://ex.org/> . # comment
+@base <http://base.org/> .
+
+ex:a ex:p ex:b .
+ex:c ex:p \"a . literal\" ;
+     ex:q <http://x.org/v.2#frag> .
+ex:d ex:p 1.5 .
+";
+        let prologue = lex_turtle_prologue(doc).unwrap();
+        assert_eq!(prologue.prefixes["ex"], "http://ex.org/");
+        assert_eq!(prologue.base, "http://base.org/");
+        let body = &doc[prologue.body_offset..];
+        assert!(body.starts_with("ex:a"));
+        let chunks = split_turtle_body(body, prologue.body_first_line, 3).unwrap();
+        let rejoined: String = chunks.iter().map(|c| c.text).collect();
+        assert_eq!(rejoined, body);
+        assert_eq!(chunks.len(), 3);
+        // Statement boundaries: each chunk lexes independently.
+        let mut total = 0usize;
+        for chunk in chunks {
+            let mut lexer =
+                TurtleChunkLexer::new(chunk, prologue.prefixes.clone(), prologue.base.clone());
+            while lexer.next_statement(|_| total += 1).unwrap() {}
+        }
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn mid_body_directives_disable_chunking() {
+        let doc = "\
+@prefix ex: <http://ex.org/> .
+ex:a ex:p ex:b .
+@prefix other: <http://other.org/> .
+ex:c ex:p other:d .
+";
+        let prologue = lex_turtle_prologue(doc).unwrap();
+        let body = &doc[prologue.body_offset..];
+        assert!(split_turtle_body(body, prologue.body_first_line, 4).is_none());
+        // The single-chunk lexer still handles the directive in stream order.
+        let chunk = Chunk {
+            text: body,
+            first_line: prologue.body_first_line,
+        };
+        let mut lexer = TurtleChunkLexer::new(chunk, prologue.prefixes, prologue.base);
+        let mut triples = Vec::new();
+        while lexer
+            .next_statement(|t| triples.push(t.into_triple()))
+            .unwrap()
+        {}
+        assert_eq!(triples.len(), 2);
+        assert_eq!(
+            triples[1].object,
+            inferray_model::Term::iri("http://other.org/d")
+        );
+    }
+
+    #[test]
+    fn directives_glued_to_a_terminator_disable_chunking() {
+        // The '.' before '@prefix' is not followed by whitespace, so the
+        // boundary scan cannot see a statement start there — the directive
+        // probe must still catch it anywhere at top level.
+        for glued in [
+            "ex:a ex:p ex:b .@prefix zz: <http://zz.org/> .\nzz:c zz:q zz:d .\n",
+            "ex:a ex:p <http://x.org/> .@base <http://b.org/> .\n<y> ex:p ex:b .\n",
+            "ex:a ex:p \"lit\" .PREFIX zz: <http://zz.org/>\nzz:c zz:q zz:d .\n",
+        ] {
+            assert!(
+                split_turtle_body(glued, 1, 4).is_none(),
+                "must fall back to a single chunk for {glued:?}"
+            );
+        }
+        // Names merely *containing* keyword letters keep chunking enabled.
+        let harmless = "ex:prefixed ex:prefix ex:base .\nex:a ex:p ex:b .\n";
+        assert!(split_turtle_body(harmless, 1, 4).is_some());
+    }
+
+    #[test]
+    fn dots_inside_names_literals_and_iris_do_not_split_statements() {
+        let body = "ex:v1.2 ex:p \"dot . dot\" . ex:a ex:p <http://x/y.z> .";
+        let chunks = split_turtle_body(body, 1, 8).unwrap();
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks[0].text.contains("v1.2"));
+        assert!(chunks[1].text.contains("y.z"));
+    }
+
+    #[test]
+    fn turtle_line_numbers_track_newlines() {
+        let doc = "@prefix ex: <http://ex.org/> .\n\nex:a ex:p ex:b .\nex:broken ex:p [ ] .\n";
+        let prologue = lex_turtle_prologue(doc).unwrap();
+        let chunk = Chunk {
+            text: &doc[prologue.body_offset..],
+            first_line: prologue.body_first_line,
+        };
+        let mut lexer = TurtleChunkLexer::new(chunk, prologue.prefixes, prologue.base);
+        let mut count = 0usize;
+        let error = loop {
+            match lexer.next_statement(|_| count += 1) {
+                Ok(true) => {}
+                Ok(false) => panic!("expected an error"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(count, 1);
+        assert_eq!(error.line, 4, "error on the 4th document line");
+        assert!(error.message.contains("not supported"));
+    }
+}

@@ -9,16 +9,17 @@
 //! *promotion* mechanism), the affected identifiers are patched in one linear
 //! sweep before the store is finalized.
 
-use crate::ntriples::{parse_ntriples, ParseError};
-use crate::turtle::parse_turtle;
+use crate::ingest::{Ingest, LoaderOptions};
+use crate::ntriples::ParseError;
 use inferray_dictionary::Dictionary;
 use inferray_model::{Graph, Triple};
 use inferray_store::TripleStore;
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::fmt;
 
 /// A fully loaded dataset: the dictionary and the finalized store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadedDataset {
     /// The dictionary holding every term of the dataset.
     pub dictionary: Dictionary,
@@ -64,15 +65,20 @@ impl From<ParseError> for LoadError {
     }
 }
 
-/// Loads decoded triples into a fresh dictionary + store.
-pub fn load_triples<'a>(
-    triples: impl IntoIterator<Item = &'a Triple>,
-) -> Result<LoadedDataset, LoadError> {
+/// Loads decoded triples into a fresh dictionary + store. Accepts owned
+/// triples (`Vec<Triple>`, draining iterators) as well as `&Triple`
+/// iterators, so callers holding a buffer hand it over instead of keeping a
+/// second copy alive for the duration of the load.
+pub fn load_triples<I>(triples: I) -> Result<LoadedDataset, LoadError>
+where
+    I: IntoIterator,
+    I::Item: Borrow<Triple>,
+{
     let mut dictionary = Dictionary::new();
     let mut store = TripleStore::new();
     for triple in triples {
         let encoded = dictionary
-            .encode_triple(triple)
+            .encode_triple(triple.borrow())
             .map_err(|e| LoadError::Encode(e.to_string()))?;
         store.add_triple(encoded);
     }
@@ -86,20 +92,24 @@ pub fn load_graph(graph: &Graph) -> Result<LoadedDataset, LoadError> {
     load_triples(graph.iter())
 }
 
-/// Parses an N-Triples document and loads it.
+/// Parses an N-Triples document and loads it (sequential compatibility
+/// wrapper over the streaming [`Ingest`] pipeline; see [`crate::ingest`] for
+/// the parallel entry point).
 pub fn load_ntriples(input: &str) -> Result<LoadedDataset, LoadError> {
-    let triples = parse_ntriples(input)?;
-    load_triples(triples.iter())
+    Ingest::with_options(LoaderOptions::sequential()).ntriples(input)
 }
 
-/// Parses a Turtle document (subset) and loads it.
+/// Parses a Turtle document (subset) and loads it (sequential compatibility
+/// wrapper over the streaming [`Ingest`] pipeline).
 pub fn load_turtle(input: &str) -> Result<LoadedDataset, LoadError> {
-    let triples = parse_turtle(input)?;
-    load_triples(triples.iter())
+    Ingest::with_options(LoaderOptions::sequential()).turtle(input)
 }
 
 /// Rewrites stale resource identifiers to their promoted property
 /// identifiers across every property table, then drains the promotion list.
+/// Only the sequential one-pass loaders need this; the two-phase ingest
+/// pipeline resolves promotions at dictionary-merge time, before any pair
+/// buffer is built.
 fn apply_promotions(dictionary: &mut Dictionary, store: &mut TripleStore) {
     if !dictionary.has_pending_promotions() {
         return;
@@ -111,16 +121,10 @@ fn apply_promotions(dictionary: &mut Dictionary, store: &mut TripleStore) {
         if let Some(table) = store.table_mut(p) {
             // Tables are still raw (unfinalized) at this point; patch the
             // flat pair buffer in place.
-            let mut pairs: Vec<u64> = table.clone().into_pairs();
-            let mut changed = false;
-            for value in pairs.iter_mut() {
+            for value in table.pairs_mut() {
                 if let Some(&new_id) = remap.get(value) {
                     *value = new_id;
-                    changed = true;
                 }
-            }
-            if changed {
-                *table = inferray_store::PropertyTable::from_pairs(pairs);
             }
         }
     }

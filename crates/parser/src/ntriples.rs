@@ -6,15 +6,20 @@
 //! `"literal"^^<datatype>`), which is also exactly what
 //! [`inferray_model::Term`]'s `Display` produces — so parsing and writing
 //! round-trip.
+//!
+//! Since the streaming-ingest refactor the actual lexing lives in
+//! [`crate::lex`], which works on borrowed slices and is chunk-splittable for
+//! the parallel loader; the functions here are thin compatibility wrappers
+//! that collect owned [`Triple`]s.
 
-use inferray_model::term::unescape_ntriples;
-use inferray_model::{Term, Triple};
+use crate::lex::lex_ntriples_line;
+use inferray_model::Triple;
 use std::fmt;
 
 /// A parse error with its 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// 1-based line (N-Triples) or statement (Turtle) number.
+    /// 1-based line number (for Turtle: the line the statement failed on).
     pub line: usize,
     /// Human-readable description of the problem.
     pub message: String,
@@ -42,8 +47,8 @@ impl std::error::Error for ParseError {}
 pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, ParseError> {
     let mut triples = Vec::new();
     for (i, raw_line) in input.lines().enumerate() {
-        if let Some(triple) = parse_ntriples_line(raw_line, i + 1)? {
-            triples.push(triple);
+        if let Some(triple) = lex_ntriples_line(raw_line, i + 1)? {
+            triples.push(triple.into_triple());
         }
     }
     Ok(triples)
@@ -52,191 +57,13 @@ pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, ParseError> {
 /// Parses a single N-Triples line. Returns `Ok(None)` for blank lines and
 /// comments. `line_number` is only used for error reporting.
 pub fn parse_ntriples_line(line: &str, line_number: usize) -> Result<Option<Triple>, ParseError> {
-    let mut cursor = Cursor::new(line, line_number);
-    cursor.skip_whitespace();
-    if cursor.is_done() || cursor.peek() == Some('#') {
-        return Ok(None);
-    }
-    let subject = cursor.parse_term()?;
-    cursor.skip_whitespace();
-    let predicate = cursor.parse_term()?;
-    cursor.skip_whitespace();
-    let object = cursor.parse_term()?;
-    cursor.skip_whitespace();
-    cursor.expect('.')?;
-    cursor.skip_whitespace();
-    if !cursor.is_done() && cursor.peek() != Some('#') {
-        return Err(cursor.error("trailing content after '.'"));
-    }
-    let triple = Triple::new(subject, predicate, object);
-    if !triple.is_valid() {
-        return Err(ParseError::new(
-            line_number,
-            format!("invalid triple (check term positions): {triple}"),
-        ));
-    }
-    Ok(Some(triple))
-}
-
-/// A character cursor shared by the N-Triples and Turtle parsers.
-pub(crate) struct Cursor<'a> {
-    chars: Vec<char>,
-    pos: usize,
-    line: usize,
-    source: &'a str,
-}
-
-impl<'a> Cursor<'a> {
-    pub(crate) fn new(source: &'a str, line: usize) -> Self {
-        Cursor {
-            chars: source.chars().collect(),
-            pos: 0,
-            line,
-            source,
-        }
-    }
-
-    pub(crate) fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError::new(
-            self.line,
-            format!("{} (in: {:?})", message.into(), self.source),
-        )
-    }
-
-    pub(crate) fn is_done(&self) -> bool {
-        self.pos >= self.chars.len()
-    }
-
-    pub(crate) fn peek(&self) -> Option<char> {
-        self.chars.get(self.pos).copied()
-    }
-
-    /// Peeks `offset` characters ahead of the cursor (0 = same as `peek`).
-    pub(crate) fn peek_offset(&self, offset: usize) -> Option<char> {
-        self.chars.get(self.pos + offset).copied()
-    }
-
-    pub(crate) fn bump(&mut self) -> Option<char> {
-        let c = self.peek();
-        if c.is_some() {
-            self.pos += 1;
-        }
-        c
-    }
-
-    pub(crate) fn skip_whitespace(&mut self) {
-        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
-            self.pos += 1;
-        }
-    }
-
-    pub(crate) fn expect(&mut self, expected: char) -> Result<(), ParseError> {
-        match self.bump() {
-            Some(c) if c == expected => Ok(()),
-            other => Err(self.error(format!("expected '{expected}', found {other:?}"))),
-        }
-    }
-
-    /// Parses one N-Triples term starting at the cursor.
-    pub(crate) fn parse_term(&mut self) -> Result<Term, ParseError> {
-        match self.peek() {
-            Some('<') => self.parse_iri(),
-            Some('_') => self.parse_blank(),
-            Some('"') => self.parse_literal(),
-            other => Err(self.error(format!("expected a term, found {other:?}"))),
-        }
-    }
-
-    pub(crate) fn parse_iri(&mut self) -> Result<Term, ParseError> {
-        self.expect('<')?;
-        let mut iri = String::new();
-        loop {
-            match self.bump() {
-                Some('>') => break,
-                Some(c) if c.is_whitespace() => {
-                    return Err(self.error("whitespace inside IRI"));
-                }
-                Some(c) => iri.push(c),
-                None => return Err(self.error("unterminated IRI")),
-            }
-        }
-        let unescaped = unescape_ntriples(&iri).ok_or_else(|| self.error("bad escape in IRI"))?;
-        Ok(Term::iri(unescaped))
-    }
-
-    pub(crate) fn parse_blank(&mut self) -> Result<Term, ParseError> {
-        self.expect('_')?;
-        self.expect(':')?;
-        let mut label = String::new();
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
-        {
-            label.push(self.bump().expect("peeked"));
-        }
-        // A trailing '.' belongs to the statement terminator, not the label.
-        while label.ends_with('.') {
-            label.pop();
-            self.pos -= 1;
-        }
-        if label.is_empty() {
-            return Err(self.error("empty blank node label"));
-        }
-        Ok(Term::blank(label))
-    }
-
-    /// Parses the quoted, escaped part of a literal (`"…"`), returning the
-    /// unescaped lexical form. Shared by the N-Triples and Turtle parsers.
-    pub(crate) fn parse_quoted_string(&mut self) -> Result<String, ParseError> {
-        self.expect('"')?;
-        let mut lexical = String::new();
-        loop {
-            match self.bump() {
-                Some('\\') => {
-                    lexical.push('\\');
-                    match self.bump() {
-                        Some(c) => lexical.push(c),
-                        None => return Err(self.error("unterminated escape in literal")),
-                    }
-                }
-                Some('"') => break,
-                Some(c) => lexical.push(c),
-                None => return Err(self.error("unterminated literal")),
-            }
-        }
-        unescape_ntriples(&lexical).ok_or_else(|| self.error("bad escape sequence in literal"))
-    }
-
-    pub(crate) fn parse_literal(&mut self) -> Result<Term, ParseError> {
-        let lexical = self.parse_quoted_string()?;
-        match self.peek() {
-            Some('@') => {
-                self.bump();
-                let mut lang = String::new();
-                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
-                    lang.push(self.bump().expect("peeked"));
-                }
-                if lang.is_empty() {
-                    return Err(self.error("empty language tag"));
-                }
-                Ok(Term::lang_literal(lexical, lang))
-            }
-            Some('^') => {
-                self.bump();
-                self.expect('^')?;
-                let datatype = self.parse_iri()?;
-                match datatype {
-                    Term::Iri(dt) => Ok(Term::typed_literal(lexical, dt)),
-                    _ => unreachable!("parse_iri returns IRIs"),
-                }
-            }
-            _ => Ok(Term::plain_literal(lexical)),
-        }
-    }
+    Ok(lex_ntriples_line(line, line_number)?.map(|t| t.into_triple()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use inferray_model::vocab;
+    use inferray_model::{vocab, Term};
 
     #[test]
     fn parses_simple_document() {

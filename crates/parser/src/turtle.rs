@@ -16,374 +16,29 @@
 //! (`"""`) literals are **not** supported and raise a [`ParseError`] that
 //! says so. This keeps the parser small while covering every file the
 //! test-suite and dataset generators produce.
+//!
+//! Since the streaming-ingest refactor the lexing lives in [`crate::lex`]
+//! ([`lex_turtle_prologue`], [`TurtleChunkLexer`]), which yields borrowed
+//! term slices and supports statement-boundary chunking for the parallel
+//! loader; [`parse_turtle`] is a thin compatibility wrapper that runs the
+//! same lexer over the whole document and collects owned [`Triple`]s.
 
-use crate::ntriples::{Cursor, ParseError};
-use inferray_model::{vocab, Term, Triple};
-use std::collections::HashMap;
+use crate::lex::{lex_turtle_prologue, Chunk, TurtleChunkLexer};
+use crate::ntriples::ParseError;
+use inferray_model::Triple;
 
 /// Parses a Turtle document (restricted to the subset described in the
 /// module documentation), returning the triples in document order.
 pub fn parse_turtle(input: &str) -> Result<Vec<Triple>, ParseError> {
-    TurtleParser::new(input).parse_all()
-}
-
-struct TurtleParser<'a> {
-    cursor: Cursor<'a>,
-    prefixes: HashMap<String, String>,
-    base: String,
-    triples: Vec<Triple>,
-}
-
-impl<'a> TurtleParser<'a> {
-    fn new(input: &'a str) -> Self {
-        TurtleParser {
-            cursor: Cursor::new(input, 1),
-            prefixes: HashMap::new(),
-            base: String::new(),
-            triples: Vec::new(),
-        }
-    }
-
-    fn parse_all(mut self) -> Result<Vec<Triple>, ParseError> {
-        loop {
-            self.skip_trivia();
-            if self.cursor.is_done() {
-                break;
-            }
-            if self.at_keyword("@prefix") || self.at_keyword("PREFIX") {
-                self.parse_prefix()?;
-            } else if self.at_keyword("@base") || self.at_keyword("BASE") {
-                self.parse_base()?;
-            } else {
-                self.parse_statement()?;
-            }
-        }
-        Ok(self.triples)
-    }
-
-    /// Skips whitespace and `#` comments (to end of line).
-    fn skip_trivia(&mut self) {
-        loop {
-            self.cursor.skip_whitespace();
-            if self.cursor.peek() == Some('#') {
-                while let Some(c) = self.cursor.bump() {
-                    if c == '\n' {
-                        break;
-                    }
-                }
-            } else {
-                return;
-            }
-        }
-    }
-
-    fn at_keyword(&self, keyword: &str) -> bool {
-        let mut probe = 0usize;
-        for expected in keyword.chars() {
-            match self.peek_at(probe) {
-                Some(c) if c.eq_ignore_ascii_case(&expected) => probe += 1,
-                _ => return false,
-            }
-        }
-        // The keyword must be followed by whitespace.
-        matches!(self.peek_at(probe), Some(c) if c.is_whitespace())
-    }
-
-    fn peek_at(&self, offset: usize) -> Option<char> {
-        // Cursor has no lookahead API beyond peek; emulate with a clone of
-        // the character index arithmetic by peeking the source directly.
-        self.cursor.peek_offset(offset)
-    }
-
-    fn parse_prefix(&mut self) -> Result<(), ParseError> {
-        let sparql_style = self.at_keyword("PREFIX");
-        self.consume_keyword(if sparql_style { "PREFIX" } else { "@prefix" })?;
-        self.skip_trivia();
-        let mut name = String::new();
-        while let Some(c) = self.cursor.peek() {
-            if c == ':' {
-                break;
-            }
-            if c.is_whitespace() {
-                return Err(self.cursor.error("malformed prefix name"));
-            }
-            name.push(c);
-            self.cursor.bump();
-        }
-        self.cursor.expect(':')?;
-        self.skip_trivia();
-        let iri = match self.cursor.parse_iri()? {
-            Term::Iri(iri) => iri,
-            _ => unreachable!(),
-        };
-        self.skip_trivia();
-        if !sparql_style {
-            self.cursor.expect('.')?;
-        } else if self.cursor.peek() == Some('.') {
-            self.cursor.bump();
-        }
-        self.prefixes.insert(name, iri);
-        Ok(())
-    }
-
-    fn parse_base(&mut self) -> Result<(), ParseError> {
-        let sparql_style = self.at_keyword("BASE");
-        self.consume_keyword(if sparql_style { "BASE" } else { "@base" })?;
-        self.skip_trivia();
-        let iri = match self.cursor.parse_iri()? {
-            Term::Iri(iri) => iri,
-            _ => unreachable!(),
-        };
-        self.skip_trivia();
-        if !sparql_style {
-            self.cursor.expect('.')?;
-        } else if self.cursor.peek() == Some('.') {
-            self.cursor.bump();
-        }
-        self.base = iri;
-        Ok(())
-    }
-
-    fn consume_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
-        for expected in keyword.chars() {
-            match self.cursor.bump() {
-                Some(c) if c.eq_ignore_ascii_case(&expected) => {}
-                other => {
-                    return Err(self
-                        .cursor
-                        .error(format!("expected keyword {keyword}, found {other:?}")))
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// Parses `subject predicateObjectList .`
-    fn parse_statement(&mut self) -> Result<(), ParseError> {
-        let subject = self.parse_node()?;
-        loop {
-            self.skip_trivia();
-            let predicate = self.parse_predicate()?;
-            loop {
-                self.skip_trivia();
-                let object = self.parse_node()?;
-                let triple = Triple::new(subject.clone(), predicate.clone(), object);
-                if !triple.is_valid() {
-                    return Err(self.cursor.error(format!("invalid triple: {triple}")));
-                }
-                self.triples.push(triple);
-                self.skip_trivia();
-                match self.cursor.peek() {
-                    Some(',') => {
-                        self.cursor.bump();
-                    }
-                    _ => break,
-                }
-            }
-            self.skip_trivia();
-            match self.cursor.peek() {
-                Some(';') => {
-                    self.cursor.bump();
-                    self.skip_trivia();
-                    // A dangling ';' before '.' is allowed in Turtle.
-                    if self.cursor.peek() == Some('.') {
-                        self.cursor.bump();
-                        return Ok(());
-                    }
-                }
-                Some('.') => {
-                    self.cursor.bump();
-                    return Ok(());
-                }
-                other => {
-                    return Err(self
-                        .cursor
-                        .error(format!("expected ';' or '.', found {other:?}")))
-                }
-            }
-        }
-    }
-
-    fn parse_predicate(&mut self) -> Result<Term, ParseError> {
-        // The `a` keyword: `a` followed by anything that cannot continue a
-        // prefixed name (whitespace, `<` of an IRI, `"` of a literal, …).
-        // Requiring whitespace specifically would wrongly reject compact
-        // forms like `a<http://…>`, while `a:C` or `abc:x` must still parse
-        // as prefixed names.
-        if self.cursor.peek() == Some('a')
-            && !matches!(self.peek_at(1), Some(c) if is_name_continuation(c))
-        {
-            self.cursor.bump();
-            return Ok(Term::iri(vocab::RDF_TYPE));
-        }
-        self.parse_node()
-    }
-
-    /// Parses an IRI, prefixed name, blank node label or literal.
-    fn parse_node(&mut self) -> Result<Term, ParseError> {
-        match self.cursor.peek() {
-            Some('<') => {
-                let term = self.cursor.parse_iri()?;
-                match term {
-                    Term::Iri(iri) if !self.base.is_empty() && !has_scheme(&iri) => {
-                        Ok(Term::iri(resolve_against_base(&self.base, &iri)))
-                    }
-                    other => Ok(other),
-                }
-            }
-            Some('_') => self.cursor.parse_blank(),
-            Some('"') => {
-                // Parse the quoted part here so that the datatype suffix can
-                // be either `^^<iri>` or a prefixed name (`^^xsd:integer`).
-                let lexical = self.cursor.parse_quoted_string()?;
-                match self.cursor.peek() {
-                    Some('@') => {
-                        self.cursor.bump();
-                        let mut lang = String::new();
-                        while matches!(self.peek_at(0), Some(c) if c.is_ascii_alphanumeric() || c == '-')
-                        {
-                            lang.push(self.cursor.bump().expect("peeked"));
-                        }
-                        if lang.is_empty() {
-                            return Err(self.cursor.error("empty language tag"));
-                        }
-                        Ok(Term::lang_literal(lexical, lang))
-                    }
-                    Some('^') => {
-                        self.cursor.bump();
-                        self.cursor.expect('^')?;
-                        let datatype = if self.cursor.peek() == Some('<') {
-                            self.cursor.parse_iri()?
-                        } else {
-                            self.parse_prefixed_name()?
-                        };
-                        match datatype {
-                            Term::Iri(dt) => Ok(Term::typed_literal(lexical, dt)),
-                            _ => Err(self.cursor.error("malformed datatype annotation")),
-                        }
-                    }
-                    _ => Ok(Term::plain_literal(lexical)),
-                }
-            }
-            Some('[') => Err(self
-                .cursor
-                .error("anonymous blank nodes [...] are not supported by this Turtle subset")),
-            Some('(') => Err(self
-                .cursor
-                .error("collections (...) are not supported by this Turtle subset")),
-            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.parse_numeric(),
-            Some(_) => {
-                if self.at_keyword_value("true") {
-                    return Ok(Term::typed_literal(
-                        "true",
-                        format!("{}boolean", vocab::XSD_NS),
-                    ));
-                }
-                if self.at_keyword_value("false") {
-                    return Ok(Term::typed_literal(
-                        "false",
-                        format!("{}boolean", vocab::XSD_NS),
-                    ));
-                }
-                self.parse_prefixed_name()
-            }
-            None => Err(self.cursor.error("unexpected end of input")),
-        }
-    }
-
-    fn at_keyword_value(&mut self, keyword: &str) -> bool {
-        if !self.at_keyword_loose(keyword) {
-            return false;
-        }
-        for _ in 0..keyword.len() {
-            self.cursor.bump();
-        }
-        true
-    }
-
-    fn at_keyword_loose(&self, keyword: &str) -> bool {
-        let mut probe = 0usize;
-        for expected in keyword.chars() {
-            match self.peek_at(probe) {
-                Some(c) if c == expected => probe += 1,
-                _ => return false,
-            }
-        }
-        match self.peek_at(probe) {
-            None => true,
-            Some(c) => c.is_whitespace() || c == '.' || c == ';' || c == ',',
-        }
-    }
-
-    fn parse_numeric(&mut self) -> Result<Term, ParseError> {
-        let mut text = String::new();
-        while matches!(self.cursor.peek(), Some(c) if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E')
-        {
-            // A '.' followed by whitespace/end is the statement terminator.
-            if self.cursor.peek() == Some('.')
-                && !matches!(self.peek_at(1), Some(c) if c.is_ascii_digit())
-            {
-                break;
-            }
-            text.push(self.cursor.bump().expect("peeked"));
-        }
-        if text.is_empty() {
-            return Err(self.cursor.error("expected a numeric literal"));
-        }
-        let datatype = if text.contains('.') || text.contains('e') || text.contains('E') {
-            format!("{}decimal", vocab::XSD_NS)
-        } else {
-            format!("{}integer", vocab::XSD_NS)
-        };
-        Ok(Term::typed_literal(text, datatype))
-    }
-
-    fn parse_prefixed_name(&mut self) -> Result<Term, ParseError> {
-        let mut prefix = String::new();
-        while let Some(c) = self.cursor.peek() {
-            if c == ':' {
-                break;
-            }
-            if c.is_whitespace() || c == ';' || c == ',' || c == '.' {
-                return Err(self
-                    .cursor
-                    .error(format!("expected a prefixed name, found {prefix:?}")));
-            }
-            prefix.push(c);
-            self.cursor.bump();
-        }
-        self.cursor.expect(':')?;
-        let mut local = String::new();
-        while let Some(c) = self.cursor.peek() {
-            if c.is_whitespace() || c == ';' || c == ',' {
-                break;
-            }
-            if c == '.' {
-                // A dot ends the local name only when followed by
-                // whitespace/end (statement terminator).
-                match self.peek_at(1) {
-                    Some(next) if !next.is_whitespace() => {}
-                    _ => break,
-                }
-            }
-            local.push(c);
-            self.cursor.bump();
-        }
-        let namespace = self
-            .prefixes
-            .get(&prefix)
-            .ok_or_else(|| self.cursor.error(format!("undeclared prefix '{prefix}:'")))?;
-        Ok(Term::iri(format!("{namespace}{local}")))
-    }
-}
-
-/// `true` when `c` can continue a prefixed-name token started by a letter
-/// (the PN_CHARS-ish set this subset accepts, plus the `:` that introduces
-/// the local part and the `.`/`%` that may appear inside a name). Used to
-/// decide whether a leading `a` is the `rdf:type` keyword or the start of a
-/// name such as `a:C` or `abc:x`.
-fn is_name_continuation(c: char) -> bool {
-    c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':' | '%')
+    let prologue = lex_turtle_prologue(input)?;
+    let body = Chunk {
+        text: &input[prologue.body_offset..],
+        first_line: prologue.body_first_line,
+    };
+    let mut lexer = TurtleChunkLexer::new(body, prologue.prefixes, prologue.base);
+    let mut triples = Vec::new();
+    while lexer.next_statement(|t| triples.push(t.into_triple()))? {}
+    Ok(triples)
 }
 
 /// `true` when `iri` is an absolute IRI reference, i.e. starts with a scheme
@@ -391,7 +46,7 @@ fn is_name_continuation(c: char) -> bool {
 /// appearing after the first `/`, `?` or `#` — as in `foo/bar:baz` or
 /// `#frag:x` — belongs to the path/query/fragment of a *relative* reference,
 /// which must still be resolved against the base.
-fn has_scheme(iri: &str) -> bool {
+pub(crate) fn has_scheme(iri: &str) -> bool {
     let mut chars = iri.chars();
     match chars.next() {
         Some(c) if c.is_ascii_alphabetic() => {}
@@ -414,7 +69,7 @@ fn has_scheme(iri: &str) -> bool {
 /// higher up are honoured: a network-path reference (`//host/x`) keeps only
 /// the base's scheme, and an absolute-path reference (`/x`) keeps the
 /// base's scheme and authority.
-fn resolve_against_base(base: &str, reference: &str) -> String {
+pub(crate) fn resolve_against_base(base: &str, reference: &str) -> String {
     if let Some((scheme, after_authority)) = base.split_once("://") {
         if reference.starts_with("//") {
             return format!("{scheme}:{reference}");
@@ -431,7 +86,7 @@ fn resolve_against_base(base: &str, reference: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use inferray_model::vocab;
+    use inferray_model::{vocab, Term};
 
     #[test]
     fn parses_prefixes_and_a_keyword() {

@@ -1,0 +1,253 @@
+//! The streaming-ingest determinism contract, property-tested: at any
+//! thread count and any chunk size, the parallel ingest pipeline must
+//! produce a dictionary and store **byte-identical** to the sequential
+//! escape hatch and to the legacy one-pass loader — dense identifiers,
+//! registration order, resource→property promotions, per-table pair buffers
+//! and parse-error line numbers included.
+
+use inferray_parser::{
+    load_ntriples, load_turtle, Ingest, LoadError, LoadedDataset, LoaderOptions,
+};
+use proptest::prelude::*;
+
+/// A small closed world of term spellings that stresses the interning key
+/// (escapes, unicode, datatypes, language tags) and the promotion machinery
+/// (terms used both as subjects/objects and as predicates, schema
+/// predicates, property-class `rdf:type` objects).
+fn arbitrary_statement() -> impl Strategy<Value = String> {
+    let name = "[a-z]{1,6}";
+    let entity = name.prop_map(|n| format!("<http://ex.org/{n}>"));
+    let predicate = prop_oneof![
+        // A tiny predicate pool: the same IRIs keep showing up as subjects
+        // and objects of schema triples, so promotions fire constantly.
+        "[pqr]{1,2}".prop_map(|n| format!("<http://ex.org/{n}>")),
+        Just("<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>".to_string()),
+        Just("<http://www.w3.org/2000/01/rdf-schema#subClassOf>".to_string()),
+        Just("<http://www.w3.org/2000/01/rdf-schema#subPropertyOf>".to_string()),
+        Just("<http://www.w3.org/2000/01/rdf-schema#domain>".to_string()),
+        Just("<http://www.w3.org/2000/01/rdf-schema#range>".to_string()),
+        Just("<http://www.w3.org/2002/07/owl#inverseOf>".to_string()),
+    ];
+    let object = prop_oneof![
+        entity.clone(),
+        // Predicate-pool IRIs in object position (promotion bait).
+        "[pqr]{1,2}".prop_map(|n| format!("<http://ex.org/{n}>")),
+        Just("<http://www.w3.org/2002/07/owl#TransitiveProperty>".to_string()),
+        Just("<http://www.w3.org/2002/07/owl#FunctionalProperty>".to_string()),
+        "[A-Za-z0-9]{0,8}".prop_map(|l| format!("_:{}b", l)),
+        // Literals with characters that exercise escaping and unicode.
+        prop_oneof![
+            "[a-zA-Z0-9 ]{0,16}",
+            Just("line1\\nline2 \\\"q\\\" é語🦀".to_string()),
+        ]
+        .prop_map(|l| format!("\"{l}\"")),
+        "[a-z]{1,8}".prop_map(|l| format!("\"{l}\"@en-GB")),
+        "[0-9]{1,6}".prop_map(|l| format!("\"{l}\"^^<http://www.w3.org/2001/XMLSchema#integer>")),
+    ];
+    let subject = prop_oneof![
+        entity,
+        "[pqr]{1,2}".prop_map(|n| format!("<http://ex.org/{n}>")),
+        "[A-Za-z0-9]{0,8}".prop_map(|l| format!("_:{}b", l)),
+    ];
+    (subject, predicate, object).prop_map(|(s, p, o)| format!("{s} {p} {o} ."))
+}
+
+fn arbitrary_document() -> impl Strategy<Value = String> {
+    prop::collection::vec(arbitrary_statement(), 0..60).prop_map(|statements| {
+        let mut doc = String::new();
+        for (i, statement) in statements.iter().enumerate() {
+            if i % 9 == 0 {
+                doc.push_str("# comment line\n\n");
+            }
+            doc.push_str(statement);
+            doc.push('\n');
+        }
+        doc
+    })
+}
+
+fn assert_datasets_identical(expected: &LoadedDataset, actual: &LoadedDataset, label: &str) {
+    // `LoadedDataset` equality is structural over the dictionary maps, the
+    // dense term tables and every per-property pair buffer; spell out the
+    // most diagnostic pieces first so failures read well.
+    assert_eq!(
+        expected.dictionary.num_properties(),
+        actual.dictionary.num_properties(),
+        "{label}: property count diverged"
+    );
+    assert_eq!(
+        expected.dictionary.num_resources(),
+        actual.dictionary.num_resources(),
+        "{label}: resource count diverged"
+    );
+    for ((id_a, term_a), (id_b, term_b)) in expected.dictionary.iter().zip(actual.dictionary.iter())
+    {
+        assert_eq!(
+            (id_a, term_a),
+            (id_b, term_b),
+            "{label}: dictionary diverged"
+        );
+    }
+    for (p, table) in expected.store.iter_tables() {
+        let other = actual
+            .store
+            .table(p)
+            .unwrap_or_else(|| panic!("{label}: table {p} missing"));
+        assert_eq!(table.pairs(), other.pairs(), "{label}: table {p} diverged");
+    }
+    assert_eq!(expected, actual, "{label}: datasets diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Parallel ingest == sequential ingest == legacy loader, for every
+    /// thread count × chunk size combination thrown at it.
+    #[test]
+    fn parallel_ingest_is_byte_identical(
+        doc in arbitrary_document(),
+        threads in 2usize..6,
+        chunk_bytes in 16usize..2048,
+    ) {
+        let sequential = Ingest::with_options(LoaderOptions::sequential())
+            .ntriples(&doc)
+            .expect("generated documents are valid");
+        let legacy = load_ntriples(&doc).expect("generated documents are valid");
+        assert_datasets_identical(&legacy, &sequential, "sequential-vs-legacy");
+
+        let parallel = Ingest::with_options(LoaderOptions {
+            threads: Some(threads),
+            chunk_bytes: Some(chunk_bytes),
+        })
+        .ntriples(&doc)
+        .expect("generated documents are valid");
+        assert_datasets_identical(&sequential, &parallel, "parallel-vs-sequential");
+    }
+
+    /// A malformed line reports the same 1-based line number and message no
+    /// matter where the chunk boundaries fall.
+    #[test]
+    fn parse_errors_are_identical_across_chunk_boundaries(
+        prefix in arbitrary_document(),
+        suffix in arbitrary_document(),
+        threads in 2usize..6,
+        chunk_bytes in 16usize..512,
+    ) {
+        let doc = format!("{prefix}<http://ex.org/broken\n{suffix}");
+        let sequential = Ingest::with_options(LoaderOptions::sequential())
+            .ntriples(&doc)
+            .expect_err("the injected line is malformed");
+        let parallel = Ingest::with_options(LoaderOptions {
+            threads: Some(threads),
+            chunk_bytes: Some(chunk_bytes),
+        })
+        .ntriples(&doc)
+        .expect_err("the injected line is malformed");
+        match (&sequential, &parallel) {
+            (LoadError::Parse(a), LoadError::Parse(b)) => {
+                prop_assert_eq!(a.line, b.line);
+                prop_assert_eq!(&a.message, &b.message);
+            }
+            other => panic!("expected parse errors, got {other:?}"),
+        }
+    }
+
+    /// Turtle: statement-boundary chunking (predicate/object lists, shared
+    /// prefixes, promotions) is invisible in the result.
+    #[test]
+    fn turtle_ingest_is_byte_identical(
+        locals in prop::collection::vec("[a-z]{1,5}", 1..25),
+        threads in 2usize..6,
+        chunk_bytes in 16usize..512,
+    ) {
+        let mut doc = String::from(
+            "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             @prefix owl: <http://www.w3.org/2002/07/owl#> .\n\
+             @prefix ex: <http://ex.org/> .\n",
+        );
+        for (i, local) in locals.iter().enumerate() {
+            match i % 5 {
+                // Schema statements that promote instance-position terms.
+                0 => doc.push_str(&format!("ex:{local} rdfs:domain ex:Dom{i} .\n")),
+                1 => doc.push_str(&format!("ex:{local} owl:inverseOf ex:inv{local} .\n")),
+                2 => doc.push_str(&format!(
+                    "ex:s{i} ex:{local} ex:o{i} , ex:o{} ; a ex:C{} .\n",
+                    i + 1,
+                    i % 3
+                )),
+                3 => doc.push_str(&format!(
+                    "ex:s{i} ex:age {i} ; ex:name \"n{local}\"@en .\n"
+                )),
+                _ => doc.push_str(&format!("ex:{local} a owl:TransitiveProperty .\n")),
+            }
+        }
+        let legacy = load_turtle(&doc).expect("generated turtle is valid");
+        let sequential = Ingest::with_options(LoaderOptions::sequential())
+            .turtle(&doc)
+            .expect("generated turtle is valid");
+        assert_datasets_identical(&legacy, &sequential, "turtle-sequential-vs-legacy");
+        let parallel = Ingest::with_options(LoaderOptions {
+            threads: Some(threads),
+            chunk_bytes: Some(chunk_bytes),
+        })
+        .turtle(&doc)
+        .expect("generated turtle is valid");
+        assert_datasets_identical(&sequential, &parallel, "turtle-parallel-vs-sequential");
+    }
+}
+
+/// Promotion chains crossing many chunk boundaries in both directions:
+/// property-before-resource and resource-before-property, interleaved with
+/// filler so every chunking splits them differently.
+#[test]
+fn promotion_stress_across_chunkings() {
+    let mut doc = String::new();
+    for i in 0..40 {
+        doc.push_str(&format!(
+            "<http://ex.org/prop{i}> <http://www.w3.org/2000/01/rdf-schema#domain> <http://ex.org/C{i}> .\n"
+        ));
+        for j in 0..5 {
+            doc.push_str(&format!(
+                "<http://ex.org/s{i}x{j}> <http://ex.org/filler{j}> <http://ex.org/prop{}> .\n",
+                (i + 7) % 40
+            ));
+        }
+        doc.push_str(&format!(
+            "<http://ex.org/a{i}> <http://ex.org/prop{}> <http://ex.org/b{i}> .\n",
+            39 - i
+        ));
+    }
+    let sequential = Ingest::with_options(LoaderOptions::sequential())
+        .ntriples(&doc)
+        .unwrap();
+    let legacy = load_ntriples(&doc).unwrap();
+    assert_datasets_identical(&legacy, &sequential, "sequential-vs-legacy");
+    for chunk_bytes in [32, 257, 1024, 1 << 16] {
+        let parallel = Ingest::with_options(LoaderOptions {
+            threads: Some(4),
+            chunk_bytes: Some(chunk_bytes),
+        })
+        .ntriples(&doc)
+        .unwrap();
+        assert_datasets_identical(&sequential, &parallel, "parallel-vs-sequential");
+    }
+}
+
+/// The global-pool default path (threads: None) is exercised too.
+#[test]
+fn default_options_use_the_global_pool_and_stay_identical() {
+    let doc: String = (0..500)
+        .map(|i| {
+            format!(
+                "<http://ex.org/s{}> <http://ex.org/p{}> \"v{i}\" .\n",
+                i % 100,
+                i % 11
+            )
+        })
+        .collect();
+    let sequential = Ingest::with_options(LoaderOptions::sequential())
+        .ntriples(&doc)
+        .unwrap();
+    let parallel = Ingest::new().ntriples(&doc).unwrap();
+    assert_datasets_identical(&sequential, &parallel, "global-pool");
+}

@@ -8,7 +8,7 @@
 use inferray_sort::{sort_pairs_auto_dedup, sort_pairs_auto_dedup_with, swap_pairs, SortScratch};
 
 /// The sorted pair array of one predicate, with its lazy object-sorted cache.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PropertyTable {
     /// Flat `[s0, o0, s1, o1, …]`, sorted on ⟨s,o⟩ and duplicate-free when
     /// `dirty` is false.
@@ -30,13 +30,25 @@ impl PropertyTable {
     /// Creates a table from raw (possibly unsorted, possibly duplicated)
     /// pairs and finalizes it.
     pub fn from_pairs(pairs: Vec<u64>) -> Self {
-        let mut table = PropertyTable {
+        let mut table = PropertyTable::from_raw(pairs);
+        table.finalize();
+        table
+    }
+
+    /// Creates a table from raw pairs **without** finalizing it, so the
+    /// caller can finalize against its own reusable
+    /// [`SortScratch`](inferray_sort::SortScratch) (the parallel ingest
+    /// path builds one table per lane this way).
+    pub fn from_raw(pairs: Vec<u64>) -> Self {
+        assert!(
+            pairs.len().is_multiple_of(2),
+            "pair array must have even length"
+        );
+        PropertyTable {
             so: pairs,
             os: None,
             dirty: true,
-        };
-        table.finalize();
-        table
+        }
     }
 
     /// Number of pairs currently stored (including not-yet-finalized ones).
@@ -107,6 +119,16 @@ impl PropertyTable {
     /// Iterates over the pairs as `(s, o)` tuples, in ⟨s,o⟩ order.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.pairs().chunks_exact(2).map(|p| (p[0], p[1]))
+    }
+
+    /// Mutable access to the raw flat pair buffer, for in-place identifier
+    /// patching (the loader's promotion rewrite). The table is marked dirty —
+    /// patched values may violate the sort order — and the ⟨o,s⟩ cache is
+    /// dropped; callers re-[`finalize`](PropertyTable::finalize) afterwards.
+    pub fn pairs_mut(&mut self) -> &mut [u64] {
+        self.dirty = true;
+        self.os = None;
+        &mut self.so
     }
 
     /// Builds (if needed) the ⟨o,s⟩-sorted cache. Returns the number of

@@ -14,7 +14,7 @@ use inferray_model::IdTriple;
 
 /// A vertically partitioned triple store: one [`PropertyTable`] per
 /// predicate.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TripleStore {
     /// Slot `i` holds the table of the property with dense index `i`.
     tables: Vec<Option<PropertyTable>>,
