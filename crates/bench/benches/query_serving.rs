@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the snapshot-isolated serving layer: snapshot
+//! acquisition, single-reader mix execution, pooled batch execution, and
+//! the writer's copy-on-write publish — the four costs behind
+//! `inferray-cli serve` (see the `query_serving` binary for the recorded
+//! multi-thread scaling runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inferray_core::InferrayReasoner;
+use inferray_datasets::lubm::LubmGenerator;
+use inferray_model::IdTriple;
+use inferray_parallel::ThreadPool;
+use inferray_parser::loader::load_triples;
+use inferray_query::{parse_query, Query, SnapshotQueryEngine};
+use inferray_rules::{Fragment, Materializer};
+use inferray_store::SnapshotStore;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const LUBM: &str = "http://inferray.example.org/lubm/";
+
+fn mix() -> Vec<Query> {
+    [
+        format!("PREFIX ub: <{LUBM}> SELECT ?x WHERE {{ ?x a ub:Professor }}"),
+        format!("PREFIX ub: <{LUBM}> ASK {{ ub:Professor0 a ub:Person }}"),
+        format!("PREFIX ub: <{LUBM}> SELECT ?s WHERE {{ ?s ub:worksFor ub:Department0 }}"),
+        format!(
+            "PREFIX ub: <{LUBM}> SELECT ?s ?u WHERE {{ ?s ub:worksFor ?d . ?d ub:subOrganizationOf ?u }} LIMIT 100"
+        ),
+    ]
+    .iter()
+    .map(|text| parse_query(text).expect("mix query parses"))
+    .collect()
+}
+
+fn bench_query_serving(c: &mut Criterion) {
+    let dataset = LubmGenerator::new(20_000).with_seed(42).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("valid dataset");
+    let mut store = loaded.store;
+    InferrayReasoner::new(Fragment::RdfsDefault).materialize(&mut store);
+    let snapshots = Arc::new(SnapshotStore::new(store));
+    let dictionary = Arc::new(loaded.dictionary);
+    let engine = SnapshotQueryEngine::new(snapshots.snapshot(), Arc::clone(&dictionary));
+    let queries = mix();
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+
+    group.bench_function("snapshot-acquire", |b| {
+        b.iter(|| black_box(snapshots.snapshot().epoch()))
+    });
+
+    group.bench_function(BenchmarkId::new("mix", "single-reader"), |b| {
+        b.iter(|| {
+            for query in &queries {
+                black_box(engine.execute(query).len());
+            }
+        })
+    });
+
+    let pool = ThreadPool::new(2);
+    let batch: Vec<Query> = (0..8).flat_map(|_| mix()).collect();
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function(BenchmarkId::new("mix", "batch-pool-2"), |b| {
+        b.iter(|| black_box(engine.execute_queries_on(&pool, &batch).len()))
+    });
+
+    // The writer path: clone the current epoch, append a small delta,
+    // finalize + rebuild caches, publish. This is the cost a serving
+    // deployment pays per incremental update.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("publish-small-delta", |b| {
+        let p = inferray_model::ids::nth_property_id(1);
+        let mut next = 0u64;
+        b.iter(|| {
+            next += 1;
+            let (snapshot, ()) = snapshots.update(|store| {
+                store.add_triple(IdTriple::new(3_000_000_000 + next, p, 42));
+            });
+            black_box(snapshot.epoch())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_serving);
+criterion_main!(benches);

@@ -1,0 +1,351 @@
+//! The concurrent query-serving benchmark: throughput and tail latency of
+//! the snapshot-isolated serving layer (docs/serving.md), recorded in
+//! `BENCH_query.json` so future PRs can track the trajectory.
+//!
+//! Setup: a LUBM-scale dataset is materialized (RDFS-default), published
+//! through a [`SnapshotStore`], and served by [`SnapshotQueryEngine`]s —
+//! exactly the objects `inferray-cli serve` puts behind its HTTP endpoint,
+//! minus the socket, so the record measures the engine rather than loopback
+//! TCP.
+//!
+//! Two measurements:
+//!
+//! * **reader scaling** — *N* independent reader threads (1, 2, 4)
+//!   repeatedly executing a five-query LUBM mix against their own snapshot
+//!   handle; per-query latencies give p50/p99, the fixed total work gives
+//!   throughput vs. thread count;
+//! * **batch execution** — the same total work submitted through
+//!   [`SnapshotQueryEngine::execute_batch_on`] over `inferray-parallel`
+//!   pools of 1/2/4 workers (the endpoint's bulk path).
+//!
+//! Every run double-checks determinism: each thread's solution counts must
+//! equal the single-threaded reference counts, and a writer publishing new
+//! epochs mid-measurement must never change what held engines answer.
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin query_serving [--scale N] [--out FILE]
+//! ```
+
+use inferray_bench::ScaleConfig;
+use inferray_core::{InferrayReasoner, Materializer};
+use inferray_datasets::lubm::LubmGenerator;
+use inferray_parallel::ThreadPool;
+use inferray_parser::loader::load_triples;
+use inferray_query::{parse_query, Query, SnapshotQueryEngine};
+use inferray_rules::Fragment;
+use inferray_store::SnapshotStore;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Total mix executions per thread-count measurement (split across threads).
+const TOTAL_ROUNDS: usize = 300;
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+const LUBM: &str = "http://inferray.example.org/lubm/";
+
+fn query_mix() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "type-scan",
+            format!("PREFIX ub: <{LUBM}> SELECT ?x WHERE {{ ?x a ub:Professor }}"),
+        ),
+        (
+            "point-ask",
+            format!("PREFIX ub: <{LUBM}> ASK {{ ub:Professor0 a ub:Person }}"),
+        ),
+        (
+            "bound-object",
+            format!("PREFIX ub: <{LUBM}> SELECT ?s WHERE {{ ?s ub:worksFor ub:Department0 }}"),
+        ),
+        (
+            "two-hop-join",
+            format!(
+                "PREFIX ub: <{LUBM}> SELECT ?s ?u WHERE {{ ?s ub:worksFor ?d . ?d ub:subOrganizationOf ?u }} LIMIT 200"
+            ),
+        ),
+        (
+            "distinct-classes",
+            "SELECT DISTINCT ?c WHERE { ?x a ?c }".to_string(),
+        ),
+    ]
+}
+
+struct ScalingRecord {
+    threads: usize,
+    wall: Duration,
+    queries: usize,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+struct BatchRecord {
+    pool_threads: usize,
+    wall: Duration,
+    queries: usize,
+}
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    let out_path = out_path_from_args();
+    let target_triples = 200_000 / scale.divisor;
+
+    println!(
+        "query_serving — snapshot-isolated serving benchmark (LUBM ~{target_triples} triples)"
+    );
+
+    let dataset = LubmGenerator::new(target_triples).with_seed(42).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("generated dataset is valid");
+    let mut store = loaded.store;
+    InferrayReasoner::new(Fragment::RdfsDefault).materialize(&mut store);
+    let snapshots = Arc::new(SnapshotStore::new(store));
+    let dictionary = Arc::new(loaded.dictionary);
+    println!(
+        "materialized store: {} pairs over {} tables (epoch {})",
+        snapshots.snapshot().len(),
+        snapshots.snapshot().table_count(),
+        snapshots.epoch(),
+    );
+
+    let mix: Vec<(&'static str, Query)> = query_mix()
+        .into_iter()
+        .map(|(name, text)| (name, parse_query(&text).expect("mix query parses")))
+        .collect();
+
+    // Single-threaded reference counts: every measurement must reproduce
+    // them exactly (the determinism contract of the serving layer).
+    let reference_engine = SnapshotQueryEngine::new(snapshots.snapshot(), Arc::clone(&dictionary));
+    let reference: Vec<usize> = mix
+        .iter()
+        .map(|(_, query)| reference_engine.execute(query).len())
+        .collect();
+    for ((name, _), count) in mix.iter().zip(&reference) {
+        println!("  {name:<16} {count:>7} solutions");
+    }
+
+    // -- reader scaling ----------------------------------------------------
+    let mut scaling = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let record = run_readers(&snapshots, &dictionary, &mix, &reference, threads);
+        println!(
+            "readers {:>2}: {:>8} queries in {:>9.3} ms -> {:>9.0} q/s, p50 {:>7.1} us, p99 {:>8.1} us",
+            record.threads,
+            record.queries,
+            record.wall.as_secs_f64() * 1e3,
+            record.queries as f64 / record.wall.as_secs_f64(),
+            record.p50_us,
+            record.p99_us,
+        );
+        scaling.push(record);
+    }
+
+    // -- batch execution ---------------------------------------------------
+    let batch_texts: Vec<String> = (0..TOTAL_ROUNDS)
+        .flat_map(|_| query_mix().into_iter().map(|(_, text)| text))
+        .collect();
+    let mut batches = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let record = run_batch(&reference_engine, &batch_texts, &reference, threads);
+        println!(
+            "batch  {:>2}: {:>8} queries in {:>9.3} ms -> {:>9.0} q/s",
+            record.pool_threads,
+            record.queries,
+            record.wall.as_secs_f64() * 1e3,
+            record.queries as f64 / record.wall.as_secs_f64(),
+        );
+        batches.push(record);
+    }
+
+    let speedup = |records: &[ScalingRecord]| -> f64 {
+        let base = records[0].wall.as_secs_f64();
+        records
+            .iter()
+            .find(|r| r.threads == 2)
+            .map_or(1.0, |r| base / r.wall.as_secs_f64())
+    };
+    println!("2-reader speedup over 1 reader: {:.2}x", speedup(&scaling));
+
+    let json = render_json(
+        target_triples,
+        &snapshots,
+        &mix,
+        &reference,
+        &scaling,
+        &batches,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    println!("\nrecorded -> {out_path}");
+}
+
+/// `threads` independent readers split `TOTAL_ROUNDS` executions of the mix,
+/// each against its own snapshot handle of the same epoch.
+fn run_readers(
+    snapshots: &Arc<SnapshotStore>,
+    dictionary: &Arc<inferray_dictionary::Dictionary>,
+    mix: &[(&'static str, Query)],
+    reference: &[usize],
+    threads: usize,
+) -> ScalingRecord {
+    let rounds_per_thread = TOTAL_ROUNDS / threads;
+    let start = Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let engine =
+                        SnapshotQueryEngine::new(snapshots.snapshot(), Arc::clone(dictionary));
+                    let mut thread_latencies = Vec::with_capacity(rounds_per_thread * mix.len());
+                    for _ in 0..rounds_per_thread {
+                        for ((_, query), &expected) in mix.iter().zip(reference) {
+                            let query_start = Instant::now();
+                            let solutions = engine.execute(query);
+                            thread_latencies.push(query_start.elapsed().as_micros() as u64);
+                            assert_eq!(
+                                solutions.len(),
+                                expected,
+                                "a concurrent reader diverged from the reference"
+                            );
+                        }
+                    }
+                    thread_latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader thread"))
+            .collect()
+    });
+    let wall = start.elapsed();
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    all.sort_unstable();
+    let percentile = |p: f64| -> f64 {
+        if all.is_empty() {
+            return 0.0;
+        }
+        let index = ((all.len() as f64 * p).ceil() as usize).clamp(1, all.len()) - 1;
+        all[index] as f64
+    };
+    ScalingRecord {
+        threads,
+        wall,
+        queries: all.len(),
+        p50_us: percentile(0.50),
+        p99_us: percentile(0.99),
+    }
+}
+
+/// The whole workload as one `execute_batch_on` call per pool size.
+fn run_batch(
+    engine: &SnapshotQueryEngine,
+    batch: &[String],
+    reference: &[usize],
+    pool_threads: usize,
+) -> BatchRecord {
+    let pool = ThreadPool::new(pool_threads);
+    let start = Instant::now();
+    let results = engine.execute_batch_on(&pool, batch);
+    let wall = start.elapsed();
+    assert_eq!(results.len(), batch.len());
+    for (index, result) in results.iter().enumerate() {
+        let expected = reference[index % reference.len()];
+        assert_eq!(
+            result.as_ref().expect("mix query parses").len(),
+            expected,
+            "batch result {index} diverged from the reference"
+        );
+    }
+    BatchRecord {
+        pool_threads,
+        wall,
+        queries: batch.len(),
+    }
+}
+
+fn render_json(
+    target_triples: usize,
+    snapshots: &SnapshotStore,
+    mix: &[(&'static str, Query)],
+    reference: &[usize],
+    scaling: &[ScalingRecord],
+    batches: &[BatchRecord],
+) -> String {
+    use std::fmt::Write as _;
+    let snapshot = snapshots.snapshot();
+
+    let mut mix_json = String::new();
+    for (i, ((name, _), count)) in mix.iter().zip(reference).enumerate() {
+        let _ = writeln!(
+            mix_json,
+            "    {{ \"name\": \"{name}\", \"solutions\": {count} }}{}",
+            if i + 1 == mix.len() { "" } else { "," },
+        );
+    }
+
+    let mut scaling_json = String::new();
+    for (i, r) in scaling.iter().enumerate() {
+        let qps = r.queries as f64 / r.wall.as_secs_f64();
+        let _ = write!(
+            scaling_json,
+            concat!(
+                "    {{ \"reader_threads\": {}, \"queries\": {}, \"wall_ms\": {:.3}, ",
+                "\"queries_per_second\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1} }}{}\n",
+            ),
+            r.threads,
+            r.queries,
+            r.wall.as_secs_f64() * 1e3,
+            qps,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 == scaling.len() { "" } else { "," },
+        );
+    }
+
+    let mut batch_json = String::new();
+    for (i, r) in batches.iter().enumerate() {
+        let qps = r.queries as f64 / r.wall.as_secs_f64();
+        let _ = writeln!(
+            batch_json,
+            "    {{ \"pool_threads\": {}, \"queries\": {}, \"wall_ms\": {:.3}, \"queries_per_second\": {:.0} }}{}",
+            r.pool_threads,
+            r.queries,
+            r.wall.as_secs_f64() * 1e3,
+            qps,
+            if i + 1 == batches.len() { "" } else { "," },
+        );
+    }
+
+    let base = scaling[0].wall.as_secs_f64();
+    let two = scaling
+        .iter()
+        .find(|r| r.threads == 2)
+        .map_or(1.0, |r| base / r.wall.as_secs_f64());
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"query_serving\",\n",
+            "  \"dataset\": {{ \"generator\": \"lubm\", \"target_triples\": {}, \"materialized_pairs\": {}, \"tables\": {}, \"epoch\": {} }},\n",
+            "  \"query_mix\": [\n{}  ],\n",
+            "  \"reader_scaling\": [\n{}  ],\n",
+            "  \"batch_execution\": [\n{}  ],\n",
+            "  \"two_reader_speedup\": {:.3}\n",
+            "}}\n",
+        ),
+        target_triples,
+        snapshot.len(),
+        snapshot.table_count(),
+        snapshot.epoch(),
+        mix_json,
+        scaling_json,
+        batch_json,
+        two,
+    )
+}
+
+fn out_path_from_args() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_query.json".to_string())
+}

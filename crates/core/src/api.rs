@@ -7,10 +7,13 @@
 //! into one call.
 
 use crate::{InferrayOptions, InferrayReasoner};
-use inferray_model::Graph;
-use inferray_parser::loader::{load_graph, LoadError};
-use inferray_parser::{Ingest, LoaderOptions};
+use inferray_dictionary::Dictionary;
+use inferray_model::{Graph, IdTriple, Triple};
+use inferray_parser::loader::{load_graph, LoadError, LoadedDataset};
+use inferray_parser::{parse_ntriples, Ingest, LoaderOptions};
 use inferray_rules::{Fragment, InferenceStats, Materializer};
+use inferray_store::{SnapshotStore, StoreSnapshot};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// The result of reasoning over a decoded graph.
 #[derive(Debug, Clone)]
@@ -105,10 +108,170 @@ fn finish(
     Ok(ReasonedGraph { graph, stats })
 }
 
+// ---------------------------------------------------------------------------
+// Concurrent serving
+// ---------------------------------------------------------------------------
+
+/// A materialized dataset published for concurrent query serving: the
+/// epoch/`Arc`-swap [`SnapshotStore`] paired with the dictionary that
+/// encoded it.
+///
+/// This is the **writer side** of the serving design (docs/serving.md).
+/// Readers sample a consistent `(store snapshot, dictionary)` pair with
+/// [`ServingDataset::snapshot`] and keep querying that frozen epoch for as
+/// long as they like; writers assert new triples with
+/// [`ServingDataset::extend`] / [`ServingDataset::extend_ntriples`], which
+/// run the incremental reasoner ([`InferrayReasoner::materialize_delta`])
+/// on a **private copy** of the current store and publish the result as a
+/// new epoch with one pointer swap. A reader holding epoch *n* never
+/// observes any intermediate state of the materialization — that is the
+/// snapshot-isolation contract proven by `tests/snapshot_isolation.rs`.
+///
+/// Publication order: the (append-only) dictionary is swapped *before* the
+/// store, so a reader pairing "current store, then current dictionary" can
+/// at worst see a dictionary that is a superset of what its store snapshot
+/// references — which decodes every identifier correctly. The inverse
+/// order could leave a store snapshot with identifiers its paired
+/// dictionary has never heard of.
+#[derive(Debug)]
+pub struct ServingDataset {
+    snapshots: SnapshotStore,
+    dictionary: RwLock<Arc<Dictionary>>,
+    /// Serializes writers: an extend must clone the latest dictionary and
+    /// store, or a concurrent extend's terms would be lost on publish.
+    writer: Mutex<()>,
+    fragment: Fragment,
+    options: InferrayOptions,
+}
+
+impl ServingDataset {
+    /// Fully materializes `fragment` over a loaded dataset and publishes
+    /// the result as epoch 0.
+    pub fn materialize(
+        loaded: LoadedDataset,
+        fragment: Fragment,
+        options: InferrayOptions,
+    ) -> (Self, InferenceStats) {
+        let mut store = loaded.store;
+        let stats = InferrayReasoner::with_options(fragment, options).materialize(&mut store);
+        let dataset = ServingDataset {
+            snapshots: SnapshotStore::new(store),
+            dictionary: RwLock::new(Arc::new(loaded.dictionary)),
+            writer: Mutex::new(()),
+            fragment,
+            options,
+        };
+        (dataset, stats)
+    }
+
+    /// The entailment fragment every epoch of this dataset is closed under.
+    pub fn fragment(&self) -> Fragment {
+        self.fragment
+    }
+
+    /// The store snapshot alone, for embedders that do not need the
+    /// dictionary. The cell itself stays private: publishing through
+    /// `SnapshotStore::update` directly would bypass this type's writer
+    /// lock and dictionary versioning (lost updates, undecodable ids) —
+    /// all writes go through [`ServingDataset::extend`].
+    pub fn store_snapshot(&self) -> StoreSnapshot {
+        self.snapshots.snapshot()
+    }
+
+    /// The epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.snapshots.epoch()
+    }
+
+    /// A consistent `(store snapshot, dictionary)` pair: the dictionary can
+    /// decode every identifier of the snapshot (see the type docs for the
+    /// ordering argument).
+    pub fn snapshot(&self) -> (StoreSnapshot, Arc<Dictionary>) {
+        let snapshot = self.snapshots.snapshot();
+        let dictionary = self
+            .dictionary
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        (snapshot, dictionary)
+    }
+
+    /// Asserts decoded triples and incrementally re-materializes: the delta
+    /// is encoded against a private copy of the dictionary, closed under
+    /// the fragment with [`InferrayReasoner::materialize_delta`] on a
+    /// private copy of the store, and both are published atomically enough
+    /// for readers (dictionary first, then the store epoch swap). Readers
+    /// holding older snapshots are unaffected.
+    pub fn extend(
+        &self,
+        triples: impl IntoIterator<Item = Triple>,
+    ) -> Result<InferenceStats, LoadError> {
+        let guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+
+        // Private copies of the current pair.
+        let mut dictionary: Dictionary = {
+            let current = self.dictionary.read().unwrap_or_else(|e| e.into_inner());
+            (**current).clone()
+        };
+        let mut store = self.snapshots.snapshot().store().clone();
+
+        let mut delta: Vec<IdTriple> = Vec::new();
+        for triple in triples {
+            delta.push(
+                dictionary
+                    .encode_triple(&triple)
+                    .map_err(|e| LoadError::Encode(e.to_string()))?,
+            );
+        }
+        // A delta may use an already-interned *resource* as a predicate,
+        // which promotes it to a new property identifier. Both the copied
+        // store and any delta triple encoded before the promotion still
+        // carry the stale resource id in subject/object position; patch
+        // them like the loader does before reasoning over the pair.
+        if dictionary.has_pending_promotions() {
+            let remap: std::collections::HashMap<u64, u64> =
+                dictionary.take_promotions().into_iter().collect();
+            let properties: Vec<u64> = store.property_ids().collect();
+            for p in properties {
+                if let Some(table) = store.table_mut(p) {
+                    for value in table.pairs_mut() {
+                        if let Some(&new_id) = remap.get(value) {
+                            *value = new_id;
+                        }
+                    }
+                }
+            }
+            store.finalize();
+            for triple in &mut delta {
+                if let Some(&new_id) = remap.get(&triple.s) {
+                    triple.s = new_id;
+                }
+                if let Some(&new_id) = remap.get(&triple.o) {
+                    triple.o = new_id;
+                }
+            }
+        }
+        let mut reasoner = InferrayReasoner::with_options(self.fragment, self.options);
+        let stats = reasoner.materialize_delta(&mut store, delta);
+
+        // Publish: dictionary before store (see the type docs).
+        *self.dictionary.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(dictionary);
+        self.snapshots.publish(store);
+        drop(guard);
+        Ok(stats)
+    }
+
+    /// [`ServingDataset::extend`] from an N-Triples document.
+    pub fn extend_ntriples(&self, text: &str) -> Result<InferenceStats, LoadError> {
+        let triples = parse_ntriples(text).map_err(LoadError::from)?;
+        self.extend(triples)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use inferray_model::{vocab, Triple};
+    use inferray_model::{vocab, Term, Triple};
 
     fn family() -> Graph {
         let mut g = Graph::new();
@@ -173,5 +336,160 @@ ex:Bart a ex:human .
         let result = reason_graph(&Graph::new(), Fragment::RdfsPlus).unwrap();
         assert!(result.graph.is_empty());
         assert_eq!(result.stats.inferred_triples(), 0);
+    }
+
+    // -- ServingDataset ----------------------------------------------------
+
+    fn serving_family() -> ServingDataset {
+        let loaded = inferray_parser::loader::load_graph(&family()).unwrap();
+        let (dataset, stats) =
+            ServingDataset::materialize(loaded, Fragment::RdfsDefault, InferrayOptions::default());
+        assert_eq!(stats.inferred_triples(), 3);
+        dataset
+    }
+
+    fn contains(dataset: &ServingDataset, s: &str, p: &str, o: &str) -> bool {
+        let (snapshot, dictionary) = dataset.snapshot();
+        let triple = Triple::iris(s, p, o);
+        let encode = |t: &Term| dictionary.id_of(t);
+        match (
+            encode(&triple.subject),
+            encode(&triple.predicate),
+            encode(&triple.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => {
+                snapshot.contains(&inferray_model::IdTriple::new(s, p, o))
+            }
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn serving_dataset_publishes_the_materialization_as_epoch_zero() {
+        let dataset = serving_family();
+        assert_eq!(dataset.epoch(), 0);
+        assert_eq!(dataset.fragment(), Fragment::RdfsDefault);
+        let (snapshot, _) = dataset.snapshot();
+        assert_eq!(snapshot.len(), 6);
+        assert!(contains(
+            &dataset,
+            "http://ex/Bart",
+            vocab::RDF_TYPE,
+            "http://ex/animal"
+        ));
+    }
+
+    #[test]
+    fn extend_publishes_a_new_epoch_and_old_snapshots_stay_frozen() {
+        let dataset = serving_family();
+        let (old_snapshot, _) = dataset.snapshot();
+
+        let stats = dataset
+            .extend([Triple::iris(
+                "http://ex/Lisa",
+                vocab::RDF_TYPE,
+                "http://ex/human",
+            )])
+            .unwrap();
+        // Lisa a human ⇒ mammal, animal inferred incrementally.
+        assert_eq!(stats.inferred_triples(), 2);
+        assert_eq!(dataset.epoch(), 1);
+
+        assert!(contains(
+            &dataset,
+            "http://ex/Lisa",
+            vocab::RDF_TYPE,
+            "http://ex/animal"
+        ));
+        // The pre-extend snapshot still holds exactly the old triple set.
+        assert_eq!(old_snapshot.epoch(), 0);
+        assert_eq!(old_snapshot.len(), 6);
+    }
+
+    #[test]
+    fn extend_ntriples_interns_new_terms_for_new_readers() {
+        let dataset = serving_family();
+        dataset
+            .extend_ntriples(
+                "<http://ex/Maggie> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/human> .\n",
+            )
+            .unwrap();
+        assert!(contains(
+            &dataset,
+            "http://ex/Maggie",
+            vocab::RDF_TYPE,
+            "http://ex/mammal"
+        ));
+        assert!(dataset.extend_ntriples("<broken").is_err());
+        assert_eq!(dataset.epoch(), 1, "a failed extend publishes nothing");
+    }
+
+    #[test]
+    fn extend_handles_property_promotions() {
+        // 'rel' is first interned as a plain resource (object position)...
+        let loaded = inferray_parser::loader::load_graph(&{
+            let mut g = Graph::new();
+            g.insert_iris("http://ex/a", "http://ex/about", "http://ex/rel");
+            g
+        })
+        .unwrap();
+        let (dataset, _) =
+            ServingDataset::materialize(loaded, Fragment::RdfsDefault, InferrayOptions::default());
+        // ...and the delta now uses it as a predicate, forcing a promotion
+        // that must rewrite the copied store before reasoning.
+        dataset
+            .extend([Triple::iris("http://ex/x", "http://ex/rel", "http://ex/y")])
+            .unwrap();
+        assert!(contains(
+            &dataset,
+            "http://ex/x",
+            "http://ex/rel",
+            "http://ex/y"
+        ));
+        assert!(contains(
+            &dataset,
+            "http://ex/a",
+            "http://ex/about",
+            "http://ex/rel"
+        ));
+        let (snapshot, dictionary) = dataset.snapshot();
+        let rel = dictionary.id_of(&Term::iri("http://ex/rel")).unwrap();
+        assert!(inferray_model::ids::is_property_id(rel));
+        assert_eq!(snapshot.table(rel).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_extends_and_readers_agree_at_the_end() {
+        let dataset = std::sync::Arc::new(serving_family());
+        std::thread::scope(|scope| {
+            for t in 0..3u32 {
+                let dataset = std::sync::Arc::clone(&dataset);
+                scope.spawn(move || {
+                    for i in 0..5u32 {
+                        dataset
+                            .extend([Triple::iris(
+                                format!("http://ex/w{t}n{i}"),
+                                vocab::RDF_TYPE,
+                                "http://ex/human",
+                            )])
+                            .unwrap();
+                    }
+                });
+            }
+            // Readers sample consistent pairs while writers publish.
+            for _ in 0..20 {
+                let (snapshot, dictionary) = dataset.snapshot();
+                for triple in snapshot.iter_triples() {
+                    assert!(
+                        dictionary.decode_triple(triple).is_some(),
+                        "snapshot id not decodable by its paired dictionary"
+                    );
+                }
+            }
+        });
+        assert_eq!(dataset.epoch(), 15);
+        // 15 new humans, each with human/mammal/animal types.
+        let (snapshot, _) = dataset.snapshot();
+        assert_eq!(snapshot.len(), 6 + 15 * 3);
     }
 }

@@ -37,7 +37,7 @@ pub mod reasoner;
 
 pub use api::{
     reason_graph, reason_ntriples, reason_ntriples_with, reason_turtle, reason_turtle_with,
-    ReasonedGraph,
+    ReasonedGraph, ServingDataset,
 };
 pub use iteration::{IterationProfile, IterationSample};
 pub use options::InferrayOptions;

@@ -150,6 +150,21 @@ impl Term {
     }
 }
 
+/// `true` when `tag` has the language-tag shape the N-Triples grammar
+/// requires: `[a-zA-Z]+ ('-' [a-zA-Z0-9]+)*` (the BCP 47 well-formedness
+/// skeleton). Rejects the empty tag, non-ASCII letters, and leading,
+/// trailing or doubled `-` — both parsers (`inferray-parser`'s lexer and
+/// `inferray-query`'s SPARQL tokenizer) enforce this same shape so a tag
+/// either round-trips everywhere or parses nowhere.
+pub fn valid_language_tag(tag: &str) -> bool {
+    let mut parts = tag.split('-');
+    let primary = parts.next().unwrap_or("");
+    if primary.is_empty() || !primary.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return false;
+    }
+    parts.all(|subtag| !subtag.is_empty() && subtag.bytes().all(|b| b.is_ascii_alphanumeric()))
+}
+
 /// Escapes a string for inclusion in an N-Triples quoted literal or IRI.
 ///
 /// Only the escapes required by the N-Triples grammar are produced:
@@ -275,6 +290,27 @@ mod tests {
     fn lang_literal_display_and_lowercasing() {
         let t = Term::lang_literal("bonjour", "FR");
         assert_eq!(t.to_string(), "\"bonjour\"@fr");
+    }
+
+    #[test]
+    fn language_tag_shape() {
+        for good in ["en", "de-AT", "zh-Hans-CN", "x-klingon", "a", "en-1997"] {
+            assert!(valid_language_tag(good), "{good} should be accepted");
+        }
+        for bad in [
+            "",
+            "-en",
+            "en-",
+            "en--us",
+            "1en",
+            "en_US",
+            "français",
+            "én",
+            "e n",
+            "42",
+        ] {
+            assert!(!valid_language_tag(bad), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -409,8 +409,11 @@ impl<'a> Scan<'a> {
             self.bump();
         }
         let raw = &self.input[start..self.pos];
-        if raw.is_empty() {
-            return Err(self.error("empty language tag"));
+        // The N-Triples grammar's BCP 47 shape: `[a-zA-Z]+('-'[a-zA-Z0-9]+)*`
+        // — rejects the empty tag, leading digits, and leading/trailing/
+        // doubled '-'.
+        if !inferray_model::term::valid_language_tag(raw) {
+            return Err(self.error(format!("malformed language tag '@{raw}'")));
         }
         // RDF term equality lower-cases language tags (see Term::lang_literal).
         if raw.bytes().any(|b| b.is_ascii_uppercase()) {
@@ -1103,6 +1106,28 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn malformed_language_tags_are_rejected() {
+        for tag in ["", "-en", "en-", "en--us", "7up"] {
+            let line = format!("<http://ex/a> <http://ex/p> \"x\"@{tag} .");
+            let error = lex_ntriples_line(&line, 1).expect_err("must reject @{tag}");
+            assert!(
+                error.message.contains("language tag"),
+                "unexpected error for @{tag}: {}",
+                error.message
+            );
+        }
+        // '_' is not a tag character: the tag ends at "en" and the stray
+        // '_' makes the statement malformed.
+        assert!(lex_ntriples_line("<http://ex/a> <http://ex/p> \"x\"@en_US .", 1).is_err());
+        // Well-formed tags (including multi-subtag, digits after the first
+        // subtag) still lex.
+        for tag in ["en", "de-AT", "zh-Hans-CN", "en-1997"] {
+            let line = format!("<http://ex/a> <http://ex/p> \"x\"@{tag} .");
+            assert!(lex_ntriples_line(&line, 1).is_ok(), "@{tag} should lex");
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@ use inferray_parser::{parse_ntriples, to_ntriples_string};
 use proptest::prelude::*;
 
 /// Lexical forms that stress the escaping rules: quotes, backslashes,
-/// newlines, tabs, and non-ASCII text.
+/// newlines, tabs, every `\u{0}`–`\u{1F}` control character, and non-ASCII
+/// text.
 fn arbitrary_lexical() -> impl Strategy<Value = String> {
     prop_oneof![
         // Plain alphanumeric words.
@@ -28,11 +29,29 @@ fn arbitrary_lexical() -> impl Strategy<Value = String> {
             0..12
         )
         .prop_map(|chars| chars.into_iter().collect()),
+        // C0 control characters (\u{0}..=\u{1F}) interleaved with text:
+        // '\n', '\r' and '\t' are written as escapes, the rest must pass
+        // through the writer and the byte-oriented lexer verbatim.
+        prop::collection::vec(
+            prop_oneof![
+                (0u32..0x20u32).prop_map(|c| char::from_u32(c).expect("C0 is valid")),
+                Just('x'),
+                Just('"'),
+            ],
+            0..16
+        )
+        .prop_map(|chars| chars.into_iter().collect()),
     ]
 }
 
 fn arbitrary_iri() -> impl Strategy<Value = String> {
     "[a-z]{1,8}".prop_map(|local| format!("http://example.org/{local}"))
+}
+
+/// Well-formed language tags, including multi-subtag and digit subtags —
+/// the `[a-zA-Z]+('-'[a-zA-Z0-9]+)*` shape both parsers enforce.
+fn arbitrary_language() -> impl Strategy<Value = String> {
+    "[a-zA-Z]{1,4}(-[a-zA-Z0-9]{1,4}){0,2}"
 }
 
 fn arbitrary_object() -> impl Strategy<Value = Term> {
@@ -41,7 +60,7 @@ fn arbitrary_object() -> impl Strategy<Value = Term> {
         "[A-Za-z][A-Za-z0-9]{0,8}".prop_map(Term::blank),
         arbitrary_lexical().prop_map(Term::plain_literal),
         (arbitrary_lexical(), arbitrary_iri()).prop_map(|(lex, dt)| Term::typed_literal(lex, dt)),
-        (arbitrary_lexical(), "[a-z]{2}(-[a-z]{2})?")
+        (arbitrary_lexical(), arbitrary_language())
             .prop_map(|(lex, lang)| Term::lang_literal(lex, lang)),
         any::<i64>().prop_map(Term::integer),
     ]
@@ -127,6 +146,30 @@ fn malformed_documents_are_rejected_with_line_numbers() {
     ] {
         let error = parse_ntriples(input).expect_err("must be rejected");
         assert_eq!(error.line, expect_line, "wrong line for {input:?}");
+    }
+}
+
+#[test]
+fn every_c0_control_character_survives_a_concrete_roundtrip() {
+    // All 32 C0 controls in one lexical form, across plain, typed and
+    // language-tagged literals.
+    let lexical: String = (0u32..0x20)
+        .map(|c| char::from_u32(c).expect("C0 is valid"))
+        .collect();
+    let objects = [
+        Term::plain_literal(lexical.as_str()),
+        Term::typed_literal(lexical.as_str(), "http://example.org/dt"),
+        Term::lang_literal(lexical.as_str(), "en-Latn-1a"),
+    ];
+    for object in objects {
+        let triple = Triple::new(
+            Term::iri("http://example.org/s"),
+            Term::iri("http://example.org/p"),
+            object,
+        );
+        let serialized = to_ntriples_string([&triple]);
+        let parsed = parse_ntriples(&serialized).expect("writer output must parse");
+        assert_eq!(parsed, vec![triple], "failed for {serialized:?}");
     }
 }
 

@@ -27,6 +27,18 @@
 //! aggregates, …) is rejected at parse time rather than silently
 //! mis-evaluated.
 //!
+//! ## Serving
+//!
+//! [`QueryEngine`] borrows its store — right for embedding, wrong for
+//! serving. The [`serving`] module adds the `Send + Sync`
+//! [`SnapshotQueryEngine`], which owns an epoch-stamped
+//! [`StoreSnapshot`](inferray_store::StoreSnapshot) plus a shared
+//! dictionary and fans query batches out over the `inferray-parallel`
+//! pool with deterministic result order; the [`server`] module exposes
+//! either over a std-only SPARQL-over-HTTP endpoint
+//! (`inferray-cli serve`). See `docs/serving.md` for the snapshot
+//! lifecycle and the isolation contract.
+//!
 //! ## Typical use
 //!
 //! ```
@@ -66,10 +78,14 @@ pub mod algebra;
 mod engine;
 mod executor;
 mod planner;
+pub mod server;
+pub mod serving;
 pub mod solution;
 pub mod sparql;
 
 pub use algebra::{FilterExpr, PatternTerm, Query, QueryForm, Selection, TriplePatternSpec};
 pub use engine::QueryEngine;
+pub use server::{EngineSource, SparqlServer};
+pub use serving::SnapshotQueryEngine;
 pub use solution::{EncodedRow, SolutionSet};
 pub use sparql::{parse_query, QueryParseError};

@@ -151,6 +151,42 @@ mod tests {
     }
 
     #[test]
+    fn leading_unbound_predicate_pattern_is_deferred() {
+        // Written order starts with a whole-store scan (`?x ?p ?y`): the
+        // row-explosion guard must schedule the selective bound-predicate
+        // pattern first, because a bound-predicate pattern never costs more
+        // than its table (≤ store size) while an unconstrained unbound
+        // predicate is costed as a full scan with slack (size × 1.5).
+        let store = store();
+        let p_small = nth_property_id(20);
+        let patterns = vec![
+            pattern(Slot::Var(0), Slot::Var(1), Slot::Var(2)),
+            pattern(Slot::Var(0), Slot::Bound(p_small), Slot::Var(3)),
+        ];
+        let ordered = order_patterns(&store, patterns);
+        assert_eq!(ordered[0].p, Slot::Bound(p_small));
+        assert!(matches!(ordered[1].p, Slot::Var(_)));
+    }
+
+    #[test]
+    fn unconstrained_scan_never_precedes_any_bound_predicate_pattern() {
+        // The invariant behind the guard, checked against both tables: even
+        // the *largest* property table is preferred over the unbound scan.
+        let store = store();
+        let total = store.len();
+        let bound = HashSet::new();
+        let scan = pattern(Slot::Var(0), Slot::Var(1), Slot::Var(2));
+        let scan_cost = pattern_cost(&store, &scan, &bound, total);
+        for p in [nth_property_id(20), nth_property_id(21)] {
+            let candidate = pattern(Slot::Var(0), Slot::Bound(p), Slot::Var(1));
+            assert!(
+                pattern_cost(&store, &candidate, &bound, total) < scan_cost,
+                "bound-predicate pattern over table {p} must beat the scan"
+            );
+        }
+    }
+
+    #[test]
     fn fully_bound_pattern_wins() {
         let store = store();
         let p_large = nth_property_id(21);

@@ -1,0 +1,654 @@
+//! A std-only SPARQL-over-HTTP endpoint.
+//!
+//! The serving story of this repository (docs/serving.md) ends at a socket:
+//! `inferray-cli serve` exposes the materialized store to concurrent
+//! clients. This module implements that endpoint with nothing but
+//! `std::net` — a deliberately minimal HTTP/1.1 subset (request line,
+//! headers, `Content-Length` bodies, `Connection: close` responses), enough
+//! for `curl`, load generators and the integration tests, with zero new
+//! dependencies.
+//!
+//! ## Routes
+//!
+//! * `GET /sparql?query=<percent-encoded query>` — evaluate one query;
+//! * `POST /sparql` — query in the body, either raw
+//!   (`Content-Type: application/sparql-query`) or form-encoded
+//!   (`query=<percent-encoded>`);
+//! * `GET /status` — the current snapshot epoch and store size.
+//!
+//! Responses use the SPARQL 1.1 Query Results JSON format:
+//! `{"head":{"vars":[…]},"results":{"bindings":[…]}}` for `SELECT`,
+//! `{"head":{},"boolean":…}` for `ASK`; malformed queries get a `400` with
+//! a JSON error body.
+//!
+//! ## Concurrency model
+//!
+//! `--threads N` spawns *N* worker threads that all `accept` on the shared
+//! listener; each request samples the **current** snapshot engine from its
+//! [`EngineSource`] and evaluates against that frozen epoch, so a
+//! materialization that publishes mid-request never tears a response —
+//! requests started before the swap answer from the old epoch, requests
+//! started after it from the new one.
+
+use crate::algebra::QueryForm;
+use crate::serving::SnapshotQueryEngine;
+use crate::solution::SolutionSet;
+use crate::sparql::parse_query;
+use inferray_model::Term;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Provides the snapshot engine a request should be answered against.
+///
+/// The server calls [`EngineSource::current`] once per request: a source
+/// backed by a [`SnapshotStore`](inferray_store::SnapshotStore) hands out
+/// the latest published epoch, while a plain [`SnapshotQueryEngine`] serves
+/// one frozen epoch forever (useful for tests and static deployments).
+pub trait EngineSource: Send + Sync + 'static {
+    /// The engine for the next request.
+    fn current(&self) -> SnapshotQueryEngine;
+}
+
+impl EngineSource for SnapshotQueryEngine {
+    fn current(&self) -> SnapshotQueryEngine {
+        self.clone()
+    }
+}
+
+impl<F> EngineSource for F
+where
+    F: Fn() -> SnapshotQueryEngine + Send + Sync + 'static,
+{
+    fn current(&self) -> SnapshotQueryEngine {
+        self()
+    }
+}
+
+/// A running SPARQL endpoint; dropping it without calling
+/// [`SparqlServer::shutdown`] leaves the worker threads serving until the
+/// process exits.
+pub struct SparqlServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SparqlServer {
+    /// Binds `addr` (e.g. `127.0.0.1:8080`; port 0 picks a free port) and
+    /// serves requests on `threads` worker threads.
+    pub fn bind(
+        addr: &str,
+        threads: usize,
+        source: Arc<dyn EngineSource>,
+    ) -> std::io::Result<SparqlServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let stop = Arc::clone(&stop);
+                let source = Arc::clone(&source);
+                std::thread::Builder::new()
+                    .name(format!("inferray-serve-{i}"))
+                    .spawn(move || worker_loop(&listener, &stop, source.as_ref()))
+                    .expect("failed to spawn server worker")
+            })
+            .collect();
+        Ok(SparqlServer {
+            addr,
+            stop,
+            workers,
+        })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks every worker and joins them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake each worker blocked in accept() with a throwaway connection.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(listener: &TcpListener, stop: &AtomicBool, source: &dyn EngineSource) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Persistent accept errors (fd exhaustion, EMFILE) must not
+                // turn the worker into a 100%-CPU spin loop.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // A stalled client must not wedge a worker forever.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let _ = handle_connection(stream, source);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+struct Request {
+    method: String,
+    path: String,
+    content_type: String,
+    body: Vec<u8>,
+}
+
+fn handle_connection(stream: TcpStream, source: &dyn EngineSource) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(message) => {
+            let mut stream = reader.into_inner();
+            return respond(&mut stream, 400, "application/json", &error_json(&message));
+        }
+    };
+    let mut stream = reader.into_inner();
+
+    let (path, query_string) = match request.path.split_once('?') {
+        Some((path, qs)) => (path, Some(qs)),
+        None => (request.path.as_str(), None),
+    };
+
+    match (request.method.as_str(), path) {
+        ("GET", "/status") => {
+            let engine = source.current();
+            let body = format!(
+                "{{\"epoch\":{},\"triples\":{},\"tables\":{}}}\n",
+                engine.epoch(),
+                engine.snapshot().len(),
+                engine.snapshot().table_count(),
+            );
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        ("GET", "/sparql") => match query_from_query_string(query_string.unwrap_or("")) {
+            Some(query) => answer_query(&mut stream, source, &query),
+            None => respond(
+                &mut stream,
+                400,
+                "application/json",
+                &error_json("missing 'query' parameter"),
+            ),
+        },
+        ("POST", "/sparql") => {
+            let body = String::from_utf8_lossy(&request.body).into_owned();
+            let query = if request
+                .content_type
+                .starts_with("application/x-www-form-urlencoded")
+            {
+                query_from_query_string(&body)
+            } else {
+                // application/sparql-query (or anything else): raw query text.
+                Some(body)
+            };
+            match query {
+                Some(query) if !query.trim().is_empty() => {
+                    answer_query(&mut stream, source, &query)
+                }
+                _ => respond(
+                    &mut stream,
+                    400,
+                    "application/json",
+                    &error_json("empty query"),
+                ),
+            }
+        }
+        ("GET" | "POST", _) => respond(
+            &mut stream,
+            404,
+            "application/json",
+            &error_json("unknown path (use /sparql or /status)"),
+        ),
+        _ => respond(
+            &mut stream,
+            405,
+            "application/json",
+            &error_json("method not allowed"),
+        ),
+    }
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+    // The whole head (request line + headers) is read through a byte cap:
+    // a drip-fed endless line must error out, not grow a String forever.
+    const MAX_HEAD: u64 = 64 << 10;
+    let mut head = reader.by_ref().take(MAX_HEAD);
+
+    let mut line = String::new();
+    head.read_line(&mut line)
+        .map_err(|e| format!("bad request line: {e}"))?;
+    if !line.ends_with('\n') {
+        return Err("request line too long".to_owned());
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let path = parts.next().ok_or("request line without path")?.to_owned();
+
+    let mut content_length = 0usize;
+    let mut content_type = String::new();
+    loop {
+        let mut header = String::new();
+        head.read_line(&mut header)
+            .map_err(|e| format!("bad header: {e}"))?;
+        if !header.ends_with('\n') {
+            return Err("header section too large".to_owned());
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad Content-Length '{value}'"))?;
+            } else if name.eq_ignore_ascii_case("content-type") {
+                content_type = value.to_ascii_lowercase();
+            }
+        }
+    }
+    // An unbounded Content-Length would let one request allocate the moon.
+    const MAX_BODY: usize = 16 << 20;
+    if content_length > MAX_BODY {
+        return Err(format!("body too large ({content_length} bytes)"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("truncated body: {e}"))?;
+    Ok(Request {
+        method,
+        path,
+        content_type,
+        body,
+    })
+}
+
+/// Extracts and percent-decodes the `query` parameter of a query string or
+/// form-encoded body.
+fn query_from_query_string(qs: &str) -> Option<String> {
+    for pair in qs.split('&') {
+        let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+        if name == "query" {
+            return Some(percent_decode(value));
+        }
+    }
+    None
+}
+
+fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            byte => {
+                out.push(byte);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn answer_query(
+    stream: &mut TcpStream,
+    source: &dyn EngineSource,
+    text: &str,
+) -> std::io::Result<()> {
+    let query = match parse_query(text) {
+        Ok(query) => query,
+        Err(error) => {
+            return respond(
+                stream,
+                400,
+                "application/json",
+                &error_json(&error.to_string()),
+            )
+        }
+    };
+    // One engine — hence one frozen epoch — for the whole request.
+    let engine = source.current();
+    let solutions = engine.execute(&query);
+    let body = match query.form {
+        QueryForm::Ask => format!("{{\"head\":{{}},\"boolean\":{}}}\n", !solutions.is_empty()),
+        QueryForm::Select => results_json(&solutions, &engine),
+    };
+    respond(stream, 200, "application/sparql-results+json", &body)
+}
+
+/// Renders a solution set in the SPARQL 1.1 Query Results JSON format.
+fn results_json(solutions: &SolutionSet, engine: &SnapshotQueryEngine) -> String {
+    let mut out = String::with_capacity(64 + solutions.len() * 64);
+    out.push_str("{\"head\":{\"vars\":[");
+    for (i, var) in solutions.variables().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape_into(&mut out, var);
+        out.push('"');
+    }
+    out.push_str("]},\"results\":{\"bindings\":[");
+    let dictionary = engine.dictionary();
+    for (row_index, row) in solutions.rows().iter().enumerate() {
+        if row_index > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        let mut first = true;
+        for (var, id) in solutions.variables().iter().zip(row.iter()) {
+            let Some(term) = id.and_then(|id| dictionary.decode(id)) else {
+                continue; // unbound variables are omitted from the binding
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            json_escape_into(&mut out, var);
+            out.push_str("\":");
+            term_json_into(&mut out, term);
+        }
+        out.push('}');
+    }
+    out.push_str("]}}\n");
+    out
+}
+
+fn term_json_into(out: &mut String, term: &Term) {
+    match term {
+        Term::Iri(iri) => {
+            out.push_str("{\"type\":\"uri\",\"value\":\"");
+            json_escape_into(out, iri);
+            out.push_str("\"}");
+        }
+        Term::BlankNode(label) => {
+            out.push_str("{\"type\":\"bnode\",\"value\":\"");
+            json_escape_into(out, label);
+            out.push_str("\"}");
+        }
+        Term::Literal {
+            lexical,
+            datatype,
+            language,
+        } => {
+            out.push_str("{\"type\":\"literal\",\"value\":\"");
+            json_escape_into(out, lexical);
+            out.push('"');
+            if let Some(language) = language {
+                out.push_str(",\"xml:lang\":\"");
+                json_escape_into(out, language);
+                out.push('"');
+            } else if let Some(datatype) = datatype {
+                out.push_str(",\"datatype\":\"");
+                json_escape_into(out, datatype);
+                out.push('"');
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn json_escape_into(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn error_json(message: &str) -> String {
+    let mut out = String::from("{\"error\":\"");
+    json_escape_into(&mut out, message);
+    out.push_str("\"}\n");
+    out
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_dictionary::Dictionary;
+    use inferray_model::Triple;
+    use inferray_store::{SnapshotStore, TripleStore};
+
+    fn service() -> (Arc<SnapshotStore>, Arc<Dictionary>) {
+        let mut dictionary = Dictionary::new();
+        let triples = [
+            Triple::iris("http://ex/alice", "http://ex/knows", "http://ex/bob"),
+            Triple::iris("http://ex/bob", "http://ex/knows", "http://ex/carol"),
+            Triple::new(
+                Term::iri("http://ex/alice"),
+                Term::iri("http://ex/name"),
+                Term::lang_literal("Alice", "en"),
+            ),
+        ];
+        let encoded: Vec<_> = triples
+            .iter()
+            .map(|t| dictionary.encode_triple(t).unwrap())
+            .collect();
+        let store = TripleStore::from_triples(encoded);
+        (Arc::new(SnapshotStore::new(store)), Arc::new(dictionary))
+    }
+
+    fn start_server() -> (SparqlServer, Arc<SnapshotStore>, Arc<Dictionary>) {
+        let (snapshots, dictionary) = service();
+        let source = {
+            let snapshots = Arc::clone(&snapshots);
+            let dictionary = Arc::clone(&dictionary);
+            move || SnapshotQueryEngine::new(snapshots.snapshot(), Arc::clone(&dictionary))
+        };
+        let server = SparqlServer::bind("127.0.0.1:0", 2, Arc::new(source)).expect("bind loopback");
+        (server, snapshots, dictionary)
+    }
+
+    fn http(addr: SocketAddr, request: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, body)| body.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn get_select_query_returns_sparql_json() {
+        let (server, _snapshots, _dictionary) = start_server();
+        let addr = server.local_addr();
+        let query = percent_encode_for_test(
+            "SELECT ?x ?z WHERE { ?x <http://ex/knows> ?y . ?y <http://ex/knows> ?z }",
+        );
+        let (status, body) = http(
+            addr,
+            &format!("GET /sparql?query={query} HTTP/1.1\r\nHost: t\r\n\r\n"),
+        );
+        assert_eq!(status, 200, "body: {body}");
+        assert!(body.contains("\"vars\":[\"x\",\"z\"]"), "body: {body}");
+        assert!(body.contains("http://ex/alice"), "body: {body}");
+        assert!(body.contains("http://ex/carol"), "body: {body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_ask_and_literal_bindings() {
+        let (server, _snapshots, _dictionary) = start_server();
+        let addr = server.local_addr();
+
+        let ask = "ASK { <http://ex/alice> <http://ex/knows> <http://ex/bob> }";
+        let (status, body) = http(
+            addr,
+            &format!(
+                "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{ask}",
+                ask.len()
+            ),
+        );
+        assert_eq!(status, 200);
+        assert!(body.contains("\"boolean\":true"), "body: {body}");
+
+        let select = "SELECT ?n WHERE { <http://ex/alice> <http://ex/name> ?n }";
+        let (status, body) = http(
+            addr,
+            &format!(
+                "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{select}",
+                select.len()
+            ),
+        );
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"type\":\"literal\",\"value\":\"Alice\",\"xml:lang\":\"en\""),
+            "body: {body}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_queries_and_paths_get_errors() {
+        let (server, _snapshots, _dictionary) = start_server();
+        let addr = server.local_addr();
+        let (status, body) = http(
+            addr,
+            "GET /sparql?query=nonsense HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("error"));
+        let (status, _) = http(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 404);
+        let (status, _) = http(addr, "GET /sparql HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 400);
+        server.shutdown();
+    }
+
+    #[test]
+    fn status_reports_the_live_epoch_and_updates_are_visible_to_new_requests() {
+        let (server, snapshots, dictionary) = start_server();
+        let addr = server.local_addr();
+        let (status, body) = http(addr, "GET /status HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"epoch\":0"), "body: {body}");
+
+        // Publish a new epoch; requests started afterwards see it.
+        let id_of = |iri: &str| dictionary.id_of(&Term::iri(iri.to_owned()));
+        let carol = id_of("http://ex/carol").unwrap();
+        let alice = id_of("http://ex/alice").unwrap();
+        let knows = id_of("http://ex/knows").unwrap();
+        snapshots.update(|store| {
+            store.add_triple(inferray_model::IdTriple::new(carol, knows, alice));
+        });
+
+        let (_, body) = http(addr, "GET /status HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(body.contains("\"epoch\":1"), "body: {body}");
+        let ask = "ASK { <http://ex/carol> <http://ex/knows> <http://ex/alice> }";
+        let (_, body) = http(
+            addr,
+            &format!(
+                "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{ask}",
+                ask.len()
+            ),
+        );
+        assert!(body.contains("\"boolean\":true"), "body: {body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("%3Fx%3D1"), "?x=1");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    /// Just enough encoding for the test queries (space and reserved chars).
+    fn percent_encode_for_test(query: &str) -> String {
+        let mut out = String::new();
+        for byte in query.bytes() {
+            match byte {
+                b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                    out.push(byte as char)
+                }
+                other => out.push_str(&format!("%{other:02X}")),
+            }
+        }
+        out
+    }
+}

@@ -246,7 +246,15 @@ fn scan_string_literal(chars: &[char], start: usize) -> Result<(Token, usize), Q
     let mut language = None;
     let mut datatype = None;
     if chars.get(i) == Some(&'@') {
-        let (lang, next) = take_while(chars, i + 1, |c| c.is_alphanumeric() || c == '-');
+        let (lang, next) = take_while(chars, i + 1, |c| c.is_ascii_alphanumeric() || c == '-');
+        // The N-Triples / BCP 47 shape: `[a-zA-Z]+('-'[a-zA-Z0-9]+)*`.
+        // Anything else (empty tag, leading digit, stray '-', non-ASCII)
+        // is a parse error, matching the lexer in `inferray-parser`.
+        if !inferray_model::term::valid_language_tag(&lang) {
+            return Err(QueryParseError::new(format!(
+                "malformed language tag '@{lang}'"
+            )));
+        }
         language = Some(lang);
         i = next;
     } else if chars.get(i) == Some(&'^') && chars.get(i + 1) == Some(&'^') {
@@ -789,5 +797,28 @@ mod tests {
     #[test]
     fn rejects_unsupported_filter_functions() {
         assert!(parse_query("SELECT * WHERE { ?x ?p ?o . FILTER(regex(?o, \"x\")) }").is_err());
+    }
+
+    #[test]
+    fn accepts_well_formed_language_tags() {
+        let q = parse_query("SELECT * WHERE { ?x ?p \"chat\"@fr-BE-1x }").unwrap();
+        assert_eq!(
+            q.patterns[0].o,
+            PatternTerm::Constant(Term::lang_literal("chat", "fr-be-1x"))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_language_tags() {
+        // Empty tag: previously parsed as `"x"` with language "" followed
+        // by a bare '.', silently matching nothing.
+        assert!(parse_query("SELECT * WHERE { ?s ?p \"x\"@ . }").is_err());
+        // Leading/trailing/doubled '-' and leading digits.
+        assert!(parse_query("SELECT * WHERE { ?s ?p \"x\"@-en }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?s ?p \"x\"@en- }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?s ?p \"x\"@en--us }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?s ?p \"x\"@7up }").is_err());
+        // Non-ASCII letters are not part of the N-Triples production.
+        assert!(parse_query("SELECT * WHERE { ?s ?p \"x\"@én }").is_err());
     }
 }

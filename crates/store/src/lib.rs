@@ -24,7 +24,10 @@
 //!   execution (each rule thread owns one, avoiding contention);
 //! * [`profile`] — software memory-access counters standing in for the
 //!   hardware cache/TLB/page-fault counters of Figures 7–8 (see DESIGN.md
-//!   for the substitution rationale).
+//!   for the substitution rationale);
+//! * [`snapshot`] — epoch-based snapshot publication ([`SnapshotStore`] /
+//!   [`StoreSnapshot`]) so concurrent readers keep a consistent frozen
+//!   version while a writer materializes the next one (docs/serving.md).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod merge;
 pub mod profile;
 pub mod property_table;
 pub mod query;
+pub mod snapshot;
 pub mod triple_store;
 
 pub use inferred::InferredBuffer;
@@ -43,4 +47,5 @@ pub use merge::{
 pub use profile::AccessProfile;
 pub use property_table::PropertyTable;
 pub use query::TriplePattern;
+pub use snapshot::{SnapshotStore, StoreSnapshot};
 pub use triple_store::TripleStore;

@@ -412,8 +412,13 @@ mod tests {
     #[test]
     fn small_fresh_delta_takes_the_gallop_splice_path() {
         let mut main = big_main();
+        main.ensure_os();
         let (new, outcome) = merge_new_pairs(&mut main, vec![7, 5, 200, 1]);
         assert_eq!(outcome.strategy, MergeStrategy::GallopSplice);
+        assert!(
+            !main.has_os_cache(),
+            "a splice adds pairs: the ⟨o,s⟩ cache must be invalidated"
+        );
         assert_eq!(outcome.new_pairs, 2);
         assert_eq!(new.pairs(), &[7, 5, 200, 1]);
         assert_eq!(main.len(), 258);
@@ -443,8 +448,13 @@ mod tests {
     #[test]
     fn delta_past_the_end_takes_the_tail_append_path() {
         let mut main = big_main();
+        main.ensure_os();
         let (new, outcome) = merge_new_pairs(&mut main, vec![999, 1, 500, 2]);
         assert_eq!(outcome.strategy, MergeStrategy::TailAppend);
+        assert!(
+            !main.has_os_cache(),
+            "a tail append adds pairs: the ⟨o,s⟩ cache must be invalidated"
+        );
         assert_eq!(outcome.new_pairs, 2);
         assert_eq!(new.pairs(), &[500, 2, 999, 1]);
         assert!(is_sorted_pairs(main.pairs()));

@@ -140,7 +140,14 @@ impl PropertyTable {
     /// [`PropertyTable::ensure_os`] against a reusable sort scratch.
     pub fn ensure_os_with(&mut self, scratch: &mut SortScratch) -> usize {
         debug_assert!(!self.dirty, "ensure_os on a dirty table");
-        if self.os.is_some() {
+        if self.dirty {
+            // Release-mode safety net: building the cache from unsorted
+            // pairs would make `subjects_of` binary-search garbage and
+            // silently drop or duplicate `(?, p, o)` answers. Finalize
+            // first so the cache is always derived from sorted,
+            // duplicate-free pairs.
+            self.finalize_with(scratch);
+        } else if self.os.is_some() {
             return 0;
         }
         let mut swapped = swap_pairs(&self.so);
@@ -364,6 +371,23 @@ mod tests {
         assert_eq!(t.os_pairs().unwrap(), &[2, 5, 3, 1, 7, 2, 9, 1]);
         t.clear_os_cache();
         assert!(!t.has_os_cache());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn ensure_os_on_a_dirty_table_self_heals_in_release() {
+        // In release builds the dirty debug_assert does not fire; the cache
+        // must still never be built from unsorted pairs.
+        let mut t = PropertyTable::new();
+        t.add_pair(9, 1);
+        t.add_pair(2, 7);
+        t.add_pair(9, 1);
+        assert!(t.is_dirty());
+        t.ensure_os();
+        assert!(!t.is_dirty(), "self-heal finalizes first");
+        assert_eq!(t.pairs(), &[2, 7, 9, 1]);
+        assert_eq!(t.subjects_of(1).collect::<Vec<_>>(), vec![9]);
+        assert_eq!(t.subjects_of(7).collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

@@ -1,46 +1,68 @@
-//! `inferray-cli` — command-line materialization.
+//! `inferray-cli` — command-line materialization and query serving.
 //!
-//! Reads an RDF document (N-Triples by default, Turtle subset with
-//! `--format turtle`), materializes the requested entailment fragment with
-//! the Inferray reasoner, writes the materialization as N-Triples to standard
-//! output and a statistics summary to standard error.
+//! **Materialize** (default): reads an RDF document (N-Triples by default,
+//! Turtle subset with `--format turtle`), materializes the requested
+//! entailment fragment with the Inferray reasoner, writes the
+//! materialization as N-Triples to standard output and a statistics summary
+//! to standard error.
+//!
+//! **Serve**: `inferray-cli serve` materializes the input once and then
+//! exposes it to concurrent clients on a std-only SPARQL-over-HTTP endpoint
+//! (see docs/serving.md): `GET/POST /sparql` with SPARQL results JSON,
+//! `GET /status` for the snapshot epoch.
 //!
 //! ```text
 //! inferray-cli [OPTIONS] [FILE]
+//! inferray-cli serve [OPTIONS] [--port N] [--threads N] [FILE]
 //!
 //! Options:
 //!   --fragment <rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full>   (default: rdfs)
 //!   --format   <ntriples|turtle>                                  (default: ntriples)
-//!   --inferred-only      only print the inferred triples
+//!   --inferred-only      only print the inferred triples (materialize mode)
 //!   --sequential         disable the per-rule thread pool AND parallel ingest
 //!   --ingest-threads <N> worker lanes for the streaming loader (default: pool size)
 //!   --chunk-kib <N>      approximate ingest chunk size in KiB (default: auto)
+//!   --port <N>           serve mode: TCP port to listen on (default: 3030)
+//!   --host <ADDR>        serve mode: bind address (default: 127.0.0.1; use
+//!                        0.0.0.0 to expose the endpoint beyond this host)
+//!   --threads <N>        serve mode: HTTP worker threads (default: available cores)
 //!   --help
 //!
 //! FILE defaults to standard input.
 //! ```
 
-use inferray_core::{InferrayOptions, InferrayReasoner, Ingest, LoaderOptions, Materializer};
+use inferray_core::{
+    InferrayOptions, InferrayReasoner, Ingest, LoaderOptions, Materializer, ServingDataset,
+};
 use inferray_parser::loader::LoadedDataset;
+use inferray_query::{SnapshotQueryEngine, SparqlServer};
 use inferray_rules::Fragment;
 use std::io::{Read, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct CliOptions {
+    serve: bool,
     fragment: Fragment,
     turtle: bool,
     inferred_only: bool,
     sequential: bool,
     ingest_threads: Option<usize>,
     chunk_kib: Option<usize>,
+    port: u16,
+    host: String,
+    threads: usize,
     input: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: inferray-cli [--fragment rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full] \
+    "usage: inferray-cli [serve] [--fragment rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full] \
      [--format ntriples|turtle] [--inferred-only] [--sequential] \
-     [--ingest-threads N] [--chunk-kib N] [FILE]\n\
-     Reads RDF, materializes the fragment with Inferray, writes N-Triples to stdout."
+     [--ingest-threads N] [--chunk-kib N] [--port N] [--host ADDR] [--threads N] [FILE]\n\
+     Reads RDF and materializes the fragment with Inferray. Without 'serve' the\n\
+     materialization is written as N-Triples to stdout; with 'serve' it is kept\n\
+     in memory and exposed on a SPARQL-over-HTTP endpoint (GET/POST /sparql,\n\
+     GET /status) until interrupted."
 }
 
 fn parse_fragment(name: &str) -> Option<Fragment> {
@@ -56,15 +78,25 @@ fn parse_fragment(name: &str) -> Option<Fragment> {
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut options = CliOptions {
+        serve: false,
         fragment: Fragment::RdfsDefault,
         turtle: false,
         inferred_only: false,
         sequential: false,
         ingest_threads: None,
         chunk_kib: None,
+        port: 3030,
+        // Loopback by default: the endpoint is unauthenticated, so exposing
+        // it beyond this host is an explicit decision (--host 0.0.0.0).
+        host: "127.0.0.1".to_owned(),
+        threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
         input: None,
     };
     let mut i = 0usize;
+    if args.first().map(String::as_str) == Some("serve") {
+        options.serve = true;
+        i = 1;
+    }
     while i < args.len() {
         match args[i].as_str() {
             "--help" | "-h" => return Err(usage().to_string()),
@@ -107,6 +139,27 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 );
                 i += 1;
             }
+            "--port" => {
+                let value = args.get(i + 1).ok_or("--port needs a value")?;
+                options.port = value
+                    .parse::<u16>()
+                    .map_err(|_| format!("bad port '{value}'"))?;
+                i += 1;
+            }
+            "--host" => {
+                let value = args.get(i + 1).ok_or("--host needs a value")?;
+                options.host = value.clone();
+                i += 1;
+            }
+            "--threads" => {
+                let value = args.get(i + 1).ok_or("--threads needs a value")?;
+                options.threads = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("bad thread count '{value}'"))?;
+                i += 1;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
             file => {
                 if options.input.is_some() {
@@ -133,7 +186,7 @@ fn read_input(options: &CliOptions) -> Result<String, String> {
     }
 }
 
-fn run(options: &CliOptions) -> Result<(), String> {
+fn load(options: &CliOptions) -> Result<LoadedDataset, String> {
     let text = read_input(options)?;
     let mut loader = if options.sequential {
         LoaderOptions::sequential()
@@ -145,18 +198,25 @@ fn run(options: &CliOptions) -> Result<(), String> {
     };
     loader.chunk_bytes = options.chunk_kib.map(|kib| kib * 1024);
     let ingest = Ingest::with_options(loader);
-    let loaded: LoadedDataset = if options.turtle {
-        ingest.turtle(&text).map_err(|e| e.to_string())?
+    if options.turtle {
+        ingest.turtle(&text).map_err(|e| e.to_string())
     } else {
-        ingest.ntriples(&text).map_err(|e| e.to_string())?
-    };
+        ingest.ntriples(&text).map_err(|e| e.to_string())
+    }
+}
 
-    let reasoner_options = if options.sequential {
+fn reasoner_options(options: &CliOptions) -> InferrayOptions {
+    if options.sequential {
         InferrayOptions::sequential()
     } else {
         InferrayOptions::default()
-    };
-    let mut reasoner = InferrayReasoner::with_options(options.fragment, reasoner_options);
+    }
+}
+
+fn run(options: &CliOptions) -> Result<(), String> {
+    let loaded = load(options)?;
+
+    let mut reasoner = InferrayReasoner::with_options(options.fragment, reasoner_options(options));
     let input_triples: std::collections::BTreeSet<_> = loaded.store.iter_triples().collect();
     let mut store = loaded.store;
     let stats = reasoner.materialize(&mut store);
@@ -187,6 +247,47 @@ fn run(options: &CliOptions) -> Result<(), String> {
     Ok(())
 }
 
+fn serve(options: &CliOptions) -> Result<(), String> {
+    let loaded = load(options)?;
+    let (dataset, stats) =
+        ServingDataset::materialize(loaded, options.fragment, reasoner_options(options));
+    eprintln!(
+        "inferray: materialized {} triples ({} inferred) in {:?}",
+        stats.output_triples,
+        stats.inferred_triples(),
+        stats.duration,
+    );
+
+    let dataset = Arc::new(dataset);
+    let source = {
+        let dataset = Arc::clone(&dataset);
+        move || {
+            let (snapshot, dictionary) = dataset.snapshot();
+            SnapshotQueryEngine::new(snapshot, dictionary)
+        }
+    };
+    let server = SparqlServer::bind(
+        &format!("{}:{}", options.host, options.port),
+        options.threads,
+        Arc::new(source),
+    )
+    .map_err(|e| format!("cannot bind {}:{}: {e}", options.host, options.port))?;
+    eprintln!(
+        "inferray: serving SPARQL on http://{}/sparql ({} worker threads, epoch {})",
+        server.local_addr(),
+        options.threads,
+        dataset.epoch(),
+    );
+    eprintln!(
+        "inferray: try  curl 'http://{}/status'",
+        server.local_addr()
+    );
+    // Serve until the process is interrupted.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse_args(&args) {
@@ -196,7 +297,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&options) {
+    let result = if options.serve {
+        serve(&options)
+    } else {
+        run(&options)
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("inferray-cli: {message}");

@@ -115,6 +115,146 @@ fn query_results_match_the_decoded_graph_api() {
     assert_eq!(from_engine, from_graph);
 }
 
+/// Regression test for the `(?, p, o)` ⟨o,s⟩-cache path across incremental
+/// materialization: `materialize_delta` merges new pairs into `p`'s table
+/// (on small deltas via the adaptive gallop-splice, which must invalidate
+/// the cache) and its fixed-point loop rebuilds the caches — a stale cache
+/// would silently drop the delta's solutions.
+#[test]
+fn bound_object_queries_stay_fresh_after_materialize_delta() {
+    let mut dataset = load_turtle(UNIVERSITY).expect("dataset parses");
+    let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+    reasoner.materialize(&mut dataset.store);
+    dataset.store.ensure_all_os();
+
+    let q = "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:teaches ex:databases }";
+    let teaches = dataset
+        .dictionary
+        .id_of(&Term::iri("http://example.org/teaches"))
+        .expect("teaches is interned");
+    let databases = dataset
+        .dictionary
+        .id_of(&Term::iri("http://example.org/databases"))
+        .expect("databases is interned");
+    {
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        let before = engine.execute_sparql(q).unwrap();
+        assert_eq!(before.len(), 1, "only smith teaches databases initially");
+    }
+    assert!(dataset.store.table(teaches).unwrap().has_os_cache());
+
+    // Incrementally assert: patel teaches databases.
+    let patel = dataset
+        .dictionary
+        .encode_as_resource(&Term::iri("http://example.org/patel"));
+    reasoner.materialize_delta(
+        &mut dataset.store,
+        [inferray::model::IdTriple::new(patel, teaches, databases)],
+    );
+
+    // The cache was invalidated by the merge and rebuilt by the fixed
+    // point; answering through it must include the delta.
+    assert!(
+        dataset.store.table(teaches).unwrap().has_os_cache(),
+        "materialize_delta leaves the caches consistent"
+    );
+    let cached = {
+        let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+        engine.execute_sparql(q).unwrap()
+    };
+    assert_eq!(
+        cached.len(),
+        2,
+        "a stale ⟨o,s⟩ cache would drop the incrementally added solution"
+    );
+
+    // The cache-free sequential scan must agree byte for byte.
+    dataset.store.table_mut(teaches).unwrap().clear_os_cache();
+    let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+    let scanned = engine.execute_sparql(q).unwrap();
+    assert_eq!(scanned.sorted_rows(), cached.sorted_rows());
+
+    // And the delta's own inferences (teaches domain ⇒ patel a Faculty)
+    // are queryable, proving the fixed point ran over the delta.
+    assert!(engine
+        .ask_sparql("PREFIX ex: <http://example.org/> ASK { ex:patel a ex:Faculty }")
+        .unwrap());
+}
+
+/// The planner's row-explosion guard: a BGP *written* with a leading
+/// unconstrained `?s ?p ?o` pattern must produce exactly the same solutions
+/// as any other writing order — the planner reorders by bound-term
+/// selectivity, so the scan never runs first and never materializes the
+/// whole store as intermediate rows.
+#[test]
+fn pattern_order_in_the_query_text_does_not_change_solutions() {
+    let dataset = materialized(Fragment::RdfsDefault);
+    let engine = QueryEngine::new(&dataset.store, &dataset.dictionary);
+
+    let patterns = [
+        TriplePatternSpec::new(
+            PatternTerm::var("s"),
+            PatternTerm::var("p"),
+            PatternTerm::var("o"),
+        ),
+        TriplePatternSpec::new(
+            PatternTerm::var("s"),
+            PatternTerm::iri(vocab::RDF_TYPE),
+            PatternTerm::iri("http://example.org/Professor"),
+        ),
+        TriplePatternSpec::new(
+            PatternTerm::var("s"),
+            PatternTerm::iri("http://example.org/teaches"),
+            PatternTerm::var("o2"),
+        ),
+    ];
+    // Every permutation — including the explosion-prone scan-first writing
+    // — yields the same solution multiset.
+    let permutations: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    let mut results = Vec::new();
+    for order in permutations {
+        // Fixed projection: `SELECT *` derives its column order from the
+        // written pattern order, which is exactly what we are permuting.
+        let mut query = Query::select_all(order.iter().map(|&i| patterns[i].clone()).collect());
+        query.select = inferray::query::Selection::Variables(vec![
+            "s".into(),
+            "p".into(),
+            "o".into(),
+            "o2".into(),
+        ]);
+        results.push(engine.execute(&query).sorted_rows());
+    }
+    for window in results.windows(2) {
+        assert_eq!(window[0], window[1], "pattern order changed the solutions");
+    }
+    // smith is the only professor; the scan pattern enumerates smith's
+    // triples (4 asserted/inferred predicates × 1 teaches binding).
+    assert!(!results[0].is_empty());
+
+    // The same property through the text parser, scan written first.
+    let scan_first = engine
+        .execute_sparql(
+            "PREFIX ex: <http://example.org/> SELECT ?s ?o2 WHERE { \
+               ?s ?p ?o . ?s a ex:Professor . ?s ex:teaches ?o2 }",
+        )
+        .unwrap();
+    let scan_last = engine
+        .execute_sparql(
+            "PREFIX ex: <http://example.org/> SELECT ?s ?o2 WHERE { \
+               ?s a ex:Professor . ?s ex:teaches ?o2 . ?s ?p ?o }",
+        )
+        .unwrap();
+    assert_eq!(scan_first.sorted_rows(), scan_last.sorted_rows());
+    assert_eq!(scan_first.variables(), scan_last.variables());
+}
+
 // ---------------------------------------------------------------------------
 // Property-based cross-checks against a naive evaluator
 // ---------------------------------------------------------------------------
