@@ -1,0 +1,72 @@
+//! Criterion benchmarks for incremental maintenance: asserting and
+//! retracting small deltas against a LUBM-scale materialized store, with
+//! the full rebuild as the baseline retraction would otherwise pay (paper
+//! §1: forward chaining "requires full materialization after deletion" —
+//! the delete–rederive path of docs/maintenance.md is the answer; see the
+//! `maintenance` binary for the recorded delta-size sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inferray_bench::{instance_victims, strided_delta};
+use inferray_core::InferrayReasoner;
+use inferray_datasets::lubm::LubmGenerator;
+use inferray_model::IdTriple;
+use inferray_parser::loader::load_triples;
+use inferray_rules::{Fragment, Materializer};
+use inferray_store::TripleStore;
+use std::hint::black_box;
+
+fn bench_maintenance(c: &mut Criterion) {
+    let dataset = LubmGenerator::new(20_000).with_seed(42).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("valid dataset");
+    let mut base = loaded.store;
+    base.finalize();
+    let mut materialized = base.clone();
+    InferrayReasoner::new(Fragment::RdfsDefault).materialize(&mut materialized);
+
+    // The shared instance-churn workload definition (same population the
+    // `maintenance` binary records in BENCH_maintenance.json).
+    let victims: Vec<IdTriple> = instance_victims(&base);
+
+    let mut group = c.benchmark_group("maintenance");
+    group.sample_size(10);
+
+    for &size in &[16usize, 256] {
+        let delta = strided_delta(&victims, size);
+        group.throughput(Throughput::Elements(size as u64));
+
+        group.bench_function(BenchmarkId::new("retract", size), |b| {
+            b.iter(|| {
+                let mut store = materialized.clone();
+                let mut base_copy = base.clone();
+                let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+                black_box(reasoner.retract_delta(&mut store, &mut base_copy, delta.iter().copied()))
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("rebuild", size), |b| {
+            let removed: std::collections::BTreeSet<IdTriple> = delta.iter().copied().collect();
+            let remaining: Vec<IdTriple> = base
+                .iter_triples()
+                .filter(|t| !removed.contains(t))
+                .collect();
+            b.iter(|| {
+                let mut store = TripleStore::from_triples(remaining.iter().copied());
+                black_box(InferrayReasoner::new(Fragment::RdfsDefault).materialize(&mut store))
+            })
+        });
+
+        group.bench_function(BenchmarkId::new("retract-then-extend", size), |b| {
+            b.iter(|| {
+                let mut store = materialized.clone();
+                let mut base_copy = base.clone();
+                let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+                reasoner.retract_delta(&mut store, &mut base_copy, delta.iter().copied());
+                black_box(reasoner.materialize_delta(&mut store, delta.iter().copied()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

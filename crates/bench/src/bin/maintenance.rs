@@ -1,0 +1,180 @@
+//! The maintenance benchmark: incremental retraction (delete–rederive,
+//! docs/maintenance.md) against the only alternative forward chaining
+//! classically offers — "requires full materialization after deletion"
+//! (paper §1) — and records the result in `BENCH_maintenance.json`.
+//!
+//! For a LUBM-scale store materialized once, the benchmark retracts
+//! explicit instance deltas of growing sizes two ways:
+//!
+//! * `retract`  — [`InferrayReasoner::retract_delta`]: over-delete the cone
+//!   of consequences along the rule-dependency graph, then rederive the
+//!   survivors with the output-scheduled fixed point;
+//! * `rebuild`  — re-sort `base ∖ Δ` into a fresh store and run the full
+//!   materialization from scratch.
+//!
+//! Both paths must produce byte-identical stores (the invariant proven by
+//! `tests/retraction_equivalence.rs`); the benchmark asserts it on every
+//! delta size before recording timings.
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin maintenance [--scale N] [--out FILE]
+//! ```
+
+use inferray_bench::{instance_victims, strided_delta, ScaleConfig};
+use inferray_core::{InferrayReasoner, Materializer};
+use inferray_datasets::lubm::LubmGenerator;
+use inferray_model::IdTriple;
+use inferray_parser::loader::load_triples;
+use inferray_rules::Fragment;
+use inferray_store::TripleStore;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+const FRAGMENT: Fragment = Fragment::RdfsDefault;
+const REPS: usize = 3;
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    let out_path = out_path_from_args();
+    let target_triples = 200_000 / scale.divisor;
+
+    println!("maintenance — delete–rederive vs full rebuild (LUBM ~{target_triples} triples)");
+
+    // -- the explicit base and its materialization, computed once -----------
+    let dataset = LubmGenerator::new(target_triples).with_seed(42).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("generated dataset is valid");
+    let mut base: TripleStore = loaded.store;
+    base.finalize();
+    let mut materialized = base.clone();
+    let stats = InferrayReasoner::new(FRAGMENT).materialize(&mut materialized);
+    println!(
+        "base: {} explicit triples, materialized: {} ({} inferred, {:?})",
+        base.len(),
+        materialized.len(),
+        stats.inferred_triples(),
+        stats.duration,
+    );
+
+    // Candidate victims: the shared instance-churn workload definition
+    // (also used by the criterion bench, so the two cannot drift).
+    let victims: Vec<IdTriple> = instance_victims(&base);
+    let mut sizes: Vec<usize> = [8usize, 64, 512, 4096]
+        .into_iter()
+        .filter(|&n| n <= victims.len() / 2)
+        .collect();
+    if sizes.is_empty() {
+        sizes.push(victims.len() / 2);
+    }
+
+    let mut records = Vec::new();
+    println!(
+        "\n{:>8}  {:>14}  {:>14}  {:>9}  {:>9}",
+        "|Δ|", "retract (ms)", "rebuild (ms)", "speedup", "removed"
+    );
+    for &size in &sizes {
+        // Spread the delta across the whole store.
+        let delta = strided_delta(&victims, size);
+        let removed_set: BTreeSet<IdTriple> = delta.iter().copied().collect();
+        let remaining: Vec<IdTriple> = base
+            .iter_triples()
+            .filter(|t| !removed_set.contains(t))
+            .collect();
+
+        let mut retract_time = Duration::MAX;
+        let mut rebuild_time = Duration::MAX;
+        let mut retracted = TripleStore::new();
+        let mut rebuilt = TripleStore::new();
+        let mut net_removed = 0usize;
+        for rep in 0..REPS {
+            // Variant 1: incremental delete–rederive.
+            let mut store = materialized.clone();
+            let mut base_copy = base.clone();
+            let mut reasoner = InferrayReasoner::new(FRAGMENT);
+            let start = Instant::now();
+            let stats = reasoner.retract_delta(&mut store, &mut base_copy, delta.iter().copied());
+            retract_time = retract_time.min(start.elapsed());
+            net_removed = stats.net_removed();
+            if rep == REPS - 1 {
+                retracted = store;
+            }
+
+            // Variant 2: full rebuild from base ∖ Δ.
+            let start = Instant::now();
+            let mut store = TripleStore::from_triples(remaining.iter().copied());
+            InferrayReasoner::new(FRAGMENT).materialize(&mut store);
+            rebuild_time = rebuild_time.min(start.elapsed());
+            if rep == REPS - 1 {
+                rebuilt = store;
+            }
+        }
+        assert_stores_equal(&rebuilt, &retracted, size);
+
+        let speedup = rebuild_time.as_secs_f64() / retract_time.as_secs_f64().max(1e-12);
+        println!(
+            "{:>8}  {:>14.3}  {:>14.3}  {:>8.2}x  {:>9}",
+            size,
+            retract_time.as_secs_f64() * 1e3,
+            rebuild_time.as_secs_f64() * 1e3,
+            speedup,
+            net_removed,
+        );
+        records.push(format!(
+            concat!(
+                "    {{ \"delta\": {}, \"retract_ms\": {:.3}, \"rebuild_ms\": {:.3}, ",
+                "\"speedup\": {:.3}, \"net_removed\": {} }}"
+            ),
+            size,
+            retract_time.as_secs_f64() * 1e3,
+            rebuild_time.as_secs_f64() * 1e3,
+            speedup,
+            net_removed,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"maintenance\",\n",
+            "  \"dataset\": {{ \"generator\": \"lubm\", \"target_triples\": {}, ",
+            "\"base_triples\": {}, \"materialized_triples\": {} }},\n",
+            "  \"fragment\": \"{}\",\n",
+            "  \"reps\": {},\n",
+            "  \"rounds\": [\n{}\n  ]\n",
+            "}}\n",
+        ),
+        target_triples,
+        base.len(),
+        materialized.len(),
+        FRAGMENT.name(),
+        REPS,
+        records.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    println!("\nrecorded -> {out_path}");
+}
+
+fn out_path_from_args() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_maintenance.json".to_string())
+}
+
+fn assert_stores_equal(expected: &TripleStore, actual: &TripleStore, delta: usize) {
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "|Δ|={delta}: triple count diverged"
+    );
+    for (p, table) in expected.iter_tables() {
+        let other = actual
+            .table(p)
+            .unwrap_or_else(|| panic!("|Δ|={delta}: table {p} missing"));
+        assert_eq!(
+            table.pairs(),
+            other.pairs(),
+            "|Δ|={delta}: table {p} diverged"
+        );
+    }
+}

@@ -25,9 +25,11 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod maintenance_workload;
 pub mod reasoners;
 pub mod scale;
 
 pub use harness::{fmt_ms, print_table, run_materializer, BenchResult};
+pub use maintenance_workload::{instance_victims, strided_delta};
 pub use reasoners::{reasoner_names, reasoners_for};
 pub use scale::ScaleConfig;

@@ -1,0 +1,31 @@
+//! Shared workload definition for the maintenance benchmarks — the
+//! `maintenance` binary and the criterion bench must retract the *same*
+//! victim population, or the recorded `BENCH_maintenance.json` and the
+//! micro-benchmark would silently measure different regimes.
+
+use inferray_dictionary::wellknown;
+use inferray_model::ids::{PROPERTY_BASE, RESOURCE_BASE};
+use inferray_model::IdTriple;
+use inferray_store::TripleStore;
+
+/// The explicit *instance* triples of a base store: class assertions with
+/// user-defined classes, and pairs of user-defined (data) properties — the
+/// mutable-traffic regime the serving layer sees. Schema triples
+/// (hierarchies, domain/range, marker declarations) are excluded: deleting
+/// them cascades store-wide, which the retraction equivalence suite covers
+/// for correctness but is not the steady-state workload.
+pub fn instance_victims(base: &TripleStore) -> Vec<IdTriple> {
+    base.iter_triples()
+        .filter(|t| {
+            let user_property = t.p <= PROPERTY_BASE - wellknown::NUM_SCHEMA_PROPERTIES as u64;
+            let user_class = t.o >= RESOURCE_BASE + 64;
+            (t.p == wellknown::RDF_TYPE && user_class) || user_property
+        })
+        .collect()
+}
+
+/// `size` victims spread evenly across the population (deterministic).
+pub fn strided_delta(victims: &[IdTriple], size: usize) -> Vec<IdTriple> {
+    let stride = (victims.len() / size).max(1);
+    victims.iter().step_by(stride).take(size).copied().collect()
+}

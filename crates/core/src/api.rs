@@ -6,13 +6,14 @@
 //! module wires the parser/loader, the reasoner and the dictionary decoding
 //! into one call.
 
-use crate::{InferrayOptions, InferrayReasoner};
+use crate::{InferrayOptions, InferrayReasoner, RetractionStats};
 use inferray_dictionary::Dictionary;
+use inferray_model::ids::is_property_id;
 use inferray_model::{Graph, IdTriple, Triple};
 use inferray_parser::loader::{load_graph, LoadError, LoadedDataset};
 use inferray_parser::{parse_ntriples, Ingest, LoaderOptions};
 use inferray_rules::{Fragment, InferenceStats, Materializer};
-use inferray_store::{SnapshotStore, StoreSnapshot};
+use inferray_store::{SnapshotStore, StoreSnapshot, TripleStore};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// The result of reasoning over a decoded graph.
@@ -137,6 +138,12 @@ fn finish(
 pub struct ServingDataset {
     snapshots: SnapshotStore,
     dictionary: RwLock<Arc<Dictionary>>,
+    /// The *explicit* (asserted) triples behind the current materialization.
+    /// The delete–rederive retraction path needs them twice over: an
+    /// asserted triple must never be over-deleted, and `retract(Δ)` is
+    /// specified as equivalent to rebuilding from `base ∖ Δ`. Only touched
+    /// under the writer lock; readers never see it.
+    base: Mutex<TripleStore>,
     /// Serializes writers: an extend must clone the latest dictionary and
     /// store, or a concurrent extend's terms would be lost on publish.
     writer: Mutex<()>,
@@ -153,10 +160,13 @@ impl ServingDataset {
         options: InferrayOptions,
     ) -> (Self, InferenceStats) {
         let mut store = loaded.store;
+        store.finalize();
+        let base = store.clone();
         let stats = InferrayReasoner::with_options(fragment, options).materialize(&mut store);
         let dataset = ServingDataset {
             snapshots: SnapshotStore::new(store),
             dictionary: RwLock::new(Arc::new(loaded.dictionary)),
+            base: Mutex::new(base),
             writer: Mutex::new(()),
             fragment,
             options,
@@ -224,24 +234,17 @@ impl ServingDataset {
             );
         }
         // A delta may use an already-interned *resource* as a predicate,
-        // which promotes it to a new property identifier. Both the copied
-        // store and any delta triple encoded before the promotion still
-        // carry the stale resource id in subject/object position; patch
-        // them like the loader does before reasoning over the pair.
+        // which promotes it to a new property identifier. The copied store,
+        // the explicit base and any delta triple encoded before the
+        // promotion still carry the stale resource id in subject/object
+        // position; patch them like the loader does before reasoning.
+        let mut base = self.base.lock().unwrap_or_else(|e| e.into_inner());
+        let mut next_base = base.clone();
         if dictionary.has_pending_promotions() {
             let remap: std::collections::HashMap<u64, u64> =
                 dictionary.take_promotions().into_iter().collect();
-            let properties: Vec<u64> = store.property_ids().collect();
-            for p in properties {
-                if let Some(table) = store.table_mut(p) {
-                    for value in table.pairs_mut() {
-                        if let Some(&new_id) = remap.get(value) {
-                            *value = new_id;
-                        }
-                    }
-                }
-            }
-            store.finalize();
+            apply_promotion_remap(&mut store, &remap);
+            apply_promotion_remap(&mut next_base, &remap);
             for triple in &mut delta {
                 if let Some(&new_id) = remap.get(&triple.s) {
                     triple.s = new_id;
@@ -251,10 +254,19 @@ impl ServingDataset {
                 }
             }
         }
+        // The delta becomes part of the explicit base — even a triple that
+        // was already derivable is now *asserted* and survives retraction
+        // of its premises.
+        for triple in &delta {
+            next_base.add_triple(*triple);
+        }
+        next_base.finalize();
         let mut reasoner = InferrayReasoner::with_options(self.fragment, self.options);
         let stats = reasoner.materialize_delta(&mut store, delta);
 
         // Publish: dictionary before store (see the type docs).
+        *base = next_base;
+        drop(base);
         *self.dictionary.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(dictionary);
         self.snapshots.publish(store);
         drop(guard);
@@ -266,6 +278,92 @@ impl ServingDataset {
         let triples = parse_ntriples(text).map_err(LoadError::from)?;
         self.extend(triples)
     }
+
+    /// Retracts decoded triples and incrementally re-materializes with the
+    /// delete–rederive algorithm ([`InferrayReasoner::retract_delta`],
+    /// docs/maintenance.md): the over-deleted cone is computed on a
+    /// **private copy** of the current store, survivors are re-derived, and
+    /// the result is published as a new epoch with one pointer swap —
+    /// readers holding older snapshots are unaffected, exactly as for
+    /// [`ServingDataset::extend`].
+    ///
+    /// Triples whose terms the dictionary has never seen — and triples that
+    /// were derived but never *asserted* — are ignored: retraction is
+    /// specified against the explicit base, `retract(Δ) ≡ rebuild(base ∖ Δ)`.
+    /// The dictionary itself is append-only and keeps every identifier, so
+    /// snapshots of any epoch stay decodable. When nothing was actually
+    /// removed, no new epoch is published.
+    ///
+    /// Returns the statistics together with the epoch that serves this
+    /// retraction's result — the one published by it, or the current epoch
+    /// for a no-op. The pair is captured under the writer lock, so it stays
+    /// consistent even when other writers publish concurrently (reading
+    /// [`ServingDataset::epoch`] afterwards could name a later epoch).
+    pub fn retract(&self, triples: impl IntoIterator<Item = Triple>) -> (RetractionStats, u64) {
+        let guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+
+        // Terms absent from the dictionary cannot occur in any triple of
+        // the store; predicates that were never promoted to property ids
+        // cannot address a table.
+        let dictionary = {
+            let current = self.dictionary.read().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(&current)
+        };
+        let delta: Vec<IdTriple> = triples
+            .into_iter()
+            .filter_map(|t| {
+                let s = dictionary.id_of(&t.subject)?;
+                let p = dictionary.id_of(&t.predicate)?;
+                let o = dictionary.id_of(&t.object)?;
+                is_property_id(p).then_some(IdTriple::new(s, p, o))
+            })
+            .collect();
+
+        let mut store = self.snapshots.snapshot().store().clone();
+        let mut base = self.base.lock().unwrap_or_else(|e| e.into_inner());
+        let mut next_base = base.clone();
+        let mut reasoner = InferrayReasoner::with_options(self.fragment, self.options);
+        let stats = reasoner.retract_delta(&mut store, &mut next_base, delta);
+
+        let epoch = if stats.retracted_explicit > 0 {
+            *base = next_base;
+            drop(base);
+            self.snapshots.publish(store).epoch()
+        } else {
+            drop(base);
+            self.snapshots.epoch()
+        };
+        drop(guard);
+        (stats, epoch)
+    }
+
+    /// [`ServingDataset::retract`] from an N-Triples document.
+    pub fn retract_ntriples(&self, text: &str) -> Result<(RetractionStats, u64), LoadError> {
+        let triples = parse_ntriples(text).map_err(LoadError::from)?;
+        Ok(self.retract(triples))
+    }
+
+    /// Number of explicit (asserted) triples behind the current epoch.
+    pub fn base_len(&self) -> usize {
+        self.base.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+/// Rewrites every stale resource identifier of `store` to its promoted
+/// property identifier, in place, and re-finalizes (the loader does the
+/// same for freshly parsed datasets).
+fn apply_promotion_remap(store: &mut TripleStore, remap: &std::collections::HashMap<u64, u64>) {
+    let properties: Vec<u64> = store.property_ids().collect();
+    for p in properties {
+        if let Some(table) = store.table_mut(p) {
+            for value in table.pairs_mut() {
+                if let Some(&new_id) = remap.get(value) {
+                    *value = new_id;
+                }
+            }
+        }
+    }
+    store.finalize();
 }
 
 #[cfg(test)]
@@ -456,6 +554,122 @@ ex:Bart a ex:human .
         let rel = dictionary.id_of(&Term::iri("http://ex/rel")).unwrap();
         assert!(inferray_model::ids::is_property_id(rel));
         assert_eq!(snapshot.table(rel).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn retract_unasserts_a_triple_and_its_cone() {
+        let dataset = serving_family();
+        assert_eq!(dataset.base_len(), 3);
+        dataset
+            .extend([Triple::iris(
+                "http://ex/Lisa",
+                vocab::RDF_TYPE,
+                "http://ex/human",
+            )])
+            .unwrap();
+        assert_eq!(dataset.base_len(), 4);
+        let (old_snapshot, _) = dataset.snapshot();
+        assert_eq!(old_snapshot.len(), 9);
+
+        let (stats, _) = dataset.retract([Triple::iris(
+            "http://ex/Lisa",
+            vocab::RDF_TYPE,
+            "http://ex/human",
+        )]);
+        assert_eq!(stats.retracted_explicit, 1);
+        assert_eq!(stats.net_removed(), 3, "Lisa a human/mammal/animal gone");
+        assert_eq!(dataset.epoch(), 2);
+        assert_eq!(dataset.base_len(), 3);
+        assert!(!contains(
+            &dataset,
+            "http://ex/Lisa",
+            vocab::RDF_TYPE,
+            "http://ex/animal"
+        ));
+        // Bart's cone is untouched, and the pre-retraction snapshot still
+        // answers from its frozen epoch.
+        assert!(contains(
+            &dataset,
+            "http://ex/Bart",
+            vocab::RDF_TYPE,
+            "http://ex/animal"
+        ));
+        assert_eq!(old_snapshot.len(), 9);
+
+        // Retracting a derived-but-never-asserted triple is a no-op and
+        // publishes nothing.
+        let (stats, _) = dataset.retract([Triple::iris(
+            "http://ex/Bart",
+            vocab::RDF_TYPE,
+            "http://ex/mammal",
+        )]);
+        assert_eq!(stats.retracted_explicit, 0);
+        assert_eq!(dataset.epoch(), 2);
+        assert!(contains(
+            &dataset,
+            "http://ex/Bart",
+            vocab::RDF_TYPE,
+            "http://ex/mammal"
+        ));
+    }
+
+    #[test]
+    fn retract_ntriples_and_unknown_terms() {
+        let dataset = serving_family();
+        // Unknown terms can't be in the store: nothing to do, no new epoch.
+        let (stats, _) = dataset.retract([Triple::iris(
+            "http://ex/NoSuch",
+            vocab::RDF_TYPE,
+            "http://ex/human",
+        )]);
+        assert_eq!(stats.requested, 0);
+        assert_eq!(dataset.epoch(), 0);
+        // A predicate interned as a plain resource addresses no table.
+        let (stats, _) = dataset.retract([Triple::iris(
+            "http://ex/Bart",
+            "http://ex/human", // a resource, not a property
+            "http://ex/mammal",
+        )]);
+        assert_eq!(stats.requested, 0);
+
+        let (stats, _) = dataset
+            .retract_ntriples(
+                "<http://ex/Bart> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/human> .\n",
+            )
+            .unwrap();
+        assert_eq!(stats.retracted_explicit, 1);
+        assert_eq!(dataset.epoch(), 1);
+        assert!(!contains(
+            &dataset,
+            "http://ex/Bart",
+            vocab::RDF_TYPE,
+            "http://ex/human"
+        ));
+        assert!(dataset.retract_ntriples("<broken").is_err());
+    }
+
+    #[test]
+    fn extend_then_retract_round_trips_to_the_original_materialization() {
+        let dataset = serving_family();
+        let (snapshot_before, _) = dataset.snapshot();
+        let before: Vec<_> = snapshot_before.iter_triples().collect();
+        dataset
+            .extend([Triple::iris(
+                "http://ex/Maggie",
+                vocab::RDF_TYPE,
+                "http://ex/human",
+            )])
+            .unwrap();
+        dataset.retract([Triple::iris(
+            "http://ex/Maggie",
+            vocab::RDF_TYPE,
+            "http://ex/human",
+        )]);
+        let (snapshot_after, dictionary) = dataset.snapshot();
+        let after: Vec<_> = snapshot_after.iter_triples().collect();
+        assert_eq!(before, after, "extend ∘ retract is the identity");
+        // Maggie's identifier survives in the append-only dictionary.
+        assert!(dictionary.id_of(&Term::iri("http://ex/Maggie")).is_some());
     }
 
     #[test]

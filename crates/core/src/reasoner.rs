@@ -21,17 +21,19 @@
 use crate::closure_stage::{run_closure_stage, ClosureStageStats};
 use crate::iteration::{IterationProfile, IterationSample};
 use crate::options::InferrayOptions;
+use inferray_dictionary::wellknown;
+use inferray_model::ids::is_property_id;
 use inferray_model::IdTriple;
 use inferray_parallel::ThreadPool;
 use inferray_rules::{
-    apply_rule, Fragment, InferenceStats, Materializer, RuleContext, RuleId, Ruleset,
+    apply_rule, Fragment, InferenceStats, Materializer, RuleClass, RuleContext, RuleId, Ruleset,
 };
 use inferray_sort::SortScratch;
 use inferray_store::{
     merge_new_pairs_with, AccessProfile, InferredBuffer, MergeOutcome, PropertyTable, TripleStore,
 };
-use std::collections::BTreeMap;
-use std::time::Instant;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
 
 /// The forward-chaining, sort-merge-join, fixed-point reasoner.
 ///
@@ -285,7 +287,7 @@ impl InferrayReasoner {
             self.last_iteration_profile = IterationProfile::default();
             FixedPointOutcome::default()
         } else {
-            self.run_fixed_point(store, new, &mut profile, true)
+            self.run_fixed_point(store, new, &mut profile, FirstFire::Scheduled)
         };
 
         InferenceStats {
@@ -299,21 +301,255 @@ impl InferrayReasoner {
         }
     }
 
-    /// The fixed-point loop of Algorithm 1 (lines 4–8), shared by the full
-    /// materialization and the incremental path.
+    /// Incrementally maintains an **already materialized** store after
+    /// explicit triples are retracted — the delete–rederive (DRed) algorithm
+    /// of the classic Datalog maintenance literature (docs/maintenance.md).
     ///
-    /// `schedule_first_iteration` is set by [`Self::materialize_delta`],
-    /// whose iteration-1 frontier is the (typically tiny) delta against an
-    /// already-materialized store, so even the first firing round can be
-    /// restricted to the rules the delta's properties feed. The full
-    /// materialization passes `false`: its first iteration has `new == main`
-    /// and must fire the complete ruleset.
+    /// `store` must be the materialization of `base` under this reasoner's
+    /// fragment and options; `base` holds the *explicit* (asserted) triples.
+    /// The requested `delta` is intersected with `base`: retracting a triple
+    /// that was never asserted is a no-op, even if the triple is currently
+    /// entailed (it stays derivable, so the result of rebuilding from
+    /// `base ∖ Δ` still contains it).
+    ///
+    /// The algorithm has two phases:
+    ///
+    /// 1. **over-delete** — starting from the explicit deletions, repeatedly
+    ///    fire the (input-scheduled) rules semi-naively with the deletion
+    ///    frontier as `new` to collect every one-step consequence of a
+    ///    deleted triple, remove the frontier, and continue with the
+    ///    consequences that are still present and not explicitly asserted.
+    ///    The θ (closure) executors only emit pairs *absent* from the closed
+    ///    main table, so their cones are collected by conservatively marking
+    ///    the whole derived part of every affected closed table instead.
+    ///    Explicit triples are never over-deleted.
+    /// 2. **rederive** — probe every removed triple with the one-step
+    ///    support checks ([`inferray_rules::is_supported`]), restricted per
+    ///    property to the rules whose *output* signature
+    ///    ([`inferray_rules::RuleOutputs`]) reaches it; re-assert the
+    ///    supported ones and cascade them through the ordinary incremental
+    ///    addition machinery ([`InferrayReasoner::materialize_delta`]).
+    ///    Triples missing at greater derivation height have a missing
+    ///    premise among the re-asserted ones and are reached by the
+    ///    cascade, so one-step probes suffice. (With `schedule_rules`
+    ///    disabled the rederivation instead re-runs the full fixed point
+    ///    over the survivors — the reference implementation the equivalence
+    ///    suite compares against.)
+    ///
+    /// The result is byte-identical — per-table pair arrays, dictionary
+    /// identifiers, promotion state — to re-materializing `base ∖ Δ` from
+    /// scratch (proven by `tests/retraction_equivalence.rs`), at a cost
+    /// proportional to the deleted cone plus one output-restricted firing
+    /// round.
+    pub fn retract_delta(
+        &mut self,
+        store: &mut TripleStore,
+        base: &mut TripleStore,
+        delta: impl IntoIterator<Item = IdTriple>,
+    ) -> RetractionStats {
+        let start = Instant::now();
+        store.finalize();
+        base.finalize();
+        self.last_closure_stats = ClosureStageStats::default();
+        self.last_iteration_profile = IterationProfile::default();
+
+        let requested: BTreeSet<IdTriple> = delta.into_iter().collect();
+        let explicit: Vec<IdTriple> = requested
+            .iter()
+            .copied()
+            .filter(|t| is_property_id(t.p) && base.contains(t))
+            .collect();
+        let mut stats = RetractionStats {
+            requested: requested.len(),
+            output_triples: store.len(),
+            duration: start.elapsed(),
+            ..RetractionStats::default()
+        };
+        if explicit.is_empty() {
+            return stats;
+        }
+        stats.retracted_explicit = explicit.len();
+        base.retract(explicit.iter().copied());
+
+        let pool = if self.options.parallel {
+            Some(inferray_parallel::global())
+        } else {
+            None
+        };
+        let mut scratch = SortScratch::new();
+        let size_before = store.len();
+
+        // Phase 1: over-delete the cone of consequences. Every removed
+        // triple — explicit or derived — is also a rederivation candidate:
+        // an explicitly retracted triple that is still entailed by the
+        // surviving base must reappear (it is merely no longer asserted).
+        let mut removed: Vec<IdTriple> = Vec::new();
+        let mut frontier =
+            TripleStore::from_triples(explicit.iter().copied().filter(|t| store.contains(t)));
+        while !frontier.is_empty() {
+            // The firing phase is read-only and wants the ⟨o,s⟩ caches; only
+            // the tables the previous round's removals invalidated re-sort.
+            store.ensure_all_os_with(&mut scratch);
+            frontier.ensure_all_os_with(&mut scratch);
+
+            // Fire the rules that read the frontier's tables (the §4.3
+            // dependency index), with the frontier as `new` *while it is
+            // still part of the store*: the semi-naive executors then emit
+            // exactly the one-step consequences that use at least one
+            // deleted premise. The θ rules are excluded — their executors
+            // cannot see "un-derivable" pairs — and handled below.
+            let scheduled: Vec<RuleId> = if self.options.schedule_rules {
+                self.ruleset.scheduled_rules(store, &frontier)
+            } else {
+                self.ruleset.rules().to_vec()
+            }
+            .into_iter()
+            .filter(|r| r.class() != RuleClass::Theta)
+            .collect();
+            let mut candidates = self.fire_rules(pool, store, &frontier, &scheduled);
+            self.collect_theta_over_deletions(store, &frontier, &mut candidates);
+
+            // Remove the frontier, then keep as the next frontier every
+            // consequence that is still present and not explicitly asserted.
+            for (p, table) in frontier.iter_tables() {
+                store.remove_pairs(p, table.pairs());
+            }
+            removed.extend(frontier.iter_triples());
+            let mut next = TripleStore::new();
+            for (p, pairs) in candidates.into_iter_tables() {
+                let Some(table) = store.table(p) else {
+                    continue;
+                };
+                for pair in pairs.chunks_exact(2) {
+                    let (s, o) = (pair[0], pair[1]);
+                    if table.contains_pair(s, o) && !base.contains(&IdTriple::new(s, p, o)) {
+                        next.add_pair(p, s, o);
+                    }
+                }
+            }
+            next.finalize();
+            frontier = next;
+        }
+        stats.over_deleted = size_before - store.len() - explicit.len();
+
+        // Phase 2: rederive. Every triple still entailed by the surviving
+        // base is either one-step derivable from the survivors or depends
+        // on a removed triple that is — so probing each removed triple with
+        // the one-step support checks finds exactly the seed the ordinary
+        // incremental addition cascade needs. Per property, only the rules
+        // whose output signature reaches that table are probed.
+        let after_delete = store.len();
+        if !store.is_empty() && !removed.is_empty() {
+            if self.options.schedule_rules {
+                // The probes want the ⟨o,s⟩ caches of the surviving store;
+                // only the tables the deletions invalidated re-sort.
+                store.ensure_all_os_with(&mut scratch);
+                let mut supported: Vec<IdTriple> = Vec::new();
+                let mut rules_for: BTreeMap<u64, Vec<RuleId>> = BTreeMap::new();
+                for &candidate in &removed {
+                    let rules = rules_for.entry(candidate.p).or_insert_with(|| {
+                        self.ruleset
+                            .rederive_rules(store, &BTreeSet::from([candidate.p]))
+                    });
+                    if rules
+                        .iter()
+                        .any(|&rule| inferray_rules::is_supported(rule, store, candidate))
+                    {
+                        supported.push(candidate);
+                    }
+                }
+                if !supported.is_empty() {
+                    let cascade = self.materialize_delta(store, supported);
+                    stats.iterations = cascade.iterations;
+                    stats.profile = cascade.profile;
+                }
+            } else {
+                // Reference path (scheduling disabled): re-run the full
+                // fixed point over the survivors with `new == store`.
+                let mut profile = AccessProfile::default();
+                let new = store.clone();
+                profile.allocate(2 * new.len() as u64);
+                let outcome = self.run_fixed_point(store, new, &mut profile, FirstFire::All);
+                stats.iterations = outcome.iterations;
+                stats.profile = profile;
+            }
+        }
+
+        stats.rederived = store.len() - after_delete;
+        stats.output_triples = store.len();
+        stats.duration = start.elapsed();
+        stats
+    }
+
+    /// Marks the θ-rule over-deletion candidates: when a table a closure
+    /// rule maintains loses pairs (or loses its `owl:TransitiveProperty`
+    /// declaration), every pair of that table becomes a deletion candidate —
+    /// the explicit-base filter of the caller keeps asserted edges alive,
+    /// and rederivation re-closes whatever the surviving edges still entail.
+    fn collect_theta_over_deletions(
+        &self,
+        store: &TripleStore,
+        frontier: &TripleStore,
+        out: &mut InferredBuffer,
+    ) {
+        let changed: BTreeSet<u64> = frontier.property_ids().collect();
+        let dump = |p: u64, out: &mut InferredBuffer| {
+            if let Some(table) = store.table(p) {
+                out.add_pairs(p, table.pairs());
+            }
+        };
+        for rule in self.ruleset.theta_rules() {
+            match rule {
+                RuleId::ScmSco if changed.contains(&wellknown::RDFS_SUB_CLASS_OF) => {
+                    dump(wellknown::RDFS_SUB_CLASS_OF, out);
+                }
+                RuleId::ScmSpo if changed.contains(&wellknown::RDFS_SUB_PROPERTY_OF) => {
+                    dump(wellknown::RDFS_SUB_PROPERTY_OF, out);
+                }
+                RuleId::EqTrans if changed.contains(&wellknown::OWL_SAME_AS) => {
+                    dump(wellknown::OWL_SAME_AS, out);
+                }
+                RuleId::PrpTrp => {
+                    // Declared transitive properties whose tables lost pairs,
+                    // plus properties whose declaration itself is deleted.
+                    let declared = RuleContext::subjects_with_object(
+                        store,
+                        wellknown::RDF_TYPE,
+                        wellknown::OWL_TRANSITIVE_PROPERTY,
+                    );
+                    let undeclared = RuleContext::subjects_with_object(
+                        frontier,
+                        wellknown::RDF_TYPE,
+                        wellknown::OWL_TRANSITIVE_PROPERTY,
+                    );
+                    for p in declared
+                        .iter()
+                        .filter(|p| changed.contains(p))
+                        .chain(undeclared.iter())
+                    {
+                        if is_property_id(*p) {
+                            dump(*p, out);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The fixed-point loop of Algorithm 1 (lines 4–8), shared by the full
+    /// materialization, the incremental addition path and the rederivation
+    /// half of the retraction path.
+    ///
+    /// `first_fire` selects the rules of iteration 1 (see [`FirstFire`]);
+    /// from iteration 2 on, the ordinary input-driven scheduling applies
+    /// regardless.
     fn run_fixed_point(
         &mut self,
         store: &mut TripleStore,
         mut new: TripleStore,
         profile: &mut AccessProfile,
-        schedule_first_iteration: bool,
+        first_fire: FirstFire,
     ) -> FixedPointOutcome {
         let pool = if self.options.parallel {
             Some(inferray_parallel::global())
@@ -348,16 +584,21 @@ impl InferrayReasoner {
             // everything on iteration 1 (`new == main`: every input is
             // "changed"); the incremental path schedules from the start,
             // because its iteration 1 frontier is the delta and the store is
-            // already a fixed point of the ruleset. From iteration 2 on,
+            // already a fixed point of the ruleset; the rederivation path
+            // passes an explicit output-derived seed. From iteration 2 on,
             // only the rules whose input tables received new pairs in the
             // previous iteration — exactly the tables of `new` — can derive
-            // anything but duplicates (§4.3).
-            let schedule =
-                self.options.schedule_rules && (outcome.iterations > 1 || schedule_first_iteration);
-            let scheduled: Vec<RuleId> = if schedule {
+            // anything but duplicates (§4.3). The `schedule_rules` escape
+            // hatch forces the full ruleset everywhere.
+            let scheduled: Vec<RuleId> = if !self.options.schedule_rules {
+                self.ruleset.rules().to_vec()
+            } else if outcome.iterations > 1 {
                 self.ruleset.scheduled_rules(store, &new)
             } else {
-                self.ruleset.rules().to_vec()
+                match first_fire {
+                    FirstFire::All => self.ruleset.rules().to_vec(),
+                    FirstFire::Scheduled => self.ruleset.scheduled_rules(store, &new),
+                }
             };
             let fire_start = Instant::now();
             let inferred = self.fire_rules(pool, store, &new, &scheduled);
@@ -412,6 +653,49 @@ struct FixedPointOutcome {
     duplicates_removed: usize,
 }
 
+/// Which rules the first iteration of [`InferrayReasoner::run_fixed_point`]
+/// fires (later iterations always use the input-driven §4.3 scheduling).
+enum FirstFire {
+    /// The complete ruleset — a full materialization, whose iteration 1 has
+    /// `new == main`.
+    All,
+    /// The input-driven schedule — the incremental addition path, whose
+    /// iteration 1 frontier is the asserted delta.
+    Scheduled,
+}
+
+/// Statistics of one [`InferrayReasoner::retract_delta`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetractionStats {
+    /// Distinct triples the caller asked to retract.
+    pub requested: usize,
+    /// Requested triples that were explicitly asserted (present in `base`)
+    /// and therefore actually removed.
+    pub retracted_explicit: usize,
+    /// Derived triples removed by the over-deletion phase (beyond the
+    /// explicit ones).
+    pub over_deleted: usize,
+    /// Over-deleted triples restored by the rederivation phase (they were
+    /// still entailed by the surviving base).
+    pub rederived: usize,
+    /// Fixed-point iterations of the rederivation phase.
+    pub iterations: usize,
+    /// Triples in the store after the retraction.
+    pub output_triples: usize,
+    /// Wall-clock time of the whole retraction.
+    pub duration: Duration,
+    /// Software memory-access profile of the rederivation phase.
+    pub profile: AccessProfile,
+}
+
+impl RetractionStats {
+    /// Net triples the store lost: explicit removals plus the over-deleted
+    /// cone, minus what rederivation restored.
+    pub fn net_removed(&self) -> usize {
+        self.retracted_explicit + self.over_deleted - self.rederived
+    }
+}
+
 impl Materializer for InferrayReasoner {
     fn name(&self) -> &'static str {
         "inferray"
@@ -435,7 +719,7 @@ impl Materializer for InferrayReasoner {
         profile.allocate(2 * new.len() as u64);
 
         // Step 3 (lines 4-8): fixed point.
-        let outcome = self.run_fixed_point(store, new, &mut profile, false);
+        let outcome = self.run_fixed_point(store, new, &mut profile, FirstFire::All);
 
         InferenceStats {
             input_triples,
@@ -677,6 +961,147 @@ mod tests {
             .samples
             .iter()
             .all(|s| s.rules_fired == Ruleset::for_fragment(Fragment::RdfsDefault).len()));
+    }
+
+    /// Materializes `base`, retracts `delta` incrementally, and checks the
+    /// result is byte-identical to materializing `base ∖ delta` from scratch.
+    fn assert_retract_equals_rebuild(
+        fragment: Fragment,
+        options: InferrayOptions,
+        base: &[(u64, u64, u64)],
+        delta: &[(u64, u64, u64)],
+    ) -> RetractionStats {
+        let mut materialized = store(base);
+        let mut base_store = store(base);
+        let mut reasoner = InferrayReasoner::with_options(fragment, options);
+        reasoner.materialize(&mut materialized);
+        let delta: Vec<IdTriple> = delta
+            .iter()
+            .map(|&(s, p, o)| IdTriple::new(s, p, o))
+            .collect();
+        let stats = reasoner.retract_delta(&mut materialized, &mut base_store, delta.clone());
+
+        let remaining: Vec<IdTriple> = store(base)
+            .iter_triples()
+            .filter(|t| !delta.contains(t))
+            .collect();
+        let mut rebuilt = TripleStore::from_triples(remaining.iter().copied());
+        InferrayReasoner::with_options(fragment, options).materialize(&mut rebuilt);
+
+        let a: Vec<(u64, Vec<u64>)> = materialized
+            .iter_tables()
+            .map(|(p, t)| (p, t.pairs().to_vec()))
+            .collect();
+        let b: Vec<(u64, Vec<u64>)> = rebuilt
+            .iter_tables()
+            .map(|(p, t)| (p, t.pairs().to_vec()))
+            .collect();
+        assert_eq!(a, b, "retract != rebuild for {fragment}");
+        let expected_base: Vec<IdTriple> = remaining;
+        let got_base: Vec<IdTriple> = base_store.iter_triples().collect();
+        assert_eq!(got_base, expected_base, "base tracking diverged");
+        assert_eq!(stats.output_triples, materialized.len());
+        stats
+    }
+
+    #[test]
+    fn retracting_an_instance_undoes_its_type_cone() {
+        let stats = assert_retract_equals_rebuild(
+            Fragment::RdfsDefault,
+            InferrayOptions::default(),
+            &[
+                (HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL),
+                (MAMMAL, wk::RDFS_SUB_CLASS_OF, ANIMAL),
+                (BART, wk::RDF_TYPE, HUMAN),
+                (LISA, wk::RDF_TYPE, HUMAN),
+            ],
+            &[(LISA, wk::RDF_TYPE, HUMAN)],
+        );
+        // Lisa's asserted type plus her two derived types are gone; Bart's
+        // cone (same derived triples, different subject) is untouched.
+        assert_eq!(stats.retracted_explicit, 1);
+        assert_eq!(stats.net_removed(), 3);
+    }
+
+    #[test]
+    fn retracting_a_schema_edge_undoes_the_closure_cone() {
+        let stats = assert_retract_equals_rebuild(
+            Fragment::RdfsDefault,
+            InferrayOptions::default(),
+            &[
+                (HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL),
+                (MAMMAL, wk::RDFS_SUB_CLASS_OF, ANIMAL),
+                (BART, wk::RDF_TYPE, HUMAN),
+                (BART, wk::RDF_TYPE, ANIMAL), // also asserted explicitly
+            ],
+            &[(MAMMAL, wk::RDFS_SUB_CLASS_OF, ANIMAL)],
+        );
+        // human ⊑ animal and Bart's derived animal type are un-derived, but
+        // the explicitly asserted (Bart a animal) must survive over-deletion.
+        assert!(stats.over_deleted >= 1);
+        assert!(stats.output_triples >= 4);
+    }
+
+    #[test]
+    fn retracting_an_unasserted_derived_triple_is_a_noop() {
+        let base = [
+            (HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL),
+            (BART, wk::RDF_TYPE, HUMAN),
+        ];
+        let mut materialized = store(&base);
+        let mut base_store = store(&base);
+        let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+        reasoner.materialize(&mut materialized);
+        let before: Vec<IdTriple> = materialized.iter_triples().collect();
+        // (Bart a mammal) is derived, not asserted: retracting it is a no-op.
+        let stats = reasoner.retract_delta(
+            &mut materialized,
+            &mut base_store,
+            [IdTriple::new(BART, wk::RDF_TYPE, MAMMAL)],
+        );
+        assert_eq!(stats.retracted_explicit, 0);
+        assert_eq!(stats.net_removed(), 0);
+        assert_eq!(materialized.iter_triples().collect::<Vec<_>>(), before);
+        assert_eq!(base_store.len(), 2, "base untouched");
+        assert!(materialized.contains(&IdTriple::new(BART, wk::RDF_TYPE, MAMMAL)));
+    }
+
+    #[test]
+    fn retracting_a_transitive_declaration_undoes_the_closure() {
+        let part_of = nth_property_id(720);
+        let a = 9_900_000u64;
+        let base = [
+            (part_of, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY),
+            (a, part_of, a + 1),
+            (a + 1, part_of, a + 2),
+            (a + 2, part_of, a + 3),
+        ];
+        let stats = assert_retract_equals_rebuild(
+            Fragment::RdfsPlus,
+            InferrayOptions::default(),
+            &base,
+            &[(part_of, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY)],
+        );
+        // The three closure pairs are un-derived, the asserted chain stays.
+        assert!(stats.over_deleted >= 3);
+    }
+
+    #[test]
+    fn retract_is_byte_identical_sequentially_and_in_parallel() {
+        let base = [
+            (HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL),
+            (MAMMAL, wk::RDFS_SUB_CLASS_OF, ANIMAL),
+            (BART, wk::RDF_TYPE, HUMAN),
+            (LISA, wk::RDF_TYPE, MAMMAL),
+        ];
+        let delta = [(HUMAN, wk::RDFS_SUB_CLASS_OF, MAMMAL)];
+        for options in [
+            InferrayOptions::default(),
+            InferrayOptions::sequential(),
+            InferrayOptions::unscheduled(),
+        ] {
+            assert_retract_equals_rebuild(Fragment::RdfsDefault, options, &base, &delta);
+        }
     }
 
     #[test]

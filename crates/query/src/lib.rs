@@ -85,7 +85,7 @@ pub mod sparql;
 
 pub use algebra::{FilterExpr, PatternTerm, Query, QueryForm, Selection, TriplePatternSpec};
 pub use engine::QueryEngine;
-pub use server::{EngineSource, SparqlServer};
+pub use server::{EngineSource, SparqlServer, UpdateOutcome, UpdateSink};
 pub use serving::SnapshotQueryEngine;
 pub use solution::{EncodedRow, SolutionSet};
 pub use sparql::{parse_query, QueryParseError};

@@ -14,7 +14,16 @@
 //! * `POST /sparql` — query in the body, either raw
 //!   (`Content-Type: application/sparql-query`) or form-encoded
 //!   (`query=<percent-encoded>`);
+//! * `POST /update` — retract the N-Triples of the body from the served
+//!   dataset (delete–rederive, docs/maintenance.md); only available when
+//!   the server was bound with an [`UpdateSink`]
+//!   ([`SparqlServer::bind_with_updates`]), 404 otherwise;
 //! * `GET /status` — the current snapshot epoch and store size.
+//!
+//! `POST` bodies must carry a `Content-Length`: a missing length is
+//! answered with `411 Length Required` (not a misleading parse error from
+//! an empty body) and `Transfer-Encoding: chunked` with
+//! `501 Not Implemented`.
 //!
 //! Responses use the SPARQL 1.1 Query Results JSON format:
 //! `{"head":{"vars":[…]},"results":{"bindings":[…]}}` for `SELECT`,
@@ -68,6 +77,33 @@ where
     }
 }
 
+/// The outcome of a `POST /update` deletion, rendered as the JSON response
+/// body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// The epoch published by the update (or the current one when nothing
+    /// changed).
+    pub epoch: u64,
+    /// Distinct triples the request asked to retract.
+    pub requested: usize,
+    /// Explicitly asserted triples actually removed.
+    pub removed: usize,
+    /// Triples in the store after the update.
+    pub triples: usize,
+}
+
+/// A writer the server forwards `POST /update` requests to.
+///
+/// The serving stack is layered so that `inferray-query` never depends on
+/// the reasoner: the server knows only this trait, and the binary that owns
+/// a `ServingDataset` (e.g. `inferray-cli serve`) adapts it. An `Err` is
+/// reported as a `400` with the message in the JSON error body.
+pub trait UpdateSink: Send + Sync + 'static {
+    /// Retracts the triples of an N-Triples document from the served
+    /// dataset and re-materializes incrementally.
+    fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, String>;
+}
+
 /// A running SPARQL endpoint; dropping it without calling
 /// [`SparqlServer::shutdown`] leaves the worker threads serving until the
 /// process exits.
@@ -79,11 +115,32 @@ pub struct SparqlServer {
 
 impl SparqlServer {
     /// Binds `addr` (e.g. `127.0.0.1:8080`; port 0 picks a free port) and
-    /// serves requests on `threads` worker threads.
+    /// serves read-only requests on `threads` worker threads
+    /// (`POST /update` answers 404).
     pub fn bind(
         addr: &str,
         threads: usize,
         source: Arc<dyn EngineSource>,
+    ) -> std::io::Result<SparqlServer> {
+        Self::bind_inner(addr, threads, source, None)
+    }
+
+    /// [`SparqlServer::bind`] with a write path: `POST /update` deletions
+    /// are forwarded to `sink`.
+    pub fn bind_with_updates(
+        addr: &str,
+        threads: usize,
+        source: Arc<dyn EngineSource>,
+        sink: Arc<dyn UpdateSink>,
+    ) -> std::io::Result<SparqlServer> {
+        Self::bind_inner(addr, threads, source, Some(sink))
+    }
+
+    fn bind_inner(
+        addr: &str,
+        threads: usize,
+        source: Arc<dyn EngineSource>,
+        sink: Option<Arc<dyn UpdateSink>>,
     ) -> std::io::Result<SparqlServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -94,9 +151,10 @@ impl SparqlServer {
                 let listener = Arc::clone(&listener);
                 let stop = Arc::clone(&stop);
                 let source = Arc::clone(&source);
+                let sink = sink.clone();
                 std::thread::Builder::new()
                     .name(format!("inferray-serve-{i}"))
-                    .spawn(move || worker_loop(&listener, &stop, source.as_ref()))
+                    .spawn(move || worker_loop(&listener, &stop, source.as_ref(), sink.as_deref()))
                     .expect("failed to spawn server worker")
             })
             .collect();
@@ -125,7 +183,12 @@ impl SparqlServer {
     }
 }
 
-fn worker_loop(listener: &TcpListener, stop: &AtomicBool, source: &dyn EngineSource) {
+fn worker_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    source: &dyn EngineSource,
+    sink: Option<&dyn UpdateSink>,
+) {
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -145,7 +208,7 @@ fn worker_loop(listener: &TcpListener, stop: &AtomicBool, source: &dyn EngineSou
         // A stalled client must not wedge a worker forever.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-        let _ = handle_connection(stream, source);
+        let _ = handle_connection(stream, source, sink);
     }
 }
 
@@ -153,30 +216,84 @@ fn worker_loop(listener: &TcpListener, stop: &AtomicBool, source: &dyn EngineSou
 // Request handling
 // ---------------------------------------------------------------------------
 
-struct Request {
+struct RequestHead {
     method: String,
     path: String,
     content_type: String,
-    body: Vec<u8>,
+    /// `Content-Length`, when the client sent one. `POST` without a length
+    /// is a protocol error (411), **not** an empty body: treating it as
+    /// empty used to surface as a baffling "empty query" parse error.
+    content_length: Option<usize>,
+    /// `Transfer-Encoding: chunked` — not implemented (501 for `POST`).
+    chunked: bool,
 }
 
-fn handle_connection(stream: TcpStream, source: &dyn EngineSource) -> std::io::Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    source: &dyn EngineSource,
+    sink: Option<&dyn UpdateSink>,
+) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
-    let request = match read_request(&mut reader) {
-        Ok(request) => request,
+    let head = match read_head(&mut reader) {
+        Ok(head) => head,
         Err(message) => {
             let mut stream = reader.into_inner();
             return respond(&mut stream, 400, "application/json", &error_json(&message));
         }
     };
+
+    // Body policy, decided per method before touching any route: POST needs
+    // a delimited body, GET bodies are ignored.
+    let body: Vec<u8> = if head.method == "POST" {
+        if head.chunked {
+            return refuse_post(
+                &mut reader,
+                501,
+                "Transfer-Encoding: chunked is not supported; send Content-Length",
+                64 << 10,
+            );
+        }
+        let Some(length) = head.content_length else {
+            return refuse_post(
+                &mut reader,
+                411,
+                "POST requires a Content-Length header",
+                64 << 10,
+            );
+        };
+        // An unbounded Content-Length would let one request allocate the
+        // moon.
+        const MAX_BODY: usize = 16 << 20;
+        if length > MAX_BODY {
+            return refuse_post(
+                &mut reader,
+                400,
+                &format!("body too large ({length} bytes)"),
+                (length as u64).min(64 << 20),
+            );
+        }
+        let mut body = vec![0u8; length];
+        if let Err(e) = reader.read_exact(&mut body) {
+            let mut stream = reader.into_inner();
+            return respond(
+                &mut stream,
+                400,
+                "application/json",
+                &error_json(&format!("truncated body: {e}")),
+            );
+        }
+        body
+    } else {
+        Vec::new()
+    };
     let mut stream = reader.into_inner();
 
-    let (path, query_string) = match request.path.split_once('?') {
+    let (path, query_string) = match head.path.split_once('?') {
         Some((path, qs)) => (path, Some(qs)),
-        None => (request.path.as_str(), None),
+        None => (head.path.as_str(), None),
     };
 
-    match (request.method.as_str(), path) {
+    match (head.method.as_str(), path) {
         ("GET", "/status") => {
             let engine = source.current();
             let body = format!(
@@ -197,8 +314,8 @@ fn handle_connection(stream: TcpStream, source: &dyn EngineSource) -> std::io::R
             ),
         },
         ("POST", "/sparql") => {
-            let body = String::from_utf8_lossy(&request.body).into_owned();
-            let query = if request
+            let body = String::from_utf8_lossy(&body).into_owned();
+            let query = if head
                 .content_type
                 .starts_with("application/x-www-form-urlencoded")
             {
@@ -219,11 +336,34 @@ fn handle_connection(stream: TcpStream, source: &dyn EngineSource) -> std::io::R
                 ),
             }
         }
+        ("POST", "/update") => match sink {
+            None => respond(
+                &mut stream,
+                404,
+                "application/json",
+                &error_json("updates are not enabled on this endpoint"),
+            ),
+            Some(sink) => {
+                let body = String::from_utf8_lossy(&body).into_owned();
+                match sink.retract_ntriples(&body) {
+                    Ok(outcome) => {
+                        let body = format!(
+                            "{{\"epoch\":{},\"requested\":{},\"removed\":{},\"triples\":{}}}\n",
+                            outcome.epoch, outcome.requested, outcome.removed, outcome.triples,
+                        );
+                        respond(&mut stream, 200, "application/json", &body)
+                    }
+                    Err(message) => {
+                        respond(&mut stream, 400, "application/json", &error_json(&message))
+                    }
+                }
+            }
+        },
         ("GET" | "POST", _) => respond(
             &mut stream,
             404,
             "application/json",
-            &error_json("unknown path (use /sparql or /status)"),
+            &error_json("unknown path (use /sparql, /update or /status)"),
         ),
         _ => respond(
             &mut stream,
@@ -234,7 +374,33 @@ fn handle_connection(stream: TcpStream, source: &dyn EngineSource) -> std::io::R
     }
 }
 
-fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+/// Refuses a `POST` before its body was read: writes the error response,
+/// then **drains** (a bounded amount of) the body the client is still
+/// sending. Closing with unread request bytes in flight would reset the
+/// connection before the client reads the error, so the diagnostic would
+/// be lost — the drain is bounded by `drain_limit` and by a short read
+/// timeout, so neither a large upload nor an idle client can pin the
+/// worker.
+fn refuse_post(
+    reader: &mut BufReader<TcpStream>,
+    status: u16,
+    message: &str,
+    drain_limit: u64,
+) -> std::io::Result<()> {
+    respond(
+        reader.get_mut(),
+        status,
+        "application/json",
+        &error_json(message),
+    )?;
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(300)));
+    let _ = std::io::copy(&mut reader.by_ref().take(drain_limit), &mut std::io::sink());
+    Ok(())
+}
+
+fn read_head(reader: &mut BufReader<TcpStream>) -> Result<RequestHead, String> {
     // The whole head (request line + headers) is read through a byte cap:
     // a drip-fed endless line must error out, not grow a String forever.
     const MAX_HEAD: u64 = 64 << 10;
@@ -250,8 +416,9 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
     let method = parts.next().ok_or("empty request line")?.to_owned();
     let path = parts.next().ok_or("request line without path")?.to_owned();
 
-    let mut content_length = 0usize;
+    let mut content_length = None;
     let mut content_type = String::new();
+    let mut chunked = false;
     loop {
         let mut header = String::new();
         head.read_line(&mut header)
@@ -266,28 +433,26 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
         if let Some((name, value)) = header.split_once(':') {
             let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .parse::<usize>()
-                    .map_err(|_| format!("bad Content-Length '{value}'"))?;
+                content_length = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad Content-Length '{value}'"))?,
+                );
             } else if name.eq_ignore_ascii_case("content-type") {
                 content_type = value.to_ascii_lowercase();
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                chunked |= value
+                    .split(',')
+                    .any(|token| token.trim().eq_ignore_ascii_case("chunked"));
             }
         }
     }
-    // An unbounded Content-Length would let one request allocate the moon.
-    const MAX_BODY: usize = 16 << 20;
-    if content_length > MAX_BODY {
-        return Err(format!("body too large ({content_length} bytes)"));
-    }
-    let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("truncated body: {e}"))?;
-    Ok(Request {
+    Ok(RequestHead {
         method,
         path,
         content_type,
-        body,
+        content_length,
+        chunked,
     })
 }
 
@@ -313,9 +478,18 @@ fn percent_decode(input: &str) -> String {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 2 < bytes.len() => {
-                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
-                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+            b'%' => {
+                // A complete escape consumes "%XY"; anything else — a
+                // truncated escape at end-of-input ("%", "%2") or non-hex
+                // digits ("%zz") — falls back to the literal '%' and
+                // continues with the next byte, so no input can panic or
+                // swallow trailing bytes. `get` returns `None` when fewer
+                // than two bytes remain.
+                let escaped = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|hex| std::str::from_utf8(hex).ok())
+                    .and_then(|hex| u8::from_str_radix(hex, 16).ok());
+                match escaped {
                     Some(byte) => {
                         out.push(byte);
                         i += 3;
@@ -468,6 +642,8 @@ fn respond(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        411 => "Length Required",
+        501 => "Not Implemented",
         _ => "Internal Server Error",
     };
     write!(
@@ -636,6 +812,147 @@ mod tests {
         assert_eq!(percent_decode("%3Fx%3D1"), "?x=1");
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn percent_decoding_truncated_escapes_fall_back_to_literals() {
+        // Escapes cut off at end-of-input keep the literal bytes instead of
+        // panicking or swallowing the tail.
+        assert_eq!(percent_decode("%"), "%");
+        assert_eq!(percent_decode("%2"), "%2");
+        assert_eq!(percent_decode("a%2"), "a%2");
+        assert_eq!(percent_decode("ab%"), "ab%");
+        // A valid escape flush against end-of-input still decodes.
+        assert_eq!(percent_decode("a%20"), "a ");
+        assert_eq!(percent_decode("%41"), "A");
+        // '+' runs (including a lone one) are spaces, wherever they sit.
+        assert_eq!(percent_decode("+"), " ");
+        assert_eq!(percent_decode("+++"), "   ");
+        assert_eq!(percent_decode("%+"), "% ");
+        assert_eq!(percent_decode("+%2"), " %2");
+        // One bad escape does not derail later good ones.
+        assert_eq!(percent_decode("%%20"), "% ");
+        assert_eq!(percent_decode("%2%41"), "%2A");
+        assert_eq!(percent_decode(""), "");
+    }
+
+    #[test]
+    fn post_without_content_length_is_411_and_chunked_is_501() {
+        let (server, _snapshots, _dictionary) = start_server();
+        let addr = server.local_addr();
+
+        // POST without Content-Length: previously read as an empty body and
+        // answered with a misleading "empty query" parse error.
+        let (status, body) = http(addr, "POST /sparql HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 411, "body: {body}");
+        assert!(body.contains("Content-Length"), "body: {body}");
+
+        let (status, body) = http(
+            addr,
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+        );
+        assert_eq!(status, 501, "body: {body}");
+        assert!(body.contains("chunked"), "body: {body}");
+
+        // The same policy guards /update.
+        let (status, _) = http(addr, "POST /update HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 411);
+
+        // GET is unaffected: no body is expected or read.
+        let (status, _) = http(addr, "GET /status HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    /// An [`UpdateSink`] double recording the bodies it received.
+    struct RecordingSink {
+        bodies: std::sync::Mutex<Vec<String>>,
+    }
+
+    impl UpdateSink for Arc<RecordingSink> {
+        fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, String> {
+            if body.contains("<broken") {
+                return Err("parse error: broken".to_owned());
+            }
+            let requested = body.lines().filter(|l| !l.trim().is_empty()).count();
+            self.bodies.lock().unwrap().push(body.to_owned());
+            Ok(UpdateOutcome {
+                epoch: 7,
+                requested,
+                removed: requested,
+                triples: 100 - requested,
+            })
+        }
+    }
+
+    #[test]
+    fn post_update_routes_to_the_sink_and_reports_json() {
+        let (snapshots, dictionary) = service();
+        let source = {
+            let snapshots = Arc::clone(&snapshots);
+            let dictionary = Arc::clone(&dictionary);
+            move || SnapshotQueryEngine::new(snapshots.snapshot(), Arc::clone(&dictionary))
+        };
+        let sink = Arc::new(RecordingSink {
+            bodies: std::sync::Mutex::new(Vec::new()),
+        });
+        let server = SparqlServer::bind_with_updates(
+            "127.0.0.1:0",
+            2,
+            Arc::new(source),
+            Arc::new(Arc::clone(&sink)),
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+
+        let doc = "<http://ex/alice> <http://ex/knows> <http://ex/bob> .\n";
+        let (status, body) = http(
+            addr,
+            &format!(
+                "POST /update HTTP/1.1\r\nHost: t\r\nContent-Type: application/n-triples\r\nContent-Length: {}\r\n\r\n{doc}",
+                doc.len()
+            ),
+        );
+        assert_eq!(status, 200, "body: {body}");
+        assert_eq!(
+            body,
+            "{\"epoch\":7,\"requested\":1,\"removed\":1,\"triples\":99}\n"
+        );
+        assert_eq!(sink.bodies.lock().unwrap().as_slice(), &[doc.to_owned()]);
+
+        // Sink errors surface as 400 with the message.
+        let bad = "<broken";
+        let (status, body) = http(
+            addr,
+            &format!(
+                "POST /update HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{bad}",
+                bad.len()
+            ),
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("parse error"), "body: {body}");
+
+        // GET on /update is an unknown path.
+        let (status, _) = http(addr, "GET /update HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_update_without_a_sink_is_404() {
+        let (server, _snapshots, _dictionary) = start_server();
+        let addr = server.local_addr();
+        let doc = "<http://ex/a> <http://ex/b> <http://ex/c> .\n";
+        let (status, body) = http(
+            addr,
+            &format!(
+                "POST /update HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{doc}",
+                doc.len()
+            ),
+        );
+        assert_eq!(status, 404);
+        assert!(body.contains("not enabled"), "body: {body}");
+        server.shutdown();
     }
 
     /// Just enough encoding for the test queries (space and reserved chars).

@@ -382,11 +382,25 @@ impl Parser {
             }
         };
 
-        // Solution modifiers, in either order.
+        // Solution modifiers, in either order — but each at most once. A
+        // repeated clause used to be accepted with silent last-one-wins,
+        // which turned typos like `LIMIT 10 LIMIT 0` into empty results.
+        let mut seen_limit = false;
+        let mut seen_offset = false;
         loop {
-            if self.eat_keyword("LIMIT") {
+            if self.peek_keyword("LIMIT") {
+                if seen_limit {
+                    return Err(self.duplicate_clause("LIMIT"));
+                }
+                seen_limit = true;
+                self.position += 1;
                 query.limit = Some(self.parse_unsigned("LIMIT")?);
-            } else if self.eat_keyword("OFFSET") {
+            } else if self.peek_keyword("OFFSET") {
+                if seen_offset {
+                    return Err(self.duplicate_clause("OFFSET"));
+                }
+                seen_offset = true;
+                self.position += 1;
                 query.offset = self.parse_unsigned("OFFSET")?;
             } else {
                 break;
@@ -439,6 +453,14 @@ impl Parser {
             return Err(QueryParseError::new("SELECT needs '*' or variables"));
         }
         Ok(Selection::Variables(vars))
+    }
+
+    /// A positioned error for a repeated solution modifier.
+    fn duplicate_clause(&self, keyword: &str) -> QueryParseError {
+        QueryParseError::new(format!(
+            "duplicate {keyword} clause at token {}",
+            self.position + 1
+        ))
     }
 
     fn parse_unsigned(&mut self, keyword: &str) -> Result<usize, QueryParseError> {
@@ -680,6 +702,37 @@ mod tests {
         assert_eq!(q.select, Selection::Variables(vec!["who".into()]));
         assert_eq!(q.limit, Some(10));
         assert_eq!(q.offset, 3);
+    }
+
+    #[test]
+    fn modifiers_accept_either_order_but_reject_repeats() {
+        // Either order parses ...
+        let q = parse_query("SELECT * WHERE { ?x ?p ?o } OFFSET 3 LIMIT 10").unwrap();
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.offset, 3);
+        // ... but a repeated clause is a positioned parse error, not a
+        // silent last-one-wins.
+        for (query, clause) in [
+            ("SELECT * WHERE { ?x ?p ?o } LIMIT 10 LIMIT 0", "LIMIT"),
+            ("SELECT * WHERE { ?x ?p ?o } OFFSET 1 OFFSET 2", "OFFSET"),
+            (
+                "SELECT * WHERE { ?x ?p ?o } LIMIT 10 OFFSET 1 LIMIT 0",
+                "LIMIT",
+            ),
+            ("ASK { ?x ?p ?o } OFFSET 1 LIMIT 2 OFFSET 3", "OFFSET"),
+        ] {
+            let error = parse_query(query).expect_err(query);
+            assert!(
+                error
+                    .message
+                    .contains(&format!("duplicate {clause} clause")),
+                "{query}: {error}"
+            );
+            assert!(
+                error.message.contains("at token"),
+                "error is positioned: {error}"
+            );
+        }
     }
 
     #[test]

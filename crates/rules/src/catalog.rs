@@ -118,6 +118,11 @@ impl RuleId {
     pub fn inputs(self) -> RuleInputs {
         self.info().inputs
     }
+
+    /// The output signature of the rule (the property tables it writes).
+    pub fn outputs(self) -> RuleOutputs {
+        self.info().outputs
+    }
 }
 
 impl fmt::Display for RuleId {
@@ -224,6 +229,58 @@ pub enum SchemaSide {
     Object,
 }
 
+/// The output signature of a rule: which property tables its head can write.
+///
+/// This is the *write* half of the §4.3 dependency graph, the mirror image
+/// of [`RuleInputs`]. The incremental maintenance path (delete–rederive,
+/// docs/maintenance.md) uses it to seed rederivation: after over-deletion
+/// only the tables that lost pairs can be missing anything, so the first
+/// rederive iteration needs to fire only the rules whose outputs can land
+/// in one of those tables. Like the input signatures, output signatures
+/// must be **conservative**: declaring too wide an output merely wastes a
+/// duplicate-producing firing, while declaring too narrow a one would leave
+/// entailed triples unrestored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleOutputs {
+    /// The head writes only these fixed property tables.
+    Properties(&'static [u64]),
+    /// γ/δ-style: the head's property is named on the given `side` of the
+    /// `schema` table's pairs (e.g. `PRP-SPO1` writes the table of every
+    /// property appearing as an *object* of a `rdfs:subPropertyOf` pair).
+    PropertyVariable {
+        /// The fixed schema property table naming the output tables.
+        schema: u64,
+        /// Which component of a schema pair names an output table.
+        side: SchemaSide,
+    },
+    /// The head writes the table of every property declared
+    /// `⟨p, rdf:type, marker⟩` (e.g. `PRP-SYMP` mirrors pairs within the
+    /// declared symmetric properties' own tables).
+    MarkedProperties {
+        /// The `rdf:type` object marking the properties the rule writes.
+        marker: u64,
+    },
+    /// The head can write any table (the `EQ-REP-S/O` replacement rules
+    /// copy pairs under their original, arbitrary predicate).
+    AnyProperty,
+}
+
+impl RuleOutputs {
+    /// The fixed properties written (empty for the dynamic variants).
+    pub fn properties(self) -> &'static [u64] {
+        match self {
+            RuleOutputs::Properties(props) => props,
+            _ => &[],
+        }
+    }
+
+    /// `true` when the rule may write tables of arbitrary properties rather
+    /// than a fixed list.
+    pub fn is_dynamic(self) -> bool {
+        !matches!(self, RuleOutputs::Properties(_))
+    }
+}
+
 impl RuleInputs {
     /// `true` when the rule may scan tables of arbitrary properties (the
     /// dynamic variants) rather than a fixed list.
@@ -299,6 +356,8 @@ pub struct RuleInfo {
     pub rdfs_plus: Membership,
     /// Input signature: the property tables the rule's antecedents read.
     pub inputs: RuleInputs,
+    /// Output signature: the property tables the rule's head can write.
+    pub outputs: RuleOutputs,
     /// One-line description (body ⇒ head).
     pub description: &'static str,
 }
@@ -329,6 +388,24 @@ const fn any_with(guard: u64) -> RuleInputs {
     RuleInputs::AnyGuardedBy { guard }
 }
 
+/// Shorthand for a fixed-property output signature in the catalog rows.
+const fn writes(props: &'static [u64]) -> RuleOutputs {
+    RuleOutputs::Properties(props)
+}
+
+/// Shorthand for a γ/δ property-variable output signature.
+const fn writes_via(schema: u64, side: SchemaSide) -> RuleOutputs {
+    RuleOutputs::PropertyVariable { schema, side }
+}
+
+/// Shorthand for a marked-properties output signature.
+const fn writes_marked(marker: u64) -> RuleOutputs {
+    RuleOutputs::MarkedProperties { marker }
+}
+
+/// Shorthand for the any-table output signature.
+const W_ANY: RuleOutputs = RuleOutputs::AnyProperty;
+
 /// The full catalog, in Table 5 order (index = `RuleId as usize`).
 pub static CATALOG: [RuleInfo; 38] = [
     RuleInfo {
@@ -340,6 +417,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: on(&[wk::OWL_EQUIVALENT_CLASS, wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDF_TYPE]),
         description: "c1 owl:equivalentClass c2, x rdf:type c1 ⇒ x rdf:type c2",
     },
     RuleInfo {
@@ -351,6 +429,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: on(&[wk::OWL_EQUIVALENT_CLASS, wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDF_TYPE]),
         description: "c1 owl:equivalentClass c2, x rdf:type c2 ⇒ x rdf:type c1",
     },
     RuleInfo {
@@ -362,6 +441,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: D,
         rdfs_plus: D,
         inputs: on(&[wk::RDFS_SUB_CLASS_OF, wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDF_TYPE]),
         description: "c1 rdfs:subClassOf c2, x rdf:type c1 ⇒ x rdf:type c2",
     },
     RuleInfo {
@@ -373,6 +453,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: any_with(wk::OWL_SAME_AS),
+        outputs: W_ANY,
         description: "o1 owl:sameAs o2, s p o1 ⇒ s p o2",
     },
     RuleInfo {
@@ -384,6 +465,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: via(wk::OWL_SAME_AS, S),
+        outputs: writes_via(wk::OWL_SAME_AS, O),
         description: "p1 owl:sameAs p2, s p1 o ⇒ s p2 o",
     },
     RuleInfo {
@@ -395,6 +477,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: any_with(wk::OWL_SAME_AS),
+        outputs: W_ANY,
         description: "s1 owl:sameAs s2, s1 p o ⇒ s2 p o",
     },
     RuleInfo {
@@ -406,6 +489,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: on(&[wk::OWL_SAME_AS]),
+        outputs: writes(&[wk::OWL_SAME_AS]),
         description: "x owl:sameAs y ⇒ y owl:sameAs x",
     },
     RuleInfo {
@@ -417,6 +501,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: on(&[wk::OWL_SAME_AS]),
+        outputs: writes(&[wk::OWL_SAME_AS]),
         description: "x owl:sameAs y, y owl:sameAs z ⇒ x owl:sameAs z",
     },
     RuleInfo {
@@ -428,6 +513,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: D,
         rdfs_plus: D,
         inputs: via(wk::RDFS_DOMAIN, S),
+        outputs: writes(&[wk::RDF_TYPE]),
         description: "p rdfs:domain c, x p y ⇒ x rdf:type c",
     },
     RuleInfo {
@@ -439,6 +525,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: via(wk::OWL_EQUIVALENT_PROPERTY, S),
+        outputs: writes_via(wk::OWL_EQUIVALENT_PROPERTY, O),
         description: "p1 owl:equivalentProperty p2, x p1 y ⇒ x p2 y",
     },
     RuleInfo {
@@ -450,6 +537,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: via(wk::OWL_EQUIVALENT_PROPERTY, O),
+        outputs: writes_via(wk::OWL_EQUIVALENT_PROPERTY, S),
         description: "p1 owl:equivalentProperty p2, x p2 y ⇒ x p1 y",
     },
     RuleInfo {
@@ -461,6 +549,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: marked(wk::OWL_FUNCTIONAL_PROPERTY),
+        outputs: writes(&[wk::OWL_SAME_AS]),
         description: "p a owl:FunctionalProperty, x p y1, x p y2 ⇒ y1 owl:sameAs y2",
     },
     RuleInfo {
@@ -472,6 +561,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: marked(wk::OWL_INVERSE_FUNCTIONAL_PROPERTY),
+        outputs: writes(&[wk::OWL_SAME_AS]),
         description: "p a owl:InverseFunctionalProperty, x1 p y, x2 p y ⇒ x1 owl:sameAs x2",
     },
     RuleInfo {
@@ -483,6 +573,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: via(wk::OWL_INVERSE_OF, S),
+        outputs: writes_via(wk::OWL_INVERSE_OF, O),
         description: "p1 owl:inverseOf p2, x p1 y ⇒ y p2 x",
     },
     RuleInfo {
@@ -494,6 +585,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: via(wk::OWL_INVERSE_OF, O),
+        outputs: writes_via(wk::OWL_INVERSE_OF, S),
         description: "p1 owl:inverseOf p2, x p2 y ⇒ y p1 x",
     },
     RuleInfo {
@@ -505,6 +597,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: D,
         rdfs_plus: D,
         inputs: via(wk::RDFS_RANGE, S),
+        outputs: writes(&[wk::RDF_TYPE]),
         description: "p rdfs:range c, x p y ⇒ y rdf:type c",
     },
     RuleInfo {
@@ -516,6 +609,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: D,
         rdfs_plus: D,
         inputs: via(wk::RDFS_SUB_PROPERTY_OF, S),
+        outputs: writes_via(wk::RDFS_SUB_PROPERTY_OF, O),
         description: "p1 rdfs:subPropertyOf p2, x p1 y ⇒ x p2 y",
     },
     RuleInfo {
@@ -527,6 +621,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: marked(wk::OWL_SYMMETRIC_PROPERTY),
+        outputs: writes_marked(wk::OWL_SYMMETRIC_PROPERTY),
         description: "p a owl:SymmetricProperty, x p y ⇒ y p x",
     },
     RuleInfo {
@@ -538,6 +633,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: marked(wk::OWL_TRANSITIVE_PROPERTY),
+        outputs: writes_marked(wk::OWL_TRANSITIVE_PROPERTY),
         description: "p a owl:TransitiveProperty, x p y, y p z ⇒ x p z",
     },
     RuleInfo {
@@ -549,6 +645,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: on(&[wk::RDFS_DOMAIN, wk::RDFS_SUB_CLASS_OF]),
+        outputs: writes(&[wk::RDFS_DOMAIN]),
         description: "p rdfs:domain c1, c1 rdfs:subClassOf c2 ⇒ p rdfs:domain c2",
     },
     RuleInfo {
@@ -560,6 +657,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: D,
         rdfs_plus: D,
         inputs: on(&[wk::RDFS_DOMAIN, wk::RDFS_SUB_PROPERTY_OF]),
+        outputs: writes(&[wk::RDFS_DOMAIN]),
         description: "p2 rdfs:domain c, p1 rdfs:subPropertyOf p2 ⇒ p1 rdfs:domain c",
     },
     RuleInfo {
@@ -571,6 +669,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: on(&[wk::OWL_EQUIVALENT_CLASS]),
+        outputs: writes(&[wk::RDFS_SUB_CLASS_OF]),
         description: "c1 owl:equivalentClass c2 ⇒ c1 rdfs:subClassOf c2, c2 rdfs:subClassOf c1",
     },
     RuleInfo {
@@ -582,6 +681,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: on(&[wk::RDFS_SUB_CLASS_OF]),
+        outputs: writes(&[wk::OWL_EQUIVALENT_CLASS]),
         description: "c1 rdfs:subClassOf c2, c2 rdfs:subClassOf c1 ⇒ c1 owl:equivalentClass c2",
     },
     RuleInfo {
@@ -593,6 +693,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: on(&[wk::OWL_EQUIVALENT_PROPERTY]),
+        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF]),
         description:
             "p1 owl:equivalentProperty p2 ⇒ p1 rdfs:subPropertyOf p2, p2 rdfs:subPropertyOf p1",
     },
@@ -605,6 +706,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: on(&[wk::RDFS_SUB_PROPERTY_OF]),
+        outputs: writes(&[wk::OWL_EQUIVALENT_PROPERTY]),
         description:
             "p1 rdfs:subPropertyOf p2, p2 rdfs:subPropertyOf p1 ⇒ p1 owl:equivalentProperty p2",
     },
@@ -617,6 +719,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: D,
         inputs: on(&[wk::RDFS_RANGE, wk::RDFS_SUB_CLASS_OF]),
+        outputs: writes(&[wk::RDFS_RANGE]),
         description: "p rdfs:range c1, c1 rdfs:subClassOf c2 ⇒ p rdfs:range c2",
     },
     RuleInfo {
@@ -628,6 +731,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: D,
         rdfs_plus: D,
         inputs: on(&[wk::RDFS_RANGE, wk::RDFS_SUB_PROPERTY_OF]),
+        outputs: writes(&[wk::RDFS_RANGE]),
         description: "p2 rdfs:range c, p1 rdfs:subPropertyOf p2 ⇒ p1 rdfs:range c",
     },
     RuleInfo {
@@ -639,6 +743,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: D,
         rdfs_plus: D,
         inputs: on(&[wk::RDFS_SUB_CLASS_OF]),
+        outputs: writes(&[wk::RDFS_SUB_CLASS_OF]),
         description: "c1 rdfs:subClassOf c2, c2 rdfs:subClassOf c3 ⇒ c1 rdfs:subClassOf c3",
     },
     RuleInfo {
@@ -650,6 +755,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: D,
         rdfs_plus: D,
         inputs: on(&[wk::RDFS_SUB_PROPERTY_OF]),
+        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF]),
         description:
             "p1 rdfs:subPropertyOf p2, p2 rdfs:subPropertyOf p3 ⇒ p1 rdfs:subPropertyOf p3",
     },
@@ -662,6 +768,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: F,
         inputs: on(&[wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDFS_SUB_CLASS_OF, wk::OWL_EQUIVALENT_CLASS]),
         description: "c a owl:Class ⇒ c ⊑ c, c ≡ c, c ⊑ owl:Thing, owl:Nothing ⊑ c",
     },
     RuleInfo {
@@ -673,6 +780,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: F,
         inputs: on(&[wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF, wk::OWL_EQUIVALENT_PROPERTY]),
         description:
             "p a owl:DatatypeProperty ⇒ p rdfs:subPropertyOf p, p owl:equivalentProperty p",
     },
@@ -685,6 +793,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: F,
         inputs: on(&[wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF, wk::OWL_EQUIVALENT_PROPERTY]),
         description: "p a owl:ObjectProperty ⇒ p rdfs:subPropertyOf p, p owl:equivalentProperty p",
     },
     RuleInfo {
@@ -696,6 +805,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: F,
         rdfs_plus: F,
         inputs: ANY,
+        outputs: writes(&[wk::RDF_TYPE]),
         description: "x p y ⇒ x rdf:type rdfs:Resource, y rdf:type rdfs:Resource",
     },
     RuleInfo {
@@ -707,6 +817,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: N,
         inputs: on(&[wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDFS_SUB_CLASS_OF]),
         description: "x a rdfs:Class ⇒ x rdfs:subClassOf rdfs:Resource",
     },
     RuleInfo {
@@ -718,6 +829,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: N,
         inputs: on(&[wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF]),
         description: "x a rdfs:ContainerMembershipProperty ⇒ x rdfs:subPropertyOf rdfs:member",
     },
     RuleInfo {
@@ -729,6 +841,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: N,
         inputs: on(&[wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDFS_SUB_CLASS_OF]),
         description: "x a rdfs:Datatype ⇒ x rdfs:subClassOf rdfs:Literal",
     },
     RuleInfo {
@@ -740,6 +853,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: N,
         inputs: on(&[wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF]),
         description: "x a rdf:Property ⇒ x rdfs:subPropertyOf x",
     },
     RuleInfo {
@@ -751,6 +865,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: N,
         rdfs_plus: N,
         inputs: on(&[wk::RDF_TYPE]),
+        outputs: writes(&[wk::RDFS_SUB_CLASS_OF]),
         description: "x a rdfs:Class ⇒ x rdfs:subClassOf x",
     },
 ];
@@ -903,5 +1018,71 @@ mod tests {
         assert_eq!(RuleId::CaxSco.to_string(), "CAX-SCO");
         assert_eq!(RuleClass::Alpha.to_string(), "α");
         assert_eq!(RuleClass::SameAs.to_string(), "same-as");
+    }
+
+    #[test]
+    fn output_signatures_match_the_executor_writes() {
+        // The type-producing joins write exactly the rdf:type table.
+        assert_eq!(RuleId::CaxSco.outputs().properties(), &[wk::RDF_TYPE]);
+        assert_eq!(RuleId::PrpDom.outputs().properties(), &[wk::RDF_TYPE]);
+        assert_eq!(RuleId::Rdfs4.outputs().properties(), &[wk::RDF_TYPE]);
+        // Functional rules emit sameAs links.
+        assert_eq!(RuleId::PrpFp.outputs().properties(), &[wk::OWL_SAME_AS]);
+        assert_eq!(RuleId::EqTrans.outputs().properties(), &[wk::OWL_SAME_AS]);
+        // γ/δ rules write the table named by their schema pairs — on the
+        // side *opposite* to the one their input signature reads (PRP-SPO1
+        // reads the subjects' tables and writes the objects').
+        assert_eq!(
+            RuleId::PrpSpo1.outputs(),
+            RuleOutputs::PropertyVariable {
+                schema: wk::RDFS_SUB_PROPERTY_OF,
+                side: SchemaSide::Object
+            }
+        );
+        assert_eq!(
+            RuleId::PrpInv2.outputs(),
+            RuleOutputs::PropertyVariable {
+                schema: wk::OWL_INVERSE_OF,
+                side: SchemaSide::Subject
+            }
+        );
+        // Marked rules write back into the declared properties' own tables.
+        assert_eq!(
+            RuleId::PrpTrp.outputs(),
+            RuleOutputs::MarkedProperties {
+                marker: wk::OWL_TRANSITIVE_PROPERTY
+            }
+        );
+        // The subject/object replacement rules can write any table.
+        assert_eq!(RuleId::EqRepS.outputs(), RuleOutputs::AnyProperty);
+        assert!(RuleId::EqRepS.outputs().is_dynamic());
+        assert!(RuleId::EqRepS.outputs().properties().is_empty());
+        // ... but the predicate replacement writes the aliases named by the
+        // sameAs pairs' objects.
+        assert_eq!(
+            RuleId::EqRepP.outputs(),
+            RuleOutputs::PropertyVariable {
+                schema: wk::OWL_SAME_AS,
+                side: SchemaSide::Object
+            }
+        );
+        // Multi-head trivial rules declare every table they touch.
+        assert_eq!(
+            RuleId::ScmCls.outputs().properties(),
+            &[wk::RDFS_SUB_CLASS_OF, wk::OWL_EQUIVALENT_CLASS]
+        );
+    }
+
+    #[test]
+    fn fixed_output_signatures_are_never_empty() {
+        for info in CATALOG.iter() {
+            if !info.outputs.is_dynamic() {
+                assert!(
+                    !info.outputs.properties().is_empty(),
+                    "{} declares no outputs at all",
+                    info.name
+                );
+            }
+        }
     }
 }

@@ -23,9 +23,13 @@ pub mod context;
 pub mod executors;
 pub mod materializer;
 pub mod ruleset;
+pub mod support;
 
-pub use catalog::{Membership, RuleClass, RuleId, RuleInfo, RuleInputs, CATALOG};
+pub use catalog::{
+    Membership, RuleClass, RuleId, RuleInfo, RuleInputs, RuleOutputs, SchemaSide, CATALOG,
+};
 pub use context::RuleContext;
 pub use executors::apply_rule;
 pub use materializer::{InferenceStats, Materializer};
 pub use ruleset::{Fragment, Ruleset};
+pub use support::is_supported;

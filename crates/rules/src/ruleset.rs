@@ -8,7 +8,7 @@
 //! (filled circles of Table 5) from a *full* version that adds the
 //! half-circle rules.
 
-use crate::catalog::{Membership, RuleClass, RuleId, RuleInputs, SchemaSide, CATALOG};
+use crate::catalog::{Membership, RuleClass, RuleId, RuleInputs, RuleOutputs, SchemaSide, CATALOG};
 use crate::context::RuleContext;
 use inferray_dictionary::wellknown as wk;
 use inferray_store::TripleStore;
@@ -224,6 +224,29 @@ impl Ruleset {
         self.rules_in_mask(mask)
     }
 
+    /// The subset of the ruleset whose heads can **write** one of the
+    /// `deleted` property tables, given the current store, in Table 5 order
+    /// — the rederivation seed of the delete–rederive maintenance path
+    /// (docs/maintenance.md).
+    ///
+    /// After over-deletion, only the tables that lost pairs can be missing
+    /// entailed triples, so the first rederive iteration needs exactly the
+    /// rules whose output signature reaches one of those tables; every rule
+    /// a multi-step rederivation needs beyond that is picked up by the
+    /// ordinary input-driven scheduling of the following iterations (the
+    /// intermediate triples it consumes are themselves missing, hence also
+    /// in a deleted table).
+    pub fn rederive_rules(&self, main: &TripleStore, deleted: &BTreeSet<u64>) -> Vec<RuleId> {
+        if deleted.is_empty() {
+            return Vec::new();
+        }
+        self.rules
+            .iter()
+            .copied()
+            .filter(|&rule| outputs_may_write(rule.outputs(), main, deleted))
+            .collect()
+    }
+
     fn rules_in_mask(&self, mask: u64) -> Vec<RuleId> {
         self.rules
             .iter()
@@ -271,6 +294,29 @@ fn dynamic_inputs_changed(
                 .iter()
                 .any(|p| changed.contains(p))
         }
+    }
+}
+
+/// Evaluates an output signature against the store: `true` when the rule's
+/// head can land a triple in one of the `deleted` tables.
+fn outputs_may_write(outputs: RuleOutputs, main: &TripleStore, deleted: &BTreeSet<u64>) -> bool {
+    match outputs {
+        RuleOutputs::Properties(props) => props.iter().any(|p| deleted.contains(p)),
+        RuleOutputs::PropertyVariable { schema, side } => main.table(schema).is_some_and(|table| {
+            table.iter_pairs().any(|(s, o)| {
+                let named = match side {
+                    SchemaSide::Subject => s,
+                    SchemaSide::Object => o,
+                };
+                deleted.contains(&named)
+            })
+        }),
+        RuleOutputs::MarkedProperties { marker } => {
+            RuleContext::subjects_with_object(main, wk::RDF_TYPE, marker)
+                .iter()
+                .any(|p| deleted.contains(p))
+        }
+        RuleOutputs::AnyProperty => true,
     }
 }
 
@@ -478,6 +524,88 @@ mod tests {
         let same_as = store(&[(c, wk::OWL_SAME_AS, c + 2)]);
         let scheduled = rho.scheduled_rules(&same_as, &same_as.clone());
         assert!(!scheduled.contains(&RuleId::EqSym));
+    }
+
+    #[test]
+    fn rederive_rules_follow_output_signatures() {
+        let ruleset = Ruleset::for_fragment(Fragment::RdfsDefault);
+        let knows = nth_property_id(905);
+        let person = 9_840_000u64;
+        let main = store(&[
+            (knows, wk::RDFS_DOMAIN, person),
+            (person, wk::RDFS_SUB_CLASS_OF, person + 1),
+            (person + 10, knows, person + 11),
+        ]);
+        // rdf:type pairs were deleted: exactly the rules that can write the
+        // rdf:type table come back — CAX-SCO, PRP-DOM and PRP-RNG, nothing
+        // that writes only schema tables.
+        let deleted: BTreeSet<u64> = [wk::RDF_TYPE].into_iter().collect();
+        let scheduled = ruleset.rederive_rules(&main, &deleted);
+        assert_eq!(
+            scheduled,
+            vec![RuleId::CaxSco, RuleId::PrpDom, RuleId::PrpRng]
+        );
+        // subClassOf pairs were deleted: the subClassOf writers come back.
+        let deleted: BTreeSet<u64> = [wk::RDFS_SUB_CLASS_OF].into_iter().collect();
+        let scheduled = ruleset.rederive_rules(&main, &deleted);
+        assert_eq!(scheduled, vec![RuleId::ScmSco]);
+        // A data property named by a domain pair lost pairs: only the γ/δ
+        // rules whose *output* is named by a surviving schema pair fire —
+        // `knows` appears as an object of no subPropertyOf pair, so even
+        // PRP-SPO1 stays off.
+        let deleted: BTreeSet<u64> = [knows].into_iter().collect();
+        assert!(ruleset.rederive_rules(&main, &deleted).is_empty());
+        // Unless a schema pair names it as an output.
+        let with_spo = store(&[
+            (knows, wk::RDFS_DOMAIN, person),
+            (nth_property_id(906), wk::RDFS_SUB_PROPERTY_OF, knows),
+        ]);
+        assert_eq!(
+            with_spo.table(wk::RDFS_SUB_PROPERTY_OF).unwrap().len(),
+            1,
+            "schema pair present"
+        );
+        assert_eq!(
+            ruleset.rederive_rules(&with_spo, &deleted),
+            vec![RuleId::PrpSpo1]
+        );
+        // Nothing deleted: nothing to rederive.
+        assert!(ruleset.rederive_rules(&main, &BTreeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn rederive_rules_handle_markers_and_any_property_outputs() {
+        let ruleset = Ruleset::for_fragment(Fragment::RdfsPlus);
+        let part_of = nth_property_id(907);
+        let a = 9_850_000u64;
+        let main = store(&[
+            (part_of, wk::RDF_TYPE, wk::OWL_TRANSITIVE_PROPERTY),
+            (a, part_of, a + 1),
+        ]);
+        // The declared transitive property lost pairs: PRP-TRP can rewrite
+        // it; the sameAs replacement rules can write *any* table, so they
+        // are always part of the seed.
+        let deleted: BTreeSet<u64> = [part_of].into_iter().collect();
+        let scheduled = ruleset.rederive_rules(&main, &deleted);
+        assert!(scheduled.contains(&RuleId::PrpTrp));
+        assert!(scheduled.contains(&RuleId::EqRepO));
+        assert!(scheduled.contains(&RuleId::EqRepS));
+        assert!(!scheduled.contains(&RuleId::CaxSco));
+        assert!(
+            !scheduled.contains(&RuleId::PrpSymp),
+            "not declared symmetric"
+        );
+        // sameAs pairs lost: every rule with a fixed owl:sameAs output.
+        let deleted: BTreeSet<u64> = [wk::OWL_SAME_AS].into_iter().collect();
+        let scheduled = ruleset.rederive_rules(&main, &deleted);
+        for rule in [
+            RuleId::EqSym,
+            RuleId::EqTrans,
+            RuleId::PrpFp,
+            RuleId::PrpIfp,
+        ] {
+            assert!(scheduled.contains(&rule), "{rule} writes owl:sameAs");
+        }
     }
 
     #[test]

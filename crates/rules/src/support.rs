@@ -1,0 +1,451 @@
+//! One-step **support checks** — the rederivation probes of the
+//! delete–rederive maintenance path (docs/maintenance.md).
+//!
+//! [`is_supported`] answers, for one rule and one candidate triple, "can
+//! this rule derive the candidate from the triples currently in the
+//! store?" — the backward direction of the executors in
+//! [`crate::executors`]. Where an executor scans whole tables to emit every
+//! consequence, a support check starts from the candidate's constants and
+//! needs only a handful of binary searches / cache probes, so probing each
+//! over-deleted triple is dramatically cheaper than re-firing the rules
+//! over the full store.
+//!
+//! Contract with the executors (relied on by the byte-identity proof of
+//! `tests/retraction_equivalence.rs`):
+//!
+//! * **sound** — `is_supported(rule, store, t)` implies `t` is entailed by
+//!   the store's triples under `rule` (every probe checks actual premises);
+//! * **complete at one step** — whenever firing `rule` over the store
+//!   (`new == main`) would emit `t`, some support probe returns `true`.
+//!   Multi-step rederivations need no deeper search: the maintenance loop
+//!   re-asserts the supported candidates and cascades them with the
+//!   ordinary semi-naive machinery, which reaches every greater derivation
+//!   height.
+//!
+//! For the θ (closure) rules the probe checks a single two-premise
+//! transitivity step. The executors close whole tables at once, but any
+//! closure pair they emit is reachable through a chain of such steps, each
+//! of which is found as its premises get re-asserted.
+
+use crate::catalog::RuleId;
+use crate::context::RuleContext;
+use inferray_dictionary::wellknown as wk;
+use inferray_model::ids::is_property_id;
+use inferray_model::IdTriple;
+use inferray_store::{PropertyTable, TripleStore};
+
+/// `true` when `rule` can derive `t` in one step from the triples of
+/// `store`. Probes use the ⟨o,s⟩ caches when materialized (callers ensure
+/// them before a rederivation pass) and fall back to scans otherwise.
+pub fn is_supported(rule: RuleId, store: &TripleStore, t: IdTriple) -> bool {
+    let IdTriple { s, p, o } = t;
+    match rule {
+        // -- α: class/schema joins ----------------------------------------
+        RuleId::CaxEqc1 => {
+            p == wk::RDF_TYPE
+                && subjects_with(store, wk::OWL_EQUIVALENT_CLASS, o)
+                    .iter()
+                    .any(|&c1| has(store, s, wk::RDF_TYPE, c1))
+        }
+        RuleId::CaxEqc2 => {
+            p == wk::RDF_TYPE
+                && objects_of(store, wk::OWL_EQUIVALENT_CLASS, o)
+                    .any(|c2| has(store, s, wk::RDF_TYPE, c2))
+        }
+        RuleId::CaxSco => {
+            p == wk::RDF_TYPE
+                && subjects_with(store, wk::RDFS_SUB_CLASS_OF, o)
+                    .iter()
+                    .any(|&c1| has(store, s, wk::RDF_TYPE, c1))
+        }
+        RuleId::ScmDom1 => {
+            p == wk::RDFS_DOMAIN
+                && objects_of(store, wk::RDFS_DOMAIN, s)
+                    .any(|c1| has(store, c1, wk::RDFS_SUB_CLASS_OF, o))
+        }
+        RuleId::ScmDom2 => {
+            p == wk::RDFS_DOMAIN
+                && objects_of(store, wk::RDFS_SUB_PROPERTY_OF, s)
+                    .any(|p2| has(store, p2, wk::RDFS_DOMAIN, o))
+        }
+        RuleId::ScmRng1 => {
+            p == wk::RDFS_RANGE
+                && objects_of(store, wk::RDFS_RANGE, s)
+                    .any(|c1| has(store, c1, wk::RDFS_SUB_CLASS_OF, o))
+        }
+        RuleId::ScmRng2 => {
+            p == wk::RDFS_RANGE
+                && objects_of(store, wk::RDFS_SUB_PROPERTY_OF, s)
+                    .any(|p2| has(store, p2, wk::RDFS_RANGE, o))
+        }
+        // -- β: mutual subsumption ----------------------------------------
+        RuleId::ScmEqc2 => {
+            p == wk::OWL_EQUIVALENT_CLASS
+                && has(store, s, wk::RDFS_SUB_CLASS_OF, o)
+                && has(store, o, wk::RDFS_SUB_CLASS_OF, s)
+        }
+        RuleId::ScmEqp2 => {
+            p == wk::OWL_EQUIVALENT_PROPERTY
+                && has(store, s, wk::RDFS_SUB_PROPERTY_OF, o)
+                && has(store, o, wk::RDFS_SUB_PROPERTY_OF, s)
+        }
+        // -- γ / δ: property-variable rules -------------------------------
+        RuleId::PrpDom => {
+            p == wk::RDF_TYPE
+                && subjects_with(store, wk::RDFS_DOMAIN, o)
+                    .iter()
+                    .any(|&dp| is_property_id(dp) && subject_occurs(store, dp, s))
+        }
+        RuleId::PrpRng => {
+            p == wk::RDF_TYPE
+                && subjects_with(store, wk::RDFS_RANGE, o)
+                    .iter()
+                    .any(|&rp| is_property_id(rp) && object_occurs(store, rp, s))
+        }
+        RuleId::PrpSpo1 => {
+            is_property_id(p)
+                && subjects_with(store, wk::RDFS_SUB_PROPERTY_OF, p)
+                    .iter()
+                    .any(|&p1| p1 != p && is_property_id(p1) && has(store, s, p1, o))
+        }
+        RuleId::PrpEqp1 => {
+            is_property_id(p)
+                && subjects_with(store, wk::OWL_EQUIVALENT_PROPERTY, p)
+                    .iter()
+                    .any(|&p1| is_property_id(p1) && has(store, s, p1, o))
+        }
+        RuleId::PrpEqp2 => {
+            is_property_id(p)
+                && objects_of(store, wk::OWL_EQUIVALENT_PROPERTY, p)
+                    .any(|p2| is_property_id(p2) && has(store, s, p2, o))
+        }
+        RuleId::PrpInv1 => {
+            is_property_id(p)
+                && subjects_with(store, wk::OWL_INVERSE_OF, p)
+                    .iter()
+                    .any(|&p1| is_property_id(p1) && has(store, o, p1, s))
+        }
+        RuleId::PrpInv2 => {
+            is_property_id(p)
+                && objects_of(store, wk::OWL_INVERSE_OF, p)
+                    .any(|p2| is_property_id(p2) && has(store, o, p2, s))
+        }
+        RuleId::PrpSymp => declared(store, p, wk::OWL_SYMMETRIC_PROPERTY) && has(store, o, p, s),
+        // -- functional properties ----------------------------------------
+        RuleId::PrpFp => {
+            p == wk::OWL_SAME_AS
+                && s != o
+                && marked_properties(store, wk::OWL_FUNCTIONAL_PROPERTY)
+                    .iter()
+                    .any(|&fp| {
+                        is_property_id(fp)
+                            && subjects_with(store, fp, s)
+                                .iter()
+                                .any(|&x| has(store, x, fp, o))
+                    })
+        }
+        RuleId::PrpIfp => {
+            p == wk::OWL_SAME_AS
+                && s != o
+                && marked_properties(store, wk::OWL_INVERSE_FUNCTIONAL_PROPERTY)
+                    .iter()
+                    .any(|&fp| {
+                        is_property_id(fp) && objects_of(store, fp, s).any(|y| has(store, o, fp, y))
+                    })
+        }
+        // -- sameAs replacement -------------------------------------------
+        RuleId::EqRepS => subjects_with(store, wk::OWL_SAME_AS, s)
+            .iter()
+            .any(|&s1| s1 != s && has(store, s1, p, o)),
+        RuleId::EqRepO => subjects_with(store, wk::OWL_SAME_AS, o)
+            .iter()
+            .any(|&o1| o1 != o && has(store, s, p, o1)),
+        RuleId::EqRepP => {
+            is_property_id(p)
+                && subjects_with(store, wk::OWL_SAME_AS, p)
+                    .iter()
+                    .any(|&p1| p1 != p && is_property_id(p1) && has(store, s, p1, o))
+        }
+        // -- θ: one transitivity step -------------------------------------
+        RuleId::ScmSco => {
+            p == wk::RDFS_SUB_CLASS_OF
+                && objects_of(store, wk::RDFS_SUB_CLASS_OF, s)
+                    .any(|mid| has(store, mid, wk::RDFS_SUB_CLASS_OF, o))
+        }
+        RuleId::ScmSpo => {
+            p == wk::RDFS_SUB_PROPERTY_OF
+                && objects_of(store, wk::RDFS_SUB_PROPERTY_OF, s)
+                    .any(|mid| has(store, mid, wk::RDFS_SUB_PROPERTY_OF, o))
+        }
+        RuleId::EqTrans => {
+            // The executor closes the *symmetric* sameAs graph (including
+            // reflexive pairs), so premises count in either orientation.
+            p == wk::OWL_SAME_AS && {
+                let linked = |a: u64, b: u64| {
+                    has(store, a, wk::OWL_SAME_AS, b) || has(store, b, wk::OWL_SAME_AS, a)
+                };
+                objects_of(store, wk::OWL_SAME_AS, s)
+                    .chain(subjects_with(store, wk::OWL_SAME_AS, s))
+                    .any(|mid| linked(mid, o))
+            }
+        }
+        RuleId::PrpTrp => {
+            is_property_id(p)
+                && declared(store, p, wk::OWL_TRANSITIVE_PROPERTY)
+                && objects_of(store, p, s).any(|mid| has(store, mid, p, o))
+        }
+        // -- trivial single-antecedent rules ------------------------------
+        RuleId::EqSym => p == wk::OWL_SAME_AS && s != o && has(store, o, wk::OWL_SAME_AS, s),
+        RuleId::ScmEqc1 => {
+            p == wk::RDFS_SUB_CLASS_OF
+                && (has(store, s, wk::OWL_EQUIVALENT_CLASS, o)
+                    || has(store, o, wk::OWL_EQUIVALENT_CLASS, s))
+        }
+        RuleId::ScmEqp1 => {
+            p == wk::RDFS_SUB_PROPERTY_OF
+                && (has(store, s, wk::OWL_EQUIVALENT_PROPERTY, o)
+                    || has(store, o, wk::OWL_EQUIVALENT_PROPERTY, s))
+        }
+        RuleId::ScmCls => match p {
+            wk::RDFS_SUB_CLASS_OF => {
+                (s == o || o == wk::OWL_THING) && declared(store, s, wk::OWL_CLASS)
+                    || (s == wk::OWL_NOTHING && declared(store, o, wk::OWL_CLASS))
+            }
+            wk::OWL_EQUIVALENT_CLASS => s == o && declared(store, s, wk::OWL_CLASS),
+            _ => false,
+        },
+        RuleId::ScmDp => {
+            (p == wk::RDFS_SUB_PROPERTY_OF || p == wk::OWL_EQUIVALENT_PROPERTY)
+                && s == o
+                && declared(store, s, wk::OWL_DATATYPE_PROPERTY)
+        }
+        RuleId::ScmOp => {
+            (p == wk::RDFS_SUB_PROPERTY_OF || p == wk::OWL_EQUIVALENT_PROPERTY)
+                && s == o
+                && declared(store, s, wk::OWL_OBJECT_PROPERTY)
+        }
+        RuleId::Rdfs4 => p == wk::RDF_TYPE && o == wk::RDFS_RESOURCE && occurs_anywhere(store, s),
+        RuleId::Rdfs6 => {
+            p == wk::RDFS_SUB_PROPERTY_OF && s == o && declared(store, s, wk::RDF_PROPERTY)
+        }
+        RuleId::Rdfs8 => {
+            p == wk::RDFS_SUB_CLASS_OF
+                && o == wk::RDFS_RESOURCE
+                && declared(store, s, wk::RDFS_CLASS)
+        }
+        RuleId::Rdfs10 => {
+            p == wk::RDFS_SUB_CLASS_OF && s == o && declared(store, s, wk::RDFS_CLASS)
+        }
+        RuleId::Rdfs12 => {
+            p == wk::RDFS_SUB_PROPERTY_OF
+                && o == wk::RDFS_MEMBER
+                && declared(store, s, wk::RDFS_CONTAINER_MEMBERSHIP_PROPERTY)
+        }
+        RuleId::Rdfs13 => {
+            p == wk::RDFS_SUB_CLASS_OF
+                && o == wk::RDFS_LITERAL
+                && declared(store, s, wk::RDFS_DATATYPE)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Probe primitives
+// ---------------------------------------------------------------------------
+
+/// Exact-triple membership (binary search).
+fn has(store: &TripleStore, s: u64, p: u64, o: u64) -> bool {
+    debug_assert!(is_property_id(p));
+    store
+        .table(p)
+        .is_some_and(|table| table.contains_pair(s, o))
+}
+
+/// The subjects of `⟨?, p, object⟩` (⟨o,s⟩ cache when built, scan fallback).
+fn subjects_with(store: &TripleStore, p: u64, object: u64) -> Vec<u64> {
+    RuleContext::subjects_with_object(store, p, object)
+}
+
+/// The objects of `⟨subject, p, ?⟩` (contiguous run of the ⟨s,o⟩ array).
+fn objects_of(store: &TripleStore, p: u64, subject: u64) -> impl Iterator<Item = u64> + '_ {
+    store
+        .table(p)
+        .into_iter()
+        .flat_map(move |table| table.objects_of(subject))
+}
+
+/// `⟨s, rdf:type, marker⟩ ∈ store`.
+fn declared(store: &TripleStore, s: u64, marker: u64) -> bool {
+    has(store, s, wk::RDF_TYPE, marker)
+}
+
+/// Every subject declared `⟨p, rdf:type, marker⟩`.
+fn marked_properties(store: &TripleStore, marker: u64) -> Vec<u64> {
+    subjects_with(store, wk::RDF_TYPE, marker)
+}
+
+/// `true` when `p` has any pair with subject `s`.
+fn subject_occurs(store: &TripleStore, p: u64, s: u64) -> bool {
+    store
+        .table(p)
+        .is_some_and(|table| table.objects_of(s).next().is_some())
+}
+
+/// `true` when `p` has any pair with object `o`.
+fn object_occurs(store: &TripleStore, p: u64, o: u64) -> bool {
+    store
+        .table(p)
+        .is_some_and(|table| table_has_object(table, o))
+}
+
+fn table_has_object(table: &PropertyTable, o: u64) -> bool {
+    if table.has_os_cache() {
+        table.subjects_of(o).next().is_some()
+    } else {
+        table.iter_pairs().any(|(_, object)| object == o)
+    }
+}
+
+/// `true` when `term` occurs as a subject or object of any table (RDFS4).
+fn occurs_anywhere(store: &TripleStore, term: u64) -> bool {
+    store
+        .iter_tables()
+        .any(|(_, table)| table.objects_of(term).next().is_some() || table_has_object(table, term))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inferray_model::ids::nth_property_id;
+
+    fn store(triples: &[(u64, u64, u64)]) -> TripleStore {
+        let mut store =
+            TripleStore::from_triples(triples.iter().map(|&(s, p, o)| IdTriple::new(s, p, o)));
+        store.ensure_all_os();
+        store
+    }
+
+    fn t(s: u64, p: u64, o: u64) -> IdTriple {
+        IdTriple::new(s, p, o)
+    }
+
+    const A: u64 = 8_100_000;
+    const B: u64 = 8_100_001;
+    const C: u64 = 8_100_002;
+    const X: u64 = 8_100_010;
+
+    #[test]
+    fn alpha_and_theta_probes() {
+        let r = store(&[
+            (A, wk::RDFS_SUB_CLASS_OF, B),
+            (B, wk::RDFS_SUB_CLASS_OF, C),
+            (X, wk::RDF_TYPE, A),
+        ]);
+        // cax-sco: X a B needs (A ⊑ B) + (X a A) — supported; X a C needs
+        // (X a B) which is absent — one step only.
+        assert!(is_supported(RuleId::CaxSco, &r, t(X, wk::RDF_TYPE, B)));
+        assert!(!is_supported(RuleId::CaxSco, &r, t(X, wk::RDF_TYPE, C)));
+        // scm-sco: A ⊑ C via B; nothing supports B ⊑ A.
+        assert!(is_supported(
+            RuleId::ScmSco,
+            &r,
+            t(A, wk::RDFS_SUB_CLASS_OF, C)
+        ));
+        assert!(!is_supported(
+            RuleId::ScmSco,
+            &r,
+            t(B, wk::RDFS_SUB_CLASS_OF, A)
+        ));
+        // Wrong-shape candidates are rejected outright.
+        assert!(!is_supported(
+            RuleId::CaxSco,
+            &r,
+            t(A, wk::RDFS_SUB_CLASS_OF, B)
+        ));
+    }
+
+    #[test]
+    fn gamma_probes_follow_schema_pairs() {
+        let knows = nth_property_id(950);
+        let knows2 = nth_property_id(951);
+        let r = store(&[
+            (knows, wk::RDFS_DOMAIN, A),
+            (knows, wk::RDFS_RANGE, B),
+            (knows2, wk::RDFS_SUB_PROPERTY_OF, knows),
+            (X, knows, X + 1),
+        ]);
+        assert!(is_supported(RuleId::PrpDom, &r, t(X, wk::RDF_TYPE, A)));
+        assert!(!is_supported(RuleId::PrpDom, &r, t(X + 1, wk::RDF_TYPE, A)));
+        assert!(is_supported(RuleId::PrpRng, &r, t(X + 1, wk::RDF_TYPE, B)));
+        // prp-spo1 rederives (x knows y) only from a subproperty's pair.
+        assert!(!is_supported(RuleId::PrpSpo1, &r, t(X, knows, X + 1)));
+        let r2 = store(&[
+            (knows2, wk::RDFS_SUB_PROPERTY_OF, knows),
+            (X, knows2, X + 1),
+        ]);
+        assert!(is_supported(RuleId::PrpSpo1, &r2, t(X, knows, X + 1)));
+    }
+
+    #[test]
+    fn same_as_and_functional_probes() {
+        let email = nth_property_id(952);
+        let r = store(&[
+            (A, wk::OWL_SAME_AS, B),
+            (A, wk::RDF_TYPE, C),
+            (email, wk::RDF_TYPE, wk::OWL_FUNCTIONAL_PROPERTY),
+            (X, email, A),
+            (X, email, B + 1),
+        ]);
+        assert!(is_supported(RuleId::EqSym, &r, t(B, wk::OWL_SAME_AS, A)));
+        assert!(!is_supported(
+            RuleId::EqSym,
+            &r,
+            t(A, wk::OWL_SAME_AS, B + 1)
+        ));
+        assert!(is_supported(RuleId::EqRepS, &r, t(B, wk::RDF_TYPE, C)));
+        assert!(!is_supported(RuleId::EqRepS, &r, t(C, wk::RDF_TYPE, C)));
+        // prp-fp: A and B+1 share the functional subject X.
+        assert!(is_supported(
+            RuleId::PrpFp,
+            &r,
+            t(A, wk::OWL_SAME_AS, B + 1)
+        ));
+        assert!(is_supported(
+            RuleId::PrpFp,
+            &r,
+            t(B + 1, wk::OWL_SAME_AS, A)
+        ));
+        assert!(!is_supported(RuleId::PrpFp, &r, t(A, wk::OWL_SAME_AS, B)));
+    }
+
+    #[test]
+    fn trivial_probes_check_shape_and_declaration() {
+        let r = store(&[(A, wk::RDF_TYPE, wk::RDFS_CLASS), (A, wk::RDFS_LABEL, B)]);
+        assert!(is_supported(
+            RuleId::Rdfs10,
+            &r,
+            t(A, wk::RDFS_SUB_CLASS_OF, A)
+        ));
+        assert!(!is_supported(
+            RuleId::Rdfs10,
+            &r,
+            t(B, wk::RDFS_SUB_CLASS_OF, B)
+        ));
+        assert!(is_supported(
+            RuleId::Rdfs8,
+            &r,
+            t(A, wk::RDFS_SUB_CLASS_OF, wk::RDFS_RESOURCE)
+        ));
+        assert!(is_supported(
+            RuleId::Rdfs4,
+            &r,
+            t(B, wk::RDF_TYPE, wk::RDFS_RESOURCE)
+        ));
+        assert!(!is_supported(
+            RuleId::Rdfs4,
+            &r,
+            t(C, wk::RDF_TYPE, wk::RDFS_RESOURCE)
+        ));
+        assert!(!is_supported(RuleId::Rdfs4, &r, t(B, wk::RDF_TYPE, B)));
+    }
+}

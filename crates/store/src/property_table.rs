@@ -264,6 +264,70 @@ impl PropertyTable {
         self.os = None;
     }
 
+    /// Removes the given pairs from the table **in place**, preserving the
+    /// ⟨s,o⟩ sort order, and returns how many pairs were actually removed.
+    ///
+    /// `remove` is a flat `[s, o, …]` array in any order; pairs not present
+    /// in the table are ignored. The table stays finalized — deletion never
+    /// perturbs the order of the surviving pairs — but the ⟨o,s⟩ cache is
+    /// dropped whenever something was removed (the same invariant the merge
+    /// paths of the update stage maintain: a table whose ⟨s,o⟩ pairs changed
+    /// must never serve a stale object-sorted view).
+    ///
+    /// The compaction is a single forward pass: surviving pairs between two
+    /// removal points move as whole blocks (`copy_within`), mirroring
+    /// [`PropertyTable::splice_in_sorted`] in reverse.
+    pub fn remove_pairs(&mut self, remove: &[u64]) -> usize {
+        debug_assert!(!self.dirty, "remove_pairs on a dirty table");
+        debug_assert!(
+            remove.len().is_multiple_of(2),
+            "pair array must have even length"
+        );
+        if remove.is_empty() || self.so.is_empty() {
+            return 0;
+        }
+        // Sort (and dedup) the victims so both sides can be walked in one
+        // coordinated pass.
+        let mut victims = remove.to_vec();
+        inferray_sort::sort_pairs_auto_dedup(&mut victims);
+
+        let so = &mut self.so;
+        let mut write = 0usize; // exclusive end of the compacted prefix
+        let mut read = 0usize; // start of the unexamined region
+        for victim in victims.chunks_exact(2) {
+            let key = (victim[0], victim[1]);
+            // Locate the victim among the not-yet-examined pairs.
+            let Ok(hit) = pair_binary_search(&so[read..], key.0, key.1) else {
+                continue; // not present: nothing to remove
+            };
+            let hit = read + 2 * hit;
+            // Retain the block of survivors before it in one memmove.
+            let block = hit - read;
+            if block > 0 && write != read {
+                so.copy_within(read..hit, write);
+            }
+            write += block;
+            read = hit + 2; // skip the removed pair
+        }
+        let removed = (read - write) / 2;
+        if removed == 0 {
+            return 0;
+        }
+        // Retain the tail after the last removal.
+        let tail = so.len() - read;
+        if tail > 0 {
+            so.copy_within(read.., write);
+        }
+        so.truncate(write + tail);
+        self.os = None;
+        removed
+    }
+
+    /// Removes a single pair; returns `true` when it was present.
+    pub fn remove_pair(&mut self, s: u64, o: u64) -> bool {
+        self.remove_pairs(&[s, o]) == 1
+    }
+
     /// Consumes the table and returns its raw sorted pair vector.
     pub fn into_pairs(mut self) -> Vec<u64> {
         self.finalize();
@@ -454,6 +518,61 @@ mod tests {
         let t = table();
         let tuples = t.to_tuple_pairs();
         assert_eq!(tuples, vec![(1, 3), (1, 9), (2, 7), (5, 2)]);
+    }
+
+    #[test]
+    fn remove_pairs_preserves_order_and_reports_count() {
+        let mut t = table(); // [1,3, 1,9, 2,7, 5,2]
+                             // One absent pair, two present ones, in scrambled input order.
+        let removed = t.remove_pairs(&[5, 2, 4, 4, 1, 3]);
+        assert_eq!(removed, 2);
+        assert_eq!(t.pairs(), &[1, 9, 2, 7]);
+        assert!(!t.is_dirty(), "deletion keeps the table finalized");
+        // Removing the rest empties the table.
+        assert_eq!(t.remove_pairs(&[1, 9, 2, 7]), 2);
+        assert!(t.is_empty());
+        assert_eq!(t.remove_pairs(&[1, 9]), 0, "already gone");
+    }
+
+    #[test]
+    fn remove_pairs_invalidates_os_cache_only_when_something_was_removed() {
+        let mut t = table();
+        t.ensure_os();
+        assert_eq!(t.remove_pairs(&[6, 6]), 0);
+        assert!(t.has_os_cache(), "no-op removal keeps the cache");
+        assert_eq!(t.remove_pairs(&[2, 7]), 1);
+        assert!(!t.has_os_cache(), "real removal drops the cache");
+        t.ensure_os();
+        assert_eq!(t.os_pairs().unwrap(), &[2, 5, 3, 1, 9, 1]);
+    }
+
+    #[test]
+    fn remove_pairs_handles_duplicate_victims_and_runs() {
+        // Consecutive victims force block moves of every size, including
+        // zero-length blocks between adjacent removals.
+        let mut t = PropertyTable::from_pairs(vec![1, 1, 1, 2, 1, 3, 2, 1, 3, 1, 3, 2]);
+        let removed = t.remove_pairs(&[1, 2, 1, 3, 1, 2, 3, 2]);
+        assert_eq!(removed, 3, "duplicate victims count once");
+        assert_eq!(t.pairs(), &[1, 1, 2, 1, 3, 1]);
+    }
+
+    #[test]
+    fn remove_pair_single() {
+        let mut t = table();
+        assert!(t.remove_pair(1, 9));
+        assert!(!t.remove_pair(1, 9));
+        assert!(!t.contains_pair(1, 9));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn remove_everything_then_refill() {
+        let mut t = PropertyTable::from_pairs(vec![7, 8]);
+        assert_eq!(t.remove_pairs(&[7, 8]), 1);
+        assert!(t.is_empty());
+        t.add_pair(9, 9);
+        t.finalize();
+        assert_eq!(t.pairs(), &[9, 9]);
     }
 
     #[test]

@@ -201,6 +201,41 @@ impl TripleStore {
         self.table_or_create(p).replace_with_sorted(pairs);
     }
 
+    /// Removes encoded triples **in place**, preserving per-table sort order
+    /// (see [`PropertyTable::remove_pairs`]); triples that are not present
+    /// are ignored. Returns how many triples were actually removed.
+    ///
+    /// This is the store half of the delete–rederive maintenance path
+    /// (docs/maintenance.md): affected tables stay finalized and their
+    /// ⟨o,s⟩ caches are invalidated, exactly as after a merge, so readers of
+    /// the mutated store can never observe a stale object-sorted view. A
+    /// table whose last pair is removed keeps its (empty) slot — empty
+    /// tables are invisible to [`TripleStore::iter_tables`] and
+    /// [`TripleStore::property_ids`].
+    pub fn retract(&mut self, triples: impl IntoIterator<Item = IdTriple>) -> usize {
+        let mut by_property: std::collections::BTreeMap<u64, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for t in triples {
+            let pairs = by_property.entry(t.p).or_default();
+            pairs.push(t.s);
+            pairs.push(t.o);
+        }
+        let mut removed = 0usize;
+        for (p, pairs) in by_property {
+            debug_assert!(is_property_id(p), "not a property id: {p}");
+            if let Some(table) = self.table_mut(p) {
+                removed += table.remove_pairs(&pairs);
+            }
+        }
+        removed
+    }
+
+    /// Removes the ⟨s,o⟩ pairs of `remove` from the table of property `p`
+    /// (flat array, any order); returns how many were removed.
+    pub fn remove_pairs(&mut self, p: u64, remove: &[u64]) -> usize {
+        self.table_mut(p).map_or(0, |t| t.remove_pairs(remove))
+    }
+
     /// Removes every triple while keeping the allocated table slots.
     pub fn clear(&mut self) {
         for table in self.tables.iter_mut() {
@@ -332,6 +367,62 @@ mod tests {
         store.clear();
         assert!(store.is_empty());
         assert_eq!(store.table_count(), 0);
+    }
+
+    #[test]
+    fn retract_removes_present_triples_and_ignores_absent_ones() {
+        let mut store = sample_store();
+        let human = 1_000_000_000_000u64;
+        let bart = human + 2;
+        let lisa = human + 3;
+        store.ensure_all_os();
+        let removed = store.retract([
+            IdTriple::new(bart, wellknown::RDF_TYPE, human),
+            IdTriple::new(bart, wellknown::RDF_TYPE, human), // duplicate request
+            IdTriple::new(human + 9, wellknown::RDF_TYPE, human), // absent
+            IdTriple::new(human, wellknown::RDFS_DOMAIN, human), // no such table
+        ]);
+        assert_eq!(removed, 1);
+        assert_eq!(store.len(), 2);
+        assert!(!store.contains(&IdTriple::new(bart, wellknown::RDF_TYPE, human)));
+        assert!(store.contains(&IdTriple::new(lisa, wellknown::RDF_TYPE, human)));
+        // The touched table lost its cache; the untouched one kept it.
+        assert!(!store.table(wellknown::RDF_TYPE).unwrap().has_os_cache());
+        assert!(store
+            .table(wellknown::RDFS_SUB_CLASS_OF)
+            .unwrap()
+            .has_os_cache());
+    }
+
+    #[test]
+    fn retract_can_empty_a_table_without_dropping_the_slot() {
+        let mut store = sample_store();
+        let human = 1_000_000_000_000u64;
+        let mammal = human + 1;
+        let removed = store.retract([IdTriple::new(human, wellknown::RDFS_SUB_CLASS_OF, mammal)]);
+        assert_eq!(removed, 1);
+        assert_eq!(store.table_count(), 1, "empty tables are invisible");
+        assert!(store
+            .property_ids()
+            .all(|p| p != wellknown::RDFS_SUB_CLASS_OF));
+        // The slot still answers (emptily) and accepts new pairs.
+        assert_eq!(store.table(wellknown::RDFS_SUB_CLASS_OF).unwrap().len(), 0);
+        store.add_triple(IdTriple::new(human, wellknown::RDFS_SUB_CLASS_OF, mammal));
+        store.finalize();
+        assert_eq!(store.table_count(), 2);
+    }
+
+    #[test]
+    fn remove_pairs_on_a_property() {
+        let mut store = sample_store();
+        let human = 1_000_000_000_000u64;
+        assert_eq!(
+            store.remove_pairs(wellknown::RDF_TYPE, &[human + 2, human, human + 3, human]),
+            2
+        );
+        assert_eq!(store.remove_pairs(wellknown::RDF_TYPE, &[1, 1]), 0);
+        assert_eq!(store.remove_pairs(wellknown::RDFS_RANGE, &[1, 1]), 0);
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! **Serve**: `inferray-cli serve` materializes the input once and then
 //! exposes it to concurrent clients on a std-only SPARQL-over-HTTP endpoint
 //! (see docs/serving.md): `GET/POST /sparql` with SPARQL results JSON,
-//! `GET /status` for the snapshot epoch.
+//! `GET /status` for the snapshot epoch, and — unless `--read-only` —
+//! `POST /update` to retract N-Triples with the delete–rederive incremental
+//! maintenance path (docs/maintenance.md).
 //!
 //! ```text
 //! inferray-cli [OPTIONS] [FILE]
@@ -26,11 +28,13 @@
 //!   --host <ADDR>        serve mode: bind address (default: 127.0.0.1; use
 //!                        0.0.0.0 to expose the endpoint beyond this host)
 //!   --threads <N>        serve mode: HTTP worker threads (default: available cores)
+//!   --read-only          serve mode: disable the POST /update endpoint
 //!   --help
 //!
 //! FILE defaults to standard input.
 //! ```
 
+use inferray::ServingUpdateSink;
 use inferray_core::{
     InferrayOptions, InferrayReasoner, Ingest, LoaderOptions, Materializer, ServingDataset,
 };
@@ -52,17 +56,20 @@ struct CliOptions {
     port: u16,
     host: String,
     threads: usize,
+    read_only: bool,
     input: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: inferray-cli [serve] [--fragment rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full] \
      [--format ntriples|turtle] [--inferred-only] [--sequential] \
-     [--ingest-threads N] [--chunk-kib N] [--port N] [--host ADDR] [--threads N] [FILE]\n\
+     [--ingest-threads N] [--chunk-kib N] [--port N] [--host ADDR] [--threads N] \
+     [--read-only] [FILE]\n\
      Reads RDF and materializes the fragment with Inferray. Without 'serve' the\n\
      materialization is written as N-Triples to stdout; with 'serve' it is kept\n\
      in memory and exposed on a SPARQL-over-HTTP endpoint (GET/POST /sparql,\n\
-     GET /status) until interrupted."
+     POST /update for incremental deletion unless --read-only, GET /status)\n\
+     until interrupted."
 }
 
 fn parse_fragment(name: &str) -> Option<Fragment> {
@@ -90,6 +97,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         // it beyond this host is an explicit decision (--host 0.0.0.0).
         host: "127.0.0.1".to_owned(),
         threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        read_only: false,
         input: None,
     };
     let mut i = 0usize;
@@ -117,6 +125,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             "--inferred-only" => options.inferred_only = true,
             "--sequential" => options.sequential = true,
+            "--read-only" => options.read_only = true,
             "--ingest-threads" => {
                 let value = args.get(i + 1).ok_or("--ingest-threads needs a value")?;
                 options.ingest_threads = Some(
@@ -266,17 +275,24 @@ fn serve(options: &CliOptions) -> Result<(), String> {
             SnapshotQueryEngine::new(snapshot, dictionary)
         }
     };
-    let server = SparqlServer::bind(
-        &format!("{}:{}", options.host, options.port),
-        options.threads,
-        Arc::new(source),
-    )
-    .map_err(|e| format!("cannot bind {}:{}: {e}", options.host, options.port))?;
+    let addr = format!("{}:{}", options.host, options.port);
+    let server = if options.read_only {
+        SparqlServer::bind(&addr, options.threads, Arc::new(source))
+    } else {
+        SparqlServer::bind_with_updates(
+            &addr,
+            options.threads,
+            Arc::new(source),
+            Arc::new(ServingUpdateSink(Arc::clone(&dataset))),
+        )
+    }
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
-        "inferray: serving SPARQL on http://{}/sparql ({} worker threads, epoch {})",
+        "inferray: serving SPARQL on http://{}/sparql ({} worker threads, epoch {}, updates {})",
         server.local_addr(),
         options.threads,
         dataset.epoch(),
+        if options.read_only { "off" } else { "on" },
     );
     eprintln!(
         "inferray: try  curl 'http://{}/status'",

@@ -54,10 +54,39 @@ pub use inferray_sort as sort;
 pub use inferray_store as store;
 
 // The items most applications need, at the crate root.
+pub use inferray_core::ServingDataset;
 pub use inferray_core::{
     reason_graph, Fragment, InferenceStats, InferrayOptions, InferrayReasoner, Materializer,
-    ReasonedGraph, TripleStore,
+    ReasonedGraph, RetractionStats, TripleStore,
 };
 pub use inferray_model::{vocab, Graph, IdTriple, Term, Triple};
 pub use inferray_parser::{load_graph, load_ntriples, load_turtle, parse_ntriples, parse_turtle};
 pub use inferray_query::{QueryEngine, SolutionSet};
+
+use inferray_query::{UpdateOutcome, UpdateSink};
+use std::sync::Arc;
+
+/// Adapts a [`ServingDataset`] to the HTTP server's write path: `POST
+/// /update` deletions run the delete–rederive maintenance algorithm
+/// (`docs/maintenance.md`) and publish a new epoch.
+///
+/// Lives in the umbrella crate because `inferray-query` deliberately does
+/// not depend on the reasoner — the server knows only the
+/// [`UpdateSink`](inferray_query::UpdateSink) trait.
+#[derive(Debug, Clone)]
+pub struct ServingUpdateSink(pub Arc<ServingDataset>);
+
+impl UpdateSink for ServingUpdateSink {
+    fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, String> {
+        // The epoch comes from the retraction itself (captured under the
+        // dataset's writer lock), so concurrent updates cannot pair this
+        // request's counts with another request's epoch.
+        let (stats, epoch) = self.0.retract_ntriples(body).map_err(|e| e.to_string())?;
+        Ok(UpdateOutcome {
+            epoch,
+            requested: stats.requested,
+            removed: stats.retracted_explicit,
+            triples: stats.output_triples,
+        })
+    }
+}

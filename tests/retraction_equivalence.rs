@@ -1,0 +1,335 @@
+//! Retraction equivalence: `retract(Δ)` on a materialized store must be
+//! **byte-identical** — per-table sorted pair arrays, table population,
+//! dictionary identifiers untouched — to materializing `base ∖ Δ` from
+//! scratch, for every fragment, in parallel and sequentially, with and
+//! without rule scheduling (docs/maintenance.md).
+
+use inferray::core::{InferrayReasoner, Materializer};
+use inferray::dictionary::wellknown;
+use inferray::rules::Fragment;
+use inferray::store::TripleStore;
+use inferray::{IdTriple, InferrayOptions};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The byte-level view the invariant is stated over: every non-empty table's
+/// property id with its ⟨s,o⟩-sorted flat pair array.
+fn table_bytes(store: &TripleStore) -> Vec<(u64, Vec<u64>)> {
+    store
+        .iter_tables()
+        .map(|(p, t)| (p, t.pairs().to_vec()))
+        .collect()
+}
+
+/// Materializes `base`, retracts `delta` with the DRed path, and asserts the
+/// store is byte-identical to a from-scratch materialization of
+/// `base ∖ delta` — and that the maintained explicit base matches too.
+fn assert_retract_equals_rebuild(
+    fragment: Fragment,
+    options: InferrayOptions,
+    base: &[IdTriple],
+    delta: &[IdTriple],
+) {
+    let mut materialized = TripleStore::from_triples(base.iter().copied());
+    let mut base_store = TripleStore::from_triples(base.iter().copied());
+    let mut reasoner = InferrayReasoner::with_options(fragment, options);
+    reasoner.materialize(&mut materialized);
+    let stats = reasoner.retract_delta(&mut materialized, &mut base_store, delta.iter().copied());
+
+    let removed: BTreeSet<IdTriple> = delta.iter().copied().collect();
+    let remaining: Vec<IdTriple> = TripleStore::from_triples(base.iter().copied())
+        .iter_triples()
+        .filter(|t| !removed.contains(t))
+        .collect();
+    let mut rebuilt = TripleStore::from_triples(remaining.iter().copied());
+    InferrayReasoner::with_options(fragment, options).materialize(&mut rebuilt);
+
+    assert_eq!(
+        table_bytes(&materialized),
+        table_bytes(&rebuilt),
+        "retract != rebuild for {fragment} (options {options:?})"
+    );
+    assert_eq!(
+        base_store.iter_triples().collect::<Vec<_>>(),
+        remaining,
+        "explicit base tracking diverged for {fragment}"
+    );
+    assert_eq!(stats.output_triples, materialized.len());
+}
+
+const HUMAN: u64 = 9_550_000;
+const MAMMAL: u64 = 9_550_001;
+const ANIMAL: u64 = 9_550_002;
+const BART: u64 = 9_550_010;
+const LISA: u64 = 9_550_011;
+
+fn t(s: u64, p: u64, o: u64) -> IdTriple {
+    IdTriple::new(s, p, o)
+}
+
+/// A dataset rich enough to exercise every rule family of RDFS-Plus: class
+/// and property hierarchies, domain/range, equivalences, inverse, sameAs,
+/// functional and transitive properties.
+fn rich_dataset() -> Vec<IdTriple> {
+    let prop = |n: usize| inferray::model::ids::nth_property_id(80 + n);
+    let knows = prop(0);
+    let knows2 = prop(1);
+    let kned_by = prop(2);
+    let has_mother = prop(3);
+    let part_of = prop(4);
+    vec![
+        t(HUMAN, wellknown::RDFS_SUB_CLASS_OF, MAMMAL),
+        t(MAMMAL, wellknown::RDFS_SUB_CLASS_OF, ANIMAL),
+        t(knows, wellknown::RDFS_DOMAIN, HUMAN),
+        t(knows, wellknown::RDFS_RANGE, HUMAN),
+        t(knows2, wellknown::RDFS_SUB_PROPERTY_OF, knows),
+        t(knows, wellknown::OWL_INVERSE_OF, kned_by),
+        t(HUMAN, wellknown::OWL_EQUIVALENT_CLASS, HUMAN + 100),
+        t(
+            has_mother,
+            wellknown::RDF_TYPE,
+            wellknown::OWL_FUNCTIONAL_PROPERTY,
+        ),
+        t(
+            part_of,
+            wellknown::RDF_TYPE,
+            wellknown::OWL_TRANSITIVE_PROPERTY,
+        ),
+        t(BART, wellknown::RDF_TYPE, HUMAN),
+        t(LISA, wellknown::RDF_TYPE, MAMMAL),
+        t(BART, knows2, LISA),
+        t(BART, has_mother, LISA + 1),
+        t(BART, has_mother, LISA + 2),
+        t(BART, wellknown::OWL_SAME_AS, BART + 100),
+        t(LISA, part_of, LISA + 10),
+        t(LISA + 10, part_of, LISA + 11),
+        t(LISA + 11, part_of, LISA + 12),
+    ]
+}
+
+#[test]
+fn every_fragment_parallel_and_sequential_instance_deletion() {
+    let base = rich_dataset();
+    // The second triple has a nonsense (non-property) predicate id: it can
+    // never be in a store and must be ignored, not crash the encoder.
+    let delta = [t(BART, wellknown::RDF_TYPE, HUMAN), t(BART, 0, 0)];
+    for fragment in Fragment::ALL {
+        for options in [InferrayOptions::default(), InferrayOptions::sequential()] {
+            assert_retract_equals_rebuild(fragment, options, &base, &delta);
+        }
+    }
+}
+
+#[test]
+fn every_fragment_schema_edge_deletion_underives_the_cone() {
+    let base = rich_dataset();
+    // Deleting the subClassOf edge un-derives the closure edge human ⊑
+    // animal and every instance retyping that flowed through it.
+    let delta = [t(HUMAN, wellknown::RDFS_SUB_CLASS_OF, MAMMAL)];
+    for fragment in Fragment::ALL {
+        for options in [InferrayOptions::default(), InferrayOptions::sequential()] {
+            assert_retract_equals_rebuild(fragment, options, &base, &delta);
+        }
+    }
+    // Spot-check the cone on the default fragment: Bart lost the derived
+    // types, Lisa (typed via mammal directly) kept hers.
+    let mut materialized = TripleStore::from_triples(base.iter().copied());
+    let mut base_store = TripleStore::from_triples(base.iter().copied());
+    let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+    reasoner.materialize(&mut materialized);
+    assert!(materialized.contains(&t(BART, wellknown::RDF_TYPE, ANIMAL)));
+    reasoner.retract_delta(&mut materialized, &mut base_store, delta);
+    assert!(!materialized.contains(&t(BART, wellknown::RDF_TYPE, MAMMAL)));
+    assert!(!materialized.contains(&t(BART, wellknown::RDF_TYPE, ANIMAL)));
+    assert!(!materialized.contains(&t(HUMAN, wellknown::RDFS_SUB_CLASS_OF, ANIMAL)));
+    assert!(materialized.contains(&t(LISA, wellknown::RDF_TYPE, ANIMAL)));
+}
+
+#[test]
+fn transitive_declaration_deletion_underives_the_closure() {
+    let base = rich_dataset();
+    let part_of = inferray::model::ids::nth_property_id(84);
+    let delta = [t(
+        part_of,
+        wellknown::RDF_TYPE,
+        wellknown::OWL_TRANSITIVE_PROPERTY,
+    )];
+    for options in [InferrayOptions::default(), InferrayOptions::sequential()] {
+        assert_retract_equals_rebuild(Fragment::RdfsPlus, options, &base, &delta);
+        assert_retract_equals_rebuild(Fragment::RdfsPlusFull, options, &base, &delta);
+    }
+    // The closure pairs are gone, the asserted chain stays.
+    let mut materialized = TripleStore::from_triples(base.iter().copied());
+    let mut base_store = TripleStore::from_triples(base.iter().copied());
+    let mut reasoner = InferrayReasoner::new(Fragment::RdfsPlus);
+    reasoner.materialize(&mut materialized);
+    assert!(materialized.contains(&t(LISA, part_of, LISA + 11)));
+    reasoner.retract_delta(&mut materialized, &mut base_store, delta);
+    assert!(!materialized.contains(&t(LISA, part_of, LISA + 11)));
+    assert!(materialized.contains(&t(LISA, part_of, LISA + 10)));
+    assert!(materialized.contains(&t(LISA + 10, part_of, LISA + 11)));
+}
+
+#[test]
+fn same_as_and_functional_cones_retract_cleanly() {
+    let base = rich_dataset();
+    for delta in [
+        vec![t(BART, wellknown::OWL_SAME_AS, BART + 100)],
+        vec![t(BART, inferray::model::ids::nth_property_id(83), LISA + 2)],
+        vec![
+            t(BART, wellknown::OWL_SAME_AS, BART + 100),
+            t(BART, inferray::model::ids::nth_property_id(83), LISA + 1),
+        ],
+    ] {
+        for options in [InferrayOptions::default(), InferrayOptions::sequential()] {
+            assert_retract_equals_rebuild(Fragment::RdfsPlus, options, &base, &delta);
+        }
+    }
+}
+
+#[test]
+fn retracting_everything_leaves_an_empty_store() {
+    let base = rich_dataset();
+    for fragment in [Fragment::RdfsDefault, Fragment::RdfsPlus] {
+        assert_retract_equals_rebuild(fragment, InferrayOptions::default(), &base, &base);
+        let mut materialized = TripleStore::from_triples(base.iter().copied());
+        let mut base_store = TripleStore::from_triples(base.iter().copied());
+        let mut reasoner = InferrayReasoner::new(fragment);
+        reasoner.materialize(&mut materialized);
+        let stats =
+            reasoner.retract_delta(&mut materialized, &mut base_store, base.iter().copied());
+        assert!(materialized.is_empty(), "{fragment}");
+        assert!(base_store.is_empty());
+        assert_eq!(stats.rederived, 0);
+    }
+}
+
+#[test]
+fn retraction_is_idempotent_and_composes_with_extension() {
+    let base = rich_dataset();
+    let delta = [t(HUMAN, wellknown::RDFS_SUB_CLASS_OF, MAMMAL)];
+    let mut materialized = TripleStore::from_triples(base.iter().copied());
+    let mut base_store = TripleStore::from_triples(base.iter().copied());
+    let mut reasoner = InferrayReasoner::new(Fragment::RdfsDefault);
+    reasoner.materialize(&mut materialized);
+    let before = table_bytes(&materialized);
+
+    reasoner.retract_delta(&mut materialized, &mut base_store, delta);
+    let after_retract = table_bytes(&materialized);
+    // Retracting the same (now absent) triples again changes nothing.
+    let stats = reasoner.retract_delta(&mut materialized, &mut base_store, delta);
+    assert_eq!(stats.retracted_explicit, 0);
+    assert_eq!(table_bytes(&materialized), after_retract);
+    // Re-asserting restores the original materialization byte-for-byte.
+    reasoner.materialize_delta(&mut materialized, delta);
+    for triple in delta {
+        base_store.add_triple(triple);
+    }
+    base_store.finalize();
+    assert_eq!(table_bytes(&materialized), before);
+}
+
+// ---------------------------------------------------------------------------
+// Property-based equivalence on random datasets and random delta subsets
+// ---------------------------------------------------------------------------
+
+/// Random RDFS-Plus-shaped triples over a small universe: schema statements
+/// (hierarchies, domain/range, equivalences, markers) plus instance triples.
+fn arbitrary_dataset() -> impl Strategy<Value = Vec<IdTriple>> {
+    let class = |n: u8| 9_560_000u64 + n as u64;
+    let instance = |n: u8| 9_570_000u64 + n as u64;
+    let property = |n: u8| inferray::model::ids::nth_property_id(90 + n as usize);
+
+    prop::collection::vec(
+        prop_oneof![
+            (0u8..5, 0u8..5).prop_map(move |(a, b)| t(
+                class(a),
+                wellknown::RDFS_SUB_CLASS_OF,
+                class(b)
+            )),
+            (0u8..3, 0u8..3).prop_map(move |(a, b)| t(
+                property(a),
+                wellknown::RDFS_SUB_PROPERTY_OF,
+                property(b)
+            )),
+            (0u8..3, 0u8..5).prop_map(move |(p, c)| t(
+                property(p),
+                wellknown::RDFS_DOMAIN,
+                class(c)
+            )),
+            (0u8..3, 0u8..5).prop_map(move |(p, c)| t(
+                property(p),
+                wellknown::RDFS_RANGE,
+                class(c)
+            )),
+            (0u8..3).prop_map(move |p| t(
+                property(p),
+                wellknown::RDF_TYPE,
+                wellknown::OWL_TRANSITIVE_PROPERTY
+            )),
+            (0u8..6, 0u8..6).prop_map(move |(a, b)| t(
+                instance(a),
+                wellknown::OWL_SAME_AS,
+                instance(b)
+            )),
+            (0u8..8, 0u8..5).prop_map(move |(x, c)| t(instance(x), wellknown::RDF_TYPE, class(c))),
+            (0u8..8, 0u8..3, 0u8..8).prop_map(move |(x, p, y)| t(
+                instance(x),
+                property(p),
+                instance(y)
+            )),
+        ],
+        1..28,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any dataset and any subset of it, materialize-then-retract equals
+    /// materializing the complement — byte-identical, parallel and
+    /// sequential, across fragments.
+    #[test]
+    fn retract_equals_rebuild_on_random_subsets(
+        triples in arbitrary_dataset(),
+        mask in prop::collection::vec(any::<bool>(), 28),
+    ) {
+        let delta: Vec<IdTriple> = triples
+            .iter()
+            .zip(mask.iter().cycle())
+            .filter(|(_, &keep)| keep)
+            .map(|(t, _)| *t)
+            .collect();
+        for fragment in [Fragment::RhoDf, Fragment::RdfsDefault, Fragment::RdfsPlus] {
+            for options in [InferrayOptions::default(), InferrayOptions::sequential()] {
+                assert_retract_equals_rebuild(fragment, options, &triples, &delta);
+            }
+        }
+    }
+
+    /// The scheduling escape hatch must not change results either.
+    #[test]
+    fn retract_is_schedule_independent(
+        triples in arbitrary_dataset(),
+        mask in prop::collection::vec(any::<bool>(), 28),
+    ) {
+        let delta: Vec<IdTriple> = triples
+            .iter()
+            .zip(mask.iter().cycle())
+            .filter(|(_, &keep)| keep)
+            .map(|(t, _)| *t)
+            .collect();
+        let run = |options: InferrayOptions| {
+            let mut materialized = TripleStore::from_triples(triples.iter().copied());
+            let mut base_store = TripleStore::from_triples(triples.iter().copied());
+            let mut reasoner = InferrayReasoner::with_options(Fragment::RdfsPlus, options);
+            reasoner.materialize(&mut materialized);
+            reasoner.retract_delta(&mut materialized, &mut base_store, delta.iter().copied());
+            table_bytes(&materialized)
+        };
+        prop_assert_eq!(
+            run(InferrayOptions::default()),
+            run(InferrayOptions::unscheduled())
+        );
+    }
+}

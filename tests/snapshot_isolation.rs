@@ -152,6 +152,110 @@ fn serving_dataset_isolates_readers_from_incremental_extends() {
         .is_some());
 }
 
+/// The retraction counterpart: a reader holding a snapshot across a
+/// delete–rederive publish (docs/maintenance.md) keeps the *larger*
+/// pre-retraction triple set — shrinking stores must be as tear-free as
+/// growing ones — while a re-acquired snapshot sees the shrunken epoch.
+#[test]
+fn serving_dataset_isolates_readers_from_retractions() {
+    let loaded = lubm(1_500);
+    let dictionary_view = loaded.dictionary.clone();
+    let (dataset, _) =
+        ServingDataset::materialize(loaded, Fragment::RdfsDefault, InferrayOptions::default());
+
+    // Pick an explicit rdf:type triple to retract, decoded via the loader's
+    // dictionary so the test doesn't depend on generator internals.
+    let victim = {
+        let (snapshot, _) = dataset.snapshot();
+        let type_id = dictionary_view
+            .id_of(&inferray::Term::iri(
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+            ))
+            .expect("rdf:type interned");
+        let victim = snapshot
+            .iter_triples()
+            .find(|t| t.p == type_id)
+            .map(|t| dictionary_view.decode_triple(t).expect("decodable"))
+            .expect("LUBM asserts rdf:type triples");
+        victim
+    };
+
+    let (old_snapshot, old_dictionary) = dataset.snapshot();
+    let old_triples = triples_of(&old_snapshot);
+
+    let (stats, published_epoch) = dataset.retract([victim.clone()]);
+    assert_eq!(stats.retracted_explicit, 1);
+    assert!(stats.net_removed() >= 1);
+
+    // The held pair is frozen at the pre-retraction epoch and still decodes
+    // every identifier — including the retracted triple's, because the
+    // dictionary is append-only.
+    assert_eq!(triples_of(&old_snapshot), old_triples);
+    for triple in old_snapshot.iter_triples() {
+        assert!(old_dictionary.decode_triple(triple).is_some());
+    }
+
+    // A re-acquired pair sees the shrunken store, at exactly the epoch the
+    // retraction reported publishing.
+    let (new_snapshot, new_dictionary) = dataset.snapshot();
+    assert_eq!(new_snapshot.epoch(), old_snapshot.epoch() + 1);
+    assert_eq!(new_snapshot.epoch(), published_epoch);
+    assert_eq!(new_snapshot.len(), old_triples.len() - stats.net_removed());
+    assert!(new_dictionary.id_of(&victim.subject).is_some());
+}
+
+/// Readers sample consistent `(snapshot, dictionary)` pairs while a writer
+/// interleaves extends and retractions; the final state equals the net of
+/// all published updates and every intermediate snapshot decodes.
+#[test]
+fn concurrent_readers_survive_extend_retract_interleaving() {
+    let loaded = lubm(800);
+    let dataset = Arc::new(
+        ServingDataset::materialize(loaded, Fragment::RdfsDefault, InferrayOptions::default()).0,
+    );
+    let (snapshot0, _) = dataset.snapshot();
+    let baseline = snapshot0.len();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let reader_dataset = Arc::clone(&dataset);
+        let stop_flag = &stop;
+        let reader = scope.spawn(move || {
+            let mut samples = 0usize;
+            while !stop_flag.load(Ordering::Relaxed) {
+                let (snapshot, dictionary) = reader_dataset.snapshot();
+                for triple in snapshot.iter_triples().take(64) {
+                    assert!(
+                        dictionary.decode_triple(triple).is_some(),
+                        "snapshot id not decodable by its paired dictionary"
+                    );
+                }
+                samples += 1;
+            }
+            samples
+        });
+
+        // Each round asserts a fresh instance triple, then retracts it:
+        // epochs 1..=20, net zero triples.
+        for i in 0..10u32 {
+            let triple = Triple::iris(
+                format!("http://snapshot.test/churn{i}"),
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+                "http://snapshot.test/Churn",
+            );
+            dataset.extend([triple.clone()]).expect("extend succeeds");
+            let (stats, _) = dataset.retract([triple]);
+            assert_eq!(stats.retracted_explicit, 1);
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(reader.join().expect("reader thread") > 0);
+    });
+
+    assert_eq!(dataset.epoch(), 20);
+    let (final_snapshot, _) = dataset.snapshot();
+    assert_eq!(final_snapshot.len(), baseline, "churn nets to zero");
+}
+
 /// Batch queries served from a snapshot engine are answered against one
 /// frozen epoch and are deterministic: the same batch gives byte-identical
 /// solution sets before and after a concurrent publish, as long as the
