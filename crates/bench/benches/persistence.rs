@@ -1,0 +1,105 @@
+//! Criterion benchmarks for the persistence subsystem (docs/persistence.md):
+//! snapshot encode/decode throughput, a full cold-start recovery, and the
+//! per-batch WAL append the serving write path pays before every publish
+//! (see the `persistence` binary for the recorded LUBM-scale sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use inferray_core::{Fragment, InferrayOptions, ServingDataset};
+use inferray_datasets::lubm::LubmGenerator;
+use inferray_parser::loader::load_triples;
+use inferray_persist::{
+    decode_image, encode_image, wal, CheckpointPolicy, DurableDataset, IoBackend, MemFs,
+};
+use std::hint::black_box;
+use std::path::Path;
+use std::sync::Arc;
+
+fn bench_persistence(c: &mut Criterion) {
+    let dataset = LubmGenerator::new(20_000).with_seed(42).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("valid dataset");
+    let (serving, _) =
+        ServingDataset::materialize(loaded, Fragment::RdfsDefault, InferrayOptions::default());
+    let (dictionary, base, snapshot) = serving.persistable_state();
+    let image = encode_image(
+        &dictionary,
+        &base,
+        snapshot.store(),
+        snapshot.epoch(),
+        0,
+        Fragment::RdfsDefault.name(),
+    );
+
+    // A durable dataset on the in-memory backend, so recovery timings
+    // measure validation + reconstruction rather than disk latency.
+    let fs = Arc::new(MemFs::new());
+    let dataset = LubmGenerator::new(20_000).with_seed(42).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("valid dataset");
+    let (_durable, _) = DurableDataset::create(
+        loaded,
+        Fragment::RdfsDefault,
+        InferrayOptions::default(),
+        "data",
+        Arc::clone(&fs) as Arc<_>,
+        CheckpointPolicy::manual(),
+    )
+    .expect("initial snapshot");
+    let view = fs.durable_view();
+
+    let mut group = c.benchmark_group("persistence");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(image.len() as u64));
+
+    group.bench_function("encode-image", |b| {
+        b.iter(|| {
+            black_box(encode_image(
+                &dictionary,
+                &base,
+                snapshot.store(),
+                snapshot.epoch(),
+                0,
+                Fragment::RdfsDefault.name(),
+            ))
+        })
+    });
+
+    group.bench_function("decode-image", |b| {
+        b.iter(|| black_box(decode_image(&image).expect("image decodes")))
+    });
+
+    group.bench_function("cold-start-open", |b| {
+        b.iter(|| {
+            let backend = Arc::new(MemFs::from_view(view.clone()));
+            black_box(
+                DurableDataset::open(
+                    "data",
+                    Fragment::RdfsDefault,
+                    InferrayOptions::default(),
+                    backend,
+                    CheckpointPolicy::manual(),
+                )
+                .expect("recovery"),
+            )
+        })
+    });
+
+    let batch = (0..5)
+        .map(|i| format!("<http://bench/s{i}> <http://bench/p> <http://bench/o{i}> .\n"))
+        .collect::<String>();
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("wal-append-batch", |b| {
+        let fs = MemFs::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let record = wal::encode_record(seq, wal::WalKind::Assert, &batch);
+            fs.append_durable(Path::new("wal.log"), &record)
+                .expect("append");
+            black_box(record.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_persistence);
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! The persistence benchmark: cold start from a checksummed snapshot image
+//! (docs/persistence.md) against the only alternative a restart otherwise
+//! has — re-parsing the source dataset and re-running the full
+//! materialization — and records the result in `BENCH_persistence.json`.
+//!
+//! Three costs are measured on a LUBM-scale store (paper size 200k triples,
+//! divided by `--scale`):
+//!
+//! * `full_reload`  — generate/parse + sort + materialize from scratch, the
+//!   cost a restart pays without a snapshot;
+//! * `cold_start`   — [`DurableDataset::open`]: validate the image
+//!   section-by-section (CRC-32 each) and rebuild the property tables with
+//!   one sequential pass per section;
+//! * `checkpoint`   — encode + atomically write the image, the cost the
+//!   serving write path pays when the WAL crosses its threshold;
+//! * `wal_replay`   — recovery with a non-empty log: image load plus
+//!   replaying update batches through the live write path.
+//!
+//! Every recovery in the sweep is asserted **byte-identical** to the live
+//! dataset before its timing is recorded (the invariant proven exhaustively
+//! by `tests/crash_recovery.rs`).
+//!
+//! ```text
+//! cargo run -p inferray-bench --release --bin persistence [--scale N] [--out FILE]
+//! ```
+
+use inferray_bench::ScaleConfig;
+use inferray_core::{Fragment, InferrayOptions, ServingDataset};
+use inferray_datasets::lubm::LubmGenerator;
+use inferray_parser::loader::load_triples;
+use inferray_persist::{encode_image, CheckpointPolicy, DurableDataset, StdFs};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FRAGMENT: Fragment = Fragment::RdfsDefault;
+const REPS: usize = 3;
+const WAL_BATCHES: usize = 200;
+const TRIPLES_PER_BATCH: usize = 5;
+
+fn main() {
+    let scale = ScaleConfig::from_env();
+    let out_path = out_path_from_args();
+    let target_triples = scale.triples(200_000);
+
+    println!("persistence — snapshot cold start vs full reload (LUBM ~{target_triples} triples)");
+
+    // Scratch data directory under target/ so the benchmark never leaves
+    // state outside the build tree.
+    let dir = PathBuf::from("target/persistence-bench");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // -- full reload: the baseline cost of a restart without a snapshot ----
+    let mut full_reload = Duration::MAX;
+    let mut live = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let dataset = LubmGenerator::new(target_triples).with_seed(42).generate();
+        let loaded = load_triples(dataset.triples.iter()).expect("generated dataset is valid");
+        let (dataset, _) =
+            ServingDataset::materialize(loaded, FRAGMENT, InferrayOptions::default());
+        full_reload = full_reload.min(start.elapsed());
+        live = Some(dataset);
+    }
+    let live = live.expect("at least one rep");
+    let (live_dict, live_base, live_snapshot) = live.persistable_state();
+    println!(
+        "full reload: {:.1} ms ({} materialized triples)",
+        full_reload.as_secs_f64() * 1e3,
+        live_snapshot.store().len(),
+    );
+
+    // -- checkpoint: encode + atomic write of the image --------------------
+    let backend = Arc::new(StdFs);
+    let dataset = LubmGenerator::new(target_triples).with_seed(42).generate();
+    let loaded = load_triples(dataset.triples.iter()).expect("generated dataset is valid");
+    let (durable, _) = DurableDataset::create(
+        loaded,
+        FRAGMENT,
+        InferrayOptions::default(),
+        &dir,
+        Arc::clone(&backend) as Arc<_>,
+        CheckpointPolicy::manual(),
+    )
+    .expect("initial snapshot");
+    let mut checkpoint = Duration::MAX;
+    let mut snapshot_path = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let path = durable.checkpoint().expect("checkpoint");
+        checkpoint = checkpoint.min(start.elapsed());
+        snapshot_path = Some(path);
+    }
+    let snapshot_bytes = std::fs::metadata(snapshot_path.expect("checkpoint ran"))
+        .expect("snapshot exists")
+        .len();
+    println!(
+        "checkpoint: {:.1} ms ({:.1} MiB image)",
+        checkpoint.as_secs_f64() * 1e3,
+        snapshot_bytes as f64 / (1024.0 * 1024.0),
+    );
+
+    // -- cold start: open the image with an empty WAL ----------------------
+    let mut cold_start = Duration::MAX;
+    for rep in 0..REPS {
+        let start = Instant::now();
+        let (recovered, report) = DurableDataset::open(
+            &dir,
+            FRAGMENT,
+            InferrayOptions::default(),
+            Arc::clone(&backend) as Arc<_>,
+            CheckpointPolicy::manual(),
+        )
+        .expect("cold start");
+        cold_start = cold_start.min(start.elapsed());
+        assert_eq!(report.replayed_records, 0, "cold start must not replay");
+        if rep == 0 {
+            assert_byte_identical(&live, recovered.dataset(), "cold start");
+        }
+    }
+    let speedup = full_reload.as_secs_f64() / cold_start.as_secs_f64().max(1e-12);
+    println!(
+        "cold start: {:.1} ms — {speedup:.1}x faster than the full reload",
+        cold_start.as_secs_f64() * 1e3,
+    );
+
+    // -- WAL replay: recovery with a non-empty log -------------------------
+    // Batches of fresh triples under a fresh predicate: the replay pays the
+    // full live write path (parse, encode, incremental inference, publish)
+    // without growing the closure, so the rate is comparable across scales.
+    let mut next_id = 0usize;
+    for _ in 0..WAL_BATCHES {
+        let mut batch = String::new();
+        for _ in 0..TRIPLES_PER_BATCH {
+            batch.push_str(&format!(
+                "<http://bench/s{next_id}> <http://bench/linked> <http://bench/o{next_id}> .\n"
+            ));
+            next_id += 1;
+        }
+        durable.extend_ntriples(&batch).expect("WAL append");
+    }
+    let mut replay_open = Duration::MAX;
+    for rep in 0..REPS {
+        let start = Instant::now();
+        let (recovered, report) = DurableDataset::open(
+            &dir,
+            FRAGMENT,
+            InferrayOptions::default(),
+            Arc::clone(&backend) as Arc<_>,
+            CheckpointPolicy::manual(),
+        )
+        .expect("replay recovery");
+        replay_open = replay_open.min(start.elapsed());
+        assert_eq!(report.replayed_records, WAL_BATCHES, "all batches replay");
+        if rep == 0 {
+            assert_byte_identical(durable.dataset(), recovered.dataset(), "WAL replay");
+        }
+    }
+    let replay_secs = (replay_open - cold_start.min(replay_open)).as_secs_f64();
+    let replay_rate = WAL_BATCHES as f64 / replay_secs.max(1e-9);
+    println!(
+        "wal replay: {:.1} ms open with {WAL_BATCHES} records — {:.0} records/s",
+        replay_open.as_secs_f64() * 1e3,
+        replay_rate,
+    );
+
+    // Keep the encoder honest: the image on disk equals a fresh encode of
+    // the live state it claims to capture.
+    let reencoded = encode_image(
+        &live_dict,
+        &live_base,
+        live_snapshot.store(),
+        live_snapshot.epoch(),
+        0,
+        FRAGMENT.name(),
+    );
+    assert_eq!(
+        reencoded.len() as u64,
+        snapshot_bytes,
+        "image size drifted from a fresh encode of the same state"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"persistence\",\n",
+            "  \"dataset\": {{ \"generator\": \"lubm\", \"target_triples\": {}, ",
+            "\"materialized_triples\": {} }},\n",
+            "  \"fragment\": \"{}\",\n",
+            "  \"reps\": {},\n",
+            "  \"full_reload_ms\": {:.3},\n",
+            "  \"cold_start_ms\": {:.3},\n",
+            "  \"cold_start_speedup\": {:.3},\n",
+            "  \"checkpoint_ms\": {:.3},\n",
+            "  \"snapshot_bytes\": {},\n",
+            "  \"wal_records\": {},\n",
+            "  \"wal_replay_open_ms\": {:.3},\n",
+            "  \"wal_replay_records_per_s\": {:.1}\n",
+            "}}\n",
+        ),
+        target_triples,
+        live_snapshot.store().len(),
+        FRAGMENT.name(),
+        REPS,
+        full_reload.as_secs_f64() * 1e3,
+        cold_start.as_secs_f64() * 1e3,
+        speedup,
+        checkpoint.as_secs_f64() * 1e3,
+        snapshot_bytes,
+        WAL_BATCHES,
+        replay_open.as_secs_f64() * 1e3,
+        replay_rate,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    println!("\nrecorded -> {out_path}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn out_path_from_args() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_persistence.json".to_string())
+}
+
+/// Byte-identity through the snapshot encoder: dictionary, base slots,
+/// materialized slots and epoch all serialize to the same bytes.
+fn assert_byte_identical(expected: &ServingDataset, actual: &ServingDataset, context: &str) {
+    let (ed, eb, es) = expected.persistable_state();
+    let (ad, ab, as_) = actual.persistable_state();
+    let left = encode_image(&ed, &eb, es.store(), es.epoch(), 0, "cmp");
+    let right = encode_image(&ad, &ab, as_.store(), as_.epoch(), 0, "cmp");
+    assert!(
+        left == right,
+        "{context}: recovered state is not byte-identical"
+    );
+}

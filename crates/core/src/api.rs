@@ -174,9 +174,59 @@ impl ServingDataset {
         (dataset, stats)
     }
 
+    /// Reassembles a dataset from externally persisted parts — the recovery
+    /// path of the persistence layer (`inferray-persist`,
+    /// docs/persistence.md). The caller supplies the exact state a previous
+    /// process published: the append-only dictionary, the explicit base, the
+    /// materialized store and the epoch it was serving, so the rebuilt
+    /// dataset continues the epoch sequence where the crashed one stopped
+    /// and subsequent [`ServingDataset::extend`] / [`ServingDataset::retract`]
+    /// calls behave byte-identically to the pre-crash process.
+    pub fn from_parts(
+        dictionary: Dictionary,
+        base: TripleStore,
+        materialized: TripleStore,
+        epoch: u64,
+        fragment: Fragment,
+        options: InferrayOptions,
+    ) -> Self {
+        ServingDataset {
+            snapshots: SnapshotStore::with_epoch(materialized, epoch),
+            dictionary: RwLock::new(Arc::new(dictionary)),
+            base: Mutex::new(base),
+            writer: Mutex::new(()),
+            fragment,
+            options,
+        }
+    }
+
     /// The entailment fragment every epoch of this dataset is closed under.
     pub fn fragment(&self) -> Fragment {
         self.fragment
+    }
+
+    /// The reasoner options every write of this dataset runs with.
+    pub fn options(&self) -> InferrayOptions {
+        self.options
+    }
+
+    /// A mutually consistent `(dictionary, explicit base, snapshot)` triple
+    /// for checkpointing: captured under the writer lock, so no concurrent
+    /// [`ServingDataset::extend`] / [`ServingDataset::retract`] can slide a
+    /// publication between the three reads. The base is cloned (it is only
+    /// ever touched under the writer lock); the dictionary and store are the
+    /// shared `Arc`s the readers also see.
+    pub fn persistable_state(&self) -> (Arc<Dictionary>, TripleStore, StoreSnapshot) {
+        let guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let dictionary = self
+            .dictionary
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let base = self.base.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let snapshot = self.snapshots.snapshot();
+        drop(guard);
+        (dictionary, base, snapshot)
     }
 
     /// The store snapshot alone, for embedders that do not need the
@@ -670,6 +720,48 @@ ex:Bart a ex:human .
         assert_eq!(before, after, "extend ∘ retract is the identity");
         // Maggie's identifier survives in the append-only dictionary.
         assert!(dictionary.id_of(&Term::iri("http://ex/Maggie")).is_some());
+    }
+
+    #[test]
+    fn from_parts_resumes_byte_identically() {
+        let dataset = serving_family();
+        dataset
+            .extend([Triple::iris(
+                "http://ex/Lisa",
+                vocab::RDF_TYPE,
+                "http://ex/human",
+            )])
+            .unwrap();
+        let (dictionary, base, snapshot) = dataset.persistable_state();
+
+        // Rebuild from the captured parts (what a recovery does)...
+        let rebuilt = ServingDataset::from_parts(
+            (*dictionary).clone(),
+            base.clone(),
+            snapshot.store().clone(),
+            snapshot.epoch(),
+            dataset.fragment(),
+            dataset.options(),
+        );
+        assert_eq!(rebuilt.epoch(), dataset.epoch());
+        let (rebuilt_snapshot, rebuilt_dictionary) = rebuilt.snapshot();
+        assert_eq!(rebuilt_snapshot.store(), snapshot.store());
+        assert_eq!(&*rebuilt_dictionary, &*dictionary);
+
+        // ...and the *next* write produces the same epoch and triples on
+        // both the original and the rebuilt dataset.
+        let next = [Triple::iris(
+            "http://ex/Maggie",
+            vocab::RDF_TYPE,
+            "http://ex/human",
+        )];
+        dataset.extend(next.clone()).unwrap();
+        rebuilt.extend(next).unwrap();
+        assert_eq!(rebuilt.epoch(), dataset.epoch());
+        let (a, _) = dataset.snapshot();
+        let (b, _) = rebuilt.snapshot();
+        assert_eq!(a.store(), b.store());
+        assert_eq!(dataset.base_len(), rebuilt.base_len());
     }
 
     #[test]

@@ -7,7 +7,6 @@ use inferray_model::ids::{
 use inferray_model::{vocab, FxHashMap, IdTriple, Term, Triple};
 use std::cell::RefCell;
 use std::fmt;
-use std::fmt::Write as _;
 
 /// Renders `term`'s canonical textual form (the interning key) into a
 /// thread-local scratch buffer and hands it to `f`, so lookups of known
@@ -20,7 +19,7 @@ fn with_term_key<R>(term: &Term, f: impl FnOnce(&str) -> R) -> R {
     KEY_BUF.with(|buf| {
         let mut buf = buf.borrow_mut();
         buf.clear();
-        write!(buf, "{term}").expect("writing to a String cannot fail");
+        term.write_ntriples(&mut buf);
         f(&buf)
     })
 }
@@ -106,6 +105,68 @@ impl Dictionary {
             dict.intern_resource(&Term::iri(*iri));
         }
         dict
+    }
+
+    /// Rebuilds a dictionary from its dense term tables — the recovery path
+    /// of the persistence layer, which serializes exactly the two
+    /// registration-ordered term vectors ([`Dictionary::iter`] enumerates
+    /// properties then resources in dense order).
+    ///
+    /// The reverse map is reconstructed with the same precedence the live
+    /// dictionary maintains: when a term occurs in both tables (a *promoted*
+    /// property whose stale resource slot is kept for decoding), the lookup
+    /// map points at the property identifier, exactly as after
+    /// [`Dictionary::encode_as_property`] promoted it. No promotions are
+    /// pending on the rebuilt dictionary.
+    pub fn from_dense_terms(properties: Vec<Term>, resources: Vec<Term>) -> Self {
+        // This is the cold-start critical path of the persistence layer:
+        // at LUBM scale the reverse map means rendering ~10⁵ interning keys,
+        // which dominates snapshot recovery if done serially. The keys are
+        // independent, so render them in parallel chunks; the serial
+        // remainder is one pre-sized hash insert per term. Chunks are
+        // inserted resources-first, properties-last — the same precedence
+        // order as the serial loop, so a promoted property still wins the
+        // duplicate key.
+        type RenderTask<'a> = Box<dyn FnOnce() -> Vec<(String, u64)> + Send + 'a>;
+        let pool = inferray_parallel::global();
+        let total = properties.len() + resources.len();
+        let chunk_len = (total / (pool.threads() * 4).max(1)).max(1024);
+        let mut tasks: Vec<RenderTask<'_>> = Vec::new();
+        for (chunk_index, chunk) in resources.chunks(chunk_len).enumerate() {
+            let start = chunk_index * chunk_len;
+            tasks.push(Box::new(move || {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, term)| (term.to_ntriples(), nth_resource_id(start + i)))
+                    .collect()
+            }));
+        }
+        for (chunk_index, chunk) in properties.chunks(chunk_len).enumerate() {
+            let start = chunk_index * chunk_len;
+            tasks.push(Box::new(move || {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, term)| (term.to_ntriples(), nth_property_id(start + i)))
+                    .collect()
+            }));
+        }
+        let rendered = pool.run_ordered(tasks);
+
+        let mut to_id = FxHashMap::default();
+        to_id.reserve(total);
+        for chunk in rendered {
+            for (key, id) in chunk {
+                to_id.insert(key, id);
+            }
+        }
+        Dictionary {
+            to_id,
+            properties,
+            resources,
+            pending_promotions: Vec::new(),
+        }
     }
 
     /// Number of distinct properties registered so far.
@@ -457,6 +518,28 @@ mod tests {
             dict.decode(as_property).unwrap(),
             &Term::iri("http://ex/hasPart")
         );
+    }
+
+    #[test]
+    fn from_dense_terms_round_trips_a_dictionary_with_promotions() {
+        let mut dict = Dictionary::new();
+        dict.encode_as_resource(&Term::iri("http://ex/a"));
+        dict.encode_as_resource(&Term::iri("http://ex/hasPart"));
+        dict.encode_as_property(&Term::iri("http://ex/hasPart"))
+            .unwrap();
+        dict.encode_as_resource(&Term::plain_literal("42"));
+        let _ = dict.take_promotions();
+
+        let properties: Vec<Term> = dict.properties.clone();
+        let resources: Vec<Term> = dict.resources.clone();
+        let rebuilt = Dictionary::from_dense_terms(properties, resources);
+        assert_eq!(rebuilt, dict, "dense-term rebuild is exact");
+        // The promoted term resolves to its property id, not the stale
+        // resource slot...
+        let id = rebuilt.id_of_iri("http://ex/hasPart").unwrap();
+        assert!(is_property_id(id));
+        // ...while both slots still decode.
+        assert_eq!(rebuilt.decode(id).unwrap(), &Term::iri("http://ex/hasPart"));
     }
 
     #[test]

@@ -1,0 +1,822 @@
+//! [`DurableDataset`]: a [`ServingDataset`] whose writes survive crashes.
+//!
+//! Every assert/retract batch is appended to the WAL and fsync'd **before**
+//! the in-memory materialization publishes (write-ahead discipline);
+//! threshold-triggered checkpoints serialize the full store into a
+//! [snapshot image](crate::snapshot) and truncate the log. Recovery is the
+//! composition: newest valid image + replay of the WAL suffix through the
+//! exact same `extend`/`retract` code path the original writes took, which
+//! is what makes the recovered store *byte-identical* (the engine is
+//! deterministic for a given input sequence).
+//!
+//! ## Degradation, not panic
+//!
+//! A failed WAL append means the next write cannot be made durable, so the
+//! dataset flips to **read-only**: writes return
+//! [`DurableError::ReadOnly`], reads keep serving the last published
+//! epoch. A failed *checkpoint* is softer — the WAL simply keeps growing
+//! and the error is surfaced through [`DurabilityStatus`] — because the
+//! log alone is still a complete durability story.
+//!
+//! Failure atomicity is the standard fsync contract: when an append
+//! reports failure the record may or may not have reached the platter.
+//! Both outcomes are safe — the record is either absent after recovery
+//! (client saw an error, write lost: correct) or present and replayed
+//! (client saw an error, write survived: the same anomaly a real
+//! filesystem permits, and the store is still consistent because the
+//! record is internally complete or it fails its CRC).
+
+use crate::io::IoBackend;
+use crate::snapshot::{self, SnapshotImage};
+use crate::wal::{self, WalKind, WAL_FILE};
+use inferray_core::{Fragment, InferenceStats, InferrayOptions, RetractionStats, ServingDataset};
+use inferray_parser::{parse_ntriples, LoadedDataset};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// When to fold the WAL into a fresh snapshot image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once this many records accumulated since the last one.
+    pub wal_record_limit: Option<u64>,
+    /// Checkpoint once the log grew past this many bytes.
+    pub wal_byte_limit: Option<u64>,
+    /// How many snapshot images to keep (older ones are pruned). At least
+    /// one is always kept.
+    pub snapshots_to_keep: usize,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            wal_record_limit: Some(1024),
+            wal_byte_limit: Some(64 << 20),
+            snapshots_to_keep: 2,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// A policy that never checkpoints on its own (tests drive checkpoints
+    /// explicitly).
+    pub fn manual() -> Self {
+        CheckpointPolicy {
+            wal_record_limit: None,
+            wal_byte_limit: None,
+            snapshots_to_keep: 2,
+        }
+    }
+
+    fn triggered(&self, wal_records: u64, wal_bytes: u64) -> bool {
+        self.wal_record_limit
+            .is_some_and(|limit| wal_records >= limit)
+            || self.wal_byte_limit.is_some_and(|limit| wal_bytes >= limit)
+    }
+}
+
+/// Why a durable operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// The dataset is degraded to read-only after an unrecoverable WAL
+    /// failure; reads keep serving.
+    ReadOnly {
+        /// What flipped the dataset read-only.
+        reason: String,
+    },
+    /// The request itself is invalid (parse/encode error) — nothing was
+    /// logged or applied.
+    Rejected {
+        /// Parser/encoder diagnostic.
+        message: String,
+    },
+    /// An I/O operation outside the write path failed.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying error.
+        message: String,
+    },
+    /// Recovery found state it cannot trust (an acknowledged WAL record
+    /// that no longer parses, or no decodable snapshot among existing
+    /// files).
+    Corrupt {
+        /// Diagnostic.
+        message: String,
+    },
+    /// The snapshot was written under a different inference fragment.
+    FragmentMismatch {
+        /// Fragment name stored in the image.
+        stored: String,
+        /// Fragment the caller asked to resume under.
+        requested: String,
+    },
+    /// The data directory holds no snapshot image at all.
+    NoSnapshot,
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::ReadOnly { reason } => {
+                write!(f, "dataset is read-only: {reason}")
+            }
+            DurableError::Rejected { message } => write!(f, "rejected: {message}"),
+            DurableError::Io { context, message } => write!(f, "{context}: {message}"),
+            DurableError::Corrupt { message } => write!(f, "corrupt state: {message}"),
+            DurableError::FragmentMismatch { stored, requested } => write!(
+                f,
+                "snapshot was materialized under fragment {stored}, not {requested}"
+            ),
+            DurableError::NoSnapshot => write!(f, "no snapshot image in data directory"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+/// Operator-visible durability state (surfaced through `GET /status`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// `true` once the dataset degraded to read-only.
+    pub read_only: bool,
+    /// The newest snapshot image, if one was written or recovered.
+    pub snapshot_path: Option<PathBuf>,
+    /// Epoch covered by that image.
+    pub snapshot_epoch: u64,
+    /// Last WAL sequence number folded into that image.
+    pub last_checkpoint_seq: u64,
+    /// Last WAL sequence number acknowledged.
+    pub last_seq: u64,
+    /// Records appended since the last checkpoint.
+    pub wal_records: u64,
+    /// Bytes appended since the last checkpoint.
+    pub wal_bytes: u64,
+    /// The most recent persistence error, if any.
+    pub last_error: Option<String>,
+}
+
+impl DurabilityStatus {
+    /// The status as a JSON object (the server splices this into
+    /// `GET /status`).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"read_only\":{}", self.read_only));
+        out.push_str(",\"snapshot_path\":");
+        match &self.snapshot_path {
+            Some(path) => out.push_str(&json_string(&path.display().to_string())),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(
+            ",\"snapshot_epoch\":{},\"last_checkpoint_seq\":{},\"last_seq\":{},\
+             \"wal_records\":{},\"wal_bytes\":{}",
+            self.snapshot_epoch,
+            self.last_checkpoint_seq,
+            self.last_seq,
+            self.wal_records,
+            self.wal_bytes
+        ));
+        out.push_str(",\"last_error\":");
+        match &self.last_error {
+            Some(error) => out.push_str(&json_string(error)),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// What [`DurableDataset::open`] did to get back to a serving state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The image recovery restored from.
+    pub snapshot_path: PathBuf,
+    /// Epoch of that image.
+    pub snapshot_epoch: u64,
+    /// Newer snapshot files that failed validation and were skipped.
+    pub invalid_snapshots: usize,
+    /// WAL records replayed on top of the image.
+    pub replayed_records: usize,
+    /// WAL records skipped because the image already covered them.
+    pub skipped_records: usize,
+    /// Bytes of torn/corrupt WAL tail that were discarded.
+    pub torn_tail_bytes: usize,
+    /// Epoch the dataset resumed serving at.
+    pub epoch: u64,
+    /// Triples in the resumed (materialized) store.
+    pub triples: usize,
+}
+
+#[derive(Debug)]
+struct DurableState {
+    last_seq: u64,
+    wal_records: u64,
+    wal_bytes: u64,
+    snapshot_epoch: u64,
+    snapshot_seq: u64,
+    snapshot_path: Option<PathBuf>,
+    last_error: Option<String>,
+}
+
+/// A crash-safe [`ServingDataset`]: WAL + snapshot images behind an
+/// [`IoBackend`].
+#[derive(Debug)]
+pub struct DurableDataset {
+    inner: Arc<ServingDataset>,
+    backend: Arc<dyn IoBackend>,
+    dir: PathBuf,
+    fragment_name: String,
+    policy: CheckpointPolicy,
+    read_only: AtomicBool,
+    state: Mutex<DurableState>,
+}
+
+impl DurableDataset {
+    /// Materializes a freshly loaded dataset and writes its initial
+    /// snapshot image — the creation is only reported successful once the
+    /// dataset is durable.
+    pub fn create(
+        loaded: LoadedDataset,
+        fragment: Fragment,
+        options: InferrayOptions,
+        dir: impl Into<PathBuf>,
+        backend: Arc<dyn IoBackend>,
+        policy: CheckpointPolicy,
+    ) -> Result<(Self, InferenceStats), DurableError> {
+        let dir = dir.into();
+        backend.create_dir_all(&dir).map_err(|e| DurableError::Io {
+            context: format!("creating data directory {}", dir.display()),
+            message: e.to_string(),
+        })?;
+        let (dataset, stats) = ServingDataset::materialize(loaded, fragment, options);
+        let durable = DurableDataset {
+            inner: Arc::new(dataset),
+            backend,
+            dir,
+            fragment_name: fragment.to_string(),
+            policy,
+            read_only: AtomicBool::new(false),
+            state: Mutex::new(DurableState {
+                last_seq: 0,
+                wal_records: 0,
+                wal_bytes: 0,
+                snapshot_epoch: 0,
+                snapshot_seq: 0,
+                snapshot_path: None,
+                last_error: None,
+            }),
+        };
+        durable.checkpoint()?;
+        Ok((durable, stats))
+    }
+
+    /// Recovers from a data directory: newest valid snapshot image + WAL
+    /// replay, tolerating invalid newer images and a torn log tail.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        fragment: Fragment,
+        options: InferrayOptions,
+        backend: Arc<dyn IoBackend>,
+        policy: CheckpointPolicy,
+    ) -> Result<(Self, RecoveryReport), DurableError> {
+        let dir = dir.into();
+        let (image, snapshot_path, invalid_snapshots) =
+            DurableDataset::newest_valid_image(backend.as_ref(), &dir)?;
+        let requested = fragment.to_string();
+        if image.fragment != requested {
+            return Err(DurableError::FragmentMismatch {
+                stored: image.fragment,
+                requested,
+            });
+        }
+        let SnapshotImage {
+            epoch,
+            last_seq: snapshot_seq,
+            dictionary,
+            base,
+            materialized,
+            ..
+        } = image;
+        let inner =
+            ServingDataset::from_parts(dictionary, base, materialized, epoch, fragment, options);
+
+        // Replay the WAL suffix through the live write path.
+        let wal_path = dir.join(WAL_FILE);
+        let wal_bytes = match backend.read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                return Err(DurableError::Io {
+                    context: format!("reading {}", wal_path.display()),
+                    message: e.to_string(),
+                })
+            }
+        };
+        let scan = wal::scan(&wal_bytes);
+        let mut replayed = 0usize;
+        let mut skipped = 0usize;
+        let mut last_seq = snapshot_seq;
+        for record in &scan.records {
+            if record.seq <= snapshot_seq {
+                skipped += 1;
+                continue;
+            }
+            let triples = parse_ntriples(&record.body).map_err(|e| DurableError::Corrupt {
+                message: format!(
+                    "WAL record {} passed its checksum but does not parse: {e}",
+                    record.seq
+                ),
+            })?;
+            match record.kind {
+                WalKind::Assert => {
+                    inner.extend(triples).map_err(|e| DurableError::Corrupt {
+                        message: format!("replaying WAL record {}: {e}", record.seq),
+                    })?;
+                }
+                WalKind::Retract => {
+                    inner.retract(triples);
+                }
+            }
+            replayed += 1;
+            last_seq = record.seq;
+        }
+
+        // A torn tail must be cut before new appends, or the garbage bytes
+        // would permanently corrupt every future scan. Failing to cut it is
+        // not fatal — but the dataset must then refuse writes.
+        let mut read_only_reason = None;
+        if scan.torn_tail {
+            if let Err(e) = backend.write_atomic(&wal_path, &wal_bytes[..scan.valid_bytes]) {
+                read_only_reason = Some(format!(
+                    "could not truncate torn WAL tail of {}: {e}",
+                    wal_path.display()
+                ));
+            }
+        }
+
+        let (snapshot, _) = inner.snapshot();
+        let report = RecoveryReport {
+            snapshot_path: snapshot_path.clone(),
+            snapshot_epoch: epoch,
+            invalid_snapshots,
+            replayed_records: replayed,
+            skipped_records: skipped,
+            torn_tail_bytes: wal_bytes.len() - scan.valid_bytes,
+            epoch: snapshot.epoch(),
+            triples: snapshot.store().len(),
+        };
+        let durable = DurableDataset {
+            inner: Arc::new(inner),
+            backend,
+            dir,
+            fragment_name: requested,
+            policy,
+            read_only: AtomicBool::new(read_only_reason.is_some()),
+            state: Mutex::new(DurableState {
+                last_seq,
+                wal_records: scan.records.len() as u64,
+                wal_bytes: scan.valid_bytes as u64,
+                snapshot_epoch: epoch,
+                snapshot_seq,
+                snapshot_path: Some(snapshot_path),
+                last_error: read_only_reason,
+            }),
+        };
+        Ok((durable, report))
+    }
+
+    fn newest_valid_image(
+        backend: &dyn IoBackend,
+        dir: &Path,
+    ) -> Result<(SnapshotImage, PathBuf, usize), DurableError> {
+        let files = backend.list(dir).map_err(|e| DurableError::Io {
+            context: format!("listing {}", dir.display()),
+            message: e.to_string(),
+        })?;
+        let mut candidates: Vec<(u64, PathBuf)> = files
+            .into_iter()
+            .filter_map(|path| {
+                let name = path.file_name()?.to_str()?;
+                Some((snapshot::parse_snapshot_file_name(name)?, path.clone()))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return Err(DurableError::NoSnapshot);
+        }
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+        let total = candidates.len();
+        let mut invalid = 0usize;
+        for (_, path) in candidates {
+            let Ok(bytes) = backend.read(&path) else {
+                invalid += 1;
+                continue;
+            };
+            match snapshot::decode_image(&bytes) {
+                Ok(image) => return Ok((image, path, invalid)),
+                Err(_) => invalid += 1,
+            }
+        }
+        Err(DurableError::Corrupt {
+            message: format!("all {total} snapshot images failed validation"),
+        })
+    }
+
+    /// The underlying dataset, for query engines and status endpoints.
+    /// Reads stay available even when the dataset is read-only.
+    pub fn dataset(&self) -> &Arc<ServingDataset> {
+        &self.inner
+    }
+
+    /// `true` once an unrecoverable WAL failure degraded writes.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Acquire)
+    }
+
+    /// Current durability state for operators.
+    pub fn status(&self) -> DurabilityStatus {
+        let state = self.lock_state();
+        DurabilityStatus {
+            read_only: self.read_only.load(Ordering::Acquire),
+            snapshot_path: state.snapshot_path.clone(),
+            snapshot_epoch: state.snapshot_epoch,
+            last_checkpoint_seq: state.snapshot_seq,
+            last_seq: state.last_seq,
+            wal_records: state.wal_records,
+            wal_bytes: state.wal_bytes,
+            last_error: state.last_error.clone(),
+        }
+    }
+
+    /// Durably asserts an N-Triples batch: WAL append + fsync, then
+    /// incremental materialization and publish.
+    pub fn extend_ntriples(&self, body: &str) -> Result<InferenceStats, DurableError> {
+        let triples = parse_ntriples(body).map_err(|e| DurableError::Rejected {
+            message: e.to_string(),
+        })?;
+        let mut state = self.log_record(WalKind::Assert, body)?;
+        match self.inner.extend(triples) {
+            Ok(stats) => {
+                self.maybe_checkpoint(&mut state);
+                Ok(stats)
+            }
+            Err(e) => {
+                // The record is durable but was not applied — the in-memory
+                // and on-disk histories have diverged, which only read-only
+                // mode keeps safe (recovery will replay the record).
+                let reason = format!("logged write failed to apply: {e}");
+                state.last_error = Some(reason.clone());
+                self.read_only.store(true, Ordering::Release);
+                Err(DurableError::ReadOnly { reason })
+            }
+        }
+    }
+
+    /// Durably retracts an N-Triples batch (delete–rederive), returning the
+    /// stats and the epoch serving the result.
+    pub fn retract_ntriples(&self, body: &str) -> Result<(RetractionStats, u64), DurableError> {
+        let triples = parse_ntriples(body).map_err(|e| DurableError::Rejected {
+            message: e.to_string(),
+        })?;
+        let mut state = self.log_record(WalKind::Retract, body)?;
+        let (stats, epoch) = self.inner.retract(triples);
+        self.maybe_checkpoint(&mut state);
+        Ok((stats, epoch))
+    }
+
+    /// Writes a snapshot image of the current state and truncates the WAL.
+    pub fn checkpoint(&self) -> Result<PathBuf, DurableError> {
+        let mut state = self.lock_state();
+        self.checkpoint_locked(&mut state)
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, DurableState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// Appends one record durably; flips read-only on failure. Returns the
+    /// held state lock so the caller applies and (maybe) checkpoints under
+    /// the same critical section — WAL order equals apply order.
+    fn log_record(
+        &self,
+        kind: WalKind,
+        body: &str,
+    ) -> Result<MutexGuard<'_, DurableState>, DurableError> {
+        if self.is_read_only() {
+            return Err(self.read_only_error());
+        }
+        let mut state = self.lock_state();
+        if self.is_read_only() {
+            drop(state);
+            return Err(self.read_only_error());
+        }
+        let seq = state.last_seq + 1;
+        let record = wal::encode_record(seq, kind, body);
+        if let Err(e) = self.backend.append_durable(&self.wal_path(), &record) {
+            let reason = format!("WAL append failed: {e}");
+            state.last_error = Some(reason.clone());
+            self.read_only.store(true, Ordering::Release);
+            drop(state);
+            return Err(DurableError::ReadOnly { reason });
+        }
+        state.last_seq = seq;
+        state.wal_records += 1;
+        state.wal_bytes += record.len() as u64;
+        Ok(state)
+    }
+
+    fn read_only_error(&self) -> DurableError {
+        let reason = self
+            .lock_state()
+            .last_error
+            .clone()
+            .unwrap_or_else(|| "degraded to read-only".to_string());
+        DurableError::ReadOnly { reason }
+    }
+
+    fn maybe_checkpoint(&self, state: &mut DurableState) {
+        if !self.policy.triggered(state.wal_records, state.wal_bytes) {
+            return;
+        }
+        // A failed checkpoint is not fatal: the WAL alone still carries
+        // every acknowledged write. Record the error and keep serving.
+        if let Err(e) = self.checkpoint_locked(state) {
+            state.last_error = Some(format!("checkpoint failed: {e}"));
+        }
+    }
+
+    fn checkpoint_locked(&self, state: &mut DurableState) -> Result<PathBuf, DurableError> {
+        let (dictionary, base, snapshot) = self.inner.persistable_state();
+        let image = snapshot::encode_image(
+            &dictionary,
+            &base,
+            snapshot.store(),
+            snapshot.epoch(),
+            state.last_seq,
+            &self.fragment_name,
+        );
+        let path = self
+            .dir
+            .join(snapshot::snapshot_file_name(snapshot.epoch()));
+        self.backend
+            .write_atomic(&path, &image)
+            .map_err(|e| DurableError::Io {
+                context: format!("writing snapshot {}", path.display()),
+                message: e.to_string(),
+            })?;
+        // Every record at or below last_seq is now covered by the image;
+        // truncate the log. If the truncation fails the stale records are
+        // merely redundant — replay skips them by sequence number.
+        match self.backend.write_atomic(&self.wal_path(), &[]) {
+            Ok(()) => {
+                state.wal_records = 0;
+                state.wal_bytes = 0;
+            }
+            Err(e) => {
+                state.last_error = Some(format!("WAL truncation failed: {e}"));
+            }
+        }
+        state.snapshot_epoch = snapshot.epoch();
+        state.snapshot_seq = state.last_seq;
+        state.snapshot_path = Some(path.clone());
+        self.prune_snapshots(&path);
+        Ok(path)
+    }
+
+    /// Removes all but the newest [`CheckpointPolicy::snapshots_to_keep`]
+    /// images (best-effort; the newest one is never removed).
+    fn prune_snapshots(&self, newest: &Path) {
+        let keep = self.policy.snapshots_to_keep.max(1);
+        let Ok(files) = self.backend.list(&self.dir) else {
+            return;
+        };
+        let mut images: Vec<(u64, PathBuf)> = files
+            .into_iter()
+            .filter_map(|path| {
+                let name = path.file_name()?.to_str()?;
+                Some((snapshot::parse_snapshot_file_name(name)?, path.clone()))
+            })
+            .collect();
+        images.sort_by_key(|i| std::cmp::Reverse(i.0));
+        for (_, path) in images.into_iter().skip(keep) {
+            if path != newest {
+                let _ = self.backend.remove(&path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{Fault, MemFs};
+    use inferray_parser::load_ntriples;
+
+    const DATA: &str = "<http://ex/human> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://ex/mammal> .\n\
+         <http://ex/mammal> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://ex/animal> .\n\
+         <http://ex/bart> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/human> .\n";
+
+    fn boot(backend: Arc<MemFs>) -> DurableDataset {
+        let loaded = load_ntriples(DATA).unwrap();
+        let (durable, _) = DurableDataset::create(
+            loaded,
+            Fragment::RdfsDefault,
+            InferrayOptions::default(),
+            "data",
+            backend,
+            CheckpointPolicy::manual(),
+        )
+        .unwrap();
+        durable
+    }
+
+    #[test]
+    fn create_then_open_resumes_the_same_store() {
+        let fs = Arc::new(MemFs::new());
+        let original = boot(Arc::clone(&fs));
+        original
+            .extend_ntriples(
+                "<http://ex/lisa> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/human> .\n",
+            )
+            .unwrap();
+
+        let rebooted = Arc::new(MemFs::from_view(fs.durable_view()));
+        let (recovered, report) = DurableDataset::open(
+            "data",
+            Fragment::RdfsDefault,
+            InferrayOptions::default(),
+            rebooted,
+            CheckpointPolicy::manual(),
+        )
+        .unwrap();
+
+        assert_eq!(report.replayed_records, 1);
+        let (live, live_dict) = original.dataset().snapshot();
+        let (back, back_dict) = recovered.dataset().snapshot();
+        assert_eq!(live.epoch(), back.epoch());
+        assert_eq!(live.store(), back.store());
+        assert_eq!(*live_dict, *back_dict);
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_wal_and_is_skipped_on_replay() {
+        let fs = Arc::new(MemFs::new());
+        let durable = boot(Arc::clone(&fs));
+        durable
+            .extend_ntriples(
+                "<http://ex/lisa> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/human> .\n",
+            )
+            .unwrap();
+        durable.checkpoint().unwrap();
+        assert_eq!(fs.read(Path::new("data/wal.log")).unwrap(), b"");
+
+        let rebooted = Arc::new(MemFs::from_view(fs.durable_view()));
+        let (_, report) = DurableDataset::open(
+            "data",
+            Fragment::RdfsDefault,
+            InferrayOptions::default(),
+            rebooted,
+            CheckpointPolicy::manual(),
+        )
+        .unwrap();
+        assert_eq!(report.replayed_records, 0);
+        assert_eq!(report.skipped_records, 0);
+    }
+
+    #[test]
+    fn failed_fsync_degrades_to_read_only_without_applying() {
+        let fs = Arc::new(MemFs::new());
+        let durable = boot(Arc::clone(&fs));
+        let epoch_before = durable.dataset().epoch();
+        fs.inject(Fault::FailSync);
+        let err = durable
+            .extend_ntriples(
+                "<http://ex/lisa> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/human> .\n",
+            )
+            .unwrap_err();
+        assert!(matches!(err, DurableError::ReadOnly { .. }));
+        assert!(durable.is_read_only());
+        // The failed write never published.
+        assert_eq!(durable.dataset().epoch(), epoch_before);
+        // Subsequent writes are refused outright…
+        assert!(matches!(
+            durable.extend_ntriples("<http://ex/a> <http://ex/p> <http://ex/b> .\n"),
+            Err(DurableError::ReadOnly { .. })
+        ));
+        // …and the status says so.
+        let status = durable.status();
+        assert!(status.read_only);
+        assert!(status.last_error.is_some());
+        assert!(status.json().contains("\"read_only\":true"));
+    }
+
+    #[test]
+    fn open_refuses_a_fragment_mismatch() {
+        let fs = Arc::new(MemFs::new());
+        let _ = boot(Arc::clone(&fs));
+        let err = DurableDataset::open(
+            "data",
+            Fragment::RhoDf,
+            InferrayOptions::default(),
+            fs,
+            CheckpointPolicy::manual(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DurableError::FragmentMismatch { .. }));
+    }
+
+    #[test]
+    fn open_on_an_empty_directory_reports_no_snapshot() {
+        let err = DurableDataset::open(
+            "data",
+            Fragment::RdfsDefault,
+            InferrayOptions::default(),
+            Arc::new(MemFs::new()),
+            CheckpointPolicy::manual(),
+        )
+        .unwrap_err();
+        assert_eq!(err, DurableError::NoSnapshot);
+    }
+
+    #[test]
+    fn a_corrupt_newest_snapshot_falls_back_to_the_previous_one() {
+        let fs = Arc::new(MemFs::new());
+        let durable = boot(Arc::clone(&fs));
+        // Write a second image at a later epoch, then corrupt it.
+        durable
+            .extend_ntriples(
+                "<http://ex/lisa> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/human> .\n",
+            )
+            .unwrap();
+        let newest = durable.checkpoint().unwrap();
+        fs.corrupt_byte(&newest, 40, 0xFF);
+
+        let rebooted = Arc::new(MemFs::from_view(fs.durable_view()));
+        let (recovered, report) = DurableDataset::open(
+            "data",
+            Fragment::RdfsDefault,
+            InferrayOptions::default(),
+            rebooted,
+            CheckpointPolicy::manual(),
+        )
+        .unwrap();
+        assert_eq!(report.invalid_snapshots, 1);
+        // Bit rot in the newest image after its WAL was truncated is the
+        // one scenario where recovery legitimately resumes at an *older*
+        // state (docs/persistence.md): the older image is intact, the rot
+        // is detected, and the server still comes up serving.
+        assert_eq!(recovered.dataset().epoch(), report.epoch);
+        assert_eq!(report.snapshot_epoch, 0);
+    }
+
+    #[test]
+    fn record_limit_triggers_automatic_checkpoints() {
+        let fs = Arc::new(MemFs::new());
+        let loaded = load_ntriples(DATA).unwrap();
+        let (durable, _) = DurableDataset::create(
+            loaded,
+            Fragment::RdfsDefault,
+            InferrayOptions::default(),
+            "data",
+            Arc::clone(&fs) as Arc<dyn IoBackend>,
+            CheckpointPolicy {
+                wal_record_limit: Some(2),
+                wal_byte_limit: None,
+                snapshots_to_keep: 2,
+            },
+        )
+        .unwrap();
+        durable
+            .extend_ntriples("<http://ex/a> <http://ex/p> <http://ex/b> .\n")
+            .unwrap();
+        assert!(!fs.read(Path::new("data/wal.log")).unwrap().is_empty());
+        durable
+            .extend_ntriples("<http://ex/c> <http://ex/p> <http://ex/d> .\n")
+            .unwrap();
+        // Second record crossed the limit: checkpoint + truncation.
+        assert!(fs.read(Path::new("data/wal.log")).unwrap().is_empty());
+        assert_eq!(durable.status().last_checkpoint_seq, 2);
+    }
+}

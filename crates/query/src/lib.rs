@@ -85,7 +85,10 @@ pub mod sparql;
 
 pub use algebra::{FilterExpr, PatternTerm, Query, QueryForm, Selection, TriplePatternSpec};
 pub use engine::QueryEngine;
-pub use server::{EngineSource, SparqlServer, UpdateOutcome, UpdateSink};
+pub use server::{
+    DurabilityReporter, EngineSource, ServerConfig, SparqlServer, UpdateError, UpdateOutcome,
+    UpdateSink,
+};
 pub use serving::SnapshotQueryEngine;
 pub use solution::{EncodedRow, SolutionSet};
 pub use sparql::{parse_query, QueryParseError};

@@ -15,15 +15,30 @@
 //!   (`Content-Type: application/sparql-query`) or form-encoded
 //!   (`query=<percent-encoded>`);
 //! * `POST /update` — retract the N-Triples of the body from the served
-//!   dataset (delete–rederive, docs/maintenance.md); only available when
-//!   the server was bound with an [`UpdateSink`]
-//!   ([`SparqlServer::bind_with_updates`]), 404 otherwise;
-//! * `GET /status` — the current snapshot epoch and store size.
+//!   dataset (delete–rederive, docs/maintenance.md), or assert them with
+//!   `?action=assert`; only available when the server was bound with an
+//!   [`UpdateSink`] ([`SparqlServer::bind_with_updates`]), 404 otherwise;
+//! * `GET /status` — the current snapshot epoch and store size, plus a
+//!   `durability` object when the server was bound with a
+//!   [`DurabilityReporter`] (snapshot path, WAL length, read-only flag —
+//!   see docs/persistence.md).
 //!
 //! `POST` bodies must carry a `Content-Length`: a missing length is
 //! answered with `411 Length Required` (not a misleading parse error from
 //! an empty body) and `Transfer-Encoding: chunked` with
 //! `501 Not Implemented`.
+//!
+//! ## Robustness
+//!
+//! Every connection runs under a read/write timeout
+//! ([`ServerConfig::read_timeout`]): a slowloris client that drips its
+//! request is answered with `408 Request Timeout` instead of pinning a
+//! worker. Request bodies above [`ServerConfig::max_body_bytes`] get
+//! `413 Payload Too Large` without being read. When the sink reports the
+//! dataset degraded to read-only ([`UpdateError::Unavailable`] — an
+//! unrecoverable WAL-append failure), `POST /update` answers
+//! `503 Service Unavailable` with a `Retry-After` header while reads keep
+//! serving.
 //!
 //! Responses use the SPARQL 1.1 Query Results JSON format:
 //! `{"head":{"vars":[…]},"results":{"bindings":[…]}}` for `SELECT`,
@@ -77,31 +92,103 @@ where
     }
 }
 
-/// The outcome of a `POST /update` deletion, rendered as the JSON response
+/// The outcome of a `POST /update` request, rendered as the JSON response
 /// body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UpdateOutcome {
     /// The epoch published by the update (or the current one when nothing
     /// changed).
     pub epoch: u64,
-    /// Distinct triples the request asked to retract.
+    /// Distinct triples the request asked to retract (0 for asserts).
     pub requested: usize,
-    /// Explicitly asserted triples actually removed.
+    /// Explicitly asserted triples actually removed (0 for asserts).
     pub removed: usize,
     /// Triples in the store after the update.
     pub triples: usize,
+}
+
+/// Why an [`UpdateSink`] refused a write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The request itself is invalid (parse error, unsupported action) —
+    /// answered with `400`.
+    Rejected(String),
+    /// The dataset cannot accept writes right now (degraded to read-only
+    /// after a durability failure) — answered with `503` and a
+    /// `Retry-After` header; reads keep serving.
+    Unavailable {
+        /// Operator-facing diagnostic for the JSON error body.
+        message: String,
+        /// Suggested client back-off, in seconds.
+        retry_after_secs: u64,
+    },
+}
+
+impl UpdateError {
+    /// Shorthand for a `400` rejection.
+    pub fn rejected(message: impl Into<String>) -> UpdateError {
+        UpdateError::Rejected(message.into())
+    }
 }
 
 /// A writer the server forwards `POST /update` requests to.
 ///
 /// The serving stack is layered so that `inferray-query` never depends on
 /// the reasoner: the server knows only this trait, and the binary that owns
-/// a `ServingDataset` (e.g. `inferray-cli serve`) adapts it. An `Err` is
-/// reported as a `400` with the message in the JSON error body.
+/// a `ServingDataset` (e.g. `inferray-cli serve`) adapts it.
+/// [`UpdateError::Rejected`] is reported as a `400` with the message in the
+/// JSON error body, [`UpdateError::Unavailable`] as a `503` with a
+/// `Retry-After` header.
 pub trait UpdateSink: Send + Sync + 'static {
     /// Retracts the triples of an N-Triples document from the served
     /// dataset and re-materializes incrementally.
-    fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, String>;
+    fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, UpdateError>;
+
+    /// Asserts the triples of an N-Triples document
+    /// (`POST /update?action=assert`). Sinks without a write-ahead path may
+    /// leave the default, which rejects the request.
+    fn assert_ntriples(&self, body: &str) -> Result<UpdateOutcome, UpdateError> {
+        let _ = body;
+        Err(UpdateError::rejected(
+            "asserts are not supported by this endpoint",
+        ))
+    }
+}
+
+/// Durability state the server splices into `GET /status` as the
+/// `durability` object — implemented by the persistence layer
+/// (`inferray-persist`), which `inferray-query` deliberately does not
+/// depend on.
+pub trait DurabilityReporter: Send + Sync + 'static {
+    /// The current durability state as a complete JSON object, e.g.
+    /// `{"read_only":false,…}`.
+    fn durability_json(&self) -> String;
+}
+
+/// Tunables of a [`SparqlServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads all `accept`ing on the shared listener.
+    pub threads: usize,
+    /// Per-connection read timeout: a client that stalls mid-request gets
+    /// `408` instead of pinning a worker.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Largest accepted `Content-Length`; bigger bodies get `413` without
+    /// being read.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 2,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body_bytes: 16 << 20,
+        }
+    }
 }
 
 /// A running SPARQL endpoint; dropping it without calling
@@ -122,10 +209,14 @@ impl SparqlServer {
         threads: usize,
         source: Arc<dyn EngineSource>,
     ) -> std::io::Result<SparqlServer> {
-        Self::bind_inner(addr, threads, source, None)
+        let config = ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        };
+        Self::bind_with(addr, config, source, None, None)
     }
 
-    /// [`SparqlServer::bind`] with a write path: `POST /update` deletions
+    /// [`SparqlServer::bind`] with a write path: `POST /update` requests
     /// are forwarded to `sink`.
     pub fn bind_with_updates(
         addr: &str,
@@ -133,28 +224,46 @@ impl SparqlServer {
         source: Arc<dyn EngineSource>,
         sink: Arc<dyn UpdateSink>,
     ) -> std::io::Result<SparqlServer> {
-        Self::bind_inner(addr, threads, source, Some(sink))
+        let config = ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        };
+        Self::bind_with(addr, config, source, Some(sink), None)
     }
 
-    fn bind_inner(
+    /// The fully configurable constructor: explicit [`ServerConfig`], an
+    /// optional write path and an optional durability reporter for
+    /// `GET /status`.
+    pub fn bind_with(
         addr: &str,
-        threads: usize,
+        config: ServerConfig,
         source: Arc<dyn EngineSource>,
         sink: Option<Arc<dyn UpdateSink>>,
+        durability: Option<Arc<dyn DurabilityReporter>>,
     ) -> std::io::Result<SparqlServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let listener = Arc::new(listener);
         let stop = Arc::new(AtomicBool::new(false));
-        let workers = (0..threads.max(1))
+        let workers = (0..config.threads.max(1))
             .map(|i| {
                 let listener = Arc::clone(&listener);
                 let stop = Arc::clone(&stop);
                 let source = Arc::clone(&source);
                 let sink = sink.clone();
+                let durability = durability.clone();
                 std::thread::Builder::new()
                     .name(format!("inferray-serve-{i}"))
-                    .spawn(move || worker_loop(&listener, &stop, source.as_ref(), sink.as_deref()))
+                    .spawn(move || {
+                        worker_loop(
+                            &listener,
+                            &stop,
+                            config,
+                            source.as_ref(),
+                            sink.as_deref(),
+                            durability.as_deref(),
+                        )
+                    })
                     .expect("failed to spawn server worker")
             })
             .collect();
@@ -186,8 +295,10 @@ impl SparqlServer {
 fn worker_loop(
     listener: &TcpListener,
     stop: &AtomicBool,
+    config: ServerConfig,
     source: &dyn EngineSource,
     sink: Option<&dyn UpdateSink>,
+    durability: Option<&dyn DurabilityReporter>,
 ) {
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -206,10 +317,19 @@ fn worker_loop(
             return;
         }
         // A stalled client must not wedge a worker forever.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-        let _ = handle_connection(stream, source, sink);
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        let _ = handle_connection(stream, config, source, sink, durability);
     }
+}
+
+/// `true` for the error kinds a socket read timeout surfaces as
+/// (platform-dependent: `WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -230,15 +350,22 @@ struct RequestHead {
 
 fn handle_connection(
     stream: TcpStream,
+    config: ServerConfig,
     source: &dyn EngineSource,
     sink: Option<&dyn UpdateSink>,
+    durability: Option<&dyn DurabilityReporter>,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
     let head = match read_head(&mut reader) {
         Ok(head) => head,
-        Err(message) => {
+        Err((status, message)) => {
             let mut stream = reader.into_inner();
-            return respond(&mut stream, 400, "application/json", &error_json(&message));
+            return respond(
+                &mut stream,
+                status,
+                "application/json",
+                &error_json(&message),
+            );
         }
     };
 
@@ -263,23 +390,30 @@ fn handle_connection(
         };
         // An unbounded Content-Length would let one request allocate the
         // moon.
-        const MAX_BODY: usize = 16 << 20;
-        if length > MAX_BODY {
+        if length > config.max_body_bytes {
             return refuse_post(
                 &mut reader,
-                400,
-                &format!("body too large ({length} bytes)"),
+                413,
+                &format!(
+                    "body too large ({length} bytes; limit {})",
+                    config.max_body_bytes
+                ),
                 (length as u64).min(64 << 20),
             );
         }
         let mut body = vec![0u8; length];
         if let Err(e) = reader.read_exact(&mut body) {
             let mut stream = reader.into_inner();
+            let (status, message) = if is_timeout(&e) {
+                (408, "timed out reading request body".to_owned())
+            } else {
+                (400, format!("truncated body: {e}"))
+            };
             return respond(
                 &mut stream,
-                400,
+                status,
                 "application/json",
-                &error_json(&format!("truncated body: {e}")),
+                &error_json(&message),
             );
         }
         body
@@ -296,12 +430,17 @@ fn handle_connection(
     match (head.method.as_str(), path) {
         ("GET", "/status") => {
             let engine = source.current();
-            let body = format!(
-                "{{\"epoch\":{},\"triples\":{},\"tables\":{}}}\n",
+            let mut body = format!(
+                "{{\"epoch\":{},\"triples\":{},\"tables\":{}",
                 engine.epoch(),
                 engine.snapshot().len(),
                 engine.snapshot().table_count(),
             );
+            if let Some(reporter) = durability {
+                body.push_str(",\"durability\":");
+                body.push_str(&reporter.durability_json());
+            }
+            body.push_str("}\n");
             respond(&mut stream, 200, "application/json", &body)
         }
         ("GET", "/sparql") => match query_from_query_string(query_string.unwrap_or("")) {
@@ -345,7 +484,24 @@ fn handle_connection(
             ),
             Some(sink) => {
                 let body = String::from_utf8_lossy(&body).into_owned();
-                match sink.retract_ntriples(&body) {
+                // `?action=assert` routes to the write-ahead assert path;
+                // the default (and `?action=retract`) stays delete–rederive.
+                let action = query_string
+                    .and_then(|qs| {
+                        qs.split('&').find_map(|pair| {
+                            let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+                            (name == "action").then(|| percent_decode(value))
+                        })
+                    })
+                    .unwrap_or_else(|| "retract".to_owned());
+                let result = match action.as_str() {
+                    "retract" => sink.retract_ntriples(&body),
+                    "assert" => sink.assert_ntriples(&body),
+                    other => Err(UpdateError::Rejected(format!(
+                        "unknown action '{other}' (use assert or retract)"
+                    ))),
+                };
+                match result {
                     Ok(outcome) => {
                         let body = format!(
                             "{{\"epoch\":{},\"requested\":{},\"removed\":{},\"triples\":{}}}\n",
@@ -353,9 +509,19 @@ fn handle_connection(
                         );
                         respond(&mut stream, 200, "application/json", &body)
                     }
-                    Err(message) => {
+                    Err(UpdateError::Rejected(message)) => {
                         respond(&mut stream, 400, "application/json", &error_json(&message))
                     }
+                    Err(UpdateError::Unavailable {
+                        message,
+                        retry_after_secs,
+                    }) => respond_with(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        &[("Retry-After", &retry_after_secs.to_string())],
+                        &error_json(&message),
+                    ),
                 }
             }
         },
@@ -400,21 +566,36 @@ fn refuse_post(
     Ok(())
 }
 
-fn read_head(reader: &mut BufReader<TcpStream>) -> Result<RequestHead, String> {
+fn read_head(reader: &mut BufReader<TcpStream>) -> Result<RequestHead, (u16, String)> {
     // The whole head (request line + headers) is read through a byte cap:
     // a drip-fed endless line must error out, not grow a String forever.
     const MAX_HEAD: u64 = 64 << 10;
     let mut head = reader.by_ref().take(MAX_HEAD);
 
+    // A read timeout anywhere in the head is the slowloris case: 408.
+    let head_read_error = |e: &std::io::Error, what: &str| {
+        if is_timeout(e) {
+            (408, format!("timed out reading {what}"))
+        } else {
+            (400, format!("bad {what}: {e}"))
+        }
+    };
+
     let mut line = String::new();
     head.read_line(&mut line)
-        .map_err(|e| format!("bad request line: {e}"))?;
+        .map_err(|e| head_read_error(&e, "request line"))?;
     if !line.ends_with('\n') {
-        return Err("request line too long".to_owned());
+        return Err((400, "request line too long".to_owned()));
     }
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_owned();
-    let path = parts.next().ok_or("request line without path")?.to_owned();
+    let method = parts
+        .next()
+        .ok_or((400, "empty request line".to_owned()))?
+        .to_owned();
+    let path = parts
+        .next()
+        .ok_or((400, "request line without path".to_owned()))?
+        .to_owned();
 
     let mut content_length = None;
     let mut content_type = String::new();
@@ -422,9 +603,9 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> Result<RequestHead, String> {
     loop {
         let mut header = String::new();
         head.read_line(&mut header)
-            .map_err(|e| format!("bad header: {e}"))?;
+            .map_err(|e| head_read_error(&e, "header"))?;
         if !header.ends_with('\n') {
-            return Err("header section too large".to_owned());
+            return Err((400, "header section too large".to_owned()));
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -436,7 +617,7 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> Result<RequestHead, String> {
                 content_length = Some(
                     value
                         .parse::<usize>()
-                        .map_err(|_| format!("bad Content-Length '{value}'"))?,
+                        .map_err(|_| (400, format!("bad Content-Length '{value}'")))?,
                 );
             } else if name.eq_ignore_ascii_case("content-type") {
                 content_type = value.to_ascii_lowercase();
@@ -637,18 +818,38 @@ fn respond(
     content_type: &str,
     body: &str,
 ) -> std::io::Result<()> {
+    respond_with(stream, status, content_type, &[], body)
+}
+
+fn respond_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
+        413 => "Payload Too Large",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
+    let mut headers = String::new();
+    for (name, value) in extra_headers {
+        headers.push_str(name);
+        headers.push_str(": ");
+        headers.push_str(value);
+        headers.push_str("\r\n");
+    }
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{headers}Connection: close\r\n\r\n{body}",
         body.len(),
     )?;
     stream.flush()
@@ -870,9 +1071,9 @@ mod tests {
     }
 
     impl UpdateSink for Arc<RecordingSink> {
-        fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, String> {
+        fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, UpdateError> {
             if body.contains("<broken") {
-                return Err("parse error: broken".to_owned());
+                return Err(UpdateError::rejected("parse error: broken"));
             }
             let requested = body.lines().filter(|l| !l.trim().is_empty()).count();
             self.bodies.lock().unwrap().push(body.to_owned());
@@ -952,6 +1153,199 @@ mod tests {
         );
         assert_eq!(status, 404);
         assert!(body.contains("not enabled"), "body: {body}");
+        server.shutdown();
+    }
+
+    /// Raw variant of [`http`]: the full response including headers.
+    fn http_raw(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        response
+    }
+
+    /// A sink that is permanently degraded to read-only.
+    struct ReadOnlySink;
+
+    impl UpdateSink for ReadOnlySink {
+        fn retract_ntriples(&self, _body: &str) -> Result<UpdateOutcome, UpdateError> {
+            Err(UpdateError::Unavailable {
+                message: "dataset is read-only: WAL append failed".to_owned(),
+                retry_after_secs: 30,
+            })
+        }
+    }
+
+    struct StaticDurability;
+
+    impl DurabilityReporter for StaticDurability {
+        fn durability_json(&self) -> String {
+            "{\"read_only\":true,\"wal_records\":3}".to_owned()
+        }
+    }
+
+    fn bind_full(
+        config: ServerConfig,
+        sink: Option<Arc<dyn UpdateSink>>,
+        durability: Option<Arc<dyn DurabilityReporter>>,
+    ) -> SparqlServer {
+        let (snapshots, dictionary) = service();
+        let source =
+            move || SnapshotQueryEngine::new(snapshots.snapshot(), Arc::clone(&dictionary));
+        SparqlServer::bind_with("127.0.0.1:0", config, Arc::new(source), sink, durability)
+            .expect("bind loopback")
+    }
+
+    #[test]
+    fn oversized_bodies_get_413_without_being_read() {
+        let server = bind_full(
+            ServerConfig {
+                max_body_bytes: 1024,
+                ..ServerConfig::default()
+            },
+            None,
+            None,
+        );
+        let addr = server.local_addr();
+        // Announce 2 KiB but do not send it: the refusal must not wait for
+        // the body.
+        let (status, body) = http(
+            addr,
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Length: 2048\r\n\r\n",
+        );
+        assert_eq!(status, 413, "body: {body}");
+        assert!(body.contains("body too large"), "body: {body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_stalled_request_head_gets_408() {
+        let server = bind_full(
+            ServerConfig {
+                read_timeout: Duration::from_millis(150),
+                ..ServerConfig::default()
+            },
+            None,
+            None,
+        );
+        let addr = server.local_addr();
+        // Send half a request line, then stall past the read timeout.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET /status HT").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 408"), "response: {response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_stalled_post_body_gets_408() {
+        let server = bind_full(
+            ServerConfig {
+                read_timeout: Duration::from_millis(150),
+                ..ServerConfig::default()
+            },
+            None,
+            None,
+        );
+        let addr = server.local_addr();
+        // Promise 100 bytes, send 10, stall.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Length: 100\r\n\r\nSELECT * {")
+            .expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 408"), "response: {response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_read_only_sink_degrades_update_to_503_with_retry_after() {
+        let server = bind_full(ServerConfig::default(), Some(Arc::new(ReadOnlySink)), None);
+        let addr = server.local_addr();
+        let doc = "<http://ex/a> <http://ex/b> <http://ex/c> .\n";
+        let response = http_raw(
+            addr,
+            &format!(
+                "POST /update HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{doc}",
+                doc.len()
+            ),
+        );
+        assert!(
+            response.starts_with("HTTP/1.1 503 Service Unavailable"),
+            "response: {response}"
+        );
+        assert!(response.contains("Retry-After: 30"), "response: {response}");
+        assert!(response.contains("read-only"), "response: {response}");
+        // Reads keep serving while writes are refused.
+        let (status, _) = http(addr, "GET /status HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn status_splices_in_the_durability_report() {
+        let server = bind_full(
+            ServerConfig::default(),
+            None,
+            Some(Arc::new(StaticDurability)),
+        );
+        let addr = server.local_addr();
+        let (status, body) = http(addr, "GET /status HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"durability\":{\"read_only\":true,\"wal_records\":3}"),
+            "body: {body}"
+        );
+        assert!(body.contains("\"epoch\":0"), "body: {body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn update_actions_route_assert_and_reject_unknown() {
+        let sink = Arc::new(RecordingSink {
+            bodies: std::sync::Mutex::new(Vec::new()),
+        });
+        let server = bind_full(
+            ServerConfig::default(),
+            Some(Arc::new(Arc::clone(&sink))),
+            None,
+        );
+        let addr = server.local_addr();
+        let doc = "<http://ex/a> <http://ex/b> <http://ex/c> .\n";
+        // The default RecordingSink has no assert path: the trait default
+        // rejects with 400.
+        let (status, body) = http(
+            addr,
+            &format!(
+                "POST /update?action=assert HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{doc}",
+                doc.len()
+            ),
+        );
+        assert_eq!(status, 400, "body: {body}");
+        assert!(body.contains("asserts are not supported"), "body: {body}");
+        // Unknown actions are named in the diagnostic.
+        let (status, body) = http(
+            addr,
+            &format!(
+                "POST /update?action=merge HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{doc}",
+                doc.len()
+            ),
+        );
+        assert_eq!(status, 400, "body: {body}");
+        assert!(body.contains("unknown action 'merge'"), "body: {body}");
+        // An explicit retract behaves like the default.
+        let (status, _) = http(
+            addr,
+            &format!(
+                "POST /update?action=retract HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{doc}",
+                doc.len()
+            ),
+        );
+        assert_eq!(status, 200);
+        assert_eq!(sink.bodies.lock().unwrap().len(), 1);
         server.shutdown();
     }
 

@@ -114,11 +114,20 @@ pub struct SnapshotStore {
 impl SnapshotStore {
     /// Publishes `store` as epoch 0. The store is finalized and its ⟨o,s⟩
     /// caches are built so the snapshot is immediately query-ready.
-    pub fn new(mut store: TripleStore) -> Self {
+    pub fn new(store: TripleStore) -> Self {
+        SnapshotStore::with_epoch(store, 0)
+    }
+
+    /// Publishes `store` as the given starting epoch — the recovery path of
+    /// the persistence layer, which must resume the epoch counter where the
+    /// pre-crash process left it so that replayed write-ahead-log records
+    /// republish the exact epoch sequence they produced the first time.
+    /// Like [`SnapshotStore::new`], the store is finalized and ⟨o,s⟩-cached.
+    pub fn with_epoch(mut store: TripleStore, epoch: u64) -> Self {
         store.finalize();
         store.ensure_all_os();
         SnapshotStore {
-            current: RwLock::new(StoreSnapshot::new(0, Arc::new(store))),
+            current: RwLock::new(StoreSnapshot::new(epoch, Arc::new(store))),
             writer: Mutex::new(()),
         }
     }
@@ -199,6 +208,18 @@ mod tests {
         assert_eq!(cell.epoch(), 0);
         assert!(snap.table(p()).unwrap().has_os_cache());
         assert!(snap.contains(&IdTriple::new(7, p(), 8)));
+    }
+
+    #[test]
+    fn with_epoch_resumes_the_epoch_counter() {
+        let cell =
+            SnapshotStore::with_epoch(TripleStore::from_triples([IdTriple::new(7, p(), 8)]), 41);
+        assert_eq!(cell.epoch(), 41);
+        assert!(cell.snapshot().table(p()).unwrap().has_os_cache());
+        let (snap, ()) = cell.update(|store| {
+            store.add_triple(IdTriple::new(9, p(), 10));
+        });
+        assert_eq!(snap.epoch(), 42, "updates continue from the resumed epoch");
     }
 
     #[test]

@@ -242,6 +242,26 @@ impl TripleStore {
             *table = None;
         }
     }
+
+    /// The raw slot array (slot `i` holds the table of the property with
+    /// dense index `i`), including `None` and empty-but-allocated slots.
+    ///
+    /// The persistence image serializes this exact layout — `None` versus
+    /// `Some(empty)` is observable through `PartialEq`, so a recovered
+    /// store must reproduce it bit for bit to compare equal to the
+    /// pre-crash original.
+    pub fn slot_tables(&self) -> &[Option<PropertyTable>] {
+        &self.tables
+    }
+
+    /// Rebuilds a store from an explicit slot array.
+    ///
+    /// The caller vouches for the tables' invariants (finalized,
+    /// ⟨s,o⟩-sorted, duplicate-free); the persistence layer only feeds back
+    /// slots it previously observed through [`TripleStore::slot_tables`].
+    pub fn from_slot_tables(tables: Vec<Option<PropertyTable>>) -> Self {
+        TripleStore { tables }
+    }
 }
 
 impl FromIterator<IdTriple> for TripleStore {

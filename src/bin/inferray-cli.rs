@@ -11,11 +11,25 @@
 //! (see docs/serving.md): `GET/POST /sparql` with SPARQL results JSON,
 //! `GET /status` for the snapshot epoch, and — unless `--read-only` —
 //! `POST /update` to retract N-Triples with the delete–rederive incremental
-//! maintenance path (docs/maintenance.md).
+//! maintenance path (docs/maintenance.md), or to assert them with
+//! `?action=assert`. With `--data-dir` the served dataset is **durable**
+//! (docs/persistence.md): it recovers from the newest snapshot image + WAL
+//! replay when the directory holds one, writes every update to the WAL
+//! before publishing, and checkpoints on a threshold.
+//!
+//! **Snapshot**: `inferray-cli snapshot --data-dir D [FILE]` materializes
+//! the input and writes a snapshot image (an offline "pre-warm" of the
+//! serve cold-start path).
+//!
+//! **Recover**: `inferray-cli recover --data-dir D` validates the data
+//! directory — which image would be used, how many WAL records replay —
+//! and prints the report without serving.
 //!
 //! ```text
 //! inferray-cli [OPTIONS] [FILE]
-//! inferray-cli serve [OPTIONS] [--port N] [--threads N] [FILE]
+//! inferray-cli serve [OPTIONS] [--port N] [--threads N] [--data-dir D] [FILE]
+//! inferray-cli snapshot --data-dir D [OPTIONS] [FILE]
+//! inferray-cli recover --data-dir D [OPTIONS]
 //!
 //! Options:
 //!   --fragment <rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full>   (default: rdfs)
@@ -29,24 +43,39 @@
 //!                        0.0.0.0 to expose the endpoint beyond this host)
 //!   --threads <N>        serve mode: HTTP worker threads (default: available cores)
 //!   --read-only          serve mode: disable the POST /update endpoint
+//!   --data-dir <DIR>     durable storage directory (WAL + snapshot images)
+//!   --checkpoint-every <N>  records between automatic checkpoints (default 1024)
 //!   --help
 //!
 //! FILE defaults to standard input.
 //! ```
 
-use inferray::ServingUpdateSink;
+use inferray::persist::StdFs;
+use inferray::{
+    CheckpointPolicy, DurableDataset, DurableError, DurableUpdateSink, ServingUpdateSink,
+};
 use inferray_core::{
     InferrayOptions, InferrayReasoner, Ingest, LoaderOptions, Materializer, ServingDataset,
 };
 use inferray_parser::loader::LoadedDataset;
-use inferray_query::{SnapshotQueryEngine, SparqlServer};
+use inferray_query::{
+    DurabilityReporter, ServerConfig, SnapshotQueryEngine, SparqlServer, UpdateSink,
+};
 use inferray_rules::Fragment;
 use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Materialize,
+    Serve,
+    Snapshot,
+    Recover,
+}
+
 struct CliOptions {
-    serve: bool,
+    mode: Mode,
     fragment: Fragment,
     turtle: bool,
     inferred_only: bool,
@@ -57,19 +86,25 @@ struct CliOptions {
     host: String,
     threads: usize,
     read_only: bool,
+    data_dir: Option<String>,
+    checkpoint_every: Option<u64>,
     input: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: inferray-cli [serve] [--fragment rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full] \
+    "usage: inferray-cli [serve|snapshot|recover] \
+     [--fragment rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full] \
      [--format ntriples|turtle] [--inferred-only] [--sequential] \
      [--ingest-threads N] [--chunk-kib N] [--port N] [--host ADDR] [--threads N] \
-     [--read-only] [FILE]\n\
-     Reads RDF and materializes the fragment with Inferray. Without 'serve' the\n\
-     materialization is written as N-Triples to stdout; with 'serve' it is kept\n\
-     in memory and exposed on a SPARQL-over-HTTP endpoint (GET/POST /sparql,\n\
-     POST /update for incremental deletion unless --read-only, GET /status)\n\
-     until interrupted."
+     [--read-only] [--data-dir DIR] [--checkpoint-every N] [FILE]\n\
+     Reads RDF and materializes the fragment with Inferray. Without a subcommand\n\
+     the materialization is written as N-Triples to stdout; with 'serve' it is\n\
+     exposed on a SPARQL-over-HTTP endpoint (GET/POST /sparql, POST /update for\n\
+     incremental assert/retract unless --read-only, GET /status) until\n\
+     interrupted — durably when --data-dir is given (WAL + snapshot images,\n\
+     crash recovery; docs/persistence.md). 'snapshot' writes a snapshot image\n\
+     of the materialized input; 'recover' validates a data directory and\n\
+     prints the recovery report."
 }
 
 fn parse_fragment(name: &str) -> Option<Fragment> {
@@ -85,7 +120,7 @@ fn parse_fragment(name: &str) -> Option<Fragment> {
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut options = CliOptions {
-        serve: false,
+        mode: Mode::Materialize,
         fragment: Fragment::RdfsDefault,
         turtle: false,
         inferred_only: false,
@@ -98,12 +133,25 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         host: "127.0.0.1".to_owned(),
         threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
         read_only: false,
+        data_dir: None,
+        checkpoint_every: None,
         input: None,
     };
     let mut i = 0usize;
-    if args.first().map(String::as_str) == Some("serve") {
-        options.serve = true;
-        i = 1;
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            options.mode = Mode::Serve;
+            i = 1;
+        }
+        Some("snapshot") => {
+            options.mode = Mode::Snapshot;
+            i = 1;
+        }
+        Some("recover") => {
+            options.mode = Mode::Recover;
+            i = 1;
+        }
+        _ => {}
     }
     while i < args.len() {
         match args[i].as_str() {
@@ -160,6 +208,22 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 options.host = value.clone();
                 i += 1;
             }
+            "--data-dir" => {
+                let value = args.get(i + 1).ok_or("--data-dir needs a value")?;
+                options.data_dir = Some(value.clone());
+                i += 1;
+            }
+            "--checkpoint-every" => {
+                let value = args.get(i + 1).ok_or("--checkpoint-every needs a value")?;
+                options.checkpoint_every = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("bad checkpoint interval '{value}'"))?,
+                );
+                i += 1;
+            }
             "--threads" => {
                 let value = args.get(i + 1).ok_or("--threads needs a value")?;
                 options.threads = value
@@ -178,6 +242,9 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
         }
         i += 1;
+    }
+    if matches!(options.mode, Mode::Snapshot | Mode::Recover) && options.data_dir.is_none() {
+        return Err("this subcommand requires --data-dir".to_string());
     }
     Ok(options)
 }
@@ -256,18 +323,107 @@ fn run(options: &CliOptions) -> Result<(), String> {
     Ok(())
 }
 
-fn serve(options: &CliOptions) -> Result<(), String> {
-    let loaded = load(options)?;
-    let (dataset, stats) =
-        ServingDataset::materialize(loaded, options.fragment, reasoner_options(options));
-    eprintln!(
-        "inferray: materialized {} triples ({} inferred) in {:?}",
-        stats.output_triples,
-        stats.inferred_triples(),
-        stats.duration,
-    );
+fn checkpoint_policy(options: &CliOptions) -> CheckpointPolicy {
+    CheckpointPolicy {
+        wal_record_limit: Some(options.checkpoint_every.unwrap_or(1024)),
+        ..CheckpointPolicy::default()
+    }
+}
 
-    let dataset = Arc::new(dataset);
+/// Opens the data directory if it already holds a snapshot, otherwise
+/// materializes the input and creates it.
+fn open_or_create_durable(
+    options: &CliOptions,
+    data_dir: &str,
+) -> Result<Arc<DurableDataset>, String> {
+    let backend = Arc::new(StdFs);
+    let policy = checkpoint_policy(options);
+    match DurableDataset::open(
+        data_dir,
+        options.fragment,
+        reasoner_options(options),
+        backend.clone(),
+        policy,
+    ) {
+        Ok((durable, report)) => {
+            if options.input.is_some() {
+                eprintln!(
+                    "inferray: note: {data_dir} already holds a snapshot; the input file is ignored"
+                );
+            }
+            eprintln!(
+                "inferray: recovered epoch {} ({} triples) from {} (+{} WAL records replayed, {} skipped{})",
+                report.epoch,
+                report.triples,
+                report.snapshot_path.display(),
+                report.replayed_records,
+                report.skipped_records,
+                if report.torn_tail_bytes > 0 {
+                    format!(", {} torn tail bytes discarded", report.torn_tail_bytes)
+                } else {
+                    String::new()
+                },
+            );
+            Ok(Arc::new(durable))
+        }
+        Err(DurableError::NoSnapshot) => {
+            let loaded = load(options)?;
+            let (durable, stats) = DurableDataset::create(
+                loaded,
+                options.fragment,
+                reasoner_options(options),
+                data_dir,
+                backend,
+                policy,
+            )
+            .map_err(|e| e.to_string())?;
+            eprintln!(
+                "inferray: materialized {} triples ({} inferred) in {:?}; initial snapshot written to {data_dir}",
+                stats.output_triples,
+                stats.inferred_triples(),
+                stats.duration,
+            );
+            Ok(Arc::new(durable))
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn serve(options: &CliOptions) -> Result<(), String> {
+    // With --data-dir the dataset is durable: recovered from disk when
+    // possible, WAL-protected in any case. Without it, serving stays purely
+    // in-memory as before.
+    type ServeWiring = (
+        Arc<ServingDataset>,
+        Option<Arc<dyn UpdateSink>>,
+        Option<Arc<dyn DurabilityReporter>>,
+    );
+    let (dataset, sink, durability): ServeWiring = match &options.data_dir {
+        Some(data_dir) => {
+            let durable = open_or_create_durable(options, data_dir)?;
+            let adapter = Arc::new(DurableUpdateSink(Arc::clone(&durable)));
+            (
+                Arc::clone(durable.dataset()),
+                Some(adapter.clone() as Arc<dyn UpdateSink>),
+                Some(adapter as Arc<dyn DurabilityReporter>),
+            )
+        }
+        None => {
+            let loaded = load(options)?;
+            let (dataset, stats) =
+                ServingDataset::materialize(loaded, options.fragment, reasoner_options(options));
+            eprintln!(
+                "inferray: materialized {} triples ({} inferred) in {:?}",
+                stats.output_triples,
+                stats.inferred_triples(),
+                stats.duration,
+            );
+            let dataset = Arc::new(dataset);
+            let sink = Arc::new(ServingUpdateSink(Arc::clone(&dataset)));
+            (dataset, Some(sink as Arc<dyn UpdateSink>), None)
+        }
+    };
+
     let source = {
         let dataset = Arc::clone(&dataset);
         move || {
@@ -276,23 +432,25 @@ fn serve(options: &CliOptions) -> Result<(), String> {
         }
     };
     let addr = format!("{}:{}", options.host, options.port);
-    let server = if options.read_only {
-        SparqlServer::bind(&addr, options.threads, Arc::new(source))
-    } else {
-        SparqlServer::bind_with_updates(
-            &addr,
-            options.threads,
-            Arc::new(source),
-            Arc::new(ServingUpdateSink(Arc::clone(&dataset))),
-        )
-    }
+    let config = ServerConfig {
+        threads: options.threads,
+        ..ServerConfig::default()
+    };
+    let server = SparqlServer::bind_with(
+        &addr,
+        config,
+        Arc::new(source),
+        if options.read_only { None } else { sink },
+        durability,
+    )
     .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
-        "inferray: serving SPARQL on http://{}/sparql ({} worker threads, epoch {}, updates {})",
+        "inferray: serving SPARQL on http://{}/sparql ({} worker threads, epoch {}, updates {}, durability {})",
         server.local_addr(),
         options.threads,
         dataset.epoch(),
         if options.read_only { "off" } else { "on" },
+        if options.data_dir.is_some() { "on" } else { "off" },
     );
     eprintln!(
         "inferray: try  curl 'http://{}/status'",
@@ -304,6 +462,64 @@ fn serve(options: &CliOptions) -> Result<(), String> {
     }
 }
 
+fn snapshot(options: &CliOptions, data_dir: &str) -> Result<(), String> {
+    let loaded = load(options)?;
+    let (durable, stats) = DurableDataset::create(
+        loaded,
+        options.fragment,
+        reasoner_options(options),
+        data_dir,
+        Arc::new(StdFs),
+        checkpoint_policy(options),
+    )
+    .map_err(|e| e.to_string())?;
+    let status = durable.status();
+    eprintln!(
+        "inferray: materialized {} triples ({} inferred) in {:?}",
+        stats.output_triples,
+        stats.inferred_triples(),
+        stats.duration,
+    );
+    match status.snapshot_path {
+        Some(path) => println!("{}", path.display()),
+        None => return Err("snapshot was not written".to_string()),
+    }
+    Ok(())
+}
+
+fn recover(options: &CliOptions, data_dir: &str) -> Result<(), String> {
+    let (durable, report) = DurableDataset::open(
+        data_dir,
+        options.fragment,
+        reasoner_options(options),
+        Arc::new(StdFs),
+        checkpoint_policy(options),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "snapshot: {} (epoch {})",
+        report.snapshot_path.display(),
+        report.snapshot_epoch
+    );
+    if report.invalid_snapshots > 0 {
+        println!(
+            "invalid newer snapshots skipped: {}",
+            report.invalid_snapshots
+        );
+    }
+    println!(
+        "wal: {} records replayed, {} skipped, {} torn tail bytes",
+        report.replayed_records, report.skipped_records, report.torn_tail_bytes
+    );
+    println!(
+        "recovered: epoch {} with {} triples ({} explicit)",
+        report.epoch,
+        report.triples,
+        durable.dataset().base_len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse_args(&args) {
@@ -313,10 +529,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = if options.serve {
-        serve(&options)
-    } else {
-        run(&options)
+    let result = match options.mode {
+        Mode::Serve => serve(&options),
+        Mode::Snapshot => snapshot(&options, &options.data_dir.clone().expect("validated")),
+        Mode::Recover => recover(&options, &options.data_dir.clone().expect("validated")),
+        Mode::Materialize => run(&options),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

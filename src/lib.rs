@@ -63,12 +63,17 @@ pub use inferray_model::{vocab, Graph, IdTriple, Term, Triple};
 pub use inferray_parser::{load_graph, load_ntriples, load_turtle, parse_ntriples, parse_turtle};
 pub use inferray_query::{QueryEngine, SolutionSet};
 
-use inferray_query::{UpdateOutcome, UpdateSink};
+pub use inferray_persist as persist;
+pub use inferray_persist::{CheckpointPolicy, DurableDataset, DurableError};
+
+use inferray_query::{DurabilityReporter, UpdateError, UpdateOutcome, UpdateSink};
 use std::sync::Arc;
 
 /// Adapts a [`ServingDataset`] to the HTTP server's write path: `POST
 /// /update` deletions run the delete–rederive maintenance algorithm
-/// (`docs/maintenance.md`) and publish a new epoch.
+/// (`docs/maintenance.md`) and publish a new epoch. Writes through this
+/// sink are **not** durable — use [`DurableUpdateSink`] (backed by
+/// `inferray-persist`) for a WAL-protected endpoint.
 ///
 /// Lives in the umbrella crate because `inferray-query` deliberately does
 /// not depend on the reasoner — the server knows only the
@@ -77,16 +82,88 @@ use std::sync::Arc;
 pub struct ServingUpdateSink(pub Arc<ServingDataset>);
 
 impl UpdateSink for ServingUpdateSink {
-    fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, String> {
+    fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, UpdateError> {
         // The epoch comes from the retraction itself (captured under the
         // dataset's writer lock), so concurrent updates cannot pair this
         // request's counts with another request's epoch.
-        let (stats, epoch) = self.0.retract_ntriples(body).map_err(|e| e.to_string())?;
+        let (stats, epoch) = self
+            .0
+            .retract_ntriples(body)
+            .map_err(|e| UpdateError::rejected(e.to_string()))?;
         Ok(UpdateOutcome {
             epoch,
             requested: stats.requested,
             removed: stats.retracted_explicit,
             triples: stats.output_triples,
         })
+    }
+
+    fn assert_ntriples(&self, body: &str) -> Result<UpdateOutcome, UpdateError> {
+        self.0
+            .extend_ntriples(body)
+            .map_err(|e| UpdateError::rejected(e.to_string()))?;
+        let snapshot = self.0.store_snapshot();
+        Ok(UpdateOutcome {
+            epoch: snapshot.epoch(),
+            requested: 0,
+            removed: 0,
+            triples: snapshot.store().len(),
+        })
+    }
+}
+
+/// Adapts a [`DurableDataset`] to the HTTP server: every `POST /update`
+/// batch is WAL-logged and fsync'd before it publishes
+/// (docs/persistence.md). When the WAL cannot be appended the dataset
+/// degrades to read-only and this sink answers
+/// [`UpdateError::Unavailable`], which the server renders as
+/// `503 Service Unavailable` with a `Retry-After` header — reads keep
+/// serving the last published epoch.
+#[derive(Debug, Clone)]
+pub struct DurableUpdateSink(pub Arc<DurableDataset>);
+
+impl DurableUpdateSink {
+    fn map_error(error: DurableError) -> UpdateError {
+        match error {
+            DurableError::ReadOnly { reason } => UpdateError::Unavailable {
+                message: format!("dataset is read-only: {reason}"),
+                retry_after_secs: 30,
+            },
+            other => UpdateError::rejected(other.to_string()),
+        }
+    }
+}
+
+impl UpdateSink for DurableUpdateSink {
+    fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, UpdateError> {
+        let (stats, epoch) = self
+            .0
+            .retract_ntriples(body)
+            .map_err(DurableUpdateSink::map_error)?;
+        Ok(UpdateOutcome {
+            epoch,
+            requested: stats.requested,
+            removed: stats.retracted_explicit,
+            triples: stats.output_triples,
+        })
+    }
+
+    fn assert_ntriples(&self, body: &str) -> Result<UpdateOutcome, UpdateError> {
+        self.0
+            .extend_ntriples(body)
+            .map_err(DurableUpdateSink::map_error)?;
+        let snapshot = self.0.dataset().store_snapshot();
+        Ok(UpdateOutcome {
+            epoch: snapshot.epoch(),
+            requested: 0,
+            removed: 0,
+            triples: snapshot.store().len(),
+        })
+    }
+}
+
+impl DurabilityReporter for DurableUpdateSink {
+    fn durability_json(&self) -> String {
+        self.0.status().json()
     }
 }
