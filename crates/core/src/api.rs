@@ -403,16 +403,7 @@ impl ServingDataset {
 /// property identifier, in place, and re-finalizes (the loader does the
 /// same for freshly parsed datasets).
 fn apply_promotion_remap(store: &mut TripleStore, remap: &std::collections::HashMap<u64, u64>) {
-    let properties: Vec<u64> = store.property_ids().collect();
-    for p in properties {
-        if let Some(table) = store.table_mut(p) {
-            for value in table.pairs_mut() {
-                if let Some(&new_id) = remap.get(value) {
-                    *value = new_id;
-                }
-            }
-        }
-    }
+    store.remap_ids(remap);
     store.finalize();
 }
 

@@ -115,19 +115,10 @@ fn apply_promotions(dictionary: &mut Dictionary, store: &mut TripleStore) {
         return;
     }
     let remap: HashMap<u64, u64> = dictionary.take_promotions().into_iter().collect();
-    // Collect the property ids first to avoid aliasing the store borrow.
-    let properties: Vec<u64> = store.property_ids().collect();
-    for p in properties {
-        if let Some(table) = store.table_mut(p) {
-            // Tables are still raw (unfinalized) at this point; patch the
-            // flat pair buffer in place.
-            for value in table.pairs_mut() {
-                if let Some(&new_id) = remap.get(value) {
-                    *value = new_id;
-                }
-            }
-        }
-    }
+    // Tables are still raw (unfinalized) at this point; the store patches
+    // each flat pair buffer in place and the batch finalize that follows
+    // restores the sort order.
+    store.remap_ids(&remap);
 }
 
 #[cfg(test)]

@@ -137,7 +137,7 @@ impl fmt::Display for DurableError {
 impl std::error::Error for DurableError {}
 
 /// Operator-visible durability state (surfaced through `GET /status`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DurabilityStatus {
     /// `true` once the dataset degraded to read-only.
     pub read_only: bool,
@@ -248,6 +248,11 @@ pub struct DurableDataset {
     policy: CheckpointPolicy,
     read_only: AtomicBool,
     state: Mutex<DurableState>,
+    /// Leaf mutex (last in the lock order) holding a pre-built copy of the
+    /// operator status. Refreshed at the end of every state transition —
+    /// still under the state lock — so `GET /status` never waits behind a
+    /// WAL append, materialization, or checkpoint in flight.
+    status_mirror: Mutex<DurabilityStatus>,
 }
 
 impl DurableDataset {
@@ -284,6 +289,7 @@ impl DurableDataset {
                 snapshot_path: None,
                 last_error: None,
             }),
+            status_mirror: Mutex::new(DurabilityStatus::default()),
         };
         durable.checkpoint()?;
         Ok((durable, stats))
@@ -400,7 +406,12 @@ impl DurableDataset {
                 snapshot_path: Some(snapshot_path),
                 last_error: read_only_reason,
             }),
+            status_mirror: Mutex::new(DurabilityStatus::default()),
         };
+        {
+            let state = durable.lock_state();
+            durable.refresh_status_mirror(&state);
+        }
         Ok((durable, report))
     }
 
@@ -451,10 +462,22 @@ impl DurableDataset {
         self.read_only.load(Ordering::Acquire)
     }
 
-    /// Current durability state for operators.
+    /// Current durability state for operators. Reads only the status
+    /// mirror — a leaf mutex held for a field copy — so the endpoint stays
+    /// responsive while a write holds the state lock across WAL append,
+    /// materialization, and checkpointing.
     pub fn status(&self) -> DurabilityStatus {
-        let state = self.lock_state();
-        DurabilityStatus {
+        self.status_mirror
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Rebuilds the operator-visible mirror from the authoritative state.
+    /// Called at the end of every state transition, still under the state
+    /// lock (lock order: persist state → status mirror, the leaf).
+    fn refresh_status_mirror(&self, state: &DurableState) {
+        let status = DurabilityStatus {
             read_only: self.read_only.load(Ordering::Acquire),
             snapshot_path: state.snapshot_path.clone(),
             snapshot_epoch: state.snapshot_epoch,
@@ -463,7 +486,8 @@ impl DurableDataset {
             wal_records: state.wal_records,
             wal_bytes: state.wal_bytes,
             last_error: state.last_error.clone(),
-        }
+        };
+        *self.status_mirror.lock().unwrap_or_else(|e| e.into_inner()) = status;
     }
 
     /// Durably asserts an N-Triples batch: WAL append + fsync, then
@@ -476,6 +500,7 @@ impl DurableDataset {
         match self.inner.extend(triples) {
             Ok(stats) => {
                 self.maybe_checkpoint(&mut state);
+                self.refresh_status_mirror(&state);
                 Ok(stats)
             }
             Err(e) => {
@@ -485,6 +510,7 @@ impl DurableDataset {
                 let reason = format!("logged write failed to apply: {e}");
                 state.last_error = Some(reason.clone());
                 self.read_only.store(true, Ordering::Release);
+                self.refresh_status_mirror(&state);
                 Err(DurableError::ReadOnly { reason })
             }
         }
@@ -499,13 +525,16 @@ impl DurableDataset {
         let mut state = self.log_record(WalKind::Retract, body)?;
         let (stats, epoch) = self.inner.retract(triples);
         self.maybe_checkpoint(&mut state);
+        self.refresh_status_mirror(&state);
         Ok((stats, epoch))
     }
 
     /// Writes a snapshot image of the current state and truncates the WAL.
     pub fn checkpoint(&self) -> Result<PathBuf, DurableError> {
         let mut state = self.lock_state();
-        self.checkpoint_locked(&mut state)
+        let result = self.checkpoint_locked(&mut state);
+        self.refresh_status_mirror(&state);
+        result
     }
 
     fn lock_state(&self) -> MutexGuard<'_, DurableState> {
@@ -538,6 +567,7 @@ impl DurableDataset {
             let reason = format!("WAL append failed: {e}");
             state.last_error = Some(reason.clone());
             self.read_only.store(true, Ordering::Release);
+            self.refresh_status_mirror(&state);
             drop(state);
             return Err(DurableError::ReadOnly { reason });
         }

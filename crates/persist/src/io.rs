@@ -324,7 +324,15 @@ impl IoBackend for MemFs {
                 file.data.extend_from_slice(data);
                 Err(io::Error::other("injected fault: fsync failed"))
             }
-            Some(_) => unreachable!("filtered by take_fault"),
+            // take_fault only hands this path TornAppend/FailSync today;
+            // treat any future fault kind as a failed sync rather than
+            // panicking inside the I/O layer.
+            Some(_) => {
+                file.data.extend_from_slice(data);
+                Err(io::Error::other(
+                    "injected fault: unrecognized, treated as fsync failure",
+                ))
+            }
         }
     }
 

@@ -293,11 +293,19 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let arr: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| SnapshotError::Malformed("short u32"))?;
+        Ok(u32::from_le_bytes(arr))
     }
 
     fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let arr: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| SnapshotError::Malformed("short u64"))?;
+        Ok(u64::from_le_bytes(arr))
     }
 
     fn str(&mut self) -> Result<String, SnapshotError> {
@@ -377,8 +385,12 @@ fn decode_store(payload: &[u8]) -> Result<TripleStore, SnapshotError> {
                 // Vec in a single pass.
                 let pairs: Vec<u64> = raw
                     .chunks_exact(8)
-                    .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-                    .collect();
+                    .map(|c| {
+                        <[u8; 8]>::try_from(c)
+                            .map(u64::from_le_bytes)
+                            .map_err(|_| SnapshotError::Malformed("short pair word"))
+                    })
+                    .collect::<Result<_, _>>()?;
                 // Defend the store's sort invariant even against a file
                 // that passes its CRC: ⟨s,o⟩ strictly increasing.
                 let mut prev: Option<(u64, u64)> = None;
@@ -480,17 +492,23 @@ pub fn decode_image(bytes: &[u8]) -> Result<SnapshotImage, SnapshotError> {
             decode_store(matl_payload).map(Section::Store)
         }),
     ]);
-    let materialized = match sections.pop().expect("three tasks")? {
-        Section::Store(store) => store,
-        Section::Dict(_) => unreachable!("MATL task returns a store"),
+    // run_ordered returns exactly as many results as tasks, in order; a
+    // mismatch (or a task yielding the wrong section kind) is reported as
+    // a malformed image rather than panicking mid-recovery.
+    let mut pop_section = |label: &'static str| -> Result<Section, SnapshotError> {
+        sections
+            .pop()
+            .ok_or(SnapshotError::Malformed(label))
+            .and_then(|r| r)
     };
-    let base = match sections.pop().expect("three tasks")? {
-        Section::Store(store) => store,
-        Section::Dict(_) => unreachable!("BASE task returns a store"),
+    let Section::Store(materialized) = pop_section("missing MATL section")? else {
+        return Err(SnapshotError::Malformed("MATL section is not a store"));
     };
-    let dictionary = match sections.pop().expect("three tasks")? {
-        Section::Dict(dictionary) => dictionary,
-        Section::Store(_) => unreachable!("DICT task returns a dictionary"),
+    let Section::Store(base) = pop_section("missing BASE section")? else {
+        return Err(SnapshotError::Malformed("BASE section is not a store"));
+    };
+    let Section::Dict(dictionary) = pop_section("missing DICT section")? else {
+        return Err(SnapshotError::Malformed("DICT section is not a dictionary"));
     };
     Ok(SnapshotImage {
         epoch,

@@ -101,6 +101,18 @@ pub fn encode_record(seq: u64, kind: WalKind, body: &str) -> Vec<u8> {
     out
 }
 
+/// Little-endian u32 at `at`, or `None` when the slice is too short.
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(at..at + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
+/// Little-endian u64 at `at`, or `None` when the slice is too short.
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let arr: [u8; 8] = bytes.get(at..at + 8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(arr))
+}
+
 /// Scans a log image, stopping (without error) at the first sign of a torn
 /// or corrupt tail: truncated header, oversized or undersized length,
 /// CRC mismatch, unknown kind, non-UTF-8 body, or a non-increasing
@@ -114,19 +126,29 @@ pub fn scan(bytes: &[u8]) -> WalScan {
         if remaining.len() < RECORD_HEADER {
             break;
         }
-        let len = u32::from_le_bytes(remaining[0..4].try_into().unwrap()) as usize;
+        // A short read here is impossible after the length check, but the
+        // scan's contract is "stop at the first malformed byte, never
+        // panic", so the conversions bail like every other torn-tail case.
+        let Some(len) = le_u32(remaining, 0) else {
+            break;
+        };
+        let len = len as usize;
         if len < MIN_PAYLOAD || len > MAX_RECORD_LEN as usize {
             break;
         }
         if remaining.len() < RECORD_HEADER + len {
             break;
         }
-        let crc = u32::from_le_bytes(remaining[4..8].try_into().unwrap());
+        let Some(crc) = le_u32(remaining, 4) else {
+            break;
+        };
         let payload = &remaining[RECORD_HEADER..RECORD_HEADER + len];
         if crc32(payload) != crc {
             break;
         }
-        let seq = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+        let Some(seq) = le_u64(payload, 0) else {
+            break;
+        };
         let Some(kind) = WalKind::from_byte(payload[8]) else {
             break;
         };

@@ -245,28 +245,41 @@ impl SparqlServer {
         let addr = listener.local_addr()?;
         let listener = Arc::new(listener);
         let stop = Arc::new(AtomicBool::new(false));
-        let workers = (0..config.threads.max(1))
-            .map(|i| {
-                let listener = Arc::clone(&listener);
-                let stop = Arc::clone(&stop);
-                let source = Arc::clone(&source);
-                let sink = sink.clone();
-                let durability = durability.clone();
-                std::thread::Builder::new()
-                    .name(format!("inferray-serve-{i}"))
-                    .spawn(move || {
-                        worker_loop(
-                            &listener,
-                            &stop,
-                            config,
-                            source.as_ref(),
-                            sink.as_deref(),
-                            durability.as_deref(),
-                        )
-                    })
-                    .expect("failed to spawn server worker")
-            })
-            .collect();
+        // Spawning can fail (thread limits, fd exhaustion); surface it as
+        // the `io::Error` it is instead of panicking mid-startup.
+        let mut workers = Vec::with_capacity(config.threads.max(1));
+        for i in 0..config.threads.max(1) {
+            let listener = Arc::clone(&listener);
+            let worker_stop = Arc::clone(&stop);
+            let source = Arc::clone(&source);
+            let sink = sink.clone();
+            let durability = durability.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("inferray-serve-{i}"))
+                .spawn(move || {
+                    worker_loop(
+                        &listener,
+                        &worker_stop,
+                        config,
+                        source.as_ref(),
+                        sink.as_deref(),
+                        durability.as_deref(),
+                    )
+                });
+            match spawned {
+                Ok(worker) => workers.push(worker),
+                Err(e) => {
+                    // Unwind the workers that did start before reporting the
+                    // failure, so none is left blocked in accept().
+                    stop.store(true, Ordering::SeqCst);
+                    for worker in workers {
+                        let _ = TcpStream::connect(addr);
+                        let _ = worker.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
         Ok(SparqlServer {
             addr,
             stop,

@@ -8,6 +8,8 @@
 //! per-iteration time. No statistics engine, no HTML reports; the goal is
 //! that `cargo bench` runs offline and prints comparable numbers.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -6,6 +6,8 @@
 //! implemented on top of `std::sync`. Poisoning is translated into the
 //! parking_lot behaviour of simply continuing with the inner data.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, TryLockError};
 
 /// A reader-writer lock with the `parking_lot` API shape (no poisoning).

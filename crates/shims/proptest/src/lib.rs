@@ -16,6 +16,8 @@
 //! * `prop_assert*` are plain `assert*` aliases (they panic rather than
 //!   return `Err`, which is equivalent under this runner).
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod prelude;

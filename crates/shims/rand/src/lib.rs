@@ -9,6 +9,8 @@
 //! consumer in this workspace uses randomness to *generate inputs* and
 //! checks properties against oracles, never against golden random values.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Types that can be sampled uniformly over their whole domain.

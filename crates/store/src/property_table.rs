@@ -27,6 +27,14 @@ impl PropertyTable {
         PropertyTable::default()
     }
 
+    /// Drops the ⟨o,s⟩ cache because the ⟨s,o⟩ pairs are about to change
+    /// (or just changed). Every mutation of `so` must reach this method —
+    /// the repo lint (`inferray-verify-lint`, rule IL003) walks the call
+    /// graph of this file and rejects mutators that do not.
+    fn invalidate_os_cache(&mut self) {
+        self.os = None;
+    }
+
     /// Creates a table from raw (possibly unsorted, possibly duplicated)
     /// pairs and finalizes it.
     pub fn from_pairs(pairs: Vec<u64>) -> Self {
@@ -72,7 +80,7 @@ impl PropertyTable {
         self.so.push(s);
         self.so.push(o);
         self.dirty = true;
-        self.os = None;
+        self.invalidate_os_cache();
     }
 
     /// Appends many pairs from a flat slice.
@@ -86,7 +94,7 @@ impl PropertyTable {
         }
         self.so.extend_from_slice(pairs);
         self.dirty = true;
-        self.os = None;
+        self.invalidate_os_cache();
     }
 
     /// Sorts on ⟨s,o⟩ and removes duplicate pairs. Idempotent.
@@ -94,7 +102,7 @@ impl PropertyTable {
         if self.dirty {
             sort_pairs_auto_dedup(&mut self.so);
             self.dirty = false;
-            self.os = None;
+            self.invalidate_os_cache();
         }
     }
 
@@ -103,7 +111,7 @@ impl PropertyTable {
         if self.dirty {
             sort_pairs_auto_dedup_with(&mut self.so, scratch);
             self.dirty = false;
-            self.os = None;
+            self.invalidate_os_cache();
         }
     }
 
@@ -127,7 +135,7 @@ impl PropertyTable {
     /// dropped; callers re-[`finalize`](PropertyTable::finalize) afterwards.
     pub fn pairs_mut(&mut self) -> &mut [u64] {
         self.dirty = true;
-        self.os = None;
+        self.invalidate_os_cache();
         &mut self.so
     }
 
@@ -170,7 +178,7 @@ impl PropertyTable {
     /// Drops the ⟨o,s⟩ cache ("this cache may be cleared at runtime if
     /// memory is exhausted").
     pub fn clear_os_cache(&mut self) {
-        self.os = None;
+        self.invalidate_os_cache();
     }
 
     /// Iterates over the objects associated with subject `s` (⟨s,o⟩ order).
@@ -200,7 +208,7 @@ impl PropertyTable {
     pub fn replace_with_sorted(&mut self, pairs: Vec<u64>) {
         debug_assert!(inferray_sort::is_sorted_pairs(&pairs));
         self.so = pairs;
-        self.os = None;
+        self.invalidate_os_cache();
         self.dirty = false;
     }
 
@@ -220,7 +228,7 @@ impl PropertyTable {
             return;
         }
         self.so.extend_from_slice(pairs);
-        self.os = None;
+        self.invalidate_os_cache();
     }
 
     /// Splices already-sorted, duplicate-free pairs **known to be absent**
@@ -261,7 +269,7 @@ impl PropertyTable {
             take -= 2;
         }
         // The remaining old prefix is already in place.
-        self.os = None;
+        self.invalidate_os_cache();
     }
 
     /// Removes the given pairs from the table **in place**, preserving the
@@ -319,7 +327,7 @@ impl PropertyTable {
             so.copy_within(read.., write);
         }
         so.truncate(write + tail);
-        self.os = None;
+        self.invalidate_os_cache();
         removed
     }
 
@@ -338,6 +346,63 @@ impl PropertyTable {
     /// the closure stage, which wants tuple edges).
     pub fn to_tuple_pairs(&self) -> Vec<(u64, u64)> {
         self.iter_pairs().collect()
+    }
+
+    /// Rewrites every subject/object identifier through `remap` in place
+    /// (identifiers absent from the map are left untouched). This is the
+    /// dictionary-promotion patch: remapped values may violate the sort
+    /// order, so the table becomes dirty and the caller re-finalizes.
+    /// Returns the number of values actually rewritten.
+    pub fn remap_values(&mut self, remap: &std::collections::HashMap<u64, u64>) -> usize {
+        if remap.is_empty() {
+            return 0;
+        }
+        let mut rewritten = 0usize;
+        for value in self.pairs_mut() {
+            if let Some(&mapped) = remap.get(value) {
+                *value = mapped;
+                rewritten += 1;
+            }
+        }
+        rewritten
+    }
+
+    /// Checks the table's structural invariants, returning a description of
+    /// the first violation found:
+    ///
+    /// * a finalized table is sorted on ⟨s,o⟩ with no duplicate pair;
+    /// * the pair array has even length;
+    /// * the ⟨o,s⟩ cache, when materialized, is byte-identical to a fresh
+    ///   swap-and-sort rebuild of the current pairs (cache coherence).
+    ///
+    /// This is the runtime counterpart of the lint's static IL003 rule; the
+    /// `strict-invariants` feature calls it at every publish boundary.
+    pub fn debug_validate(&self) -> Result<(), String> {
+        if !self.so.len().is_multiple_of(2) {
+            return Err(format!("pair array has odd length {}", self.so.len()));
+        }
+        if self.dirty {
+            // A dirty table is mid-mutation; only the shape is checkable.
+            return Ok(());
+        }
+        if !inferray_sort::is_sorted_pairs(&self.so) {
+            return Err("finalized table is not sorted on ⟨s,o⟩".to_string());
+        }
+        for w in self.so.chunks_exact(2).collect::<Vec<_>>().windows(2) {
+            if w[0] == w[1] {
+                return Err(format!("duplicate pair ({}, {})", w[0][0], w[0][1]));
+            }
+        }
+        if let Some(os) = self.os.as_deref() {
+            let mut rebuilt = swap_pairs(&self.so);
+            sort_pairs_auto_dedup(&mut rebuilt);
+            if os != rebuilt.as_slice() {
+                return Err(
+                    "⟨o,s⟩ cache is stale: differs from a fresh rebuild of the pairs".to_string(),
+                );
+            }
+        }
+        Ok(())
     }
 }
 

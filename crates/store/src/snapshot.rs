@@ -126,6 +126,8 @@ impl SnapshotStore {
     pub fn with_epoch(mut store: TripleStore, epoch: u64) -> Self {
         store.finalize();
         store.ensure_all_os();
+        #[cfg(feature = "strict-invariants")]
+        store.assert_valid();
         SnapshotStore {
             current: RwLock::new(StoreSnapshot::new(epoch, Arc::new(store))),
             writer: Mutex::new(()),
@@ -177,6 +179,11 @@ impl SnapshotStore {
     fn publish_locked(&self, mut store: TripleStore) -> StoreSnapshot {
         store.finalize();
         store.ensure_all_os();
+        // Publish boundary: under `strict-invariants` every store that is
+        // about to become visible to readers is re-validated (sortedness,
+        // no duplicates, ⟨o,s⟩-cache coherence) before the pointer swap.
+        #[cfg(feature = "strict-invariants")]
+        store.assert_valid();
         let mut current = self.current.write().unwrap_or_else(|e| e.into_inner());
         let snapshot = StoreSnapshot::new(current.epoch + 1, Arc::new(store));
         *current = snapshot.clone();

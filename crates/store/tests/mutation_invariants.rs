@@ -1,0 +1,151 @@
+//! Property-based invariant suite over every public store mutation path:
+//! after any sequence of merges, removals, retractions and id remaps, the
+//! store passes `debug_validate` (sorted, deduplicated, even-length pair
+//! arrays) and every table's ⟨o,s⟩ cache is either invalidated or
+//! byte-identical to a rebuild from the current ⟨s,o⟩ pairs.
+
+use inferray_model::ids::{PROPERTY_BASE, RESOURCE_BASE};
+use inferray_model::IdTriple;
+use inferray_sort::sort_pairs_auto_dedup;
+use inferray_store::TripleStore;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// Small dense windows of the paper's split id space: properties count
+// downwards from 2³², resources upwards from 2³² + 1.
+const P_RANGE: u64 = 4;
+const ID_RANGE: u64 = 24;
+
+fn prop_id() -> impl Strategy<Value = u64> {
+    (0u64..P_RANGE).prop_map(|k| PROPERTY_BASE - k)
+}
+
+fn resource_id() -> impl Strategy<Value = u64> {
+    (0u64..ID_RANGE).prop_map(|k| RESOURCE_BASE + k)
+}
+
+/// One step drawn from the store's public mutation surface.
+#[derive(Debug, Clone)]
+enum Mutation {
+    /// `TripleStore::merge_property` with a (possibly unsorted) delta.
+    Merge { p: u64, delta: Vec<u64> },
+    /// `TripleStore::remove_pairs` on one property.
+    RemovePairs { p: u64, victims: Vec<u64> },
+    /// `TripleStore::retract` across properties.
+    Retract { triples: Vec<(u64, u64, u64)> },
+    /// `TripleStore::remap_ids` — the blank-node promotion path.
+    Remap { from: Vec<u64>, to: Vec<u64> },
+    /// `TripleStore::add_pair` + `finalize` — the ingest path.
+    Add { triples: Vec<(u64, u64, u64)> },
+}
+
+fn arbitrary_pairs(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(resource_id(), 0..max_len).prop_map(|mut v| {
+        if v.len() % 2 == 1 {
+            v.pop();
+        }
+        v
+    })
+}
+
+fn arbitrary_triples(max_len: usize) -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    proptest::collection::vec((prop_id(), resource_id(), resource_id()), 0..max_len)
+}
+
+fn arbitrary_mutation() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        (prop_id(), arbitrary_pairs(24)).prop_map(|(p, delta)| Mutation::Merge { p, delta }),
+        (prop_id(), arbitrary_pairs(16))
+            .prop_map(|(p, victims)| Mutation::RemovePairs { p, victims }),
+        arbitrary_triples(12).prop_map(|triples| Mutation::Retract { triples }),
+        (
+            proptest::collection::vec(resource_id(), 0..6),
+            proptest::collection::vec(resource_id(), 0..6)
+        )
+            .prop_map(|(from, to)| Mutation::Remap { from, to }),
+        arbitrary_triples(12).prop_map(|triples| Mutation::Add { triples }),
+    ]
+}
+
+fn apply(store: &mut TripleStore, mutation: &Mutation) {
+    match mutation {
+        Mutation::Merge { p, delta } => {
+            let mut sorted = delta.clone();
+            sort_pairs_auto_dedup(&mut sorted);
+            let (merged, _) = store.merge_property(*p, sorted);
+            store.set_table(*p, merged);
+        }
+        Mutation::RemovePairs { p, victims } => {
+            store.remove_pairs(*p, victims);
+        }
+        Mutation::Retract { triples } => {
+            store.retract(triples.iter().map(|&(p, s, o)| IdTriple::new(s, p, o)));
+        }
+        Mutation::Remap { from, to } => {
+            let remap: HashMap<u64, u64> = from
+                .iter()
+                .zip(to.iter())
+                .filter(|(f, t)| f != t)
+                .map(|(&f, &t)| (f, t))
+                .collect();
+            store.remap_ids(&remap);
+            // The remap path intentionally leaves tables dirty (promotions
+            // run mid-load); the loader finalizes afterwards, and so do we.
+            store.finalize();
+        }
+        Mutation::Add { triples } => {
+            for &(p, s, o) in triples {
+                store.add_pair(p, s, o);
+            }
+            store.finalize();
+        }
+    }
+}
+
+/// Every table's ⟨o,s⟩ cache is invalidated or identical to a rebuild.
+/// (`debug_validate` checks the same equality, but only for clean tables —
+/// this asserts the dichotomy explicitly for every slot, then validates.)
+fn assert_cache_coherent(store: &TripleStore) {
+    for p in store.property_ids() {
+        let Some(table) = store.table(p) else {
+            continue;
+        };
+        if let Some(os) = table.os_pairs() {
+            let mut rebuilt: Vec<u64> = table.iter_pairs().flat_map(|(s, o)| [o, s]).collect();
+            sort_pairs_auto_dedup(&mut rebuilt);
+            assert_eq!(os, &rebuilt[..], "stale ⟨o,s⟩ cache for property {p}");
+        }
+    }
+    if let Err(violation) = store.debug_validate() {
+        panic!("debug_validate after mutation: {violation}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn mutations_preserve_store_invariants(
+        base in arbitrary_triples(40),
+        mutations in proptest::collection::vec(arbitrary_mutation(), 1..8),
+        ensure_between in proptest::collection::vec((0u8..2).prop_map(|b| b == 1), 8),
+    ) {
+        let mut store = TripleStore::from_triples(
+            base.iter().map(|&(p, s, o)| IdTriple::new(s, p, o)),
+        );
+        store.ensure_all_os();
+        assert_cache_coherent(&store);
+        for (i, mutation) in mutations.iter().enumerate() {
+            apply(&mut store, mutation);
+            assert_cache_coherent(&store);
+            // Interleave cache rebuilds so later mutations hit tables both
+            // with and without a live ⟨o,s⟩ cache.
+            if ensure_between[i % ensure_between.len()] {
+                store.ensure_all_os();
+                assert_cache_coherent(&store);
+            }
+        }
+        // The publish boundary: finalize + full rebuild must validate.
+        store.finalize();
+        store.ensure_all_os();
+        assert_cache_coherent(&store);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root with no `#![forbid(unsafe_code)]` attribute.
+//! Scanned by tests/fixtures.rs under the synthetic path
+//! `crates/example/src/lib.rs` — IL001 must fire on it.
+
+pub fn completely_safe_looking() -> u64 {
+    42
+}

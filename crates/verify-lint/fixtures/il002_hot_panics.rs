@@ -1,0 +1,31 @@
+//! Fixture: panic-family calls in what the test presents as a persist
+//! hot-path file. IL002 must fire on exactly the four sites below and on
+//! none of the camouflaged negatives.
+
+pub fn four_real_findings(input: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = input.unwrap(); // finding 1
+    let b = r.expect("boom"); // finding 2
+    if a + b == 0 {
+        panic!("finding 3");
+    }
+    match a {
+        0 => unreachable!("finding 4"),
+        n => n,
+    }
+}
+
+pub fn negatives(input: Option<u32>) -> u32 {
+    // .unwrap() inside this comment must not count.
+    let s = "calling panic!(now) inside a string must not count";
+    let t = r#"raw string with .expect( inside must not count"#;
+    input.unwrap_or(s.len() as u32 + t.len() as u32) // unwrap_or is fine
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1); // blanked: cfg(test) items are exempt
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: raw `pairs_mut` access from outside the store crate (the test
+//! presents this file as `crates/query/src/bad.rs`). IL003 must flag the
+//! single call site.
+
+pub fn rewrites_pairs_in_place(table: &mut inferray_store::PropertyTable) {
+    for value in table.pairs_mut() {
+        *value += 1;
+    }
+}

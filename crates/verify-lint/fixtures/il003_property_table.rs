@@ -1,0 +1,47 @@
+//! Fixture: a mock property table. Presented to the IL003 call-graph walk
+//! under the synthetic path `crates/store/src/property_table.rs`. Exactly
+//! two functions mutate `self.so` without any path to
+//! `invalidate_os_cache` and must be flagged.
+
+pub struct PropertyTable {
+    so: Vec<u64>,
+    os: Option<Vec<u64>>,
+}
+
+impl PropertyTable {
+    fn invalidate_os_cache(&mut self) {
+        self.os = None;
+    }
+
+    pub fn bad_push(&mut self, s: u64, o: u64) {
+        self.so.push(s); // finding: mutation, no invalidation anywhere
+        self.so.push(o);
+    }
+
+    pub fn bad_replace(&mut self, pairs: Vec<u64>) {
+        self.so = pairs; // finding: assignment, no invalidation anywhere
+    }
+
+    pub fn good_direct(&mut self, s: u64) {
+        self.so.push(s);
+        self.invalidate_os_cache();
+    }
+
+    pub fn good_indirect(&mut self) {
+        self.so.clear();
+        self.after_mutation();
+    }
+
+    fn after_mutation(&mut self) {
+        self.invalidate_os_cache();
+    }
+
+    pub fn read_only(&self) -> usize {
+        // Comparison, not assignment: must not count as a mutation.
+        if self.so == Vec::new() {
+            0
+        } else {
+            self.so.len()
+        }
+    }
+}

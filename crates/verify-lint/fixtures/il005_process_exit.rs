@@ -1,0 +1,14 @@
+//! Fixture: `std::process::exit` in library code (the test presents this
+//! file as `crates/query/src/bad.rs`). IL005 must flag both spellings;
+//! the same text under `src/bin/` must pass.
+
+pub fn bails_out_of_a_library(code: i32) {
+    if code != 0 {
+        std::process::exit(code);
+    }
+}
+
+pub fn bails_with_short_path(code: i32) {
+    use std::process;
+    process::exit(code);
+}

@@ -1,0 +1,51 @@
+//! CLI driver: `cargo run -p inferray-verify-lint` from anywhere in the
+//! workspace. Exits non-zero on any unallowlisted finding or stale
+//! allowlist entry. (Uses `ExitCode`, not `process::exit` — IL005 applies
+//! to this binary too.)
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // The crate lives at <workspace>/crates/verify-lint.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."));
+
+    let outcome = match inferray_verify_lint::run(&root) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("inferray-verify-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for (diag, justification) in &outcome.allowed {
+        println!("allowed: {diag} [{justification}]");
+    }
+    for diag in &outcome.diagnostics {
+        println!("{diag}");
+    }
+    for entry in &outcome.unused_allowlist {
+        println!(
+            "stale allowlist entry (matched nothing): {}|{}|{} [{}]",
+            entry.rule, entry.path_suffix, entry.line_contains, entry.justification
+        );
+    }
+
+    println!(
+        "inferray-verify-lint: {} files scanned, {} finding(s), {} allowed, {} stale allowlist",
+        outcome.files_scanned,
+        outcome.diagnostics.len(),
+        outcome.allowed.len(),
+        outcome.unused_allowlist.len()
+    );
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

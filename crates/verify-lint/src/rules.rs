@@ -1,0 +1,671 @@
+//! The six lint rules. Each is a pure function from prepared sources to
+//! diagnostics so the fixture tests can drive them directly.
+
+use crate::{calls_in, index_functions, Diagnostic, SourceFile};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+// ---------------------------------------------------------------------------
+// IL001 — every crate root carries #![forbid(unsafe_code)]
+// ---------------------------------------------------------------------------
+
+/// Paths (workspace-relative suffixes) that are crate roots: each member's
+/// `src/lib.rs` plus the umbrella's. Derived from the workspace manifest.
+pub fn crate_roots(root_manifest: &str) -> Vec<String> {
+    let mut roots = vec!["src/lib.rs".to_string()];
+    let mut in_members = false;
+    for line in root_manifest.lines() {
+        let line = line.trim();
+        if line.starts_with("members") {
+            in_members = true;
+        }
+        if in_members {
+            for piece in line.split('"').skip(1).step_by(2) {
+                roots.push(format!("{piece}/src/lib.rs"));
+            }
+            if line.contains(']') {
+                break;
+            }
+        }
+    }
+    roots
+}
+
+/// IL001: flags crate roots missing `#![forbid(unsafe_code)]`.
+pub fn il001_forbid_unsafe(files: &[SourceFile], root_manifest: &str) -> Vec<Diagnostic> {
+    let roots = crate_roots(root_manifest);
+    let mut out = Vec::new();
+    for file in files {
+        let path = file.path.to_string_lossy().replace('\\', "/");
+        let is_root = roots.contains(&path);
+        if is_root && !file.clean.contains("#![forbid(unsafe_code)]") {
+            out.push(Diagnostic {
+                rule: "IL001",
+                path: file.path.clone(),
+                line: 1,
+                message: "crate root does not carry #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// IL002 — no panicking calls in the hot paths
+// ---------------------------------------------------------------------------
+
+/// The server/persist/snapshot hot paths: a panic here takes down a worker
+/// serving live traffic or corrupts a durability transition mid-flight.
+pub fn is_hot_path(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    p.ends_with("crates/query/src/server.rs")
+        || p.ends_with("crates/query/src/serving.rs")
+        || p.ends_with("crates/store/src/snapshot.rs")
+        || p.ends_with("crates/core/src/api.rs")
+        || p.contains("crates/persist/src/")
+}
+
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// IL002: flags `unwrap`/`expect`/`panic!`-family calls in hot-path files
+/// (test items, comments and strings already blanked).
+pub fn il002_no_panics(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files.iter().filter(|f| is_hot_path(&f.path)) {
+        for pattern in PANIC_PATTERNS {
+            let mut from = 0usize;
+            while let Some(offset) = file.clean_no_tests[from..].find(pattern) {
+                let at = from + offset;
+                from = at + pattern.len();
+                // `.unwrap_or*()` and friends must not match `.unwrap()`;
+                // find() on the full pattern already guarantees that. But
+                // `debug_assert!`-style macros ending in the same tokens
+                // cannot occur for these patterns.
+                out.push(Diagnostic {
+                    rule: "IL002",
+                    path: file.path.clone(),
+                    line: file.line_of(at),
+                    message: format!(
+                        "`{}` in a server/persist/snapshot hot path — return a typed error \
+                         (or allowlist with justification)",
+                        pattern.trim_matches(|c| c == '.' || c == '(')
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|d| (d.path.clone(), d.line));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// IL003 — PropertyTable pair mutations stay in-crate and reach
+//         invalidate_os_cache
+// ---------------------------------------------------------------------------
+
+/// Method names that mutate a `Vec<u64>` in place.
+const VEC_MUTATORS: &[&str] = &[
+    "push",
+    "extend_from_slice",
+    "extend",
+    "resize",
+    "truncate",
+    "copy_within",
+    "clear",
+    "drain",
+    "sort",
+    "sort_unstable",
+    "insert",
+    "remove",
+    "retain",
+    "pop",
+    "swap",
+];
+
+/// `true` when `body` mutates `self.so` at or around the occurrence list:
+/// `&mut self.so`, `self.so = …` (not `==`), or `self.so.<mutator>(`.
+fn mutates_self_so(body: &str) -> bool {
+    if body.contains("&mut self.so") {
+        return true;
+    }
+    let mut from = 0usize;
+    while let Some(offset) = body[from..].find("self.so") {
+        let at = from + offset;
+        from = at + "self.so".len();
+        let rest = body[from..].trim_start();
+        if let Some(assigned) = rest.strip_prefix('=') {
+            if !assigned.starts_with('=') {
+                return true; // `self.so = …`, not `self.so == …`
+            }
+        }
+        if let Some(method_call) = rest.strip_prefix('.') {
+            let name: String = method_call
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if VEC_MUTATORS.contains(&name.as_str()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// IL003: (a) `pairs_mut` is the raw mutation escape hatch — calling it
+/// outside `crates/store` bypasses the table's invalidation discipline;
+/// (b) inside `property_table.rs`, every function that mutates `self.so`
+/// must transitively reach `invalidate_os_cache` (conservative same-file
+/// call-graph walk).
+pub fn il003_os_cache_invalidation(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        let p = file.path.to_string_lossy().replace('\\', "/");
+        let in_store = p.contains("crates/store/");
+        if !in_store {
+            let mut from = 0usize;
+            while let Some(offset) = file.clean_no_tests[from..].find(".pairs_mut(") {
+                let at = from + offset;
+                from = at + ".pairs_mut(".len();
+                out.push(Diagnostic {
+                    rule: "IL003",
+                    path: file.path.clone(),
+                    line: file.line_of(at),
+                    message: "raw PropertyTable::pairs_mut access outside crates/store — use a \
+                              store-crate mutation API (e.g. TripleStore::remap_ids) so the \
+                              ⟨o,s⟩-cache invalidation stays provable"
+                        .to_string(),
+                });
+            }
+        }
+        if p.ends_with("property_table.rs") && in_store {
+            out.extend(check_mutators_reach_invalidate(file));
+        }
+    }
+    out
+}
+
+/// The call-graph walk of IL003(b), also used directly by the fixture
+/// tests against a mock property-table file.
+pub fn check_mutators_reach_invalidate(file: &SourceFile) -> Vec<Diagnostic> {
+    let fns = index_functions(&file.clean_no_tests);
+    let mut calls: HashMap<&str, HashSet<String>> = HashMap::new();
+    for f in &fns {
+        calls
+            .entry(f.name.as_str())
+            .or_default()
+            .extend(calls_in(&file.clean_no_tests[f.body.clone()]));
+    }
+    // Transitive closure: which function names eventually call the sink.
+    let mut reaches: HashSet<&str> = HashSet::new();
+    loop {
+        let mut grew = false;
+        for (name, callees) in &calls {
+            if reaches.contains(name) {
+                continue;
+            }
+            if callees.contains("invalidate_os_cache")
+                || callees.iter().any(|c| reaches.contains(c.as_str()))
+            {
+                reaches.insert(name);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    for f in &fns {
+        if f.name == "invalidate_os_cache" {
+            continue;
+        }
+        let body = &file.clean_no_tests[f.body.clone()];
+        if mutates_self_so(body) && !reaches.contains(f.name.as_str()) {
+            out.push(Diagnostic {
+                rule: "IL003",
+                path: file.path.clone(),
+                line: file.line_of(f.sig.start),
+                message: format!(
+                    "`{}` mutates the ⟨s,o⟩ pair array but no call path reaches \
+                     invalidate_os_cache — a stale ⟨o,s⟩ cache could be served",
+                    f.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// IL004 — lock-acquisition ordering across the publish/persist protocols
+// ---------------------------------------------------------------------------
+
+/// A recognized lock class: acquisitions of `pattern` in files whose path
+/// ends with `file_suffix` acquire rank `rank`. Lower rank = acquired
+/// earlier; taking a lock of rank ≤ an already-held rank is an inversion.
+pub struct LockClass {
+    /// Path suffix the pattern is scoped to.
+    pub file_suffix: &'static str,
+    /// Token pattern of the acquisition site.
+    pub pattern: &'static str,
+    /// Position in the global order (1 = outermost).
+    pub rank: u8,
+    /// Human-readable lock name.
+    pub name: &'static str,
+}
+
+/// The repo's documented lock order: persist state → serving writer →
+/// serving base → dictionary → snapshot-store writer → snapshot cell →
+/// status mirror (leaf). See docs/static-analysis.md.
+pub const LOCK_CLASSES: &[LockClass] = &[
+    LockClass {
+        file_suffix: "crates/persist/src/durable.rs",
+        pattern: "self.state.lock(",
+        rank: 1,
+        name: "persist state",
+    },
+    LockClass {
+        file_suffix: "crates/core/src/api.rs",
+        pattern: "self.writer.lock(",
+        rank: 2,
+        name: "serving writer",
+    },
+    LockClass {
+        file_suffix: "crates/core/src/api.rs",
+        pattern: "self.base.lock(",
+        rank: 3,
+        name: "serving base",
+    },
+    LockClass {
+        file_suffix: "crates/core/src/api.rs",
+        pattern: "self.dictionary.read(",
+        rank: 4,
+        name: "dictionary",
+    },
+    LockClass {
+        file_suffix: "crates/core/src/api.rs",
+        pattern: "self.dictionary.write(",
+        rank: 4,
+        name: "dictionary",
+    },
+    LockClass {
+        file_suffix: "crates/store/src/snapshot.rs",
+        pattern: "self.writer.lock(",
+        rank: 5,
+        name: "snapshot writer",
+    },
+    LockClass {
+        file_suffix: "crates/store/src/snapshot.rs",
+        pattern: "self.current.read(",
+        rank: 6,
+        name: "snapshot cell",
+    },
+    LockClass {
+        file_suffix: "crates/store/src/snapshot.rs",
+        pattern: "self.current.write(",
+        rank: 6,
+        name: "snapshot cell",
+    },
+    LockClass {
+        file_suffix: "crates/persist/src/durable.rs",
+        pattern: "self.status_mirror.lock(",
+        rank: 7,
+        name: "status mirror",
+    },
+];
+
+struct Acquire {
+    pos: usize,
+    rank: u8,
+    name: &'static str,
+    /// Liveness end (byte offset in the body): `drop(var)`, scope end, or
+    /// function end for bound guards; `pos` itself for temporaries.
+    live_until: usize,
+}
+
+/// Finds the `let` binding a statement assigns its lock guard to, if any.
+fn bound_var(body: &str, acquire_at: usize) -> Option<String> {
+    let stmt_start = body[..acquire_at]
+        .rfind([';', '{', '}'])
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let stmt = &body[stmt_start..acquire_at];
+    let let_at = stmt.find("let ")?;
+    let rest = stmt[let_at + 4..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let var: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if var.is_empty() || !stmt.contains('=') {
+        None
+    } else {
+        Some(var)
+    }
+}
+
+/// Brace depth at every byte of `body` (body starts at its opening `{`).
+fn depths(body: &str) -> Vec<usize> {
+    let mut out = Vec::with_capacity(body.len());
+    let mut depth = 0usize;
+    for b in body.bytes() {
+        if b == b'}' {
+            depth = depth.saturating_sub(1);
+        }
+        out.push(depth);
+        if b == b'{' {
+            depth += 1;
+        }
+    }
+    out
+}
+
+/// IL004: within each function of the protocol files, no lock of rank ≤ a
+/// held lock's rank may be acquired (directly, or transitively through a
+/// call to another protocol-file function).
+pub fn il004_lock_order(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let protocol_files: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| {
+            let p = f.path.to_string_lossy().replace('\\', "/");
+            LOCK_CLASSES.iter().any(|c| p.ends_with(c.file_suffix))
+        })
+        .collect();
+
+    // Per-function direct acquisition ranks, for the transitive call walk.
+    let mut direct: HashMap<String, HashSet<u8>> = HashMap::new();
+    let mut call_map: HashMap<String, HashSet<String>> = HashMap::new();
+    for file in &protocol_files {
+        let p = file.path.to_string_lossy().replace('\\', "/");
+        for f in index_functions(&file.clean_no_tests) {
+            let body = &file.clean_no_tests[f.body.clone()];
+            let entry = direct.entry(f.name.clone()).or_default();
+            for class in LOCK_CLASSES {
+                if p.ends_with(class.file_suffix) && body.contains(class.pattern) {
+                    entry.insert(class.rank);
+                }
+            }
+            call_map
+                .entry(f.name.clone())
+                .or_default()
+                .extend(calls_in(body));
+        }
+    }
+    // Fixpoint: transitive acquisition sets.
+    let mut transitive = direct.clone();
+    loop {
+        let mut grew = false;
+        let names: Vec<String> = transitive.keys().cloned().collect();
+        for name in names {
+            let mut add: HashSet<u8> = HashSet::new();
+            if let Some(callees) = call_map.get(&name) {
+                for callee in callees {
+                    if let Some(ranks) = transitive.get(callee) {
+                        add.extend(ranks.iter().copied());
+                    }
+                }
+            }
+            let entry = transitive.entry(name).or_default();
+            let before = entry.len();
+            entry.extend(add);
+            if entry.len() > before {
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    for file in &protocol_files {
+        let p = file.path.to_string_lossy().replace('\\', "/");
+        for f in index_functions(&file.clean_no_tests) {
+            let body = &file.clean_no_tests[f.body.clone()];
+            let depth_at = depths(body);
+            // Direct acquisitions with liveness intervals.
+            let mut acquires: Vec<Acquire> = Vec::new();
+            for class in LOCK_CLASSES {
+                if !p.ends_with(class.file_suffix) {
+                    continue;
+                }
+                let mut from = 0usize;
+                while let Some(offset) = body[from..].find(class.pattern) {
+                    let at = from + offset;
+                    from = at + class.pattern.len();
+                    let live_until = match bound_var(body, at) {
+                        Some(var) => {
+                            let drop_pat = format!("drop({var})");
+                            let dropped = body[at..]
+                                .find(&drop_pat)
+                                .map(|o| at + o)
+                                .unwrap_or(usize::MAX);
+                            // Guard dies at the end of its enclosing scope.
+                            let my_depth = depth_at[at];
+                            let scope_end = (at..body.len())
+                                .find(|i| depth_at[*i] < my_depth)
+                                .unwrap_or(body.len());
+                            dropped.min(scope_end).min(body.len())
+                        }
+                        None => at, // temporary: acquire+release in place
+                    };
+                    acquires.push(Acquire {
+                        pos: at,
+                        rank: class.rank,
+                        name: class.name,
+                        live_until,
+                    });
+                }
+            }
+            let held_at = |pos: usize| -> Vec<(&Acquire, ())> {
+                acquires
+                    .iter()
+                    .filter(|a| a.pos < pos && pos <= a.live_until)
+                    .map(|a| (a, ()))
+                    .collect()
+            };
+            // Direct inversions.
+            for a in &acquires {
+                for (held, ()) in held_at(a.pos) {
+                    if a.rank <= held.rank {
+                        out.push(Diagnostic {
+                            rule: "IL004",
+                            path: file.path.clone(),
+                            line: file.line_of(f.body.start + a.pos),
+                            message: format!(
+                                "acquires `{}` (rank {}) while holding `{}` (rank {}) — \
+                                 violates the repo lock order (see docs/static-analysis.md)",
+                                a.name, a.rank, held.name, held.rank
+                            ),
+                        });
+                    }
+                }
+            }
+            // Transitive inversions through calls.
+            let bytes = body.as_bytes();
+            let mut i = 0usize;
+            while i < bytes.len() {
+                if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+                    let start = i;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    let ident = &body[start..i];
+                    if i < bytes.len() && bytes[i] == b'(' && ident != f.name.as_str() {
+                        if let Some(ranks) = transitive.get(ident) {
+                            for (held, ()) in held_at(start) {
+                                if let Some(&min_rank) = ranks.iter().min() {
+                                    if min_rank <= held.rank {
+                                        out.push(Diagnostic {
+                                            rule: "IL004",
+                                            path: file.path.clone(),
+                                            line: file.line_of(f.body.start + start),
+                                            message: format!(
+                                                "calls `{ident}` (which may acquire rank \
+                                                 {min_rank}) while holding `{}` (rank {}) — \
+                                                 violates the repo lock order",
+                                                held.name, held.rank
+                                            ),
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.sort_by_key(|d| (d.path.clone(), d.line));
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// IL005 — no std::process::exit outside src/bin
+// ---------------------------------------------------------------------------
+
+/// IL005: `process::exit` skips destructors (WAL flushes, lock releases);
+/// only binary entry points under `src/bin/` may call it.
+pub fn il005_no_process_exit(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        let p = file.path.to_string_lossy().replace('\\', "/");
+        if p.contains("src/bin/") {
+            continue;
+        }
+        let mut from = 0usize;
+        while let Some(offset) = file.clean_no_tests[from..].find("process::exit") {
+            let at = from + offset;
+            from = at + "process::exit".len();
+            out.push(Diagnostic {
+                rule: "IL005",
+                path: file.path.clone(),
+                line: file.line_of(at),
+                message: "std::process::exit outside src/bin skips destructors (WAL flushes, \
+                          lock releases) — return an error or ExitCode instead"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// IL006 — manifest hygiene
+// ---------------------------------------------------------------------------
+
+/// Collects every `[package] name = "…"` across the scanned manifests: the
+/// set of intra-workspace crate names.
+pub fn package_names(manifests: &[(std::path::PathBuf, String)]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for (_, text) in manifests {
+        let mut in_package = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_package = line == "[package]";
+            } else if in_package {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start();
+                    if let Some(value) = rest.strip_prefix('=') {
+                        if let Some(name) = value.split('"').nth(1) {
+                            out.insert(name.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// IL006: intra-workspace dependencies must inherit through
+/// `workspace = true`, and `inferray-*` packages must inherit
+/// `version`/`edition` from `[workspace.package]` (shims are exempt: they
+/// impersonate external crates with pinned versions).
+pub fn il006_manifest_hygiene(
+    manifests: &[(std::path::PathBuf, String)],
+    members: &HashSet<String>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (path, text) in manifests {
+        let mut section = String::new();
+        let mut package_name = String::new();
+        // First pass: the package name decides which checks apply.
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                section = line.to_string();
+            } else if section == "[package]" && line.starts_with("name") {
+                if let Some(name) = line.split('"').nth(1) {
+                    package_name = name.to_string();
+                }
+            }
+        }
+        let is_inferray = package_name == "inferray" || package_name.starts_with("inferray-");
+        section.clear();
+        for (idx, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.starts_with('[') {
+                section = trimmed.to_string();
+                continue;
+            }
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let dep_section = matches!(
+                section.as_str(),
+                "[dependencies]" | "[dev-dependencies]" | "[build-dependencies]"
+            );
+            if dep_section {
+                let dep_name: String = trimmed
+                    .chars()
+                    .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-')
+                    .collect();
+                if members.contains(&dep_name)
+                    && !trimmed.contains("workspace = true")
+                    && !trimmed.contains(".workspace = true")
+                {
+                    out.push(Diagnostic {
+                        rule: "IL006",
+                        path: path.clone(),
+                        line: idx + 1,
+                        message: format!(
+                            "intra-workspace dependency `{dep_name}` must inherit via \
+                             `{dep_name}.workspace = true` (no per-crate paths/versions)"
+                        ),
+                    });
+                }
+            }
+            if section == "[package]" && is_inferray {
+                for key in ["version", "edition"] {
+                    if trimmed.starts_with(&format!("{key} "))
+                        || trimmed.starts_with(&format!("{key}="))
+                    {
+                        out.push(Diagnostic {
+                            rule: "IL006",
+                            path: path.clone(),
+                            line: idx + 1,
+                            message: format!(
+                                "`{key}` must inherit from [workspace.package] \
+                                 (`{key}.workspace = true`) to prevent drift"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,175 @@
+//! Proves every lint rule fires: each fixture under `fixtures/` is an
+//! intentionally-bad snippet, loaded here under a synthetic repo-like path
+//! and fed to the rule it targets. The camouflaged negatives in the same
+//! fixtures (comments, strings, `#[cfg(test)]` items, correctly-ordered
+//! code) must stay silent. A final test runs the whole pass over the real
+//! workspace and requires a clean exit.
+
+use inferray_verify_lint::{rules, SourceFile};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str, synthetic_path: &str) -> SourceFile {
+    let on_disk = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let raw = std::fs::read_to_string(&on_disk)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", on_disk.display()));
+    SourceFile::new(PathBuf::from(synthetic_path), raw)
+}
+
+#[test]
+fn il001_fires_on_missing_forbid() {
+    let files = vec![fixture(
+        "il001_missing_forbid.rs",
+        "crates/example/src/lib.rs",
+    )];
+    let manifest = "[workspace]\nmembers = [\"crates/example\"]\n";
+    let diags = rules::il001_forbid_unsafe(&files, manifest);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "IL001");
+
+    // The same file under a non-root path is not a crate root: silent.
+    let not_root = vec![fixture(
+        "il001_missing_forbid.rs",
+        "crates/example/src/util.rs",
+    )];
+    assert!(rules::il001_forbid_unsafe(&not_root, manifest).is_empty());
+}
+
+#[test]
+fn il002_fires_on_hot_path_panics_only() {
+    let files = vec![fixture("il002_hot_panics.rs", "crates/persist/src/bad.rs")];
+    let diags = rules::il002_no_panics(&files);
+    assert_eq!(diags.len(), 4, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "IL002"));
+    // The four findings are all in the first function (lines 6..=15); the
+    // comment, string, `unwrap_or` and cfg(test) sites must not appear.
+    assert!(
+        diags.iter().all(|d| (6..=15).contains(&d.line)),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn il002_is_silent_off_the_hot_paths() {
+    let files = vec![fixture("il002_hot_panics.rs", "crates/model/src/fine.rs")];
+    assert!(rules::il002_no_panics(&files).is_empty());
+}
+
+#[test]
+fn il003_fires_on_mutation_without_invalidation() {
+    let files = vec![fixture(
+        "il003_property_table.rs",
+        "crates/store/src/property_table.rs",
+    )];
+    let diags = rules::il003_os_cache_invalidation(&files);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    let flagged: Vec<&str> = diags
+        .iter()
+        .map(|d| {
+            if d.message.contains("bad_push") {
+                "bad_push"
+            } else if d.message.contains("bad_replace") {
+                "bad_replace"
+            } else {
+                "unexpected"
+            }
+        })
+        .collect();
+    assert!(flagged.contains(&"bad_push"), "{diags:?}");
+    assert!(flagged.contains(&"bad_replace"), "{diags:?}");
+}
+
+#[test]
+fn il003_fires_on_pairs_mut_outside_store() {
+    let files = vec![fixture(
+        "il003_pairs_mut_outside.rs",
+        "crates/query/src/bad.rs",
+    )];
+    let diags = rules::il003_os_cache_invalidation(&files);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("pairs_mut"));
+
+    // The same call inside the store crate is the legitimate home: silent.
+    let inside = vec![fixture(
+        "il003_pairs_mut_outside.rs",
+        "crates/store/src/helper.rs",
+    )];
+    assert!(rules::il003_os_cache_invalidation(&inside).is_empty());
+}
+
+#[test]
+fn il004_fires_on_direct_and_transitive_inversions() {
+    let files = vec![fixture(
+        "il004_lock_inversion.rs",
+        "crates/persist/src/durable.rs",
+    )];
+    let diags = rules::il004_lock_order(&files);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "IL004"));
+    assert!(
+        diags.iter().any(|d| d.message.contains("acquires")),
+        "direct inversion missing: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("helper_taking_state")),
+        "transitive inversion missing: {diags:?}"
+    );
+}
+
+#[test]
+fn il005_fires_outside_bin_paths_only() {
+    let lib = vec![fixture("il005_process_exit.rs", "crates/query/src/bad.rs")];
+    let diags = rules::il005_no_process_exit(&lib);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "IL005"));
+
+    let bin = vec![fixture("il005_process_exit.rs", "src/bin/tool.rs")];
+    assert!(rules::il005_no_process_exit(&bin).is_empty());
+}
+
+#[test]
+fn il006_fires_on_manifest_drift() {
+    let manifest_text = {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join("il006_bad_manifest.toml");
+        std::fs::read_to_string(path).unwrap()
+    };
+    let manifests = vec![(PathBuf::from("crates/bad/Cargo.toml"), manifest_text)];
+    let members = ["inferray-store", "inferray-model", "inferray-bad"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let diags = rules::il006_manifest_hygiene(&manifests, &members);
+    // pinned version + pinned edition + path dependency = 3 findings; the
+    // `.workspace = true` dependency stays silent.
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "IL006"));
+    assert!(
+        diags.iter().any(|d| d.message.contains("inferray-store")),
+        "{diags:?}"
+    );
+}
+
+/// The whole pass over the real workspace: zero unallowlisted findings and
+/// zero stale allowlist entries — the same bar `cargo run -p
+/// inferray-verify-lint` enforces in CI.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let outcome = inferray_verify_lint::run(&root).expect("lint pass runs");
+    assert!(
+        outcome.clean(),
+        "diagnostics: {:#?}\nstale allowlist: {:?}",
+        outcome.diagnostics,
+        outcome
+            .unused_allowlist
+            .iter()
+            .map(|e| format!("{}|{}|{}", e.rule, e.path_suffix, e.line_contains))
+            .collect::<Vec<_>>()
+    );
+    assert!(outcome.files_scanned > 50, "suspiciously few files scanned");
+}

@@ -1,0 +1,275 @@
+//! Exhaustive model checking of the repo's three hand-rolled concurrency
+//! protocols, using the `interleave` shim (a minimal loom-style
+//! deterministic-interleaving explorer).
+//!
+//! Each protocol is restated over tracked primitives in the exact shape the
+//! production code uses — the checker then enumerates **every**
+//! sequentially-consistent interleaving of the tracked operations (and, via
+//! `interleave::nondet`, every fault-injection choice) and asserts the
+//! protocol invariant in each. Every positive test has a seeded-bug twin
+//! that inverts one ordering edge and proves the checker catches it.
+//!
+//! The models are deliberately small — one writer, one reader — because the
+//! schedule space grows factorially with threads × yield points and the
+//! invariants under test are *ordering* properties of a single write path
+//! (writer-writer exclusion is the mutex's own guarantee, separately checked
+//! by the shim's unit tests).
+//!
+//! The three interleaving spaces (ISSUE 7 acceptance criteria):
+//!
+//! 1. **Snapshot publish** (`SnapshotStore` + `ServingDataset`): the
+//!    dictionary is published *before* the store pointer swap, so no reader
+//!    ever observes a store whose dictionary lags it.
+//! 2. **WAL ordering** (`DurableDataset`): no publish before fsync success;
+//!    an append/sync failure lands in read-only with the published epoch
+//!    untouched — never a torn publish.
+//! 3. **Retraction cache window** (`TripleStore::remove_pairs`): a published
+//!    table's ⟨o,s⟩ cache is always coherent with its pairs — removal
+//!    invalidates and the publish path rebuilds before the swap.
+
+use interleave::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use interleave::sync::{Arc, Mutex, RwLock};
+use interleave::{model, model_expect_violation, nondet, thread};
+
+// ---------------------------------------------------------------------------
+// 1. Snapshot publish: dictionary never lags the published store.
+// ---------------------------------------------------------------------------
+
+/// The serving layer's publication order: under the writer mutex, the
+/// updated dictionary is swapped in *before* the store snapshot. A reader
+/// that grabs snapshot epoch `e` may therefore always resolve every
+/// identifier the epoch-`e` store references.
+fn snapshot_publish_model(dictionary_first: bool) {
+    // (epoch, min dictionary version the epoch's identifiers need).
+    let cell = Arc::new(RwLock::new((0u64, 0u64)));
+    let dictionary = Arc::new(AtomicU64::new(0));
+    let writer_mutex = Arc::new(Mutex::new(()));
+
+    let writer = {
+        let cell = Arc::clone(&cell);
+        let dictionary = Arc::clone(&dictionary);
+        thread::spawn(move || {
+            let guard = writer_mutex.lock();
+            let (epoch, _) = *cell.read();
+            let next = epoch + 1;
+            if dictionary_first {
+                dictionary.store(next, Ordering::SeqCst);
+                *cell.write() = (next, next);
+            } else {
+                // Seeded bug: store visible before its dictionary.
+                *cell.write() = (next, next);
+                dictionary.store(next, Ordering::SeqCst);
+            }
+            drop(guard);
+        })
+    };
+
+    let reader = {
+        let cell = Arc::clone(&cell);
+        let dictionary = Arc::clone(&dictionary);
+        thread::spawn(move || {
+            let (_, needs) = *cell.read();
+            let have = dictionary.load(Ordering::SeqCst);
+            assert!(
+                have >= needs,
+                "reader resolved store ids against a lagging dictionary \
+                 (store needs dictionary version {needs}, published is {have})"
+            );
+        })
+    };
+
+    writer.join();
+    reader.join();
+    // Quiescent state: the epoch landed and the dictionary caught up.
+    let (epoch, needs) = *cell.read();
+    assert_eq!(epoch, 1);
+    assert!(dictionary.load(Ordering::SeqCst) >= needs);
+}
+
+#[test]
+fn snapshot_publish_dictionary_never_lags() {
+    let report = model(|| snapshot_publish_model(true));
+    assert!(
+        report.schedules >= 10,
+        "expected a non-trivial interleaving space, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn snapshot_publish_seeded_store_first_bug_is_caught() {
+    let violation = model_expect_violation(|| snapshot_publish_model(false));
+    assert!(violation.contains("lagging dictionary"), "got: {violation}");
+}
+
+// ---------------------------------------------------------------------------
+// 2. WAL ordering: fsync success happens-before publish; failure → read-only.
+// ---------------------------------------------------------------------------
+
+/// The durable write path under the persist state mutex: append+fsync the
+/// WAL record, and only on success apply + publish the next epoch. A sync
+/// failure flips read-only and leaves the published epoch untouched.
+/// `fsync_first == false` seeds the torn-publish bug (publish, then sync).
+fn wal_ordering_model(fsync_first: bool) {
+    let synced = Arc::new(AtomicU64::new(0)); // highest seq durably on disk
+    let published = Arc::new(AtomicU64::new(0)); // highest epoch readers see
+    let read_only = Arc::new(AtomicBool::new(false));
+    let state_mutex = Arc::new(Mutex::new(()));
+
+    let writer = {
+        let synced = Arc::clone(&synced);
+        let published = Arc::clone(&published);
+        let read_only = Arc::clone(&read_only);
+        thread::spawn(move || {
+            let guard = state_mutex.lock();
+            let seq = published.load(Ordering::SeqCst) + 1;
+            // Explored both ways in every schedule context: the backend
+            // accepts the record, or fails the append/fsync.
+            let sync_fails = nondet(2) == 1;
+            if fsync_first {
+                if sync_fails {
+                    read_only.store(true, Ordering::SeqCst);
+                } else {
+                    synced.store(seq, Ordering::SeqCst);
+                    published.store(seq, Ordering::SeqCst);
+                }
+            } else {
+                // Seeded bug: acknowledge to readers before durability.
+                published.store(seq, Ordering::SeqCst);
+                if sync_fails {
+                    read_only.store(true, Ordering::SeqCst);
+                } else {
+                    synced.store(seq, Ordering::SeqCst);
+                }
+            }
+            drop(guard);
+        })
+    };
+
+    let observer = {
+        let synced = Arc::clone(&synced);
+        let published = Arc::clone(&published);
+        thread::spawn(move || {
+            // Read `published` first: `synced` only grows, so any published
+            // epoch must already be durable when observed in this order.
+            let p = published.load(Ordering::SeqCst);
+            let s = synced.load(Ordering::SeqCst);
+            assert!(
+                s >= p,
+                "torn publish: epoch {p} visible to readers but only seq {s} is synced"
+            );
+        })
+    };
+
+    writer.join();
+    observer.join();
+    // Crash-consistency at quiescence, under both fault branches: what
+    // readers were promised never exceeds what recovery would replay, and
+    // a failed append degrades to read-only with the epoch untouched.
+    let p = published.load(Ordering::SeqCst);
+    assert!(
+        synced.load(Ordering::SeqCst) >= p,
+        "acknowledged epoch would be lost by recovery"
+    );
+    if read_only.load(Ordering::SeqCst) {
+        assert_eq!(p, 0, "failed append must not advance the published epoch");
+    }
+}
+
+#[test]
+fn wal_publish_never_precedes_fsync() {
+    let report = model(|| wal_ordering_model(true));
+    assert!(
+        report.schedules >= 20,
+        "expected schedules × fault choices, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn wal_seeded_publish_before_fsync_bug_is_caught() {
+    let violation = model_expect_violation(|| wal_ordering_model(false));
+    assert!(
+        violation.contains("torn publish")
+            || violation.contains("lost by recovery")
+            || violation.contains("must not advance"),
+        "got: {violation}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 3. Retraction: the published ⟨o,s⟩ cache is never stale.
+// ---------------------------------------------------------------------------
+
+/// A published property table: `version` stands for the ⟨s,o⟩ pair content,
+/// `os_cache` for the object-sorted mirror tagged with the version it was
+/// derived from. `TripleStore::remove_pairs` drops the cache whenever pairs
+/// changed; the publish path (`ensure_all_os`) rebuilds it before the swap.
+#[derive(Clone, Copy)]
+struct PublishedTable {
+    version: u64,
+    os_cache: Option<u64>,
+}
+
+fn retract_cache_model(invalidate_on_remove: bool) {
+    let cell = Arc::new(RwLock::new(PublishedTable {
+        version: 0,
+        os_cache: Some(0),
+    }));
+    let writer_mutex = Arc::new(Mutex::new(()));
+
+    let retractor = {
+        let cell = Arc::clone(&cell);
+        thread::spawn(move || {
+            let guard = writer_mutex.lock();
+            // Clone-mutate-publish on a private copy, as SnapshotStore does.
+            let mut next = *cell.read();
+            next.version += 1; // remove_pairs: the ⟨s,o⟩ pairs changed
+            if invalidate_on_remove {
+                next.os_cache = None; // invalidate_os_cache()
+                next.os_cache = Some(next.version); // ensure_all_os() pre-publish
+            }
+            // Seeded bug: cache kept across the mutation when false.
+            *cell.write() = next;
+            drop(guard);
+        })
+    };
+
+    let reader = {
+        let cell = Arc::clone(&cell);
+        thread::spawn(move || {
+            let seen = *cell.read();
+            if let Some(derived_from) = seen.os_cache {
+                assert_eq!(
+                    derived_from, seen.version,
+                    "reader served a stale ⟨o,s⟩ cache (pairs v{}, cache v{derived_from})",
+                    seen.version
+                );
+            }
+        })
+    };
+
+    retractor.join();
+    reader.join();
+    let last = *cell.read();
+    assert_eq!(last.version, 1);
+    if let Some(derived_from) = last.os_cache {
+        assert_eq!(derived_from, last.version);
+    }
+}
+
+#[test]
+fn retract_never_publishes_a_stale_os_cache() {
+    let report = model(|| retract_cache_model(true));
+    assert!(
+        report.schedules >= 10,
+        "expected a non-trivial interleaving space, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn retract_seeded_missing_invalidation_bug_is_caught() {
+    let violation = model_expect_violation(|| retract_cache_model(false));
+    assert!(violation.contains("stale ⟨o,s⟩ cache"), "got: {violation}");
+}
