@@ -10,13 +10,13 @@
 //!
 //! Two measurements:
 //!
-//! * **reader scaling** — *N* independent reader threads (1, 2, 4)
+//! * **reader scaling** — *N* independent reader threads (1, 2, 4, 8)
 //!   repeatedly executing a five-query LUBM mix against their own snapshot
 //!   handle; per-query latencies give p50/p99, the fixed total work gives
 //!   throughput vs. thread count;
 //! * **batch execution** — the same total work submitted through
 //!   [`SnapshotQueryEngine::execute_batch_on`] over `inferray-parallel`
-//!   pools of 1/2/4 workers (the endpoint's bulk path).
+//!   pools of 1/2/4/8 workers (the endpoint's bulk path).
 //!
 //! Every run double-checks determinism: each thread's solution counts must
 //! equal the single-threaded reference counts, and a writer publishing new
@@ -37,9 +37,11 @@ use inferray_store::SnapshotStore;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Total mix executions per thread-count measurement (split across threads).
-const TOTAL_ROUNDS: usize = 300;
-const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Total mix executions per thread-count measurement (split across threads;
+/// divisible by every entry of `THREAD_COUNTS` so each point runs the same
+/// total work).
+const TOTAL_ROUNDS: usize = 320;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 const LUBM: &str = "http://inferray.example.org/lubm/";
 

@@ -13,7 +13,7 @@ use inferray_model::{Graph, IdTriple, Triple};
 use inferray_parser::loader::{load_graph, LoadError, LoadedDataset};
 use inferray_parser::{parse_ntriples, Ingest, LoaderOptions};
 use inferray_rules::{Fragment, InferenceStats, Materializer};
-use inferray_store::{SnapshotStore, StoreSnapshot, TripleStore};
+use inferray_store::{unpoison, SnapshotStore, StoreSnapshot, TripleStore};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// The result of reasoning over a decoded graph.
@@ -217,14 +217,10 @@ impl ServingDataset {
     /// ever touched under the writer lock); the dictionary and store are the
     /// shared `Arc`s the readers also see.
     pub fn persistable_state(&self) -> (Arc<Dictionary>, TripleStore, StoreSnapshot) {
-        let guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        let dictionary = self
-            .dictionary
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone();
-        let base = self.base.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let guard = unpoison(self.writer.lock());
         let snapshot = self.snapshots.snapshot();
+        let base = unpoison(self.base.lock()).clone();
+        let dictionary = unpoison(self.dictionary.read()).clone();
         drop(guard);
         (dictionary, base, snapshot)
     }
@@ -248,11 +244,7 @@ impl ServingDataset {
     /// ordering argument).
     pub fn snapshot(&self) -> (StoreSnapshot, Arc<Dictionary>) {
         let snapshot = self.snapshots.snapshot();
-        let dictionary = self
-            .dictionary
-            .read()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone();
+        let dictionary = unpoison(self.dictionary.read()).clone();
         (snapshot, dictionary)
     }
 
@@ -266,11 +258,11 @@ impl ServingDataset {
         &self,
         triples: impl IntoIterator<Item = Triple>,
     ) -> Result<InferenceStats, LoadError> {
-        let guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = unpoison(self.writer.lock());
 
         // Private copies of the current pair.
         let mut dictionary: Dictionary = {
-            let current = self.dictionary.read().unwrap_or_else(|e| e.into_inner());
+            let current = unpoison(self.dictionary.read());
             (**current).clone()
         };
         let mut store = self.snapshots.snapshot().store().clone();
@@ -288,7 +280,7 @@ impl ServingDataset {
         // the explicit base and any delta triple encoded before the
         // promotion still carry the stale resource id in subject/object
         // position; patch them like the loader does before reasoning.
-        let mut base = self.base.lock().unwrap_or_else(|e| e.into_inner());
+        let mut base = unpoison(self.base.lock());
         let mut next_base = base.clone();
         if dictionary.has_pending_promotions() {
             let remap: std::collections::HashMap<u64, u64> =
@@ -317,7 +309,7 @@ impl ServingDataset {
         // Publish: dictionary before store (see the type docs).
         *base = next_base;
         drop(base);
-        *self.dictionary.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(dictionary);
+        *unpoison(self.dictionary.write()) = Arc::new(dictionary);
         self.snapshots.publish(store);
         drop(guard);
         Ok(stats)
@@ -350,13 +342,13 @@ impl ServingDataset {
     /// consistent even when other writers publish concurrently (reading
     /// [`ServingDataset::epoch`] afterwards could name a later epoch).
     pub fn retract(&self, triples: impl IntoIterator<Item = Triple>) -> (RetractionStats, u64) {
-        let guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let guard = unpoison(self.writer.lock());
 
         // Terms absent from the dictionary cannot occur in any triple of
         // the store; predicates that were never promoted to property ids
         // cannot address a table.
         let dictionary = {
-            let current = self.dictionary.read().unwrap_or_else(|e| e.into_inner());
+            let current = unpoison(self.dictionary.read());
             Arc::clone(&current)
         };
         let delta: Vec<IdTriple> = triples
@@ -370,7 +362,7 @@ impl ServingDataset {
             .collect();
 
         let mut store = self.snapshots.snapshot().store().clone();
-        let mut base = self.base.lock().unwrap_or_else(|e| e.into_inner());
+        let mut base = unpoison(self.base.lock());
         let mut next_base = base.clone();
         let mut reasoner = InferrayReasoner::with_options(self.fragment, self.options);
         let stats = reasoner.retract_delta(&mut store, &mut next_base, delta);
@@ -395,7 +387,7 @@ impl ServingDataset {
 
     /// Number of explicit (asserted) triples behind the current epoch.
     pub fn base_len(&self) -> usize {
-        self.base.lock().unwrap_or_else(|e| e.into_inner()).len()
+        unpoison(self.base.lock()).len()
     }
 }
 

@@ -31,6 +31,7 @@ use crate::snapshot::{self, SnapshotImage};
 use crate::wal::{self, WalKind, WAL_FILE};
 use inferray_core::{Fragment, InferenceStats, InferrayOptions, RetractionStats, ServingDataset};
 use inferray_parser::{parse_ntriples, LoadedDataset};
+use inferray_store::unpoison;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -467,10 +468,7 @@ impl DurableDataset {
     /// responsive while a write holds the state lock across WAL append,
     /// materialization, and checkpointing.
     pub fn status(&self) -> DurabilityStatus {
-        self.status_mirror
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
+        unpoison(self.status_mirror.lock()).clone()
     }
 
     /// Rebuilds the operator-visible mirror from the authoritative state.
@@ -487,7 +485,7 @@ impl DurableDataset {
             wal_bytes: state.wal_bytes,
             last_error: state.last_error.clone(),
         };
-        *self.status_mirror.lock().unwrap_or_else(|e| e.into_inner()) = status;
+        *unpoison(self.status_mirror.lock()) = status;
     }
 
     /// Durably asserts an N-Triples batch: WAL append + fsync, then
@@ -538,7 +536,7 @@ impl DurableDataset {
     }
 
     fn lock_state(&self) -> MutexGuard<'_, DurableState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        unpoison(self.state.lock())
     }
 
     fn wal_path(&self) -> PathBuf {

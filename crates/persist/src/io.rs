@@ -10,6 +10,7 @@
 //! all-or-nothing" (the checkpoint primitive, tmp-file + fsync + rename on
 //! a real filesystem).
 
+use inferray_store::unpoison;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Write};
@@ -257,7 +258,7 @@ impl MemFs {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, MemFsState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        unpoison(self.state.lock())
     }
 
     fn take_fault(state: &mut MemFsState, matches: impl Fn(Fault) -> bool) -> Option<Fault> {

@@ -1,23 +1,96 @@
-//! Greedy selectivity-based ordering of the BGP's triple patterns.
+//! Cardinality-driven ordering of the BGP's triple patterns.
 //!
 //! The executor evaluates the BGP pattern-at-a-time, so the join order
-//! decides how many intermediate bindings are produced. The planner uses the
-//! only statistics the vertically partitioned store exposes for free — the
-//! per-property table sizes — and a classic greedy heuristic: repeatedly
-//! pick the cheapest pattern among those connected to the variables already
-//! bound, falling back to the globally cheapest pattern when nothing is
-//! connected (a cartesian product is unavoidable then).
+//! decides how many intermediate bindings are produced. The planner derives
+//! its estimates straight from the sorted pair tables: the exact per-property
+//! pair count (`PropertyTable::len`) and bounded distinct-subject /
+//! distinct-object counts obtained by galloping over the ⟨s,o⟩ and ⟨o,s⟩
+//! layouts (`distinct_subjects` / `distinct_objects`). From those three
+//! numbers the expected output per input binding is the classic uniform
+//! model: `n` for an open scan, `n/ds` with the subject bound, `n/do` with
+//! the object bound, and `n/(ds·do)` (clamped to one row — pairs are
+//! duplicate-free) with both bound.
+//!
+//! For BGPs of up to [`EXHAUSTIVE_LIMIT`] patterns the planner enumerates
+//! every permutation and picks the one minimizing the total estimated
+//! intermediate rows, so the chosen order is cost-minimal by construction.
+//! Ties are broken deterministically: first by deferring cartesian products
+//! (the lexicographically smallest disconnected-pick vector), then by the
+//! written pattern order. Larger BGPs fall back to the greedy
+//! connected-cheapest-first heuristic with the same per-pattern estimates.
 
 use crate::executor::{CompiledPattern, Slot};
-use inferray_store::TripleStore;
+use inferray_store::{PropertyTable, TripleStore};
 use std::collections::HashSet;
+
+/// BGPs with at most this many patterns are planned by exhaustive
+/// permutation search (≤ 24 orders); larger ones fall back to the greedy
+/// heuristic.
+const EXHAUSTIVE_LIMIT: usize = 4;
+
+/// Row budget handed to the bounded distinct-key estimators. Sixty-four
+/// binary-search probes per table keep planning O(patterns · tables · log n)
+/// while staying exact for the small tables where precision matters most.
+const DISTINCT_BUDGET: usize = 64;
+
+/// Slack multiplier for unbound-predicate scans: iterating every property
+/// table costs more than the sum of their lengths suggests, and the planner
+/// must never prefer such a scan over an equally sized single-table pattern.
+const SCAN_SLACK: f64 = 1.5;
+
+/// Relative tolerance when comparing plan costs: different summation orders
+/// of the same estimates may differ by float rounding, and such plans must
+/// fall through to the deterministic tie-breaks.
+const COST_EPSILON: f64 = 1e-9;
 
 /// Orders compiled patterns for evaluation and returns the ordered list.
 pub(crate) fn order_patterns(
     store: &TripleStore,
     patterns: Vec<CompiledPattern>,
 ) -> Vec<CompiledPattern> {
-    let total: usize = store.len().max(1);
+    if patterns.len() <= 1 {
+        return patterns;
+    }
+    if patterns.len() <= EXHAUSTIVE_LIMIT {
+        order_exhaustive(store, patterns)
+    } else {
+        order_greedy(store, patterns)
+    }
+}
+
+/// Enumerates every permutation (lexicographic over the written pattern
+/// indices) and keeps the minimal-cost one; see the module docs for the
+/// tie-break rules.
+fn order_exhaustive(store: &TripleStore, patterns: Vec<CompiledPattern>) -> Vec<CompiledPattern> {
+    let mut best: Option<(f64, Vec<bool>, Vec<usize>)> = None;
+    for order in permutations(patterns.len()) {
+        let (cost, disconnects) = plan_cost(store, &patterns, &order);
+        let better = match &best {
+            None => true,
+            Some((best_cost, best_disconnects, _)) => {
+                if approx_eq(cost, *best_cost) {
+                    disconnects < *best_disconnects
+                } else {
+                    cost < *best_cost
+                }
+            }
+        };
+        if better {
+            best = Some((cost, disconnects, order));
+        }
+    }
+    let order = match best {
+        Some((_, _, order)) => order,
+        None => (0..patterns.len()).collect(),
+    };
+    order.iter().map(|&index| patterns[index]).collect()
+}
+
+/// Greedy fallback for large BGPs: repeatedly pick the cheapest pattern
+/// among those connected to the variables already bound, falling back to the
+/// globally cheapest pattern when nothing is connected (a cartesian product
+/// is unavoidable then). Ties keep the written order.
+fn order_greedy(store: &TripleStore, patterns: Vec<CompiledPattern>) -> Vec<CompiledPattern> {
     let mut remaining = patterns;
     let mut ordered = Vec::with_capacity(remaining.len());
     let mut bound: HashSet<usize> = HashSet::new();
@@ -32,21 +105,57 @@ pub(crate) fn order_patterns(
             if connected_exists && !shares_variable(pattern, &bound) {
                 continue;
             }
-            let cost = pattern_cost(store, pattern, &bound, total);
+            let cost = pattern_cost(store, pattern, &bound);
             if cost < best_cost {
                 best_cost = cost;
                 best_index = index;
             }
         }
-        let chosen = remaining.swap_remove(best_index);
-        for slot in [&chosen.s, &chosen.p, &chosen.o] {
-            if let Slot::Var(index) = slot {
-                bound.insert(*index);
-            }
-        }
+        let chosen = remaining.remove(best_index);
+        bind_variables(&chosen, &mut bound);
         ordered.push(chosen);
     }
     ordered
+}
+
+/// Total estimated intermediate rows of evaluating `patterns` in `order`,
+/// plus the per-position disconnected-pick flags used for tie-breaking.
+fn plan_cost(
+    store: &TripleStore,
+    patterns: &[CompiledPattern],
+    order: &[usize],
+) -> (f64, Vec<bool>) {
+    let mut bound: HashSet<usize> = HashSet::new();
+    let mut rows = 1.0_f64;
+    let mut cost = 0.0_f64;
+    let mut disconnects = Vec::with_capacity(order.len());
+    for &index in order {
+        let pattern = &patterns[index];
+        disconnects
+            .push(!bound.is_empty() && has_variable(pattern) && !shares_variable(pattern, &bound));
+        rows *= pattern_cost(store, pattern, &bound);
+        cost += rows;
+        bind_variables(pattern, &mut bound);
+    }
+    (cost, disconnects)
+}
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= COST_EPSILON * a.abs().max(b.abs()).max(1.0)
+}
+
+fn bind_variables(pattern: &CompiledPattern, bound: &mut HashSet<usize>) {
+    for slot in [&pattern.s, &pattern.p, &pattern.o] {
+        if let Slot::Var(index) = slot {
+            bound.insert(*index);
+        }
+    }
+}
+
+fn has_variable(pattern: &CompiledPattern) -> bool {
+    [&pattern.s, &pattern.p, &pattern.o]
+        .iter()
+        .any(|slot| matches!(slot, Slot::Var(_)))
 }
 
 fn shares_variable(pattern: &CompiledPattern, bound: &HashSet<usize>) -> bool {
@@ -55,13 +164,36 @@ fn shares_variable(pattern: &CompiledPattern, bound: &HashSet<usize>) -> bool {
         .any(|slot| matches!(slot, Slot::Var(index) if bound.contains(index)))
 }
 
-/// Estimated number of bindings the pattern produces given the variables
-/// already bound by earlier patterns.
+/// All permutations of `0..len` in lexicographic order.
+fn permutations(len: usize) -> Vec<Vec<usize>> {
+    fn recurse(len: usize, current: &mut Vec<usize>, used: &mut [bool], out: &mut Vec<Vec<usize>>) {
+        if current.len() == len {
+            out.push(current.clone());
+            return;
+        }
+        for index in 0..len {
+            if !used[index] {
+                used[index] = true;
+                current.push(index);
+                recurse(len, current, used, out);
+                current.pop();
+                used[index] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(len);
+    let mut used = vec![false; len];
+    recurse(len, &mut current, &mut used, &mut out);
+    out
+}
+
+/// Estimated number of bindings the pattern produces per input row, given
+/// the variables already bound by earlier patterns.
 pub(crate) fn pattern_cost(
     store: &TripleStore,
     pattern: &CompiledPattern,
     bound: &HashSet<usize>,
-    total: usize,
 ) -> f64 {
     let is_bound = |slot: &Slot| match slot {
         Slot::Bound(_) => true,
@@ -70,35 +202,67 @@ pub(crate) fn pattern_cost(
     let s_bound = is_bound(&pattern.s);
     let o_bound = is_bound(&pattern.o);
     match &pattern.p {
-        Slot::Bound(p) => {
-            let table_len = store.table(*p).map_or(0, |t| t.len()) as f64;
-            if table_len == 0.0 {
+        Slot::Bound(p) => match store.table(*p) {
+            Some(table) => table_estimate(table, s_bound, o_bound),
+            None => 0.0,
+        },
+        Slot::Var(index) => {
+            let mut sum = 0.0;
+            let mut tables = 0_usize;
+            for (_, table) in store.iter_tables() {
+                sum += table_estimate(table, s_bound, o_bound);
+                tables += 1;
+            }
+            if tables == 0 {
                 return 0.0;
             }
-            match (s_bound, o_bound) {
-                (true, true) => 1.0,
-                // One bound key selects a run of the sorted table; the square
-                // root is the usual textbook guess without histograms.
-                (true, false) | (false, true) => table_len.sqrt().max(1.0),
-                (false, false) => table_len,
+            if bound.contains(index) {
+                // The variable resolves to one concrete predicate per input
+                // row, selecting a single table: cost the average one.
+                (sum / tables as f64).max(1.0)
+            } else {
+                (sum * SCAN_SLACK).max(1.0)
             }
         }
-        Slot::Var(index) => {
-            let scan = total as f64 * 1.5;
-            let selectivity = match (s_bound, o_bound, bound.contains(index)) {
-                (_, _, true) => 0.5,
-                (true, true, _) => 0.1,
-                (true, false, _) | (false, true, _) => 0.5,
-                (false, false, _) => 1.0,
-            };
-            (scan * selectivity).max(1.0)
+    }
+}
+
+/// Expected matches in one property table for the given bound positions,
+/// under the uniform-distribution model over `n` duplicate-free pairs with
+/// `ds` distinct subjects and `do` distinct objects.
+fn table_estimate(table: &PropertyTable, s_bound: bool, o_bound: bool) -> f64 {
+    let n = table.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let distinct_subjects = || table.distinct_subjects(DISTINCT_BUDGET).count.max(1) as f64;
+    // The ⟨o,s⟩ layout exists on published snapshots (ensure_all_os runs
+    // before every publish); on a raw store fall back to the textbook
+    // square-root guess rather than materializing the cache mid-planning.
+    let distinct_objects = || {
+        table
+            .distinct_objects(DISTINCT_BUDGET)
+            .map(|d| d.count.max(1) as f64)
+    };
+    match (s_bound, o_bound) {
+        (true, true) => {
+            let ds = distinct_subjects();
+            let dobj = distinct_objects().unwrap_or_else(|| n.sqrt().max(1.0));
+            (n / (ds * dobj)).min(1.0)
         }
+        (true, false) => (n / distinct_subjects()).max(1.0),
+        (false, true) => match distinct_objects() {
+            Some(dobj) => (n / dobj).max(1.0),
+            None => n.sqrt().max(1.0),
+        },
+        (false, false) => n,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::{evaluate_bgp, Row};
     use inferray_model::ids::nth_property_id;
     use inferray_model::IdTriple;
 
@@ -153,10 +317,10 @@ mod tests {
     #[test]
     fn leading_unbound_predicate_pattern_is_deferred() {
         // Written order starts with a whole-store scan (`?x ?p ?y`): the
-        // row-explosion guard must schedule the selective bound-predicate
-        // pattern first, because a bound-predicate pattern never costs more
-        // than its table (≤ store size) while an unconstrained unbound
-        // predicate is costed as a full scan with slack (size × 1.5).
+        // planner must schedule the selective bound-predicate pattern first,
+        // because a bound-predicate pattern never costs more than its table
+        // (≤ store size) while an unconstrained unbound predicate is costed
+        // as a full scan with slack.
         let store = store();
         let p_small = nth_property_id(20);
         let patterns = vec![
@@ -170,17 +334,17 @@ mod tests {
 
     #[test]
     fn unconstrained_scan_never_precedes_any_bound_predicate_pattern() {
-        // The invariant behind the guard, checked against both tables: even
-        // the *largest* property table is preferred over the unbound scan.
+        // The invariant behind the scan slack, checked against both tables:
+        // even the *largest* property table is preferred over the unbound
+        // scan.
         let store = store();
-        let total = store.len();
         let bound = HashSet::new();
         let scan = pattern(Slot::Var(0), Slot::Var(1), Slot::Var(2));
-        let scan_cost = pattern_cost(&store, &scan, &bound, total);
+        let scan_cost = pattern_cost(&store, &scan, &bound);
         for p in [nth_property_id(20), nth_property_id(21)] {
             let candidate = pattern(Slot::Var(0), Slot::Bound(p), Slot::Var(1));
             assert!(
-                pattern_cost(&store, &candidate, &bound, total) < scan_cost,
+                pattern_cost(&store, &candidate, &bound) < scan_cost,
                 "bound-predicate pattern over table {p} must beat the scan"
             );
         }
@@ -208,7 +372,7 @@ mod tests {
         let missing = nth_property_id(99);
         let bound = HashSet::new();
         let p = pattern(Slot::Var(0), Slot::Bound(missing), Slot::Var(1));
-        assert_eq!(pattern_cost(&store, &p, &bound, store.len()), 0.0);
+        assert_eq!(pattern_cost(&store, &p, &bound), 0.0);
     }
 
     #[test]
@@ -216,7 +380,254 @@ mod tests {
         let store = store();
         let bound = HashSet::new();
         let p = pattern(Slot::Var(0), Slot::Var(1), Slot::Var(2));
-        let cost = pattern_cost(&store, &p, &bound, store.len());
+        let cost = pattern_cost(&store, &p, &bound);
         assert!(cost >= store.len() as f64);
+    }
+
+    #[test]
+    fn bound_object_estimate_uses_the_os_layout_when_materialized() {
+        // The large table holds 100 pairs with a single shared object: with
+        // the ⟨o,s⟩ cache the planner knows a bound object selects the whole
+        // table (100 expected rows); without it the square-root fallback
+        // guesses 10.
+        let mut store = store();
+        let p_large = nth_property_id(21);
+        let bound = HashSet::new();
+        let probe = pattern(Slot::Var(0), Slot::Bound(p_large), Slot::Bound(3_000_000));
+        let without_cache = pattern_cost(&store, &probe, &bound);
+        assert_eq!(without_cache, 10.0);
+        store.ensure_all_os();
+        let with_cache = pattern_cost(&store, &probe, &bound);
+        assert_eq!(with_cache, 100.0);
+    }
+
+    #[test]
+    fn bound_subject_estimate_is_the_average_run_length() {
+        // 100 distinct subjects over 100 pairs: one expected row per bound
+        // subject. A second property with repeated subjects must estimate
+        // its longer runs.
+        let store = store();
+        let p_large = nth_property_id(21);
+        let mut bound = HashSet::new();
+        bound.insert(0);
+        let probe = pattern(Slot::Var(0), Slot::Bound(p_large), Slot::Var(1));
+        assert_eq!(pattern_cost(&store, &probe, &bound), 1.0);
+
+        let p_fanout = nth_property_id(22);
+        let fanout = TripleStore::from_triples(
+            (0..40).map(|i| IdTriple::new(7_000_000 + (i % 4), p_fanout, 8_000_000 + i)),
+        );
+        let probe = pattern(Slot::Var(0), Slot::Bound(p_fanout), Slot::Var(1));
+        assert_eq!(pattern_cost(&fanout, &probe, &bound), 10.0);
+    }
+
+    // --- tie-break regression suite ------------------------------------
+
+    #[test]
+    fn tied_costs_keep_the_written_pattern_order() {
+        let store = store();
+        let p_small = nth_property_id(20);
+        // Two structurally identical patterns over the same table tie on
+        // every cost component; the written order must survive planning so
+        // plans are reproducible across runs.
+        let patterns = vec![
+            pattern(Slot::Var(3), Slot::Bound(p_small), Slot::Var(4)),
+            pattern(Slot::Var(0), Slot::Bound(p_small), Slot::Var(1)),
+        ];
+        let ordered = order_patterns(&store, patterns.clone());
+        assert_eq!(ordered, patterns);
+    }
+
+    #[test]
+    fn tied_costs_defer_cartesian_products() {
+        let store = store();
+        let p_small = nth_property_id(20);
+        let p_large = nth_property_id(21);
+        // [small(0,1), small(5,6), large(1,2)] and [small(0,1), large(1,2),
+        // small(5,6)] have identical estimated cost (every step yields one
+        // row); the disconnected-pick tie-break must choose the order whose
+        // cartesian product comes last.
+        let patterns = vec![
+            pattern(Slot::Var(0), Slot::Bound(p_small), Slot::Var(1)),
+            pattern(Slot::Var(5), Slot::Bound(p_small), Slot::Var(6)),
+            pattern(Slot::Var(1), Slot::Bound(p_large), Slot::Var(2)),
+        ];
+        let (cost_late, flags_late) = plan_cost(&store, &patterns, &[0, 2, 1]);
+        let (cost_early, flags_early) = plan_cost(&store, &patterns, &[0, 1, 2]);
+        assert!(approx_eq(cost_late, cost_early), "the suite assumes a tie");
+        assert!(flags_late < flags_early);
+        let ordered = order_patterns(&store, patterns);
+        assert_eq!(ordered[1].p, Slot::Bound(p_large));
+    }
+
+    #[test]
+    fn planning_is_deterministic_across_repeated_runs() {
+        let store = store();
+        let p_small = nth_property_id(20);
+        let p_large = nth_property_id(21);
+        let patterns = vec![
+            pattern(Slot::Var(0), Slot::Bound(p_large), Slot::Var(1)),
+            pattern(Slot::Var(1), Slot::Bound(p_small), Slot::Var(2)),
+            pattern(Slot::Var(2), Slot::Bound(p_large), Slot::Var(3)),
+            pattern(Slot::Var(0), Slot::Bound(p_small), Slot::Var(3)),
+        ];
+        let first = order_patterns(&store, patterns.clone());
+        for _ in 0..10 {
+            assert_eq!(order_patterns(&store, patterns.clone()), first);
+        }
+    }
+
+    // --- permutation-invariance and cost-minimality properties ---------
+
+    /// Deterministic xorshift generator so the property cases are
+    /// reproducible without external crates.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound
+        }
+    }
+
+    /// A store with mixed fan-out so different join orders genuinely differ
+    /// in cost: a skewed table, a one-to-one table, and a tiny table.
+    fn property_store() -> TripleStore {
+        let p_skew = nth_property_id(40);
+        let p_chain = nth_property_id(41);
+        let p_tiny = nth_property_id(42);
+        let mut triples = Vec::new();
+        for i in 0..60_u64 {
+            triples.push(IdTriple::new(9_000_000 + (i % 6), p_skew, 9_100_000 + i));
+        }
+        for i in 0..30_u64 {
+            triples.push(IdTriple::new(9_100_000 + i, p_chain, 9_200_000 + (i % 3)));
+        }
+        triples.push(IdTriple::new(9_000_001, p_tiny, 9_200_001));
+        triples.push(IdTriple::new(9_000_002, p_tiny, 9_200_002));
+        let mut store = TripleStore::from_triples(triples);
+        store.ensure_all_os();
+        store
+    }
+
+    fn random_slot(rng: &mut Rng, constants: &[u64], variables: usize) -> Slot {
+        if rng.below(2) == 0 {
+            Slot::Var(rng.below(variables as u64) as usize)
+        } else {
+            Slot::Bound(constants[rng.below(constants.len() as u64) as usize])
+        }
+    }
+
+    fn random_bgp(rng: &mut Rng, store: &TripleStore) -> (Vec<CompiledPattern>, usize) {
+        let variables = 4;
+        let count = 2 + rng.below(3) as usize; // 2..=4 patterns
+        let properties = [
+            nth_property_id(40),
+            nth_property_id(41),
+            nth_property_id(42),
+        ];
+        // Constants that exist in the data so joins are not trivially empty,
+        // mixing subjects and objects.
+        let constants: Vec<u64> = store
+            .iter_triples()
+            .flat_map(|t| [t.s, t.o])
+            .step_by(17)
+            .collect();
+        let patterns = (0..count)
+            .map(|_| {
+                let p = if rng.below(8) == 0 {
+                    Slot::Var(rng.below(variables as u64) as usize)
+                } else {
+                    Slot::Bound(properties[rng.below(3) as usize])
+                };
+                pattern(
+                    random_slot(rng, &constants, variables),
+                    p,
+                    random_slot(rng, &constants, variables),
+                )
+            })
+            .collect();
+        (patterns, variables)
+    }
+
+    fn solutions(store: &TripleStore, patterns: &[CompiledPattern], variables: usize) -> Vec<Row> {
+        let mut rows = evaluate_bgp(store, patterns, variables);
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn any_input_permutation_yields_the_same_solutions() {
+        let store = property_store();
+        let mut rng = Rng(0x5eed_cafe_f00d_0001);
+        for case in 0..40 {
+            let (patterns, variables) = random_bgp(&mut rng, &store);
+            let reference = solutions(&store, &order_patterns(&store, patterns.clone()), variables);
+            for order in permutations(patterns.len()) {
+                let permuted: Vec<_> = order.iter().map(|&i| patterns[i]).collect();
+                let planned = order_patterns(&store, permuted);
+                assert_eq!(
+                    solutions(&store, &planned, variables),
+                    reference,
+                    "case {case}: permutation {order:?} changed the solutions of {patterns:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chosen_order_cost_is_minimal_among_all_permutations() {
+        let store = property_store();
+        let mut rng = Rng(0x5eed_cafe_f00d_0002);
+        for case in 0..40 {
+            let (patterns, _) = random_bgp(&mut rng, &store);
+            let planned = order_patterns(&store, patterns.clone());
+            let identity: Vec<usize> = (0..planned.len()).collect();
+            let (chosen_cost, _) = plan_cost(&store, &planned, &identity);
+            for order in permutations(patterns.len()) {
+                let (cost, _) = plan_cost(&store, &patterns, &order);
+                assert!(
+                    chosen_cost <= cost || approx_eq(chosen_cost, cost),
+                    "case {case}: order {order:?} of {patterns:?} costs {cost}, \
+                     cheaper than the planner's {chosen_cost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_fallback_handles_large_bgps() {
+        // Five patterns exceed the exhaustive limit; the greedy path must
+        // still start from the cheapest table and keep joins connected.
+        let store = store();
+        let p_small = nth_property_id(20);
+        let p_large = nth_property_id(21);
+        let patterns = vec![
+            pattern(Slot::Var(1), Slot::Bound(p_large), Slot::Var(2)),
+            pattern(Slot::Var(2), Slot::Bound(p_large), Slot::Var(3)),
+            pattern(Slot::Var(0), Slot::Bound(p_small), Slot::Var(1)),
+            pattern(Slot::Var(3), Slot::Bound(p_large), Slot::Var(4)),
+            pattern(Slot::Var(4), Slot::Bound(p_large), Slot::Var(5)),
+        ];
+        let ordered = order_patterns(&store, patterns);
+        assert_eq!(ordered.len(), 5);
+        assert_eq!(ordered[0].p, Slot::Bound(p_small));
+        let mut bound = HashSet::new();
+        bind_variables(&ordered[0], &mut bound);
+        for next in &ordered[1..] {
+            assert!(
+                shares_variable(next, &bound),
+                "greedy order must stay connected"
+            );
+            bind_variables(next, &mut bound);
+        }
     }
 }

@@ -4,13 +4,14 @@
 //! `inferray-cli serve` exposes the materialized store to concurrent
 //! clients. This module implements that endpoint with nothing but
 //! `std::net` — a deliberately minimal HTTP/1.1 subset (request line,
-//! headers, `Content-Length` bodies, `Connection: close` responses), enough
-//! for `curl`, load generators and the integration tests, with zero new
+//! headers, `Content-Length` bodies, persistent connections), enough for
+//! `curl`, load generators and the integration tests, with zero new
 //! dependencies.
 //!
 //! ## Routes
 //!
-//! * `GET /sparql?query=<percent-encoded query>` — evaluate one query;
+//! * `GET /sparql?query=<percent-encoded query>` — evaluate one query
+//!   (`HEAD` returns the same headers with an empty body);
 //! * `POST /sparql` — query in the body, either raw
 //!   (`Content-Type: application/sparql-query`) or form-encoded
 //!   (`query=<percent-encoded>`);
@@ -21,7 +22,7 @@
 //! * `GET /status` — the current snapshot epoch and store size, plus a
 //!   `durability` object when the server was bound with a
 //!   [`DurabilityReporter`] (snapshot path, WAL length, read-only flag —
-//!   see docs/persistence.md).
+//!   see docs/persistence.md); `HEAD` supported as for `/sparql`.
 //!
 //! `POST` bodies must carry a `Content-Length`: a missing length is
 //! answered with `411 Length Required` (not a misleading parse error from
@@ -45,14 +46,31 @@
 //! `{"head":{},"boolean":…}` for `ASK`; malformed queries get a `400` with
 //! a JSON error body.
 //!
-//! ## Concurrency model
+//! ## Concurrency model and the per-request allocation budget
 //!
 //! `--threads N` spawns *N* worker threads that all `accept` on the shared
 //! listener; each request samples the **current** snapshot engine from its
 //! [`EngineSource`] and evaluates against that frozen epoch, so a
 //! materialization that publishes mid-request never tears a response —
 //! requests started before the swap answer from the old epoch, requests
-//! started after it from the new one.
+//! started after it from the new one. The same holds *within* one
+//! keep-alive connection: every request re-samples the source, so a publish
+//! between two pipelined requests is visible to the second one.
+//!
+//! Connections are persistent by default (HTTP/1.1 keep-alive): a worker
+//! parses requests in a loop and answers each with an explicit
+//! `Content-Length` and `Connection: keep-alive`, closing only on client
+//! request (`Connection: close`, or an HTTP/1.0 client without
+//! `keep-alive`), on framing errors (the byte stream position is unknown
+//! after 408/411/413/501), or on shutdown. Each worker owns one set of
+//! reusable buffers ([`WorkerBuffers`]) — request head scratch, body
+//! buffer, response body, and the rendered wire bytes — so the steady-state
+//! request loop performs no per-request heap allocation for framing or
+//! response rendering: responses are `write!`-rendered into the reused
+//! buffers and sent with a single `write_all`. The repo lint rule IL007
+//! keeps `format!` / `String::new` / `Vec::new` out of the hot functions;
+//! cold paths (errors, updates) delegate to dedicated functions that may
+//! allocate.
 
 use crate::algebra::QueryForm;
 use crate::serving::SnapshotQueryEngine;
@@ -171,13 +189,18 @@ pub struct ServerConfig {
     /// Worker threads all `accept`ing on the shared listener.
     pub threads: usize,
     /// Per-connection read timeout: a client that stalls mid-request gets
-    /// `408` instead of pinning a worker.
+    /// `408` instead of pinning a worker. Doubles as the keep-alive idle
+    /// timeout — a connection with no next request within it is closed.
     pub read_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
     /// Largest accepted `Content-Length`; bigger bodies get `413` without
     /// being read.
     pub max_body_bytes: usize,
+    /// Serve several requests per connection (HTTP/1.1 keep-alive). Off,
+    /// every response carries `Connection: close` — the pre-keep-alive
+    /// behavior, kept as an operational escape hatch (`--no-keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Default for ServerConfig {
@@ -187,6 +210,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_body_bytes: 16 << 20,
+            keep_alive: true,
         }
     }
 }
@@ -313,6 +337,10 @@ fn worker_loop(
     sink: Option<&dyn UpdateSink>,
     durability: Option<&dyn DurabilityReporter>,
 ) {
+    // One set of reusable buffers per worker: every connection (and every
+    // request within a keep-alive connection) reuses these, so the
+    // steady-state request loop allocates nothing for framing or rendering.
+    let mut buffers = WorkerBuffers::new();
     loop {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -332,7 +360,37 @@ fn worker_loop(
         // A stalled client must not wedge a worker forever.
         let _ = stream.set_read_timeout(Some(config.read_timeout));
         let _ = stream.set_write_timeout(Some(config.write_timeout));
-        let _ = handle_connection(stream, config, source, sink, durability);
+        let _ = handle_connection(stream, stop, config, source, sink, durability, &mut buffers);
+    }
+}
+
+/// The per-worker reusable buffers of the serving hot path. Cleared and
+/// refilled per request; they only grow (up to the configured body / head
+/// caps), so after warm-up the request loop performs no heap allocation.
+struct WorkerBuffers {
+    /// Request-line / header-line scratch for [`read_head`].
+    head: String,
+    /// The request target (path + query string), copied out of the request
+    /// line so header parsing can reuse the scratch line.
+    path: String,
+    /// The `POST` body.
+    body: Vec<u8>,
+    /// The rendered response body (JSON).
+    response: String,
+    /// The rendered wire bytes (status line + headers + body), written with
+    /// a single `write_all`.
+    out: Vec<u8>,
+}
+
+impl WorkerBuffers {
+    fn new() -> WorkerBuffers {
+        WorkerBuffers {
+            head: String::new(),
+            path: String::new(),
+            body: Vec::new(),
+            response: String::new(),
+            out: Vec::new(),
+        }
     }
 }
 
@@ -349,207 +407,337 @@ fn is_timeout(e: &std::io::Error) -> bool {
 // Request handling
 // ---------------------------------------------------------------------------
 
+/// The request method, pre-classified so routing never compares strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Method {
+    Get,
+    Head,
+    Post,
+    Other,
+}
+
 struct RequestHead {
-    method: String,
-    path: String,
-    content_type: String,
+    method: Method,
+    /// `Content-Type: application/x-www-form-urlencoded` — the only
+    /// content-type distinction any route makes.
+    form_urlencoded: bool,
     /// `Content-Length`, when the client sent one. `POST` without a length
     /// is a protocol error (411), **not** an empty body: treating it as
     /// empty used to surface as a baffling "empty query" parse error.
     content_length: Option<usize>,
     /// `Transfer-Encoding: chunked` — not implemented (501 for `POST`).
     chunked: bool,
+    /// The client asked to close after this response (`Connection: close`,
+    /// or an HTTP/1.0 request without `Connection: keep-alive`).
+    close: bool,
 }
 
+/// Serves requests off one connection until the client closes, asks to
+/// close, a framing error leaves the stream position unknown, or shutdown.
+/// The request target is parsed into `buffers.path`.
 fn handle_connection(
     stream: TcpStream,
+    stop: &AtomicBool,
     config: ServerConfig,
     source: &dyn EngineSource,
     sink: Option<&dyn UpdateSink>,
     durability: Option<&dyn DurabilityReporter>,
+    buffers: &mut WorkerBuffers,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
-    let head = match read_head(&mut reader) {
-        Ok(head) => head,
-        Err((status, message)) => {
-            let mut stream = reader.into_inner();
-            return respond(
-                &mut stream,
-                status,
-                "application/json",
-                &error_json(&message),
-            );
+    loop {
+        let head = match read_head(&mut reader, buffers) {
+            Ok(Some(head)) => head,
+            // Clean close: EOF (or an idle keep-alive timeout) before the
+            // first byte of a next request.
+            Ok(None) => return Ok(()),
+            Err((status, message)) => {
+                // The stream position within the request is unknown after a
+                // head parse error: answer and close.
+                buffers.response.clear();
+                error_json_into(&mut buffers.response, &message);
+                return respond(
+                    reader.get_mut(),
+                    status,
+                    "application/json",
+                    &buffers.response,
+                    RespondOptions::closing(),
+                    &mut buffers.out,
+                );
+            }
+        };
+        let keep_alive = config.keep_alive && !head.close && !stop.load(Ordering::SeqCst);
+        if !serve_request(
+            &mut reader,
+            &head,
+            config,
+            source,
+            sink,
+            durability,
+            buffers,
+            keep_alive,
+        )? {
+            return Ok(());
         }
-    };
+    }
+}
 
+/// Reads the body (for `POST`), routes, and answers one request. Returns
+/// whether the connection stays open.
+#[allow(clippy::too_many_arguments)]
+fn serve_request(
+    reader: &mut BufReader<TcpStream>,
+    head: &RequestHead,
+    config: ServerConfig,
+    source: &dyn EngineSource,
+    sink: Option<&dyn UpdateSink>,
+    durability: Option<&dyn DurabilityReporter>,
+    buffers: &mut WorkerBuffers,
+    keep_alive: bool,
+) -> std::io::Result<bool> {
     // Body policy, decided per method before touching any route: POST needs
-    // a delimited body, GET bodies are ignored.
-    let body: Vec<u8> = if head.method == "POST" {
+    // a delimited body, GET/HEAD bodies are ignored. Every refusal closes —
+    // the body bytes were not consumed, so the framing is lost.
+    buffers.body.clear();
+    if head.method == Method::Post {
         if head.chunked {
-            return refuse_post(
-                &mut reader,
+            refuse_post(
+                reader,
                 501,
                 "Transfer-Encoding: chunked is not supported; send Content-Length",
                 64 << 10,
-            );
+                buffers,
+            )?;
+            return Ok(false);
         }
         let Some(length) = head.content_length else {
-            return refuse_post(
-                &mut reader,
+            refuse_post(
+                reader,
                 411,
                 "POST requires a Content-Length header",
                 64 << 10,
-            );
+                buffers,
+            )?;
+            return Ok(false);
         };
         // An unbounded Content-Length would let one request allocate the
         // moon.
         if length > config.max_body_bytes {
-            return refuse_post(
-                &mut reader,
-                413,
-                &format!(
-                    "body too large ({length} bytes; limit {})",
-                    config.max_body_bytes
-                ),
-                (length as u64).min(64 << 20),
-            );
+            refuse_oversized_post(reader, length, config.max_body_bytes, buffers)?;
+            return Ok(false);
         }
-        let mut body = vec![0u8; length];
-        if let Err(e) = reader.read_exact(&mut body) {
-            let mut stream = reader.into_inner();
-            let (status, message) = if is_timeout(&e) {
-                (408, "timed out reading request body".to_owned())
-            } else {
-                (400, format!("truncated body: {e}"))
-            };
-            return respond(
-                &mut stream,
-                status,
-                "application/json",
-                &error_json(&message),
-            );
+        buffers.body.resize(length, 0);
+        if let Err(e) = reader.read_exact(&mut buffers.body) {
+            respond_body_read_error(reader.get_mut(), &e, buffers)?;
+            return Ok(false);
         }
-        body
-    } else {
-        Vec::new()
-    };
-    let mut stream = reader.into_inner();
+    }
 
-    let (path, query_string) = match head.path.split_once('?') {
+    let opts = RespondOptions {
+        head_only: head.method == Method::Head,
+        keep_alive,
+        retry_after_secs: None,
+    };
+    let stream = reader.get_mut();
+    let (path, query_string) = match buffers.path.split_once('?') {
         Some((path, qs)) => (path, Some(qs)),
-        None => (head.path.as_str(), None),
+        None => (buffers.path.as_str(), None),
     };
 
-    match (head.method.as_str(), path) {
-        ("GET", "/status") => {
+    match (head.method, path) {
+        (Method::Get | Method::Head, "/status") => {
+            use std::fmt::Write as _;
             let engine = source.current();
-            let mut body = format!(
+            buffers.response.clear();
+            let _ = write!(
+                buffers.response,
                 "{{\"epoch\":{},\"triples\":{},\"tables\":{}",
                 engine.epoch(),
                 engine.snapshot().len(),
                 engine.snapshot().table_count(),
             );
             if let Some(reporter) = durability {
-                body.push_str(",\"durability\":");
-                body.push_str(&reporter.durability_json());
+                buffers.response.push_str(",\"durability\":");
+                buffers.response.push_str(&reporter.durability_json());
             }
-            body.push_str("}\n");
-            respond(&mut stream, 200, "application/json", &body)
-        }
-        ("GET", "/sparql") => match query_from_query_string(query_string.unwrap_or("")) {
-            Some(query) => answer_query(&mut stream, source, &query),
-            None => respond(
-                &mut stream,
-                400,
+            buffers.response.push_str("}\n");
+            respond(
+                stream,
+                200,
                 "application/json",
-                &error_json("missing 'query' parameter"),
-            ),
-        },
-        ("POST", "/sparql") => {
-            let body = String::from_utf8_lossy(&body).into_owned();
-            let query = if head
-                .content_type
-                .starts_with("application/x-www-form-urlencoded")
-            {
+                &buffers.response,
+                opts,
+                &mut buffers.out,
+            )?;
+        }
+        (Method::Get | Method::Head, "/sparql") => {
+            match query_from_query_string(query_string.unwrap_or("")) {
+                Some(query) => answer_query(
+                    stream,
+                    source,
+                    &query,
+                    opts,
+                    &mut buffers.response,
+                    &mut buffers.out,
+                )?,
+                None => {
+                    buffers.response.clear();
+                    error_json_into(&mut buffers.response, "missing 'query' parameter");
+                    respond(
+                        stream,
+                        400,
+                        "application/json",
+                        &buffers.response,
+                        opts,
+                        &mut buffers.out,
+                    )?;
+                }
+            }
+        }
+        (Method::Post, "/sparql") => {
+            let body = String::from_utf8_lossy(&buffers.body);
+            let query = if head.form_urlencoded {
                 query_from_query_string(&body)
             } else {
-                // application/sparql-query (or anything else): raw query text.
-                Some(body)
+                // application/sparql-query (or anything else): raw query
+                // text; `None` below only flags the form-encoded miss.
+                None
             };
-            match query {
-                Some(query) if !query.trim().is_empty() => {
-                    answer_query(&mut stream, source, &query)
-                }
-                _ => respond(
-                    &mut stream,
+            let text = match &query {
+                Some(query) => query.as_str(),
+                None if !head.form_urlencoded => &body,
+                None => "",
+            };
+            if text.trim().is_empty() {
+                buffers.response.clear();
+                error_json_into(&mut buffers.response, "empty query");
+                respond(
+                    stream,
                     400,
                     "application/json",
-                    &error_json("empty query"),
-                ),
+                    &buffers.response,
+                    opts,
+                    &mut buffers.out,
+                )?;
+            } else {
+                answer_query(
+                    stream,
+                    source,
+                    text,
+                    opts,
+                    &mut buffers.response,
+                    &mut buffers.out,
+                )?;
             }
         }
-        ("POST", "/update") => match sink {
-            None => respond(
-                &mut stream,
+        (Method::Post, "/update") => {
+            handle_update(
+                stream,
+                sink,
+                &buffers.body,
+                query_string,
+                opts,
+                &mut buffers.response,
+                &mut buffers.out,
+            )?;
+        }
+        (Method::Get | Method::Head | Method::Post, _) => {
+            buffers.response.clear();
+            error_json_into(
+                &mut buffers.response,
+                "unknown path (use /sparql, /update or /status)",
+            );
+            respond(
+                stream,
                 404,
                 "application/json",
-                &error_json("updates are not enabled on this endpoint"),
-            ),
-            Some(sink) => {
-                let body = String::from_utf8_lossy(&body).into_owned();
-                // `?action=assert` routes to the write-ahead assert path;
-                // the default (and `?action=retract`) stays delete–rederive.
-                let action = query_string
-                    .and_then(|qs| {
-                        qs.split('&').find_map(|pair| {
-                            let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
-                            (name == "action").then(|| percent_decode(value))
-                        })
-                    })
-                    .unwrap_or_else(|| "retract".to_owned());
-                let result = match action.as_str() {
-                    "retract" => sink.retract_ntriples(&body),
-                    "assert" => sink.assert_ntriples(&body),
-                    other => Err(UpdateError::Rejected(format!(
-                        "unknown action '{other}' (use assert or retract)"
-                    ))),
-                };
-                match result {
-                    Ok(outcome) => {
-                        let body = format!(
-                            "{{\"epoch\":{},\"requested\":{},\"removed\":{},\"triples\":{}}}\n",
-                            outcome.epoch, outcome.requested, outcome.removed, outcome.triples,
-                        );
-                        respond(&mut stream, 200, "application/json", &body)
-                    }
-                    Err(UpdateError::Rejected(message)) => {
-                        respond(&mut stream, 400, "application/json", &error_json(&message))
-                    }
-                    Err(UpdateError::Unavailable {
-                        message,
-                        retry_after_secs,
-                    }) => respond_with(
-                        &mut stream,
-                        503,
-                        "application/json",
-                        &[("Retry-After", &retry_after_secs.to_string())],
-                        &error_json(&message),
-                    ),
-                }
-            }
-        },
-        ("GET" | "POST", _) => respond(
-            &mut stream,
-            404,
-            "application/json",
-            &error_json("unknown path (use /sparql, /update or /status)"),
-        ),
-        _ => respond(
-            &mut stream,
-            405,
-            "application/json",
-            &error_json("method not allowed"),
-        ),
+                &buffers.response,
+                opts,
+                &mut buffers.out,
+            )?;
+        }
+        (Method::Other, _) => {
+            buffers.response.clear();
+            error_json_into(&mut buffers.response, "method not allowed");
+            respond(
+                stream,
+                405,
+                "application/json",
+                &buffers.response,
+                opts,
+                &mut buffers.out,
+            )?;
+        }
+    }
+    Ok(keep_alive)
+}
+
+/// `POST /update`: parses the action, forwards to the sink and renders the
+/// outcome. Updates re-materialize the dataset, so this path is cold by
+/// construction and free to allocate.
+fn handle_update(
+    stream: &mut TcpStream,
+    sink: Option<&dyn UpdateSink>,
+    body: &[u8],
+    query_string: Option<&str>,
+    opts: RespondOptions,
+    response: &mut String,
+    out: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    let Some(sink) = sink else {
+        response.clear();
+        error_json_into(response, "updates are not enabled on this endpoint");
+        return respond(stream, 404, "application/json", response, opts, out);
+    };
+    let body = String::from_utf8_lossy(body);
+    // `?action=assert` routes to the write-ahead assert path; the default
+    // (and `?action=retract`) stays delete–rederive.
+    let action = query_string
+        .and_then(|qs| {
+            qs.split('&').find_map(|pair| {
+                let (name, value) = pair.split_once('=').unwrap_or((pair, ""));
+                (name == "action").then(|| percent_decode(value))
+            })
+        })
+        .unwrap_or_else(|| "retract".to_owned());
+    let result = match action.as_str() {
+        "retract" => sink.retract_ntriples(&body),
+        "assert" => sink.assert_ntriples(&body),
+        other => Err(UpdateError::Rejected(format!(
+            "unknown action '{other}' (use assert or retract)"
+        ))),
+    };
+    response.clear();
+    match result {
+        Ok(outcome) => {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                response,
+                "{{\"epoch\":{},\"requested\":{},\"removed\":{},\"triples\":{}}}",
+                outcome.epoch, outcome.requested, outcome.removed, outcome.triples,
+            );
+            respond(stream, 200, "application/json", response, opts, out)
+        }
+        Err(UpdateError::Rejected(message)) => {
+            error_json_into(response, &message);
+            respond(stream, 400, "application/json", response, opts, out)
+        }
+        Err(UpdateError::Unavailable {
+            message,
+            retry_after_secs,
+        }) => {
+            error_json_into(response, &message);
+            // The integer renders straight into the header buffer — no
+            // per-request `to_string` for Retry-After.
+            respond(
+                stream,
+                503,
+                "application/json",
+                response,
+                opts.with_retry_after(retry_after_secs),
+                out,
+            )
+        }
     }
 }
 
@@ -565,12 +753,17 @@ fn refuse_post(
     status: u16,
     message: &str,
     drain_limit: u64,
+    buffers: &mut WorkerBuffers,
 ) -> std::io::Result<()> {
+    buffers.response.clear();
+    error_json_into(&mut buffers.response, message);
     respond(
         reader.get_mut(),
         status,
         "application/json",
-        &error_json(message),
+        &buffers.response,
+        RespondOptions::closing(),
+        &mut buffers.out,
     )?;
     let _ = reader
         .get_ref()
@@ -579,48 +772,129 @@ fn refuse_post(
     Ok(())
 }
 
-fn read_head(reader: &mut BufReader<TcpStream>) -> Result<RequestHead, (u16, String)> {
+/// The 413 variant of [`refuse_post`]; builds its message here so the hot
+/// request loop stays allocation-free.
+fn refuse_oversized_post(
+    reader: &mut BufReader<TcpStream>,
+    length: usize,
+    limit: usize,
+    buffers: &mut WorkerBuffers,
+) -> std::io::Result<()> {
+    let message = format!("body too large ({length} bytes; limit {limit})");
+    refuse_post(
+        reader,
+        413,
+        &message,
+        (length as u64).min(64 << 20),
+        buffers,
+    )
+}
+
+/// Answers a failed body read (408 on timeout, 400 on truncation) — cold,
+/// free to allocate the diagnostic.
+fn respond_body_read_error(
+    stream: &mut TcpStream,
+    e: &std::io::Error,
+    buffers: &mut WorkerBuffers,
+) -> std::io::Result<()> {
+    let (status, message) = if is_timeout(e) {
+        (408, "timed out reading request body".to_owned())
+    } else {
+        (400, format!("truncated body: {e}"))
+    };
+    buffers.response.clear();
+    error_json_into(&mut buffers.response, &message);
+    respond(
+        stream,
+        status,
+        "application/json",
+        &buffers.response,
+        RespondOptions::closing(),
+        &mut buffers.out,
+    )
+}
+
+/// A read timeout anywhere in the head is the slowloris case: 408. Cold —
+/// builds the diagnostic string.
+fn head_read_error(e: &std::io::Error, what: &str) -> (u16, String) {
+    if is_timeout(e) {
+        (408, format!("timed out reading {what}"))
+    } else {
+        (400, format!("bad {what}: {e}"))
+    }
+}
+
+/// Cold diagnostic for an unparseable `Content-Length`.
+fn bad_content_length(value: &str) -> (u16, String) {
+    (400, format!("bad Content-Length '{value}'"))
+}
+
+/// Case-insensitive ASCII prefix test (header values arrive in any case).
+fn starts_with_ignore_ascii_case(value: &str, prefix: &str) -> bool {
+    value.len() >= prefix.len()
+        && value.as_bytes()[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
+}
+
+/// Reads and parses one request head into reused buffers. `Ok(None)` is a
+/// clean end of the connection: EOF — or an idle timeout — before the first
+/// byte of a next request.
+fn read_head(
+    reader: &mut BufReader<TcpStream>,
+    buffers: &mut WorkerBuffers,
+) -> Result<Option<RequestHead>, (u16, String)> {
     // The whole head (request line + headers) is read through a byte cap:
     // a drip-fed endless line must error out, not grow a String forever.
     const MAX_HEAD: u64 = 64 << 10;
     let mut head = reader.by_ref().take(MAX_HEAD);
 
-    // A read timeout anywhere in the head is the slowloris case: 408.
-    let head_read_error = |e: &std::io::Error, what: &str| {
-        if is_timeout(e) {
-            (408, format!("timed out reading {what}"))
-        } else {
-            (400, format!("bad {what}: {e}"))
+    let line = &mut buffers.head;
+    line.clear();
+    match head.read_line(line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => {
+            // A timeout with nothing read is an idle keep-alive connection
+            // going away, not a slowloris: close without a 408.
+            if is_timeout(&e) && line.is_empty() {
+                return Ok(None);
+            }
+            return Err(head_read_error(&e, "request line"));
         }
-    };
-
-    let mut line = String::new();
-    head.read_line(&mut line)
-        .map_err(|e| head_read_error(&e, "request line"))?;
+    }
     if !line.ends_with('\n') {
         return Err((400, "request line too long".to_owned()));
     }
     let mut parts = line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or((400, "empty request line".to_owned()))?
-        .to_owned();
+    let method = match parts.next() {
+        Some("GET") => Method::Get,
+        Some("HEAD") => Method::Head,
+        Some("POST") => Method::Post,
+        Some(_) => Method::Other,
+        None => return Err((400, "empty request line".to_owned())),
+    };
     let path = parts
         .next()
-        .ok_or((400, "request line without path".to_owned()))?
-        .to_owned();
+        .ok_or((400, "request line without path".to_owned()))?;
+    buffers.path.clear();
+    buffers.path.push_str(path);
+    // Only HTTP/1.1 defaults to keep-alive; HTTP/1.0 (or no version token)
+    // must opt in with `Connection: keep-alive`.
+    let http11 = parts.next() == Some("HTTP/1.1");
 
     let mut content_length = None;
-    let mut content_type = String::new();
+    let mut form_urlencoded = false;
     let mut chunked = false;
+    let mut close_requested = false;
+    let mut keep_alive_requested = false;
     loop {
-        let mut header = String::new();
-        head.read_line(&mut header)
-            .map_err(|e| head_read_error(&e, "header"))?;
-        if !header.ends_with('\n') {
+        line.clear();
+        if let Err(e) = head.read_line(line) {
+            return Err(head_read_error(&e, "header"));
+        }
+        if !line.ends_with('\n') {
             return Err((400, "header section too large".to_owned()));
         }
-        let header = header.trim_end();
+        let header = line.trim_end();
         if header.is_empty() {
             break;
         }
@@ -630,24 +904,35 @@ fn read_head(reader: &mut BufReader<TcpStream>) -> Result<RequestHead, (u16, Str
                 content_length = Some(
                     value
                         .parse::<usize>()
-                        .map_err(|_| (400, format!("bad Content-Length '{value}'")))?,
+                        .map_err(|_| bad_content_length(value))?,
                 );
             } else if name.eq_ignore_ascii_case("content-type") {
-                content_type = value.to_ascii_lowercase();
+                form_urlencoded =
+                    starts_with_ignore_ascii_case(value, "application/x-www-form-urlencoded");
             } else if name.eq_ignore_ascii_case("transfer-encoding") {
                 chunked |= value
                     .split(',')
                     .any(|token| token.trim().eq_ignore_ascii_case("chunked"));
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    close_requested |= token.eq_ignore_ascii_case("close");
+                    keep_alive_requested |= token.eq_ignore_ascii_case("keep-alive");
+                }
             }
         }
     }
-    Ok(RequestHead {
+    Ok(Some(RequestHead {
         method,
-        path,
-        content_type,
+        form_urlencoded,
         content_length,
         chunked,
-    })
+        close: if http11 {
+            close_requested
+        } else {
+            !keep_alive_requested
+        },
+    }))
 }
 
 /// Extracts and percent-decodes the `query` parameter of a query string or
@@ -707,38 +992,53 @@ fn answer_query(
     stream: &mut TcpStream,
     source: &dyn EngineSource,
     text: &str,
+    opts: RespondOptions,
+    response: &mut String,
+    out: &mut Vec<u8>,
 ) -> std::io::Result<()> {
+    response.clear();
     let query = match parse_query(text) {
         Ok(query) => query,
         Err(error) => {
-            return respond(
-                stream,
-                400,
-                "application/json",
-                &error_json(&error.to_string()),
-            )
+            error_json_into(response, &error.to_string());
+            return respond(stream, 400, "application/json", response, opts, out);
         }
     };
     // One engine — hence one frozen epoch — for the whole request.
     let engine = source.current();
     let solutions = engine.execute(&query);
-    let body = match query.form {
-        QueryForm::Ask => format!("{{\"head\":{{}},\"boolean\":{}}}\n", !solutions.is_empty()),
-        QueryForm::Select => results_json(&solutions, &engine),
-    };
-    respond(stream, 200, "application/sparql-results+json", &body)
+    match query.form {
+        QueryForm::Ask => {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                response,
+                "{{\"head\":{{}},\"boolean\":{}}}",
+                !solutions.is_empty()
+            );
+        }
+        QueryForm::Select => results_json_into(response, &solutions, &engine),
+    }
+    respond(
+        stream,
+        200,
+        "application/sparql-results+json",
+        response,
+        opts,
+        out,
+    )
 }
 
-/// Renders a solution set in the SPARQL 1.1 Query Results JSON format.
-fn results_json(solutions: &SolutionSet, engine: &SnapshotQueryEngine) -> String {
-    let mut out = String::with_capacity(64 + solutions.len() * 64);
+/// Renders a solution set in the SPARQL 1.1 Query Results JSON format into
+/// the reused response buffer.
+fn results_json_into(out: &mut String, solutions: &SolutionSet, engine: &SnapshotQueryEngine) {
+    out.reserve(64 + solutions.len() * 64);
     out.push_str("{\"head\":{\"vars\":[");
     for (i, var) in solutions.variables().iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push('"');
-        json_escape_into(&mut out, var);
+        json_escape_into(out, var);
         out.push('"');
     }
     out.push_str("]},\"results\":{\"bindings\":[");
@@ -758,14 +1058,13 @@ fn results_json(solutions: &SolutionSet, engine: &SnapshotQueryEngine) -> String
             }
             first = false;
             out.push('"');
-            json_escape_into(&mut out, var);
+            json_escape_into(out, var);
             out.push_str("\":");
-            term_json_into(&mut out, term);
+            term_json_into(out, term);
         }
         out.push('}');
     }
     out.push_str("]}}\n");
-    out
 }
 
 fn term_json_into(out: &mut String, term: &Term) {
@@ -811,35 +1110,63 @@ fn json_escape_into(out: &mut String, value: &str) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }
     }
 }
 
-fn error_json(message: &str) -> String {
-    let mut out = String::from("{\"error\":\"");
-    json_escape_into(&mut out, message);
+/// Renders `{"error":"…"}\n` into the reused response buffer.
+fn error_json_into(out: &mut String, message: &str) {
+    out.push_str("{\"error\":\"");
+    json_escape_into(out, message);
     out.push_str("\"}\n");
-    out
 }
 
+/// Per-response rendering switches of [`respond`].
+#[derive(Clone, Copy)]
+struct RespondOptions {
+    /// `HEAD`: send the headers (with the real `Content-Length`) but no
+    /// body.
+    head_only: bool,
+    /// Announce `Connection: keep-alive` and leave the stream open;
+    /// otherwise `Connection: close`.
+    keep_alive: bool,
+    /// Adds a `Retry-After: <secs>` header (503 responses).
+    retry_after_secs: Option<u64>,
+}
+
+impl RespondOptions {
+    /// A full-body response that closes the connection — error paths where
+    /// the request framing is unknown.
+    fn closing() -> RespondOptions {
+        RespondOptions {
+            head_only: false,
+            keep_alive: false,
+            retry_after_secs: None,
+        }
+    }
+
+    fn with_retry_after(self, secs: u64) -> RespondOptions {
+        RespondOptions {
+            retry_after_secs: Some(secs),
+            ..self
+        }
+    }
+}
+
+/// Renders status line, headers and body into the reused `out` buffer and
+/// sends them with a single `write_all` — the only per-request socket write
+/// on the happy path.
 fn respond(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     body: &str,
-) -> std::io::Result<()> {
-    respond_with(stream, status, content_type, &[], body)
-}
-
-fn respond_with(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    extra_headers: &[(&str, &str)],
-    body: &str,
+    opts: RespondOptions,
+    out: &mut Vec<u8>,
 ) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
@@ -853,18 +1180,24 @@ fn respond_with(
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    let mut headers = String::new();
-    for (name, value) in extra_headers {
-        headers.push_str(name);
-        headers.push_str(": ");
-        headers.push_str(value);
-        headers.push_str("\r\n");
-    }
+    out.clear();
     write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{headers}Connection: close\r\n\r\n{body}",
+        out,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         body.len(),
     )?;
+    if let Some(secs) = opts.retry_after_secs {
+        write!(out, "Retry-After: {secs}\r\n")?;
+    }
+    if opts.keep_alive {
+        out.extend_from_slice(b"Connection: keep-alive\r\n\r\n");
+    } else {
+        out.extend_from_slice(b"Connection: close\r\n\r\n");
+    }
+    if !opts.head_only {
+        out.extend_from_slice(body.as_bytes());
+    }
+    stream.write_all(out)?;
     stream.flush()
 }
 
@@ -905,9 +1238,18 @@ mod tests {
         (server, snapshots, dictionary)
     }
 
+    /// Inserts `Connection: close` before the blank line ending the head:
+    /// these one-shot helpers read to EOF, so they must opt out of the
+    /// keep-alive default.
+    fn with_close(request: &str) -> String {
+        request.replacen("\r\n\r\n", "\r\nConnection: close\r\n\r\n", 1)
+    }
+
     fn http(addr: SocketAddr, request: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
-        stream.write_all(request.as_bytes()).expect("send");
+        stream
+            .write_all(with_close(request).as_bytes())
+            .expect("send");
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
         let status: u16 = response
@@ -1172,7 +1514,9 @@ mod tests {
     /// Raw variant of [`http`]: the full response including headers.
     fn http_raw(addr: SocketAddr, request: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
-        stream.write_all(request.as_bytes()).expect("send");
+        stream
+            .write_all(with_close(request).as_bytes())
+            .expect("send");
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
         response
@@ -1359,6 +1703,207 @@ mod tests {
         );
         assert_eq!(status, 200);
         assert_eq!(sink.bodies.lock().unwrap().len(), 1);
+        server.shutdown();
+    }
+
+    /// Reads one framed response off a persistent connection: status line,
+    /// headers, then exactly `Content-Length` body bytes — the stream stays
+    /// positioned at the next response.
+    fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String, String) {
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read header line");
+            assert!(!line.is_empty(), "connection closed mid-head: {head}");
+            if line == "\r\n" {
+                break;
+            }
+            head.push_str(&line);
+        }
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .trim()
+            .parse()
+            .expect("numeric Content-Length");
+        let mut body = vec![0u8; length];
+        reader.read_exact(&mut body).expect("read body");
+        (status, head, String::from_utf8(body).expect("utf-8 body"))
+    }
+
+    #[test]
+    fn keep_alive_serves_pipelined_requests_and_sees_midstream_publishes() {
+        let (server, snapshots, dictionary) = start_server();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut reader = BufReader::new(stream);
+
+        // Request 1: default HTTP/1.1 keeps the connection open.
+        reader
+            .get_mut()
+            .write_all(b"GET /status HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let (status, head, body) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: keep-alive"), "head: {head}");
+        assert!(body.contains("\"epoch\":0"), "body: {body}");
+
+        // Publish a new epoch between two requests of the same connection.
+        let id_of = |iri: &str| dictionary.id_of(&Term::iri(iri.to_owned()));
+        let carol = id_of("http://ex/carol").unwrap();
+        let alice = id_of("http://ex/alice").unwrap();
+        let knows = id_of("http://ex/knows").unwrap();
+        snapshots.update(|store| {
+            store.add_triple(inferray_model::IdTriple::new(carol, knows, alice));
+        });
+
+        // Request 2 (same connection) answers from the new epoch.
+        reader
+            .get_mut()
+            .write_all(b"GET /status HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let (_, _, body) = read_response(&mut reader);
+        assert!(body.contains("\"epoch\":1"), "body: {body}");
+
+        // Pipelining: several requests written back-to-back before reading
+        // any response, mixing queries and a parse error (a route-level 400
+        // must not kill the connection).
+        let ask = "ASK { <http://ex/carol> <http://ex/knows> <http://ex/alice> }";
+        let mut burst = format!(
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{ask}",
+            ask.len()
+        );
+        burst.push_str("GET /sparql?query=nonsense HTTP/1.1\r\nHost: t\r\n\r\n");
+        burst.push_str("GET /status HTTP/1.1\r\nHost: t\r\n\r\n");
+        reader.get_mut().write_all(burst.as_bytes()).expect("send");
+        let (status, _, body) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"boolean\":true"), "body: {body}");
+        let (status, head, _) = read_response(&mut reader);
+        assert_eq!(status, 400);
+        assert!(head.contains("Connection: keep-alive"), "head: {head}");
+        let (status, _, body) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"triples\":4"), "body: {body}");
+
+        // `Connection: close` is honored: response says so and EOF follows.
+        reader
+            .get_mut()
+            .write_all(b"GET /status HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .expect("send");
+        let (status, head, _) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: close"), "head: {head}");
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).expect("drain");
+        assert!(rest.is_empty(), "bytes after close: {rest}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn head_requests_return_get_headers_without_a_body() {
+        let (server, _snapshots, _dictionary) = start_server();
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut reader = BufReader::new(stream);
+
+        // HEAD /status announces the GET body length but sends none — the
+        // next response must start right after the blank line.
+        reader
+            .get_mut()
+            .write_all(b"HEAD /status HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read header line");
+            if line == "\r\n" {
+                break;
+            }
+            head.push_str(&line);
+        }
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        let announced: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length")
+            .trim()
+            .parse()
+            .expect("numeric");
+        assert!(announced > 0);
+
+        // GET on the same connection: the body length matches what HEAD
+        // announced, proving no body bytes leaked into the stream.
+        reader
+            .get_mut()
+            .write_all(b"GET /status HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let (status, _, body) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(body.len(), announced);
+
+        // HEAD /sparql evaluates the query and frames the result length.
+        let query = percent_encode_for_test("SELECT ?x WHERE { ?x <http://ex/knows> ?y }");
+        reader
+            .get_mut()
+            .write_all(
+                format!(
+                    "HEAD /sparql?query={query} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).expect("read");
+        assert!(rest.starts_with("HTTP/1.1 200"), "response: {rest}");
+        let announced: usize = rest
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length")
+            .trim()
+            .parse()
+            .expect("numeric");
+        assert!(announced > 0);
+        let after_head = rest.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        assert!(after_head.is_empty(), "HEAD sent a body: {after_head}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_can_be_disabled_in_config() {
+        let server = bind_full(
+            ServerConfig {
+                keep_alive: false,
+                ..ServerConfig::default()
+            },
+            None,
+            None,
+        );
+        let addr = server.local_addr();
+        // No Connection header from the client: the server still closes.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /status HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 200"), "response: {response}");
+        assert!(
+            response.contains("Connection: close"),
+            "response: {response}"
+        );
         server.shutdown();
     }
 

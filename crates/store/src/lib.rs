@@ -45,7 +45,7 @@ pub use merge::{
     merge_new_pairs, merge_new_pairs_rebuild, merge_new_pairs_with, MergeOutcome, MergeStrategy,
 };
 pub use profile::AccessProfile;
-pub use property_table::PropertyTable;
+pub use property_table::{DistinctCount, PropertyTable};
 pub use query::TriplePattern;
-pub use snapshot::{SnapshotStore, StoreSnapshot};
+pub use snapshot::{unpoison, SnapshotStore, StoreSnapshot};
 pub use triple_store::TripleStore;

@@ -367,6 +367,27 @@ impl PropertyTable {
         rewritten
     }
 
+    /// Exact-or-bounded count of distinct **subjects**, derived from the
+    /// ⟨s,o⟩ layout: subjects form contiguous runs, so the count gallops
+    /// from run to run with one binary search each. At most `budget` runs
+    /// are probed — tables with that many subjects or fewer get an exact
+    /// count, larger ones a linear extrapolation over the scanned prefix.
+    ///
+    /// Cost is `O(budget · log n)` on the frozen array: cheap enough for
+    /// the query planner to call per pattern, with no cached state to
+    /// invalidate on mutation.
+    pub fn distinct_subjects(&self, budget: usize) -> DistinctCount {
+        distinct_keys_bounded(self.pairs(), budget)
+    }
+
+    /// Exact-or-bounded count of distinct **objects**, from the ⟨o,s⟩
+    /// cache (`None` when the cache is not materialized — published
+    /// snapshots always have it). Same contract as
+    /// [`PropertyTable::distinct_subjects`].
+    pub fn distinct_objects(&self, budget: usize) -> Option<DistinctCount> {
+        self.os_pairs().map(|os| distinct_keys_bounded(os, budget))
+    }
+
     /// Checks the table's structural invariants, returning a description of
     /// the first violation found:
     ///
@@ -403,6 +424,54 @@ impl PropertyTable {
             }
         }
         Ok(())
+    }
+}
+
+/// An exact-or-estimated distinct-key count (see
+/// [`PropertyTable::distinct_subjects`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistinctCount {
+    /// Number of distinct keys (exact, or a bounded estimate).
+    pub count: usize,
+    /// `true` when the full array was walked within the probe budget.
+    pub exact: bool,
+}
+
+/// Counts distinct first components of a flat sorted pair array by
+/// galloping across runs; extrapolates once `budget` runs were probed.
+fn distinct_keys_bounded(pairs: &[u64], budget: usize) -> DistinctCount {
+    let n = pairs.len() / 2;
+    let budget = budget.max(1);
+    let mut runs = 0usize;
+    let mut idx = 0usize; // pair index of the next unexamined run
+    while idx < n {
+        if runs == budget {
+            // Estimate: runs seen across the scanned prefix, scaled to the
+            // whole array. At least one more run exists (we stopped on it).
+            let scaled = runs.saturating_mul(n) / idx;
+            return DistinctCount {
+                count: scaled.clamp(runs + 1, n),
+                exact: false,
+            };
+        }
+        // Skip the run: upper bound of this subject within [idx, n).
+        let key = pairs[2 * idx];
+        let mut lo = idx + 1;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if pairs[2 * mid] <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        idx = lo;
+        runs += 1;
+    }
+    DistinctCount {
+        count: runs,
+        exact: true,
     }
 }
 
@@ -638,6 +707,68 @@ mod tests {
         t.add_pair(9, 9);
         t.finalize();
         assert_eq!(t.pairs(), &[9, 9]);
+    }
+
+    #[test]
+    fn distinct_counts_are_exact_within_budget() {
+        let mut t = PropertyTable::from_pairs(vec![1, 3, 1, 9, 2, 7, 5, 2, 5, 4, 5, 9]);
+        assert_eq!(
+            t.distinct_subjects(16),
+            DistinctCount {
+                count: 3,
+                exact: true
+            }
+        );
+        assert!(t.distinct_objects(16).is_none(), "no ⟨o,s⟩ cache yet");
+        t.ensure_os();
+        // Objects: {2, 3, 4, 7, 9} — 9 appears under two subjects.
+        assert_eq!(
+            t.distinct_objects(16),
+            Some(DistinctCount {
+                count: 5,
+                exact: true
+            })
+        );
+    }
+
+    #[test]
+    fn distinct_counts_estimate_past_the_budget() {
+        // 100 distinct subjects, one pair each: a budget of 10 scans the
+        // first 10 runs and extrapolates 10 * 100 / 10 = 100 exactly here
+        // (uniform runs), flagged inexact.
+        let pairs: Vec<u64> = (0..100u64).flat_map(|s| [s, s + 1000]).collect();
+        let t = PropertyTable::from_pairs(pairs);
+        let est = t.distinct_subjects(10);
+        assert!(!est.exact);
+        assert_eq!(est.count, 100);
+        // Skew: one subject owns half the table; the estimate is bounded
+        // by the real array size and at least the runs actually seen.
+        let mut skew: Vec<u64> = (0..50u64).flat_map(|o| [7, o]).collect();
+        skew.extend((100..150u64).flat_map(|s| [s, 1]));
+        let t = PropertyTable::from_pairs(skew);
+        let est = t.distinct_subjects(4);
+        assert!(!est.exact);
+        assert!(est.count >= 5 && est.count <= 100, "got {}", est.count);
+        // Exact when the budget covers everything.
+        assert_eq!(
+            t.distinct_subjects(64),
+            DistinctCount {
+                count: 51,
+                exact: true
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_counts_on_empty_table() {
+        let t = PropertyTable::new();
+        assert_eq!(
+            t.distinct_subjects(8),
+            DistinctCount {
+                count: 0,
+                exact: true
+            }
+        );
     }
 
     #[test]

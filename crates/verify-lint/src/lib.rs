@@ -12,6 +12,7 @@
 //! | IL004 | lock-acquisition ordering across the publish/persist protocols |
 //! | IL005 | no `std::process::exit` outside `src/bin` |
 //! | IL006 | manifest hygiene: intra-workspace deps via `workspace = true`, no version drift |
+//! | IL007 | no per-request allocation (`format!`/`String::new`/`Vec::new`) in the serving hot path |
 //!
 //! Findings a human has justified live in `crates/verify-lint/allowlist.txt`
 //! (rule, path suffix, line substring, justification); unused entries are
@@ -541,6 +542,7 @@ pub fn run(root: &Path) -> Result<LintOutcome, String> {
     diagnostics.extend(rules::il004_lock_order(&files));
     diagnostics.extend(rules::il005_no_process_exit(&files));
     diagnostics.extend(rules::il006_manifest_hygiene(&manifests, &members));
+    diagnostics.extend(rules::il007_no_hot_path_allocation(&files));
     diagnostics.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
 
     let allowlist_text =

@@ -1,4 +1,4 @@
-//! The six lint rules. Each is a pure function from prepared sources to
+//! The seven lint rules. Each is a pure function from prepared sources to
 //! diagnostics so the fixture tests can drive them directly.
 
 use crate::{calls_in, index_functions, Diagnostic, SourceFile};
@@ -262,8 +262,11 @@ pub struct LockClass {
 }
 
 /// The repo's documented lock order: persist state → serving writer →
-/// serving base → dictionary → snapshot-store writer → snapshot cell →
-/// status mirror (leaf). See docs/static-analysis.md.
+/// serving base → dictionary → snapshot-store writer → snapshot slot cell →
+/// status mirror (leaf). Readers of the snapshot handoff only ever
+/// `try_lock` the slot cell (never blocking), but the acquisition still
+/// ranks so a cell-holding path can never turn around and take an outer
+/// lock. See docs/static-analysis.md.
 pub const LOCK_CLASSES: &[LockClass] = &[
     LockClass {
         file_suffix: "crates/persist/src/durable.rs",
@@ -303,15 +306,15 @@ pub const LOCK_CLASSES: &[LockClass] = &[
     },
     LockClass {
         file_suffix: "crates/store/src/snapshot.rs",
-        pattern: "self.current.read(",
+        pattern: ".cell.lock(",
         rank: 6,
-        name: "snapshot cell",
+        name: "snapshot slot cell",
     },
     LockClass {
         file_suffix: "crates/store/src/snapshot.rs",
-        pattern: "self.current.write(",
+        pattern: ".cell.try_lock(",
         rank: 6,
-        name: "snapshot cell",
+        name: "snapshot slot cell",
     },
     LockClass {
         file_suffix: "crates/persist/src/durable.rs",
@@ -667,5 +670,74 @@ pub fn il006_manifest_hygiene(
             }
         }
     }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// IL007 — zero-allocation serving hot path
+// ---------------------------------------------------------------------------
+
+/// The per-request serving path in `crates/query/src/server.rs`: the
+/// connection loop, request parsing, query answering and response rendering.
+/// `worker_loop` allocates the reusable [`WorkerBuffers`] once per worker and
+/// is deliberately *not* listed; everything it calls per request is.
+pub const SERVING_HOT_FUNCTIONS: &[&str] = &[
+    "handle_connection",
+    "serve_request",
+    "read_head",
+    "query_from_query_string",
+    "percent_decode",
+    "answer_query",
+    "results_json_into",
+    "term_json_into",
+    "json_escape_into",
+    "error_json_into",
+    "respond",
+];
+
+/// Allocation constructors banned per request. `String::with_capacity` /
+/// `Vec::with_capacity` and `to_owned`/`to_string` are *not* banned: the
+/// former sizes a buffer once, and the latter show up only on cold error
+/// arms that a token scan cannot tell apart from hot ones.
+const HOT_ALLOC_PATTERNS: &[&str] = &["format!(", "String::new(", "Vec::new("];
+
+/// IL007: the serving hot path must render into the per-worker reusable
+/// buffers — no fresh `format!`/`String::new`/`Vec::new` per request. Cold
+/// work (error-message construction, update handling) belongs in a dedicated
+/// function outside [`SERVING_HOT_FUNCTIONS`].
+pub fn il007_no_hot_path_allocation(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        let p = file.path.to_string_lossy().replace('\\', "/");
+        if !p.ends_with("crates/query/src/server.rs") {
+            continue;
+        }
+        for f in index_functions(&file.clean_no_tests)
+            .iter()
+            .filter(|f| SERVING_HOT_FUNCTIONS.contains(&f.name.as_str()))
+        {
+            let body = &file.clean_no_tests[f.body.clone()];
+            for pattern in HOT_ALLOC_PATTERNS {
+                let mut from = 0usize;
+                while let Some(offset) = body[from..].find(pattern) {
+                    let at = from + offset;
+                    from = at + pattern.len();
+                    out.push(Diagnostic {
+                        rule: "IL007",
+                        path: file.path.clone(),
+                        line: file.line_of(f.body.start + at),
+                        message: format!(
+                            "`{}` in serving hot function `{}` — write into the per-worker \
+                             reusable buffers (WorkerBuffers) instead, or move cold work \
+                             into a function outside the hot list",
+                            pattern.trim_end_matches('('),
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(|d| (d.path.clone(), d.line));
     out
 }

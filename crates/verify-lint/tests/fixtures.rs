@@ -154,6 +154,32 @@ fn il006_fires_on_manifest_drift() {
     );
 }
 
+#[test]
+fn il007_fires_on_hot_function_allocation_only() {
+    let files = vec![fixture("il007_hot_alloc.rs", "crates/query/src/server.rs")];
+    let diags = rules::il007_no_hot_path_allocation(&files);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "IL007"));
+    for (hot_fn, constructor) in [
+        ("serve_request", "`format!`"),
+        ("respond", "`String::new`"),
+        ("json_escape_into", "`Vec::new`"),
+    ] {
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains(hot_fn) && d.message.contains(constructor)),
+            "missing {constructor} in {hot_fn}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn il007_is_silent_outside_server_rs() {
+    let files = vec![fixture("il007_hot_alloc.rs", "crates/query/src/planner.rs")];
+    assert!(rules::il007_no_hot_path_allocation(&files).is_empty());
+}
+
 /// The whole pass over the real workspace: zero unallowlisted findings and
 /// zero stale allowlist entries — the same bar `cargo run -p
 /// inferray-verify-lint` enforces in CI.

@@ -326,6 +326,9 @@ fn corruption_anywhere_in_the_newest_image_falls_back_to_the_previous_one() {
 
 fn http(addr: SocketAddr, request: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
+    // This helper reads to EOF, so it must opt out of the server's
+    // keep-alive default.
+    let request = request.replacen("\r\n\r\n", "\r\nConnection: close\r\n\r\n", 1);
     stream.write_all(request.as_bytes()).expect("send");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("read");

@@ -15,7 +15,7 @@
 //! (writer-writer exclusion is the mutex's own guarantee, separately checked
 //! by the shim's unit tests).
 //!
-//! The three interleaving spaces (ISSUE 7 acceptance criteria):
+//! The four interleaving spaces (ISSUE 7 + ISSUE 8 acceptance criteria):
 //!
 //! 1. **Snapshot publish** (`SnapshotStore` + `ServingDataset`): the
 //!    dictionary is published *before* the store pointer swap, so no reader
@@ -26,8 +26,13 @@
 //! 3. **Retraction cache window** (`TripleStore::remove_pairs`): a published
 //!    table's ⟨o,s⟩ cache is always coherent with its pairs — removal
 //!    invalidates and the publish path rebuilds before the swap.
+//! 4. **Lock-free snapshot handoff** (`SnapshotStore::snapshot`): the
+//!    generation-stamped two-slot protocol — a reader completes in a
+//!    bounded number of lock-free steps no matter where a publishing
+//!    writer is frozen (never blocks behind a publish), and never
+//!    resolves ids against a lagging dictionary.
 
-use interleave::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use interleave::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use interleave::sync::{Arc, Mutex, RwLock};
 use interleave::{model, model_expect_violation, nondet, thread};
 
@@ -272,4 +277,123 @@ fn retract_never_publishes_a_stale_os_cache() {
 fn retract_seeded_missing_invalidation_bug_is_caught() {
     let violation = model_expect_violation(|| retract_cache_model(false));
     assert!(violation.contains("stale ⟨o,s⟩ cache"), "got: {violation}");
+}
+
+// ---------------------------------------------------------------------------
+// 4. Lock-free snapshot handoff: readers never block behind a publish.
+// ---------------------------------------------------------------------------
+
+/// The generation-stamped two-slot handoff of `SnapshotStore` (ISSUE 8),
+/// restated over tracked primitives. A slot's content is one word (the
+/// snapshot epoch — in production the slot mutex makes the `Arc` swap
+/// atomic, so the cell can never tear; what the model pins down is the
+/// *ordering*). The writer publishes epochs 1 and 2 so the second install
+/// re-targets the slot a stale reader may still be examining — the
+/// wrap-around case the stamp validation exists for. Install order per
+/// publish: dictionary → stamp odd → slot word → stamp even → active index.
+///
+/// The reader is the acquisition loop of `SnapshotStore::snapshot` with a
+/// **hard attempt bound**: at most one of the two publishes can disturb
+/// the slot a reader sampled, so two attempts must suffice in *every*
+/// interleaving — exhausting them would mean a reader can be held up by a
+/// publishing writer, exactly the blocking the slot protocol removes.
+///
+/// With `dictionary_first == false` the seeded bug publishes the snapshot
+/// before the dictionary that decodes its identifiers — the checker must
+/// find the interleaving where a reader resolves against the stale
+/// dictionary.
+fn lock_free_handoff_model(dictionary_first: bool) {
+    const SLOTS: usize = 2;
+    // slot → (generation stamp, content word); epoch 0 stable in slot 0.
+    // The content word is the snapshot's epoch; epoch ≥ 1 needs dictionary
+    // version 1 (epoch 2 mints no new identifiers, as a retraction would).
+    let slots: Arc<Vec<(AtomicU64, AtomicU64)>> = Arc::new(
+        (0..SLOTS)
+            .map(|_| (AtomicU64::new(0), AtomicU64::new(0)))
+            .collect(),
+    );
+    let active = Arc::new(AtomicUsize::new(0));
+    let dictionary = Arc::new(AtomicU64::new(0));
+
+    let writer = {
+        let slots = Arc::clone(&slots);
+        let active = Arc::clone(&active);
+        let dictionary = Arc::clone(&dictionary);
+        thread::spawn(move || {
+            for epoch in 1u64..=2 {
+                if epoch == 1 && dictionary_first {
+                    // The dictionary that epoch's identifiers need, first.
+                    dictionary.store(1, Ordering::SeqCst);
+                }
+                // Publish e lands in slot e % SLOTS (the writer mutex makes
+                // the target deterministic; keeping the computation local
+                // trims the schedule space without changing the protocol).
+                let target = epoch as usize % SLOTS;
+                let (stamp, word) = &slots[target];
+                // This slot's stamp history: two bumps per prior install.
+                let s = 2 * ((epoch - 1) / SLOTS as u64);
+                stamp.store(s + 1, Ordering::SeqCst); // odd: mid-install
+                word.store(epoch, Ordering::SeqCst);
+                stamp.store(s + 2, Ordering::SeqCst); // even: stable
+                active.store(target, Ordering::SeqCst);
+                if epoch == 1 && !dictionary_first {
+                    // Seeded bug: snapshot visible before its dictionary.
+                    dictionary.store(1, Ordering::SeqCst);
+                }
+            }
+        })
+    };
+
+    // The reader runs on the model's root thread (keeping the interleaving
+    // space two-way): the acquisition loop of `SnapshotStore::snapshot`.
+    let mut acquired = None;
+    for _attempt in 0..2 {
+        let idx = active.load(Ordering::SeqCst);
+        let (stamp, word) = &slots[idx % SLOTS];
+        let s1 = stamp.load(Ordering::SeqCst);
+        if s1 % 2 != 0 {
+            continue; // writer mid-install of this slot: re-sample
+        }
+        let epoch = word.load(Ordering::SeqCst);
+        if stamp.load(Ordering::SeqCst) != s1 {
+            continue; // slot was re-targeted under us: re-sample
+        }
+        let have = dictionary.load(Ordering::SeqCst);
+        let needs = epoch.min(1);
+        assert!(
+            have >= needs,
+            "reader resolved store ids against a lagging dictionary \
+             (snapshot epoch {epoch} needs dictionary {needs}, published is {have})"
+        );
+        acquired = Some(epoch);
+        break;
+    }
+    assert!(
+        acquired.is_some(),
+        "reader blocked behind a publishing writer (retries exhausted)"
+    );
+
+    writer.join();
+    // Quiescence: both publishes landed and the active slot is stable.
+    let idx = active.load(Ordering::SeqCst);
+    let (stamp, word) = &slots[idx % SLOTS];
+    assert_eq!(stamp.load(Ordering::SeqCst) % 2, 0);
+    assert_eq!(word.load(Ordering::SeqCst), 2);
+    assert_eq!(dictionary.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn lock_free_handoff_reader_never_blocks() {
+    let report = model(|| lock_free_handoff_model(true));
+    assert!(
+        report.schedules >= 50,
+        "expected a non-trivial interleaving space, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn lock_free_handoff_seeded_snapshot_before_dictionary_bug_is_caught() {
+    let violation = model_expect_violation(|| lock_free_handoff_model(false));
+    assert!(violation.contains("lagging dictionary"), "got: {violation}");
 }
