@@ -12,6 +12,7 @@ use inferray_model::ids::is_property_id;
 use inferray_model::{Graph, IdTriple, Triple};
 use inferray_parser::loader::{load_graph, LoadError, LoadedDataset};
 use inferray_parser::{parse_ntriples, Ingest, LoaderOptions};
+use inferray_rules::analysis::{self, Diagnostic};
 use inferray_rules::{Fragment, InferenceStats, Materializer};
 use inferray_store::{unpoison, SnapshotStore, StoreSnapshot, TripleStore};
 use std::sync::{Arc, Mutex, RwLock};
@@ -149,6 +150,13 @@ pub struct ServingDataset {
     writer: Mutex<()>,
     fragment: Fragment,
     options: InferrayOptions,
+    /// The symbolic rule program this dataset is closed under, when it was
+    /// created with [`ServingDataset::materialize_with_rules`]. Kept as
+    /// *text*, not as a compiled ruleset: every write recompiles it against
+    /// its private dictionary copy, so rule constants track identifier
+    /// promotions the data may cause (a compiled constant would go stale the
+    /// moment a delta promotes the resource it names to a property).
+    rules: Option<Arc<str>>,
 }
 
 impl ServingDataset {
@@ -170,8 +178,49 @@ impl ServingDataset {
             writer: Mutex::new(()),
             fragment,
             options,
+            rules: None,
         };
         (dataset, stats)
+    }
+
+    /// [`ServingDataset::materialize`] over an analyzer-loaded rule program
+    /// (`inferray_rules::analysis`) instead of a baked-in fragment: the rule
+    /// file is parsed, checked and compiled against the dataset's
+    /// dictionary, and every subsequent [`ServingDataset::extend`] /
+    /// [`ServingDataset::retract`] recompiles it against the then-current
+    /// dictionary and maintains the materialization through the same
+    /// incremental machinery. `Err` carries the positioned diagnostics that
+    /// make the file unloadable.
+    pub fn materialize_with_rules(
+        loaded: LoadedDataset,
+        rules: &str,
+        options: InferrayOptions,
+    ) -> Result<(Self, InferenceStats), Vec<Diagnostic>> {
+        let mut store = loaded.store;
+        let mut dictionary = loaded.dictionary;
+        let ruleset = analysis::load_ruleset(rules, &mut dictionary)?;
+        // A rule constant may promote a resource the data already interned
+        // (e.g. the data mentions `<urn:rel>` only in object position and a
+        // rule uses it as a predicate); patch the store like the loader does.
+        if dictionary.has_pending_promotions() {
+            let remap: std::collections::HashMap<u64, u64> =
+                dictionary.take_promotions().into_iter().collect();
+            apply_promotion_remap(&mut store, &remap);
+        }
+        store.finalize();
+        let base = store.clone();
+        let fragment = ruleset.fragment;
+        let stats = InferrayReasoner::with_ruleset(ruleset, options).materialize(&mut store);
+        let dataset = ServingDataset {
+            snapshots: SnapshotStore::new(store),
+            dictionary: RwLock::new(Arc::new(dictionary)),
+            base: Mutex::new(base),
+            writer: Mutex::new(()),
+            fragment,
+            options,
+            rules: Some(Arc::from(rules)),
+        };
+        Ok((dataset, stats))
     }
 
     /// Reassembles a dataset from externally persisted parts — the recovery
@@ -197,6 +246,24 @@ impl ServingDataset {
             writer: Mutex::new(()),
             fragment,
             options,
+            rules: None,
+        }
+    }
+
+    /// The reasoner every write of this dataset runs: the baked-in fragment
+    /// reasoner, or — for a rule-program dataset — one over the program
+    /// recompiled against `dictionary` (see the `rules` field for why the
+    /// recompilation is per-write).
+    fn write_reasoner(&self, dictionary: &mut Dictionary) -> Result<InferrayReasoner, LoadError> {
+        match &self.rules {
+            None => Ok(InferrayReasoner::with_options(self.fragment, self.options)),
+            Some(text) => {
+                let ruleset = analysis::load_ruleset(text, dictionary).map_err(|diags| {
+                    let list: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+                    LoadError::Encode(format!("rule program: {}", list.join("; ")))
+                })?;
+                Ok(InferrayReasoner::with_ruleset(ruleset, self.options))
+            }
         }
     }
 
@@ -275,6 +342,10 @@ impl ServingDataset {
                     .map_err(|e| LoadError::Encode(e.to_string()))?,
             );
         }
+        // Recompile the rule program (if any) against the private dictionary
+        // before draining promotions, so its constants carry the same —
+        // possibly promoted — identifiers as the delta and the store.
+        let mut reasoner = self.write_reasoner(&mut dictionary)?;
         // A delta may use an already-interned *resource* as a predicate,
         // which promotes it to a new property identifier. The copied store,
         // the explicit base and any delta triple encoded before the
@@ -303,7 +374,6 @@ impl ServingDataset {
             next_base.add_triple(*triple);
         }
         next_base.finalize();
-        let mut reasoner = InferrayReasoner::with_options(self.fragment, self.options);
         let stats = reasoner.materialize_delta(&mut store, delta);
 
         // Publish: dictionary before store (see the type docs).
@@ -361,10 +431,21 @@ impl ServingDataset {
             })
             .collect();
 
+        // The rule program (if any) recompiles against a throwaway clone of
+        // the append-only dictionary: every rule constant was interned —
+        // with its final property status — when the dataset was
+        // materialized, so this compile cannot promote or intern anything.
+        let mut reasoner = {
+            let mut dict = (*dictionary).clone();
+            let reasoner = self
+                .write_reasoner(&mut dict)
+                .expect("rule program compiled when the dataset was materialized");
+            debug_assert!(!dict.has_pending_promotions());
+            reasoner
+        };
         let mut store = self.snapshots.snapshot().store().clone();
         let mut base = unpoison(self.base.lock());
         let mut next_base = base.clone();
-        let mut reasoner = InferrayReasoner::with_options(self.fragment, self.options);
         let stats = reasoner.retract_delta(&mut store, &mut next_base, delta);
 
         let epoch = if stats.retracted_explicit > 0 {
@@ -745,6 +826,69 @@ ex:Bart a ex:human .
         let (b, _) = rebuilt.snapshot();
         assert_eq!(a.store(), b.store());
         assert_eq!(dataset.base_len(), rebuilt.base_len());
+    }
+
+    #[test]
+    fn serving_with_a_rule_program_extends_and_retracts_live() {
+        let rules = "@prefix ex: <http://ex/> .\n\
+                     rule gp: ?x ex:parent ?y, ?y ex:parent ?z => ?x ex:grandparent ?z .\n";
+        let mut g = Graph::new();
+        g.insert_iris("http://ex/a", "http://ex/parent", "http://ex/b");
+        let loaded = inferray_parser::loader::load_graph(&g).unwrap();
+        let (dataset, stats) =
+            ServingDataset::materialize_with_rules(loaded, rules, InferrayOptions::default())
+                .unwrap();
+        assert_eq!(stats.inferred_triples(), 0, "no chain of two yet");
+
+        // The delta completes the chain: the custom rule fires through the
+        // incremental path and the result is published as a new epoch.
+        dataset
+            .extend([Triple::iris(
+                "http://ex/b",
+                "http://ex/parent",
+                "http://ex/c",
+            )])
+            .unwrap();
+        assert_eq!(dataset.epoch(), 1);
+        assert!(contains(
+            &dataset,
+            "http://ex/a",
+            "http://ex/grandparent",
+            "http://ex/c"
+        ));
+
+        // Retracting the asserted edge un-derives the grandparent triple.
+        let (rstats, epoch) = dataset.retract([Triple::iris(
+            "http://ex/b",
+            "http://ex/parent",
+            "http://ex/c",
+        )]);
+        assert_eq!(rstats.retracted_explicit, 1);
+        assert_eq!(epoch, 2);
+        assert!(!contains(
+            &dataset,
+            "http://ex/a",
+            "http://ex/grandparent",
+            "http://ex/c"
+        ));
+        assert!(contains(
+            &dataset,
+            "http://ex/a",
+            "http://ex/parent",
+            "http://ex/b"
+        ));
+    }
+
+    #[test]
+    fn serving_rejects_a_rule_program_with_errors() {
+        let loaded = inferray_parser::loader::load_graph(&family()).unwrap();
+        let err = ServingDataset::materialize_with_rules(
+            loaded,
+            "rule bad: ?x <urn:p> ?y => ?x <urn:q> ?z .",
+            InferrayOptions::default(),
+        )
+        .expect_err("unsafe head variable");
+        assert!(err.iter().any(|d| d.code == "RA003"));
     }
 
     #[test]

@@ -26,7 +26,8 @@ use inferray_model::ids::is_property_id;
 use inferray_model::IdTriple;
 use inferray_parallel::ThreadPool;
 use inferray_rules::{
-    apply_rule, Fragment, InferenceStats, Materializer, RuleClass, RuleContext, RuleId, Ruleset,
+    analysis, apply_rule, Fragment, InferenceStats, Materializer, RuleClass, RuleContext, RuleId,
+    RuleRef, Ruleset,
 };
 use inferray_sort::SortScratch;
 use inferray_store::{
@@ -154,6 +155,16 @@ pub fn run_table_update(
     }
 }
 
+/// Fires one rule of `ruleset` over `ctx`, appending to `out`: a catalog
+/// built-in through its hand-written class executor, a custom rule through
+/// the generic analyzer executor.
+fn fire_one(ruleset: &Ruleset, rule: RuleRef, ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    match rule {
+        RuleRef::Builtin(id) => apply_rule(id, ctx, out),
+        RuleRef::Custom(i) => analysis::apply_compiled(&ruleset.custom_rules()[i], ctx, out),
+    }
+}
+
 impl InferrayReasoner {
     /// A reasoner for one of the standard fragments, with default options.
     pub fn new(fragment: Fragment) -> Self {
@@ -199,15 +210,18 @@ impl InferrayReasoner {
     /// Applies the given rules once over (`main`, `new`), returning the
     /// combined inferred buffer. Each rule owns its buffer; with a pool each
     /// rule also runs as its own task (§4.3). Buffers are absorbed in rule
-    /// order, so the combined buffer is schedule-independent.
+    /// order, so the combined buffer is schedule-independent. Built-ins run
+    /// their hand-written class executors; custom (analyzer-compiled) rules
+    /// run the generic semi-naive join.
     fn fire_rules(
         &self,
         pool: Option<&ThreadPool>,
         main: &TripleStore,
         new: &TripleStore,
-        rules: &[RuleId],
+        rules: &[RuleRef],
     ) -> InferredBuffer {
         let mut combined = InferredBuffer::new();
+        let ruleset = &self.ruleset;
         match pool {
             Some(pool) if rules.len() > 1 => {
                 let tasks: Vec<_> = rules
@@ -216,7 +230,7 @@ impl InferrayReasoner {
                         move || {
                             let ctx = RuleContext::new(main, new);
                             let mut buffer = InferredBuffer::new();
-                            apply_rule(rule, &ctx, &mut buffer);
+                            fire_one(ruleset, rule, &ctx, &mut buffer);
                             buffer
                         }
                     })
@@ -228,7 +242,7 @@ impl InferrayReasoner {
             _ => {
                 let ctx = RuleContext::new(main, new);
                 for &rule in rules {
-                    apply_rule(rule, &ctx, &mut combined);
+                    fire_one(ruleset, rule, &ctx, &mut combined);
                 }
             }
         }
@@ -398,13 +412,13 @@ impl InferrayReasoner {
             // exactly the one-step consequences that use at least one
             // deleted premise. The θ rules are excluded — their executors
             // cannot see "un-derivable" pairs — and handled below.
-            let scheduled: Vec<RuleId> = if self.options.schedule_rules {
-                self.ruleset.scheduled_rules(store, &frontier)
+            let scheduled: Vec<RuleRef> = if self.options.schedule_rules {
+                self.ruleset.scheduled_refs(store, &frontier)
             } else {
-                self.ruleset.rules().to_vec()
+                self.ruleset.all_refs()
             }
             .into_iter()
-            .filter(|r| r.class() != RuleClass::Theta)
+            .filter(|r| !matches!(r, RuleRef::Builtin(id) if id.class() == RuleClass::Theta))
             .collect();
             let mut candidates = self.fire_rules(pool, store, &frontier, &scheduled);
             self.collect_theta_over_deletions(store, &frontier, &mut candidates);
@@ -445,16 +459,18 @@ impl InferrayReasoner {
                 // only the tables the deletions invalidated re-sort.
                 store.ensure_all_os_with(&mut scratch);
                 let mut supported: Vec<IdTriple> = Vec::new();
-                let mut rules_for: BTreeMap<u64, Vec<RuleId>> = BTreeMap::new();
+                let mut rules_for: BTreeMap<u64, Vec<RuleRef>> = BTreeMap::new();
                 for &candidate in &removed {
                     let rules = rules_for.entry(candidate.p).or_insert_with(|| {
                         self.ruleset
-                            .rederive_rules(store, &BTreeSet::from([candidate.p]))
+                            .rederive_refs(store, &BTreeSet::from([candidate.p]))
                     });
-                    if rules
-                        .iter()
-                        .any(|&rule| inferray_rules::is_supported(rule, store, candidate))
-                    {
+                    if rules.iter().any(|&rule| match rule {
+                        RuleRef::Builtin(id) => inferray_rules::is_supported(id, store, candidate),
+                        RuleRef::Custom(i) => {
+                            analysis::supports(&self.ruleset.custom_rules()[i], store, candidate)
+                        }
+                    }) {
                         supported.push(candidate);
                     }
                 }
@@ -590,14 +606,14 @@ impl InferrayReasoner {
             // previous iteration — exactly the tables of `new` — can derive
             // anything but duplicates (§4.3). The `schedule_rules` escape
             // hatch forces the full ruleset everywhere.
-            let scheduled: Vec<RuleId> = if !self.options.schedule_rules {
-                self.ruleset.rules().to_vec()
+            let scheduled: Vec<RuleRef> = if !self.options.schedule_rules {
+                self.ruleset.all_refs()
             } else if outcome.iterations > 1 {
-                self.ruleset.scheduled_rules(store, &new)
+                self.ruleset.scheduled_refs(store, &new)
             } else {
                 match first_fire {
-                    FirstFire::All => self.ruleset.rules().to_vec(),
-                    FirstFire::Scheduled => self.ruleset.scheduled_rules(store, &new),
+                    FirstFire::All => self.ruleset.all_refs(),
+                    FirstFire::Scheduled => self.ruleset.scheduled_refs(store, &new),
                 }
             };
             let fire_start = Instant::now();
@@ -708,7 +724,9 @@ impl Materializer for InferrayReasoner {
         let input_triples = store.len();
 
         // Step 1 (Algorithm 1, line 2): dedicated transitive-closure stage.
-        if !self.options.skip_closure_stage {
+        // Analyzer-loaded rulesets that are not an exact fragment skip it —
+        // the in-loop θ executors reach the same fixed point.
+        if !self.options.skip_closure_stage && self.ruleset.runs_closure_stage() {
             self.last_closure_stats = run_closure_stage(store, self.ruleset.fragment, &mut profile);
         } else {
             self.last_closure_stats = ClosureStageStats::default();

@@ -1,0 +1,365 @@
+//! The analyzer's pass pipeline over parsed rules: safety, duplicate and
+//! dead-rule detection, shadowing, and the predicate dependency graph.
+//!
+//! Every pass emits positioned diagnostics (`RA003`–`RA008`); only the
+//! error-severity ones make a file unloadable. The passes are purely
+//! symbolic — they run before any dictionary is involved, so `rules check`
+//! can vet a file without a store.
+
+use super::diag::{Diagnostic, Severity};
+use super::parse::{SymAtom, SymRule, SymTerm};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Runs every check pass over the parsed rules.
+pub fn check(rules: &[SymRule]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_names(rules, &mut diags);
+    for rule in rules {
+        check_safety(rule, &mut diags);
+        check_dead(rule, &mut diags);
+        check_unbound_patterns(rule, &mut diags);
+    }
+    check_shadowing(rules, &mut diags);
+    check_recursion(rules, &mut diags);
+    diags
+}
+
+/// RA004: rule names must be unique — the name is the retraction/scheduling
+/// identity of the rule, so a duplicate would make diagnostics and
+/// `rules explain` output ambiguous.
+fn check_names(rules: &[SymRule], diags: &mut Vec<Diagnostic>) {
+    let mut seen: HashMap<&str, &SymRule> = HashMap::new();
+    for rule in rules {
+        if let Some(first) = seen.get(rule.name.as_str()) {
+            diags.push(Diagnostic::new(
+                "RA004",
+                Severity::Error,
+                rule.span.line,
+                rule.span.col,
+                format!(
+                    "duplicate rule name `{}` (first defined at {}:{})",
+                    rule.name, first.span.line, first.span.col
+                ),
+            ));
+        } else {
+            seen.insert(&rule.name, rule);
+        }
+    }
+}
+
+fn vars_of(atom: &SymAtom) -> impl Iterator<Item = &str> {
+    [&atom.s, &atom.p, &atom.o].into_iter().filter_map(|t| {
+        if let SymTerm::Var(name) = t {
+            Some(name.as_str())
+        } else {
+            None
+        }
+    })
+}
+
+/// RA003: range restriction (safety) — every head variable must be bound by
+/// a body atom, otherwise the head is not ground when the body matches.
+fn check_safety(rule: &SymRule, diags: &mut Vec<Diagnostic>) {
+    let bound: HashSet<&str> = rule.body.iter().flat_map(vars_of).collect();
+    let mut reported: HashSet<&str> = HashSet::new();
+    for atom in &rule.head {
+        for var in vars_of(atom) {
+            if !bound.contains(var) && reported.insert(var) {
+                diags.push(Diagnostic::new(
+                    "RA003",
+                    Severity::Error,
+                    atom.span.line,
+                    atom.span.col,
+                    format!(
+                        "head variable `?{var}` of rule `{}` is not bound by any body atom",
+                        rule.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// RA005: a rule whose every head atom already occurs (syntactically) in its
+/// body derives nothing but its own premises — dead by construction.
+fn check_dead(rule: &SymRule, diags: &mut Vec<Diagnostic>) {
+    let tautological = |head: &SymAtom| {
+        rule.body
+            .iter()
+            .any(|b| b.s == head.s && b.p == head.p && b.o == head.o)
+    };
+    if !rule.head.is_empty() && rule.head.iter().all(tautological) {
+        diags.push(Diagnostic::new(
+            "RA005",
+            Severity::Error,
+            rule.span.line,
+            rule.span.col,
+            format!(
+                "dead rule `{}`: every head atom repeats a body atom, so it can only re-derive its own premises",
+                rule.name
+            ),
+        ));
+    }
+}
+
+/// RA006: a body atom with no constant position and no variable shared with
+/// the rest of the rule constrains nothing — it turns the join into a blind
+/// whole-store cross product that cannot influence the head.
+fn check_unbound_patterns(rule: &SymRule, diags: &mut Vec<Diagnostic>) {
+    for (i, atom) in rule.body.iter().enumerate() {
+        let all_vars = matches!(
+            (&atom.s, &atom.p, &atom.o),
+            (SymTerm::Var(_), SymTerm::Var(_), SymTerm::Var(_))
+        );
+        if !all_vars {
+            continue;
+        }
+        let mine: HashSet<&str> = vars_of(atom).collect();
+        let shared = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .flat_map(|(_, other)| vars_of(other))
+            .chain(rule.head.iter().flat_map(vars_of))
+            .any(|v| mine.contains(v));
+        if !shared {
+            diags.push(Diagnostic::new(
+                "RA006",
+                Severity::Error,
+                atom.span.line,
+                atom.span.col,
+                format!(
+                    "pattern with no bound position in rule `{}`: none of its variables appears in another atom or the head",
+                    rule.name
+                ),
+            ));
+        }
+    }
+}
+
+/// A canonical, alpha-renamed form of a rule: variables are numbered by
+/// first occurrence (body then head, subject/predicate/object order), so two
+/// rules that differ only in variable names compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub(super) enum CanonTerm {
+    /// Variable, numbered by first occurrence.
+    Var(u32),
+    /// IRI constant.
+    Const(String),
+}
+
+pub(super) type CanonAtom = (CanonTerm, CanonTerm, CanonTerm);
+
+/// Canonicalizes `(body, head)` — shared by the shadowing pass and the
+/// builtin-recognition table.
+pub(super) fn canonicalize(rule: &SymRule) -> (Vec<CanonAtom>, Vec<CanonAtom>) {
+    let mut numbers: HashMap<String, u32> = HashMap::new();
+    let mut conv = |term: &SymTerm| match term {
+        SymTerm::Iri(iri) => CanonTerm::Const(iri.clone()),
+        SymTerm::Var(name) => {
+            let next = numbers.len() as u32;
+            CanonTerm::Var(*numbers.entry(name.clone()).or_insert(next))
+        }
+    };
+    let mut atoms = |list: &[SymAtom]| {
+        list.iter()
+            .map(|a| (conv(&a.s), conv(&a.p), conv(&a.o)))
+            .collect::<Vec<_>>()
+    };
+    let body = atoms(&rule.body);
+    let head = atoms(&rule.head);
+    (body, head)
+}
+
+/// RA007: a rule that is alpha-equivalent to an earlier one (same body, same
+/// — or subsumed — head) is a duplicate or shadowed definition: it can never
+/// derive anything the earlier rule does not.
+fn check_shadowing(rules: &[SymRule], diags: &mut Vec<Diagnostic>) {
+    let canon: Vec<_> = rules.iter().map(canonicalize).collect();
+    for (i, rule) in rules.iter().enumerate() {
+        for j in 0..i {
+            if canon[i].0 != canon[j].0 {
+                continue;
+            }
+            let mine: BTreeSet<&CanonAtom> = canon[i].1.iter().collect();
+            let theirs: BTreeSet<&CanonAtom> = canon[j].1.iter().collect();
+            let verdict = if mine == theirs {
+                "duplicate of"
+            } else if mine.is_subset(&theirs) {
+                "shadowed by"
+            } else {
+                continue;
+            };
+            diags.push(Diagnostic::new(
+                "RA007",
+                Severity::Warning,
+                rule.span.line,
+                rule.span.col,
+                format!(
+                    "rule `{}` is a {verdict} rule `{}` ({}:{}) up to variable renaming",
+                    rule.name, rules[j].name, rules[j].span.line, rules[j].span.col
+                ),
+            ));
+            break;
+        }
+    }
+}
+
+/// RA008: the predicate dependency graph (body predicate → head predicate,
+/// constants only). Cycles are *allowed* — the engine evaluates to a fixed
+/// point — but each recursive rule is classified with an info diagnostic, so
+/// `rules check` shows which part of a program drives iteration count.
+fn check_recursion(rules: &[SymRule], diags: &mut Vec<Diagnostic>) {
+    let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for rule in rules {
+        for body in &rule.body {
+            let SymTerm::Iri(from) = &body.p else {
+                continue;
+            };
+            for head in &rule.head {
+                if let SymTerm::Iri(to) = &head.p {
+                    edges.entry(from).or_default().insert(to);
+                }
+            }
+        }
+    }
+    // A predicate is cyclic when it reaches itself through at least one edge.
+    let mut cyclic: HashSet<&str> = HashSet::new();
+    for &start in edges.keys() {
+        let mut stack: Vec<&str> = edges[start].iter().copied().collect();
+        let mut seen: HashSet<&str> = HashSet::new();
+        while let Some(node) = stack.pop() {
+            if node == start {
+                cyclic.insert(start);
+                break;
+            }
+            if seen.insert(node) {
+                if let Some(next) = edges.get(node) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+    }
+    for rule in rules {
+        let recursive = rule.head.iter().any(|h| match &h.p {
+            SymTerm::Iri(p) => cyclic.contains(p.as_str()),
+            SymTerm::Var(_) => false,
+        });
+        if recursive {
+            diags.push(Diagnostic::new(
+                "RA008",
+                Severity::Info,
+                rule.span.line,
+                rule.span.col,
+                format!(
+                    "rule `{}` derives a predicate that is part of a dependency cycle — evaluated to a fixed point",
+                    rule.name
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse::parse;
+    use super::*;
+
+    fn diags_for(text: &str) -> Vec<Diagnostic> {
+        let (rules, parse_diags) = parse(text);
+        assert!(parse_diags.is_empty(), "parse: {parse_diags:?}");
+        check(&rules)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn unsafe_head_variable_is_ra003() {
+        let diags = diags_for("rule bad: ?x <urn:p> ?y => ?x <urn:q> ?z .");
+        assert_eq!(codes(&diags), vec!["RA003"]);
+        assert!(diags[0].message.contains("?z"));
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn duplicate_name_is_ra004() {
+        let diags = diags_for(
+            "rule r: ?x <urn:p> ?y => ?y <urn:p> ?x .\nrule r: ?x <urn:q> ?y => ?y <urn:q> ?x .",
+        );
+        assert!(codes(&diags).contains(&"RA004"));
+        let d = diags.iter().find(|d| d.code == "RA004").unwrap();
+        assert_eq!(d.line, 2);
+        assert!(d.message.contains("first defined at 1:1"));
+    }
+
+    #[test]
+    fn dead_rule_is_ra005() {
+        let diags = diags_for("rule noop: ?x <urn:p> ?y => ?x <urn:p> ?y .");
+        assert!(codes(&diags).contains(&"RA005"));
+        // Deriving at least one new atom is not dead.
+        let diags = diags_for("rule half: ?x <urn:p> ?y => ?x <urn:p> ?y, ?y <urn:p> ?x .");
+        assert!(!codes(&diags).contains(&"RA005"));
+    }
+
+    #[test]
+    fn disconnected_all_variable_pattern_is_ra006() {
+        let diags = diags_for("rule bad: ?x <urn:p> ?y, ?a ?b ?c => ?x <urn:q> ?y .");
+        assert!(codes(&diags).contains(&"RA006"));
+        // Sharing one variable with the head is enough (RDFS4 shape).
+        let diags = diags_for("rule ok: ?a ?b ?c => ?a <urn:q> ?a .");
+        assert!(!codes(&diags).contains(&"RA006"));
+        // Sharing with another body atom is enough too.
+        let diags = diags_for("rule ok2: ?x <urn:p> ?y, ?y ?b ?c => ?x <urn:q> ?x .");
+        assert!(!codes(&diags).contains(&"RA006"));
+    }
+
+    #[test]
+    fn alpha_duplicate_is_ra007_warning() {
+        let diags = diags_for(
+            "rule one: ?x <urn:p> ?y => ?y <urn:p> ?x .\nrule two: ?a <urn:p> ?b => ?b <urn:p> ?a .",
+        );
+        let d = diags.iter().find(|d| d.code == "RA007").unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("duplicate of"));
+        assert_eq!(d.line, 2);
+    }
+
+    #[test]
+    fn subsumed_head_is_shadowed() {
+        let diags = diags_for(
+            "rule big: ?x <urn:p> ?y => ?y <urn:p> ?x, ?x <urn:q> ?y .\n\
+             rule small: ?a <urn:p> ?b => ?b <urn:p> ?a .",
+        );
+        let d = diags.iter().find(|d| d.code == "RA007").unwrap();
+        assert!(d.message.contains("shadowed by"));
+    }
+
+    #[test]
+    fn recursion_is_ra008_info() {
+        let diags = diags_for(
+            "rule trans: ?x <urn:p> ?y, ?y <urn:p> ?z => ?x <urn:p> ?z .\n\
+             rule feed: ?x <urn:q> ?y => ?x <urn:r> ?y .",
+        );
+        let ra008: Vec<_> = diags.iter().filter(|d| d.code == "RA008").collect();
+        assert_eq!(ra008.len(), 1);
+        assert_eq!(ra008[0].severity, Severity::Info);
+        assert_eq!(ra008[0].line, 1);
+        // Two-rule cycle is detected as well.
+        let diags = diags_for(
+            "rule ab: ?x <urn:a> ?y => ?x <urn:b> ?y .\n\
+             rule ba: ?x <urn:b> ?y => ?x <urn:a> ?y .",
+        );
+        assert_eq!(diags.iter().filter(|d| d.code == "RA008").count(), 2);
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let diags = diags_for(
+            "rule gp: ?x <urn:parent> ?y, ?y <urn:parent> ?z => ?x <urn:grandparent> ?z .",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

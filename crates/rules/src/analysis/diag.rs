@@ -1,0 +1,109 @@
+//! Positioned diagnostics for the rule analyzer.
+//!
+//! Mirrors the shape of the `verify-lint` pass: every finding carries a
+//! stable code (`RA001`…), a severity, and a 1-based `line:col` position in
+//! the rule file, so tooling can grep and gate on the output. The code table
+//! lives in `docs/rules.md`.
+
+/// How severe a finding is.
+///
+/// Only [`Severity::Error`] findings make a rule file unloadable;
+/// warnings and infos are advisory (duplicate definitions, recursion
+/// classification, signature-precision notes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory classification (e.g. a rule participates in a cycle).
+    Info,
+    /// Suspicious but loadable (e.g. a shadowed rule).
+    Warning,
+    /// The file is rejected (e.g. an unsafe head variable).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in the rendered diagnostic.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One analyzer finding, positioned at `line:col` (1-based) in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, `RA001`… — see the table in `docs/rules.md`.
+    pub code: &'static str,
+    /// How severe the finding is.
+    pub severity: Severity,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at `(line, col)`.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// `true` for [`Severity::Error`].
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    /// `RA003: 3:14: error: head variable ?z is not bound …` — the CLI
+    /// prefixes the file path to make the full machine-readable line.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}: {}",
+            self.code,
+            self.line,
+            self.col,
+            self.severity.label(),
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_machine_readable() {
+        let d = Diagnostic::new("RA003", Severity::Error, 3, 14, "head variable ?z unbound");
+        assert_eq!(
+            d.to_string(),
+            "RA003: 3:14: error: head variable ?z unbound"
+        );
+        assert!(d.is_error());
+        assert!(!Diagnostic::new("RA008", Severity::Info, 1, 1, "x").is_error());
+    }
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

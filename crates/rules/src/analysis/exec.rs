@@ -1,0 +1,386 @@
+//! The generic semi-naive executor for analyzer-compiled rules, plus the
+//! one-step support probe the delete–rederive path uses.
+//!
+//! Built-in rules recognized by the analyzer run through their hand-written
+//! class executors; everything else lands here: a backtracking join over the
+//! sorted pair tables that evaluates the body atoms in written order. Like
+//! the hand-written executors it performs **no** presence filtering — during
+//! rederivation after an over-deletion the stores intentionally lack the
+//! deleted triples, and a derivation must be reported even when it
+//! reproduces an existing pair (the merge dedups).
+
+use super::compile::{Atom, CompiledRule, Term};
+use crate::context::RuleContext;
+use inferray_model::ids::is_property_id;
+use inferray_model::IdTriple;
+use inferray_store::{InferredBuffer, TripleStore};
+
+/// Variable bindings, indexed by `Term::Var` number.
+type Bindings = Vec<Option<u64>>;
+
+fn resolve(term: Term, bindings: &Bindings) -> Option<u64> {
+    match term {
+        Term::Const(value) => Some(value),
+        Term::Var(v) => bindings[v as usize],
+    }
+}
+
+/// Unifies `term` with `value`; returns `None` on mismatch, `Some(v)` with
+/// the variable that was newly bound (for undo), `Some(None)` otherwise.
+#[allow(clippy::option_option)]
+fn unify(term: Term, value: u64, bindings: &mut Bindings) -> Option<Option<u32>> {
+    match term {
+        Term::Const(c) => (c == value).then_some(None),
+        Term::Var(v) => match bindings[v as usize] {
+            Some(bound) => (bound == value).then_some(None),
+            None => {
+                bindings[v as usize] = Some(value);
+                Some(Some(v))
+            }
+        },
+    }
+}
+
+fn undo(newly: Option<u32>, bindings: &mut Bindings) {
+    if let Some(v) = newly {
+        bindings[v as usize] = None;
+    }
+}
+
+/// Matches one atom against one table, continuing with `cont` for every
+/// consistent extension of `bindings`. Returns `false` when `cont` asked to
+/// stop the search.
+fn match_in_table(
+    atom: &Atom,
+    table: &inferray_store::PropertyTable,
+    bindings: &mut Bindings,
+    cont: &mut dyn FnMut(&mut Bindings) -> bool,
+) -> bool {
+    match (resolve(atom.s, bindings), resolve(atom.o, bindings)) {
+        (Some(s), Some(o)) => !table.contains_pair(s, o) || cont(bindings),
+        (Some(s), None) => {
+            for o in table.objects_of(s).collect::<Vec<_>>() {
+                let Some(newly) = unify(atom.o, o, bindings) else {
+                    continue;
+                };
+                let keep = cont(bindings);
+                undo(newly, bindings);
+                if !keep {
+                    return false;
+                }
+            }
+            true
+        }
+        (None, Some(o)) => {
+            for s in table.subjects_of(o).collect::<Vec<_>>() {
+                let Some(newly) = unify(atom.s, s, bindings) else {
+                    continue;
+                };
+                let keep = cont(bindings);
+                undo(newly, bindings);
+                if !keep {
+                    return false;
+                }
+            }
+            true
+        }
+        (None, None) => {
+            for (s, o) in table.iter_pairs() {
+                let Some(newly_s) = unify(atom.s, s, bindings) else {
+                    continue;
+                };
+                let Some(newly_o) = unify(atom.o, o, bindings) else {
+                    undo(newly_s, bindings);
+                    continue;
+                };
+                let keep = cont(bindings);
+                undo(newly_o, bindings);
+                undo(newly_s, bindings);
+                if !keep {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Matches one atom against `store`, dispatching on whether the predicate is
+/// resolved. Returns `false` when the continuation stopped the search.
+fn match_atom(
+    atom: &Atom,
+    store: &TripleStore,
+    bindings: &mut Bindings,
+    cont: &mut dyn FnMut(&mut Bindings) -> bool,
+) -> bool {
+    match resolve(atom.p, bindings) {
+        Some(p) => {
+            // A predicate variable bound from a subject/object position can
+            // hold a resource identifier — no table, no match.
+            if !is_property_id(p) {
+                return true;
+            }
+            match store.table(p) {
+                Some(table) => match_in_table(atom, table, bindings, cont),
+                None => true,
+            }
+        }
+        None => {
+            for (p, table) in store.iter_tables() {
+                let Some(newly) = unify(atom.p, p, bindings) else {
+                    continue;
+                };
+                let keep = match_in_table(atom, table, bindings, cont);
+                undo(newly, bindings);
+                if !keep {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Solves body atoms `idx..` with atom `new_idx` matched against `ctx.new`
+/// and the rest against `ctx.main`.
+fn solve(
+    rule: &CompiledRule,
+    idx: usize,
+    new_idx: usize,
+    ctx: &RuleContext<'_>,
+    bindings: &mut Bindings,
+    sink: &mut dyn FnMut(&mut Bindings) -> bool,
+) -> bool {
+    let Some(atom) = rule.body.get(idx) else {
+        return sink(bindings);
+    };
+    let store = if idx == new_idx { ctx.new } else { ctx.main };
+    match_atom(atom, store, bindings, &mut |bindings| {
+        solve(rule, idx + 1, new_idx, ctx, bindings, sink)
+    })
+}
+
+fn emit(rule: &CompiledRule, bindings: &Bindings, out: &mut InferredBuffer) {
+    for atom in &rule.head {
+        let (Some(s), Some(p), Some(o)) = (
+            resolve(atom.s, bindings),
+            resolve(atom.p, bindings),
+            resolve(atom.o, bindings),
+        ) else {
+            debug_assert!(false, "safety check guarantees ground heads");
+            continue;
+        };
+        // Mirrors the hand-written γ/δ executors: a head predicate bound to
+        // a non-property identifier has no table to land in.
+        if !is_property_id(p) {
+            continue;
+        }
+        out.add(p, s, o);
+    }
+}
+
+/// Fires `rule` semi-naively: for each body position `i`, joins atom `i`
+/// against `ctx.new` and every other atom against `ctx.main` (`new ⊆ main`),
+/// the same union of passes the hand-written executors implement. Derived
+/// pairs append to `out`; the caller's merge dedups.
+pub fn apply_compiled(rule: &CompiledRule, ctx: &RuleContext<'_>, out: &mut InferredBuffer) {
+    let mut bindings: Bindings = vec![None; rule.var_count as usize];
+    for new_idx in 0..rule.body.len() {
+        solve(rule, 0, new_idx, ctx, &mut bindings, &mut |bindings| {
+            emit(rule, bindings, out);
+            true
+        });
+    }
+}
+
+/// One-step support probe: `true` when some body match of `rule` in `store`
+/// derives exactly `triple` — sound and complete for a single derivation
+/// step, exactly like the hand-written probes in [`crate::support`].
+pub fn supports(rule: &CompiledRule, store: &TripleStore, triple: IdTriple) -> bool {
+    for head in &rule.head {
+        let mut bindings: Bindings = vec![None; rule.var_count as usize];
+        let Some(u_s) = unify(head.s, triple.s, &mut bindings) else {
+            continue;
+        };
+        let Some(u_p) = unify(head.p, triple.p, &mut bindings) else {
+            undo(u_s, &mut bindings);
+            continue;
+        };
+        if unify(head.o, triple.o, &mut bindings).is_none() {
+            undo(u_p, &mut bindings);
+            undo(u_s, &mut bindings);
+            continue;
+        }
+        let mut found = false;
+        solve_all(rule, 0, store, &mut bindings, &mut found);
+        if found {
+            return true;
+        }
+        // Bindings are discarded between head alternatives; no undo needed.
+    }
+    false
+}
+
+fn solve_all(
+    rule: &CompiledRule,
+    idx: usize,
+    store: &TripleStore,
+    bindings: &mut Bindings,
+    found: &mut bool,
+) -> bool {
+    let Some(atom) = rule.body.get(idx) else {
+        *found = true;
+        return false; // stop the search — one witness is enough
+    };
+    match_atom(atom, store, bindings, &mut |bindings| {
+        solve_all(rule, idx + 1, store, bindings, found)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse::parse;
+    use super::*;
+    use inferray_dictionary::Dictionary;
+    use inferray_model::ids::{nth_property_id, nth_resource_id};
+    use std::collections::BTreeSet;
+
+    fn store(triples: &[(u64, u64, u64)]) -> TripleStore {
+        TripleStore::from_triples(triples.iter().map(|&(s, p, o)| IdTriple::new(s, p, o)))
+    }
+
+    fn compile(text: &str, dict: &mut Dictionary) -> CompiledRule {
+        let (rules, diags) = parse(text);
+        assert!(diags.is_empty(), "{diags:?}");
+        super::super::compile::lower(&rules, dict)
+            .expect("lowers")
+            .rules[0]
+            .clone()
+    }
+
+    fn derived(
+        rule: &CompiledRule,
+        main: &TripleStore,
+        new: &TripleStore,
+    ) -> BTreeSet<(u64, u64, u64)> {
+        let ctx = RuleContext::new(main, new);
+        let mut out = InferredBuffer::new();
+        apply_compiled(rule, &ctx, &mut out);
+        out.iter()
+            .flat_map(|(p, pairs)| {
+                pairs
+                    .chunks_exact(2)
+                    .map(move |so| (so[0], p, so[1]))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transitive_join_over_constant_predicate() {
+        let mut dict = Dictionary::new();
+        let rule = compile(
+            "rule gp: ?x <urn:parent> ?y, ?y <urn:parent> ?z => ?x <urn:grandparent> ?z .",
+            &mut dict,
+        );
+        let parent = dict.id_of_iri("urn:parent").unwrap();
+        let grandparent = dict.id_of_iri("urn:grandparent").unwrap();
+        let a = nth_resource_id(9_000);
+        let main = store(&[(a, parent, a + 1), (a + 1, parent, a + 2)]);
+        let got = derived(&rule, &main, &main);
+        assert_eq!(got, BTreeSet::from([(a, grandparent, a + 2)]));
+    }
+
+    #[test]
+    fn semi_naive_split_covers_both_orders() {
+        let mut dict = Dictionary::new();
+        let rule = compile(
+            "rule gp: ?x <urn:parent> ?y, ?y <urn:parent> ?z => ?x <urn:grandparent> ?z .",
+            &mut dict,
+        );
+        let parent = dict.id_of_iri("urn:parent").unwrap();
+        let grandparent = dict.id_of_iri("urn:grandparent").unwrap();
+        let a = nth_resource_id(9_100);
+        // Old pair a→b, new pair b→c: only the (old, new) order derives.
+        let main = store(&[(a, parent, a + 1), (a + 1, parent, a + 2)]);
+        let new = store(&[(a + 1, parent, a + 2)]);
+        assert_eq!(
+            derived(&rule, &main, &new),
+            BTreeSet::from([(a, grandparent, a + 2)])
+        );
+        // New pair a→b, old pair b→c: the (new, old) order derives.
+        let new = store(&[(a, parent, a + 1)]);
+        assert_eq!(
+            derived(&rule, &main, &new),
+            BTreeSet::from([(a, grandparent, a + 2)])
+        );
+        // Exclusively-old pairs with an unrelated new table derive nothing.
+        let other = nth_property_id(950);
+        let new = store(&[(a + 7, other, a + 8)]);
+        assert!(derived(&rule, &main, &new).is_empty());
+    }
+
+    #[test]
+    fn variable_predicate_iterates_tables_and_guards_heads() {
+        let mut dict = Dictionary::new();
+        let rule = compile(
+            "rule inv: ?p <urn:flips> ?q, ?x ?p ?y => ?y ?q ?x .",
+            &mut dict,
+        );
+        let flips = dict.id_of_iri("urn:flips").unwrap();
+        let p = nth_property_id(951);
+        let q = nth_property_id(952);
+        let a = nth_resource_id(9_200);
+        // q resolves to a property: the head lands in q's table. A schema
+        // pair whose object is a plain resource produces nothing.
+        let main = store(&[(p, flips, q), (a, p, a + 1), (p, flips, a + 9)]);
+        assert_eq!(
+            derived(&rule, &main, &main),
+            BTreeSet::from([(a + 1, q, a)])
+        );
+    }
+
+    #[test]
+    fn repeated_variables_unify() {
+        let mut dict = Dictionary::new();
+        let rule = compile(
+            "rule selfloop: ?x <urn:p> ?x => ?x <urn:loop> ?x .",
+            &mut dict,
+        );
+        let p = dict.id_of_iri("urn:p").unwrap();
+        let looped = dict.id_of_iri("urn:loop").unwrap();
+        let a = nth_resource_id(9_300);
+        let main = store(&[(a, p, a), (a + 1, p, a + 2)]);
+        assert_eq!(
+            derived(&rule, &main, &main),
+            BTreeSet::from([(a, looped, a)])
+        );
+    }
+
+    #[test]
+    fn support_probe_finds_one_step_witnesses() {
+        let mut dict = Dictionary::new();
+        let rule = compile(
+            "rule gp: ?x <urn:parent> ?y, ?y <urn:parent> ?z => ?x <urn:grandparent> ?z .",
+            &mut dict,
+        );
+        let parent = dict.id_of_iri("urn:parent").unwrap();
+        let grandparent = dict.id_of_iri("urn:grandparent").unwrap();
+        let a = nth_resource_id(9_400);
+        let main = store(&[(a, parent, a + 1), (a + 1, parent, a + 2)]);
+        assert!(supports(&rule, &main, IdTriple::new(a, grandparent, a + 2)));
+        assert!(!supports(
+            &rule,
+            &main,
+            IdTriple::new(a, grandparent, a + 1)
+        ));
+        assert!(!supports(&rule, &main, IdTriple::new(a, parent, a + 1)));
+        // Remove a premise: the derivation is no longer supported.
+        let partial = store(&[(a, parent, a + 1)]);
+        assert!(!supports(
+            &rule,
+            &partial,
+            IdTriple::new(a, grandparent, a + 2)
+        ));
+    }
+}

@@ -266,6 +266,24 @@ pub enum RuleOutputs {
 }
 
 impl RuleOutputs {
+    /// Fixed-property output signature: the head writes exactly `props`.
+    /// (Shared constructor — see [`RuleInputs::on`].)
+    pub const fn writes(props: &'static [u64]) -> RuleOutputs {
+        RuleOutputs::Properties(props)
+    }
+
+    /// γ/δ property-variable output signature: the head's property is named
+    /// on `side` of the `schema` pairs.
+    pub const fn via(schema: u64, side: SchemaSide) -> RuleOutputs {
+        RuleOutputs::PropertyVariable { schema, side }
+    }
+
+    /// Marked-properties output signature: the head writes tables of the
+    /// properties declared `⟨p, rdf:type, marker⟩`.
+    pub const fn marked(marker: u64) -> RuleOutputs {
+        RuleOutputs::MarkedProperties { marker }
+    }
+
     /// The fixed properties written (empty for the dynamic variants).
     pub fn properties(self) -> &'static [u64] {
         match self {
@@ -282,6 +300,35 @@ impl RuleOutputs {
 }
 
 impl RuleInputs {
+    /// Fixed-property input signature: the rule reads exactly `props`.
+    ///
+    /// These constructors are the single spelling of a signature — the
+    /// catalog rows, the catalog tests and the rule analyzer
+    /// ([`crate::analysis`]) all build signatures through them, so the
+    /// byte-identity assertions between handwritten and derived rows cannot
+    /// drift on representation.
+    pub const fn on(props: &'static [u64]) -> RuleInputs {
+        RuleInputs::Properties(props)
+    }
+
+    /// γ/δ property-variable signature: the rule reads `schema` plus the
+    /// data tables named on `side` of the schema pairs.
+    pub const fn via(schema: u64, side: SchemaSide) -> RuleInputs {
+        RuleInputs::PropertyVariable { schema, side }
+    }
+
+    /// Marked-properties signature: the rule reads the declarations
+    /// `⟨p, rdf:type, marker⟩` and every declared `p`'s table.
+    pub const fn marked(marker: u64) -> RuleInputs {
+        RuleInputs::MarkedProperties { marker }
+    }
+
+    /// Guarded whole-store scan: arbitrary tables, gated on `guard` being
+    /// non-empty.
+    pub const fn any_with(guard: u64) -> RuleInputs {
+        RuleInputs::AnyGuardedBy { guard }
+    }
+
     /// `true` when the rule may scan tables of arbitrary properties (the
     /// dynamic variants) rather than a fixed list.
     pub fn is_dynamic(self) -> bool {
@@ -368,43 +415,10 @@ use RuleClass::*;
 use RuleInputs::AnyProperty as ANY;
 use SchemaSide::{Object as O, Subject as S};
 
-/// Shorthand for a fixed-property input signature in the catalog rows.
-const fn on(props: &'static [u64]) -> RuleInputs {
-    RuleInputs::Properties(props)
-}
-
-/// Shorthand for a γ/δ property-variable signature.
-const fn via(schema: u64, side: SchemaSide) -> RuleInputs {
-    RuleInputs::PropertyVariable { schema, side }
-}
-
-/// Shorthand for a marked-properties signature.
-const fn marked(marker: u64) -> RuleInputs {
-    RuleInputs::MarkedProperties { marker }
-}
-
-/// Shorthand for a guarded whole-store scan.
-const fn any_with(guard: u64) -> RuleInputs {
-    RuleInputs::AnyGuardedBy { guard }
-}
-
-/// Shorthand for a fixed-property output signature in the catalog rows.
-const fn writes(props: &'static [u64]) -> RuleOutputs {
-    RuleOutputs::Properties(props)
-}
-
-/// Shorthand for a γ/δ property-variable output signature.
-const fn writes_via(schema: u64, side: SchemaSide) -> RuleOutputs {
-    RuleOutputs::PropertyVariable { schema, side }
-}
-
-/// Shorthand for a marked-properties output signature.
-const fn writes_marked(marker: u64) -> RuleOutputs {
-    RuleOutputs::MarkedProperties { marker }
-}
-
-/// Shorthand for the any-table output signature.
-const W_ANY: RuleOutputs = RuleOutputs::AnyProperty;
+// The rows below build every signature through the shared constructors on
+// `RuleInputs`/`RuleOutputs` — the same ones the tests and the rule
+// analyzer use, so there is exactly one spelling of each signature shape.
+use RuleOutputs::AnyProperty as W_ANY;
 
 /// The full catalog, in Table 5 order (index = `RuleId as usize`).
 pub static CATALOG: [RuleInfo; 38] = [
@@ -416,8 +430,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: on(&[wk::OWL_EQUIVALENT_CLASS, wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDF_TYPE]),
+        inputs: RuleInputs::on(&[wk::OWL_EQUIVALENT_CLASS, wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDF_TYPE]),
         description: "c1 owl:equivalentClass c2, x rdf:type c1 ⇒ x rdf:type c2",
     },
     RuleInfo {
@@ -428,8 +442,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: on(&[wk::OWL_EQUIVALENT_CLASS, wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDF_TYPE]),
+        inputs: RuleInputs::on(&[wk::OWL_EQUIVALENT_CLASS, wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDF_TYPE]),
         description: "c1 owl:equivalentClass c2, x rdf:type c2 ⇒ x rdf:type c1",
     },
     RuleInfo {
@@ -440,8 +454,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: D,
         rho_df: D,
         rdfs_plus: D,
-        inputs: on(&[wk::RDFS_SUB_CLASS_OF, wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDF_TYPE]),
+        inputs: RuleInputs::on(&[wk::RDFS_SUB_CLASS_OF, wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDF_TYPE]),
         description: "c1 rdfs:subClassOf c2, x rdf:type c1 ⇒ x rdf:type c2",
     },
     RuleInfo {
@@ -452,7 +466,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: any_with(wk::OWL_SAME_AS),
+        inputs: RuleInputs::any_with(wk::OWL_SAME_AS),
         outputs: W_ANY,
         description: "o1 owl:sameAs o2, s p o1 ⇒ s p o2",
     },
@@ -464,8 +478,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: via(wk::OWL_SAME_AS, S),
-        outputs: writes_via(wk::OWL_SAME_AS, O),
+        inputs: RuleInputs::via(wk::OWL_SAME_AS, S),
+        outputs: RuleOutputs::via(wk::OWL_SAME_AS, O),
         description: "p1 owl:sameAs p2, s p1 o ⇒ s p2 o",
     },
     RuleInfo {
@@ -476,7 +490,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: any_with(wk::OWL_SAME_AS),
+        inputs: RuleInputs::any_with(wk::OWL_SAME_AS),
         outputs: W_ANY,
         description: "s1 owl:sameAs s2, s1 p o ⇒ s2 p o",
     },
@@ -488,8 +502,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: on(&[wk::OWL_SAME_AS]),
-        outputs: writes(&[wk::OWL_SAME_AS]),
+        inputs: RuleInputs::on(&[wk::OWL_SAME_AS]),
+        outputs: RuleOutputs::writes(&[wk::OWL_SAME_AS]),
         description: "x owl:sameAs y ⇒ y owl:sameAs x",
     },
     RuleInfo {
@@ -500,8 +514,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: on(&[wk::OWL_SAME_AS]),
-        outputs: writes(&[wk::OWL_SAME_AS]),
+        inputs: RuleInputs::on(&[wk::OWL_SAME_AS]),
+        outputs: RuleOutputs::writes(&[wk::OWL_SAME_AS]),
         description: "x owl:sameAs y, y owl:sameAs z ⇒ x owl:sameAs z",
     },
     RuleInfo {
@@ -512,8 +526,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: D,
         rho_df: D,
         rdfs_plus: D,
-        inputs: via(wk::RDFS_DOMAIN, S),
-        outputs: writes(&[wk::RDF_TYPE]),
+        inputs: RuleInputs::via(wk::RDFS_DOMAIN, S),
+        outputs: RuleOutputs::writes(&[wk::RDF_TYPE]),
         description: "p rdfs:domain c, x p y ⇒ x rdf:type c",
     },
     RuleInfo {
@@ -524,8 +538,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: via(wk::OWL_EQUIVALENT_PROPERTY, S),
-        outputs: writes_via(wk::OWL_EQUIVALENT_PROPERTY, O),
+        inputs: RuleInputs::via(wk::OWL_EQUIVALENT_PROPERTY, S),
+        outputs: RuleOutputs::via(wk::OWL_EQUIVALENT_PROPERTY, O),
         description: "p1 owl:equivalentProperty p2, x p1 y ⇒ x p2 y",
     },
     RuleInfo {
@@ -536,8 +550,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: via(wk::OWL_EQUIVALENT_PROPERTY, O),
-        outputs: writes_via(wk::OWL_EQUIVALENT_PROPERTY, S),
+        inputs: RuleInputs::via(wk::OWL_EQUIVALENT_PROPERTY, O),
+        outputs: RuleOutputs::via(wk::OWL_EQUIVALENT_PROPERTY, S),
         description: "p1 owl:equivalentProperty p2, x p2 y ⇒ x p1 y",
     },
     RuleInfo {
@@ -548,8 +562,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: marked(wk::OWL_FUNCTIONAL_PROPERTY),
-        outputs: writes(&[wk::OWL_SAME_AS]),
+        inputs: RuleInputs::marked(wk::OWL_FUNCTIONAL_PROPERTY),
+        outputs: RuleOutputs::writes(&[wk::OWL_SAME_AS]),
         description: "p a owl:FunctionalProperty, x p y1, x p y2 ⇒ y1 owl:sameAs y2",
     },
     RuleInfo {
@@ -560,8 +574,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: marked(wk::OWL_INVERSE_FUNCTIONAL_PROPERTY),
-        outputs: writes(&[wk::OWL_SAME_AS]),
+        inputs: RuleInputs::marked(wk::OWL_INVERSE_FUNCTIONAL_PROPERTY),
+        outputs: RuleOutputs::writes(&[wk::OWL_SAME_AS]),
         description: "p a owl:InverseFunctionalProperty, x1 p y, x2 p y ⇒ x1 owl:sameAs x2",
     },
     RuleInfo {
@@ -572,8 +586,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: via(wk::OWL_INVERSE_OF, S),
-        outputs: writes_via(wk::OWL_INVERSE_OF, O),
+        inputs: RuleInputs::via(wk::OWL_INVERSE_OF, S),
+        outputs: RuleOutputs::via(wk::OWL_INVERSE_OF, O),
         description: "p1 owl:inverseOf p2, x p1 y ⇒ y p2 x",
     },
     RuleInfo {
@@ -584,8 +598,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: via(wk::OWL_INVERSE_OF, O),
-        outputs: writes_via(wk::OWL_INVERSE_OF, S),
+        inputs: RuleInputs::via(wk::OWL_INVERSE_OF, O),
+        outputs: RuleOutputs::via(wk::OWL_INVERSE_OF, S),
         description: "p1 owl:inverseOf p2, x p2 y ⇒ y p1 x",
     },
     RuleInfo {
@@ -596,8 +610,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: D,
         rho_df: D,
         rdfs_plus: D,
-        inputs: via(wk::RDFS_RANGE, S),
-        outputs: writes(&[wk::RDF_TYPE]),
+        inputs: RuleInputs::via(wk::RDFS_RANGE, S),
+        outputs: RuleOutputs::writes(&[wk::RDF_TYPE]),
         description: "p rdfs:range c, x p y ⇒ y rdf:type c",
     },
     RuleInfo {
@@ -608,8 +622,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: D,
         rho_df: D,
         rdfs_plus: D,
-        inputs: via(wk::RDFS_SUB_PROPERTY_OF, S),
-        outputs: writes_via(wk::RDFS_SUB_PROPERTY_OF, O),
+        inputs: RuleInputs::via(wk::RDFS_SUB_PROPERTY_OF, S),
+        outputs: RuleOutputs::via(wk::RDFS_SUB_PROPERTY_OF, O),
         description: "p1 rdfs:subPropertyOf p2, x p1 y ⇒ x p2 y",
     },
     RuleInfo {
@@ -620,8 +634,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: marked(wk::OWL_SYMMETRIC_PROPERTY),
-        outputs: writes_marked(wk::OWL_SYMMETRIC_PROPERTY),
+        inputs: RuleInputs::marked(wk::OWL_SYMMETRIC_PROPERTY),
+        outputs: RuleOutputs::marked(wk::OWL_SYMMETRIC_PROPERTY),
         description: "p a owl:SymmetricProperty, x p y ⇒ y p x",
     },
     RuleInfo {
@@ -632,8 +646,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: marked(wk::OWL_TRANSITIVE_PROPERTY),
-        outputs: writes_marked(wk::OWL_TRANSITIVE_PROPERTY),
+        inputs: RuleInputs::marked(wk::OWL_TRANSITIVE_PROPERTY),
+        outputs: RuleOutputs::marked(wk::OWL_TRANSITIVE_PROPERTY),
         description: "p a owl:TransitiveProperty, x p y, y p z ⇒ x p z",
     },
     RuleInfo {
@@ -644,8 +658,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: D,
         rho_df: N,
         rdfs_plus: D,
-        inputs: on(&[wk::RDFS_DOMAIN, wk::RDFS_SUB_CLASS_OF]),
-        outputs: writes(&[wk::RDFS_DOMAIN]),
+        inputs: RuleInputs::on(&[wk::RDFS_DOMAIN, wk::RDFS_SUB_CLASS_OF]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_DOMAIN]),
         description: "p rdfs:domain c1, c1 rdfs:subClassOf c2 ⇒ p rdfs:domain c2",
     },
     RuleInfo {
@@ -656,8 +670,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: D,
         rho_df: D,
         rdfs_plus: D,
-        inputs: on(&[wk::RDFS_DOMAIN, wk::RDFS_SUB_PROPERTY_OF]),
-        outputs: writes(&[wk::RDFS_DOMAIN]),
+        inputs: RuleInputs::on(&[wk::RDFS_DOMAIN, wk::RDFS_SUB_PROPERTY_OF]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_DOMAIN]),
         description: "p2 rdfs:domain c, p1 rdfs:subPropertyOf p2 ⇒ p1 rdfs:domain c",
     },
     RuleInfo {
@@ -668,8 +682,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: on(&[wk::OWL_EQUIVALENT_CLASS]),
-        outputs: writes(&[wk::RDFS_SUB_CLASS_OF]),
+        inputs: RuleInputs::on(&[wk::OWL_EQUIVALENT_CLASS]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_CLASS_OF]),
         description: "c1 owl:equivalentClass c2 ⇒ c1 rdfs:subClassOf c2, c2 rdfs:subClassOf c1",
     },
     RuleInfo {
@@ -680,8 +694,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: on(&[wk::RDFS_SUB_CLASS_OF]),
-        outputs: writes(&[wk::OWL_EQUIVALENT_CLASS]),
+        inputs: RuleInputs::on(&[wk::RDFS_SUB_CLASS_OF]),
+        outputs: RuleOutputs::writes(&[wk::OWL_EQUIVALENT_CLASS]),
         description: "c1 rdfs:subClassOf c2, c2 rdfs:subClassOf c1 ⇒ c1 owl:equivalentClass c2",
     },
     RuleInfo {
@@ -692,8 +706,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: on(&[wk::OWL_EQUIVALENT_PROPERTY]),
-        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF]),
+        inputs: RuleInputs::on(&[wk::OWL_EQUIVALENT_PROPERTY]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_PROPERTY_OF]),
         description:
             "p1 owl:equivalentProperty p2 ⇒ p1 rdfs:subPropertyOf p2, p2 rdfs:subPropertyOf p1",
     },
@@ -705,8 +719,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: D,
-        inputs: on(&[wk::RDFS_SUB_PROPERTY_OF]),
-        outputs: writes(&[wk::OWL_EQUIVALENT_PROPERTY]),
+        inputs: RuleInputs::on(&[wk::RDFS_SUB_PROPERTY_OF]),
+        outputs: RuleOutputs::writes(&[wk::OWL_EQUIVALENT_PROPERTY]),
         description:
             "p1 rdfs:subPropertyOf p2, p2 rdfs:subPropertyOf p1 ⇒ p1 owl:equivalentProperty p2",
     },
@@ -718,8 +732,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: D,
         rho_df: N,
         rdfs_plus: D,
-        inputs: on(&[wk::RDFS_RANGE, wk::RDFS_SUB_CLASS_OF]),
-        outputs: writes(&[wk::RDFS_RANGE]),
+        inputs: RuleInputs::on(&[wk::RDFS_RANGE, wk::RDFS_SUB_CLASS_OF]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_RANGE]),
         description: "p rdfs:range c1, c1 rdfs:subClassOf c2 ⇒ p rdfs:range c2",
     },
     RuleInfo {
@@ -730,8 +744,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: D,
         rho_df: D,
         rdfs_plus: D,
-        inputs: on(&[wk::RDFS_RANGE, wk::RDFS_SUB_PROPERTY_OF]),
-        outputs: writes(&[wk::RDFS_RANGE]),
+        inputs: RuleInputs::on(&[wk::RDFS_RANGE, wk::RDFS_SUB_PROPERTY_OF]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_RANGE]),
         description: "p2 rdfs:range c, p1 rdfs:subPropertyOf p2 ⇒ p1 rdfs:range c",
     },
     RuleInfo {
@@ -742,8 +756,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: D,
         rho_df: D,
         rdfs_plus: D,
-        inputs: on(&[wk::RDFS_SUB_CLASS_OF]),
-        outputs: writes(&[wk::RDFS_SUB_CLASS_OF]),
+        inputs: RuleInputs::on(&[wk::RDFS_SUB_CLASS_OF]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_CLASS_OF]),
         description: "c1 rdfs:subClassOf c2, c2 rdfs:subClassOf c3 ⇒ c1 rdfs:subClassOf c3",
     },
     RuleInfo {
@@ -754,8 +768,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: D,
         rho_df: D,
         rdfs_plus: D,
-        inputs: on(&[wk::RDFS_SUB_PROPERTY_OF]),
-        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF]),
+        inputs: RuleInputs::on(&[wk::RDFS_SUB_PROPERTY_OF]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_PROPERTY_OF]),
         description:
             "p1 rdfs:subPropertyOf p2, p2 rdfs:subPropertyOf p3 ⇒ p1 rdfs:subPropertyOf p3",
     },
@@ -767,8 +781,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: F,
-        inputs: on(&[wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDFS_SUB_CLASS_OF, wk::OWL_EQUIVALENT_CLASS]),
+        inputs: RuleInputs::on(&[wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_CLASS_OF, wk::OWL_EQUIVALENT_CLASS]),
         description: "c a owl:Class ⇒ c ⊑ c, c ≡ c, c ⊑ owl:Thing, owl:Nothing ⊑ c",
     },
     RuleInfo {
@@ -779,8 +793,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: F,
-        inputs: on(&[wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF, wk::OWL_EQUIVALENT_PROPERTY]),
+        inputs: RuleInputs::on(&[wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_PROPERTY_OF, wk::OWL_EQUIVALENT_PROPERTY]),
         description:
             "p a owl:DatatypeProperty ⇒ p rdfs:subPropertyOf p, p owl:equivalentProperty p",
     },
@@ -792,8 +806,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: N,
         rho_df: N,
         rdfs_plus: F,
-        inputs: on(&[wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF, wk::OWL_EQUIVALENT_PROPERTY]),
+        inputs: RuleInputs::on(&[wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_PROPERTY_OF, wk::OWL_EQUIVALENT_PROPERTY]),
         description: "p a owl:ObjectProperty ⇒ p rdfs:subPropertyOf p, p owl:equivalentProperty p",
     },
     RuleInfo {
@@ -805,7 +819,7 @@ pub static CATALOG: [RuleInfo; 38] = [
         rho_df: F,
         rdfs_plus: F,
         inputs: ANY,
-        outputs: writes(&[wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDF_TYPE]),
         description: "x p y ⇒ x rdf:type rdfs:Resource, y rdf:type rdfs:Resource",
     },
     RuleInfo {
@@ -816,8 +830,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: F,
         rho_df: N,
         rdfs_plus: N,
-        inputs: on(&[wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDFS_SUB_CLASS_OF]),
+        inputs: RuleInputs::on(&[wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_CLASS_OF]),
         description: "x a rdfs:Class ⇒ x rdfs:subClassOf rdfs:Resource",
     },
     RuleInfo {
@@ -828,8 +842,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: F,
         rho_df: N,
         rdfs_plus: N,
-        inputs: on(&[wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF]),
+        inputs: RuleInputs::on(&[wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_PROPERTY_OF]),
         description: "x a rdfs:ContainerMembershipProperty ⇒ x rdfs:subPropertyOf rdfs:member",
     },
     RuleInfo {
@@ -840,8 +854,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: F,
         rho_df: N,
         rdfs_plus: N,
-        inputs: on(&[wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDFS_SUB_CLASS_OF]),
+        inputs: RuleInputs::on(&[wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_CLASS_OF]),
         description: "x a rdfs:Datatype ⇒ x rdfs:subClassOf rdfs:Literal",
     },
     RuleInfo {
@@ -852,8 +866,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: F,
         rho_df: N,
         rdfs_plus: N,
-        inputs: on(&[wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDFS_SUB_PROPERTY_OF]),
+        inputs: RuleInputs::on(&[wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_PROPERTY_OF]),
         description: "x a rdf:Property ⇒ x rdfs:subPropertyOf x",
     },
     RuleInfo {
@@ -864,8 +878,8 @@ pub static CATALOG: [RuleInfo; 38] = [
         rdfs: F,
         rho_df: N,
         rdfs_plus: N,
-        inputs: on(&[wk::RDF_TYPE]),
-        outputs: writes(&[wk::RDFS_SUB_CLASS_OF]),
+        inputs: RuleInputs::on(&[wk::RDF_TYPE]),
+        outputs: RuleOutputs::writes(&[wk::RDFS_SUB_CLASS_OF]),
         description: "x a rdfs:Class ⇒ x rdfs:subClassOf x",
     },
 ];
@@ -963,34 +977,24 @@ mod tests {
         // γ/δ rules are driven by their schema table.
         assert_eq!(
             RuleId::PrpDom.inputs(),
-            RuleInputs::PropertyVariable {
-                schema: wk::RDFS_DOMAIN,
-                side: SchemaSide::Subject
-            }
+            RuleInputs::via(wk::RDFS_DOMAIN, SchemaSide::Subject)
         );
         assert_eq!(
             RuleId::PrpInv2.inputs(),
-            RuleInputs::PropertyVariable {
-                schema: wk::OWL_INVERSE_OF,
-                side: SchemaSide::Object
-            }
+            RuleInputs::via(wk::OWL_INVERSE_OF, SchemaSide::Object)
         );
         assert_eq!(RuleId::PrpDom.inputs().anchor(), Some(wk::RDFS_DOMAIN));
         // Functional/symmetric/transitive rules are driven by declarations.
         assert_eq!(
             RuleId::PrpFp.inputs(),
-            RuleInputs::MarkedProperties {
-                marker: wk::OWL_FUNCTIONAL_PROPERTY
-            }
+            RuleInputs::marked(wk::OWL_FUNCTIONAL_PROPERTY)
         );
         assert_eq!(RuleId::PrpTrp.inputs().anchor(), Some(wk::RDF_TYPE));
         // The sameAs replacement loop scans everything while sameAs pairs
         // exist; RDFS4 scans everything unconditionally.
         assert_eq!(
             RuleId::EqRepS.inputs(),
-            RuleInputs::AnyGuardedBy {
-                guard: wk::OWL_SAME_AS
-            }
+            RuleInputs::any_with(wk::OWL_SAME_AS)
         );
         assert_eq!(RuleId::Rdfs4.inputs(), RuleInputs::AnyProperty);
         assert_eq!(RuleId::Rdfs4.inputs().anchor(), None);
@@ -1034,24 +1038,16 @@ mod tests {
         // reads the subjects' tables and writes the objects').
         assert_eq!(
             RuleId::PrpSpo1.outputs(),
-            RuleOutputs::PropertyVariable {
-                schema: wk::RDFS_SUB_PROPERTY_OF,
-                side: SchemaSide::Object
-            }
+            RuleOutputs::via(wk::RDFS_SUB_PROPERTY_OF, SchemaSide::Object)
         );
         assert_eq!(
             RuleId::PrpInv2.outputs(),
-            RuleOutputs::PropertyVariable {
-                schema: wk::OWL_INVERSE_OF,
-                side: SchemaSide::Subject
-            }
+            RuleOutputs::via(wk::OWL_INVERSE_OF, SchemaSide::Subject)
         );
         // Marked rules write back into the declared properties' own tables.
         assert_eq!(
             RuleId::PrpTrp.outputs(),
-            RuleOutputs::MarkedProperties {
-                marker: wk::OWL_TRANSITIVE_PROPERTY
-            }
+            RuleOutputs::marked(wk::OWL_TRANSITIVE_PROPERTY)
         );
         // The subject/object replacement rules can write any table.
         assert_eq!(RuleId::EqRepS.outputs(), RuleOutputs::AnyProperty);
@@ -1061,10 +1057,7 @@ mod tests {
         // sameAs pairs' objects.
         assert_eq!(
             RuleId::EqRepP.outputs(),
-            RuleOutputs::PropertyVariable {
-                schema: wk::OWL_SAME_AS,
-                side: SchemaSide::Object
-            }
+            RuleOutputs::via(wk::OWL_SAME_AS, SchemaSide::Object)
         );
         // Multi-head trivial rules declare every table they touch.
         assert_eq!(

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod catalog;
 pub mod context;
 pub mod executors;
@@ -31,5 +32,5 @@ pub use catalog::{
 pub use context::RuleContext;
 pub use executors::apply_rule;
 pub use materializer::{InferenceStats, Materializer};
-pub use ruleset::{Fragment, Ruleset};
+pub use ruleset::{Fragment, RuleRef, Ruleset};
 pub use support::is_supported;

@@ -8,9 +8,8 @@
 //! (filled circles of Table 5) from a *full* version that adds the
 //! half-circle rules.
 
-use crate::catalog::{Membership, RuleClass, RuleId, RuleInputs, RuleOutputs, SchemaSide, CATALOG};
-use crate::context::RuleContext;
-use inferray_dictionary::wellknown as wk;
+use crate::analysis::{CompiledRule, CompiledRuleset, DerivedInputs, DerivedOutputs};
+use crate::catalog::{Membership, RuleClass, RuleId, RuleInputs, RuleOutputs, CATALOG};
 use inferray_store::TripleStore;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -97,6 +96,26 @@ pub struct Ruleset {
     /// Property id → bitmask of the member rules with that property in
     /// their *fixed* input signature.
     by_property: BTreeMap<u64, u64>,
+    /// Analyzer-compiled rules with no built-in equivalent, in file order.
+    /// They run through the generic semi-naive executor and are scheduled /
+    /// rederived through their derived signatures.
+    custom: Vec<CompiledRule>,
+    /// Whether the dedicated transitive-closure stage may run before the
+    /// fixed point. `true` for the baked-in fragments; analyzer-loaded
+    /// rulesets that are not an exact fragment fall back to the in-loop θ
+    /// executors, which reach the same fixed point without the stage.
+    closure_stage: bool,
+}
+
+/// A reference to one rule of a [`Ruleset`]: a catalog built-in or an
+/// analyzer-compiled custom rule (an index into
+/// [`Ruleset::custom_rules`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleRef {
+    /// A Table 5 rule with a hand-written executor.
+    Builtin(RuleId),
+    /// A custom rule, by position in [`Ruleset::custom_rules`].
+    Custom(usize),
 }
 
 /// The catalog-position bit of a rule (38 rules < 64, so one `u64` suffices).
@@ -120,7 +139,57 @@ impl Ruleset {
         Self::with_dependency_index(fragment, rules)
     }
 
+    /// Builds a ruleset from an analyzed + compiled rule file
+    /// ([`crate::analysis`]). Rules recognized as catalog built-ins keep
+    /// their hand-written executors (deduplicated, in Table 5 order); the
+    /// rest become [`RuleRef::Custom`] rules in file order. When the
+    /// built-ins are exactly a baked-in fragment and nothing else, the
+    /// result *is* that fragment's ruleset — closure stage included.
+    pub fn from_analyzed(compiled: &CompiledRuleset) -> Self {
+        let mut builtins: Vec<RuleId> = Vec::new();
+        let mut custom: Vec<CompiledRule> = Vec::new();
+        for (i, rule) in compiled.rules.iter().enumerate() {
+            match compiled.builtin_of(i) {
+                Some(id) => {
+                    if !builtins.contains(&id) {
+                        builtins.push(id);
+                    }
+                }
+                None => custom.push(rule.clone()),
+            }
+        }
+        builtins.sort_by_key(|&r| r as usize);
+        for (i, rule) in custom.iter().enumerate() {
+            assert!(
+                custom[..i].iter().all(|earlier| earlier.name != rule.name),
+                "duplicate rule name `{}` in ruleset",
+                rule.name
+            );
+        }
+        if custom.is_empty() {
+            if let Some(fragment) = Fragment::ALL
+                .into_iter()
+                .find(|&f| Self::for_fragment(f).rules == builtins)
+            {
+                return Self::for_fragment(fragment);
+            }
+        }
+        // The nominal fragment only labels the ruleset; every scheduling
+        // decision flows from the member rules themselves, and the closure
+        // stage is disabled in favour of the in-loop θ executors.
+        let mut ruleset = Self::with_dependency_index(Fragment::RdfsDefault, builtins);
+        ruleset.custom = custom;
+        ruleset.closure_stage = false;
+        ruleset
+    }
+
     fn with_dependency_index(fragment: Fragment, rules: Vec<RuleId>) -> Self {
+        for (i, &rule) in rules.iter().enumerate() {
+            assert!(
+                !rules[..i].contains(&rule),
+                "duplicate rule `{rule}` in ruleset"
+            );
+        }
         let mut dynamic_mask = 0u64;
         let mut by_property: BTreeMap<u64, u64> = BTreeMap::new();
         for &rule in &rules {
@@ -138,22 +207,35 @@ impl Ruleset {
             rules,
             dynamic_mask,
             by_property,
+            custom: Vec::new(),
+            closure_stage: true,
         }
     }
 
-    /// The rules, in Table 5 order.
+    /// The built-in member rules, in Table 5 order.
     pub fn rules(&self) -> &[RuleId] {
         &self.rules
     }
 
-    /// Number of rules.
+    /// The analyzer-compiled custom rules, in file order.
+    pub fn custom_rules(&self) -> &[CompiledRule] {
+        &self.custom
+    }
+
+    /// Whether the dedicated transitive-closure stage may run for this
+    /// ruleset (always true for the baked-in fragments).
+    pub fn runs_closure_stage(&self) -> bool {
+        self.closure_stage
+    }
+
+    /// Number of rules, built-in and custom.
     pub fn len(&self) -> usize {
-        self.rules.len()
+        self.rules.len() + self.custom.len()
     }
 
     /// `true` when the ruleset is empty.
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.rules.is_empty() && self.custom.is_empty()
     }
 
     /// `true` when the ruleset contains `rule`.
@@ -254,75 +336,78 @@ impl Ruleset {
             .filter(|&r| mask & rule_bit(r) != 0)
             .collect()
     }
+
+    /// Every rule of the ruleset: built-ins in Table 5 order, then the
+    /// custom rules in file order.
+    pub fn all_refs(&self) -> Vec<RuleRef> {
+        self.refs_from(self.rules.clone(), 0..self.custom.len())
+    }
+
+    /// The rules the fixed-point loop dispatches: every non-θ built-in plus
+    /// every custom rule (custom rules are never θ-classified — the generic
+    /// executor converges through the ordinary iterations).
+    pub fn fixed_point_refs(&self) -> Vec<RuleRef> {
+        self.refs_from(self.fixed_point_rules(), 0..self.custom.len())
+    }
+
+    /// [`Ruleset::scheduled_rules`] extended over the custom rules: their
+    /// derived input signatures are evaluated exactly like the dynamic
+    /// built-in signatures.
+    pub fn scheduled_refs(&self, main: &TripleStore, new: &TripleStore) -> Vec<RuleRef> {
+        let changed: BTreeSet<u64> = new.property_ids().collect();
+        let custom =
+            (0..self.custom.len()).filter(|&i| self.custom[i].inputs.changed(main, new, &changed));
+        self.refs_from(self.scheduled_rules(main, new), custom)
+    }
+
+    /// [`Ruleset::rederive_rules`] extended over the custom rules, through
+    /// their derived output signatures.
+    pub fn rederive_refs(&self, main: &TripleStore, deleted: &BTreeSet<u64>) -> Vec<RuleRef> {
+        if deleted.is_empty() {
+            return Vec::new();
+        }
+        let custom =
+            (0..self.custom.len()).filter(|&i| self.custom[i].outputs.may_write(main, deleted));
+        self.refs_from(self.rederive_rules(main, deleted), custom)
+    }
+
+    fn refs_from(
+        &self,
+        builtins: Vec<RuleId>,
+        custom: impl IntoIterator<Item = usize>,
+    ) -> Vec<RuleRef> {
+        builtins
+            .into_iter()
+            .map(RuleRef::Builtin)
+            .chain(custom.into_iter().map(RuleRef::Custom))
+            .collect()
+    }
 }
 
 /// Evaluates a dynamic input signature: `true` when the rule may derive
 /// something that is not already in `main`, given that exactly the tables of
-/// `changed` received new pairs.
+/// `changed` received new pairs. Delegates to the single implementation on
+/// [`DerivedInputs`], which analyzer-compiled rules use directly.
 fn dynamic_inputs_changed(
     inputs: RuleInputs,
     main: &TripleStore,
     new: &TripleStore,
     changed: &BTreeSet<u64>,
 ) -> bool {
-    match inputs {
-        RuleInputs::Properties(_) => unreachable!("fixed signatures use the index"),
-        RuleInputs::AnyProperty => true,
-        RuleInputs::AnyGuardedBy { guard } => {
-            changed.contains(&guard) || main.table(guard).is_some_and(|t| !t.is_empty())
-        }
-        RuleInputs::PropertyVariable { schema, side } => {
-            if changed.contains(&schema) {
-                return true;
-            }
-            let Some(table) = main.table(schema) else {
-                return false;
-            };
-            match side {
-                SchemaSide::Subject => table.iter_pairs().any(|(s, _)| changed.contains(&s)),
-                SchemaSide::Object => table.iter_pairs().any(|(_, o)| changed.contains(&o)),
-            }
-        }
-        RuleInputs::MarkedProperties { marker } => {
-            // A property newly declared with the marker feeds the rule even
-            // when its data table is old …
-            if !RuleContext::subjects_with_object(new, wk::RDF_TYPE, marker).is_empty() {
-                return true;
-            }
-            // … and so do new pairs in the table of any declared property.
-            RuleContext::subjects_with_object(main, wk::RDF_TYPE, marker)
-                .iter()
-                .any(|p| changed.contains(p))
-        }
-    }
+    DerivedInputs::from(inputs).changed(main, new, changed)
 }
 
 /// Evaluates an output signature against the store: `true` when the rule's
-/// head can land a triple in one of the `deleted` tables.
+/// head can land a triple in one of the `deleted` tables. Delegates to
+/// [`DerivedOutputs`].
 fn outputs_may_write(outputs: RuleOutputs, main: &TripleStore, deleted: &BTreeSet<u64>) -> bool {
-    match outputs {
-        RuleOutputs::Properties(props) => props.iter().any(|p| deleted.contains(p)),
-        RuleOutputs::PropertyVariable { schema, side } => main.table(schema).is_some_and(|table| {
-            table.iter_pairs().any(|(s, o)| {
-                let named = match side {
-                    SchemaSide::Subject => s,
-                    SchemaSide::Object => o,
-                };
-                deleted.contains(&named)
-            })
-        }),
-        RuleOutputs::MarkedProperties { marker } => {
-            RuleContext::subjects_with_object(main, wk::RDF_TYPE, marker)
-                .iter()
-                .any(|p| deleted.contains(p))
-        }
-        RuleOutputs::AnyProperty => true,
-    }
+    DerivedOutputs::from(outputs).may_write(main, deleted)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use inferray_dictionary::wellknown as wk;
 
     #[test]
     fn fragment_sizes() {

@@ -1,0 +1,12 @@
+//! Helper half of the cross-file IL003 fixture (synthetic sibling file
+//! `crates/store/src/table_helpers.rs`).
+
+use super::PropertyTable;
+
+pub fn finish_mutation(table: &mut PropertyTable) {
+    table.invalidate_os_cache();
+}
+
+pub fn forgetful_helper(table: &mut PropertyTable) {
+    table.audit_len(); // plausible-looking bookkeeping, no invalidation
+}

@@ -1,0 +1,28 @@
+//! Fixture: a mock property table whose invalidation discipline is split
+//! across files. Presented under `crates/store/src/property_table.rs`
+//! together with `il003_cross_file_helper.rs` (as a sibling store-crate
+//! file): `good_cross` delegates invalidation to a helper that lives in the
+//! other file, `bad_cross` delegates to one that forgets. Only the
+//! workspace-wide call-graph walk can tell them apart — a same-file walk
+//! flags both.
+
+pub struct PropertyTable {
+    so: Vec<u64>,
+    os: Option<Vec<u64>>,
+}
+
+impl PropertyTable {
+    fn invalidate_os_cache(&mut self) {
+        self.os = None;
+    }
+
+    pub fn good_cross(&mut self, s: u64) {
+        self.so.push(s);
+        finish_mutation(self); // defined in the helper file; invalidates
+    }
+
+    pub fn bad_cross(&mut self, pairs: Vec<u64>) {
+        self.so = pairs;
+        forgetful_helper(self); // defined in the helper file; does NOT
+    }
+}

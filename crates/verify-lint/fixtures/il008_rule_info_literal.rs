@@ -1,0 +1,36 @@
+//! Fixture: mints a `RuleInfo { … }` catalog row outside the catalog.
+//! Presented under a synthetic non-catalog path, exactly one literal must
+//! be flagged. Camouflage that must stay silent: the mention of
+//! RuleInfo { in this comment, the string below, type positions
+//! (`&RuleInfo` parameter, `RuleInfo::` path) and the `#[cfg(test)]`
+//! construction.
+
+pub fn rogue_row() {
+    let info = RuleInfo {
+        name: "ROGUE",
+        inputs: RuleInputs::None,
+        outputs: RuleOutputs::None,
+    };
+    register(info);
+}
+
+pub fn inspect(info: &RuleInfo) -> &'static str {
+    let _ = info;
+    "RuleInfo { in a string is not a literal"
+}
+
+pub fn lookup() {
+    let _ = RuleInfo::lookup_by_name("CAX-SCO");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn builds_one_in_tests() {
+        let _ = RuleInfo {
+            name: "TEST-ONLY",
+            inputs: RuleInputs::None,
+            outputs: RuleOutputs::None,
+        };
+    }
+}

@@ -8,11 +8,12 @@
 //! |-------|----------|
 //! | IL001 | every crate root carries `#![forbid(unsafe_code)]` |
 //! | IL002 | no `unwrap`/`expect`/`panic!`-family calls in the server, persist and snapshot hot paths |
-//! | IL003 | `PropertyTable` pair mutations stay in the store crate and provably reach `invalidate_os_cache` |
+//! | IL003 | `PropertyTable` pair mutations stay in the store crate and provably reach `invalidate_os_cache` (workspace-wide call-graph walk) |
 //! | IL004 | lock-acquisition ordering across the publish/persist protocols |
 //! | IL005 | no `std::process::exit` outside `src/bin` |
 //! | IL006 | manifest hygiene: intra-workspace deps via `workspace = true`, no version drift |
 //! | IL007 | no per-request allocation (`format!`/`String::new`/`Vec::new`) in the serving hot path |
+//! | IL008 | `RuleInfo` literals only in the rule catalog and the rule-program analyzer |
 //!
 //! Findings a human has justified live in `crates/verify-lint/allowlist.txt`
 //! (rule, path suffix, line substring, justification); unused entries are
@@ -543,6 +544,7 @@ pub fn run(root: &Path) -> Result<LintOutcome, String> {
     diagnostics.extend(rules::il005_no_process_exit(&files));
     diagnostics.extend(rules::il006_manifest_hygiene(&manifests, &members));
     diagnostics.extend(rules::il007_no_hot_path_allocation(&files));
+    diagnostics.extend(rules::il008_rule_info_literals(&files));
     diagnostics.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
 
     let allowlist_text =

@@ -1,4 +1,4 @@
-//! The seven lint rules. Each is a pure function from prepared sources to
+//! The eight lint rules. Each is a pure function from prepared sources to
 //! diagnostics so the fixture tests can drive them directly.
 
 use crate::{calls_in, index_functions, Diagnostic, SourceFile};
@@ -160,15 +160,16 @@ fn mutates_self_so(body: &str) -> bool {
 
 /// IL003: (a) `pairs_mut` is the raw mutation escape hatch — calling it
 /// outside `crates/store` bypasses the table's invalidation discipline;
-/// (b) inside `property_table.rs`, every function that mutates `self.so`
-/// must transitively reach `invalidate_os_cache` (conservative same-file
-/// call-graph walk).
+/// (b) every `property_table.rs` function that mutates `self.so` must
+/// transitively reach `invalidate_os_cache`, through a call graph built
+/// over the *whole workspace* — so invalidation helpers hoisted into
+/// sibling files keep the proof intact, and mutators whose only
+/// invalidation path was moved out from under them are still caught.
 pub fn il003_os_cache_invalidation(files: &[SourceFile]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for file in files {
         let p = file.path.to_string_lossy().replace('\\', "/");
-        let in_store = p.contains("crates/store/");
-        if !in_store {
+        if !p.contains("crates/store/") {
             let mut from = 0usize;
             while let Some(offset) = file.clean_no_tests[from..].find(".pairs_mut(") {
                 let at = from + offset;
@@ -184,36 +185,38 @@ pub fn il003_os_cache_invalidation(files: &[SourceFile]) -> Vec<Diagnostic> {
                 });
             }
         }
-        if p.ends_with("property_table.rs") && in_store {
-            out.extend(check_mutators_reach_invalidate(file));
-        }
     }
+    out.extend(check_mutators_reach_invalidate(files));
     out
 }
 
-/// The call-graph walk of IL003(b), also used directly by the fixture
-/// tests against a mock property-table file.
-pub fn check_mutators_reach_invalidate(file: &SourceFile) -> Vec<Diagnostic> {
-    let fns = index_functions(&file.clean_no_tests);
-    let mut calls: HashMap<&str, HashSet<String>> = HashMap::new();
-    for f in &fns {
-        calls
-            .entry(f.name.as_str())
-            .or_default()
-            .extend(calls_in(&file.clean_no_tests[f.body.clone()]));
+/// The cross-file call-graph walk of IL003(b), also used directly by the
+/// fixture tests against mock property-table/helper files. Same-named
+/// functions across files union their callees (no resolution — strictly
+/// more edges, so the walk can only get *less* strict than a perfect one,
+/// never flag a path that does invalidate).
+pub fn check_mutators_reach_invalidate(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut calls: HashMap<String, HashSet<String>> = HashMap::new();
+    for file in files {
+        for f in index_functions(&file.clean_no_tests) {
+            calls
+                .entry(f.name.clone())
+                .or_default()
+                .extend(calls_in(&file.clean_no_tests[f.body.clone()]));
+        }
     }
     // Transitive closure: which function names eventually call the sink.
     let mut reaches: HashSet<&str> = HashSet::new();
     loop {
         let mut grew = false;
         for (name, callees) in &calls {
-            if reaches.contains(name) {
+            if reaches.contains(name.as_str()) {
                 continue;
             }
             if callees.contains("invalidate_os_cache")
                 || callees.iter().any(|c| reaches.contains(c.as_str()))
             {
-                reaches.insert(name);
+                reaches.insert(name.as_str());
                 grew = true;
             }
         }
@@ -222,22 +225,28 @@ pub fn check_mutators_reach_invalidate(file: &SourceFile) -> Vec<Diagnostic> {
         }
     }
     let mut out = Vec::new();
-    for f in &fns {
-        if f.name == "invalidate_os_cache" {
+    for file in files {
+        let p = file.path.to_string_lossy().replace('\\', "/");
+        if !(p.ends_with("property_table.rs") && p.contains("crates/store/")) {
             continue;
         }
-        let body = &file.clean_no_tests[f.body.clone()];
-        if mutates_self_so(body) && !reaches.contains(f.name.as_str()) {
-            out.push(Diagnostic {
-                rule: "IL003",
-                path: file.path.clone(),
-                line: file.line_of(f.sig.start),
-                message: format!(
-                    "`{}` mutates the ⟨s,o⟩ pair array but no call path reaches \
-                     invalidate_os_cache — a stale ⟨o,s⟩ cache could be served",
-                    f.name
-                ),
-            });
+        for f in index_functions(&file.clean_no_tests) {
+            if f.name == "invalidate_os_cache" {
+                continue;
+            }
+            let body = &file.clean_no_tests[f.body.clone()];
+            if mutates_self_so(body) && !reaches.contains(f.name.as_str()) {
+                out.push(Diagnostic {
+                    rule: "IL003",
+                    path: file.path.clone(),
+                    line: file.line_of(f.sig.start),
+                    message: format!(
+                        "`{}` mutates the ⟨s,o⟩ pair array but no call path reaches \
+                         invalidate_os_cache — a stale ⟨o,s⟩ cache could be served",
+                        f.name
+                    ),
+                });
+            }
         }
     }
     out
@@ -739,5 +748,63 @@ pub fn il007_no_hot_path_allocation(files: &[SourceFile]) -> Vec<Diagnostic> {
         }
     }
     out.sort_by_key(|d| (d.path.clone(), d.line));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// IL008 — RuleInfo literals stay in the catalog and the analyzer
+// ---------------------------------------------------------------------------
+
+/// The only places allowed to construct catalog rows: the hand-written
+/// catalog itself and the rule-program analyzer that re-derives it.
+fn may_construct_rule_info(path: &str) -> bool {
+    path.ends_with("crates/rules/src/catalog.rs") || path.contains("crates/rules/src/analysis/")
+}
+
+/// IL008: `RuleInfo { … }` literals may only appear in
+/// `crates/rules/src/catalog.rs` and the analysis module. Everywhere else
+/// must go through `RuleId::info()` or the analyzer's derived signatures —
+/// a third place minting rows would break the catalog's single-source-of-
+/// truth guarantee that the byte-identity test anchors.
+pub fn il008_rule_info_literals(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        let p = file.path.to_string_lossy().replace('\\', "/");
+        if may_construct_rule_info(&p) {
+            continue;
+        }
+        let text = &file.clean_no_tests;
+        let bytes = text.as_bytes();
+        let mut from = 0usize;
+        while let Some(offset) = text[from..].find("RuleInfo") {
+            let at = from + offset;
+            from = at + "RuleInfo".len();
+            if at > 0 {
+                let prev = bytes[at - 1];
+                if prev.is_ascii_alphanumeric() || prev == b'_' {
+                    continue;
+                }
+            }
+            // A literal is `RuleInfo` followed (past whitespace) by `{`.
+            // Type positions (`&RuleInfo`, `-> RuleInfo` in a signature with
+            // the body brace) can collide; that coarseness is deliberate —
+            // the allowlist is the escape hatch.
+            let mut j = from;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'{' {
+                out.push(Diagnostic {
+                    rule: "IL008",
+                    path: file.path.clone(),
+                    line: file.line_of(at),
+                    message: "RuleInfo literal outside crates/rules/src/catalog.rs and the \
+                              analysis module — construct rows only there (or read them via \
+                              RuleId::info) so the catalog stays the single source of truth"
+                        .to_string(),
+                });
+            }
+        }
+    }
     out
 }

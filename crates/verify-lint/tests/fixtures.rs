@@ -81,6 +81,32 @@ fn il003_fires_on_mutation_without_invalidation() {
 }
 
 #[test]
+fn il003_walks_the_call_graph_across_files() {
+    let table = || {
+        fixture(
+            "il003_cross_file_table.rs",
+            "crates/store/src/property_table.rs",
+        )
+    };
+    let helper = fixture(
+        "il003_cross_file_helper.rs",
+        "crates/store/src/table_helpers.rs",
+    );
+
+    // With only the table file visible both mutators look bad — exactly
+    // where the old same-file walk stopped.
+    let blinkered = rules::il003_os_cache_invalidation(&[table()]);
+    assert_eq!(blinkered.len(), 2, "{blinkered:?}");
+
+    // With the helper file in the walk, the cross-file invalidation path of
+    // `good_cross` resolves and only the genuinely forgetful path remains.
+    let diags = rules::il003_os_cache_invalidation(&[table(), helper]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "IL003");
+    assert!(diags[0].message.contains("bad_cross"), "{diags:?}");
+}
+
+#[test]
 fn il003_fires_on_pairs_mut_outside_store() {
     let files = vec![fixture(
         "il003_pairs_mut_outside.rs",
@@ -178,6 +204,31 @@ fn il007_fires_on_hot_function_allocation_only() {
 fn il007_is_silent_outside_server_rs() {
     let files = vec![fixture("il007_hot_alloc.rs", "crates/query/src/planner.rs")];
     assert!(rules::il007_no_hot_path_allocation(&files).is_empty());
+}
+
+#[test]
+fn il008_fires_on_rule_info_literals_outside_the_catalog() {
+    let files = vec![fixture(
+        "il008_rule_info_literal.rs",
+        "crates/core/src/bad.rs",
+    )];
+    let diags = rules::il008_rule_info_literals(&files);
+    // One literal in `rogue_row`; the comment, string, type positions,
+    // `RuleInfo::` path and cfg(test) construction all stay silent.
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "IL008");
+    assert_eq!(diags[0].line, 9, "{diags:?}");
+}
+
+#[test]
+fn il008_is_silent_in_the_catalog_and_the_analyzer() {
+    for home in [
+        "crates/rules/src/catalog.rs",
+        "crates/rules/src/analysis/compile.rs",
+    ] {
+        let files = vec![fixture("il008_rule_info_literal.rs", home)];
+        assert!(rules::il008_rule_info_literals(&files).is_empty(), "{home}");
+    }
 }
 
 /// The whole pass over the real workspace: zero unallowlisted findings and

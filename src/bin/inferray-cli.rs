@@ -25,11 +25,22 @@
 //! directory — which image would be used, how many WAL records replay —
 //! and prints the report without serving.
 //!
+//! **Rules**: `inferray-cli rules check FILE` runs the rule-program static
+//! analyzer (docs/rules.md) over a `.rules` file and prints every finding as
+//! a machine-readable `file:line:col: severity: message [RA###]` line,
+//! exiting non-zero when the file has errors. `rules explain FILE`
+//! additionally compiles the program and dumps each rule's derived
+//! input/output signature and whether it was recognized as a catalog
+//! built-in. `serve --rules FILE` serves a dataset closed under the rule
+//! program instead of a baked-in fragment.
+//!
 //! ```text
 //! inferray-cli [OPTIONS] [FILE]
 //! inferray-cli serve [OPTIONS] [--port N] [--threads N] [--data-dir D] [FILE]
+//! inferray-cli serve --rules RULES [OPTIONS] [FILE]
 //! inferray-cli snapshot --data-dir D [OPTIONS] [FILE]
 //! inferray-cli recover --data-dir D [OPTIONS]
+//! inferray-cli rules check|explain RULES
 //!
 //! Options:
 //!   --fragment <rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full>   (default: rdfs)
@@ -47,6 +58,9 @@
 //!                        response (disables HTTP/1.1 keep-alive)
 //!   --data-dir <DIR>     durable storage directory (WAL + snapshot images)
 //!   --checkpoint-every <N>  records between automatic checkpoints (default 1024)
+//!   --rules <FILE>       serve mode: close the dataset under this rule
+//!                        program instead of --fragment (in-memory only;
+//!                        not combinable with --data-dir)
 //!   --help
 //!
 //! FILE defaults to standard input.
@@ -63,6 +77,7 @@ use inferray_parser::loader::LoadedDataset;
 use inferray_query::{
     DurabilityReporter, ServerConfig, SnapshotQueryEngine, SparqlServer, UpdateSink,
 };
+use inferray_rules::analysis::{self, Diagnostic};
 use inferray_rules::Fragment;
 use std::io::{Read, Write};
 use std::process::ExitCode;
@@ -74,6 +89,10 @@ enum Mode {
     Serve,
     Snapshot,
     Recover,
+    /// `rules check` — static analysis only.
+    RulesCheck,
+    /// `rules explain` — analysis plus derived-signature dump.
+    RulesExplain,
 }
 
 struct CliOptions {
@@ -91,15 +110,17 @@ struct CliOptions {
     no_keep_alive: bool,
     data_dir: Option<String>,
     checkpoint_every: Option<u64>,
+    rules: Option<String>,
     input: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: inferray-cli [serve|snapshot|recover] \
+    "usage: inferray-cli [serve|snapshot|recover|rules check|rules explain] \
      [--fragment rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full] \
      [--format ntriples|turtle] [--inferred-only] [--sequential] \
      [--ingest-threads N] [--chunk-kib N] [--port N] [--host ADDR] [--threads N] \
-     [--read-only] [--no-keep-alive] [--data-dir DIR] [--checkpoint-every N] [FILE]\n\
+     [--read-only] [--no-keep-alive] [--data-dir DIR] [--checkpoint-every N] \
+     [--rules FILE] [FILE]\n\
      Reads RDF and materializes the fragment with Inferray. Without a subcommand\n\
      the materialization is written as N-Triples to stdout; with 'serve' it is\n\
      exposed on a SPARQL-over-HTTP endpoint (GET/POST /sparql, POST /update for\n\
@@ -107,7 +128,10 @@ fn usage() -> &'static str {
      interrupted — durably when --data-dir is given (WAL + snapshot images,\n\
      crash recovery; docs/persistence.md). 'snapshot' writes a snapshot image\n\
      of the materialized input; 'recover' validates a data directory and\n\
-     prints the recovery report."
+     prints the recovery report. 'rules check FILE' statically analyzes a\n\
+     rule program (docs/rules.md) and 'rules explain FILE' also dumps each\n\
+     rule's derived scheduler signature; 'serve --rules FILE' serves a\n\
+     dataset closed under the program instead of a baked-in fragment."
 }
 
 fn parse_fragment(name: &str) -> Option<Fragment> {
@@ -139,6 +163,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         no_keep_alive: false,
         data_dir: None,
         checkpoint_every: None,
+        rules: None,
         input: None,
     };
     let mut i = 0usize;
@@ -154,6 +179,19 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         Some("recover") => {
             options.mode = Mode::Recover;
             i = 1;
+        }
+        Some("rules") => {
+            options.mode = match args.get(1).map(String::as_str) {
+                Some("check") => Mode::RulesCheck,
+                Some("explain") => Mode::RulesExplain,
+                other => {
+                    return Err(format!(
+                        "'rules' needs a subcommand, 'check' or 'explain' (got {})",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            };
+            i = 2;
         }
         _ => {}
     }
@@ -218,6 +256,11 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 options.data_dir = Some(value.clone());
                 i += 1;
             }
+            "--rules" => {
+                let value = args.get(i + 1).ok_or("--rules needs a value")?;
+                options.rules = Some(value.clone());
+                i += 1;
+            }
             "--checkpoint-every" => {
                 let value = args.get(i + 1).ok_or("--checkpoint-every needs a value")?;
                 options.checkpoint_every = Some(
@@ -250,6 +293,19 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     }
     if matches!(options.mode, Mode::Snapshot | Mode::Recover) && options.data_dir.is_none() {
         return Err("this subcommand requires --data-dir".to_string());
+    }
+    if matches!(options.mode, Mode::RulesCheck | Mode::RulesExplain) && options.input.is_none() {
+        return Err("'rules check|explain' needs a rule file".to_string());
+    }
+    if options.rules.is_some() {
+        if options.mode != Mode::Serve {
+            return Err("--rules only applies to 'serve'".to_string());
+        }
+        if options.data_dir.is_some() {
+            // The durable recovery path re-materializes under a *fragment*;
+            // persisting a rule program alongside the images is future work.
+            return Err("--rules cannot be combined with --data-dir".to_string());
+        }
     }
     Ok(options)
 }
@@ -394,6 +450,68 @@ fn open_or_create_durable(
     }
 }
 
+/// One finding as a machine-readable line: `file:line:col: severity:
+/// message [RA###]` — the format editors and CI log-matchers expect.
+fn render_diag(path: &str, d: &Diagnostic) -> String {
+    format!(
+        "{path}:{}:{}: {}: {} [{}]",
+        d.line,
+        d.col,
+        d.severity.label(),
+        d.message,
+        d.code
+    )
+}
+
+/// `rules check` / `rules explain`: run the static analyzer over a rule
+/// file, print every finding, and — for `explain` — compile the program and
+/// dump each rule's derived scheduler signature.
+fn rules_check(options: &CliOptions, explain: bool) -> Result<(), String> {
+    let path = options.input.as_deref().expect("validated by parse_args");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let checked = analysis::analyze(&text);
+    for d in &checked.diagnostics {
+        println!("{}", render_diag(path, d));
+    }
+    if checked.has_errors() {
+        return Err(format!("{path}: rule program has errors"));
+    }
+    if explain {
+        let mut dict = inferray_dictionary::Dictionary::new();
+        match checked.compile(&mut dict) {
+            Ok(compiled) => {
+                for note in &compiled.notes {
+                    println!("{}", render_diag(path, note));
+                }
+                for (i, rule) in compiled.rules.iter().enumerate() {
+                    let executor = match compiled.builtin_of(i) {
+                        Some(id) => format!("builtin {id} (hand-written executor)"),
+                        None => "custom (generic executor)".to_owned(),
+                    };
+                    println!("rule {}: {executor}", rule.name);
+                    println!("  inputs:  {}", rule.inputs);
+                    println!("  outputs: {}", rule.outputs);
+                }
+            }
+            Err(diags) => {
+                for d in diags.iter().filter(|d| !checked.diagnostics.contains(d)) {
+                    println!("{}", render_diag(path, d));
+                }
+                return Err(format!("{path}: rule program has errors"));
+            }
+        }
+    }
+    let errors = checked.diagnostics.iter().filter(|d| d.is_error()).count();
+    eprintln!(
+        "inferray: {}: {} rules, {} findings ({} errors)",
+        path,
+        checked.rules.len(),
+        checked.diagnostics.len(),
+        errors,
+    );
+    Ok(())
+}
+
 fn serve(options: &CliOptions) -> Result<(), String> {
     // With --data-dir the dataset is durable: recovered from disk when
     // possible, WAL-protected in any case. Without it, serving stays purely
@@ -415,8 +533,23 @@ fn serve(options: &CliOptions) -> Result<(), String> {
         }
         None => {
             let loaded = load(options)?;
-            let (dataset, stats) =
-                ServingDataset::materialize(loaded, options.fragment, reasoner_options(options));
+            let (dataset, stats) = match &options.rules {
+                Some(rules_path) => {
+                    let text = std::fs::read_to_string(rules_path)
+                        .map_err(|e| format!("cannot read {rules_path}: {e}"))?;
+                    ServingDataset::materialize_with_rules(loaded, &text, reasoner_options(options))
+                        .map_err(|diags| {
+                            diags
+                                .iter()
+                                .map(|d| render_diag(rules_path, d))
+                                .collect::<Vec<_>>()
+                                .join("\n")
+                        })?
+                }
+                None => {
+                    ServingDataset::materialize(loaded, options.fragment, reasoner_options(options))
+                }
+            };
             eprintln!(
                 "inferray: materialized {} triples ({} inferred) in {:?}",
                 stats.output_triples,
@@ -540,6 +673,8 @@ fn main() -> ExitCode {
         Mode::Snapshot => snapshot(&options, &options.data_dir.clone().expect("validated")),
         Mode::Recover => recover(&options, &options.data_dir.clone().expect("validated")),
         Mode::Materialize => run(&options),
+        Mode::RulesCheck => rules_check(&options, false),
+        Mode::RulesExplain => rules_check(&options, true),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -11,8 +11,9 @@ use inferray::datasets::lubm::LubmGenerator;
 use inferray::datasets::taxonomy::wikipedia_like;
 use inferray::datasets::Dataset;
 use inferray::parser::loader::load_triples;
+use inferray::rules::{analysis, RuleId};
 use inferray::{
-    Fragment, InferenceStats, InferrayOptions, InferrayReasoner, Materializer, TripleStore,
+    Fragment, InferenceStats, InferrayOptions, InferrayReasoner, Materializer, Triple, TripleStore,
 };
 
 fn store_for(dataset: &Dataset) -> TripleStore {
@@ -119,6 +120,54 @@ fn taxonomy_parallel_equals_sequential_rdfs() {
 fn taxonomy_parallel_equals_sequential_rdfs_plus() {
     let dataset = wikipedia_like(300, 5);
     check_dataset(&dataset, Fragment::RdfsPlus);
+}
+
+/// Parallelism must stay unobservable when the ruleset came out of the
+/// analyzer — custom generic-executor rules fire on the same worker pool as
+/// the hand-written ones.
+#[test]
+fn analyzer_loaded_ruleset_parallel_equals_sequential() {
+    let program = format!(
+        "{}@prefix ex: <http://ex/> .\n{}\n\
+         rule gp: ?x ex:parent ?y, ?y ex:parent ?z => ?x ex:grandparent ?z .\n\
+         rule near-sym: ?x ex:near ?y => ?y ex:near ?x .\n\
+         rule near-trans: ?x ex:near ?y, ?y ex:near ?z => ?x ex:near ?z .\n",
+        analysis::builtin::PRELUDE,
+        analysis::builtin::rule_text(RuleId::CaxSco),
+    );
+    const SUB_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    let ex = |n: &str| format!("http://ex/{n}");
+    let data = [
+        Triple::iris(ex("a"), ex("parent"), ex("b")),
+        Triple::iris(ex("b"), ex("parent"), ex("c")),
+        Triple::iris(ex("c"), ex("parent"), ex("d")),
+        Triple::iris(ex("n1"), ex("near"), ex("n2")),
+        Triple::iris(ex("n2"), ex("near"), ex("n3")),
+        Triple::iris(ex("C1"), SUB_CLASS, ex("C2")),
+        Triple::iris(ex("a"), RDF_TYPE, ex("C1")),
+    ];
+
+    let run = |options: InferrayOptions| {
+        let loaded = load_triples(data.iter()).expect("data is valid");
+        let mut dictionary = loaded.dictionary;
+        let mut store = loaded.store;
+        let ruleset =
+            analysis::load_ruleset(&program, &mut dictionary).expect("program analyzes clean");
+        assert!(!dictionary.has_pending_promotions());
+        let mut reasoner = InferrayReasoner::with_ruleset(ruleset, options);
+        let stats = reasoner.materialize(&mut store);
+        (store, stats)
+    };
+    let (parallel_store, parallel_stats) = run(InferrayOptions::default());
+    let (sequential_store, sequential_stats) = run(InferrayOptions::sequential());
+
+    assert!(
+        parallel_stats.inferred_triples() > 0,
+        "the custom program must derive something for this test to bite"
+    );
+    assert_stores_byte_identical(&parallel_store, &sequential_store, "analyzer ruleset");
+    assert_stats_equal(&parallel_stats, &sequential_stats, "analyzer ruleset");
 }
 
 #[test]

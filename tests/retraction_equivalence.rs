@@ -6,9 +6,10 @@
 
 use inferray::core::{InferrayReasoner, Materializer};
 use inferray::dictionary::wellknown;
-use inferray::rules::Fragment;
+use inferray::parser::loader::load_triples;
+use inferray::rules::{analysis, Fragment, RuleId};
 use inferray::store::TripleStore;
-use inferray::{IdTriple, InferrayOptions};
+use inferray::{IdTriple, InferrayOptions, Triple};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -227,6 +228,82 @@ fn retraction_is_idempotent_and_composes_with_extension() {
     }
     base_store.finalize();
     assert_eq!(table_bytes(&materialized), before);
+}
+
+/// Retract == rebuild over an analyzer-loaded ruleset mixing recognized
+/// builtins with custom generic-executor rules: deleting explicit edges
+/// must un-derive exactly the custom-rule cone DRed-style, byte-identical
+/// to materializing the complement from scratch.
+#[test]
+fn retract_equals_rebuild_on_an_analyzer_loaded_ruleset() {
+    const SUB_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    let program = format!(
+        "{}@prefix ex: <http://ex/> .\n{}\n\
+         rule gp: ?x ex:parent ?y, ?y ex:parent ?z => ?x ex:grandparent ?z .\n\
+         rule gc: ?x ex:grandparent ?y => ?y ex:grandchild ?x .\n\
+         rule near-sym: ?x ex:near ?y => ?y ex:near ?x .\n",
+        analysis::builtin::PRELUDE,
+        analysis::builtin::rule_text(RuleId::CaxSco),
+    );
+    let ex = |n: &str| format!("http://ex/{n}");
+    let data = [
+        Triple::iris(ex("a"), ex("parent"), ex("b")),
+        Triple::iris(ex("b"), ex("parent"), ex("c")),
+        Triple::iris(ex("c"), ex("parent"), ex("d")),
+        Triple::iris(ex("n1"), ex("near"), ex("n2")),
+        Triple::iris(ex("C1"), SUB_CLASS, ex("C2")),
+        Triple::iris(ex("a"), RDF_TYPE, ex("C1")),
+    ];
+    // Deleting b→c severs both grandparent derivations through b and the
+    // near edge's symmetric mirror; the subclass typing must survive.
+    let delta_terms = [
+        Triple::iris(ex("b"), ex("parent"), ex("c")),
+        Triple::iris(ex("n1"), ex("near"), ex("n2")),
+    ];
+
+    for options in [InferrayOptions::default(), InferrayOptions::sequential()] {
+        let loaded = load_triples(data.iter()).expect("data is valid");
+        let mut dictionary = loaded.dictionary;
+        let explicit = loaded.store;
+        let ruleset =
+            analysis::load_ruleset(&program, &mut dictionary).expect("program analyzes clean");
+        assert!(
+            !dictionary.has_pending_promotions(),
+            "every rule predicate already appears as a predicate in the data"
+        );
+        let delta: Vec<IdTriple> = delta_terms
+            .iter()
+            .map(|t| {
+                IdTriple::new(
+                    dictionary.id_of(&t.subject).unwrap(),
+                    dictionary.id_of(&t.predicate).unwrap(),
+                    dictionary.id_of(&t.object).unwrap(),
+                )
+            })
+            .collect();
+
+        let mut materialized = explicit.clone();
+        let mut base_store = explicit.clone();
+        let mut reasoner = InferrayReasoner::with_ruleset(ruleset.clone(), options);
+        reasoner.materialize(&mut materialized);
+        reasoner.retract_delta(&mut materialized, &mut base_store, delta.iter().copied());
+
+        let removed: BTreeSet<IdTriple> = delta.iter().copied().collect();
+        let remaining: Vec<IdTriple> = explicit
+            .iter_triples()
+            .filter(|t| !removed.contains(t))
+            .collect();
+        let mut rebuilt = TripleStore::from_triples(remaining.iter().copied());
+        InferrayReasoner::with_ruleset(ruleset, options).materialize(&mut rebuilt);
+
+        assert_eq!(
+            table_bytes(&materialized),
+            table_bytes(&rebuilt),
+            "retract != rebuild over the analyzer-loaded ruleset ({options:?})"
+        );
+        assert_eq!(base_store.iter_triples().collect::<Vec<_>>(), remaining);
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -15,9 +15,11 @@ use inferray::datasets::LubmGenerator;
 use inferray::dictionary::wellknown as wk;
 use inferray::model::ids::nth_property_id;
 use inferray::parser::loader::load_triples;
-use inferray::rules::Fragment;
+use inferray::rules::{analysis, Fragment, RuleId, Ruleset};
 use inferray::store::TripleStore;
-use inferray::{IdTriple, InferrayOptions};
+use inferray::{IdTriple, InferrayOptions, Triple};
+use proptest::prelude::*;
+use std::collections::HashMap;
 
 /// Byte-level equality: same non-empty tables, same ⟨s,o⟩ pair arrays.
 fn assert_byte_identical(expected: &TripleStore, actual: &TripleStore, label: &str) {
@@ -76,6 +78,95 @@ fn mixed_dataset() -> Vec<(u64, u64, u64)> {
         (e + 10, wk::OWL_SAME_AS, e + 30),
         (e + 30, wk::OWL_SAME_AS, e + 31),
     ]
+}
+
+/// A mixed rule program for the analyzer path: two recognized builtins
+/// (dispatched to their hand-written executors) plus four custom rules the
+/// generic executor runs, including a symmetric-transitive pair that takes
+/// several iterations to close.
+fn custom_program() -> String {
+    format!(
+        "{}@prefix ex: <http://ex/> .\n{}\n{}\n\
+         rule gp: ?x ex:parent ?y, ?y ex:parent ?z => ?x ex:grandparent ?z .\n\
+         rule gc: ?x ex:grandparent ?y => ?y ex:grandchild ?x .\n\
+         rule near-sym: ?x ex:near ?y => ?y ex:near ?x .\n\
+         rule near-trans: ?x ex:near ?y, ?y ex:near ?z => ?x ex:near ?z .\n",
+        analysis::builtin::PRELUDE,
+        analysis::builtin::rule_text(RuleId::CaxSco),
+        analysis::builtin::rule_text(RuleId::ScmSco),
+    )
+}
+
+/// Instance data feeding both halves of [`custom_program`]: a parent chain
+/// and near edges for the custom rules, a subclass chain with a typed
+/// instance for the builtins.
+fn custom_data() -> Vec<Triple> {
+    const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    const SUB_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    let ex = |n: &str| format!("http://ex/{n}");
+    vec![
+        Triple::iris(ex("a"), ex("parent"), ex("b")),
+        Triple::iris(ex("b"), ex("parent"), ex("c")),
+        Triple::iris(ex("c"), ex("parent"), ex("d")),
+        Triple::iris(ex("e"), ex("parent"), ex("c")),
+        Triple::iris(ex("n1"), ex("near"), ex("n2")),
+        Triple::iris(ex("n2"), ex("near"), ex("n3")),
+        Triple::iris(ex("C1"), SUB_CLASS, ex("C2")),
+        Triple::iris(ex("C2"), SUB_CLASS, ex("C3")),
+        Triple::iris(ex("a"), RDF_TYPE, ex("C1")),
+    ]
+}
+
+/// Loads `data`, compiles `program` against the same dictionary (applying
+/// any identifier promotions the rule constants caused), and returns the
+/// still-explicit store with the analyzer-built ruleset.
+fn load_with_rules(program: &str, data: &[Triple]) -> (TripleStore, Ruleset) {
+    let loaded = load_triples(data.iter()).expect("data is valid");
+    let mut dictionary = loaded.dictionary;
+    let mut store = loaded.store;
+    let ruleset = analysis::load_ruleset(program, &mut dictionary)
+        .expect("the program analyzes without errors");
+    if dictionary.has_pending_promotions() {
+        let remap: HashMap<u64, u64> = dictionary.take_promotions().into_iter().collect();
+        store.remap_ids(&remap);
+        store.finalize();
+    }
+    (store, ruleset)
+}
+
+#[test]
+fn scheduled_equals_full_on_an_analyzer_loaded_ruleset() {
+    let program = custom_program();
+    let data = custom_data();
+    for parallel in [true, false] {
+        let base = if parallel {
+            InferrayOptions::default()
+        } else {
+            InferrayOptions::sequential()
+        };
+        let (mut scheduled_store, ruleset) = load_with_rules(&program, &data);
+        let mut scheduled = InferrayReasoner::with_ruleset(ruleset.clone(), base);
+        let stats = scheduled.materialize(&mut scheduled_store);
+        assert!(
+            stats.inferred_triples() > 0 && stats.iterations >= 2,
+            "custom program must derive across multiple iterations \
+             ({} inferred, {} iterations)",
+            stats.inferred_triples(),
+            stats.iterations
+        );
+
+        let (mut full_store, _) = load_with_rules(&program, &data);
+        let full_options = InferrayOptions {
+            schedule_rules: false,
+            ..base
+        };
+        InferrayReasoner::with_ruleset(ruleset, full_options).materialize(&mut full_store);
+        assert_byte_identical(
+            &full_store,
+            &scheduled_store,
+            &format!("analyzer-loaded ruleset (parallel={parallel})"),
+        );
+    }
 }
 
 #[test]
@@ -185,5 +276,97 @@ fn incremental_path_is_identical_with_and_without_scheduling() {
             &scheduled_store,
             &format!("delta-vs-batch {fragment}"),
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property-based: randomly generated safe rules always compile to
+// scheduler-accepted signatures, and scheduling never skips a firing that
+// changes the store.
+// ---------------------------------------------------------------------------
+
+/// A random rule program that is *safe by construction*: each rule's body is
+/// a variable chain `?v0 … ?vN` (connected, so no unbound cross products),
+/// the head's variables are drawn from that chain (range-restricted), and
+/// head predicates come from a pool disjoint from the body pool (no rule
+/// ever repeats a body atom, so none is dead). Predicate positions mix
+/// constants with variables to exercise the whole-store fallback signature.
+fn arbitrary_safe_program() -> impl Strategy<Value = String> {
+    let rule = (
+        1usize..3,
+        prop::collection::vec(0u8..5, 2),
+        0u8..3,
+        0u8..3,
+        0u8..3,
+    )
+        .prop_map(|(body_len, preds, head_pred, head_s, head_o)| {
+            let atoms: Vec<String> = (0..body_len)
+                .map(|k| {
+                    let pred = match preds[k] {
+                        4 => format!("?p{k}"),
+                        n => format!("ex:p{n}"),
+                    };
+                    format!("?v{k} {pred} ?v{}", k + 1)
+                })
+                .collect();
+            format!(
+                "{} => ?v{} ex:h{head_pred} ?v{} .",
+                atoms.join(", "),
+                head_s as usize % (body_len + 1),
+                head_o as usize % (body_len + 1),
+            )
+        });
+    prop::collection::vec(rule, 1..4).prop_map(|rules| {
+        let mut out = String::from("@prefix ex: <http://ex/> .\n");
+        for (i, r) in rules.iter().enumerate() {
+            out.push_str(&format!("rule r{i}: {r}\n"));
+        }
+        out
+    })
+}
+
+/// Random instance data over the same vocabulary the generated rules use.
+fn arbitrary_instance_data() -> impl Strategy<Value = Vec<Triple>> {
+    prop::collection::vec(
+        (0u8..6, 0u8..4, 0u8..6).prop_map(|(s, p, o)| {
+            Triple::iris(
+                format!("http://ex/i{s}"),
+                format!("http://ex/p{p}"),
+                format!("http://ex/i{o}"),
+            )
+        }),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_safe_rules_always_compile_and_schedule_exactly(
+        program in arbitrary_safe_program(),
+        data in arbitrary_instance_data(),
+    ) {
+        // Safety by construction: the analyzer must accept every generated
+        // program and derive signatures the scheduler can run.
+        let analysis = analysis::analyze(&program);
+        prop_assert!(
+            !analysis.has_errors(),
+            "generated program rejected:\n{program}\n{:?}",
+            analysis.diagnostics
+        );
+
+        let run = |schedule: bool| {
+            let (mut store, ruleset) = load_with_rules(&program, &data);
+            let options = if schedule {
+                InferrayOptions::default()
+            } else {
+                InferrayOptions::unscheduled()
+            };
+            InferrayReasoner::with_ruleset(ruleset, options).materialize(&mut store);
+            store
+        };
+        // Scheduling must not skip any firing that changes the store.
+        assert_byte_identical(&run(false), &run(true), "random safe rules");
     }
 }
