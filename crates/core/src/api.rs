@@ -13,8 +13,10 @@ use inferray_model::{Graph, IdTriple, Triple};
 use inferray_parser::loader::{load_graph, LoadError, LoadedDataset};
 use inferray_parser::{parse_ntriples, Ingest, LoaderOptions};
 use inferray_rules::analysis::{self, Diagnostic};
+use inferray_rules::shapes::{self, ShapeAnalysis};
 use inferray_rules::{Fragment, InferenceStats, Materializer};
 use inferray_store::{unpoison, SnapshotStore, StoreSnapshot, TripleStore};
+use std::fmt;
 use std::sync::{Arc, Mutex, RwLock};
 
 /// The result of reasoning over a decoded graph.
@@ -111,6 +113,238 @@ fn finish(
 }
 
 // ---------------------------------------------------------------------------
+// Shape-constraint gating (docs/shapes.md)
+// ---------------------------------------------------------------------------
+
+/// One rendered shape violation: the decoded focus node, the shape and
+/// property path it failed under, the source position of the violated
+/// clause in the shape file, and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeViolation {
+    /// The violating focus node, decoded to N-Triples syntax.
+    pub focus: String,
+    /// Name of the shape the node failed.
+    pub shape: String,
+    /// The property path of the violated constraint.
+    pub path: String,
+    /// 1-based line of the violated clause in the shape file.
+    pub line: u32,
+    /// 1-based column of the violated clause.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// A refused write: the candidate store the write would have published
+/// violates the installed shapes, so nothing was published — the base, the
+/// dictionary and the snapshot sequence all keep their pre-write state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeViolations {
+    /// Rendered violations, capped at [`ShapeViolations::REPORT_CAP`].
+    pub violations: Vec<ShapeViolation>,
+    /// Total violation count (may exceed `violations.len()` when capped).
+    pub total: usize,
+    /// `(shape, focus)` evaluations the refusing validation performed.
+    pub focus_checks: u64,
+    /// `true` when the incremental (delta) validator produced the verdict.
+    pub incremental: bool,
+}
+
+impl ShapeViolations {
+    /// Rendered violations are capped so a pathological batch cannot make
+    /// the error response (or the 422 body) arbitrarily large.
+    pub const REPORT_CAP: usize = 100;
+
+    /// The violation report as a JSON object, for the `422` response body.
+    pub fn json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"total\":");
+        out.push_str(&self.total.to_string());
+        out.push_str(",\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"focus\":");
+            push_json_string(&mut out, &v.focus);
+            out.push_str(",\"shape\":");
+            push_json_string(&mut out, &v.shape);
+            out.push_str(",\"path\":");
+            push_json_string(&mut out, &v.path);
+            out.push_str(&format!(
+                ",\"line\":{},\"col\":{},\"message\":",
+                v.line, v.col
+            ));
+            push_json_string(&mut out, &v.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for ShapeViolations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} shape violation(s)", self.total)?;
+        if let Some(first) = self.violations.first() {
+            write!(
+                f,
+                "; first: {}:{}: focus {} fails shape {}: {}",
+                first.line, first.col, first.focus, first.shape, first.message
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`ServingDataset::extend`] was refused.
+#[derive(Debug)]
+pub enum WriteError {
+    /// The delta could not be parsed or encoded (nothing was attempted).
+    Load(LoadError),
+    /// The candidate store violates the installed shapes (nothing was
+    /// published).
+    Shapes(ShapeViolations),
+}
+
+impl From<LoadError> for WriteError {
+    fn from(e: LoadError) -> WriteError {
+        WriteError::Load(e)
+    }
+}
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteError::Load(e) => e.fmt(f),
+            WriteError::Shapes(v) => v.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Why [`ServingDataset::install_shapes`] refused a shape program.
+#[derive(Debug)]
+pub enum ShapeInstallError {
+    /// The program has error-severity `SH…` diagnostics and must not load.
+    Program(Vec<Diagnostic>),
+    /// The program is well-formed but the *currently published* snapshot
+    /// already violates it: installing would make every subsequent write
+    /// unpublishable, so the gate refuses to arm.
+    Violations(ShapeViolations),
+}
+
+impl fmt::Display for ShapeInstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeInstallError::Program(diags) => {
+                let list: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+                write!(f, "shape program has errors: {}", list.join("; "))
+            }
+            ShapeInstallError::Violations(v) => {
+                write!(f, "current snapshot does not conform: {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeInstallError {}
+
+/// Validation counters of a shape-gated dataset, spliced into
+/// `GET /status` by the server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationCounters {
+    /// Full-snapshot validations performed (install + fallback paths).
+    pub full: u64,
+    /// Incremental (delta) validations performed.
+    pub incremental: u64,
+    /// Writes refused because the candidate violated the shapes.
+    pub rejected: u64,
+    /// Total `(shape, focus)` evaluations across all validations.
+    pub focus_checks: u64,
+}
+
+/// The operator-visible state of the shape gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationStatus {
+    /// Number of installed shapes.
+    pub shapes: usize,
+    /// Epoch of the last green (conforming) validation, if any.
+    pub validated_epoch: Option<u64>,
+    /// Validation counters since install.
+    pub counters: ValidationCounters,
+}
+
+impl ValidationStatus {
+    /// Renders the status as a JSON object into `out` (no allocation
+    /// beyond the caller's buffer — the server calls this per `/status`
+    /// request from its zero-allocation path).
+    pub fn json_into(&self, out: &mut String) {
+        use fmt::Write as _;
+        let _ = write!(out, "{{\"shapes\":{},\"validated_epoch\":", self.shapes);
+        match self.validated_epoch {
+            Some(epoch) => {
+                let _ = write!(out, "{epoch}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"full_validations\":{},\"incremental_validations\":{},\
+             \"rejected_writes\":{},\"focus_checks\":{}}}",
+            self.counters.full,
+            self.counters.incremental,
+            self.counters.rejected,
+            self.counters.focus_checks,
+        );
+    }
+}
+
+/// The installed shape program plus the validation ledger. Protected by its
+/// own leaf mutex (acquired only while the writer lock is held, or for a
+/// point read by `validation_status`) — never held across a validation run
+/// or a publish, so `GET /status` stays responsive mid-write.
+#[derive(Debug)]
+struct ShapeGate {
+    /// The checked (error-free) symbolic program; recompiled against the
+    /// write's private dictionary on every gated write, exactly like the
+    /// rule program (identifier promotions would stale a compiled form).
+    analysis: Arc<ShapeAnalysis>,
+    /// Number of shapes, for `/status`.
+    shape_count: usize,
+    /// The last green validation: the epoch it validated and its (empty)
+    /// report, seeding the incremental validator of the next write.
+    state: Option<GateState>,
+    counters: ValidationCounters,
+}
+
+#[derive(Debug)]
+struct GateState {
+    epoch: u64,
+    report: shapes::ValidationReport,
+}
+
+// ---------------------------------------------------------------------------
 // Concurrent serving
 // ---------------------------------------------------------------------------
 
@@ -157,6 +391,10 @@ pub struct ServingDataset {
     /// promotions the data may cause (a compiled constant would go stale the
     /// moment a delta promotes the resource it names to a property).
     rules: Option<Arc<str>>,
+    /// The shape-constraint gate ([`ServingDataset::install_shapes`],
+    /// docs/shapes.md): `None` until a program is installed. Leaf lock —
+    /// taken after writer/base, never held across validation or publish.
+    validation: Mutex<Option<ShapeGate>>,
 }
 
 impl ServingDataset {
@@ -179,6 +417,7 @@ impl ServingDataset {
             fragment,
             options,
             rules: None,
+            validation: Mutex::new(None),
         };
         (dataset, stats)
     }
@@ -219,6 +458,7 @@ impl ServingDataset {
             fragment,
             options,
             rules: Some(Arc::from(rules)),
+            validation: Mutex::new(None),
         };
         Ok((dataset, stats))
     }
@@ -247,6 +487,7 @@ impl ServingDataset {
             fragment,
             options,
             rules: None,
+            validation: Mutex::new(None),
         }
     }
 
@@ -315,16 +556,195 @@ impl ServingDataset {
         (snapshot, dictionary)
     }
 
+    /// Installs a shape program (docs/shapes.md) as a **write gate**: every
+    /// subsequent [`ServingDataset::extend`] / [`ServingDataset::retract`]
+    /// validates its candidate store *before* publishing, and refuses the
+    /// write — base, dictionary and epoch keep their pre-write state — when
+    /// the candidate violates a shape.
+    ///
+    /// The currently published snapshot is validated first: a snapshot that
+    /// already violates the program would make every subsequent write
+    /// unpublishable, so the gate refuses to arm
+    /// ([`ShapeInstallError::Violations`]) and the dataset keeps serving
+    /// ungated.
+    pub fn install_shapes(&self, text: &str) -> Result<(), ShapeInstallError> {
+        let analysis = shapes::analyze(text);
+        let shape_count = analysis.shapes.len();
+        let guard = unpoison(self.writer.lock());
+        let snapshot = self.snapshots.snapshot();
+        let dictionary = unpoison(self.dictionary.read()).clone();
+        let compiled = analysis
+            .compile(&dictionary)
+            .map_err(ShapeInstallError::Program)?;
+        let report = shapes::validate(
+            &compiled,
+            snapshot.store(),
+            &dictionary,
+            inferray_parallel::global(),
+        );
+        if !report.conforms() {
+            let violations = render_violations(&compiled, &report, &dictionary, false);
+            drop(guard);
+            return Err(ShapeInstallError::Violations(violations));
+        }
+        let counters = ValidationCounters {
+            full: 1,
+            incremental: 0,
+            rejected: 0,
+            focus_checks: report.focus_checks,
+        };
+        *unpoison(self.validation.lock()) = Some(ShapeGate {
+            analysis: Arc::new(analysis),
+            shape_count,
+            state: Some(GateState {
+                epoch: snapshot.epoch(),
+                report,
+            }),
+            counters,
+        });
+        drop(guard);
+        Ok(())
+    }
+
+    /// The operator-visible state of the shape gate — `None` when no
+    /// program is installed. A point read of the leaf mutex: safe to call
+    /// from the server's `/status` path while a write validates.
+    pub fn validation_status(&self) -> Option<ValidationStatus> {
+        let gate = unpoison(self.validation.lock());
+        gate.as_ref().map(|g| ValidationStatus {
+            shapes: g.shape_count,
+            validated_epoch: g.state.as_ref().map(|s| s.epoch),
+            counters: g.counters,
+        })
+    }
+
+    /// Validates a candidate store against the installed shapes (if any)
+    /// before a write publishes it. `previous_store`/`previous_epoch` name
+    /// the snapshot the candidate was derived from; `promoted` is whether
+    /// this write promoted identifiers (renumbering ids the previous green
+    /// report may reference, which forces a full re-validation).
+    ///
+    /// `Ok(None)` — no gate installed. `Ok(Some(report))` — green: the
+    /// caller publishes and records the report against the new epoch.
+    /// `Err` — the candidate violates the shapes; nothing must be
+    /// published.
+    fn check_shapes(
+        &self,
+        candidate: &TripleStore,
+        previous_store: &TripleStore,
+        previous_epoch: u64,
+        dictionary: &Dictionary,
+        promoted: bool,
+    ) -> Result<Option<shapes::ValidationReport>, ShapeViolations> {
+        // Leaf lock: copy what the validation needs, then release before
+        // the (possibly long) validation run so `/status` stays live.
+        let (analysis, previous) = {
+            let gate = unpoison(self.validation.lock());
+            let Some(gate) = gate.as_ref() else {
+                return Ok(None);
+            };
+            let previous = gate
+                .state
+                .as_ref()
+                .filter(|s| !promoted && s.epoch == previous_epoch)
+                .map(|s| s.report.clone());
+            (Arc::clone(&gate.analysis), previous)
+        };
+        let compiled = match analysis.compile(dictionary) {
+            Ok(compiled) => compiled,
+            Err(diags) => {
+                // Unreachable by construction: only error-free programs are
+                // installed, and whether compilation errs does not depend
+                // on the dictionary. Refuse the write rather than panic or
+                // silently skip the gate.
+                let message = match diags.first() {
+                    Some(d) => d.to_string(),
+                    None => "shape program failed to recompile".to_string(),
+                };
+                return Err(ShapeViolations {
+                    violations: vec![ShapeViolation {
+                        focus: String::new(),
+                        shape: String::new(),
+                        path: String::new(),
+                        line: 0,
+                        col: 0,
+                        message,
+                    }],
+                    total: 1,
+                    focus_checks: 0,
+                    incremental: false,
+                });
+            }
+        };
+        let (report, incremental) = match &previous {
+            // The previous epoch was green and this write derived its
+            // candidate from exactly that epoch without renumbering ids:
+            // only nodes incident to changed pairs need re-checking.
+            Some(previous) => (
+                shapes::validate_delta(&compiled, previous_store, candidate, dictionary, previous),
+                true,
+            ),
+            None => (
+                shapes::validate(
+                    &compiled,
+                    candidate,
+                    dictionary,
+                    inferray_parallel::global(),
+                ),
+                false,
+            ),
+        };
+        let green = report.conforms();
+        {
+            let mut gate = unpoison(self.validation.lock());
+            if let Some(gate) = gate.as_mut() {
+                if incremental {
+                    gate.counters.incremental += 1;
+                } else {
+                    gate.counters.full += 1;
+                }
+                gate.counters.focus_checks += report.focus_checks;
+                if !green {
+                    gate.counters.rejected += 1;
+                }
+            }
+        }
+        if green {
+            Ok(Some(report))
+        } else {
+            Err(render_violations(
+                &compiled,
+                &report,
+                dictionary,
+                incremental,
+            ))
+        }
+    }
+
+    /// Records a green validation against the epoch its write published,
+    /// seeding the incremental validator of the next write.
+    fn record_green(&self, epoch: u64, report: shapes::ValidationReport) {
+        let mut gate = unpoison(self.validation.lock());
+        if let Some(gate) = gate.as_mut() {
+            gate.state = Some(GateState { epoch, report });
+        }
+    }
+
     /// Asserts decoded triples and incrementally re-materializes: the delta
     /// is encoded against a private copy of the dictionary, closed under
     /// the fragment with [`InferrayReasoner::materialize_delta`] on a
     /// private copy of the store, and both are published atomically enough
     /// for readers (dictionary first, then the store epoch swap). Readers
     /// holding older snapshots are unaffected.
+    ///
+    /// When a shape program is installed ([`ServingDataset::install_shapes`])
+    /// the candidate store is validated **before** publication;
+    /// [`WriteError::Shapes`] means the write was refused and nothing — not
+    /// the base, not the dictionary, not the epoch — changed.
     pub fn extend(
         &self,
         triples: impl IntoIterator<Item = Triple>,
-    ) -> Result<InferenceStats, LoadError> {
+    ) -> Result<InferenceStats, WriteError> {
         let guard = unpoison(self.writer.lock());
 
         // Private copies of the current pair.
@@ -332,7 +752,8 @@ impl ServingDataset {
             let current = unpoison(self.dictionary.read());
             (**current).clone()
         };
-        let mut store = self.snapshots.snapshot().store().clone();
+        let pre = self.snapshots.snapshot();
+        let mut store = pre.store().clone();
 
         let mut delta: Vec<IdTriple> = Vec::new();
         for triple in triples {
@@ -353,7 +774,8 @@ impl ServingDataset {
         // position; patch them like the loader does before reasoning.
         let mut base = unpoison(self.base.lock());
         let mut next_base = base.clone();
-        if dictionary.has_pending_promotions() {
+        let promoted = dictionary.has_pending_promotions();
+        if promoted {
             let remap: std::collections::HashMap<u64, u64> =
                 dictionary.take_promotions().into_iter().collect();
             apply_promotion_remap(&mut store, &remap);
@@ -376,17 +798,27 @@ impl ServingDataset {
         next_base.finalize();
         let stats = reasoner.materialize_delta(&mut store, delta);
 
+        // Shape gate (docs/shapes.md): validate the candidate *before*
+        // anything publishes. On refusal every guard drops here and the
+        // pre-write state — base, dictionary, epoch — stays current.
+        let pending = self
+            .check_shapes(&store, pre.store(), pre.epoch(), &dictionary, promoted)
+            .map_err(WriteError::Shapes)?;
+
         // Publish: dictionary before store (see the type docs).
         *base = next_base;
         drop(base);
         *unpoison(self.dictionary.write()) = Arc::new(dictionary);
-        self.snapshots.publish(store);
+        let epoch = self.snapshots.publish(store).epoch();
+        if let Some(report) = pending {
+            self.record_green(epoch, report);
+        }
         drop(guard);
         Ok(stats)
     }
 
     /// [`ServingDataset::extend`] from an N-Triples document.
-    pub fn extend_ntriples(&self, text: &str) -> Result<InferenceStats, LoadError> {
+    pub fn extend_ntriples(&self, text: &str) -> Result<InferenceStats, WriteError> {
         let triples = parse_ntriples(text).map_err(LoadError::from)?;
         self.extend(triples)
     }
@@ -411,7 +843,16 @@ impl ServingDataset {
     /// for a no-op. The pair is captured under the writer lock, so it stays
     /// consistent even when other writers publish concurrently (reading
     /// [`ServingDataset::epoch`] afterwards could name a later epoch).
-    pub fn retract(&self, triples: impl IntoIterator<Item = Triple>) -> (RetractionStats, u64) {
+    ///
+    /// When a shape program is installed, the post-retraction store is
+    /// validated before publication exactly like an extend's candidate
+    /// (retracting a triple can *create* violations, e.g. dropping a node
+    /// under a `count [1..*]` minimum); `Err` means the retraction was
+    /// refused and nothing changed.
+    pub fn retract(
+        &self,
+        triples: impl IntoIterator<Item = Triple>,
+    ) -> Result<(RetractionStats, u64), ShapeViolations> {
         let guard = unpoison(self.writer.lock());
 
         // Terms absent from the dictionary cannot occur in any triple of
@@ -443,27 +884,37 @@ impl ServingDataset {
             debug_assert!(!dict.has_pending_promotions());
             reasoner
         };
-        let mut store = self.snapshots.snapshot().store().clone();
+        let pre = self.snapshots.snapshot();
+        let mut store = pre.store().clone();
         let mut base = unpoison(self.base.lock());
         let mut next_base = base.clone();
         let stats = reasoner.retract_delta(&mut store, &mut next_base, delta);
 
         let epoch = if stats.retracted_explicit > 0 {
+            // Shape gate: retraction never promotes identifiers, so the
+            // incremental path applies whenever the pre-write epoch was
+            // green. Refusal drops every guard with nothing published.
+            let pending =
+                self.check_shapes(&store, pre.store(), pre.epoch(), &dictionary, false)?;
             *base = next_base;
             drop(base);
-            self.snapshots.publish(store).epoch()
+            let epoch = self.snapshots.publish(store).epoch();
+            if let Some(report) = pending {
+                self.record_green(epoch, report);
+            }
+            epoch
         } else {
             drop(base);
             self.snapshots.epoch()
         };
         drop(guard);
-        (stats, epoch)
+        Ok((stats, epoch))
     }
 
     /// [`ServingDataset::retract`] from an N-Triples document.
-    pub fn retract_ntriples(&self, text: &str) -> Result<(RetractionStats, u64), LoadError> {
+    pub fn retract_ntriples(&self, text: &str) -> Result<(RetractionStats, u64), WriteError> {
         let triples = parse_ntriples(text).map_err(LoadError::from)?;
-        Ok(self.retract(triples))
+        self.retract(triples).map_err(WriteError::Shapes)
     }
 
     /// Number of explicit (asserted) triples behind the current epoch.
@@ -478,6 +929,117 @@ impl ServingDataset {
 fn apply_promotion_remap(store: &mut TripleStore, remap: &std::collections::HashMap<u64, u64>) {
     store.remap_ids(remap);
     store.finalize();
+}
+
+/// Renders a non-conforming report for the refusal error: focus nodes and
+/// offending values decode through `dict` to N-Triples syntax, shape names
+/// and clause positions come from the compiled program, and the list is
+/// capped at [`ShapeViolations::REPORT_CAP`].
+fn render_violations(
+    compiled: &shapes::CompiledShapes,
+    report: &shapes::ValidationReport,
+    dict: &Dictionary,
+    incremental: bool,
+) -> ShapeViolations {
+    let violations = report
+        .violations
+        .iter()
+        .take(ShapeViolations::REPORT_CAP)
+        .map(|v| {
+            let (shape, path, message) = describe_violation(compiled, v, dict);
+            ShapeViolation {
+                focus: decode_term(dict, v.focus),
+                shape,
+                path,
+                line: v.line,
+                col: v.col,
+                message,
+            }
+        })
+        .collect();
+    ShapeViolations {
+        violations,
+        total: report.violations.len(),
+        focus_checks: report.focus_checks,
+        incremental,
+    }
+}
+
+fn decode_term(dict: &Dictionary, id: u64) -> String {
+    match dict.decode(id) {
+        Some(term) => term.to_string(),
+        // An id the dictionary cannot decode should not occur; render it
+        // opaquely rather than fail the (already failing) write twice over.
+        None => format!("#{id}"),
+    }
+}
+
+/// Shape name, path IRI and human-readable message for one violation. The
+/// violated clause is located by its source position, which lets datatype /
+/// class / node-reference messages name what the clause demanded.
+fn describe_violation(
+    compiled: &shapes::CompiledShapes,
+    v: &shapes::Violation,
+    dict: &Dictionary,
+) -> (String, String, String) {
+    use shapes::{Check, ViolationKind};
+    let shape = compiled.shapes.get(v.shape);
+    let constraint = shape.and_then(|s| s.constraints.get(v.constraint));
+    let name = match shape {
+        Some(s) => s.name.clone(),
+        None => format!("#{}", v.shape),
+    };
+    let path = constraint.map(|c| c.path_iri.clone()).unwrap_or_default();
+    let span = shapes::Span {
+        line: v.line,
+        col: v.col,
+    };
+    let check = constraint.and_then(|c| c.checks.iter().find(|k| k.span() == span));
+    let message = match v.kind {
+        ViolationKind::CountBelow { found, min } => {
+            format!("{found} value(s), at least {min} required")
+        }
+        ViolationKind::CountAbove { found, max } => {
+            format!("{found} value(s), at most {max} allowed")
+        }
+        ViolationKind::Datatype { value } => match check {
+            Some(Check::Datatype { iri, .. }) => format!(
+                "value {} is not a literal of datatype <{iri}>",
+                decode_term(dict, value)
+            ),
+            _ => format!("value {} has the wrong datatype", decode_term(dict, value)),
+        },
+        ViolationKind::Class { value } => match check {
+            Some(Check::Class {
+                class: Some(class), ..
+            }) => format!(
+                "value {} is not of class {}",
+                decode_term(dict, value),
+                decode_term(dict, *class)
+            ),
+            _ => format!(
+                "value {} is not of the required class",
+                decode_term(dict, value)
+            ),
+        },
+        ViolationKind::In { value } => {
+            format!(
+                "value {} is not in the enumerated set",
+                decode_term(dict, value)
+            )
+        }
+        ViolationKind::Node { value, shape } => {
+            let referenced = match compiled.shapes.get(shape) {
+                Some(s) => s.name.clone(),
+                None => format!("#{shape}"),
+            };
+            format!(
+                "value {} does not conform to shape {referenced}",
+                decode_term(dict, value)
+            )
+        }
+    };
+    (name, path, message)
 }
 
 #[cfg(test)]
@@ -685,11 +1247,13 @@ ex:Bart a ex:human .
         let (old_snapshot, _) = dataset.snapshot();
         assert_eq!(old_snapshot.len(), 9);
 
-        let (stats, _) = dataset.retract([Triple::iris(
-            "http://ex/Lisa",
-            vocab::RDF_TYPE,
-            "http://ex/human",
-        )]);
+        let (stats, _) = dataset
+            .retract([Triple::iris(
+                "http://ex/Lisa",
+                vocab::RDF_TYPE,
+                "http://ex/human",
+            )])
+            .unwrap();
         assert_eq!(stats.retracted_explicit, 1);
         assert_eq!(stats.net_removed(), 3, "Lisa a human/mammal/animal gone");
         assert_eq!(dataset.epoch(), 2);
@@ -712,11 +1276,13 @@ ex:Bart a ex:human .
 
         // Retracting a derived-but-never-asserted triple is a no-op and
         // publishes nothing.
-        let (stats, _) = dataset.retract([Triple::iris(
-            "http://ex/Bart",
-            vocab::RDF_TYPE,
-            "http://ex/mammal",
-        )]);
+        let (stats, _) = dataset
+            .retract([Triple::iris(
+                "http://ex/Bart",
+                vocab::RDF_TYPE,
+                "http://ex/mammal",
+            )])
+            .unwrap();
         assert_eq!(stats.retracted_explicit, 0);
         assert_eq!(dataset.epoch(), 2);
         assert!(contains(
@@ -731,19 +1297,23 @@ ex:Bart a ex:human .
     fn retract_ntriples_and_unknown_terms() {
         let dataset = serving_family();
         // Unknown terms can't be in the store: nothing to do, no new epoch.
-        let (stats, _) = dataset.retract([Triple::iris(
-            "http://ex/NoSuch",
-            vocab::RDF_TYPE,
-            "http://ex/human",
-        )]);
+        let (stats, _) = dataset
+            .retract([Triple::iris(
+                "http://ex/NoSuch",
+                vocab::RDF_TYPE,
+                "http://ex/human",
+            )])
+            .unwrap();
         assert_eq!(stats.requested, 0);
         assert_eq!(dataset.epoch(), 0);
         // A predicate interned as a plain resource addresses no table.
-        let (stats, _) = dataset.retract([Triple::iris(
-            "http://ex/Bart",
-            "http://ex/human", // a resource, not a property
-            "http://ex/mammal",
-        )]);
+        let (stats, _) = dataset
+            .retract([Triple::iris(
+                "http://ex/Bart",
+                "http://ex/human", // a resource, not a property
+                "http://ex/mammal",
+            )])
+            .unwrap();
         assert_eq!(stats.requested, 0);
 
         let (stats, _) = dataset
@@ -774,11 +1344,13 @@ ex:Bart a ex:human .
                 "http://ex/human",
             )])
             .unwrap();
-        dataset.retract([Triple::iris(
-            "http://ex/Maggie",
-            vocab::RDF_TYPE,
-            "http://ex/human",
-        )]);
+        dataset
+            .retract([Triple::iris(
+                "http://ex/Maggie",
+                vocab::RDF_TYPE,
+                "http://ex/human",
+            )])
+            .unwrap();
         let (snapshot_after, dictionary) = dataset.snapshot();
         let after: Vec<_> = snapshot_after.iter_triples().collect();
         assert_eq!(before, after, "extend ∘ retract is the identity");
@@ -858,11 +1430,13 @@ ex:Bart a ex:human .
         ));
 
         // Retracting the asserted edge un-derives the grandparent triple.
-        let (rstats, epoch) = dataset.retract([Triple::iris(
-            "http://ex/b",
-            "http://ex/parent",
-            "http://ex/c",
-        )]);
+        let (rstats, epoch) = dataset
+            .retract([Triple::iris(
+                "http://ex/b",
+                "http://ex/parent",
+                "http://ex/c",
+            )])
+            .unwrap();
         assert_eq!(rstats.retracted_explicit, 1);
         assert_eq!(epoch, 2);
         assert!(!contains(
@@ -924,5 +1498,107 @@ ex:Bart a ex:human .
         // 15 new humans, each with human/mammal/animal types.
         let (snapshot, _) = dataset.snapshot();
         assert_eq!(snapshot.len(), 6 + 15 * 3);
+    }
+
+    #[test]
+    fn shape_gate_refuses_violating_writes_and_tracks_counters() {
+        let dataset = serving_family();
+        assert!(dataset.validation_status().is_none());
+
+        // A program with errors never installs.
+        let err = dataset
+            .install_shapes("shape S targets all { <http://ex/name> count [3..1] ; } .")
+            .expect_err("contradictory bounds");
+        assert!(matches!(err, ShapeInstallError::Program(_)));
+
+        // A program the published snapshot already violates refuses to arm.
+        let err = dataset
+            .install_shapes(
+                "shape Named targets class <http://ex/human> { <http://ex/name> count [1..*] ; } .",
+            )
+            .expect_err("Bart has no name");
+        assert!(matches!(err, ShapeInstallError::Violations(_)));
+        assert!(dataset.validation_status().is_none());
+
+        // At most one name per human: the current snapshot conforms.
+        dataset
+            .install_shapes(
+                "shape Human targets class <http://ex/human> { <http://ex/name> count [0..1] ; } .",
+            )
+            .unwrap();
+        let status = dataset.validation_status().unwrap();
+        assert_eq!(status.shapes, 1);
+        assert_eq!(status.validated_epoch, Some(0));
+        assert_eq!(status.counters.full, 1);
+
+        // A conforming write goes through the incremental validator.
+        dataset
+            .extend_ntriples("<http://ex/Bart> <http://ex/name> \"Bart\" .\n")
+            .unwrap();
+        assert_eq!(dataset.epoch(), 1);
+        let status = dataset.validation_status().unwrap();
+        assert_eq!(status.validated_epoch, Some(1));
+        assert_eq!(status.counters.incremental, 1);
+        assert_eq!(status.counters.rejected, 0);
+
+        // A second name violates `count [0..1]`: the write is refused and
+        // nothing — epoch, base, snapshot — changes.
+        let err = dataset
+            .extend_ntriples("<http://ex/Bart> <http://ex/name> \"Bartholomew\" .\n")
+            .expect_err("two names");
+        let WriteError::Shapes(violations) = err else {
+            panic!("expected a shape refusal");
+        };
+        assert_eq!(violations.total, 1);
+        assert!(violations.incremental);
+        assert_eq!(violations.violations[0].shape, "Human");
+        assert_eq!(violations.violations[0].focus, "<http://ex/Bart>");
+        assert!(violations.violations[0].message.contains("at most 1"));
+        assert!(violations.json().contains("\"line\":1"));
+        assert_eq!(dataset.epoch(), 1, "a refused extend publishes nothing");
+        assert_eq!(dataset.base_len(), 4);
+        let status = dataset.validation_status().unwrap();
+        assert_eq!(status.counters.rejected, 1);
+        assert_eq!(status.validated_epoch, Some(1));
+
+        // Retraction is gated too: removing Bart's name keeps conformance.
+        let (stats, epoch) = dataset
+            .retract_ntriples("<http://ex/Bart> <http://ex/name> \"Bart\" .\n")
+            .unwrap();
+        assert_eq!(stats.retracted_explicit, 1);
+        assert_eq!(epoch, 2);
+        assert_eq!(
+            dataset.validation_status().unwrap().validated_epoch,
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn shape_gate_falls_back_to_full_validation_after_a_promotion() {
+        // 'rel' is interned as a plain resource first (object position)...
+        let loaded = inferray_parser::loader::load_graph(&{
+            let mut g = Graph::new();
+            g.insert_iris("http://ex/a", "http://ex/about", "http://ex/rel");
+            g
+        })
+        .unwrap();
+        let (dataset, _) =
+            ServingDataset::materialize(loaded, Fragment::RdfsDefault, InferrayOptions::default());
+        dataset
+            .install_shapes(
+                "shape About targets subjects-of <http://ex/about> \
+                 { <http://ex/about> count [1..2] ; } .",
+            )
+            .unwrap();
+        // ...and this delta promotes it to a property, renumbering ids the
+        // previous green report may reference: the gate must re-validate
+        // the full candidate instead of trusting the stale report.
+        dataset
+            .extend([Triple::iris("http://ex/x", "http://ex/rel", "http://ex/y")])
+            .unwrap();
+        let status = dataset.validation_status().unwrap();
+        assert_eq!(status.counters.full, 2, "install + post-promotion write");
+        assert_eq!(status.counters.incremental, 0);
+        assert_eq!(status.validated_epoch, Some(1));
     }
 }

@@ -37,7 +37,8 @@ pub mod reasoner;
 
 pub use api::{
     reason_graph, reason_ntriples, reason_ntriples_with, reason_turtle, reason_turtle_with,
-    ReasonedGraph, ServingDataset,
+    ReasonedGraph, ServingDataset, ShapeInstallError, ShapeViolation, ShapeViolations,
+    ValidationCounters, ValidationStatus, WriteError,
 };
 pub use iteration::{IterationProfile, IterationSample};
 pub use options::InferrayOptions;

@@ -360,7 +360,9 @@ impl DurableDataset {
                     })?;
                 }
                 WalKind::Retract => {
-                    inner.retract(triples);
+                    inner.retract(triples).map_err(|e| DurableError::Corrupt {
+                        message: format!("replaying WAL record {}: {e}", record.seq),
+                    })?;
                 }
             }
             replayed += 1;
@@ -521,10 +523,25 @@ impl DurableDataset {
             message: e.to_string(),
         })?;
         let mut state = self.log_record(WalKind::Retract, body)?;
-        let (stats, epoch) = self.inner.retract(triples);
-        self.maybe_checkpoint(&mut state);
-        self.refresh_status_mirror(&state);
-        Ok((stats, epoch))
+        match self.inner.retract(triples) {
+            Ok((stats, epoch)) => {
+                self.maybe_checkpoint(&mut state);
+                self.refresh_status_mirror(&state);
+                Ok((stats, epoch))
+            }
+            Err(e) => {
+                // Unreachable today — a durable dataset never has a shape
+                // gate (the CLI forbids `--shapes` with `--data-dir`, see
+                // docs/shapes.md) — but if a refusal ever did happen here
+                // the record is already durable while memory refused it:
+                // the same divergence as a failed extend, handled the same.
+                let reason = format!("logged write failed to apply: {e}");
+                state.last_error = Some(reason.clone());
+                self.read_only.store(true, Ordering::Release);
+                self.refresh_status_mirror(&state);
+                Err(DurableError::ReadOnly { reason })
+            }
+        }
     }
 
     /// Writes a snapshot image of the current state and truncates the WAL.

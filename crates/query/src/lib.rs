@@ -87,7 +87,7 @@ pub use algebra::{FilterExpr, PatternTerm, Query, QueryForm, Selection, TriplePa
 pub use engine::QueryEngine;
 pub use server::{
     DurabilityReporter, EngineSource, ServerConfig, SparqlServer, UpdateError, UpdateOutcome,
-    UpdateSink,
+    UpdateSink, ValidationReporter,
 };
 pub use serving::SnapshotQueryEngine;
 pub use solution::{EncodedRow, SolutionSet};

@@ -140,6 +140,18 @@ pub enum UpdateError {
         /// Suggested client back-off, in seconds.
         retry_after_secs: u64,
     },
+    /// The request was well-formed but the write it describes would leave
+    /// the dataset violating its installed shape constraints
+    /// (docs/shapes.md) — answered with `422` and a positioned violation
+    /// report in the JSON body. Nothing was published: the epoch the
+    /// client saw before the request is still current.
+    Invalid {
+        /// Operator-facing summary for the body's `error` field.
+        message: String,
+        /// The violation report, already rendered as a JSON value; spliced
+        /// verbatim into the body's `violations` field.
+        violations_json: String,
+    },
 }
 
 impl UpdateError {
@@ -181,6 +193,18 @@ pub trait DurabilityReporter: Send + Sync + 'static {
     /// The current durability state as a complete JSON object, e.g.
     /// `{"read_only":false,…}`.
     fn durability_json(&self) -> String;
+}
+
+/// Shape-validation state the server splices into `GET /status` as the
+/// `validation` object — implemented by the binary that owns the shape
+/// gate (`inferray-cli serve --shapes`), so `inferray-query` never depends
+/// on the validator.
+pub trait ValidationReporter: Send + Sync + 'static {
+    /// Renders the current validation state into `out` as a complete JSON
+    /// value, e.g. `{"shapes":2,"validated_epoch":7,…}`. Writes into the
+    /// caller's buffer because `GET /status` is served from the
+    /// zero-allocation request loop.
+    fn validation_json_into(&self, out: &mut String);
 }
 
 /// Tunables of a [`SparqlServer`].
@@ -237,7 +261,7 @@ impl SparqlServer {
             threads,
             ..ServerConfig::default()
         };
-        Self::bind_with(addr, config, source, None, None)
+        Self::bind_with(addr, config, source, None, None, None)
     }
 
     /// [`SparqlServer::bind`] with a write path: `POST /update` requests
@@ -252,18 +276,19 @@ impl SparqlServer {
             threads,
             ..ServerConfig::default()
         };
-        Self::bind_with(addr, config, source, Some(sink), None)
+        Self::bind_with(addr, config, source, Some(sink), None, None)
     }
 
     /// The fully configurable constructor: explicit [`ServerConfig`], an
-    /// optional write path and an optional durability reporter for
-    /// `GET /status`.
+    /// optional write path, and optional durability / shape-validation
+    /// reporters for `GET /status`.
     pub fn bind_with(
         addr: &str,
         config: ServerConfig,
         source: Arc<dyn EngineSource>,
         sink: Option<Arc<dyn UpdateSink>>,
         durability: Option<Arc<dyn DurabilityReporter>>,
+        validation: Option<Arc<dyn ValidationReporter>>,
     ) -> std::io::Result<SparqlServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -278,6 +303,7 @@ impl SparqlServer {
             let source = Arc::clone(&source);
             let sink = sink.clone();
             let durability = durability.clone();
+            let validation = validation.clone();
             let spawned = std::thread::Builder::new()
                 .name(format!("inferray-serve-{i}"))
                 .spawn(move || {
@@ -288,6 +314,7 @@ impl SparqlServer {
                         source.as_ref(),
                         sink.as_deref(),
                         durability.as_deref(),
+                        validation.as_deref(),
                     )
                 });
             match spawned {
@@ -336,6 +363,7 @@ fn worker_loop(
     source: &dyn EngineSource,
     sink: Option<&dyn UpdateSink>,
     durability: Option<&dyn DurabilityReporter>,
+    validation: Option<&dyn ValidationReporter>,
 ) {
     // One set of reusable buffers per worker: every connection (and every
     // request within a keep-alive connection) reuses these, so the
@@ -360,7 +388,16 @@ fn worker_loop(
         // A stalled client must not wedge a worker forever.
         let _ = stream.set_read_timeout(Some(config.read_timeout));
         let _ = stream.set_write_timeout(Some(config.write_timeout));
-        let _ = handle_connection(stream, stop, config, source, sink, durability, &mut buffers);
+        let _ = handle_connection(
+            stream,
+            stop,
+            config,
+            source,
+            sink,
+            durability,
+            validation,
+            &mut buffers,
+        );
     }
 }
 
@@ -435,6 +472,7 @@ struct RequestHead {
 /// Serves requests off one connection until the client closes, asks to
 /// close, a framing error leaves the stream position unknown, or shutdown.
 /// The request target is parsed into `buffers.path`.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
     stop: &AtomicBool,
@@ -442,6 +480,7 @@ fn handle_connection(
     source: &dyn EngineSource,
     sink: Option<&dyn UpdateSink>,
     durability: Option<&dyn DurabilityReporter>,
+    validation: Option<&dyn ValidationReporter>,
     buffers: &mut WorkerBuffers,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
@@ -474,6 +513,7 @@ fn handle_connection(
             source,
             sink,
             durability,
+            validation,
             buffers,
             keep_alive,
         )? {
@@ -492,6 +532,7 @@ fn serve_request(
     source: &dyn EngineSource,
     sink: Option<&dyn UpdateSink>,
     durability: Option<&dyn DurabilityReporter>,
+    validation: Option<&dyn ValidationReporter>,
     buffers: &mut WorkerBuffers,
     keep_alive: bool,
 ) -> std::io::Result<bool> {
@@ -546,21 +587,8 @@ fn serve_request(
 
     match (head.method, path) {
         (Method::Get | Method::Head, "/status") => {
-            use std::fmt::Write as _;
-            let engine = source.current();
             buffers.response.clear();
-            let _ = write!(
-                buffers.response,
-                "{{\"epoch\":{},\"triples\":{},\"tables\":{}",
-                engine.epoch(),
-                engine.snapshot().len(),
-                engine.snapshot().table_count(),
-            );
-            if let Some(reporter) = durability {
-                buffers.response.push_str(",\"durability\":");
-                buffers.response.push_str(&reporter.durability_json());
-            }
-            buffers.response.push_str("}\n");
+            status_json_into(&mut buffers.response, source, durability, validation);
             respond(
                 stream,
                 200,
@@ -672,6 +700,36 @@ fn serve_request(
     Ok(keep_alive)
 }
 
+/// Renders the `GET /status` body into `out`: the engine's epoch/size
+/// header plus the `durability` and `validation` objects the embedder's
+/// reporters splice in. On the serving hot path — liveness probes hammer
+/// `/status`, so it must not allocate beyond the reusable buffer.
+fn status_json_into(
+    out: &mut String,
+    source: &dyn EngineSource,
+    durability: Option<&dyn DurabilityReporter>,
+    validation: Option<&dyn ValidationReporter>,
+) {
+    use std::fmt::Write as _;
+    let engine = source.current();
+    let _ = write!(
+        out,
+        "{{\"epoch\":{},\"triples\":{},\"tables\":{}",
+        engine.epoch(),
+        engine.snapshot().len(),
+        engine.snapshot().table_count(),
+    );
+    if let Some(reporter) = durability {
+        out.push_str(",\"durability\":");
+        out.push_str(&reporter.durability_json());
+    }
+    if let Some(reporter) = validation {
+        out.push_str(",\"validation\":");
+        reporter.validation_json_into(out);
+    }
+    out.push_str("}\n");
+}
+
 /// `POST /update`: parses the action, forwards to the sink and renders the
 /// outcome. Updates re-materialize the dataset, so this path is cold by
 /// construction and free to allocate.
@@ -737,6 +795,19 @@ fn handle_update(
                 opts.with_retry_after(retry_after_secs),
                 out,
             )
+        }
+        Err(UpdateError::Invalid {
+            message,
+            violations_json,
+        }) => {
+            // `{"error":…,"violations":{…}}` — the report is pre-rendered
+            // JSON from the validator; only the summary needs escaping.
+            response.push_str("{\"error\":\"");
+            json_escape_into(response, &message);
+            response.push_str("\",\"violations\":");
+            response.push_str(&violations_json);
+            response.push_str("}\n");
+            respond(stream, 422, "application/json", response, opts, out)
         }
     }
 }
@@ -1176,6 +1247,7 @@ fn respond(
         408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
@@ -1547,11 +1619,27 @@ mod tests {
         sink: Option<Arc<dyn UpdateSink>>,
         durability: Option<Arc<dyn DurabilityReporter>>,
     ) -> SparqlServer {
+        bind_validating(config, sink, durability, None)
+    }
+
+    fn bind_validating(
+        config: ServerConfig,
+        sink: Option<Arc<dyn UpdateSink>>,
+        durability: Option<Arc<dyn DurabilityReporter>>,
+        validation: Option<Arc<dyn ValidationReporter>>,
+    ) -> SparqlServer {
         let (snapshots, dictionary) = service();
         let source =
             move || SnapshotQueryEngine::new(snapshots.snapshot(), Arc::clone(&dictionary));
-        SparqlServer::bind_with("127.0.0.1:0", config, Arc::new(source), sink, durability)
-            .expect("bind loopback")
+        SparqlServer::bind_with(
+            "127.0.0.1:0",
+            config,
+            Arc::new(source),
+            sink,
+            durability,
+            validation,
+        )
+        .expect("bind loopback")
     }
 
     #[test]
@@ -1657,6 +1745,75 @@ mod tests {
             "body: {body}"
         );
         assert!(body.contains("\"epoch\":0"), "body: {body}");
+        server.shutdown();
+    }
+
+    /// A sink whose dataset refuses every write with a shape violation.
+    struct ShapeGatedSink;
+
+    impl UpdateSink for ShapeGatedSink {
+        fn retract_ntriples(&self, _body: &str) -> Result<UpdateOutcome, UpdateError> {
+            Err(UpdateError::Invalid {
+                message: "1 shape violation(s)".to_owned(),
+                violations_json: "{\"total\":1,\"violations\":[{\"focus\":\"<urn:x>\",\
+                                  \"shape\":\"S\",\"path\":\"urn:p\",\"line\":1,\"col\":20,\
+                                  \"message\":\"0 value(s), at least 1 required\"}]}"
+                    .to_owned(),
+            })
+        }
+    }
+
+    struct StaticValidation;
+
+    impl ValidationReporter for StaticValidation {
+        fn validation_json_into(&self, out: &mut String) {
+            out.push_str("{\"shapes\":2,\"validated_epoch\":0,\"rejected_writes\":1}");
+        }
+    }
+
+    #[test]
+    fn shape_refusals_answer_422_with_the_violation_report() {
+        let server = bind_validating(
+            ServerConfig::default(),
+            Some(Arc::new(ShapeGatedSink)),
+            None,
+            Some(Arc::new(StaticValidation)),
+        );
+        let addr = server.local_addr();
+        let doc = "<http://ex/a> <http://ex/b> <http://ex/c> .\n";
+        let response = http_raw(
+            addr,
+            &format!(
+                "POST /update HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{doc}",
+                doc.len()
+            ),
+        );
+        assert!(
+            response.starts_with("HTTP/1.1 422 Unprocessable Entity"),
+            "response: {response}"
+        );
+        assert!(
+            response.contains("\"error\":\"1 shape violation(s)\""),
+            "response: {response}"
+        );
+        assert!(
+            response.contains("\"violations\":{\"total\":1"),
+            "response: {response}"
+        );
+        assert!(
+            response.contains("\"line\":1,\"col\":20"),
+            "response: {response}"
+        );
+        // The gate refused before publishing: reads still serve, and the
+        // validation object is spliced into /status.
+        let (status, body) = http(addr, "GET /status HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains(
+                "\"validation\":{\"shapes\":2,\"validated_epoch\":0,\"rejected_writes\":1}"
+            ),
+            "body: {body}"
+        );
         server.shutdown();
     }
 

@@ -23,6 +23,7 @@
 pub mod builtin;
 mod check;
 mod compile;
+pub mod cost;
 mod diag;
 mod exec;
 mod parse;

@@ -24,6 +24,7 @@ pub mod context;
 pub mod executors;
 pub mod materializer;
 pub mod ruleset;
+pub mod shapes;
 pub mod support;
 
 pub use catalog::{

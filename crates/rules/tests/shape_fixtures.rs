@@ -1,0 +1,150 @@
+//! Seeded-bad fixture corpus for the shape-constraint analyzer: one
+//! `.shapes` file per SH code, each engineered to fire exactly that
+//! diagnostic, with camouflaged negatives (the trigger token inside
+//! comments or string literals, plus nearby satisfiable look-alikes) that
+//! must stay silent. A directory census keeps the corpus and this driver
+//! in lockstep, and `negatives.shapes` re-states every trigger in
+//! camouflaged form only and must analyze completely clean.
+
+use inferray_rules::shapes::{self, Severity, ShapeAnalysis};
+use std::path::Path;
+
+fn analyze_fixture(name: &str) -> ShapeAnalysis {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/shapes")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()));
+    shapes::analyze(&text)
+}
+
+/// Asserts the fixture fires exactly the expected code, once, with the
+/// expected severity — any camouflaged negative leaking through changes
+/// the count and fails here.
+fn assert_fires_exactly(name: &str, code: &str, severity: Severity) {
+    let analysis = analyze_fixture(name);
+    let codes: Vec<&str> = analysis.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec![code], "{name}: {:#?}", analysis.diagnostics);
+    assert_eq!(
+        analysis.diagnostics[0].severity, severity,
+        "{name}: wrong severity"
+    );
+    assert!(
+        analysis.diagnostics[0].line > 0 && analysis.diagnostics[0].col > 0,
+        "{name}: diagnostic must be positioned"
+    );
+}
+
+#[test]
+fn sh001_syntax_error_fires() {
+    assert_fires_exactly("sh001_syntax.shapes", "SH001", Severity::Error);
+}
+
+#[test]
+fn sh002_unknown_prefix_fires() {
+    let analysis = analyze_fixture("sh002_unknown_prefix.shapes");
+    let codes: Vec<&str> = analysis.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec!["SH002"], "{:#?}", analysis.diagnostics);
+    assert!(analysis.diagnostics[0].message.contains("ex2"));
+}
+
+#[test]
+fn sh003_contradictory_bounds_fire() {
+    assert_fires_exactly("sh003_contradictory_count.shapes", "SH003", Severity::Error);
+}
+
+#[test]
+fn sh004_duplicate_name_fires() {
+    assert_fires_exactly("sh004_duplicate_name.shapes", "SH004", Severity::Error);
+}
+
+#[test]
+fn sh005_dead_shape_fires_as_warning() {
+    assert_fires_exactly("sh005_dead_shape.shapes", "SH005", Severity::Warning);
+    // Warnings do not make the file unloadable.
+    assert!(!analyze_fixture("sh005_dead_shape.shapes").has_errors());
+}
+
+#[test]
+fn sh006_shadowed_shape_fires_as_warning() {
+    assert_fires_exactly("sh006_shadowed_shape.shapes", "SH006", Severity::Warning);
+}
+
+#[test]
+fn sh007_reference_cycle_fires() {
+    let analysis = analyze_fixture("sh007_reference_cycle.shapes");
+    let codes: Vec<&str> = analysis.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec!["SH007"], "{:#?}", analysis.diagnostics);
+    assert!(
+        analysis.diagnostics[0].message.contains("A -> B -> A"),
+        "{:#?}",
+        analysis.diagnostics
+    );
+}
+
+#[test]
+fn sh008_whole_store_target_fires_as_info() {
+    assert_fires_exactly("sh008_targets_all.shapes", "SH008", Severity::Info);
+    // Informational notes never block compilation.
+    let analysis = analyze_fixture("sh008_targets_all.shapes");
+    let dict = inferray_dictionary::Dictionary::new();
+    assert!(analysis.compile(&dict).is_ok());
+}
+
+#[test]
+fn sh009_undefined_reference_fires() {
+    let analysis = analyze_fixture("sh009_undefined_reference.shapes");
+    let codes: Vec<&str> = analysis.diagnostics.iter().map(|d| d.code).collect();
+    assert_eq!(codes, vec!["SH009"], "{:#?}", analysis.diagnostics);
+    assert!(analysis.diagnostics[0].message.contains("Ghost"));
+}
+
+#[test]
+fn sh010_empty_in_fires() {
+    assert_fires_exactly("sh010_empty_in.shapes", "SH010", Severity::Error);
+}
+
+#[test]
+fn camouflaged_negatives_stay_silent() {
+    let analysis = analyze_fixture("negatives.shapes");
+    assert!(
+        analysis.diagnostics.is_empty(),
+        "negatives.shapes must be clean: {:#?}",
+        analysis.diagnostics
+    );
+    assert_eq!(analysis.shapes.len(), 2);
+}
+
+/// The corpus and the driver stay in lockstep: every SH code SH001–SH010
+/// has a fixture file, and no unexpected file sits in the directory.
+#[test]
+fn corpus_census_matches_the_code_table() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/shapes");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixture directory exists")
+        .map(|e| {
+            e.expect("readable entry")
+                .file_name()
+                .into_string()
+                .unwrap()
+        })
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        vec![
+            "negatives.shapes",
+            "sh001_syntax.shapes",
+            "sh002_unknown_prefix.shapes",
+            "sh003_contradictory_count.shapes",
+            "sh004_duplicate_name.shapes",
+            "sh005_dead_shape.shapes",
+            "sh006_shadowed_shape.shapes",
+            "sh007_reference_cycle.shapes",
+            "sh008_targets_all.shapes",
+            "sh009_undefined_reference.shapes",
+            "sh010_empty_in.shapes",
+        ],
+        "add a driver test when adding a fixture"
+    );
+}

@@ -56,12 +56,16 @@ pub fn il001_forbid_unsafe(files: &[SourceFile], root_manifest: &str) -> Vec<Dia
 
 /// The server/persist/snapshot hot paths: a panic here takes down a worker
 /// serving live traffic or corrupts a durability transition mid-flight.
+/// The shape validator is on the list because it runs under the serving
+/// write lock — a panic there poisons the writer and takes every future
+/// update down with it.
 pub fn is_hot_path(path: &Path) -> bool {
     let p = path.to_string_lossy().replace('\\', "/");
     p.ends_with("crates/query/src/server.rs")
         || p.ends_with("crates/query/src/serving.rs")
         || p.ends_with("crates/store/src/snapshot.rs")
         || p.ends_with("crates/core/src/api.rs")
+        || p.ends_with("crates/rules/src/shapes/validate.rs")
         || p.contains("crates/persist/src/")
 }
 
@@ -701,6 +705,7 @@ pub const SERVING_HOT_FUNCTIONS: &[&str] = &[
     "term_json_into",
     "json_escape_into",
     "error_json_into",
+    "status_json_into",
     "respond",
 ];
 

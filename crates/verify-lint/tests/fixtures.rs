@@ -57,6 +57,26 @@ fn il002_is_silent_off_the_hot_paths() {
 }
 
 #[test]
+fn il002_covers_the_shape_validator() {
+    // The shape validator runs under the serving write lock, so it is on
+    // the hot list; its sibling modules (parse/check/compile run only at
+    // install time) are not.
+    let hot = vec![fixture(
+        "il002_hot_panics.rs",
+        "crates/rules/src/shapes/validate.rs",
+    )];
+    let diags = rules::il002_no_panics(&hot);
+    assert_eq!(diags.len(), 4, "{diags:?}");
+    assert!(diags.iter().all(|d| d.rule == "IL002"));
+
+    let cold = vec![fixture(
+        "il002_hot_panics.rs",
+        "crates/rules/src/shapes/compile.rs",
+    )];
+    assert!(rules::il002_no_panics(&cold).is_empty());
+}
+
+#[test]
 fn il003_fires_on_mutation_without_invalidation() {
     let files = vec![fixture(
         "il003_property_table.rs",
@@ -204,6 +224,22 @@ fn il007_fires_on_hot_function_allocation_only() {
 fn il007_is_silent_outside_server_rs() {
     let files = vec![fixture("il007_hot_alloc.rs", "crates/query/src/planner.rs")];
     assert!(rules::il007_no_hot_path_allocation(&files).is_empty());
+}
+
+#[test]
+fn il007_covers_status_json_into() {
+    let files = vec![fixture(
+        "il007_status_alloc.rs",
+        "crates/query/src/server.rs",
+    )];
+    let diags = rules::il007_no_hot_path_allocation(&files);
+    // Exactly the one allocation in `status_json_into`; the cold
+    // reporter helpers and camouflaged sites stay silent.
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(
+        diags[0].message.contains("status_json_into") && diags[0].message.contains("`format!`"),
+        "{diags:?}"
+    );
 }
 
 #[test]

@@ -31,16 +31,32 @@
 //! exiting non-zero when the file has errors. `rules explain FILE`
 //! additionally compiles the program and dumps each rule's derived
 //! input/output signature and whether it was recognized as a catalog
-//! built-in. `serve --rules FILE` serves a dataset closed under the rule
-//! program instead of a baked-in fragment.
+//! built-in; with `--data DATA` it also prints a per-rule cost estimate
+//! (pairs scanned, estimated join bindings) computed from the dataset's
+//! distinct-key counters. `serve --rules FILE` serves a dataset closed
+//! under the rule program instead of a baked-in fragment.
+//!
+//! **Shapes**: `inferray-cli shapes check FILE` runs the shape-constraint
+//! static analyzer (docs/shapes.md) over a `.shapes` file and prints every
+//! finding as a `file:line:col: severity: message [SH###]` line, exiting
+//! non-zero on errors. `shapes validate SHAPES [DATA]` additionally
+//! compiles the shapes against a dataset and prints every constraint
+//! violation with the position of the violated clause, exiting non-zero
+//! when the data does not conform. `serve --shapes FILE` installs the
+//! shapes as a write gate: a `POST /update` whose result would violate
+//! them is refused with `422` and the positioned violation report, and
+//! `GET /status` reports the validation counters.
 //!
 //! ```text
 //! inferray-cli [OPTIONS] [FILE]
 //! inferray-cli serve [OPTIONS] [--port N] [--threads N] [--data-dir D] [FILE]
 //! inferray-cli serve --rules RULES [OPTIONS] [FILE]
+//! inferray-cli serve --shapes SHAPES [OPTIONS] [FILE]
 //! inferray-cli snapshot --data-dir D [OPTIONS] [FILE]
 //! inferray-cli recover --data-dir D [OPTIONS]
-//! inferray-cli rules check|explain RULES
+//! inferray-cli rules check|explain RULES [--data DATA]
+//! inferray-cli shapes check SHAPES
+//! inferray-cli shapes validate SHAPES [DATA]
 //!
 //! Options:
 //!   --fragment <rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full>   (default: rdfs)
@@ -61,6 +77,11 @@
 //!   --rules <FILE>       serve mode: close the dataset under this rule
 //!                        program instead of --fragment (in-memory only;
 //!                        not combinable with --data-dir)
+//!   --shapes <FILE>      serve mode: gate POST /update behind this shape
+//!                        file (in-memory only; not combinable with
+//!                        --data-dir — the WAL logs before the gate runs)
+//!   --data <FILE>        rules explain: estimate per-rule costs against
+//!                        this dataset
 //!   --help
 //!
 //! FILE defaults to standard input.
@@ -69,6 +90,7 @@
 use inferray::persist::StdFs;
 use inferray::{
     CheckpointPolicy, DurableDataset, DurableError, DurableUpdateSink, ServingUpdateSink,
+    ShapeInstallError,
 };
 use inferray_core::{
     InferrayOptions, InferrayReasoner, Ingest, LoaderOptions, Materializer, ServingDataset,
@@ -76,9 +98,11 @@ use inferray_core::{
 use inferray_parser::loader::LoadedDataset;
 use inferray_query::{
     DurabilityReporter, ServerConfig, SnapshotQueryEngine, SparqlServer, UpdateSink,
+    ValidationReporter,
 };
 use inferray_rules::analysis::{self, Diagnostic};
-use inferray_rules::Fragment;
+use inferray_rules::{shapes, Fragment};
+use inferray_store::DistinctCount;
 use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -93,6 +117,10 @@ enum Mode {
     RulesCheck,
     /// `rules explain` — analysis plus derived-signature dump.
     RulesExplain,
+    /// `shapes check` — shape-file static analysis only.
+    ShapesCheck,
+    /// `shapes validate` — analysis plus validation of a dataset.
+    ShapesValidate,
 }
 
 struct CliOptions {
@@ -111,16 +139,19 @@ struct CliOptions {
     data_dir: Option<String>,
     checkpoint_every: Option<u64>,
     rules: Option<String>,
+    shapes: Option<String>,
+    data: Option<String>,
     input: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: inferray-cli [serve|snapshot|recover|rules check|rules explain] \
+    "usage: inferray-cli [serve|snapshot|recover|rules check|rules explain|\
+     shapes check|shapes validate] \
      [--fragment rho-df|rdfs|rdfs-full|rdfs-plus|rdfs-plus-full] \
      [--format ntriples|turtle] [--inferred-only] [--sequential] \
      [--ingest-threads N] [--chunk-kib N] [--port N] [--host ADDR] [--threads N] \
      [--read-only] [--no-keep-alive] [--data-dir DIR] [--checkpoint-every N] \
-     [--rules FILE] [FILE]\n\
+     [--rules FILE] [--shapes FILE] [--data FILE] [FILE]\n\
      Reads RDF and materializes the fragment with Inferray. Without a subcommand\n\
      the materialization is written as N-Triples to stdout; with 'serve' it is\n\
      exposed on a SPARQL-over-HTTP endpoint (GET/POST /sparql, POST /update for\n\
@@ -130,8 +161,12 @@ fn usage() -> &'static str {
      of the materialized input; 'recover' validates a data directory and\n\
      prints the recovery report. 'rules check FILE' statically analyzes a\n\
      rule program (docs/rules.md) and 'rules explain FILE' also dumps each\n\
-     rule's derived scheduler signature; 'serve --rules FILE' serves a\n\
-     dataset closed under the program instead of a baked-in fragment."
+     rule's derived scheduler signature (with per-rule cost estimates when\n\
+     --data FILE names a dataset); 'serve --rules FILE' serves a dataset\n\
+     closed under the program instead of a baked-in fragment. 'shapes check\n\
+     FILE' statically analyzes a shape-constraint file (docs/shapes.md),\n\
+     'shapes validate SHAPES [DATA]' validates a dataset against it, and\n\
+     'serve --shapes FILE' refuses updates that would violate it (HTTP 422)."
 }
 
 fn parse_fragment(name: &str) -> Option<Fragment> {
@@ -164,6 +199,8 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         data_dir: None,
         checkpoint_every: None,
         rules: None,
+        shapes: None,
+        data: None,
         input: None,
     };
     let mut i = 0usize;
@@ -187,6 +224,19 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 other => {
                     return Err(format!(
                         "'rules' needs a subcommand, 'check' or 'explain' (got {})",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            };
+            i = 2;
+        }
+        Some("shapes") => {
+            options.mode = match args.get(1).map(String::as_str) {
+                Some("check") => Mode::ShapesCheck,
+                Some("validate") => Mode::ShapesValidate,
+                other => {
+                    return Err(format!(
+                        "'shapes' needs a subcommand, 'check' or 'validate' (got {})",
                         other.unwrap_or("nothing")
                     ))
                 }
@@ -261,6 +311,16 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 options.rules = Some(value.clone());
                 i += 1;
             }
+            "--shapes" => {
+                let value = args.get(i + 1).ok_or("--shapes needs a value")?;
+                options.shapes = Some(value.clone());
+                i += 1;
+            }
+            "--data" => {
+                let value = args.get(i + 1).ok_or("--data needs a value")?;
+                options.data = Some(value.clone());
+                i += 1;
+            }
             "--checkpoint-every" => {
                 let value = args.get(i + 1).ok_or("--checkpoint-every needs a value")?;
                 options.checkpoint_every = Some(
@@ -283,10 +343,17 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             }
             flag if flag.starts_with("--") => return Err(format!("unknown option '{flag}'")),
             file => {
-                if options.input.is_some() {
+                // In the shapes modes the first positional is the shape
+                // file, the (optional) second the dataset to validate.
+                if matches!(options.mode, Mode::ShapesCheck | Mode::ShapesValidate)
+                    && options.shapes.is_none()
+                {
+                    options.shapes = Some(file.to_string());
+                } else if options.input.is_some() {
                     return Err("more than one input file given".to_string());
+                } else {
+                    options.input = Some(file.to_string());
                 }
-                options.input = Some(file.to_string());
             }
         }
         i += 1;
@@ -307,6 +374,26 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
             return Err("--rules cannot be combined with --data-dir".to_string());
         }
     }
+    if matches!(options.mode, Mode::ShapesCheck | Mode::ShapesValidate) && options.shapes.is_none()
+    {
+        return Err("'shapes check|validate' needs a shape file".to_string());
+    }
+    if options.shapes.is_some()
+        && !matches!(
+            options.mode,
+            Mode::Serve | Mode::ShapesCheck | Mode::ShapesValidate
+        )
+    {
+        return Err("--shapes only applies to 'serve'".to_string());
+    }
+    if options.mode == Mode::Serve && options.shapes.is_some() && options.data_dir.is_some() {
+        // The WAL logs every update *before* it is applied; a gate refusal
+        // after logging would leave replay diverging from memory.
+        return Err("--shapes cannot be combined with --data-dir".to_string());
+    }
+    if options.data.is_some() && options.mode != Mode::RulesExplain {
+        return Err("--data only applies to 'rules explain'".to_string());
+    }
     Ok(options)
 }
 
@@ -323,8 +410,7 @@ fn read_input(options: &CliOptions) -> Result<String, String> {
     }
 }
 
-fn load(options: &CliOptions) -> Result<LoadedDataset, String> {
-    let text = read_input(options)?;
+fn parse_dataset(options: &CliOptions, text: &str) -> Result<LoadedDataset, String> {
     let mut loader = if options.sequential {
         LoaderOptions::sequential()
     } else {
@@ -336,10 +422,22 @@ fn load(options: &CliOptions) -> Result<LoadedDataset, String> {
     loader.chunk_bytes = options.chunk_kib.map(|kib| kib * 1024);
     let ingest = Ingest::with_options(loader);
     if options.turtle {
-        ingest.turtle(&text).map_err(|e| e.to_string())
+        ingest.turtle(text).map_err(|e| e.to_string())
     } else {
-        ingest.ntriples(&text).map_err(|e| e.to_string())
+        ingest.ntriples(text).map_err(|e| e.to_string())
     }
+}
+
+fn load(options: &CliOptions) -> Result<LoadedDataset, String> {
+    let text = read_input(options)?;
+    parse_dataset(options, &text)
+}
+
+/// Loads a dataset from an explicitly named file (`--data`, `shapes
+/// validate`), honoring the same `--format`/loader flags as the main input.
+fn load_path(options: &CliOptions, path: &str) -> Result<LoadedDataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_dataset(options, &text)
 }
 
 fn reasoner_options(options: &CliOptions) -> InferrayOptions {
@@ -463,6 +561,16 @@ fn render_diag(path: &str, d: &Diagnostic) -> String {
     )
 }
 
+/// Renders a [`DistinctCount`] as `, ~N label` (tilde marks an estimate),
+/// or nothing when the counter is unavailable.
+fn distinct_str(label: &str, count: Option<DistinctCount>) -> String {
+    match count {
+        Some(d) if d.exact => format!(", {} {label}", d.count),
+        Some(d) => format!(", ~{} {label}", d.count),
+        None => String::new(),
+    }
+}
+
 /// `rules check` / `rules explain`: run the static analyzer over a rule
 /// file, print every finding, and — for `explain` — compile the program and
 /// dump each rule's derived scheduler signature.
@@ -477,7 +585,25 @@ fn rules_check(options: &CliOptions, explain: bool) -> Result<(), String> {
         return Err(format!("{path}: rule program has errors"));
     }
     if explain {
+        // With --data the program is compiled against the dataset's own
+        // dictionary so rule constants and data identifiers agree — the
+        // cost model would otherwise estimate over the wrong tables.
         let mut dict = inferray_dictionary::Dictionary::new();
+        let data_store = match &options.data {
+            Some(data_path) => {
+                let mut loaded = load_path(options, data_path)?;
+                // Build the ⟨o,s⟩ caches so object-side join selectivity
+                // is available to the estimator.
+                loaded.store.ensure_all_os();
+                dict = loaded.dictionary;
+                eprintln!(
+                    "inferray: cost model over {data_path} ({} triples)",
+                    loaded.store.len()
+                );
+                Some(loaded.store)
+            }
+            None => None,
+        };
         match checked.compile(&mut dict) {
             Ok(compiled) => {
                 for note in &compiled.notes {
@@ -491,6 +617,23 @@ fn rules_check(options: &CliOptions, explain: bool) -> Result<(), String> {
                     println!("rule {}: {executor}", rule.name);
                     println!("  inputs:  {}", rule.inputs);
                     println!("  outputs: {}", rule.outputs);
+                    if let Some(store) = &data_store {
+                        let cost = analysis::cost::estimate(rule, store, &dict);
+                        println!(
+                            "  cost:    ~{} bindings from {} pairs scanned",
+                            cost.est_rounded(),
+                            cost.scanned
+                        );
+                        for atom in &cost.atoms {
+                            println!(
+                                "    scan {}: {} pairs{}{}",
+                                atom.pattern,
+                                atom.rows,
+                                distinct_str("subjects", atom.distinct_subjects),
+                                distinct_str("objects", atom.distinct_objects),
+                            );
+                        }
+                    }
                 }
             }
             Err(diags) => {
@@ -512,6 +655,113 @@ fn rules_check(options: &CliOptions, explain: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// `shapes check` / `shapes validate`: run the shape-constraint static
+/// analyzer over a `.shapes` file, print every positioned `SH…` finding,
+/// and — for `validate` — compile the shapes against a dataset and report
+/// every constraint violation.
+fn shapes_check(options: &CliOptions, validate: bool) -> Result<(), String> {
+    let path = options.shapes.as_deref().expect("validated by parse_args");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let checked = shapes::analyze(&text);
+    for d in &checked.diagnostics {
+        println!("{}", render_diag(path, d));
+    }
+    if checked.has_errors() {
+        return Err(format!("{path}: shape file has errors"));
+    }
+    let errors = checked.diagnostics.iter().filter(|d| d.is_error()).count();
+    eprintln!(
+        "inferray: {}: {} shapes, {} findings ({} errors)",
+        path,
+        checked.shapes.len(),
+        checked.diagnostics.len(),
+        errors,
+    );
+    if !validate {
+        return Ok(());
+    }
+
+    // Validate the (raw, un-reasoned) dataset: what you load is what the
+    // shapes judge. Use `serve --shapes` to gate a materialized dataset.
+    let mut loaded = load(options)?;
+    loaded.store.ensure_all_os();
+    let compiled = checked
+        .compile(&loaded.dictionary)
+        .expect("analysis without errors compiles");
+    let report = shapes::validate(
+        &compiled,
+        &loaded.store,
+        &loaded.dictionary,
+        inferray_parallel::global(),
+    );
+    for v in &report.violations {
+        let shape = &compiled.shapes[v.shape];
+        let focus = loaded
+            .dictionary
+            .decode(v.focus)
+            .map_or_else(|| format!("#{}", v.focus), |t| t.to_string());
+        println!(
+            "{path}:{}:{}: violation: focus {focus} fails shape {}: {}",
+            v.line,
+            v.col,
+            shape.name,
+            describe_kind(v, &compiled, &loaded.dictionary),
+        );
+    }
+    eprintln!(
+        "inferray: {} focus checks, {} violations ({} triples)",
+        report.focus_checks,
+        report.violations.len(),
+        loaded.store.len(),
+    );
+    if report.conforms() {
+        Ok(())
+    } else {
+        Err(format!("{path}: data does not conform"))
+    }
+}
+
+/// One violation's cause, decoded for terminal output.
+fn describe_kind(
+    v: &shapes::Violation,
+    compiled: &shapes::CompiledShapes,
+    dict: &inferray_dictionary::Dictionary,
+) -> String {
+    let decode = |id: u64| {
+        dict.decode(id)
+            .map_or_else(|| format!("#{id}"), |t| t.to_string())
+    };
+    let path_iri = compiled.shapes[v.shape]
+        .constraints
+        .get(v.constraint)
+        .map_or("?", |c| c.path_iri.as_str());
+    match v.kind {
+        shapes::ViolationKind::CountBelow { found, min } => {
+            format!("{found} value(s) for <{path_iri}>, at least {min} required")
+        }
+        shapes::ViolationKind::CountAbove { found, max } => {
+            format!("{found} value(s) for <{path_iri}>, at most {max} allowed")
+        }
+        shapes::ViolationKind::Datatype { value } => {
+            format!("value {} has the wrong datatype", decode(value))
+        }
+        shapes::ViolationKind::Class { value } => {
+            format!(
+                "value {} is not an instance of the required class",
+                decode(value)
+            )
+        }
+        shapes::ViolationKind::In { value } => {
+            format!("value {} is not in the allowed set", decode(value))
+        }
+        shapes::ViolationKind::Node { value, shape } => format!(
+            "value {} does not conform to shape {}",
+            decode(value),
+            compiled.shapes.get(shape).map_or("?", |s| s.name.as_str())
+        ),
+    }
+}
+
 fn serve(options: &CliOptions) -> Result<(), String> {
     // With --data-dir the dataset is durable: recovered from disk when
     // possible, WAL-protected in any case. Without it, serving stays purely
@@ -520,8 +770,9 @@ fn serve(options: &CliOptions) -> Result<(), String> {
         Arc<ServingDataset>,
         Option<Arc<dyn UpdateSink>>,
         Option<Arc<dyn DurabilityReporter>>,
+        Option<Arc<dyn ValidationReporter>>,
     );
-    let (dataset, sink, durability): ServeWiring = match &options.data_dir {
+    let (dataset, sink, durability, validation): ServeWiring = match &options.data_dir {
         Some(data_dir) => {
             let durable = open_or_create_durable(options, data_dir)?;
             let adapter = Arc::new(DurableUpdateSink(Arc::clone(&durable)));
@@ -529,6 +780,8 @@ fn serve(options: &CliOptions) -> Result<(), String> {
                 Arc::clone(durable.dataset()),
                 Some(adapter.clone() as Arc<dyn UpdateSink>),
                 Some(adapter as Arc<dyn DurabilityReporter>),
+                // parse_args refuses --shapes with --data-dir, so no gate.
+                None,
             )
         }
         None => {
@@ -557,8 +810,43 @@ fn serve(options: &CliOptions) -> Result<(), String> {
                 stats.duration,
             );
             let dataset = Arc::new(dataset);
+            let mut validation = None;
+            if let Some(shapes_path) = &options.shapes {
+                let text = std::fs::read_to_string(shapes_path)
+                    .map_err(|e| format!("cannot read {shapes_path}: {e}"))?;
+                // Install the gate *before* binding: the server either
+                // starts with a green validation or does not start.
+                match dataset.install_shapes(&text) {
+                    Ok(()) => {}
+                    Err(ShapeInstallError::Program(diags)) => {
+                        return Err(diags
+                            .iter()
+                            .map(|d| render_diag(shapes_path, d))
+                            .collect::<Vec<_>>()
+                            .join("\n"));
+                    }
+                    Err(ShapeInstallError::Violations(violations)) => {
+                        return Err(format!(
+                            "{shapes_path}: the materialized dataset already violates the \
+                             shapes — refusing to serve\n{violations}"
+                        ));
+                    }
+                }
+                let status = dataset
+                    .validation_status()
+                    .expect("gate installed just above");
+                eprintln!(
+                    "inferray: installed {} shape(s) from {shapes_path}; \
+                     epoch {} validated green ({} focus checks)",
+                    status.shapes,
+                    dataset.epoch(),
+                    status.counters.focus_checks,
+                );
+                let reporter = Arc::new(ServingUpdateSink(Arc::clone(&dataset)));
+                validation = Some(reporter as Arc<dyn ValidationReporter>);
+            }
             let sink = Arc::new(ServingUpdateSink(Arc::clone(&dataset)));
-            (dataset, Some(sink as Arc<dyn UpdateSink>), None)
+            (dataset, Some(sink as Arc<dyn UpdateSink>), None, validation)
         }
     };
 
@@ -581,6 +869,7 @@ fn serve(options: &CliOptions) -> Result<(), String> {
         Arc::new(source),
         if options.read_only { None } else { sink },
         durability,
+        validation,
     )
     .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
@@ -675,6 +964,8 @@ fn main() -> ExitCode {
         Mode::Materialize => run(&options),
         Mode::RulesCheck => rules_check(&options, false),
         Mode::RulesExplain => rules_check(&options, true),
+        Mode::ShapesCheck => shapes_check(&options, false),
+        Mode::ShapesValidate => shapes_check(&options, true),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

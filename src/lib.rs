@@ -57,7 +57,8 @@ pub use inferray_store as store;
 pub use inferray_core::ServingDataset;
 pub use inferray_core::{
     reason_graph, Fragment, InferenceStats, InferrayOptions, InferrayReasoner, Materializer,
-    ReasonedGraph, RetractionStats, TripleStore,
+    ReasonedGraph, RetractionStats, ShapeInstallError, ShapeViolation, ShapeViolations,
+    TripleStore, ValidationCounters, ValidationStatus, WriteError,
 };
 pub use inferray_model::{vocab, Graph, IdTriple, Term, Triple};
 pub use inferray_parser::{load_graph, load_ntriples, load_turtle, parse_ntriples, parse_turtle};
@@ -66,7 +67,9 @@ pub use inferray_query::{QueryEngine, SolutionSet};
 pub use inferray_persist as persist;
 pub use inferray_persist::{CheckpointPolicy, DurableDataset, DurableError};
 
-use inferray_query::{DurabilityReporter, UpdateError, UpdateOutcome, UpdateSink};
+use inferray_query::{
+    DurabilityReporter, UpdateError, UpdateOutcome, UpdateSink, ValidationReporter,
+};
 use std::sync::Arc;
 
 /// Adapts a [`ServingDataset`] to the HTTP server's write path: `POST
@@ -81,15 +84,26 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct ServingUpdateSink(pub Arc<ServingDataset>);
 
+/// A parse/encode failure is the client's fault (`400`); a shape refusal
+/// is a semantic conflict with the installed constraints — the server
+/// renders [`UpdateError::Invalid`] as `422` with the positioned violation
+/// report in the body (docs/shapes.md).
+fn map_write_error(error: WriteError) -> UpdateError {
+    match error {
+        WriteError::Load(e) => UpdateError::rejected(e.to_string()),
+        WriteError::Shapes(violations) => UpdateError::Invalid {
+            message: violations.to_string(),
+            violations_json: violations.json(),
+        },
+    }
+}
+
 impl UpdateSink for ServingUpdateSink {
     fn retract_ntriples(&self, body: &str) -> Result<UpdateOutcome, UpdateError> {
         // The epoch comes from the retraction itself (captured under the
         // dataset's writer lock), so concurrent updates cannot pair this
         // request's counts with another request's epoch.
-        let (stats, epoch) = self
-            .0
-            .retract_ntriples(body)
-            .map_err(|e| UpdateError::rejected(e.to_string()))?;
+        let (stats, epoch) = self.0.retract_ntriples(body).map_err(map_write_error)?;
         Ok(UpdateOutcome {
             epoch,
             requested: stats.requested,
@@ -99,9 +113,7 @@ impl UpdateSink for ServingUpdateSink {
     }
 
     fn assert_ntriples(&self, body: &str) -> Result<UpdateOutcome, UpdateError> {
-        self.0
-            .extend_ntriples(body)
-            .map_err(|e| UpdateError::rejected(e.to_string()))?;
+        self.0.extend_ntriples(body).map_err(map_write_error)?;
         let snapshot = self.0.store_snapshot();
         Ok(UpdateOutcome {
             epoch: snapshot.epoch(),
@@ -109,6 +121,15 @@ impl UpdateSink for ServingUpdateSink {
             removed: 0,
             triples: snapshot.store().len(),
         })
+    }
+}
+
+impl ValidationReporter for ServingUpdateSink {
+    fn validation_json_into(&self, out: &mut String) {
+        match self.0.validation_status() {
+            Some(status) => status.json_into(out),
+            None => out.push_str("null"),
+        }
     }
 }
 

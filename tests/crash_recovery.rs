@@ -365,6 +365,7 @@ fn wal_failure_degrades_the_http_endpoint_to_read_only() {
         Arc::new(source),
         Some(Arc::clone(&sink) as Arc<dyn UpdateSink>),
         Some(sink as Arc<dyn DurabilityReporter>),
+        None,
     )
     .expect("bind");
     let addr = server.local_addr();

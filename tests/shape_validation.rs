@@ -1,0 +1,185 @@
+//! Incremental shape validation: after any sequence of extends and
+//! retractions, chaining `validate_delta` from the previous report must give
+//! exactly the report a full `validate` of the new store produces. This is
+//! the contract the serving write gate relies on — the delta path is the
+//! only one that runs under the writer lock.
+
+use inferray::dictionary::Dictionary;
+use inferray::model::{IdTriple, Triple};
+use inferray::rules::shapes::{self, CompiledShapes, ValidationReport};
+use inferray::store::TripleStore;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// A shape program exercising every constraint kind plus the `node`
+/// dependency closure that makes dirty-node tracking non-trivial.
+const SHAPES: &str = "\
+shape Person targets class <urn:C0> {
+  <urn:p0> count [1..2] class <urn:C1> ;
+  <urn:p1> node Thing ;
+} .
+shape Thing targets class <urn:C1> {
+  <urn:p2> count [0..1] in ( <urn:v0> <urn:v1> ) ;
+} .
+shape Linked targets subjects-of <urn:p2> {
+  <urn:p0> count [0..3] ;
+} .";
+
+/// The closed universe of triples the property test draws from: typed
+/// subjects, `p0`/`p1` links between them, and `p2` values.
+fn candidates() -> Vec<Triple> {
+    let mut pool = Vec::new();
+    for i in 0..4 {
+        let s = format!("urn:s{i}");
+        for c in 0..2 {
+            pool.push(Triple::iris(&s, TYPE, format!("urn:C{c}")));
+        }
+        for j in 0..3 {
+            pool.push(Triple::iris(&s, "urn:p0", format!("urn:s{j}")));
+            pool.push(Triple::iris(&s, "urn:p1", format!("urn:s{j}")));
+            pool.push(Triple::iris(&s, "urn:p2", format!("urn:v{j}")));
+        }
+    }
+    pool
+}
+
+/// Encodes the whole candidate pool once so every store in a test case
+/// shares one id space.
+fn encode_pool() -> (Vec<IdTriple>, Dictionary) {
+    let mut dict = Dictionary::new();
+    let encoded = candidates()
+        .iter()
+        .map(|t| dict.encode_triple(t).expect("pool triple encodes"))
+        .collect();
+    (encoded, dict)
+}
+
+fn build(triples: &BTreeSet<IdTriple>) -> TripleStore {
+    let mut store = TripleStore::from_triples(triples.iter().copied());
+    store.ensure_all_os();
+    store
+}
+
+fn compile(dict: &Dictionary) -> CompiledShapes {
+    let analysis = shapes::analyze(SHAPES);
+    assert!(!analysis.has_errors(), "{:#?}", analysis.diagnostics);
+    analysis.compile(dict).expect("shape program compiles")
+}
+
+fn full(shapes: &CompiledShapes, store: &TripleStore, dict: &Dictionary) -> ValidationReport {
+    shapes::validate(shapes, store, dict, inferray_parallel::global())
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Extend(IdTriple),
+    Retract(IdTriple),
+}
+
+/// Applies `op` the way the serving path does: mutate a clone of the old
+/// store in place (add + finalize, or retract) and refresh the ⟨o,s⟩ caches.
+fn apply(old: &TripleStore, current: &mut BTreeSet<IdTriple>, op: Op) -> TripleStore {
+    let mut new = old.clone();
+    match op {
+        Op::Extend(t) => {
+            current.insert(t);
+            new.add_triple(t);
+            new.finalize();
+        }
+        Op::Retract(t) => {
+            current.remove(&t);
+            new.retract([t]);
+        }
+    }
+    new.ensure_all_os();
+    new
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any initial dataset and any extend/retract sequence, the chained
+    /// delta reports equal full re-validation at every step.
+    #[test]
+    fn delta_validation_equals_full_revalidation(
+        initial in prop::collection::btree_set(0usize..44, 0..16),
+        ops in prop::collection::vec((any::<bool>(), 0usize..44), 1..12),
+    ) {
+        let (pool, dict) = encode_pool();
+        let compiled = compile(&dict);
+
+        let mut current: BTreeSet<IdTriple> =
+            initial.iter().map(|&i| pool[i % pool.len()]).collect();
+        let mut store = build(&current);
+        let mut report = full(&compiled, &store, &dict);
+
+        for &(extend, i) in &ops {
+            let t = pool[i % pool.len()];
+            let op = if extend { Op::Extend(t) } else { Op::Retract(t) };
+            let new = apply(&store, &mut current, op);
+
+            let delta = shapes::validate_delta(&compiled, &store, &new, &dict, &report);
+            let reference = full(&compiled, &new, &dict);
+            prop_assert_eq!(
+                &delta.violations, &reference.violations,
+                "divergence after {:?} (store: {} triples)", op, new.len()
+            );
+            prop_assert_eq!(delta.conforms(), reference.conforms());
+            // The in-place mutation really produced the set we track.
+            prop_assert_eq!(new.len(), current.len());
+
+            store = new;
+            report = delta;
+        }
+    }
+}
+
+#[test]
+fn retracting_the_offending_triple_updates_the_report() {
+    let (pool, dict) = encode_pool();
+    let compiled = compile(&dict);
+    let id = |iri: &str| dict.id_of_iri(iri).unwrap();
+
+    // s0 is a Person whose only p0 points at a non-C1 node: class violation.
+    let typed = IdTriple::new(id("urn:s0"), id(TYPE), id("urn:C0"));
+    let bad = IdTriple::new(id("urn:s0"), id("urn:p0"), id("urn:s2"));
+    assert!(pool.contains(&typed) && pool.contains(&bad));
+
+    let mut current: BTreeSet<IdTriple> = [typed, bad].into_iter().collect();
+    let store = build(&current);
+    let report = full(&compiled, &store, &dict);
+    assert!(!report.conforms(), "{:?}", report.violations);
+
+    let new = apply(&store, &mut current, Op::Retract(bad));
+    let delta = shapes::validate_delta(&compiled, &store, &new, &dict, &report);
+    let reference = full(&compiled, &new, &dict);
+    assert_eq!(delta.violations, reference.violations);
+    // With no p0 at all, Person's count [1..2] fires instead — the reports
+    // stay equal and the store stays non-conforming.
+    assert!(!delta.conforms());
+}
+
+#[test]
+fn irrelevant_changes_recheck_only_the_dirty_endpoints() {
+    let (pool, dict) = encode_pool();
+    let compiled = compile(&dict);
+    let id = |iri: &str| dict.id_of_iri(iri).unwrap();
+
+    let typed = IdTriple::new(id("urn:s3"), id(TYPE), id("urn:C1"));
+    let mut current: BTreeSet<IdTriple> = [typed].into_iter().collect();
+    let store = build(&current);
+    let report = full(&compiled, &store, &dict);
+    assert!(report.conforms());
+
+    // Adding an unrelated p1 link between untyped nodes dirties only its two
+    // endpoints; neither is a focus of any shape, so no focus re-checks run.
+    let link = IdTriple::new(id("urn:s1"), id("urn:p1"), id("urn:s2"));
+    assert!(pool.contains(&link));
+    let new = apply(&store, &mut current, Op::Extend(link));
+    let delta = shapes::validate_delta(&compiled, &store, &new, &dict, &report);
+    assert_eq!(delta.focus_checks, 0, "{delta:?}");
+    assert!(delta.conforms());
+    assert_eq!(delta.violations, full(&compiled, &new, &dict).violations);
+}

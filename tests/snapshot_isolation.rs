@@ -183,7 +183,7 @@ fn serving_dataset_isolates_readers_from_retractions() {
     let (old_snapshot, old_dictionary) = dataset.snapshot();
     let old_triples = triples_of(&old_snapshot);
 
-    let (stats, published_epoch) = dataset.retract([victim.clone()]);
+    let (stats, published_epoch) = dataset.retract([victim.clone()]).expect("ungated retract");
     assert_eq!(stats.retracted_explicit, 1);
     assert!(stats.net_removed() >= 1);
 
@@ -244,7 +244,7 @@ fn concurrent_readers_survive_extend_retract_interleaving() {
                 "http://snapshot.test/Churn",
             );
             dataset.extend([triple.clone()]).expect("extend succeeds");
-            let (stats, _) = dataset.retract([triple]);
+            let (stats, _) = dataset.retract([triple]).expect("ungated retract");
             assert_eq!(stats.retracted_explicit, 1);
         }
         stop.store(true, Ordering::Relaxed);
